@@ -1,0 +1,39 @@
+//! Ablation: fusion on/off across P — regenerates the Figure 9 commentary
+//! ("fusion improves performance by 2.20x for 8^5 to 1.15x for 32^3, and
+//! is not applied for P >= 64").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastkron_core::FastKron;
+use gpu_sim::device::V100;
+use kron_core::KronProblem;
+use std::hint::black_box;
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_planning");
+    group.sample_size(10);
+    for &(p, n) in &[(8usize, 5usize), (16, 4), (32, 3), (64, 2)] {
+        let problem = KronProblem::uniform(1024, p, n).unwrap();
+        let fused = FastKron::plan::<f32>(&problem, &V100).unwrap();
+        let unfused = FastKron::plan_unfused::<f32>(&problem, &V100).unwrap();
+        let t_f = fused.simulate().unwrap().seconds;
+        let t_u = unfused.simulate().unwrap().seconds;
+        eprintln!(
+            "[fusion ablation] {p}^{n}: fused {:.3} ms vs unfused {:.3} ms -> {:.2}x (launches {} vs {})",
+            t_f * 1e3,
+            t_u * 1e3,
+            t_u / t_f,
+            fused.launches(),
+            unfused.launches()
+        );
+        group.bench_function(format!("plan_simulate_P{p}_N{n}"), |b| {
+            b.iter(|| {
+                let plan = FastKron::plan::<f32>(black_box(&problem), &V100).unwrap();
+                black_box(plan.simulate().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 11: weak scaling of FastKron, CTF, and DISTAL from 1 to 16
+//! simulated GPUs (P = 64 and P = 128, N = 4, float).
+
+use bench::{figure11_cases, figure11_gpu_counts};
+use gpu_sim::device::V100;
+use kron_core::KronProblem;
+use kron_dist::{CtfEngine, DistFastKron, DistalEngine};
+
+fn main() {
+    println!("Figure 11 — weak scaling, achieved TFLOPS on 1..16 simulated V100s (float)");
+    for (p, n, m_per_gpu) in figure11_cases() {
+        println!("\nP = {p}, N = {n} (M per GPU = {m_per_gpu}):");
+        println!(
+            "{:>6} {:>8} {:>12} {:>10} {:>10}",
+            "GPUs", "M", "FastKron", "CTF", "DISTAL"
+        );
+        for g in figure11_gpu_counts() {
+            let m = m_per_gpu * g;
+            let problem = KronProblem::uniform(m, p, n).expect("valid case");
+            let tflops = problem.flops() as f64 / 1e12;
+            let fk = DistFastKron::new(&V100, g)
+                .and_then(|e| e.simulate::<f32>(&problem))
+                .unwrap();
+            let ctf = CtfEngine::new(&V100, g)
+                .and_then(|e| e.simulate::<f32>(&problem))
+                .unwrap();
+            let distal = DistalEngine::new(&V100, g)
+                .and_then(|e| e.simulate::<f32>(&problem))
+                .unwrap();
+            println!(
+                "{:>6} {:>8} {:>12.1} {:>10.1} {:>10.1}",
+                g,
+                m,
+                tflops / fk.seconds,
+                tflops / ctf.seconds,
+                tflops / distal.seconds
+            );
+        }
+    }
+    println!("\nPaper FastKron marks: P=64: 12/23/37/74/109; P=128: 13/26/50/99/173 TFLOPS");
+    println!("Paper at 16 GPUs: FastKron 7.85x over CTF, 5.33x over DISTAL");
+}

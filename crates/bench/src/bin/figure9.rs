@@ -1,0 +1,33 @@
+//! Figure 9: single-GPU TFLOPS of GPyTorch, COGENT, cuTensor,
+//! FastKron-wo-Fuse, and FastKron for M = 1024 and the two largest `P^N`
+//! per power-of-two P (float).
+
+use bench::{figure9_cases, figure9_paper_tflops};
+use gpu_sim::device::V100;
+use kron_baselines::{CuTensorEngine, Engine, FastKronEngine, FtmmtEngine, ShuffleEngine};
+use kron_core::KronProblem;
+
+fn main() {
+    println!("Figure 9 — Kron-Matmul of M=1024 and diverse P^N values (float, simulated V100)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12} {:>10} {:>12}",
+        "size", "GPyTorch", "COGENT", "cuTensor", "FK-wo-Fuse", "FastKron", "paper-FK"
+    );
+    let paper = figure9_paper_tflops();
+    for ((p, n), paper_fk) in figure9_cases().into_iter().zip(paper) {
+        let problem = KronProblem::uniform(1024, p, n).expect("valid case");
+        let tflops = problem.flops() as f64 / 1e12;
+        let run = |r: gpu_sim::ExecReport| tflops / r.seconds;
+        let gp = run(Engine::<f32>::simulate(&ShuffleEngine::new(&V100), &problem).unwrap());
+        let co = run(Engine::<f32>::simulate(&FtmmtEngine::new(&V100), &problem).unwrap());
+        let cu = run(Engine::<f32>::simulate(&CuTensorEngine::new(&V100), &problem).unwrap());
+        let fw = run(
+            Engine::<f32>::simulate(&FastKronEngine::without_fusion(&V100), &problem).unwrap(),
+        );
+        let fk = run(Engine::<f32>::simulate(&FastKronEngine::new(&V100), &problem).unwrap());
+        println!(
+            "{:>5}^{:<2} {:>10.2} {:>10.2} {:>10.2} {:>12.2} {:>10.2} {:>12.1}",
+            p, n, gp, co, cu, fw, fk, paper_fk
+        );
+    }
+}

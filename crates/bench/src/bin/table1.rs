@@ -1,0 +1,33 @@
+//! Table 1: execution-time split of GPyTorch (matmul vs transpose),
+//! COGENT, and FastKron for M = 1024 and the largest P^N (float).
+
+use bench::{fmt_seconds, table1_cases};
+use gpu_sim::device::V100;
+use kron_baselines::{Engine, FastKronEngine, FtmmtEngine, ShuffleEngine};
+use kron_core::KronProblem;
+
+fn main() {
+    println!("Table 1 — GPyTorch matmul/transpose split vs COGENT vs FastKron (M=1024, float)");
+    println!(
+        "{:>3} {:>3} | {:>12} {:>12} {:>12} | {:>12} | {:>12}",
+        "P", "N", "GPy-Matmul", "GPy-Trans", "GPy-Total", "COGENT", "FastKron"
+    );
+    for (p, n) in table1_cases() {
+        let problem = KronProblem::uniform(1024, p, n).expect("valid case");
+        let gp = Engine::<f32>::simulate(&ShuffleEngine::new(&V100), &problem).unwrap();
+        let co = Engine::<f32>::simulate(&FtmmtEngine::new(&V100), &problem).unwrap();
+        let fk = Engine::<f32>::simulate(&FastKronEngine::new(&V100), &problem).unwrap();
+        println!(
+            "{:>3} {:>3} | {:>12} {:>12} {:>12} | {:>12} | {:>12}",
+            p,
+            n,
+            fmt_seconds(gp.step_seconds("matmul")),
+            fmt_seconds(gp.step_seconds("transpose")),
+            fmt_seconds(gp.seconds),
+            fmt_seconds(co.seconds),
+            fmt_seconds(fk.seconds),
+        );
+    }
+    println!("\nPaper (ms): (8,6): 26/45/71 | 36.4 | 5.76   (16,5): 64/169/238 | 104 | 29.7");
+    println!("            (32,4): 44/159/203 | 64.4 | 38.8  (64,3): 8.7/36/45.7 | 14.8 | 8.74");
+}

@@ -1,0 +1,34 @@
+//! Table 2: shared-memory load/store transactions of COGENT vs FastKron
+//! (M = 1024, float), in units of 1e7 transactions, with reduction
+//! factors.
+
+use bench::table1_cases;
+use gpu_sim::device::V100;
+use kron_baselines::{Engine, FastKronEngine, FtmmtEngine};
+use kron_core::KronProblem;
+
+fn main() {
+    println!("Table 2 — shared-memory transactions (x1e7): COGENT vs FastKron (M=1024, float)");
+    println!(
+        "{:>3} {:>3} | {:>10} {:>10} | {:>10} {:>10} | {:>8} {:>8}",
+        "P", "N", "CO-loads", "CO-stores", "FK-loads", "FK-stores", "red-ld", "red-st"
+    );
+    for (p, n) in table1_cases() {
+        let problem = KronProblem::uniform(1024, p, n).expect("valid case");
+        let co = Engine::<f32>::simulate(&FtmmtEngine::new(&V100), &problem).unwrap();
+        let fk = Engine::<f32>::simulate(&FastKronEngine::new(&V100), &problem).unwrap();
+        let scale = 1e7;
+        println!(
+            "{:>3} {:>3} | {:>10.2} {:>10.2} | {:>10.2} {:>10.2} | {:>7.2}x {:>7.2}x",
+            p,
+            n,
+            co.stats.smem_load_transactions as f64 / scale,
+            co.stats.smem_store_transactions as f64 / scale,
+            fk.stats.smem_load_transactions as f64 / scale,
+            fk.stats.smem_store_transactions as f64 / scale,
+            co.stats.smem_load_transactions as f64 / fk.stats.smem_load_transactions as f64,
+            co.stats.smem_store_transactions as f64 / fk.stats.smem_store_transactions as f64,
+        );
+    }
+    println!("\nPaper reductions: loads 3.10x/2.33x/1.37x/1.72x, stores 1.02x/2.54x/3.13x/3.18x");
+}

@@ -1,0 +1,40 @@
+//! Table 3: achieved TFLOPS of GPyTorch, COGENT, and FastKron for float
+//! and double with M = 16 and the largest P^N.
+
+use bench::table3_cases;
+use gpu_sim::device::V100;
+use kron_baselines::{Engine, FastKronEngine, FtmmtEngine, ShuffleEngine};
+use kron_core::{Element, KronProblem};
+
+fn tflops_of<T: Element, E: Engine<T>>(engine: &E, problem: &KronProblem) -> f64 {
+    let r = engine.simulate(problem).unwrap();
+    problem.flops() as f64 / r.seconds / 1e12
+}
+
+fn main() {
+    println!("Table 3 — achieved TFLOPS with M = 16 (simulated V100)");
+    println!(
+        "{:>3} {:>3} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "P", "N", "FK-f32", "FK-f64", "CO-f32", "CO-f64", "GPy-f32", "GPy-f64"
+    );
+    for (p, n) in table3_cases() {
+        let problem = KronProblem::uniform(16, p, n).expect("valid case");
+        let fk = FastKronEngine::new(&V100);
+        let co = FtmmtEngine::new(&V100);
+        let gp = ShuffleEngine::new(&V100);
+        println!(
+            "{:>3} {:>3} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2}",
+            p,
+            n,
+            tflops_of::<f32, _>(&fk, &problem),
+            tflops_of::<f64, _>(&fk, &problem),
+            tflops_of::<f32, _>(&co, &problem),
+            tflops_of::<f64, _>(&co, &problem),
+            tflops_of::<f32, _>(&gp, &problem),
+            tflops_of::<f64, _>(&gp, &problem),
+        );
+    }
+    println!("\nPaper FastKron: f32 3.90/6.17/7.75/11.0, f64 1.80/3.20/3.88/5.40");
+    println!("Paper COGENT:   f32 0.67/1.98/5.38/7.98, f64 0.26/0.91/2.26/3.40");
+    println!("Paper GPyTorch: f32 0.26/0.46/1.36/2.70, f64 0.13/0.21/0.64/1.29");
+}

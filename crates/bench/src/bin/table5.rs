@@ -1,0 +1,28 @@
+//! Table 5: speedup in GP training (SKI/SKIP/LOVE) from integrating
+//! FastKron into GPyTorch, on 1 and 16 simulated GPUs.
+
+use gpu_sim::device::V100;
+use kron_gp::train::{table5_rows, GpVariant, TrainTimer};
+
+fn main() {
+    println!("Table 5 — GP training speedup of FastKron-integrated GPyTorch over vanilla");
+    println!(
+        "{:>8} {:>6} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}",
+        "dataset", "P^N", "SKI-1", "SKIP-1", "LOVE-1", "SKI-16", "SKIP-16", "LOVE-16"
+    );
+    let timer = TrainTimer::new(&V100);
+    for (ds, p) in table5_rows() {
+        let mut row = format!("{:>8} {:>4}^{:<1} |", ds.name(), p, ds.dims());
+        for gpus in [1usize, 16] {
+            for variant in GpVariant::all() {
+                let s = timer.speedup::<f32>(ds, p, variant, gpus).unwrap();
+                row.push_str(&format!(" {s:>5.1}x"));
+            }
+            if gpus == 1 {
+                row.push_str(" |");
+            }
+        }
+        println!("{row}");
+    }
+    println!("\nPaper 1-GPU range 1.1x-2.2x; 16-GPU range 1.1x-6.2x; increase <= 3.33x");
+}

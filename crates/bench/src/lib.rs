@@ -1,0 +1,170 @@
+//! Shared definitions for the experiment binaries: the paper's workload
+//! lists (Figure 9 sizes, Table 1-3 grids, the 28 real-world cases of
+//! Table 4, Figure 11's weak-scaling points, Table 5's dataset/grid rows)
+//! and small formatting helpers.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of §6:
+//!
+//! | binary             | artifact  |
+//! |--------------------|-----------|
+//! | `figure9`          | Figure 9  |
+//! | `table1`           | Table 1   |
+//! | `table2`           | Table 2   |
+//! | `table3`           | Table 3   |
+//! | `figure10`         | Figure 10 (over Table 4's sizes) |
+//! | `figure11`         | Figure 11 |
+//! | `table5`           | Table 5   |
+//! | `autotune_report`  | §6.1      |
+
+#![deny(missing_docs)]
+
+use kron_core::{FactorShape, KronProblem};
+
+/// Figure 9's microbenchmark sizes: M = 1024, power-of-two P, the two
+/// largest `P^N` allocatable on a 32 GB V100.
+pub fn figure9_cases() -> Vec<(usize, usize)> {
+    vec![
+        (8, 5),
+        (8, 6),
+        (16, 4),
+        (16, 5),
+        (32, 3),
+        (32, 4),
+        (64, 2),
+        (64, 3),
+        (128, 2),
+        (128, 3),
+    ]
+}
+
+/// Paper-reported FastKron TFLOPS for Figure 9 (float), for side-by-side
+/// comparison in the output.
+pub fn figure9_paper_tflops() -> Vec<f64> {
+    vec![3.9, 4.4, 6.8, 5.8, 8.0, 8.9, 9.6, 11.8, 12.7, 13.7]
+}
+
+/// Table 1/2's (P, N) grid: M = 1024, largest `P^N` on 32 GB.
+pub fn table1_cases() -> Vec<(usize, usize)> {
+    vec![(8, 6), (16, 5), (32, 4), (64, 3)]
+}
+
+/// Table 3's (P, N) grid: M = 16, largest `P^N`.
+pub fn table3_cases() -> Vec<(usize, usize)> {
+    vec![(8, 8), (16, 6), (32, 5), (64, 4)]
+}
+
+/// The 28 real-world Kron-Matmul sizes of Table 4.
+///
+/// Rows 6-8 mix rectangular factors whose exact shapes are ambiguous in
+/// the camera-ready PDF (superscripts collapse); they are reconstructed as
+/// the rectangular mixes matching the visible digits. Rows 25-28 use the
+/// per-P largest M = 16 sizes, consistent with Table 3.
+pub fn table4_cases() -> Vec<(usize, KronProblem)> {
+    let uniform = |id: usize, m: usize, p: usize, n: usize| {
+        (id, KronProblem::uniform(m, p, n).expect("valid uniform case"))
+    };
+    let mixed = |id: usize, m: usize, shapes: &[(usize, usize)]| {
+        let factors = shapes.iter().map(|&(p, q)| FactorShape::new(p, q)).collect();
+        (id, KronProblem::new(m, factors).expect("valid mixed case"))
+    };
+    vec![
+        // 1-5: LSTM and RNN compression (Jose et al.).
+        uniform(1, 20, 2, 7),
+        uniform(2, 20, 2, 9),
+        uniform(3, 50, 2, 9),
+        uniform(4, 20, 2, 10),
+        uniform(5, 1, 2, 11),
+        // 6-8: ML compression (Thakker et al.) - rectangular mixes.
+        mixed(6, 10, &[(5, 50), (65, 20)]),
+        mixed(7, 50, &[(3, 8), (3, 8), (64, 128)]),
+        mixed(8, 10, &[(5, 65), (5, 65), (50, 20)]),
+        // 9-16: HyPA (Cai et al.).
+        uniform(9, 4, 2, 9),
+        uniform(10, 8, 2, 9),
+        uniform(11, 16, 2, 9),
+        uniform(12, 20, 2, 9),
+        uniform(13, 4, 8, 3),
+        uniform(14, 8, 8, 3),
+        uniform(15, 16, 8, 3),
+        uniform(16, 20, 8, 3),
+        // 17-19: Kronecker graphs (Leskovec et al.).
+        uniform(17, 1024, 3, 7),
+        uniform(18, 1024, 4, 7),
+        uniform(19, 1024, 6, 7),
+        // 20-21: computational biology (Haupt et al.).
+        mixed(20, 1, &[(5, 5), (5, 5), (5, 5), (2, 2)]),
+        mixed(
+            21,
+            1,
+            &[(5, 5), (5, 5), (2, 2), (2, 2), (2, 2), (2, 2), (2, 2), (2, 2)],
+        ),
+        // 22-24: drug-target prediction (Viljanen et al.).
+        uniform(22, 1526, 4, 6),
+        uniform(23, 156, 8, 3),
+        uniform(24, 2967, 4, 7),
+        // 25-28: Gaussian-process kernels.
+        uniform(25, 16, 8, 8),
+        uniform(26, 16, 16, 6),
+        uniform(27, 16, 32, 5),
+        uniform(28, 16, 64, 4),
+    ]
+}
+
+/// Figure 11's weak-scaling configurations: `(P, N, M per GPU)`.
+pub fn figure11_cases() -> Vec<(usize, usize, usize)> {
+    vec![(64, 4, 128), (128, 4, 8)]
+}
+
+/// GPU counts swept in Figure 11.
+pub fn figure11_gpu_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16]
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_lists_have_expected_sizes() {
+        assert_eq!(figure9_cases().len(), 10);
+        assert_eq!(figure9_paper_tflops().len(), 10);
+        assert_eq!(table1_cases().len(), 4);
+        assert_eq!(table3_cases().len(), 4);
+        assert_eq!(figure11_cases().len(), 2);
+        let t4 = table4_cases();
+        assert_eq!(t4.len(), 28);
+        // Ids run 1..=28 in order.
+        for (i, (id, _)) in t4.iter().enumerate() {
+            assert_eq!(*id, i + 1);
+        }
+    }
+
+    #[test]
+    fn table4_problems_are_valid() {
+        for (id, problem) in table4_cases() {
+            assert!(problem.input_cols() > 0, "case {id}");
+            assert!(problem.flops() > 0, "case {id}");
+            // Nothing absurdly large for a 32 GB device at f32.
+            let bytes = problem.m * problem.input_cols() * 4;
+            assert!(bytes < 32 << 30, "case {id} would not fit the GPU");
+        }
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_seconds(2.5), "2.50 s");
+        assert_eq!(fmt_seconds(0.0025), "2.50 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.5 us");
+    }
+}

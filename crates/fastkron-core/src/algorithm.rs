@@ -1,0 +1,206 @@
+//! Algorithm 1 of the paper: the FastKron Kron-Matmul algorithm, executed
+//! functionally (and in parallel) on the CPU.
+//!
+//! Each iteration performs a *sliced multiply*: row `i` of the input is cut
+//! into slices of length `P`; slice `s` times column `q` of the factor
+//! lands at output column `q·S + s` (`S` = number of slices). Consecutive
+//! output elements therefore come from consecutive slices against the
+//! *same* factor column — the property that removes the shuffle
+//! algorithm's transpose entirely.
+
+use kron_core::{Element, KronError, Matrix, Result};
+use rayon::prelude::*;
+
+/// Minimum per-task element count before we bother parallelizing an
+/// iteration.
+const PAR_MIN_ELEMENTS: usize = 1 << 12;
+
+/// One sliced-multiply iteration: `Y[i][q·S + s] = Σ_p X[i][s·P + p] · F[p][q]`.
+///
+/// Lines 7–15 of Algorithm 1 (for one factor), parallelized over
+/// `(row, column-of-F)` output chunks — the CPU analog of the kernel's
+/// thread-block grid.
+///
+/// # Errors
+/// [`KronError::ShapeMismatch`] when `X.cols()` is not a multiple of
+/// `F.rows()`.
+pub fn sliced_multiply<T: Element>(x: &Matrix<T>, f: &Matrix<T>) -> Result<Matrix<T>> {
+    let (p, q) = (f.rows(), f.cols());
+    if p == 0 || !x.cols().is_multiple_of(p) {
+        return Err(KronError::ShapeMismatch {
+            expected: format!("X cols divisible by P = {p}"),
+            found: format!("{} cols", x.cols()),
+        });
+    }
+    let slices = x.cols() / p;
+    let m = x.rows();
+    let mut y = Matrix::zeros(m, slices * q);
+
+    // Output chunk (i, qi) is the contiguous run y[i][qi·S .. (qi+1)·S],
+    // computed from row i of X and column qi of F.
+    let x_data = x.as_slice();
+    let k = x.cols();
+    let compute_chunk = |(chunk_idx, out): (usize, &mut [T])| {
+        let (i, qi) = (chunk_idx / q, chunk_idx % q);
+        let row = &x_data[i * k..(i + 1) * k];
+        // Gather F column qi once; F is tiny and reused S times.
+        for (s, out_v) in out.iter_mut().enumerate() {
+            let slice = &row[s * p..(s + 1) * p];
+            let mut acc = T::ZERO;
+            for (pi, xv) in slice.iter().enumerate() {
+                acc = xv.mul_add(f[(pi, qi)], acc);
+            }
+            *out_v = acc;
+        }
+    };
+
+    if m * slices * q >= PAR_MIN_ELEMENTS && m * q > 1 {
+        y.as_mut_slice()
+            .par_chunks_mut(slices)
+            .enumerate()
+            .for_each(compute_chunk);
+    } else {
+        y.as_mut_slice()
+            .chunks_mut(slices)
+            .enumerate()
+            .for_each(compute_chunk);
+    }
+    Ok(y)
+}
+
+/// Full Kron-Matmul by Algorithm 1: sliced multiplies from the last factor
+/// to the first, double-buffering intermediates.
+///
+/// # Errors
+/// Shape errors as in [`sliced_multiply`]; [`KronError::NoFactors`] for an
+/// empty factor list.
+pub fn kron_matmul_fastkron<T: Element>(
+    x: &Matrix<T>,
+    factors: &[&Matrix<T>],
+) -> Result<Matrix<T>> {
+    if factors.is_empty() {
+        return Err(KronError::NoFactors);
+    }
+    let expected: usize = factors.iter().map(|f| f.rows()).product();
+    if x.cols() != expected {
+        return Err(KronError::ShapeMismatch {
+            expected: format!("X with ∏Pᵢ = {expected} cols"),
+            found: format!("X with {} cols", x.cols()),
+        });
+    }
+    let mut y = x.clone();
+    for f in factors.iter().rev() {
+        y = sliced_multiply(&y, f)?;
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_core::naive::kron_matmul_naive;
+    use kron_core::shuffle::kron_matmul_shuffle;
+    use kron_core::{assert_matrices_close, FactorShape, KronProblem};
+
+    fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
+        Matrix::from_fn(rows, cols, |r, c| ((start + 3 * r * cols + c) % 13) as f64 - 6.0)
+    }
+
+    #[test]
+    fn figure2_example_by_hand() {
+        // Figure 2 of the paper: X 2×4 with F² 2×2; first iteration result
+        // Y²[i][q·2+s] = Σ x[i][s·2+p]·f[p][q].
+        let x = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+        let f = Matrix::from_vec(2, 2, vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        let y = sliced_multiply(&x, &f).unwrap();
+        // Col 0 of F with slices (1,2) and (3,4): 1·10+2·30 = 70, 3·10+4·30 = 150.
+        // Col 1: 1·20+2·40 = 100, 3·20+4·40 = 220.
+        assert_eq!(y.row(0), &[70.0, 150.0, 100.0, 220.0]);
+        assert_eq!(y.row(1), &[5.0 * 10.0 + 6.0 * 30.0, 7.0 * 10.0 + 8.0 * 30.0, 5.0 * 20.0 + 6.0 * 40.0, 7.0 * 20.0 + 8.0 * 40.0]);
+    }
+
+    #[test]
+    fn iteration_equals_ftmmt_iteration() {
+        // FastKron's sliced multiply and the FTMMT contraction produce the
+        // same per-iteration map (the systems differ in *how*, not *what*).
+        let x = seq_matrix(5, 24, 2);
+        let f = seq_matrix(4, 3, 7);
+        let a = sliced_multiply(&x, &f).unwrap();
+        let b = kron_core::ftmmt::ftmmt_iteration(&x, &f).unwrap();
+        assert_matrices_close(&a, &b, "sliced vs ftmmt iteration");
+    }
+
+    #[test]
+    fn full_matches_naive_and_shuffle() {
+        let x = seq_matrix(4, 36, 1);
+        let a = seq_matrix(6, 2, 3);
+        let b = seq_matrix(6, 3, 8);
+        let got = kron_matmul_fastkron(&x, &[&a, &b]).unwrap();
+        assert_matrices_close(
+            &got,
+            &kron_matmul_naive(&x, &[&a, &b]).unwrap(),
+            "fastkron vs naive",
+        );
+        assert_matrices_close(
+            &got,
+            &kron_matmul_shuffle(&x, &[&a, &b]).unwrap(),
+            "fastkron vs shuffle",
+        );
+    }
+
+    #[test]
+    fn uniform_power_sizes() {
+        for &(m, p, n) in &[(1usize, 2usize, 6usize), (3, 4, 3), (16, 8, 2)] {
+            let problem = KronProblem::uniform(m, p, n).unwrap();
+            let x = seq_matrix(m, problem.input_cols(), 5);
+            let fs: Vec<Matrix<f64>> = (0..n).map(|i| seq_matrix(p, p, i)).collect();
+            let refs: Vec<&Matrix<f64>> = fs.iter().collect();
+            let got = kron_matmul_fastkron(&x, &refs).unwrap();
+            let oracle = kron_matmul_naive(&x, &refs).unwrap();
+            assert_matrices_close(&got, &oracle, &format!("uniform {m},{p},{n}"));
+        }
+    }
+
+    #[test]
+    fn mixed_rectangular_factors() {
+        // Table 4 row 6-style: 5×50-ish expanding factor mixes.
+        let shapes = [FactorShape::new(5, 2), FactorShape::new(2, 5), FactorShape::new(3, 3)];
+        let k: usize = shapes.iter().map(|s| s.p).product();
+        let x = seq_matrix(7, k, 0);
+        let fs: Vec<Matrix<f64>> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| seq_matrix(s.p, s.q, i * 2))
+            .collect();
+        let refs: Vec<&Matrix<f64>> = fs.iter().collect();
+        let got = kron_matmul_fastkron(&x, &refs).unwrap();
+        let oracle = kron_matmul_naive(&x, &refs).unwrap();
+        assert_matrices_close(&got, &oracle, "mixed rectangular");
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Exceed PAR_MIN_ELEMENTS to exercise the rayon path.
+        let x = seq_matrix(8, 4096, 3);
+        let f = seq_matrix(8, 8, 1);
+        let big = sliced_multiply(&x, &f).unwrap();
+        // Compute a few spot values serially.
+        for &(i, s, q) in &[(0usize, 0usize, 0usize), (7, 511, 7), (3, 100, 5)] {
+            let mut acc = 0.0;
+            for p in 0..8 {
+                acc += x[(i, s * 8 + p)] * f[(p, q)];
+            }
+            let got = big[(i, q * 512 + s)];
+            assert!((got - acc).abs() < 1e-9, "({i},{s},{q}): {got} vs {acc}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let x = Matrix::<f64>::zeros(2, 9);
+        let f = Matrix::<f64>::identity(2);
+        assert!(sliced_multiply(&x, &f).is_err());
+        assert!(kron_matmul_fastkron(&x, &[&f, &f]).is_err());
+        assert!(kron_matmul_fastkron::<f64>(&x, &[]).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # fastkron-core
+//!
+//! The paper's contribution: Kron-Matmul by *sliced multiplication*
+//! (Algorithm 1), a tiled kernel with shift caching (§4.1), fusion of
+//! consecutive sliced multiplications in shared memory (§4.2), and an
+//! autotuner over tile sizes (§4.3).
+//!
+//! Three execution layers are provided:
+//!
+//! * [`algorithm`] — fast, rayon-parallel functional execution (produces
+//!   the numbers),
+//! * [`kernel`] / [`fused`] — thread-block-accurate emulation of the CUDA
+//!   kernels, usable both functionally (tests) and in address-only trace
+//!   mode (performance counters),
+//! * [`engine`] — the public planned API: [`FastKron::plan`] autotunes tile
+//!   sizes for a problem on a device, [`KronPlan::execute`] computes, and
+//!   [`KronPlan::simulate`] produces a simulated-time [`gpu_sim::ExecReport`].
+
+#![deny(missing_docs)]
+
+pub mod algorithm;
+pub mod engine;
+pub mod fused;
+pub mod kernel;
+pub mod tile;
+pub mod tuner;
+
+pub use engine::{FastKron, KronPlan, PlanStage};
+pub use tile::{Caching, TileConfig};
+pub use tuner::{AutoTuner, Constraints, TuneOutcome, TuneReport};

@@ -1,0 +1,401 @@
+//! Roofline kernel timing with occupancy and wave quantization.
+
+use crate::device::DeviceSpec;
+use crate::stats::KernelStats;
+use kron_core::{DType, KronError, Result};
+
+/// Launch geometry and per-block resource usage of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Total thread blocks in the grid.
+    pub grid_blocks: usize,
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Shared memory allocated per block, bytes.
+    pub shared_mem_per_block: usize,
+    /// Registers used per thread (32-bit each).
+    pub regs_per_thread: usize,
+}
+
+/// Residency outcome for a launch on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: usize,
+    /// Resident warps per SM.
+    pub warps_per_sm: usize,
+    /// Fraction of the device's warp capacity in use (0‥1).
+    pub occupancy: f64,
+    /// Which resource capped residency.
+    pub limiter: OccupancyLimiter,
+}
+
+/// The resource that limited how many blocks fit on an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimiter {
+    /// Hardware cap on resident blocks.
+    BlockSlots,
+    /// Shared-memory capacity.
+    SharedMemory,
+    /// Register file.
+    Registers,
+    /// Resident-thread cap.
+    Threads,
+}
+
+/// Which roofline term dominated a kernel's time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Arithmetic throughput.
+    Compute,
+    /// DRAM bandwidth.
+    Dram,
+    /// Shared-memory throughput (bank conflicts inflate this).
+    SharedMemory,
+}
+
+/// Timing breakdown of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTime {
+    /// Seconds the arithmetic pipeline needs.
+    pub compute_s: f64,
+    /// Seconds the DRAM traffic needs.
+    pub dram_s: f64,
+    /// Seconds the shared-memory traffic needs.
+    pub smem_s: f64,
+    /// Fixed launch overhead.
+    pub overhead_s: f64,
+    /// Final simulated time (roofline max × wave quantization + overhead).
+    pub total_s: f64,
+    /// Dominant roofline term.
+    pub bound: Bound,
+}
+
+/// Analytic timing model over a [`DeviceSpec`].
+///
+/// `t = max(flops/C, dram_bytes/BW_dram, smem_transactions·W/BW_smem) ×
+/// wave_quantization + launch_overhead`, with the compute and
+/// shared-memory capacities `C` scaled by (a) how many SMs the grid can
+/// cover and (b) an issue-efficiency term that degrades when occupancy is
+/// too low to hide latency.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    device: DeviceSpec,
+    /// Fraction of peak arithmetic a well-tuned kernel sustains (address
+    /// arithmetic, predication and epilogues keep this below 1.0; 0.90
+    /// reproduces the paper's "87% of maximum FLOPS" at the largest size).
+    pub compute_efficiency: f64,
+}
+
+impl CostModel {
+    /// Builds a cost model for `device` with default efficiency constants.
+    pub fn new(device: &DeviceSpec) -> Self {
+        CostModel {
+            device: device.clone(),
+            compute_efficiency: 0.90,
+        }
+    }
+
+    /// The device this model times for.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Computes residency for a launch.
+    ///
+    /// # Errors
+    /// [`KronError::ResourceExhausted`] when even a single block exceeds a
+    /// per-SM or per-block limit.
+    pub fn occupancy(&self, cfg: &LaunchConfig) -> Result<Occupancy> {
+        let d = &self.device;
+        if cfg.threads_per_block == 0 || cfg.grid_blocks == 0 {
+            return Err(KronError::ResourceExhausted {
+                what: "empty launch".into(),
+            });
+        }
+        if cfg.threads_per_block > d.max_threads_per_block {
+            return Err(KronError::ResourceExhausted {
+                what: format!(
+                    "{} threads/block > device limit {}",
+                    cfg.threads_per_block, d.max_threads_per_block
+                ),
+            });
+        }
+        if cfg.shared_mem_per_block > d.shared_mem_per_block {
+            return Err(KronError::ResourceExhausted {
+                what: format!(
+                    "{} B shared/block > device limit {} B",
+                    cfg.shared_mem_per_block, d.shared_mem_per_block
+                ),
+            });
+        }
+        if cfg.regs_per_thread > d.max_registers_per_thread {
+            return Err(KronError::ResourceExhausted {
+                what: format!(
+                    "{} regs/thread > device limit {}",
+                    cfg.regs_per_thread, d.max_registers_per_thread
+                ),
+            });
+        }
+
+        let mut blocks = d.max_blocks_per_sm;
+        let mut limiter = OccupancyLimiter::BlockSlots;
+
+        let by_threads = d.max_threads_per_sm / cfg.threads_per_block;
+        if by_threads < blocks {
+            blocks = by_threads;
+            limiter = OccupancyLimiter::Threads;
+        }
+        if let Some(by_smem) = d.shared_mem_per_sm.checked_div(cfg.shared_mem_per_block) {
+            if by_smem < blocks {
+                blocks = by_smem;
+                limiter = OccupancyLimiter::SharedMemory;
+            }
+        }
+        let regs_per_block = cfg.regs_per_thread.max(1) * cfg.threads_per_block;
+        let by_regs = d.registers_per_sm / regs_per_block;
+        if by_regs < blocks {
+            blocks = by_regs;
+            limiter = OccupancyLimiter::Registers;
+        }
+        if blocks == 0 {
+            return Err(KronError::ResourceExhausted {
+                what: format!("block needs more {limiter:?} than one SM has"),
+            });
+        }
+
+        let warps_per_block = cfg.threads_per_block.div_ceil(d.warp_size);
+        let warps = blocks * warps_per_block;
+        Ok(Occupancy {
+            blocks_per_sm: blocks,
+            warps_per_sm: warps,
+            occupancy: warps as f64 / d.max_warps_per_sm() as f64,
+            limiter,
+        })
+    }
+
+    /// Times a kernel launch whose aggregate work is described by `stats`.
+    ///
+    /// # Errors
+    /// Propagates occupancy failures.
+    pub fn kernel_time(
+        &self,
+        cfg: &LaunchConfig,
+        stats: &KernelStats,
+        dtype: DType,
+    ) -> Result<KernelTime> {
+        let d = &self.device;
+        let occ = self.occupancy(cfg)?;
+
+        // Issue efficiency: below `full_throughput_occupancy`, there are too
+        // few resident warps to hide pipeline/memory latency.
+        let issue_eff = (occ.occupancy / d.full_throughput_occupancy).min(1.0);
+        // SM coverage: a grid smaller than the SM count leaves SMs idle.
+        let sm_coverage = (cfg.grid_blocks as f64 / d.sm_count as f64).min(1.0);
+
+        let compute_capacity =
+            d.peak_flops(dtype) * self.compute_efficiency * issue_eff * sm_coverage;
+        let smem_capacity = d.shared_mem_bw() * issue_eff * sm_coverage;
+
+        let compute_s = stats.flops as f64 / compute_capacity;
+        let dram_s = (stats.gmem_sectors() * d.dram_sector_bytes as u64) as f64 / d.dram_bw;
+        let smem_s =
+            (stats.smem_transactions() * d.shared_transaction_bytes() as u64) as f64 / smem_capacity;
+
+        // Wave quantization: the tail wave occupies the device as long as a
+        // full one.
+        let concurrent = occ.blocks_per_sm * d.sm_count;
+        let waves = cfg.grid_blocks.div_ceil(concurrent);
+        let quant = if waves > 1 {
+            (waves * concurrent) as f64 / cfg.grid_blocks as f64
+        } else {
+            1.0
+        };
+
+        let (bound, peak_term) = {
+            let mut b = Bound::Compute;
+            let mut t = compute_s;
+            if dram_s > t {
+                b = Bound::Dram;
+                t = dram_s;
+            }
+            if smem_s > t {
+                b = Bound::SharedMemory;
+                t = smem_s;
+            }
+            (b, t)
+        };
+
+        Ok(KernelTime {
+            compute_s,
+            dram_s,
+            smem_s,
+            overhead_s: d.kernel_launch_overhead,
+            total_s: peak_term * quant + d.kernel_launch_overhead,
+            bound,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::V100;
+
+    fn model() -> CostModel {
+        CostModel::new(&V100)
+    }
+
+    fn cfg(grid: usize, threads: usize, smem: usize, regs: usize) -> LaunchConfig {
+        LaunchConfig {
+            grid_blocks: grid,
+            threads_per_block: threads,
+            shared_mem_per_block: smem,
+            regs_per_thread: regs,
+        }
+    }
+
+    #[test]
+    fn occupancy_thread_limited() {
+        let o = model().occupancy(&cfg(1000, 1024, 0, 32)).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, OccupancyLimiter::Threads);
+        assert_eq!(o.occupancy, 1.0);
+    }
+
+    #[test]
+    fn occupancy_shared_limited() {
+        let o = model().occupancy(&cfg(1000, 128, 48 * 1024, 32)).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn occupancy_register_limited() {
+        let o = model().occupancy(&cfg(1000, 256, 0, 255)).unwrap();
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, OccupancyLimiter::Registers);
+    }
+
+    #[test]
+    fn occupancy_rejects_oversized_block() {
+        assert!(model().occupancy(&cfg(1, 2048, 0, 32)).is_err());
+        assert!(model().occupancy(&cfg(1, 128, 200 * 1024, 32)).is_err());
+        assert!(model().occupancy(&cfg(0, 128, 0, 32)).is_err());
+    }
+
+    #[test]
+    fn compute_bound_kernel_near_peak() {
+        // A huge, high-occupancy, FLOP-heavy launch should run at
+        // compute_efficiency × peak.
+        let stats = KernelStats {
+            flops: 1_570_000_000_000, // 0.1 s at peak f32
+            ..Default::default()
+        };
+        let t = model()
+            .kernel_time(&cfg(80 * 16, 256, 8 * 1024, 64), &stats, DType::F32)
+            .unwrap();
+        assert_eq!(t.bound, Bound::Compute);
+        let achieved = stats.flops as f64 / t.total_s / 15.7e12;
+        assert!((0.80..=0.95).contains(&achieved), "achieved {achieved}");
+    }
+
+    #[test]
+    fn dram_bound_kernel_at_bandwidth() {
+        let stats = KernelStats {
+            flops: 1000,
+            gmem_load_sectors: 900_000_000 / 32, // ~0.9 GB -> ~1 ms
+            ..Default::default()
+        };
+        let t = model()
+            .kernel_time(&cfg(80 * 8, 256, 0, 32), &stats, DType::F32)
+            .unwrap();
+        assert_eq!(t.bound, Bound::Dram);
+        assert!((t.total_s - 1e-3).abs() / 1e-3 < 0.1, "t = {}", t.total_s);
+    }
+
+    #[test]
+    fn bank_conflicts_slow_smem_bound_kernel() {
+        let base = KernelStats {
+            flops: 1,
+            smem_load_transactions: 1_000_000_000,
+            smem_load_ideal: 1_000_000_000,
+            ..Default::default()
+        };
+        let conflicted = KernelStats {
+            smem_load_transactions: 4_000_000_000, // 4-way conflicts
+            ..base
+        };
+        let m = model();
+        let c = cfg(80 * 8, 256, 16 * 1024, 64);
+        let t0 = m.kernel_time(&c, &base, DType::F32).unwrap();
+        let t1 = m.kernel_time(&c, &conflicted, DType::F32).unwrap();
+        assert_eq!(t1.bound, Bound::SharedMemory);
+        assert!(t1.total_s > 3.0 * t0.total_s);
+    }
+
+    #[test]
+    fn f64_peak_is_half() {
+        let stats = KernelStats {
+            flops: 780_000_000_000,
+            ..Default::default()
+        };
+        let c = cfg(80 * 8, 256, 0, 64);
+        let t32 = model().kernel_time(&c, &stats, DType::F32).unwrap();
+        let t64 = model().kernel_time(&c, &stats, DType::F64).unwrap();
+        let ratio = t64.total_s / t32.total_s;
+        assert!((ratio - 15.7 / 7.8).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_grid_underuses_device() {
+        let stats = KernelStats {
+            flops: 1_000_000_000,
+            ..Default::default()
+        };
+        let t_small = model()
+            .kernel_time(&cfg(8, 256, 0, 64), &stats, DType::F32)
+            .unwrap();
+        // 640 blocks = exactly one full wave (8 blocks/SM × 80 SMs).
+        let t_big = model()
+            .kernel_time(&cfg(640, 256, 0, 64), &stats, DType::F32)
+            .unwrap();
+        // 8 blocks can cover only 10% of the SMs.
+        assert!(t_small.total_s > 8.0 * t_big.total_s);
+    }
+
+    #[test]
+    fn wave_quantization_penalizes_tail() {
+        let m = model();
+        // blocks_per_sm = 8 with these resources → concurrent = 640.
+        let make = |grid: usize| {
+            let stats = KernelStats {
+                flops: grid as u64 * 1_000_000,
+                ..Default::default()
+            };
+            m.kernel_time(&cfg(grid, 256, 12 * 1024, 32), &stats, DType::F32)
+                .unwrap()
+                .total_s
+        };
+        let full = make(1280); // exactly 2 waves
+        let tail = make(1281); // 2 waves + 1 block -> 3 waves
+        assert!(tail > full * 1.3, "tail {tail} full {full}");
+    }
+
+    #[test]
+    fn low_occupancy_degrades_issue_rate() {
+        let stats = KernelStats {
+            flops: 10_000_000_000,
+            ..Default::default()
+        };
+        let m = model();
+        // One 32-thread block per SM: occupancy 1/64 ≪ 0.25.
+        let t_low = m
+            .kernel_time(&cfg(80, 32, 90 * 1024, 32), &stats, DType::F32)
+            .unwrap();
+        let t_high = m
+            .kernel_time(&cfg(80 * 8, 256, 8 * 1024, 32), &stats, DType::F32)
+            .unwrap();
+        assert!(t_low.total_s > 5.0 * t_high.total_s);
+    }
+}

@@ -1,0 +1,179 @@
+//! Device descriptions for the simulated GPUs.
+
+use kron_core::DType;
+
+/// Static description of one GPU model.
+///
+/// All bandwidth figures are bytes/second; all capacities bytes unless noted.
+/// The V100 preset matches the paper's evaluation hardware (DGX-2, Tesla
+/// V100-SXM3 32 GB, NVLink 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, used in reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Threads per warp (and shared-memory banks — they coincide on every
+    /// recent NVIDIA part).
+    pub warp_size: usize,
+    /// Number of shared-memory banks.
+    pub shared_banks: usize,
+    /// Width of one shared-memory bank word in bytes.
+    pub bank_width_bytes: usize,
+    /// Usable shared memory per SM.
+    pub shared_mem_per_sm: usize,
+    /// Maximum shared memory one thread block may allocate.
+    pub shared_mem_per_block: usize,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: usize,
+    /// Maximum registers one thread may use.
+    pub max_registers_per_thread: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak single-precision throughput, FLOP/s.
+    pub peak_flops_f32: f64,
+    /// Peak double-precision throughput, FLOP/s.
+    pub peak_flops_f64: f64,
+    /// DRAM (HBM2) bandwidth, bytes/s.
+    pub dram_bw: f64,
+    /// Size of one DRAM access sector in bytes (coalescing granularity).
+    pub dram_sector_bytes: usize,
+    /// Total device memory.
+    pub global_mem_bytes: usize,
+    /// L2 cache size.
+    pub l2_bytes: usize,
+    /// Fixed host-side cost of one kernel launch, seconds.
+    pub kernel_launch_overhead: f64,
+    /// Aggregate NVLink egress bandwidth per GPU, bytes/s (6 links ×
+    /// 25 GB/s on NVLink 2).
+    pub nvlink_bw: f64,
+    /// Per-message NVLink/NCCL latency, seconds.
+    pub nvlink_latency: f64,
+    /// Fraction of the resident-warp limit needed to reach peak issue rate;
+    /// below this, throughput degrades linearly (latency hiding runs out).
+    pub full_throughput_occupancy: f64,
+}
+
+impl DeviceSpec {
+    /// Peak FLOP/s for the given element type.
+    pub fn peak_flops(&self, dtype: DType) -> f64 {
+        match dtype {
+            DType::F32 => self.peak_flops_f32,
+            DType::F64 => self.peak_flops_f64,
+        }
+    }
+
+    /// Aggregate shared-memory throughput in bytes/s: every SM can service
+    /// one conflict-free warp transaction (`banks × bank_width` bytes) per
+    /// clock.
+    pub fn shared_mem_bw(&self) -> f64 {
+        self.sm_count as f64
+            * (self.shared_banks * self.bank_width_bytes) as f64
+            * self.clock_ghz
+            * 1e9
+    }
+
+    /// Bytes moved by one conflict-free shared-memory transaction.
+    pub fn shared_transaction_bytes(&self) -> usize {
+        self.shared_banks * self.bank_width_bytes
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> usize {
+        self.max_threads_per_sm / self.warp_size
+    }
+}
+
+/// NVIDIA Tesla V100-SXM3 32 GB — the paper's GPU.
+///
+/// 15.7 TFLOPS f32 / 7.8 TFLOPS f64 and 900 GB/s HBM2 are the figures the
+/// paper quotes in §6 ("Each Tesla V100 GPU contains 32 GB of global memory,
+/// and provides 15.7 TFLOPS for float and 7.8 TFLOPS for double").
+pub const V100: DeviceSpec = DeviceSpec {
+    name: "Tesla V100-SXM3-32GB",
+    sm_count: 80,
+    warp_size: 32,
+    shared_banks: 32,
+    bank_width_bytes: 4,
+    shared_mem_per_sm: 96 * 1024,
+    shared_mem_per_block: 96 * 1024,
+    registers_per_sm: 65536,
+    max_registers_per_thread: 255,
+    max_threads_per_sm: 2048,
+    max_threads_per_block: 1024,
+    max_blocks_per_sm: 32,
+    clock_ghz: 1.53,
+    peak_flops_f32: 15.7e12,
+    peak_flops_f64: 7.8e12,
+    dram_bw: 900e9,
+    dram_sector_bytes: 32,
+    global_mem_bytes: 32 * 1024 * 1024 * 1024,
+    l2_bytes: 6 * 1024 * 1024,
+    kernel_launch_overhead: 5e-6,
+    nvlink_bw: 150e9,
+    nvlink_latency: 5e-6,
+    full_throughput_occupancy: 0.25,
+};
+
+/// NVIDIA A100-SXM4 40 GB — provided so users can explore a second target;
+/// not used by the paper's experiments.
+pub const A100: DeviceSpec = DeviceSpec {
+    name: "A100-SXM4-40GB",
+    sm_count: 108,
+    warp_size: 32,
+    shared_banks: 32,
+    bank_width_bytes: 4,
+    shared_mem_per_sm: 164 * 1024,
+    shared_mem_per_block: 164 * 1024,
+    registers_per_sm: 65536,
+    max_registers_per_thread: 255,
+    max_threads_per_sm: 2048,
+    max_threads_per_block: 1024,
+    max_blocks_per_sm: 32,
+    clock_ghz: 1.41,
+    peak_flops_f32: 19.5e12,
+    peak_flops_f64: 9.7e12,
+    dram_bw: 1555e9,
+    dram_sector_bytes: 32,
+    global_mem_bytes: 40 * 1024 * 1024 * 1024,
+    l2_bytes: 40 * 1024 * 1024,
+    kernel_launch_overhead: 5e-6,
+    nvlink_bw: 300e9,
+    nvlink_latency: 5e-6,
+    full_throughput_occupancy: 0.25,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_matches_paper_figures() {
+        assert_eq!(V100.peak_flops(DType::F32), 15.7e12);
+        assert_eq!(V100.peak_flops(DType::F64), 7.8e12);
+        assert_eq!(V100.sm_count, 80);
+        assert_eq!(V100.warp_size, 32);
+        assert_eq!(V100.global_mem_bytes, 32 << 30);
+    }
+
+    #[test]
+    fn shared_bandwidth_scale() {
+        // 80 SMs × 128 B/clock × 1.53 GHz ≈ 15.7 TB/s — an order of
+        // magnitude above DRAM, as on real hardware.
+        let bw = V100.shared_mem_bw();
+        assert!(bw > 10.0 * V100.dram_bw, "shared bw {bw:e}");
+        assert_eq!(V100.shared_transaction_bytes(), 128);
+    }
+
+    #[test]
+    fn warp_limits() {
+        assert_eq!(V100.max_warps_per_sm(), 64);
+        assert_eq!(A100.max_warps_per_sm(), 64);
+    }
+}

@@ -1,0 +1,38 @@
+//! # gpu-sim
+//!
+//! A trace-driven GPU performance model standing in for the NVIDIA Tesla
+//! V100 hardware the paper evaluates on (see DESIGN.md §1 for the
+//! substitution argument).
+//!
+//! The model has three layers:
+//!
+//! 1. **Device description** ([`device::DeviceSpec`]) — SM count, warp size,
+//!    shared-memory banks, register file, peak FLOPS per data type, DRAM
+//!    bandwidth, NVLink bandwidth. Presets for V100 (the paper's GPU) and
+//!    A100 are provided.
+//! 2. **Access accounting** ([`trace::Tracer`]) — kernels report each warp's
+//!    shared-memory and global-memory accesses; the tracer converts them to
+//!    transactions using the hardware rules (bank-conflict replays for
+//!    shared memory, 32-byte sector coalescing for global memory). This is
+//!    what reproduces Table 2 of the paper.
+//! 3. **Timing** ([`cost::CostModel`]) — a roofline over compute, DRAM and
+//!    shared-memory throughput, scaled by occupancy and wave quantization,
+//!    plus analytic models for the baseline building blocks the paper's
+//!    rivals use: cuBLAS skinny GEMM ([`models::CublasModel`]) and the
+//!    3-D inner transpose ([`models::TransposeModel`]).
+//!
+//! Nothing in this crate computes numerical results; it only counts and
+//! times. Functional execution lives with each engine.
+
+#![deny(missing_docs)]
+
+pub mod cost;
+pub mod device;
+pub mod models;
+pub mod stats;
+pub mod trace;
+
+pub use cost::{CostModel, LaunchConfig};
+pub use device::{DeviceSpec, A100, V100};
+pub use stats::{ExecReport, KernelStats, StepTiming};
+pub use trace::Tracer;

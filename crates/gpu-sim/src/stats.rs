@@ -1,0 +1,222 @@
+//! Kernel statistics and execution reports.
+
+use std::ops::AddAssign;
+
+/// Raw event counts for one kernel launch (or an aggregation of launches).
+///
+/// `smem_*_transactions` are in hardware transaction units — the quantity
+/// `nvprof`'s `shared_load_transactions` / `shared_store_transactions`
+/// counters report and the unit of Table 2 in the paper. `gmem_*_sectors`
+/// are 32-byte DRAM sectors (the coalescing granularity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Floating-point operations executed (multiply and add counted
+    /// separately, i.e. one FMA = 2).
+    pub flops: u64,
+    /// Shared-memory load transactions, including bank-conflict replays.
+    pub smem_load_transactions: u64,
+    /// Shared-memory store transactions, including bank-conflict replays.
+    pub smem_store_transactions: u64,
+    /// Minimum transactions the same loads would need with zero conflicts
+    /// (for conflict-rate reporting).
+    pub smem_load_ideal: u64,
+    /// Minimum transactions the same stores would need with zero conflicts.
+    pub smem_store_ideal: u64,
+    /// Global-memory load sectors (32 B each).
+    pub gmem_load_sectors: u64,
+    /// Global-memory store sectors (32 B each).
+    pub gmem_store_sectors: u64,
+    /// Bytes the kernel actually needed from global memory (for coalescing
+    /// efficiency reporting).
+    pub gmem_useful_bytes: u64,
+    /// `__syncthreads()` executions (per block).
+    pub barriers: u64,
+}
+
+impl KernelStats {
+    /// Total shared-memory transactions (loads + stores).
+    pub fn smem_transactions(&self) -> u64 {
+        self.smem_load_transactions + self.smem_store_transactions
+    }
+
+    /// Total global sectors (loads + stores).
+    pub fn gmem_sectors(&self) -> u64 {
+        self.gmem_load_sectors + self.gmem_store_sectors
+    }
+
+    /// Ratio of actual to conflict-free shared transactions (1.0 = no
+    /// conflicts; the paper's direct-caching counterexample gives ≫ 1).
+    pub fn bank_conflict_factor(&self) -> f64 {
+        let ideal = self.smem_load_ideal + self.smem_store_ideal;
+        if ideal == 0 {
+            return 1.0;
+        }
+        self.smem_transactions() as f64 / ideal as f64
+    }
+
+    /// Multiplies every counter by `n` — used to extrapolate a
+    /// representative thread block's trace to the full grid (all FastKron
+    /// blocks execute the same access pattern modulo base offsets).
+    pub fn scaled(&self, n: u64) -> KernelStats {
+        KernelStats {
+            flops: self.flops * n,
+            smem_load_transactions: self.smem_load_transactions * n,
+            smem_store_transactions: self.smem_store_transactions * n,
+            smem_load_ideal: self.smem_load_ideal * n,
+            smem_store_ideal: self.smem_store_ideal * n,
+            gmem_load_sectors: self.gmem_load_sectors * n,
+            gmem_store_sectors: self.gmem_store_sectors * n,
+            gmem_useful_bytes: self.gmem_useful_bytes * n,
+            barriers: self.barriers * n,
+        }
+    }
+}
+
+impl AddAssign for KernelStats {
+    fn add_assign(&mut self, rhs: KernelStats) {
+        self.flops += rhs.flops;
+        self.smem_load_transactions += rhs.smem_load_transactions;
+        self.smem_store_transactions += rhs.smem_store_transactions;
+        self.smem_load_ideal += rhs.smem_load_ideal;
+        self.smem_store_ideal += rhs.smem_store_ideal;
+        self.gmem_load_sectors += rhs.gmem_load_sectors;
+        self.gmem_store_sectors += rhs.gmem_store_sectors;
+        self.gmem_useful_bytes += rhs.gmem_useful_bytes;
+        self.barriers += rhs.barriers;
+    }
+}
+
+/// Timing of one named step of an engine (e.g. the shuffle algorithm's
+/// "matmul" vs "transpose" split in Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTiming {
+    /// Step label ("matmul", "transpose", "sliced-multiply", "comm", …).
+    pub label: String,
+    /// Simulated seconds spent in this step across the whole run.
+    pub seconds: f64,
+}
+
+/// Complete simulated-execution report for one engine on one problem.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// Engine name ("FastKron", "GPyTorch", "COGENT", …).
+    pub engine: String,
+    /// Total simulated time in seconds.
+    pub seconds: f64,
+    /// Per-step breakdown; sums to `seconds` (communication may overlap in
+    /// distributed engines, in which case the breakdown records exposed
+    /// time only).
+    pub steps: Vec<StepTiming>,
+    /// Aggregated hardware counters.
+    pub stats: KernelStats,
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Bytes sent over inter-GPU links (0 for single-GPU runs).
+    pub comm_bytes: u64,
+}
+
+impl ExecReport {
+    /// Creates an empty report for `engine`.
+    pub fn new(engine: impl Into<String>) -> Self {
+        ExecReport {
+            engine: engine.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds `seconds` under the step `label`, merging with an existing step
+    /// of the same name.
+    pub fn add_step(&mut self, label: &str, seconds: f64) {
+        self.seconds += seconds;
+        if let Some(s) = self.steps.iter_mut().find(|s| s.label == label) {
+            s.seconds += seconds;
+        } else {
+            self.steps.push(StepTiming {
+                label: label.to_string(),
+                seconds,
+            });
+        }
+    }
+
+    /// Seconds recorded under `label` (0.0 when absent).
+    pub fn step_seconds(&self, label: &str) -> f64 {
+        self.steps
+            .iter()
+            .find(|s| s.label == label)
+            .map_or(0.0, |s| s.seconds)
+    }
+
+    /// Achieved TFLOPS given the algorithmic FLOP count `flops`
+    /// (the paper reports TFLOPS against the iterative-algorithm count,
+    /// not the hardware count).
+    pub fn tflops(&self, flops: u64) -> f64 {
+        if self.seconds == 0.0 {
+            return 0.0;
+        }
+        flops as f64 / self.seconds / 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate_and_scale() {
+        let mut a = KernelStats {
+            flops: 10,
+            smem_load_transactions: 4,
+            smem_store_transactions: 2,
+            smem_load_ideal: 2,
+            smem_store_ideal: 2,
+            gmem_load_sectors: 8,
+            gmem_store_sectors: 1,
+            gmem_useful_bytes: 256,
+            barriers: 1,
+        };
+        let b = a;
+        a += b;
+        assert_eq!(a.flops, 20);
+        assert_eq!(a.smem_transactions(), 12);
+        assert_eq!(a.gmem_sectors(), 18);
+        let s = b.scaled(3);
+        assert_eq!(s.flops, 30);
+        assert_eq!(s.smem_load_transactions, 12);
+        assert_eq!(s.gmem_useful_bytes, 768);
+    }
+
+    #[test]
+    fn conflict_factor() {
+        let s = KernelStats {
+            smem_load_transactions: 8,
+            smem_store_transactions: 0,
+            smem_load_ideal: 2,
+            smem_store_ideal: 0,
+            ..Default::default()
+        };
+        assert_eq!(s.bank_conflict_factor(), 4.0);
+        assert_eq!(KernelStats::default().bank_conflict_factor(), 1.0);
+    }
+
+    #[test]
+    fn report_steps_merge() {
+        let mut r = ExecReport::new("test");
+        r.add_step("matmul", 1.0);
+        r.add_step("transpose", 3.0);
+        r.add_step("matmul", 0.5);
+        assert_eq!(r.seconds, 4.5);
+        assert_eq!(r.step_seconds("matmul"), 1.5);
+        assert_eq!(r.step_seconds("transpose"), 3.0);
+        assert_eq!(r.step_seconds("missing"), 0.0);
+        assert_eq!(r.steps.len(), 2);
+    }
+
+    #[test]
+    fn tflops_math() {
+        let mut r = ExecReport::new("t");
+        r.seconds = 2.0;
+        assert_eq!(r.tflops(4_000_000_000_000), 2.0);
+        let empty = ExecReport::new("e");
+        assert_eq!(empty.tflops(100), 0.0);
+    }
+}

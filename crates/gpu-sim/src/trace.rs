@@ -1,0 +1,262 @@
+//! Warp-level memory-access accounting.
+//!
+//! Kernels report, for each executed shared-memory or global-memory
+//! instruction, the set of addresses the warp's active lanes touch. The
+//! tracer converts these into hardware transaction counts:
+//!
+//! * **Shared memory**: the warp's word addresses are grouped by bank
+//!   (`word % banks`). A bank serving `k` *distinct* words forces `k`
+//!   serialized transactions (replays); lanes reading the *same* word are
+//!   broadcast in one transaction. The instruction therefore costs
+//!   `max over banks of distinct-words-in-bank` transactions — exactly the
+//!   replay rule the paper's §4.1 reasons about.
+//! * **Global memory**: addresses are grouped into 32-byte sectors; each
+//!   distinct sector is one DRAM transaction. A fully coalesced warp of
+//!   32 f32 lanes touches 4 sectors; a stride-32 pattern touches 32.
+//!
+//! Elements wider than one bank word (f64) are modelled as two word
+//! accesses per lane, matching how Volta services 64-bit shared loads in
+//! two 32-bit phases.
+
+use crate::device::DeviceSpec;
+use crate::stats::KernelStats;
+
+/// Which direction an access moves data (selects the load or store counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Memory → registers.
+    Load,
+    /// Registers → memory.
+    Store,
+}
+
+/// Accumulates transaction counts for one kernel launch.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    /// Counters being built up.
+    pub stats: KernelStats,
+    banks: usize,
+    bank_width: usize,
+    warp_size: usize,
+    sector_bytes: usize,
+    /// Scratch: distinct words per bank for the current instruction.
+    scratch_words: Vec<Vec<usize>>,
+}
+
+impl Tracer {
+    /// Creates a tracer for the given device.
+    pub fn new(device: &DeviceSpec) -> Self {
+        Tracer {
+            stats: KernelStats::default(),
+            banks: device.shared_banks,
+            bank_width: device.bank_width_bytes,
+            warp_size: device.warp_size,
+            sector_bytes: device.dram_sector_bytes,
+            scratch_words: vec![Vec::new(); device.shared_banks],
+        }
+    }
+
+    /// Warp size the tracer groups lanes by.
+    pub fn warp_size(&self) -> usize {
+        self.warp_size
+    }
+
+    /// Records `n` floating-point operations.
+    #[inline]
+    pub fn flops(&mut self, n: u64) {
+        self.stats.flops += n;
+    }
+
+    /// Records one `__syncthreads()`.
+    #[inline]
+    pub fn barrier(&mut self) {
+        self.stats.barriers += 1;
+    }
+
+    /// Records one shared-memory instruction executed by a warp.
+    ///
+    /// `byte_addrs` holds the shared-memory *byte* address touched by each
+    /// active lane; `elem_bytes` is the element width (4 or 8). Returns the
+    /// number of transactions charged.
+    pub fn shared_access(&mut self, dir: Dir, byte_addrs: &[usize], elem_bytes: usize) -> u64 {
+        if byte_addrs.is_empty() {
+            return 0;
+        }
+        debug_assert!(byte_addrs.len() <= self.warp_size);
+        let words_per_elem = elem_bytes.div_ceil(self.bank_width);
+
+        for b in &mut self.scratch_words {
+            b.clear();
+        }
+        for &addr in byte_addrs {
+            let word0 = addr / self.bank_width;
+            for w in word0..word0 + words_per_elem {
+                let bank = w % self.banks;
+                if !self.scratch_words[bank].contains(&w) {
+                    self.scratch_words[bank].push(w);
+                }
+            }
+        }
+        let transactions = self
+            .scratch_words
+            .iter()
+            .map(|v| v.len())
+            .max()
+            .unwrap_or(0) as u64;
+        // A conflict-free warp instruction needs one transaction per
+        // 32-bit phase (two for f64).
+        let ideal = words_per_elem as u64;
+        match dir {
+            Dir::Load => {
+                self.stats.smem_load_transactions += transactions;
+                self.stats.smem_load_ideal += ideal;
+            }
+            Dir::Store => {
+                self.stats.smem_store_transactions += transactions;
+                self.stats.smem_store_ideal += ideal;
+            }
+        }
+        transactions
+    }
+
+    /// Records one global-memory instruction executed by a warp.
+    ///
+    /// `byte_addrs` holds the global byte address per active lane. Returns
+    /// the number of 32-byte sectors charged.
+    pub fn global_access(&mut self, dir: Dir, byte_addrs: &[usize], elem_bytes: usize) -> u64 {
+        if byte_addrs.is_empty() {
+            return 0;
+        }
+        let mut sectors: Vec<usize> = Vec::with_capacity(byte_addrs.len() * 2);
+        for &addr in byte_addrs {
+            let first = addr / self.sector_bytes;
+            let last = (addr + elem_bytes - 1) / self.sector_bytes;
+            for s in first..=last {
+                if !sectors.contains(&s) {
+                    sectors.push(s);
+                }
+            }
+        }
+        let n = sectors.len() as u64;
+        self.stats.gmem_useful_bytes += (byte_addrs.len() * elem_bytes) as u64;
+        match dir {
+            Dir::Load => self.stats.gmem_load_sectors += n,
+            Dir::Store => self.stats.gmem_store_sectors += n,
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::V100;
+
+    fn tracer() -> Tracer {
+        Tracer::new(&V100)
+    }
+
+    #[test]
+    fn shared_conflict_free_is_one_transaction() {
+        let mut t = tracer();
+        // 32 lanes touching consecutive f32 words: banks 0..31, one each.
+        let addrs: Vec<usize> = (0..32).map(|l| l * 4).collect();
+        assert_eq!(t.shared_access(Dir::Load, &addrs, 4), 1);
+        assert_eq!(t.stats.smem_load_transactions, 1);
+        assert_eq!(t.stats.bank_conflict_factor(), 1.0);
+    }
+
+    #[test]
+    fn shared_same_word_broadcasts() {
+        let mut t = tracer();
+        let addrs = vec![64usize; 32]; // every lane reads the same word
+        assert_eq!(t.shared_access(Dir::Load, &addrs, 4), 1);
+    }
+
+    #[test]
+    fn shared_stride_bank_conflicts() {
+        // Stride of 32 words: every lane hits bank 0 with a distinct word
+        // → 32-way conflict, 32 transactions. This is the paper's §4.1
+        // direct-caching pathology ("every P element lies in the same bank").
+        let mut t = tracer();
+        let addrs: Vec<usize> = (0..32).map(|l| l * 32 * 4).collect();
+        assert_eq!(t.shared_access(Dir::Load, &addrs, 4), 32);
+        assert_eq!(t.stats.bank_conflict_factor(), 32.0);
+    }
+
+    #[test]
+    fn shared_two_way_conflict() {
+        // Stride of 2 words: lanes l and l+16 hit the same bank with
+        // distinct words → 2 transactions.
+        let mut t = tracer();
+        let addrs: Vec<usize> = (0..32).map(|l| l * 2 * 4).collect();
+        assert_eq!(t.shared_access(Dir::Load, &addrs, 4), 2);
+    }
+
+    #[test]
+    fn shared_sixteen_way_conflict() {
+        // Stride of 16 words: banks 0 and 16 each serve 16 distinct words.
+        let mut t = tracer();
+        let addrs: Vec<usize> = (0..32).map(|l| l * 16 * 4).collect();
+        assert_eq!(t.shared_access(Dir::Load, &addrs, 4), 16);
+    }
+
+    #[test]
+    fn shared_f64_costs_two_phases_min() {
+        let mut t = tracer();
+        // 32 consecutive f64: words 0..64 → each bank holds 2 distinct
+        // words → 2 transactions, which equals the ideal for 64-bit.
+        let addrs: Vec<usize> = (0..32).map(|l| l * 8).collect();
+        assert_eq!(t.shared_access(Dir::Load, &addrs, 8), 2);
+        assert_eq!(t.stats.bank_conflict_factor(), 1.0);
+    }
+
+    #[test]
+    fn shared_partial_warp() {
+        let mut t = tracer();
+        let addrs: Vec<usize> = (0..7).map(|l| l * 4).collect();
+        assert_eq!(t.shared_access(Dir::Load, &addrs, 4), 1);
+        assert_eq!(t.shared_access(Dir::Load, &[], 4), 0);
+    }
+
+    #[test]
+    fn global_coalesced_f32() {
+        let mut t = tracer();
+        // 32 consecutive f32 = 128 aligned bytes = 4 sectors.
+        let addrs: Vec<usize> = (0..32).map(|l| 256 + l * 4).collect();
+        assert_eq!(t.global_access(Dir::Load, &addrs, 4), 4);
+        assert_eq!(t.stats.gmem_useful_bytes, 128);
+    }
+
+    #[test]
+    fn global_strided_worst_case() {
+        let mut t = tracer();
+        // Stride 128 B: one sector per lane.
+        let addrs: Vec<usize> = (0..32).map(|l| l * 128).collect();
+        assert_eq!(t.global_access(Dir::Store, &addrs, 4), 32);
+    }
+
+    #[test]
+    fn global_straddling_element() {
+        let mut t = tracer();
+        // An 8-byte element at offset 28 straddles two sectors.
+        assert_eq!(t.global_access(Dir::Load, &[28], 8), 2);
+    }
+
+    #[test]
+    fn global_duplicate_sectors_counted_once() {
+        let mut t = tracer();
+        let addrs = vec![0usize, 4, 8, 12, 16, 20, 24, 28];
+        assert_eq!(t.global_access(Dir::Load, &addrs, 4), 1);
+    }
+
+    #[test]
+    fn flops_and_barriers_accumulate() {
+        let mut t = tracer();
+        t.flops(128);
+        t.flops(2);
+        t.barrier();
+        assert_eq!(t.stats.flops, 130);
+        assert_eq!(t.stats.barriers, 1);
+    }
+}

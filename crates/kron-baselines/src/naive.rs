@@ -1,0 +1,79 @@
+//! The naive baseline: materialize the Kronecker matrix, then one GEMM.
+
+use gpu_sim::device::DeviceSpec;
+use gpu_sim::models::CublasModel;
+use gpu_sim::ExecReport;
+use kron_core::{Element, KronProblem, Matrix, Result};
+
+use crate::engine::Engine;
+
+/// Materialized-product engine (`O(M·Pᴺ·Qᴺ)`).
+pub struct NaiveEngine {
+    cublas: CublasModel,
+    device: DeviceSpec,
+}
+
+impl NaiveEngine {
+    /// Builds the engine for `device`.
+    pub fn new(device: &DeviceSpec) -> Self {
+        NaiveEngine {
+            cublas: CublasModel::new(device),
+            device: device.clone(),
+        }
+    }
+}
+
+impl<T: Element> Engine<T> for NaiveEngine {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn execute(&self, x: &Matrix<T>, factors: &[&Matrix<T>]) -> Result<Matrix<T>> {
+        kron_core::naive::kron_matmul_naive(x, factors)
+    }
+
+    fn simulate(&self, problem: &KronProblem) -> Result<ExecReport> {
+        let dtype = T::DTYPE;
+        let k = problem.input_cols();
+        let q = problem.output_cols();
+        let mut report = ExecReport::new("Naive");
+        // Materialization: write P^N·Q^N elements (memory-bound stream).
+        let kron_bytes = (k * q * dtype.bytes()) as f64;
+        report.add_step("materialize", kron_bytes / self.device.dram_bw);
+        // One huge GEMM.
+        report.add_step("matmul", self.cublas.gemm_time(problem.m, k, q, dtype));
+        report.launches += 2;
+        report.stats.flops += problem.naive_flops();
+        report.stats.gmem_useful_bytes += kron_bytes as u64;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::device::V100;
+    use crate::engine::FastKronEngine;
+
+    #[test]
+    fn naive_is_orders_of_magnitude_slower() {
+        let problem = KronProblem::uniform(16, 8, 4).unwrap();
+        let naive = Engine::<f32>::simulate(&NaiveEngine::new(&V100), &problem).unwrap();
+        let fk = Engine::<f32>::simulate(&FastKronEngine::new(&V100), &problem).unwrap();
+        assert!(
+            naive.seconds > 10.0 * fk.seconds,
+            "naive {} vs fastkron {}",
+            naive.seconds,
+            fk.seconds
+        );
+    }
+
+    #[test]
+    fn execute_works() {
+        let x = Matrix::<f32>::identity(4);
+        let f = Matrix::<f32>::identity(2);
+        let engine = NaiveEngine::new(&V100);
+        let y = Engine::<f32>::execute(&engine, &x, &[&f, &f]).unwrap();
+        assert_eq!(y, x);
+    }
+}

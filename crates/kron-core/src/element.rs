@@ -1,0 +1,199 @@
+//! Scalar element types accepted by every engine in the workspace.
+//!
+//! The paper evaluates `float` and `double` (Table 3); [`Element`] abstracts
+//! over the two so each algorithm is written once. The trait also carries the
+//! metadata the GPU cost model needs: byte width and which peak-FLOPS figure
+//! of the simulated device applies.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Data type tag used by the performance model to select the correct peak
+/// arithmetic throughput (e.g. 15.7 TFLOPS f32 vs 7.8 TFLOPS f64 on a V100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// IEEE-754 binary32 (`float` in the paper).
+    F32,
+    /// IEEE-754 binary64 (`double` in the paper).
+    F64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F64 => 8,
+        }
+    }
+
+    /// Human-readable name matching the paper's terminology.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "float",
+            DType::F64 => "double",
+        }
+    }
+}
+
+impl Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A floating-point scalar usable in every Kron-Matmul engine.
+///
+/// Implemented for `f32` and `f64` only; the bound list is exactly what the
+/// blocked GEMM, the kernel emulation, and the CG solver need.
+pub trait Element:
+    Copy
+    + Send
+    + Sync
+    + Debug
+    + Display
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Default
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon widened to `f64` (used for tolerances).
+    const EPSILON_F64: f64;
+    /// Data type tag for the performance model.
+    const DTYPE: DType;
+
+    /// Lossy conversion from `f64` (the widest type we use).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Conversion from `usize`, for integer-valued test data.
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root (CG and RBF kernels need it).
+    fn sqrt(self) -> Self;
+    /// `e^self` (RBF kernels).
+    fn exp(self) -> Self;
+    /// Fused multiply-add `self * a + b`; mirrors the FMA every GPU kernel
+    /// in the paper is built from.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+}
+
+impl Element for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON_F64: f64 = f32::EPSILON as f64;
+    const DTYPE: DType = DType::F32;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn exp(self) -> Self {
+        f32::exp(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+}
+
+impl Element for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON_F64: f64 = f64::EPSILON;
+    const DTYPE: DType = DType::F64;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_metadata() {
+        assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::F64.bytes(), 8);
+        assert_eq!(DType::F32.name(), "float");
+        assert_eq!(DType::F64.name(), "double");
+        assert_eq!(<f32 as Element>::DTYPE, DType::F32);
+        assert_eq!(<f64 as Element>::DTYPE, DType::F64);
+    }
+
+    #[test]
+    fn roundtrip_conversions() {
+        assert_eq!(f32::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(f64::from_f64(-2.25), -2.25);
+        assert_eq!(f32::from_usize(7), 7.0);
+        assert_eq!(f64::from_usize(1 << 20), (1 << 20) as f64);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let x = 3.0_f64;
+        assert_eq!(x.mul_add(2.0, 1.0), 7.0);
+        let y = 3.0_f32;
+        assert_eq!(y.mul_add(2.0, 1.0), 7.0);
+    }
+
+    #[test]
+    fn math_helpers() {
+        assert_eq!((-4.0_f64).abs(), 4.0);
+        assert_eq!(9.0_f32.sqrt(), 3.0);
+        assert!((1.0_f64.exp() - std::f64::consts::E).abs() < 1e-15);
+    }
+}

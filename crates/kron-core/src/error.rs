@@ -1,0 +1,88 @@
+//! Error type shared by every crate in the workspace.
+
+use std::fmt;
+
+/// Result alias using [`KronError`].
+pub type Result<T> = std::result::Result<T, KronError>;
+
+/// Errors produced while validating or executing a Kron-Matmul.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KronError {
+    /// The input matrix's column count does not equal `∏ᵢ Pᵢ`.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it was given.
+        found: String,
+    },
+    /// A problem was constructed with no factors.
+    NoFactors,
+    /// A factor (or the input) has a zero dimension.
+    EmptyDimension {
+        /// Description of the offending dimension.
+        what: String,
+    },
+    /// A tile configuration violates a validity rule (§4.3 of the paper).
+    InvalidTileConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A device-level resource limit (shared memory, registers) is exceeded.
+    ResourceExhausted {
+        /// Which resource and by how much.
+        what: String,
+    },
+    /// Distributed execution was asked for an unsupported GPU-grid layout.
+    InvalidGrid {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for KronError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KronError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            KronError::NoFactors => write!(f, "Kron-Matmul requires at least one factor"),
+            KronError::EmptyDimension { what } => write!(f, "empty dimension: {what}"),
+            KronError::InvalidTileConfig { reason } => {
+                write!(f, "invalid tile configuration: {reason}")
+            }
+            KronError::ResourceExhausted { what } => write!(f, "resource exhausted: {what}"),
+            KronError::InvalidGrid { reason } => write!(f, "invalid GPU grid: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for KronError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = KronError::ShapeMismatch {
+            expected: "M×64".into(),
+            found: "M×63".into(),
+        };
+        assert_eq!(e.to_string(), "shape mismatch: expected M×64, found M×63");
+        assert_eq!(
+            KronError::NoFactors.to_string(),
+            "Kron-Matmul requires at least one factor"
+        );
+        assert!(KronError::InvalidTileConfig {
+            reason: "TP must divide P".into()
+        }
+        .to_string()
+        .contains("TP must divide P"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&KronError::NoFactors);
+    }
+}

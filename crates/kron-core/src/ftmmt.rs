@@ -1,0 +1,139 @@
+//! The Fused Tensor-Matrix Multiply Transpose (FTMMT) algorithm
+//! (Langville & Stewart 2004), as executed by COGENT and cuTensor: the
+//! intermediate is viewed as a 3-D tensor `M × S × P` and each iteration
+//! contracts the last dimension with the factor while writing the result
+//! transposed, `Y[m][q][s] = Σ_p X[m][s][p] · F[p][q]`, so no separate
+//! transpose pass is needed.
+//!
+//! This is the functional reference for the FTMMT baselines; the GPU-time
+//! and shared-memory models (direct caching, per-iteration global
+//! intermediates) live in `kron-baselines`.
+
+use crate::element::Element;
+use crate::error::{KronError, Result};
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Row-count threshold below which the contraction stays single-threaded.
+const PAR_ROW_THRESHOLD: usize = 8;
+
+/// One fused tensor-contraction iteration: input `M×(S·P)` viewed as
+/// `M×S×P`, output `M×(Q·S)` viewed as `M×Q×S`.
+pub fn ftmmt_iteration<T: Element>(x: &Matrix<T>, f: &Matrix<T>) -> Result<Matrix<T>> {
+    let (p, q) = (f.rows(), f.cols());
+    if !x.cols().is_multiple_of(p) {
+        return Err(KronError::ShapeMismatch {
+            expected: format!("cols divisible by P = {p}"),
+            found: format!("{} cols", x.cols()),
+        });
+    }
+    let slices = x.cols() / p;
+    let m = x.rows();
+    let mut y = Matrix::zeros(m, q * slices);
+
+    let run_row = |(x_row, y_row): (&[T], &mut [T])| {
+        for s in 0..slices {
+            let x_slice = &x_row[s * p..(s + 1) * p];
+            for qi in 0..q {
+                let mut acc = T::ZERO;
+                for (pi, xv) in x_slice.iter().enumerate() {
+                    acc = xv.mul_add(f[(pi, qi)], acc);
+                }
+                // Fused transpose: q is the slow dimension of the output.
+                y_row[qi * slices + s] = acc;
+            }
+        }
+    };
+
+    if m >= PAR_ROW_THRESHOLD {
+        x.as_slice()
+            .par_chunks(x.cols())
+            .zip(y.as_mut_slice().par_chunks_mut(q * slices))
+            .for_each(run_row);
+    } else {
+        x.as_slice()
+            .chunks(x.cols())
+            .zip(y.as_mut_slice().chunks_mut(q * slices))
+            .for_each(run_row);
+    }
+    Ok(y)
+}
+
+/// Computes `Y = X · (F1 ⊗ … ⊗ FN)` with the FTMMT algorithm (factors
+/// processed last to first, each iteration a fused contraction).
+///
+/// # Errors
+/// Shape errors if `X.cols() != ∏Pᵢ` or `factors` is empty.
+pub fn kron_matmul_ftmmt<T: Element>(x: &Matrix<T>, factors: &[&Matrix<T>]) -> Result<Matrix<T>> {
+    if factors.is_empty() {
+        return Err(KronError::NoFactors);
+    }
+    let expected_cols: usize = factors.iter().map(|f| f.rows()).product();
+    if x.cols() != expected_cols {
+        return Err(KronError::ShapeMismatch {
+            expected: format!("X with ∏Pᵢ = {expected_cols} cols"),
+            found: format!("X with {} cols", x.cols()),
+        });
+    }
+    let mut y = x.clone();
+    for f in factors.iter().rev() {
+        y = ftmmt_iteration(&y, f)?;
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_matrices_close;
+    use crate::naive::kron_matmul_naive;
+    use crate::shuffle::kron_matmul_shuffle;
+
+    fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
+        Matrix::from_fn(rows, cols, |r, c| ((start + r * cols + c) % 11) as f64 - 5.0)
+    }
+
+    #[test]
+    fn iteration_matches_shuffle_iteration() {
+        // A single FTMMT iteration must equal reshape→GEMM→transpose-inner.
+        let x = seq_matrix(3, 12, 0);
+        let f = seq_matrix(4, 2, 5);
+        let fused = ftmmt_iteration(&x, &f).unwrap();
+        let via_shuffle = {
+            let tall = x.clone().reshape(3 * 3, 4).unwrap();
+            let mm = crate::gemm::gemm(&tall, &f).unwrap();
+            mm.reshape(3, 6).unwrap().transpose_inner(3, 2).unwrap()
+        };
+        assert_matrices_close(&fused, &via_shuffle, "ftmmt iteration");
+    }
+
+    #[test]
+    fn matches_naive_and_shuffle() {
+        let x = seq_matrix(4, 36, 1);
+        let a = seq_matrix(6, 2, 2);
+        let b = seq_matrix(6, 3, 3);
+        let got = kron_matmul_ftmmt(&x, &[&a, &b]).unwrap();
+        let naive = kron_matmul_naive(&x, &[&a, &b]).unwrap();
+        let shuffle = kron_matmul_shuffle(&x, &[&a, &b]).unwrap();
+        assert_matrices_close(&got, &naive, "ftmmt vs naive");
+        assert_matrices_close(&got, &shuffle, "ftmmt vs shuffle");
+    }
+
+    #[test]
+    fn matches_naive_above_parallel_threshold() {
+        let x = seq_matrix(PAR_ROW_THRESHOLD * 2, 16, 2);
+        let f = seq_matrix(4, 4, 7);
+        let got = kron_matmul_ftmmt(&x, &[&f, &f]).unwrap();
+        let naive = kron_matmul_naive(&x, &[&f, &f]).unwrap();
+        assert_matrices_close(&got, &naive, "ftmmt parallel path");
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let x = Matrix::<f64>::zeros(2, 9);
+        let f = Matrix::<f64>::identity(2);
+        assert!(kron_matmul_ftmmt(&x, &[&f, &f]).is_err());
+        assert!(kron_matmul_ftmmt::<f64>(&x, &[]).is_err());
+        assert!(ftmmt_iteration(&x, &f).is_err());
+    }
+}

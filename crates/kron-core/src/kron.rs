@@ -1,0 +1,99 @@
+//! Kronecker-product materialization.
+
+use crate::element::Element;
+use crate::error::Result;
+use crate::matrix::Matrix;
+
+/// Computes the Kronecker product `A ⊗ B` of two dense matrices.
+///
+/// `(A ⊗ B)[i·Bp + k, j·Bq + l] = A[i,j] · B[k,l]` where `B` is `Bp × Bq`.
+pub fn kron_product<T: Element>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let (ap, aq) = (a.rows(), a.cols());
+    let (bp, bq) = (b.rows(), b.cols());
+    Matrix::from_fn(ap * bp, aq * bq, |r, c| {
+        let (ai, bi) = (r / bp, r % bp);
+        let (aj, bj) = (c / bq, c % bq);
+        a[(ai, aj)] * b[(bi, bj)]
+    })
+}
+
+/// Materializes the full Kronecker product of a chain of factors,
+/// `F1 ⊗ F2 ⊗ … ⊗ FN` (left-associated; `⊗` is associative so grouping is
+/// irrelevant, which the property tests verify).
+///
+/// # Errors
+/// Propagates [`crate::KronError::NoFactors`] when `factors` is empty.
+pub fn kron_product_chain<T: Element>(factors: &[&Matrix<T>]) -> Result<Matrix<T>> {
+    let (first, rest) = factors
+        .split_first()
+        .ok_or(crate::error::KronError::NoFactors)?;
+    let mut acc = (*first).clone();
+    for f in rest {
+        acc = kron_product(&acc, f);
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, vals: &[f64]) -> Matrix<f64> {
+        Matrix::from_vec(rows, cols, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn kron_2x2_by_hand() {
+        let a = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = mat(2, 2, &[0.0, 5.0, 6.0, 7.0]);
+        let k = kron_product(&a, &b);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k.cols(), 4);
+        // Top-left block = 1·B, top-right = 2·B, etc.
+        assert_eq!(k[(0, 0)], 0.0);
+        assert_eq!(k[(0, 1)], 5.0);
+        assert_eq!(k[(0, 2)], 0.0);
+        assert_eq!(k[(0, 3)], 10.0);
+        assert_eq!(k[(3, 0)], 18.0);
+        assert_eq!(k[(3, 3)], 28.0);
+    }
+
+    #[test]
+    fn kron_rectangular_shapes() {
+        let a = mat(1, 3, &[1.0, 2.0, 3.0]);
+        let b = mat(2, 1, &[4.0, 5.0]);
+        let k = kron_product(&a, &b);
+        assert_eq!((k.rows(), k.cols()), (2, 3));
+        assert_eq!(k[(0, 2)], 12.0);
+        assert_eq!(k[(1, 0)], 5.0);
+    }
+
+    #[test]
+    fn kron_identity_blocks() {
+        let i2 = Matrix::<f64>::identity(2);
+        let a = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        // I ⊗ A is block-diagonal with copies of A.
+        let k = kron_product(&i2, &a);
+        assert_eq!(k[(0, 0)], 1.0);
+        assert_eq!(k[(1, 1)], 4.0);
+        assert_eq!(k[(2, 2)], 1.0);
+        assert_eq!(k[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn chain_is_associative() {
+        let a = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = mat(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = mat(2, 2, &[9.0, 1.0, 2.0, 3.0]);
+        let left = kron_product(&kron_product(&a, &b), &c);
+        let right = kron_product(&a, &kron_product(&b, &c));
+        assert_eq!(left, right);
+        let chained = kron_product_chain(&[&a, &b, &c]).unwrap();
+        assert_eq!(chained, left);
+    }
+
+    #[test]
+    fn chain_empty_errors() {
+        assert!(kron_product_chain::<f64>(&[]).is_err());
+    }
+}

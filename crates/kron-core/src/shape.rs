@@ -1,0 +1,279 @@
+//! Problem-shape descriptors and the size/FLOP arithmetic shared by every
+//! engine and by the performance model.
+
+use crate::error::{KronError, Result};
+use std::fmt;
+
+/// Shape of one Kronecker factor `Fᵢ` (`Pᵢ` rows × `Qᵢ` columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FactorShape {
+    /// Rows of the factor (the slice length in FastKron's algorithm).
+    pub p: usize,
+    /// Columns of the factor.
+    pub q: usize,
+}
+
+impl FactorShape {
+    /// Convenience constructor.
+    pub const fn new(p: usize, q: usize) -> Self {
+        FactorShape { p, q }
+    }
+
+    /// Square factor `n × n` (the common case in the paper's evaluation).
+    pub const fn square(n: usize) -> Self {
+        FactorShape { p: n, q: n }
+    }
+}
+
+impl fmt::Display for FactorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}×{}", self.p, self.q)
+    }
+}
+
+/// Shapes for one iteration of a Kron-Matmul engine.
+///
+/// Iterations run over factors from the **last** (`FN`) to the **first**
+/// (`F1`); this ordering is what makes the factor's index the
+/// fastest-varying dimension of the intermediate at its turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationShape {
+    /// 0-based index of the factor this iteration multiplies with
+    /// (`N-1` first, `0` last).
+    pub factor_index: usize,
+    /// Shape of that factor.
+    pub factor: FactorShape,
+    /// Columns of the input intermediate (`K` in the paper).
+    pub input_cols: usize,
+    /// Columns of the output intermediate (`L = K/P·Q` in the paper).
+    pub output_cols: usize,
+    /// Number of row slices (`K / P`).
+    pub slices: usize,
+}
+
+/// A complete Kron-Matmul problem: `Y[M × ∏Qᵢ] = X[M × ∏Pᵢ] · (F1 ⊗ … ⊗ FN)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KronProblem {
+    /// Rows of the input matrix `X`.
+    pub m: usize,
+    /// Factor shapes, in Kronecker-product order (`F1` outermost).
+    pub factors: Vec<FactorShape>,
+}
+
+impl KronProblem {
+    /// Builds and validates a problem description.
+    ///
+    /// # Errors
+    /// [`KronError::NoFactors`] when `factors` is empty and
+    /// [`KronError::EmptyDimension`] when any dimension is zero.
+    pub fn new(m: usize, factors: Vec<FactorShape>) -> Result<Self> {
+        if factors.is_empty() {
+            return Err(KronError::NoFactors);
+        }
+        if m == 0 {
+            return Err(KronError::EmptyDimension { what: "M = 0".into() });
+        }
+        for (i, f) in factors.iter().enumerate() {
+            if f.p == 0 || f.q == 0 {
+                return Err(KronError::EmptyDimension {
+                    what: format!("factor {} has shape {}", i + 1, f),
+                });
+            }
+        }
+        Ok(KronProblem { m, factors })
+    }
+
+    /// Problem with `n` identical square `p × p` factors — the paper's
+    /// microbenchmark family `P^N` (Figures 9/11, Tables 1–3).
+    pub fn uniform(m: usize, p: usize, n: usize) -> Result<Self> {
+        KronProblem::new(m, vec![FactorShape::square(p); n])
+    }
+
+    /// Number of factors `N`.
+    pub fn num_factors(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Columns of the input matrix, `∏ᵢ Pᵢ`.
+    pub fn input_cols(&self) -> usize {
+        self.factors.iter().map(|f| f.p).product()
+    }
+
+    /// Columns of the result, `∏ᵢ Qᵢ`.
+    pub fn output_cols(&self) -> usize {
+        self.factors.iter().map(|f| f.q).product()
+    }
+
+    /// Largest intermediate column count across iterations (line 3 of
+    /// Algorithm 1 generalizes to this for mixed shapes): sizing for the
+    /// double-buffered intermediates.
+    pub fn max_intermediate_cols(&self) -> usize {
+        self.iterations()
+            .map(|it| it.output_cols)
+            .max()
+            .unwrap_or(0)
+            .max(self.input_cols())
+    }
+
+    /// Iterator over the `N` iteration shapes, last factor first.
+    pub fn iterations(&self) -> impl Iterator<Item = IterationShape> + '_ {
+        let mut input_cols = self.input_cols();
+        (0..self.factors.len()).rev().map(move |factor_index| {
+            let factor = self.factors[factor_index];
+            debug_assert_eq!(input_cols % factor.p, 0);
+            let slices = input_cols / factor.p;
+            let output_cols = slices * factor.q;
+            let it = IterationShape {
+                factor_index,
+                factor,
+                input_cols,
+                output_cols,
+                slices,
+            };
+            input_cols = output_cols;
+            it
+        })
+    }
+
+    /// Total floating-point operations performed by the iterative
+    /// algorithms (shuffle, FTMMT and FastKron all share this count):
+    /// `Σ_f 2 · M · K_out(f) · P_f`, counting one multiply and one add per
+    /// inner step — the figure all TFLOPS numbers in the paper are based on.
+    pub fn flops(&self) -> u64 {
+        self.iterations()
+            .map(|it| 2 * self.m as u64 * it.output_cols as u64 * it.factor.p as u64)
+            .sum()
+    }
+
+    /// Total element reads+writes of intermediates across iterations,
+    /// `Σ_f M · (K_in(f) + K_out(f))` — the `O(M Σᵢ Q^{N-i} P^i)` term the
+    /// paper attributes the transpose/fusion savings to.
+    pub fn intermediate_accesses(&self) -> u64 {
+        self.iterations()
+            .map(|it| self.m as u64 * (it.input_cols as u64 + it.output_cols as u64))
+            .sum()
+    }
+
+    /// FLOPs of the naive algorithm (materialize `⊗Fᵢ` then GEMM):
+    /// `2·M·∏Pᵢ·∏Qᵢ` — the `O(M·Pᴺ·Qᴺ)` the paper contrasts against.
+    pub fn naive_flops(&self) -> u64 {
+        2 * self.m as u64 * self.input_cols() as u64 * self.output_cols() as u64
+    }
+
+    /// True when all factors share one `P×Q` shape (enables the fused
+    /// kernel's `log_P` arithmetic).
+    pub fn is_uniform(&self) -> bool {
+        self.factors.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Compact display like `M=1024, 8⁶ (8×8 ×6)` used in reports.
+    pub fn describe(&self) -> String {
+        if self.is_uniform() {
+            let f = self.factors[0];
+            if f.p == f.q {
+                return format!("M={}, {}^{}", self.m, f.p, self.factors.len());
+            }
+            return format!("M={}, ({})^{}", self.m, f, self.factors.len());
+        }
+        let fs: Vec<String> = self.factors.iter().map(|f| f.to_string()).collect();
+        format!("M={}, {}", self.m, fs.join(" ⊗ "))
+    }
+}
+
+impl fmt::Display for KronProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sizes() {
+        let p = KronProblem::uniform(1024, 8, 6).unwrap();
+        assert_eq!(p.input_cols(), 8usize.pow(6));
+        assert_eq!(p.output_cols(), 8usize.pow(6));
+        assert_eq!(p.num_factors(), 6);
+        assert!(p.is_uniform());
+        assert_eq!(p.describe(), "M=1024, 8^6");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(KronProblem::new(4, vec![]), Err(KronError::NoFactors)));
+        assert!(KronProblem::new(0, vec![FactorShape::square(2)]).is_err());
+        assert!(KronProblem::new(4, vec![FactorShape::new(0, 2)]).is_err());
+    }
+
+    #[test]
+    fn iteration_shapes_uniform() {
+        let p = KronProblem::uniform(2, 4, 3).unwrap();
+        let its: Vec<_> = p.iterations().collect();
+        assert_eq!(its.len(), 3);
+        // All intermediates stay at 64 columns for square factors.
+        for (step, it) in its.iter().enumerate() {
+            assert_eq!(it.factor_index, 2 - step);
+            assert_eq!(it.input_cols, 64);
+            assert_eq!(it.output_cols, 64);
+            assert_eq!(it.slices, 16);
+        }
+    }
+
+    #[test]
+    fn iteration_shapes_rectangular() {
+        // F1: 2×3, F2: 4×5 — X: M×8, Y: M×15.
+        let p = KronProblem::new(1, vec![FactorShape::new(2, 3), FactorShape::new(4, 5)]).unwrap();
+        assert_eq!(p.input_cols(), 8);
+        assert_eq!(p.output_cols(), 15);
+        let its: Vec<_> = p.iterations().collect();
+        // First iteration: factor 2 (4×5): slices = 8/4 = 2, out = 2*5 = 10.
+        assert_eq!(its[0].factor_index, 1);
+        assert_eq!(its[0].slices, 2);
+        assert_eq!(its[0].output_cols, 10);
+        // Second: factor 1 (2×3): slices = 10/2 = 5, out = 15.
+        assert_eq!(its[1].factor_index, 0);
+        assert_eq!(its[1].slices, 5);
+        assert_eq!(its[1].output_cols, 15);
+        assert_eq!(p.max_intermediate_cols(), 15);
+    }
+
+    #[test]
+    fn flops_uniform_matches_closed_form() {
+        // For square P factors: flops = N · 2·M·P^N·P.
+        let p = KronProblem::uniform(1024, 8, 6).unwrap();
+        let expected = 6 * 2 * 1024u64 * 8u64.pow(6) * 8;
+        assert_eq!(p.flops(), expected);
+    }
+
+    #[test]
+    fn flops_match_paper_table1_scale() {
+        // Sanity anchor from the paper: FastKron runs 64^3, M=1024 at
+        // ~11.8 TFLOPS in 8.74 ms ⇒ ~1.0e11 FLOPs.
+        let p = KronProblem::uniform(1024, 64, 3).unwrap();
+        let gf = p.flops() as f64;
+        assert!((0.9e11..1.2e11).contains(&gf), "flops = {gf:e}");
+    }
+
+    #[test]
+    fn naive_flops_dominate() {
+        let p = KronProblem::uniform(16, 8, 4).unwrap();
+        assert!(p.naive_flops() > p.flops());
+    }
+
+    #[test]
+    fn intermediate_accesses_uniform() {
+        let p = KronProblem::uniform(4, 4, 2).unwrap();
+        // Two iterations, each reading M*16 and writing M*16.
+        assert_eq!(p.intermediate_accesses(), 2 * 4 * (16 + 16));
+    }
+
+    #[test]
+    fn describe_mixed() {
+        let p = KronProblem::new(10, vec![FactorShape::new(5, 2), FactorShape::new(6, 5)]).unwrap();
+        assert_eq!(p.describe(), "M=10, 5×2 ⊗ 6×5");
+        let r = KronProblem::new(3, vec![FactorShape::new(4, 6); 2]).unwrap();
+        assert_eq!(r.describe(), "M=3, (4×6)^2");
+    }
+}

@@ -1,0 +1,479 @@
+//! Distributed FastKron — Algorithm 2 of the paper.
+//!
+//! The input `X[M × K]` is partitioned over a `{GM, GK}` grid; each GPU
+//! owns a contiguous `TGM × TGK` block. Because a column block of the
+//! intermediate behaves exactly like the fused kernel's shared-memory
+//! tile, each GPU can run `Nlocal = ⌊log_P TGK⌋` *local* sliced
+//! multiplications before any communication; one all-to-all relocation
+//! per group (`StoreGPUTile`, the inter-GPU analog of `StoreFusedShMem`)
+//! then restores the canonical block distribution. Communication volume
+//! is exactly `GM · ⌈N/Nlocal⌉ · TGM · (K − TGK)` elements — the paper's
+//! closed form — versus one exchange *per factor* in CTF/DISTAL.
+
+use crate::fabric::{CommModel, Fabric, GpuGrid};
+use fastkron_core::algorithm::sliced_multiply;
+use fastkron_core::kernel::SlicedMultiplyKernel;
+use fastkron_core::tuner::AutoTuner;
+use gpu_sim::cost::CostModel;
+use gpu_sim::device::DeviceSpec;
+use gpu_sim::trace::Tracer;
+use gpu_sim::ExecReport;
+use kron_core::{Element, KronError, KronProblem, Matrix, Result};
+
+/// Distributed FastKron engine over a simulated GPU fabric.
+pub struct DistFastKron {
+    device: DeviceSpec,
+    grid: GpuGrid,
+    comm: CommModel,
+}
+
+/// Shape parameters of one distributed run.
+#[derive(Debug, Clone, Copy)]
+struct DistShape {
+    tgm: usize,
+    tgk: usize,
+    p: usize,
+    n: usize,
+    nlocal: usize,
+    rounds: usize,
+}
+
+impl DistFastKron {
+    /// Builds the engine for `gpus` devices of type `device`, using NCCL
+    /// for communication.
+    ///
+    /// # Errors
+    /// [`KronError::InvalidGrid`] for unsupported GPU counts.
+    pub fn new(device: &DeviceSpec, gpus: usize) -> Result<Self> {
+        Ok(DistFastKron {
+            device: device.clone(),
+            grid: GpuGrid::for_gpus(gpus)?,
+            comm: CommModel::nccl(device),
+        })
+    }
+
+    /// Switches to the single-kernel P2P communication path (§5: "If all
+    /// NVIDIA GPUs in the same gM supports Point-to-Point accesses").
+    pub fn with_p2p(mut self) -> Self {
+        self.comm = CommModel::p2p(&self.device);
+        self
+    }
+
+    /// The GPU grid in use.
+    pub fn grid(&self) -> GpuGrid {
+        self.grid
+    }
+
+    /// `Nlocal = ⌊log_p tgk⌋` (at least 1).
+    pub fn nlocal(p: usize, tgk: usize) -> usize {
+        let mut n = 0;
+        let mut cap = tgk;
+        while cap >= p && p > 1 {
+            cap /= p;
+            n += 1;
+        }
+        n.max(1)
+    }
+
+    fn shape(&self, problem: &KronProblem) -> Result<DistShape> {
+        if !problem.is_uniform() || problem.factors[0].p != problem.factors[0].q {
+            return Err(KronError::InvalidGrid {
+                reason: "distributed Kron-Matmul requires identical square factors".into(),
+            });
+        }
+        let p = problem.factors[0].p;
+        let n = problem.num_factors();
+        let k = problem.input_cols();
+        let (gm, gk) = (self.grid.gm, self.grid.gk);
+        if !problem.m.is_multiple_of(gm) {
+            return Err(KronError::InvalidGrid {
+                reason: format!("M = {} not divisible by GM = {gm}", problem.m),
+            });
+        }
+        if !k.is_multiple_of(gk) {
+            return Err(KronError::InvalidGrid {
+                reason: format!("K = {k} not divisible by GK = {gk}"),
+            });
+        }
+        let tgk = k / gk;
+        if gk > p {
+            return Err(KronError::InvalidGrid {
+                reason: format!("GK = {gk} exceeds P = {p}; columns would interleave"),
+            });
+        }
+        if !tgk.is_multiple_of(gk) {
+            return Err(KronError::InvalidGrid {
+                reason: format!("TGK = {tgk} not divisible by GK = {gk}"),
+            });
+        }
+        let nlocal = Self::nlocal(p, tgk).min(n);
+        if !tgk.is_multiple_of(p.pow(nlocal as u32)) {
+            return Err(KronError::InvalidGrid {
+                reason: format!("TGK = {tgk} not divisible by P^Nlocal"),
+            });
+        }
+        Ok(DistShape {
+            tgm: problem.m / gm,
+            tgk,
+            p,
+            n,
+            nlocal,
+            rounds: n.div_ceil(nlocal),
+        })
+    }
+
+    /// Total elements communicated across the machine — the paper's
+    /// closed form `GM · Σ_rounds TGM · (K − TGK)`.
+    ///
+    /// # Errors
+    /// Shape errors as in [`Self::execute`].
+    pub fn comm_volume_elements(&self, problem: &KronProblem) -> Result<u64> {
+        let s = self.shape(&problem.clone())?;
+        let k = problem.input_cols();
+        if self.grid.gk == 1 {
+            return Ok(0);
+        }
+        Ok((self.grid.gm * self.grid.gk) as u64
+            * s.rounds as u64
+            * s.tgm as u64
+            * (k - s.tgk) as u64
+            / self.grid.gk as u64)
+    }
+
+    /// Functional distributed execution: one OS thread per simulated GPU,
+    /// crossbeam channels for `Send`/`Recv`, the real Algorithm 2 control
+    /// flow. Returns the gathered `M × K` result.
+    ///
+    /// # Errors
+    /// Shape/grid errors; operand mismatches.
+    pub fn execute<T: Element>(&self, x: &Matrix<T>, factors: &[&Matrix<T>]) -> Result<Matrix<T>> {
+        let shapes: Vec<_> = factors
+            .iter()
+            .map(|f| kron_core::FactorShape::new(f.rows(), f.cols()))
+            .collect();
+        let problem = KronProblem::new(x.rows(), shapes)?;
+        if x.cols() != problem.input_cols() {
+            return Err(KronError::ShapeMismatch {
+                expected: format!("X with {} cols", problem.input_cols()),
+                found: format!("{} cols", x.cols()),
+            });
+        }
+        let s = self.shape(&problem)?;
+        let (gm, gk) = (self.grid.gm, self.grid.gk);
+        let k = problem.input_cols();
+
+        // Scatter blocks.
+        let mut blocks: Vec<Matrix<T>> = Vec::with_capacity(gm * gk);
+        for bm in 0..gm {
+            for bk in 0..gk {
+                let mut local = Matrix::zeros(s.tgm, s.tgk);
+                for r in 0..s.tgm {
+                    let src = &x.row(bm * s.tgm + r)[bk * s.tgk..(bk + 1) * s.tgk];
+                    local.row_mut(r).copy_from_slice(src);
+                }
+                blocks.push(local);
+            }
+        }
+
+        // Message: (source column-rank, rows × part columns).
+        type Part<T> = Vec<T>;
+        let fabric: Fabric<Part<T>> = Fabric::new(self.grid);
+
+        let results: Vec<Result<Matrix<T>>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(gm * gk);
+            for bm in 0..gm {
+                for bk in 0..gk {
+                    let mut local = blocks[bm * gk + bk].clone();
+                    let fabric = &fabric;
+                    let factors = &factors;
+                    handles.push(scope.spawn(move || -> Result<Matrix<T>> {
+                        let me = fabric.grid().id(bm, bk);
+                        let mut remaining = s.n;
+                        let mut fidx = s.n; // factors processed from the back
+                        while remaining > 0 {
+                            let nl = s.nlocal.min(remaining);
+                            // Nlocal local sliced multiplications.
+                            for j in 0..nl {
+                                local = sliced_multiply(&local, factors[fidx - 1 - j])?;
+                            }
+                            fidx -= nl;
+                            remaining -= nl;
+                            if gk > 1 {
+                                local = exchange(fabric, &local, bm, bk, me, s, nl, k)?;
+                            }
+                        }
+                        Ok(local)
+                    }));
+                }
+            }
+            handles.into_iter().map(|h| h.join().expect("gpu thread panicked")).collect()
+        });
+
+        // Gather.
+        let mut y = Matrix::zeros(problem.m, k);
+        for bm in 0..gm {
+            for bk in 0..gk {
+                let local = results[bm * gk + bk].as_ref().map_err(Clone::clone)?;
+                let local: &Matrix<T> = local;
+                for r in 0..s.tgm {
+                    y.row_mut(bm * s.tgm + r)[bk * s.tgk..(bk + 1) * s.tgk]
+                        .copy_from_slice(local.row(r));
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// Simulated wall-clock report: local kernel time from the traced
+    /// single-GPU machinery on the per-GPU block, plus α–β exchange time
+    /// per round. All GPUs progress in lockstep (the workload is perfectly
+    /// balanced), so wall time equals one GPU's time.
+    ///
+    /// # Errors
+    /// Shape/grid or tuning errors.
+    pub fn simulate<T: Element>(&self, problem: &KronProblem) -> Result<ExecReport> {
+        let s = self.shape(problem)?;
+        let mut report = ExecReport::new(format!("FastKron-{}GPU", self.grid.gpus()));
+
+        // One local sliced multiply on the TGM × TGK block.
+        let tuner = AutoTuner::new(&self.device);
+        let cost = CostModel::new(&self.device);
+        let outcome = tuner.tune(s.tgm, s.tgk, s.p, s.p, T::DTYPE)?;
+        let zeros = Matrix::<T>::zeros(s.p, s.p);
+        let kern = SlicedMultiplyKernel::new(outcome.config, s.tgm, s.tgk, &zeros)?;
+        let mut tracer = Tracer::new(&self.device);
+        let per_block = kern.trace_block(&mut tracer);
+        let launch = outcome.config.launch(s.tgm, s.tgk, s.p, s.p, T::DTYPE);
+        let stats = per_block.scaled(launch.grid_blocks as u64);
+        let t_mul = cost.kernel_time(&launch, &stats, T::DTYPE)?.total_s;
+
+        let e = T::DTYPE.bytes();
+        let part_bytes = (s.tgm * s.tgk * e) as u64;
+        let send_bytes = part_bytes - part_bytes / self.grid.gk as u64;
+        for round in 0..s.rounds {
+            let nl = s.nlocal.min(s.n - round * s.nlocal);
+            report.add_step("local-multiply", t_mul * nl as f64);
+            report.stats += stats.scaled(nl as u64);
+            report.launches += nl as u64;
+            if self.grid.gk > 1 {
+                let t_comm = self.comm.send_time(send_bytes, self.grid.gk - 1);
+                // StoreGPUTile pass: re-writes the local block.
+                let t_place = (2 * part_bytes) as f64 / self.device.dram_bw;
+                report.add_step("exchange", t_comm + t_place);
+                report.comm_bytes +=
+                    send_bytes * (self.grid.gm * self.grid.gk) as u64;
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// One relocation round: split the local intermediate into `GK` parts,
+/// exchange them within the row, and place received parts at their
+/// canonical positions (`StoreGPUTile`).
+#[allow(clippy::too_many_arguments)]
+fn exchange<T: Element>(
+    fabric: &Fabric<Vec<T>>,
+    local: &Matrix<T>,
+    bm: usize,
+    bk: usize,
+    me: usize,
+    s: DistShape,
+    nl: usize,
+    k: usize,
+) -> Result<Matrix<T>> {
+    let grid = fabric.grid();
+    let gk = grid.gk;
+    let part_cols = s.tgk / gk;
+
+    // Send part `dst` to GPU (bm, dst).
+    for dst in 0..gk {
+        if dst == bk {
+            continue;
+        }
+        let mut part = Vec::with_capacity(s.tgm * part_cols);
+        for r in 0..s.tgm {
+            part.extend_from_slice(&local.row(r)[dst * part_cols..(dst + 1) * part_cols]);
+        }
+        fabric
+            .sender(me, grid.id(bm, dst))
+            .send(part)
+            .map_err(|_| KronError::InvalidGrid {
+                reason: "fabric channel closed".into(),
+            })?;
+    }
+
+    // Layout scales (paper Figure 8; identical in structure to
+    // StoreFusedShMem with the GPU in place of the thread block).
+    let pn = s.p.pow(nl as u32);
+    let xl_s = s.tgk / s.p;
+    let xg_s = k / s.p;
+    let xl_f = s.tgk / pn;
+    let xg_f = k / pn;
+    let my_base = bk * s.tgk;
+
+    let mut next = Matrix::zeros(s.tgm, s.tgk);
+    let mut place = |src_rank: usize, part: &[T]| {
+        for r in 0..s.tgm {
+            let row = &part[r * part_cols..(r + 1) * part_cols];
+            for (jp, &v) in row.iter().enumerate() {
+                // j = index in the source GPU's full local buffer.
+                let j = bk * part_cols + jp;
+                let col = (j / xl_s) * xg_s
+                    + ((j % xl_s) / xl_f) * xg_f
+                    + src_rank * xl_f
+                    + (j % xl_f);
+                next[(r, col - my_base)] = v;
+            }
+        }
+    };
+
+    // Own part placed directly.
+    let mut own = Vec::with_capacity(s.tgm * part_cols);
+    for r in 0..s.tgm {
+        own.extend_from_slice(&local.row(r)[bk * part_cols..(bk + 1) * part_cols]);
+    }
+    place(bk, &own);
+
+    for src in 0..gk {
+        if src == bk {
+            continue;
+        }
+        let part = fabric
+            .receiver(grid.id(bm, src), me)
+            .recv()
+            .map_err(|_| KronError::InvalidGrid {
+                reason: "fabric channel closed".into(),
+            })?;
+        place(src, &part);
+    }
+    Ok(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastkron_core::algorithm::kron_matmul_fastkron;
+    use gpu_sim::device::V100;
+    use kron_core::assert_matrices_close;
+
+    fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
+        Matrix::from_fn(rows, cols, |r, c| ((start + 3 * r * cols + c) % 13) as f64 - 6.0)
+    }
+
+    fn check_distributed(m: usize, p: usize, n: usize, gpus: usize) {
+        let k = p.pow(n as u32);
+        let x = seq_matrix(m, k, 1);
+        let fs: Vec<Matrix<f64>> = (0..n).map(|i| seq_matrix(p, p, i * 5 + 2)).collect();
+        let refs: Vec<&Matrix<f64>> = fs.iter().collect();
+        let engine = DistFastKron::new(&V100, gpus).unwrap();
+        let got = engine.execute(&x, &refs).unwrap();
+        let oracle = kron_matmul_fastkron(&x, &refs).unwrap();
+        assert_matrices_close(&got, &oracle, &format!("dist m={m} {p}^{n} on {gpus} GPUs"));
+    }
+
+    #[test]
+    fn matches_single_device_2_gpus() {
+        check_distributed(4, 4, 3, 2);
+    }
+
+    #[test]
+    fn matches_single_device_4_gpus() {
+        check_distributed(4, 4, 4, 4);
+        check_distributed(2, 8, 3, 4);
+    }
+
+    #[test]
+    fn matches_single_device_8_gpus() {
+        check_distributed(4, 4, 4, 8);
+    }
+
+    #[test]
+    fn matches_single_device_16_gpus() {
+        check_distributed(8, 4, 4, 16);
+        check_distributed(4, 8, 3, 16);
+    }
+
+    #[test]
+    fn single_gpu_degenerates_to_local() {
+        check_distributed(3, 4, 3, 1);
+        let engine = DistFastKron::new(&V100, 1).unwrap();
+        let problem = KronProblem::uniform(4, 4, 3).unwrap();
+        assert_eq!(engine.comm_volume_elements(&problem).unwrap(), 0);
+    }
+
+    #[test]
+    fn multiple_rounds_when_nlocal_small() {
+        // K/GK = 64 with P = 4 → Nlocal = ⌊log₄64⌋ = 3 < N = 4 → 2 rounds
+        // (3 multiplies, exchange, 1 multiply, exchange).
+        let engine = DistFastKron::new(&V100, 16).unwrap();
+        let problem = KronProblem::uniform(8, 4, 4).unwrap();
+        let s = engine.shape(&problem).unwrap();
+        assert_eq!(s.nlocal, 3);
+        assert_eq!(s.rounds, 2);
+        check_distributed(8, 4, 4, 16);
+    }
+
+    #[test]
+    fn comm_volume_matches_closed_form() {
+        // GM·rounds·TGM·(K−TGK) elements.
+        let engine = DistFastKron::new(&V100, 16).unwrap();
+        let problem = KronProblem::uniform(8, 4, 4).unwrap();
+        let k = 256;
+        let tgk = k / 4;
+        let expected = 4u64 * 2 * 2 * (k - tgk) as u64;
+        assert_eq!(engine.comm_volume_elements(&problem).unwrap(), expected);
+    }
+
+    #[test]
+    fn grouped_communication_beats_per_iteration() {
+        // The §5 claim: FastKron's volume is 1/Nlocal of a per-iteration
+        // scheme. N = 4, Nlocal = 2 → half the volume.
+        let engine = DistFastKron::new(&V100, 16).unwrap();
+        let problem = KronProblem::uniform(8, 4, 4).unwrap();
+        let grouped = engine.comm_volume_elements(&problem).unwrap();
+        let per_iteration = 4u64 * 4 * 2 * (256 - 64) as u64; // rounds = N
+        assert_eq!(grouped * 2, per_iteration);
+    }
+
+    #[test]
+    fn simulate_scales_with_gpus() {
+        // Weak scaling: M grows with the machine; achieved TFLOPS must
+        // grow too.
+        let mut last = 0.0;
+        for gpus in [1usize, 4, 16] {
+            let m = 64 * gpus;
+            let problem = KronProblem::uniform(m, 64, 3).unwrap();
+            let engine = DistFastKron::new(&V100, gpus).unwrap();
+            let r = engine.simulate::<f32>(&problem).unwrap();
+            let tf = r.tflops(problem.flops());
+            assert!(tf > last, "{gpus} GPUs: {tf} TFLOPS vs previous {last}");
+            last = tf;
+        }
+    }
+
+    #[test]
+    fn p2p_is_faster_than_nccl() {
+        let problem = KronProblem::uniform(64, 16, 4).unwrap();
+        let nccl = DistFastKron::new(&V100, 16).unwrap();
+        let p2p = DistFastKron::new(&V100, 16).unwrap().with_p2p();
+        let t_nccl = nccl.simulate::<f32>(&problem).unwrap().seconds;
+        let t_p2p = p2p.simulate::<f32>(&problem).unwrap().seconds;
+        assert!(t_p2p < t_nccl);
+    }
+
+    #[test]
+    fn rejects_bad_grids_and_shapes() {
+        assert!(DistFastKron::new(&V100, 3).is_err());
+        let engine = DistFastKron::new(&V100, 16).unwrap();
+        // M not divisible by GM.
+        let p1 = KronProblem::uniform(7, 4, 4).unwrap();
+        assert!(engine.simulate::<f32>(&p1).is_err());
+        // GK > P.
+        let p2 = KronProblem::uniform(8, 2, 8).unwrap();
+        assert!(engine.simulate::<f32>(&p2).is_err());
+        // Non-square factors.
+        let p3 = KronProblem::new(8, vec![kron_core::FactorShape::new(4, 2); 4]).unwrap();
+        assert!(engine.simulate::<f32>(&p3).is_err());
+    }
+}

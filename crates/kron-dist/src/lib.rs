@@ -1,0 +1,28 @@
+//! # kron-dist
+//!
+//! Distributed Kron-Matmul on a simulated multi-GPU machine (§5 of the
+//! paper).
+//!
+//! * [`fabric`] — the machine model: a SUMMA-style `{GM, GK}` grid of
+//!   simulated GPUs, point-to-point messaging over OS threads and
+//!   crossbeam channels (standing in for NCCL over NVLink 2), and an α–β
+//!   communication-time model.
+//! * [`fastkron`] — Algorithm 2: each GPU performs
+//!   `Nlocal = ⌊log_P TGK⌋` *local* sliced multiplications before one
+//!   all-to-all relocation round (`StoreGPUTile`), cutting communication
+//!   volume by `Nlocal` versus per-iteration exchanges. Functionally
+//!   executable (threads) and analytically timeable.
+//! * [`baselines`] — the two rival distributed systems of §6.3: CTF
+//!   (distributed shuffle: GEMM + distributed transpose every iteration)
+//!   and DISTAL (distributed FTMMT: fused contraction, but still one
+//!   exchange per iteration).
+
+#![deny(missing_docs)]
+
+pub mod baselines;
+pub mod fabric;
+pub mod fastkron;
+
+pub use baselines::{CtfEngine, DistalEngine};
+pub use fabric::{CommModel, GpuGrid};
+pub use fastkron::DistFastKron;

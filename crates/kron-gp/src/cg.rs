@@ -1,0 +1,171 @@
+//! Batched conjugate gradients for `A Z = B` with a matrix-free operator.
+//!
+//! The GP training loop solves against `K_SKI` with a *batch* of
+//! right-hand sides (the paper uses 16 probe vectors); every iteration's
+//! dominant cost is one application of the operator, which for SKI is one
+//! Kron-Matmul. Batches are stored as rows (`B[s × n]`), matching the
+//! `X[M × K]` orientation the Kron engines expect.
+
+use kron_core::{Element, KronError, Matrix, Result};
+
+/// Outcome of a batched CG solve.
+#[derive(Debug, Clone)]
+pub struct CgResult<T> {
+    /// Solution batch, rows are solutions.
+    pub z: Matrix<T>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final residual norm per batch row.
+    pub residuals: Vec<f64>,
+}
+
+/// Solves `A zᵢ = bᵢ` for every row `bᵢ` of `b`, where `apply(V)` computes
+/// `A` applied to every row of `V`. `A` must be symmetric positive
+/// definite.
+///
+/// Stops after `max_iters` or when every row's residual norm falls below
+/// `tol · ‖bᵢ‖`.
+///
+/// # Errors
+/// Propagates operator errors; rejects an operator that changes shapes.
+pub fn batched_cg<T: Element>(
+    apply: &mut dyn FnMut(&Matrix<T>) -> Result<Matrix<T>>,
+    b: &Matrix<T>,
+    max_iters: usize,
+    tol: f64,
+) -> Result<CgResult<T>> {
+    let (s, n) = (b.rows(), b.cols());
+    let mut z = Matrix::<T>::zeros(s, n);
+    let mut r = b.clone();
+    let mut p = b.clone();
+    let mut rs_old: Vec<f64> = (0..s)
+        .map(|i| r.row(i).iter().map(|v| v.to_f64() * v.to_f64()).sum())
+        .collect();
+    let b_norms: Vec<f64> = rs_old.iter().map(|v| v.sqrt()).collect();
+    let mut iterations = 0;
+
+    for _ in 0..max_iters {
+        let converged = rs_old
+            .iter()
+            .zip(&b_norms)
+            .all(|(&rs, &bn)| rs.sqrt() <= tol * bn.max(1e-300));
+        if converged {
+            break;
+        }
+        iterations += 1;
+        let ap = apply(&p)?;
+        if ap.rows() != s || ap.cols() != n {
+            return Err(KronError::ShapeMismatch {
+                expected: format!("{s}×{n} operator output"),
+                found: format!("{}×{}", ap.rows(), ap.cols()),
+            });
+        }
+        for i in 0..s {
+            let p_row = p.row(i);
+            let ap_row = ap.row(i);
+            let p_ap: f64 = p_row
+                .iter()
+                .zip(ap_row)
+                .map(|(a, b)| a.to_f64() * b.to_f64())
+                .sum();
+            if p_ap.abs() < 1e-300 {
+                continue;
+            }
+            let alpha = rs_old[i] / p_ap;
+            let alpha_t = T::from_f64(alpha);
+            // z += α p; r -= α Ap — row-local updates.
+            for j in 0..n {
+                let pv = p[(i, j)];
+                let apv = ap[(i, j)];
+                z[(i, j)] += alpha_t * pv;
+                r[(i, j)] -= alpha_t * apv;
+            }
+            let rs_new: f64 = r.row(i).iter().map(|v| v.to_f64() * v.to_f64()).sum();
+            let beta = T::from_f64(rs_new / rs_old[i]);
+            for j in 0..n {
+                let rv = r[(i, j)];
+                p[(i, j)] = rv + beta * p[(i, j)];
+            }
+            rs_old[i] = rs_new;
+        }
+    }
+
+    Ok(CgResult {
+        z,
+        iterations,
+        residuals: rs_old.iter().map(|v| v.sqrt()).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_core::gemm::gemm;
+
+    /// SPD test matrix: Aᵀ A + n·I.
+    fn spd(n: usize, seed: usize) -> Matrix<f64> {
+        let a = Matrix::from_fn(n, n, |r, c| ((seed + r * n + c) % 7) as f64 - 3.0);
+        let mut m = gemm(&a.transpose(), &a).unwrap();
+        for i in 0..n {
+            m[(i, i)] += n as f64;
+        }
+        m
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let n = 12;
+        let a = spd(n, 3);
+        let b = Matrix::from_fn(4, n, |r, c| ((r * n + c) % 5) as f64 - 2.0);
+        let mut apply = |v: &Matrix<f64>| gemm(v, &a.transpose());
+        let res = batched_cg(&mut apply, &b, 200, 1e-12).unwrap();
+        // Check residual A z = b row-wise.
+        let az = gemm(&res.z, &a.transpose()).unwrap();
+        for i in 0..4 {
+            for j in 0..n {
+                assert!(
+                    (az[(i, j)] - b[(i, j)]).abs() < 1e-6,
+                    "residual at ({i},{j}): {} vs {}",
+                    az[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+        assert!(res.iterations <= n + 2);
+    }
+
+    #[test]
+    fn identity_converges_in_one_iteration() {
+        let b = Matrix::from_fn(2, 8, |r, c| (r + c) as f64);
+        let mut apply = |v: &Matrix<f64>| Ok(v.clone());
+        let res = batched_cg(&mut apply, &b, 50, 1e-14).unwrap();
+        assert_eq!(res.iterations, 1);
+        kron_core::assert_matrices_close(&res.z, &b, "identity solve");
+    }
+
+    #[test]
+    fn zero_rhs_is_immediate() {
+        let b = Matrix::<f64>::zeros(3, 6);
+        let mut apply = |v: &Matrix<f64>| Ok(v.clone());
+        let res = batched_cg(&mut apply, &b, 50, 1e-14).unwrap();
+        assert_eq!(res.iterations, 0);
+        assert!(res.residuals.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let n = 32;
+        let a = spd(n, 1);
+        let b = Matrix::from_fn(1, n, |_, c| c as f64);
+        let mut apply = |v: &Matrix<f64>| gemm(v, &a.transpose());
+        let res = batched_cg(&mut apply, &b, 3, 1e-16).unwrap();
+        assert_eq!(res.iterations, 3);
+    }
+
+    #[test]
+    fn rejects_shape_changing_operator() {
+        let b = Matrix::<f64>::from_fn(2, 4, |r, c| (r + c) as f64 + 1.0);
+        let mut apply = |_: &Matrix<f64>| Ok(Matrix::<f64>::zeros(2, 5));
+        assert!(batched_cg(&mut apply, &b, 5, 1e-10).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Regular inducing-point grids and RBF kernel factors.
+
+use kron_core::{Element, KronError, Matrix, Result};
+
+/// A regular grid of `points_per_dim` inducing points per input dimension
+/// over `[0, 1]`, inducing the Kronecker kernel `K₁ ⊗ … ⊗ K_dims`.
+#[derive(Debug, Clone)]
+pub struct InducingGrid {
+    /// Input dimensionality (`N` — the number of Kronecker factors).
+    pub dims: usize,
+    /// Grid points per dimension (`P` — each factor is `P × P`).
+    pub points_per_dim: usize,
+    /// RBF length scale.
+    pub lengthscale: f64,
+}
+
+impl InducingGrid {
+    /// Builds a grid description.
+    ///
+    /// # Errors
+    /// [`KronError::EmptyDimension`] for zero sizes.
+    pub fn new(dims: usize, points_per_dim: usize, lengthscale: f64) -> Result<Self> {
+        if dims == 0 || points_per_dim == 0 {
+            return Err(KronError::EmptyDimension {
+                what: format!("grid {dims} dims × {points_per_dim} points"),
+            });
+        }
+        Ok(InducingGrid {
+            dims,
+            points_per_dim,
+            lengthscale,
+        })
+    }
+
+    /// Coordinate of grid point `i` in one dimension.
+    pub fn coord(&self, i: usize) -> f64 {
+        if self.points_per_dim == 1 {
+            return 0.5;
+        }
+        i as f64 / (self.points_per_dim - 1) as f64
+    }
+
+    /// Grid spacing in one dimension.
+    pub fn spacing(&self) -> f64 {
+        if self.points_per_dim == 1 {
+            return 1.0;
+        }
+        1.0 / (self.points_per_dim - 1) as f64
+    }
+
+    /// The RBF kernel factor for one dimension:
+    /// `K[i][j] = exp(-(xᵢ-xⱼ)²/(2ℓ²))`. Symmetric positive definite.
+    pub fn rbf_factor<T: Element>(&self) -> Matrix<T> {
+        let p = self.points_per_dim;
+        Matrix::from_fn(p, p, |i, j| {
+            let d = self.coord(i) - self.coord(j);
+            T::from_f64((-d * d / (2.0 * self.lengthscale * self.lengthscale)).exp())
+        })
+    }
+
+    /// All `dims` factors (identical for an isotropic kernel).
+    pub fn factors<T: Element>(&self) -> Vec<Matrix<T>> {
+        vec![self.rbf_factor(); self.dims]
+    }
+
+    /// Total inducing points `P^N`.
+    pub fn total_points(&self) -> usize {
+        self.points_per_dim.pow(self.dims as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbf_factor_is_symmetric_with_unit_diagonal() {
+        let g = InducingGrid::new(3, 8, 0.3).unwrap();
+        let k = g.rbf_factor::<f64>();
+        for i in 0..8 {
+            assert!((k[(i, i)] - 1.0).abs() < 1e-12);
+            for j in 0..8 {
+                assert_eq!(k[(i, j)], k[(j, i)]);
+                assert!(k[(i, j)] > 0.0 && k[(i, j)] <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_decays_with_distance() {
+        let g = InducingGrid::new(1, 16, 0.2).unwrap();
+        let k = g.rbf_factor::<f64>();
+        assert!(k[(0, 1)] > k[(0, 8)]);
+        assert!(k[(0, 8)] > k[(0, 15)]);
+    }
+
+    #[test]
+    fn geometry() {
+        let g = InducingGrid::new(2, 5, 0.5).unwrap();
+        assert_eq!(g.coord(0), 0.0);
+        assert_eq!(g.coord(4), 1.0);
+        assert_eq!(g.spacing(), 0.25);
+        assert_eq!(g.total_points(), 25);
+        assert_eq!(g.factors::<f32>().len(), 2);
+        assert!(InducingGrid::new(0, 4, 0.5).is_err());
+    }
+
+    #[test]
+    fn degenerate_single_point_grid() {
+        let g = InducingGrid::new(1, 1, 0.5).unwrap();
+        assert_eq!(g.coord(0), 0.5);
+        assert_eq!(g.spacing(), 1.0);
+        let k = g.rbf_factor::<f64>();
+        assert_eq!(k[(0, 0)], 1.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Sparse grid-interpolation matrix `W` (the "I" in SKI).
+//!
+//! Each data point interpolates linearly between its two neighbouring grid
+//! points per dimension, so a row of `W[n × Pᴺ]` has `2ᴺ` nonzeros whose
+//! weights sum to one. Stored in CSR-like form; only the two products the
+//! GP needs are implemented (`V·Wᵀ` and `V·W` for batched row vectors).
+
+use crate::grid::InducingGrid;
+use kron_core::{Element, KronError, Matrix, Result};
+
+/// Sparse interpolation matrix in row-compressed form.
+#[derive(Debug, Clone)]
+pub struct SparseInterp {
+    rows: usize,
+    cols: usize,
+    /// Per row: (grid column, weight) pairs.
+    entries: Vec<Vec<(usize, f64)>>,
+}
+
+impl SparseInterp {
+    /// Builds `W` for `points` (each a `dims`-length coordinate in
+    /// `[0, 1]`) against `grid`.
+    ///
+    /// # Errors
+    /// [`KronError::ShapeMismatch`] when a point's dimensionality differs
+    /// from the grid's.
+    pub fn build(grid: &InducingGrid, points: &[Vec<f64>]) -> Result<Self> {
+        let p = grid.points_per_dim;
+        let cols = grid.total_points();
+        let mut entries = Vec::with_capacity(points.len());
+        for (idx, x) in points.iter().enumerate() {
+            if x.len() != grid.dims {
+                return Err(KronError::ShapeMismatch {
+                    expected: format!("{}-dimensional point", grid.dims),
+                    found: format!("point {idx} with {} dims", x.len()),
+                });
+            }
+            // Per dimension: the left neighbour index and the right weight.
+            let mut dim_supports: Vec<[(usize, f64); 2]> = Vec::with_capacity(grid.dims);
+            for &xi in x {
+                let xi = xi.clamp(0.0, 1.0);
+                let scaled = xi / grid.spacing();
+                let left = (scaled.floor() as usize).min(p.saturating_sub(2));
+                let right = (left + 1).min(p - 1);
+                let frac = (scaled - left as f64).clamp(0.0, 1.0);
+                dim_supports.push([(left, 1.0 - frac), (right, frac)]);
+            }
+            // Tensor product of per-dimension supports → 2ᴺ entries.
+            let mut row: Vec<(usize, f64)> = vec![(0, 1.0)];
+            for support in &dim_supports {
+                let mut next = Vec::with_capacity(row.len() * 2);
+                for &(col, w) in &row {
+                    for &(gi, gw) in support {
+                        if gw > 0.0 {
+                            next.push((col * p + gi, w * gw));
+                        }
+                    }
+                }
+                row = next;
+            }
+            entries.push(row);
+        }
+        Ok(SparseInterp {
+            rows: points.len(),
+            cols,
+            entries,
+        })
+    }
+
+    /// Number of data points (rows of `W`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of inducing points (columns of `W`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
+    }
+
+    /// Batched `V · Wᵀ`: `V[s × n] → [s × Pᴺ]`… i.e. for each batch row
+    /// `v`, computes `Wᵀ v` (scatter data values onto the grid).
+    ///
+    /// # Errors
+    /// [`KronError::ShapeMismatch`] if `V.cols() != n`.
+    pub fn scatter<T: Element>(&self, v: &Matrix<T>) -> Result<Matrix<T>> {
+        if v.cols() != self.rows {
+            return Err(KronError::ShapeMismatch {
+                expected: format!("{} cols", self.rows),
+                found: format!("{} cols", v.cols()),
+            });
+        }
+        let mut out = Matrix::zeros(v.rows(), self.cols);
+        for s in 0..v.rows() {
+            let src = v.row(s);
+            let dst = out.row_mut(s);
+            for (i, row) in self.entries.iter().enumerate() {
+                let val = src[i];
+                for &(col, w) in row {
+                    dst[col] += val * T::from_f64(w);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batched `U · W… `: for each batch row `u` (length `Pᴺ`), computes
+    /// `W u` (gather grid values back to the data points), giving
+    /// `[s × n]`.
+    ///
+    /// # Errors
+    /// [`KronError::ShapeMismatch`] if `U.cols() != Pᴺ`.
+    pub fn gather<T: Element>(&self, u: &Matrix<T>) -> Result<Matrix<T>> {
+        if u.cols() != self.cols {
+            return Err(KronError::ShapeMismatch {
+                expected: format!("{} cols", self.cols),
+                found: format!("{} cols", u.cols()),
+            });
+        }
+        let mut out = Matrix::zeros(u.rows(), self.rows);
+        for s in 0..u.rows() {
+            let src = u.row(s);
+            let dst = out.row_mut(s);
+            for (i, row) in self.entries.iter().enumerate() {
+                let mut acc = T::ZERO;
+                for &(col, w) in row {
+                    acc += src[col] * T::from_f64(w);
+                }
+                dst[i] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dense materialization (tests only).
+    pub fn to_dense<T: Element>(&self) -> Matrix<T> {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for (i, row) in self.entries.iter().enumerate() {
+            for &(col, w) in row {
+                m[(i, col)] = T::from_f64(w);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_core::gemm::gemm;
+
+    fn grid(dims: usize, p: usize) -> InducingGrid {
+        InducingGrid::new(dims, p, 0.3).unwrap()
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let g = grid(3, 5);
+        let pts = vec![vec![0.1, 0.5, 0.9], vec![0.0, 1.0, 0.33], vec![0.77, 0.2, 0.6]];
+        let w = SparseInterp::build(&g, &pts).unwrap();
+        for row in &w.entries {
+            let sum: f64 = row.iter().map(|&(_, v)| v).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row weight sum {sum}");
+        }
+        assert!(w.nnz() <= 3 * 8);
+    }
+
+    #[test]
+    fn exact_on_grid_points() {
+        // A data point exactly on a grid point has one unit weight there.
+        let g = grid(2, 5);
+        let pts = vec![vec![0.25, 0.75]];
+        let w = SparseInterp::build(&g, &pts).unwrap();
+        let significant: Vec<_> = w.entries[0].iter().filter(|&&(_, v)| v > 1e-12).collect();
+        assert_eq!(significant.len(), 1);
+        // Column = 1·5 + 3 (row-major over dims).
+        assert_eq!(significant[0].0, 5 + 3);
+        assert!((significant[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scatter_gather_match_dense() {
+        let g = grid(2, 4);
+        let pts = vec![vec![0.2, 0.9], vec![0.5, 0.5], vec![0.8, 0.1], vec![0.35, 0.65]];
+        let w = SparseInterp::build(&g, &pts).unwrap();
+        let dense = w.to_dense::<f64>();
+        let v = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64 - 5.0);
+        // scatter = V · W (dense): rows of V times W.
+        let got = w.scatter(&v).unwrap();
+        let want = gemm(&v, &dense).unwrap();
+        kron_core::assert_matrices_close(&got, &want, "scatter");
+        let u = Matrix::from_fn(3, 16, |r, c| ((r * 16 + c) % 7) as f64 - 3.0);
+        let got2 = w.gather(&u).unwrap();
+        let want2 = gemm(&u, &dense.transpose()).unwrap();
+        kron_core::assert_matrices_close(&got2, &want2, "gather");
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let g = grid(2, 4);
+        assert!(SparseInterp::build(&g, &[vec![0.5]]).is_err());
+        let w = SparseInterp::build(&g, &[vec![0.5, 0.5]]).unwrap();
+        assert!(w.scatter(&Matrix::<f64>::zeros(1, 3)).is_err());
+        assert!(w.gather(&Matrix::<f64>::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn clamps_out_of_range_points() {
+        let g = grid(1, 4);
+        let w = SparseInterp::build(&g, &[vec![-0.5], vec![1.5]]).unwrap();
+        for row in &w.entries {
+            let sum: f64 = row.iter().map(|&(_, v)| v).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # kron-gp
+//!
+//! The paper's §6.4 case study: training Gaussian Processes whose kernel
+//! matrix is interpolated from a Kronecker product of small per-dimension
+//! kernels (Structured Kernel Interpolation — SKI/KISS-GP — and its
+//! variants SKIP and LOVE).
+//!
+//! The SKI kernel is `K_SKI = W (K₁ ⊗ … ⊗ K_N) Wᵀ + σ²I`, where each `Kᵢ`
+//! is an RBF kernel over a regular 1-D grid of `P` inducing points and `W`
+//! is a sparse interpolation matrix. Training computes `K_SKI⁻¹ y` with
+//! batched conjugate gradients (the paper uses 16 probe vectors — which is
+//! exactly why `M = 16` appears throughout its Table 3), and every CG
+//! iteration's dominant cost is one Kron-Matmul of shape
+//! `16 × Pᴺ` — the operation FastKron accelerates.
+//!
+//! Modules: [`grid`] (inducing grids and RBF factors), [`interp`] (sparse
+//! `W`), [`cg`] (batched CG), [`datasets`] (synthetic UCI-scale data),
+//! [`model`] (the SKI GP itself), and [`train`] (the Table 5 timing
+//! study: vanilla-GPyTorch vs FastKron-integrated backends on 1 or 16
+//! simulated GPUs).
+
+#![deny(missing_docs)]
+
+pub mod cg;
+pub mod datasets;
+pub mod grid;
+pub mod interp;
+pub mod model;
+pub mod train;
+
+pub use datasets::{Dataset, UciDataset};
+pub use grid::InducingGrid;
+pub use interp::SparseInterp;
+pub use model::SkiGp;
+pub use train::{GpVariant, KronBackend, TrainTimer};

@@ -1,0 +1,42 @@
+//! Quickstart: plan a Kron-Matmul, execute it, verify against the naive
+//! oracle, and print the simulated-GPU report.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use fastkron::prelude::*;
+use kron_core::naive::kron_matmul_naive;
+
+fn main() {
+    // Y[M × Q^N] = X[M × P^N] · (F1 ⊗ … ⊗ FN), here M=32, P=Q=8, N=4.
+    let problem = KronProblem::uniform(32, 8, 4).expect("valid shape");
+    let k = problem.input_cols();
+    println!("Problem: {problem} (X is 32×{k})");
+
+    let x = Matrix::<f32>::from_fn(32, k, |r, c| ((r * 31 + c * 7) % 13) as f32 - 6.0);
+    let factors: Vec<Matrix<f32>> = (0..4)
+        .map(|i| Matrix::from_fn(8, 8, |r, c| ((i * 3 + r * 8 + c) % 11) as f32 - 5.0))
+        .collect();
+    let refs: Vec<&Matrix<f32>> = factors.iter().collect();
+
+    // Plan once (autotunes tile sizes for the V100 model), execute many.
+    let plan = FastKron::plan::<f32>(&problem, &V100).expect("planning succeeds");
+    let y = plan.execute(&x, &refs).expect("execution succeeds");
+    println!("Result: {}×{}", y.rows(), y.cols());
+
+    // Cross-check against the materialized Kronecker product.
+    let oracle = kron_matmul_naive(&x, &refs).expect("oracle");
+    assert_matrices_close(&y, &oracle, "quickstart");
+    println!("Verified against the naive oracle.");
+
+    // What would this cost on a real V100?
+    let report = plan.simulate().expect("simulation succeeds");
+    println!(
+        "Simulated V100 time: {:.3} ms over {} kernel launches ({:.2} TFLOPS)",
+        report.seconds * 1e3,
+        report.launches,
+        report.tflops(problem.flops())
+    );
+    for step in &report.steps {
+        println!("  {}: {:.3} ms", step.label, step.seconds * 1e3);
+    }
+}

@@ -1,0 +1,153 @@
+//! Paper-anchored fidelity tests: the simulated numbers must stay inside
+//! bands around the paper's reported values, so regressions in the
+//! performance model are caught — not just functional bugs.
+
+use fastkron::baselines::{Engine, FastKronEngine, FtmmtEngine, ShuffleEngine};
+use fastkron::dist::{CtfEngine, DistFastKron, DistalEngine};
+use fastkron::prelude::*;
+
+/// Asserts `value` is within `[lo, hi]`.
+fn band(value: f64, lo: f64, hi: f64, what: &str) {
+    assert!(
+        (lo..=hi).contains(&value),
+        "{what}: {value:.3} outside [{lo}, {hi}]"
+    );
+}
+
+#[test]
+fn figure9_fastkron_tflops_track_paper() {
+    // Paper values with generous ±45% bands (ours is a model, but the
+    // trend and magnitude must hold).
+    let cases = [
+        (8usize, 5usize, 3.9f64),
+        (8, 6, 4.4),
+        (16, 4, 6.8),
+        (16, 5, 5.8),
+        (32, 3, 8.0),
+        (32, 4, 8.9),
+        (64, 2, 9.6),
+        (64, 3, 11.8),
+        (128, 2, 12.7),
+        (128, 3, 13.7),
+    ];
+    let engine = FastKronEngine::new(&V100);
+    for (p, n, paper) in cases {
+        let problem = KronProblem::uniform(1024, p, n).unwrap();
+        let r = Engine::<f32>::simulate(&engine, &problem).unwrap();
+        let tf = problem.flops() as f64 / r.seconds / 1e12;
+        band(tf, paper * 0.55, paper * 1.45, &format!("Figure 9 {p}^{n}"));
+    }
+}
+
+#[test]
+fn figure9_peak_fraction_at_largest_size() {
+    // Paper: "For the largest size, FastKron achieves 87% of the maximum
+    // FLOPS of the GPU."
+    let problem = KronProblem::uniform(1024, 128, 3).unwrap();
+    let r = Engine::<f32>::simulate(&FastKronEngine::new(&V100), &problem).unwrap();
+    let frac = problem.flops() as f64 / r.seconds / V100.peak_flops_f32;
+    band(frac, 0.75, 0.95, "peak fraction at 128^3");
+}
+
+#[test]
+fn table1_transpose_fraction_band() {
+    // Paper: transpose is up to 80% of GPyTorch's total.
+    let engine = ShuffleEngine::new(&V100);
+    for (p, n, paper_frac) in [(8usize, 6usize, 0.63), (16, 5, 0.71), (32, 4, 0.78)] {
+        let problem = KronProblem::uniform(1024, p, n).unwrap();
+        let r = Engine::<f32>::simulate(&engine, &problem).unwrap();
+        let frac = r.step_seconds("transpose") / r.seconds;
+        band(frac, paper_frac - 0.15, paper_frac + 0.12, &format!("transpose frac {p}^{n}"));
+    }
+}
+
+#[test]
+fn table2_load_reduction_band() {
+    // Paper: FastKron does 1.37x-3.10x fewer shared load transactions.
+    for (p, n) in [(8usize, 6usize), (16, 5), (32, 4), (64, 3)] {
+        let problem = KronProblem::uniform(1024, p, n).unwrap();
+        let co = Engine::<f32>::simulate(&FtmmtEngine::new(&V100), &problem).unwrap();
+        let fk = Engine::<f32>::simulate(&FastKronEngine::new(&V100), &problem).unwrap();
+        let red = co.stats.smem_load_transactions as f64
+            / fk.stats.smem_load_transactions as f64;
+        band(red, 1.0, 4.5, &format!("Table 2 load reduction {p}^{n}"));
+    }
+}
+
+#[test]
+fn figure11_sixteen_gpu_gaps() {
+    // Paper: 7.85x over CTF and 5.33x over DISTAL at 16 GPUs.
+    let problem = KronProblem::uniform(2048, 64, 4).unwrap();
+    let t_fk = DistFastKron::new(&V100, 16)
+        .unwrap()
+        .simulate::<f32>(&problem)
+        .unwrap()
+        .seconds;
+    let t_ctf = CtfEngine::new(&V100, 16)
+        .unwrap()
+        .simulate::<f32>(&problem)
+        .unwrap()
+        .seconds;
+    let t_distal = DistalEngine::new(&V100, 16)
+        .unwrap()
+        .simulate::<f32>(&problem)
+        .unwrap()
+        .seconds;
+    band(t_ctf / t_fk, 4.0, 14.0, "FastKron over CTF at 16 GPUs");
+    band(t_distal / t_fk, 2.5, 9.0, "FastKron over DISTAL at 16 GPUs");
+}
+
+#[test]
+fn figure11_weak_scaling_efficiency() {
+    // FastKron's 16-GPU throughput must be at least 5x its 1-GPU
+    // throughput under weak scaling (paper achieves ~8-12x).
+    let p1 = KronProblem::uniform(128, 64, 4).unwrap();
+    let p16 = KronProblem::uniform(2048, 64, 4).unwrap();
+    let tf = |problem: &KronProblem, g: usize| {
+        let r = DistFastKron::new(&V100, g).unwrap().simulate::<f32>(problem).unwrap();
+        problem.flops() as f64 / r.seconds / 1e12
+    };
+    let t1 = tf(&p1, 1);
+    let t16 = tf(&p16, 16);
+    band(t16 / t1, 5.0, 16.0, "weak-scaling gain 1->16 GPUs");
+}
+
+#[test]
+fn autotuner_beats_naive_configuration_everywhere() {
+    use fastkron::kron::tuner::estimate_stats;
+    use fastkron::kron::{FastKron, TileConfig};
+    use gpu_sim::cost::CostModel;
+    let cost = CostModel::new(&V100);
+    for (m, p, n) in [(1024usize, 8usize, 5usize), (16, 64, 3), (1024, 32, 3)] {
+        let problem = KronProblem::uniform(m, p, n).unwrap();
+        let plan = FastKron::plan::<f32>(&problem, &V100).unwrap();
+        let tuned = plan.simulate().unwrap().seconds;
+        // Minimal config, one launch per factor.
+        let k = problem.input_cols();
+        let minimal = TileConfig::minimal(m, k, p, p);
+        let stats = estimate_stats(&minimal, &V100, m, k, p, p, kron_core::DType::F32, 1);
+        let t_min = cost
+            .kernel_time(
+                &minimal.launch(m, k, p, p, kron_core::DType::F32),
+                &stats,
+                kron_core::DType::F32,
+            )
+            .unwrap()
+            .total_s
+            * n as f64;
+        assert!(
+            tuned < t_min,
+            "M={m} {p}^{n}: tuned {tuned} not better than minimal {t_min}"
+        );
+    }
+}
+
+#[test]
+fn simulated_times_are_deterministic() {
+    let problem = KronProblem::uniform(64, 16, 3).unwrap();
+    let engine = FastKronEngine::new(&V100);
+    let a = Engine::<f32>::simulate(&engine, &problem).unwrap();
+    let b = Engine::<f32>::simulate(&engine, &problem).unwrap();
+    assert_eq!(a.seconds, b.seconds);
+    assert_eq!(a.stats, b.stats);
+}
