@@ -21,9 +21,8 @@ fn main() {
         let gp = run(Engine::<f32>::simulate(&ShuffleEngine::new(&V100), &problem).unwrap());
         let co = run(Engine::<f32>::simulate(&FtmmtEngine::new(&V100), &problem).unwrap());
         let cu = run(Engine::<f32>::simulate(&CuTensorEngine::new(&V100), &problem).unwrap());
-        let fw = run(
-            Engine::<f32>::simulate(&FastKronEngine::without_fusion(&V100), &problem).unwrap(),
-        );
+        let fw =
+            run(Engine::<f32>::simulate(&FastKronEngine::without_fusion(&V100), &problem).unwrap());
         let fk = run(Engine::<f32>::simulate(&FastKronEngine::new(&V100), &problem).unwrap());
         println!(
             "{:>5}^{:<2} {:>10.2} {:>10.2} {:>10.2} {:>12.2} {:>10.2} {:>12.1}",

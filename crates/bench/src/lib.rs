@@ -61,10 +61,16 @@ pub fn table3_cases() -> Vec<(usize, usize)> {
 /// per-P largest M = 16 sizes, consistent with Table 3.
 pub fn table4_cases() -> Vec<(usize, KronProblem)> {
     let uniform = |id: usize, m: usize, p: usize, n: usize| {
-        (id, KronProblem::uniform(m, p, n).expect("valid uniform case"))
+        (
+            id,
+            KronProblem::uniform(m, p, n).expect("valid uniform case"),
+        )
     };
     let mixed = |id: usize, m: usize, shapes: &[(usize, usize)]| {
-        let factors = shapes.iter().map(|&(p, q)| FactorShape::new(p, q)).collect();
+        let factors = shapes
+            .iter()
+            .map(|&(p, q)| FactorShape::new(p, q))
+            .collect();
         (id, KronProblem::new(m, factors).expect("valid mixed case"))
     };
     vec![
@@ -96,7 +102,16 @@ pub fn table4_cases() -> Vec<(usize, KronProblem)> {
         mixed(
             21,
             1,
-            &[(5, 5), (5, 5), (2, 2), (2, 2), (2, 2), (2, 2), (2, 2), (2, 2)],
+            &[
+                (5, 5),
+                (5, 5),
+                (2, 2),
+                (2, 2),
+                (2, 2),
+                (2, 2),
+                (2, 2),
+                (2, 2),
+            ],
         ),
         // 22-24: drug-target prediction (Viljanen et al.).
         uniform(22, 1526, 4, 6),
@@ -118,6 +133,11 @@ pub fn figure11_cases() -> Vec<(usize, usize, usize)> {
 /// GPU counts swept in Figure 11.
 pub fn figure11_gpu_counts() -> Vec<usize> {
     vec![1, 2, 4, 8, 16]
+}
+
+/// Label for a Figure 9 case, e.g. `8^6`.
+pub fn fig9_label(p: usize, n: usize) -> String {
+    format!("{p}^{n}")
 }
 
 /// Formats seconds with an adaptive unit.
@@ -166,5 +186,6 @@ mod tests {
         assert_eq!(fmt_seconds(2.5), "2.50 s");
         assert_eq!(fmt_seconds(0.0025), "2.50 ms");
         assert_eq!(fmt_seconds(2.5e-6), "2.5 us");
+        assert_eq!(fig9_label(8, 6), "8^6");
     }
 }

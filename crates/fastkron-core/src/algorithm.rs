@@ -69,7 +69,13 @@ pub fn sliced_multiply<T: Element>(x: &Matrix<T>, f: &Matrix<T>) -> Result<Matri
 }
 
 /// Full Kron-Matmul by Algorithm 1: sliced multiplies from the last factor
-/// to the first, double-buffering intermediates.
+/// to the first.
+///
+/// Runs on the fused execution path ([`crate::exec`]): ping-pong workspace
+/// buffers instead of a fresh matrix per step, and the epilogue scatter in
+/// place of any transpose. Callers executing the same problem repeatedly
+/// should hold a [`crate::exec::Workspace`] directly and skip the
+/// per-call buffer allocation.
 ///
 /// # Errors
 /// Shape errors as in [`sliced_multiply`]; [`KronError::NoFactors`] for an
@@ -78,21 +84,7 @@ pub fn kron_matmul_fastkron<T: Element>(
     x: &Matrix<T>,
     factors: &[&Matrix<T>],
 ) -> Result<Matrix<T>> {
-    if factors.is_empty() {
-        return Err(KronError::NoFactors);
-    }
-    let expected: usize = factors.iter().map(|f| f.rows()).product();
-    if x.cols() != expected {
-        return Err(KronError::ShapeMismatch {
-            expected: format!("X with ∏Pᵢ = {expected} cols"),
-            found: format!("X with {} cols", x.cols()),
-        });
-    }
-    let mut y = x.clone();
-    for f in factors.iter().rev() {
-        y = sliced_multiply(&y, f)?;
-    }
-    Ok(y)
+    crate::exec::kron_matmul_fused(x, factors)
 }
 
 #[cfg(test)]
@@ -103,7 +95,9 @@ mod tests {
     use kron_core::{assert_matrices_close, FactorShape, KronProblem};
 
     fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
-        Matrix::from_fn(rows, cols, |r, c| ((start + 3 * r * cols + c) % 13) as f64 - 6.0)
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((start + 3 * r * cols + c) % 13) as f64 - 6.0
+        })
     }
 
     #[test]
@@ -116,7 +110,15 @@ mod tests {
         // Col 0 of F with slices (1,2) and (3,4): 1·10+2·30 = 70, 3·10+4·30 = 150.
         // Col 1: 1·20+2·40 = 100, 3·20+4·40 = 220.
         assert_eq!(y.row(0), &[70.0, 150.0, 100.0, 220.0]);
-        assert_eq!(y.row(1), &[5.0 * 10.0 + 6.0 * 30.0, 7.0 * 10.0 + 8.0 * 30.0, 5.0 * 20.0 + 6.0 * 40.0, 7.0 * 20.0 + 8.0 * 40.0]);
+        assert_eq!(
+            y.row(1),
+            &[
+                5.0 * 10.0 + 6.0 * 30.0,
+                7.0 * 10.0 + 8.0 * 30.0,
+                5.0 * 20.0 + 6.0 * 40.0,
+                7.0 * 20.0 + 8.0 * 40.0
+            ]
+        );
     }
 
     #[test]
@@ -164,7 +166,11 @@ mod tests {
     #[test]
     fn mixed_rectangular_factors() {
         // Table 4 row 6-style: 5×50-ish expanding factor mixes.
-        let shapes = [FactorShape::new(5, 2), FactorShape::new(2, 5), FactorShape::new(3, 3)];
+        let shapes = [
+            FactorShape::new(5, 2),
+            FactorShape::new(2, 5),
+            FactorShape::new(3, 3),
+        ];
         let k: usize = shapes.iter().map(|s| s.p).product();
         let x = seq_matrix(7, k, 0);
         let fs: Vec<Matrix<f64>> = shapes

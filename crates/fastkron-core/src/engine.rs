@@ -8,7 +8,7 @@
 //! simulated GPU, and [`KronPlan::execute_emulated`] runs the
 //! thread-block-accurate kernels (tests / small problems).
 
-use crate::algorithm::kron_matmul_fastkron;
+use crate::exec::Workspace;
 use crate::fused::FusedKernel;
 use crate::kernel::SlicedMultiplyKernel;
 use crate::tile::TileConfig;
@@ -128,10 +128,7 @@ impl FastKron {
             // How many consecutive upcoming factors share this square shape
             // (fusion candidates)?
             let mut run = 1;
-            while i + run < iterations.len()
-                && iterations[i + run].factor == it.factor
-                && p == q
-            {
+            while i + run < iterations.len() && iterations[i + run].factor == it.factor && p == q {
                 run += 1;
             }
 
@@ -178,8 +175,7 @@ impl FastKron {
             if use_fused {
                 let (cfg, nf, _) = fused_choice.unwrap();
                 let nf = nf.min(run);
-                let idxs: Vec<usize> =
-                    (0..nf).map(|j| iterations[i + j].factor_index).collect();
+                let idxs: Vec<usize> = (0..nf).map(|j| iterations[i + j].factor_index).collect();
                 stages.push(PlanStage {
                     factor_indices: idxs,
                     fused: true,
@@ -265,14 +261,41 @@ impl<T: Element> KronPlan<T> {
         Ok(())
     }
 
-    /// Computes `Y = X · (F1 ⊗ … ⊗ FN)` with the fast functional engine
-    /// (rayon-parallel Algorithm 1; tiling does not affect values).
+    /// Allocates a fused-path [`Workspace`] sized for the planned problem.
+    ///
+    /// [`Self::execute`] creates one per call; callers running the plan
+    /// repeatedly should create the workspace once and use
+    /// [`Self::execute_with`] so no execution ever allocates intermediates.
+    pub fn workspace(&self) -> Workspace<T> {
+        Workspace::new(&self.problem)
+    }
+
+    /// Computes `Y = X · (F1 ⊗ … ⊗ FN)` on the fused execution path
+    /// ([`crate::exec`]): zero intermediate allocations after workspace
+    /// creation, no transpose pass, row-tile parallel. Tiling choices in
+    /// the plan do not affect values.
     ///
     /// # Errors
     /// Shape mismatches between the operands and the planned problem.
     pub fn execute(&self, x: &Matrix<T>, factors: &[&Matrix<T>]) -> Result<Matrix<T>> {
+        let mut workspace = self.workspace();
+        self.execute_with(&mut workspace, x, factors)
+    }
+
+    /// Like [`Self::execute`], reusing a caller-held [`Workspace`] so the
+    /// whole call is allocation-free except for the result matrix.
+    ///
+    /// # Errors
+    /// Shape mismatches between the operands and the planned problem (the
+    /// workspace must come from [`Self::workspace`] on the same plan).
+    pub fn execute_with(
+        &self,
+        workspace: &mut Workspace<T>,
+        x: &Matrix<T>,
+        factors: &[&Matrix<T>],
+    ) -> Result<Matrix<T>> {
         self.check_operands(x, factors)?;
-        kron_matmul_fastkron(x, factors)
+        workspace.execute(x, factors)
     }
 
     /// Computes the result by running every planned thread block through
@@ -315,8 +338,7 @@ impl<T: Element> KronPlan<T> {
             let per_block = if stage.fused {
                 // Factor values are irrelevant to addresses; use zeros.
                 let zeros = Matrix::<T>::zeros(stage.p, stage.q);
-                let group: Vec<&Matrix<T>> =
-                    stage.factor_indices.iter().map(|_| &zeros).collect();
+                let group: Vec<&Matrix<T>> = stage.factor_indices.iter().map(|_| &zeros).collect();
                 let kern = FusedKernel::new(stage.config, self.problem.m, stage.k_in, &group)?;
                 kern.trace_block(&mut tracer)
             } else {
@@ -348,7 +370,9 @@ mod tests {
     use kron_core::{assert_matrices_close, FactorShape};
 
     fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
-        Matrix::from_fn(rows, cols, |r, c| ((start + 7 * r * cols + c) % 11) as f64 - 5.0)
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((start + 7 * r * cols + c) % 11) as f64 - 5.0
+        })
     }
 
     fn run_problem(problem: &KronProblem, seed: usize) {
@@ -393,7 +417,11 @@ mod tests {
     fn plan_execute_emulate_rectangular() {
         let problem = KronProblem::new(
             3,
-            vec![FactorShape::new(5, 2), FactorShape::new(4, 6), FactorShape::new(2, 2)],
+            vec![
+                FactorShape::new(5, 2),
+                FactorShape::new(4, 6),
+                FactorShape::new(2, 2),
+            ],
         )
         .unwrap();
         run_problem(&problem, 4);
@@ -406,7 +434,10 @@ mod tests {
         assert!(
             plan.stages.iter().any(|s| s.fused),
             "P = 4, N = 6 should fuse; stages: {:?}",
-            plan.stages.iter().map(|s| (s.fused, s.factor_indices.clone())).collect::<Vec<_>>()
+            plan.stages
+                .iter()
+                .map(|s| (s.fused, s.factor_indices.clone()))
+                .collect::<Vec<_>>()
         );
         // Fused plan must launch fewer kernels than factors.
         assert!(plan.launches() < problem.num_factors());
@@ -425,11 +456,22 @@ mod tests {
         for problem in [
             KronProblem::uniform(4, 8, 5).unwrap(),
             KronProblem::uniform(16, 32, 3).unwrap(),
-            KronProblem::new(2, vec![FactorShape::new(3, 3), FactorShape::new(3, 3), FactorShape::new(2, 5)]).unwrap(),
+            KronProblem::new(
+                2,
+                vec![
+                    FactorShape::new(3, 3),
+                    FactorShape::new(3, 3),
+                    FactorShape::new(2, 5),
+                ],
+            )
+            .unwrap(),
         ] {
             let plan = FastKron::plan::<f32>(&problem, &V100).unwrap();
-            let mut seen: Vec<usize> =
-                plan.stages.iter().flat_map(|s| s.factor_indices.clone()).collect();
+            let mut seen: Vec<usize> = plan
+                .stages
+                .iter()
+                .flat_map(|s| s.factor_indices.clone())
+                .collect();
             seen.sort_unstable();
             let expected: Vec<usize> = (0..problem.num_factors()).collect();
             assert_eq!(seen, expected, "{problem}");

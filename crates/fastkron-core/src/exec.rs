@@ -1,0 +1,706 @@
+//! The fused sliced-multiply execution path: Algorithm 1 with zero
+//! intermediate allocations and no transpose pass.
+//!
+//! This is the CPU analog of the paper's central claim — that the shuffle
+//! algorithm's cost is dominated by its memory shuffle (reshape → GEMM →
+//! transpose-inner), and that writing each output element *directly* to
+//! column `q·K/P + slice` in the kernel epilogue removes the transpose
+//! entirely. The module mirrors the emulated CUDA kernel's four steps
+//! ([`crate::kernel::SlicedMultiplyKernel`]) at row granularity:
+//!
+//! 1. **Workspace** ([`Workspace`]): two ping-pong buffers, each sized once
+//!    from [`KronProblem::max_intermediate_elems`]. After construction, no
+//!    factor step allocates — intermediates bounce between the two buffers,
+//!    and the final step writes straight into the caller's output matrix.
+//! 2. **Packed slice panels**: each microkernel invocation transposes a
+//!    block of [`RK`] consecutive slices into a `P × RK` panel held on the
+//!    stack, so the multiply's inner loop reads unit-stride (the CPU
+//!    equivalent of the kernel's `ShiftGToS` staging into shared memory).
+//! 3. **Register-tile multiply**: an [`RK`]`×`[`RQ`] accumulator tile is
+//!    updated with `mul_add` over the factor's `P` rows — bounds checks are
+//!    hoisted out of the loop, leaving pure FMA chains the compiler can
+//!    keep in vector registers.
+//! 4. **Epilogue scatter** ([`fused_output_col`]): accumulated results go
+//!    directly to output column `q·S + s` (`S` = slice count), exactly step
+//!    4 of the emulated kernel — consecutive tile results are consecutive
+//!    output elements, so the scatter is a contiguous [`RK`]-wide store.
+//!
+//! Rows of the problem are independent, so the whole factor chain is
+//! parallelized by partitioning rows into tiles and running each tile's
+//! *entire* chain on one thread — one dispatch per execute, not one per
+//! factor, with each thread ping-ponging inside its own disjoint slice of
+//! the workspace buffers.
+
+use kron_core::{Element, KronError, KronProblem, Matrix, Result};
+
+/// Slice-block edge of the register tile: the microkernel computes [`RK`]
+/// consecutive slices per accumulator tile, and the epilogue stores them as
+/// one contiguous run (they are adjacent output columns).
+pub const RK: usize = 8;
+
+/// Factor-column edge of the register tile.
+pub const RQ: usize = 4;
+
+/// Largest factor-row count the packed-panel fast path supports; factors
+/// taller than this (none in the paper's evaluation) take a safe strided
+/// fallback instead of a stack panel.
+const PANEL_MAX_P: usize = 160;
+
+/// Problems below this FLOP count run single-threaded; tiny chains are
+/// dominated by thread dispatch otherwise.
+const MIN_PAR_FLOPS: u64 = 1 << 15;
+
+/// Output column a sliced multiply writes slice `s` of factor column `q`
+/// to: `q·S + s` where `S` is the slice count (`K/P`).
+///
+/// This single line is what makes the transpose unnecessary (paper §3):
+/// the new factor index `q` lands in the slowest-varying position at write
+/// time. Shared by the functional fused path and the thread-block-accurate
+/// kernel emulation so the two layers cannot drift apart.
+#[inline(always)]
+pub fn fused_output_col(q: usize, slices: usize, s: usize) -> usize {
+    q * slices + s
+}
+
+/// Reusable execution state for one [`KronProblem`]: two ping-pong buffers
+/// sized once at construction.
+///
+/// Create once, call [`Workspace::execute`] or [`Workspace::execute_into`]
+/// many times; after construction the fused path performs **zero heap
+/// allocations per factor step** (asserted by a counting-allocator test).
+/// When row tiles run on multiple threads, the only allocation is the
+/// per-execute thread spawn, never anything per factor step.
+pub struct Workspace<T> {
+    problem: KronProblem,
+    /// Row stride of both buffers (`max_intermediate_cols`).
+    stride: usize,
+    buf_a: Vec<T>,
+    buf_b: Vec<T>,
+}
+
+impl<T: Element> Workspace<T> {
+    /// Allocates the ping-pong buffers for `problem`.
+    ///
+    /// Single-factor problems need no intermediates; their buffers are
+    /// empty and execution streams `X` straight to `Y`.
+    pub fn new(problem: &KronProblem) -> Self {
+        let (stride, elems) = if problem.num_factors() > 1 {
+            (
+                problem.max_intermediate_cols(),
+                problem.max_intermediate_elems(),
+            )
+        } else {
+            (0, 0)
+        };
+        Workspace {
+            problem: problem.clone(),
+            stride,
+            buf_a: vec![T::ZERO; elems],
+            buf_b: vec![T::ZERO; elems],
+        }
+    }
+
+    /// The problem this workspace was sized for.
+    pub fn problem(&self) -> &KronProblem {
+        &self.problem
+    }
+
+    /// Computes `Y = X · (F1 ⊗ … ⊗ FN)`, allocating only the result.
+    ///
+    /// # Errors
+    /// Shape mismatches between the operands and the workspace's problem.
+    pub fn execute(&mut self, x: &Matrix<T>, factors: &[&Matrix<T>]) -> Result<Matrix<T>> {
+        let mut y = Matrix::zeros(self.problem.m, self.problem.output_cols());
+        self.execute_into(x, factors, &mut y)?;
+        Ok(y)
+    }
+
+    /// Computes `Y = X · (F1 ⊗ … ⊗ FN)` into caller-provided storage —
+    /// the fully allocation-free entry point.
+    ///
+    /// # Errors
+    /// Shape mismatches between the operands and the workspace's problem.
+    pub fn execute_into(
+        &mut self,
+        x: &Matrix<T>,
+        factors: &[&Matrix<T>],
+        y: &mut Matrix<T>,
+    ) -> Result<()> {
+        self.validate(x, factors, y)?;
+        let m = self.problem.m;
+        let k0 = self.problem.input_cols();
+        let l = self.problem.output_cols();
+        let stride = self.stride;
+
+        // Execution order: last factor first (Algorithm 1 line 5).
+        let chain = Chain { factors, k0 };
+
+        let tiles = self.row_tiles();
+        let x_data = x.as_slice();
+        let y_data = y.as_mut_slice();
+        if tiles <= 1 {
+            run_tile(
+                chain,
+                TileBuffers {
+                    x: x_data,
+                    y: y_data,
+                    a: &mut self.buf_a,
+                    b: &mut self.buf_b,
+                    stride,
+                    rows: m,
+                    l,
+                },
+            );
+            return Ok(());
+        }
+
+        // Partition rows into `tiles` contiguous blocks; each block gets
+        // disjoint slices of X, Y, and both ping-pong buffers.
+        let rows_per_tile = m.div_ceil(tiles);
+        std::thread::scope(|scope| {
+            let mut x_rest = x_data;
+            let mut y_rest = &mut *y_data;
+            let mut a_rest = &mut self.buf_a[..];
+            let mut b_rest = &mut self.buf_b[..];
+            let mut row = 0;
+            while row < m {
+                let rows = rows_per_tile.min(m - row);
+                let (x_t, xr) = x_rest.split_at(rows * k0);
+                let (y_t, yr) = y_rest.split_at_mut(rows * l);
+                let (a_t, ar) = a_rest.split_at_mut(rows * stride);
+                let (b_t, br) = b_rest.split_at_mut(rows * stride);
+                x_rest = xr;
+                y_rest = yr;
+                a_rest = ar;
+                b_rest = br;
+                scope.spawn(move || {
+                    run_tile(
+                        chain,
+                        TileBuffers {
+                            x: x_t,
+                            y: y_t,
+                            a: a_t,
+                            b: b_t,
+                            stride,
+                            rows,
+                            l,
+                        },
+                    );
+                });
+                row += rows;
+            }
+        });
+        Ok(())
+    }
+
+    /// Number of row tiles (= threads) an execute will use.
+    fn row_tiles(&self) -> usize {
+        // current_num_threads is cached by the shim; querying
+        // available_parallelism directly would allocate (it reads cgroup
+        // quota files), breaking the zero-allocation contract.
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || self.problem.flops() < MIN_PAR_FLOPS {
+            1
+        } else {
+            threads.min(self.problem.m)
+        }
+    }
+
+    fn validate(&self, x: &Matrix<T>, factors: &[&Matrix<T>], y: &Matrix<T>) -> Result<()> {
+        if factors.len() != self.problem.num_factors() {
+            return Err(KronError::ShapeMismatch {
+                expected: format!("{} factors", self.problem.num_factors()),
+                found: format!("{} factors", factors.len()),
+            });
+        }
+        for (i, (f, s)) in factors.iter().zip(self.problem.factors.iter()).enumerate() {
+            if f.rows() != s.p || f.cols() != s.q {
+                return Err(KronError::ShapeMismatch {
+                    expected: format!("factor {} of shape {s}", i + 1),
+                    found: format!("{}×{}", f.rows(), f.cols()),
+                });
+            }
+        }
+        if x.rows() != self.problem.m || x.cols() != self.problem.input_cols() {
+            return Err(KronError::ShapeMismatch {
+                expected: format!("X {}×{}", self.problem.m, self.problem.input_cols()),
+                found: format!("X {}×{}", x.rows(), x.cols()),
+            });
+        }
+        if y.rows() != self.problem.m || y.cols() != self.problem.output_cols() {
+            return Err(KronError::ShapeMismatch {
+                expected: format!("Y {}×{}", self.problem.m, self.problem.output_cols()),
+                found: format!("Y {}×{}", y.rows(), y.cols()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Computes `Y = X · (F1 ⊗ … ⊗ FN)` on the fused path with a throwaway
+/// [`Workspace`] — the drop-in replacement for the old per-step-allocating
+/// `kron_matmul_fastkron` loop. Callers in a loop should hold a
+/// [`Workspace`] instead and pay the buffer allocation once.
+///
+/// # Errors
+/// Shape errors when `X.cols() != ∏Pᵢ` or `factors` is empty.
+pub fn kron_matmul_fused<T: Element>(x: &Matrix<T>, factors: &[&Matrix<T>]) -> Result<Matrix<T>> {
+    if factors.is_empty() {
+        return Err(KronError::NoFactors);
+    }
+    let shapes = factors
+        .iter()
+        .map(|f| kron_core::FactorShape::new(f.rows(), f.cols()))
+        .collect();
+    let problem = KronProblem::new(x.rows().max(1), shapes)?;
+    if x.cols() != problem.input_cols() {
+        return Err(KronError::ShapeMismatch {
+            expected: format!("X with ∏Pᵢ = {} cols", problem.input_cols()),
+            found: format!("X with {} cols", x.cols()),
+        });
+    }
+    if x.rows() == 0 {
+        return Ok(Matrix::zeros(0, problem.output_cols()));
+    }
+    Workspace::new(&problem).execute(x, factors)
+}
+
+/// The factor chain one execute runs, shared read-only across row tiles.
+#[derive(Clone, Copy)]
+struct Chain<'a, T> {
+    /// Factors in Kronecker-product order (`F1` first); iterated in
+    /// reverse, as Algorithm 1 prescribes.
+    factors: &'a [&'a Matrix<T>],
+    /// Input columns (`∏Pᵢ`).
+    k0: usize,
+}
+
+/// One row tile's disjoint slices of every buffer an execute touches.
+struct TileBuffers<'a, T> {
+    /// This tile's rows of `X` (row stride `k0`).
+    x: &'a [T],
+    /// This tile's rows of `Y` (row stride `l`).
+    y: &'a mut [T],
+    /// This tile's slice of ping-pong buffer A (row stride `stride`).
+    a: &'a mut [T],
+    /// This tile's slice of ping-pong buffer B (row stride `stride`).
+    b: &'a mut [T],
+    /// Row stride of the ping-pong buffers.
+    stride: usize,
+    /// Rows in this tile.
+    rows: usize,
+    /// Output columns (`∏Qᵢ`).
+    l: usize,
+}
+
+/// Runs the entire factor chain for one row tile: step 0 reads from `X`,
+/// the final step writes into `Y`, everything between ping-pongs through
+/// the two workspace slices. No allocation anywhere in here.
+fn run_tile<T: Element>(chain: Chain<'_, T>, bufs: TileBuffers<'_, T>) {
+    let TileBuffers {
+        x,
+        y,
+        a,
+        b,
+        stride,
+        rows,
+        l,
+    } = bufs;
+    // One packed-panel buffer per tile, reused by every row and factor
+    // step; the pack loop fully overwrites the `p·rk` region it reads, so
+    // this single zero-init is all the initialization it ever needs.
+    let mut panel = [T::ZERO; RK * PANEL_MAX_P];
+    let n = chain.factors.len();
+    let (mut cur, mut nxt) = (a, b);
+    let mut k_in = chain.k0;
+    for (step, f) in chain.factors.iter().rev().enumerate() {
+        let (p, q) = (f.rows(), f.cols());
+        debug_assert!(p > 0 && k_in.is_multiple_of(p));
+        let slices = k_in / p;
+        let k_out = slices * q;
+        let f_data = f.as_slice();
+        let first = step == 0;
+        let last = step + 1 == n;
+        for r in 0..rows {
+            // Distinct source/destination buffers in every arm, so the
+            // borrows never alias.
+            match (first, last) {
+                (true, true) => sliced_multiply_row(
+                    &x[r * chain.k0..r * chain.k0 + k_in],
+                    f_data,
+                    p,
+                    q,
+                    slices,
+                    &mut y[r * l..r * l + k_out],
+                    &mut panel,
+                ),
+                (true, false) => sliced_multiply_row(
+                    &x[r * chain.k0..r * chain.k0 + k_in],
+                    f_data,
+                    p,
+                    q,
+                    slices,
+                    &mut cur[r * stride..r * stride + k_out],
+                    &mut panel,
+                ),
+                (false, true) => sliced_multiply_row(
+                    &cur[r * stride..r * stride + k_in],
+                    f_data,
+                    p,
+                    q,
+                    slices,
+                    &mut y[r * l..r * l + k_out],
+                    &mut panel,
+                ),
+                (false, false) => sliced_multiply_row(
+                    &cur[r * stride..r * stride + k_in],
+                    f_data,
+                    p,
+                    q,
+                    slices,
+                    &mut nxt[r * stride..r * stride + k_out],
+                    &mut panel,
+                ),
+            }
+        }
+        if !first && !last {
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        k_in = k_out;
+    }
+}
+
+/// One row's sliced multiply, `out[q·S + s] = Σ_p x[s·P + p] · F[p][q]`,
+/// register-blocked [`RK`]`×`[`RQ`] with a packed slice panel.
+///
+/// `f` is the factor's row-major `P × Q` buffer. `x` must hold at least
+/// `slices·p` elements and `out` at least `slices·q`. `panel` is the
+/// caller's (zero-initialized) pack buffer — hoisted out so its init cost
+/// is paid once per tile, not once per row per factor step.
+fn sliced_multiply_row<T: Element>(
+    x: &[T],
+    f: &[T],
+    p: usize,
+    q: usize,
+    slices: usize,
+    out: &mut [T],
+    panel: &mut [T; RK * PANEL_MAX_P],
+) {
+    debug_assert!(x.len() >= slices * p);
+    debug_assert!(f.len() >= p * q);
+    debug_assert!(out.len() >= slices * q);
+    if p > PANEL_MAX_P {
+        return sliced_multiply_row_tall(x, f, p, q, slices, out);
+    }
+
+    // Packed panel: panel[pi·rk + i] holds x[(s0+i)·P + pi], i.e. the
+    // slice block transposed so the multiply reads unit-stride in `i`.
+    let mut s0 = 0;
+    while s0 < slices {
+        let rk = RK.min(slices - s0);
+        for i in 0..rk {
+            let slice = &x[(s0 + i) * p..(s0 + i) * p + p];
+            for (pi, &v) in slice.iter().enumerate() {
+                panel[pi * rk + i] = v;
+            }
+        }
+        let mut q0 = 0;
+        while q0 < q {
+            let rq = RQ.min(q - q0);
+            if rk == RK && rq == RQ {
+                // SAFETY: the debug_asserts above establish the bounds this
+                // unchecked tile relies on: panel holds `p·RK` packed
+                // elements, `f` holds `p·q` with `q0 + RQ <= q`, and `out`
+                // holds `slices·q` with `s0 + RK <= slices`.
+                unsafe { full_tile(panel, f, p, q, q0, s0, slices, out) };
+            } else {
+                edge_tile(panel, f, p, q, q0, rq, s0, rk, slices, out);
+            }
+            q0 += RQ;
+        }
+        s0 += RK;
+    }
+}
+
+/// Full [`RK`]`×`[`RQ`] register tile over a packed panel; the hot loop of
+/// the whole engine. Bounds checks are hoisted to the caller.
+///
+/// # Safety
+/// Requires `panel.len() >= p·RK`, `f.len() >= p·q`, `q0 + RQ <= q`,
+/// `s0 + RK <= slices`, and `out.len() >= slices·q`.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+#[inline(always)]
+unsafe fn full_tile<T: Element>(
+    panel: &[T],
+    f: &[T],
+    p: usize,
+    q: usize,
+    q0: usize,
+    s0: usize,
+    slices: usize,
+    out: &mut [T],
+) {
+    let mut acc = [[T::ZERO; RQ]; RK];
+    for pi in 0..p {
+        let xs = panel.get_unchecked(pi * RK..pi * RK + RK);
+        let fr = f.get_unchecked(pi * q + q0..pi * q + q0 + RQ);
+        for i in 0..RK {
+            let xv = *xs.get_unchecked(i);
+            for j in 0..RQ {
+                acc[i][j] = xv.mul_add(*fr.get_unchecked(j), acc[i][j]);
+            }
+        }
+    }
+    // Epilogue: column q0+j's slice block starts at (q0+j)·S + s0; the RK
+    // results are consecutive there — one contiguous store per column.
+    for j in 0..RQ {
+        let base = fused_output_col(q0 + j, slices, s0);
+        let dst = out.get_unchecked_mut(base..base + RK);
+        for i in 0..RK {
+            *dst.get_unchecked_mut(i) = acc[i][j];
+        }
+    }
+}
+
+/// Partial tile at the `slices`/`q` edges; plain checked loops.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn edge_tile<T: Element>(
+    panel: &[T],
+    f: &[T],
+    p: usize,
+    q: usize,
+    q0: usize,
+    rq: usize,
+    s0: usize,
+    rk: usize,
+    slices: usize,
+    out: &mut [T],
+) {
+    let mut acc = [[T::ZERO; RQ]; RK];
+    for pi in 0..p {
+        let xs = &panel[pi * rk..pi * rk + rk];
+        let fr = &f[pi * q + q0..pi * q + q0 + rq];
+        for (i, &xv) in xs.iter().enumerate() {
+            for (j, &fv) in fr.iter().enumerate() {
+                acc[i][j] = xv.mul_add(fv, acc[i][j]);
+            }
+        }
+    }
+    for j in 0..rq {
+        let base = fused_output_col(q0 + j, slices, s0);
+        for (i, dst) in out[base..base + rk].iter_mut().enumerate() {
+            *dst = acc[i][j];
+        }
+    }
+}
+
+/// Fallback for factors taller than [`PANEL_MAX_P`]: no packing (the panel
+/// would not fit the stack), strided reads, still allocation-free and still
+/// scattering through [`fused_output_col`].
+fn sliced_multiply_row_tall<T: Element>(
+    x: &[T],
+    f: &[T],
+    p: usize,
+    q: usize,
+    slices: usize,
+    out: &mut [T],
+) {
+    for s in 0..slices {
+        let slice = &x[s * p..(s + 1) * p];
+        let mut q0 = 0;
+        while q0 < q {
+            let rq = RQ.min(q - q0);
+            let mut acc = [T::ZERO; RQ];
+            for (pi, &xv) in slice.iter().enumerate() {
+                let fr = &f[pi * q + q0..pi * q + q0 + rq];
+                for (j, &fv) in fr.iter().enumerate() {
+                    acc[j] = xv.mul_add(fv, acc[j]);
+                }
+            }
+            for (j, &v) in acc[..rq].iter().enumerate() {
+                out[fused_output_col(q0 + j, slices, s)] = v;
+            }
+            q0 += RQ;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_core::naive::kron_matmul_naive;
+    use kron_core::shuffle::kron_matmul_shuffle;
+    use kron_core::{assert_matrices_close, FactorShape};
+
+    fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((start + 3 * r * cols + c) % 13) as f64 - 6.0
+        })
+    }
+
+    fn check_problem(problem: &KronProblem, seed: usize) {
+        let x = seq_matrix(problem.m, problem.input_cols(), seed);
+        let fs: Vec<Matrix<f64>> = problem
+            .factors
+            .iter()
+            .enumerate()
+            .map(|(i, s)| seq_matrix(s.p, s.q, seed + 2 * i + 1))
+            .collect();
+        let refs: Vec<&Matrix<f64>> = fs.iter().collect();
+        let mut ws = Workspace::new(problem);
+        let got = ws.execute(&x, &refs).unwrap();
+        let naive = kron_matmul_naive(&x, &refs).unwrap();
+        let shuffle = kron_matmul_shuffle(&x, &refs).unwrap();
+        assert_matrices_close(&got, &naive, &format!("{problem} fused vs naive"));
+        assert_matrices_close(&got, &shuffle, &format!("{problem} fused vs shuffle"));
+    }
+
+    #[test]
+    fn single_factor_streams_straight_through() {
+        check_problem(
+            &KronProblem::new(3, vec![FactorShape::new(6, 4)]).unwrap(),
+            1,
+        );
+    }
+
+    #[test]
+    fn uniform_chains() {
+        for &(m, p, n) in &[(1usize, 2usize, 6usize), (3, 4, 3), (16, 8, 2), (2, 3, 4)] {
+            check_problem(&KronProblem::uniform(m, p, n).unwrap(), m + p);
+        }
+    }
+
+    #[test]
+    fn rectangular_and_mixed_chains() {
+        check_problem(
+            &KronProblem::new(5, vec![FactorShape::new(2, 3), FactorShape::new(4, 2)]).unwrap(),
+            2,
+        );
+        // Table 4 row 20 shape: 5×5 ⊗ 5×5 ⊗ 5×5 ⊗ 2×2.
+        check_problem(
+            &KronProblem::new(
+                2,
+                vec![
+                    FactorShape::square(5),
+                    FactorShape::square(5),
+                    FactorShape::square(5),
+                    FactorShape::square(2),
+                ],
+            )
+            .unwrap(),
+            3,
+        );
+        // Expanding then contracting intermediates.
+        check_problem(
+            &KronProblem::new(3, vec![FactorShape::new(2, 8), FactorShape::new(8, 2)]).unwrap(),
+            4,
+        );
+    }
+
+    #[test]
+    fn edge_tiles_and_non_power_of_two_sizes() {
+        // slices and q both indivisible by the register tile edges.
+        check_problem(&KronProblem::uniform(3, 3, 3).unwrap(), 5);
+        check_problem(
+            &KronProblem::new(2, vec![FactorShape::new(7, 5), FactorShape::new(3, 9)]).unwrap(),
+            6,
+        );
+    }
+
+    #[test]
+    fn tall_factor_takes_fallback_path() {
+        // P = 200 > PANEL_MAX_P exercises sliced_multiply_row_tall.
+        check_problem(
+            &KronProblem::new(2, vec![FactorShape::new(200, 3)]).unwrap(),
+            7,
+        );
+        check_problem(
+            &KronProblem::new(1, vec![FactorShape::new(2, 2), FactorShape::new(200, 3)]).unwrap(),
+            8,
+        );
+    }
+
+    #[test]
+    fn above_parallel_threshold_matches_oracle() {
+        // Big enough that row_tiles() > 1 on multi-core hosts.
+        let problem = KronProblem::uniform(32, 8, 3).unwrap();
+        assert!(problem.flops() >= MIN_PAR_FLOPS);
+        check_problem(&problem, 9);
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_calls() {
+        let problem = KronProblem::uniform(4, 4, 3).unwrap();
+        let mut ws = Workspace::<f64>::new(&problem);
+        let mut y = Matrix::zeros(4, problem.output_cols());
+        for seed in 0..4 {
+            let x = seq_matrix(4, problem.input_cols(), seed);
+            let fs: Vec<Matrix<f64>> = (0..3).map(|i| seq_matrix(4, 4, seed + i)).collect();
+            let refs: Vec<&Matrix<f64>> = fs.iter().collect();
+            ws.execute_into(&x, &refs, &mut y).unwrap();
+            let oracle = kron_matmul_naive(&x, &refs).unwrap();
+            assert_matrices_close(&y, &oracle, &format!("reuse seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn f32_path_matches_oracle() {
+        let problem = KronProblem::uniform(3, 8, 2).unwrap();
+        let x = Matrix::<f32>::from_fn(3, 64, |r, c| ((r * 64 + c) % 7) as f32 - 3.0);
+        let fs: Vec<Matrix<f32>> = (0..2)
+            .map(|i| Matrix::from_fn(8, 8, |r, c| ((i + r * 8 + c) % 5) as f32 - 2.0))
+            .collect();
+        let refs: Vec<&Matrix<f32>> = fs.iter().collect();
+        let got = Workspace::new(&problem).execute(&x, &refs).unwrap();
+        let oracle = kron_matmul_naive(&x, &refs).unwrap();
+        assert_matrices_close(&got, &oracle, "f32 fused");
+    }
+
+    #[test]
+    fn epilogue_matches_figure2_by_hand() {
+        // Paper Figure 2's worked single iteration: row [1,2,3,4] sliced
+        // into (1,2) and (3,4) against F = [[10,20],[30,40]]. Column 0
+        // lands at out[0..2], column 1 at out[2..4] — already shuffled.
+        let x = [1.0f64, 2.0, 3.0, 4.0];
+        let f = [10.0f64, 20.0, 30.0, 40.0];
+        let mut out = [0.0f64; 4];
+        let mut panel = [0.0f64; RK * PANEL_MAX_P];
+        sliced_multiply_row(&x, &f, 2, 2, 2, &mut out, &mut panel);
+        assert_eq!(out, [70.0, 150.0, 100.0, 220.0]);
+    }
+
+    #[test]
+    fn fused_output_col_is_the_kernel_epilogue_map() {
+        // q varies slowest, slice fastest — no transpose needed afterwards.
+        assert_eq!(fused_output_col(0, 4, 0), 0);
+        assert_eq!(fused_output_col(0, 4, 3), 3);
+        assert_eq!(fused_output_col(1, 4, 0), 4);
+        assert_eq!(fused_output_col(2, 4, 1), 9);
+    }
+
+    #[test]
+    fn convenience_wrapper_validates() {
+        let x = Matrix::<f64>::zeros(2, 9);
+        let f = Matrix::<f64>::identity(2);
+        assert!(kron_matmul_fused(&x, &[&f, &f]).is_err());
+        assert!(kron_matmul_fused::<f64>(&x, &[]).is_err());
+        let ok = seq_matrix(2, 4, 0);
+        assert!(kron_matmul_fused(&ok, &[&f, &f]).is_ok());
+    }
+
+    #[test]
+    fn workspace_validates_operands() {
+        let problem = KronProblem::uniform(2, 4, 2).unwrap();
+        let mut ws = Workspace::<f64>::new(&problem);
+        let x = seq_matrix(2, 16, 0);
+        let f = seq_matrix(4, 4, 1);
+        let wrong_f = seq_matrix(2, 4, 1);
+        assert!(ws.execute(&x, &[&f]).is_err());
+        assert!(ws.execute(&x, &[&f, &wrong_f]).is_err());
+        let wrong_x = seq_matrix(2, 8, 0);
+        assert!(ws.execute(&wrong_x, &[&f, &f]).is_err());
+        let mut wrong_y = Matrix::zeros(2, 8);
+        assert!(ws.execute_into(&x, &[&f, &f], &mut wrong_y).is_err());
+        assert!(ws.execute(&x, &[&f, &f]).is_ok());
+    }
+}

@@ -38,12 +38,7 @@ impl<'a, T: Element> FusedKernel<'a, T> {
     /// # Errors
     /// [`KronError::InvalidTileConfig`] unless all factors are square with
     /// the same `P`, `TP == P`, `TQ == Q`, and `TK ≥ P^nfused`.
-    pub fn new(
-        cfg: TileConfig,
-        m: usize,
-        k: usize,
-        factors: &'a [&'a Matrix<T>],
-    ) -> Result<Self> {
+    pub fn new(cfg: TileConfig, m: usize, k: usize, factors: &'a [&'a Matrix<T>]) -> Result<Self> {
         let fail = |reason: String| Err(KronError::InvalidTileConfig { reason });
         let Some(first) = factors.first() else {
             return Err(KronError::NoFactors);
@@ -54,10 +49,16 @@ impl<'a, T: Element> FusedKernel<'a, T> {
         }
         cfg.validate(m, k, p, p)?;
         if cfg.tp != p {
-            return fail(format!("fusion requires TP = P (= {p}), got TP = {}", cfg.tp));
+            return fail(format!(
+                "fusion requires TP = P (= {p}), got TP = {}",
+                cfg.tp
+            ));
         }
         if cfg.tq != p {
-            return fail(format!("fusion requires TQ = Q (= {p}), got TQ = {}", cfg.tq));
+            return fail(format!(
+                "fusion requires TQ = Q (= {p}), got TQ = {}",
+                cfg.tq
+            ));
         }
         if cfg.tk < p.pow(factors.len() as u32) {
             return fail(format!(
@@ -234,8 +235,7 @@ impl<'a, T: Element> FusedKernel<'a, T> {
                                 for l in 0..lanes {
                                     let tid = w0 + l;
                                     let yk = (tid % slice_groups) * rk;
-                                    let scol =
-                                        shared_col(caching, yk + i, rp_base + pp, p, rk);
+                                    let scol = shared_col(caching, yk + i, rp_base + pp, p, rk);
                                     if tracer.is_some() {
                                         s_addrs.push((mi * tk + scol) * elem_bytes);
                                     }
@@ -254,8 +254,7 @@ impl<'a, T: Element> FusedKernel<'a, T> {
                                 let tid = w0 + l;
                                 let yq = (tid / slice_groups) * rq;
                                 if tracer.is_some() {
-                                    s_addrs
-                                        .push(((rp_base + pp) * p + yq + qq) * elem_bytes);
+                                    s_addrs.push(((rp_base + pp) * p + yq + qq) * elem_bytes);
                                 }
                             }
                             if let Some(t) = tracer.as_deref_mut() {
@@ -275,13 +274,7 @@ impl<'a, T: Element> FusedKernel<'a, T> {
                                     let yidx = ((tid * tm + mi) * rk + i) * rq + qq;
                                     let mut acc = yr[yidx];
                                     for pp in 0..rp {
-                                        let scol = shared_col(
-                                            caching,
-                                            yk + i,
-                                            rp_base + pp,
-                                            p,
-                                            rk,
-                                        );
+                                        let scol = shared_col(caching, yk + i, rp_base + pp, p, rk);
                                         let xv = xs_a[mi * tk + scol];
                                         let fv = fs[(rp_base + pp) * p + yq + qq];
                                         acc = xv.mul_add(fv, acc);
@@ -313,10 +306,8 @@ impl<'a, T: Element> FusedKernel<'a, T> {
                                 let yk = (tid % slice_groups) * rk;
                                 let yq = (tid / slice_groups) * rq;
                                 let logical = (yq + qq) * slices + yk + i;
-                                let scol =
-                                    shared_col(caching, logical / p, logical % p, p, rk);
-                                xs_b[mi * tk + scol] =
-                                    yr[((tid * tm + mi) * rk + i) * rq + qq];
+                                let scol = shared_col(caching, logical / p, logical % p, p, rk);
+                                xs_b[mi * tk + scol] = yr[((tid * tm + mi) * rk + i) * rq + qq];
                                 if tracer.is_some() {
                                     s_addrs.push((mi * tk + scol) * elem_bytes);
                                 }
@@ -382,13 +373,15 @@ impl<'a, T: Element> FusedKernel<'a, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tile::Caching;
     use crate::algorithm::sliced_multiply;
+    use crate::tile::Caching;
     use gpu_sim::device::V100;
     use kron_core::assert_matrices_close;
 
     fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
-        Matrix::from_fn(rows, cols, |r, c| ((start + 3 * r * cols + c) % 7) as f64 - 3.0)
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((start + 3 * r * cols + c) % 7) as f64 - 3.0
+        })
     }
 
     fn fused_cfg(tm: usize, tk: usize, p: usize, rk: usize, rq: usize, rp: usize) -> TileConfig {
@@ -519,7 +512,11 @@ mod tests {
         let stats = fused.trace_block(&mut tracer);
         // X read once (256 f32 = 32 sectors) + factor loads (tiny);
         // output written once (32 sectors).
-        assert!(stats.gmem_load_sectors < 48, "loads {}", stats.gmem_load_sectors);
+        assert!(
+            stats.gmem_load_sectors < 48,
+            "loads {}",
+            stats.gmem_load_sectors
+        );
         assert_eq!(stats.gmem_store_sectors, 32);
         // Two unfused launches of the same work would cost ≥ 2× stores.
         assert_eq!(stats.flops, 2 * 2 * 256 * 4);

@@ -355,7 +355,7 @@ impl<'a, T: Element> SlicedMultiplyKernel<'a, T> {
                         let yq = (tid / slice_groups) * rq;
                         let gq = bz * tq + yq + b;
                         let gslice = by * slices + yk;
-                        let ycol = gq * global_slices + gslice;
+                        let ycol = crate::exec::fused_output_col(gq, global_slices, gslice);
                         let gidx = grow * out_cols + ycol;
                         for e in 0..rk {
                             y.write(gidx + e, yr[((tid * tm + r) * rk + e) * rq + b]);
@@ -381,9 +381,12 @@ mod tests {
     use kron_core::assert_matrices_close;
 
     fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
-        Matrix::from_fn(rows, cols, |r, c| ((start + 5 * r * cols + c) % 17) as f64 - 8.0)
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((start + 5 * r * cols + c) % 17) as f64 - 8.0
+        })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn cfg(
         tm: usize,
         tk: usize,
@@ -453,15 +456,11 @@ mod tests {
                                             continue;
                                         }
                                         tried += 1;
-                                        let kern = SlicedMultiplyKernel::new(cfg, 4, 256, &f)
-                                            .unwrap();
+                                        let kern =
+                                            SlicedMultiplyKernel::new(cfg, 4, 256, &f).unwrap();
                                         let y = kern.run_all(&x).unwrap();
                                         let oracle = sliced_multiply(&x, &f).unwrap();
-                                        assert_matrices_close(
-                                            &y,
-                                            &oracle,
-                                            &format!("cfg {cfg:?}"),
-                                        );
+                                        assert_matrices_close(&y, &oracle, &format!("cfg {cfg:?}"));
                                     }
                                 }
                             }
@@ -522,13 +521,8 @@ mod tests {
         // ⌈warp/TP⌉ = 4. F 8×8, TK=2048 → 256 slices.
         let f = Matrix::<f32>::from_fn(8, 8, |_, _| 1.0);
         let mk = |caching| {
-            let kern = SlicedMultiplyKernel::new(
-                cfg(1, 2048, 8, 8, 4, 2, 2, caching),
-                1,
-                2048,
-                &f,
-            )
-            .unwrap();
+            let kern = SlicedMultiplyKernel::new(cfg(1, 2048, 8, 8, 4, 2, 2, caching), 1, 2048, &f)
+                .unwrap();
             let mut tracer = Tracer::new(&V100);
             let stats = kern.trace_block(&mut tracer);
             (stats.smem_load_transactions, stats.smem_load_ideal)

@@ -5,26 +5,42 @@
 //! consecutive sliced multiplications in shared memory (§4.2), and an
 //! autotuner over tile sizes (§4.3).
 //!
-//! Three execution layers are provided:
+//! Four execution layers are provided:
 //!
-//! * [`algorithm`] — fast, rayon-parallel functional execution (produces
-//!   the numbers),
+//! * [`exec`] — **the production path**: fused sliced-multiply execution
+//!   with zero intermediate allocations and no transpose pass. A
+//!   [`exec::Workspace`] holds two ping-pong buffers sized once from
+//!   [`kron_core::KronProblem::max_intermediate_elems`]; each factor step
+//!   runs a register-blocked microkernel (packed slice panels, `RK×RQ`
+//!   `mul_add` accumulator tile) whose epilogue scatters results directly
+//!   to output column `q·K/P + slice` ([`exec::fused_output_col`]) — the
+//!   memory shuffle the shuffle algorithm pays for never happens. Row
+//!   tiles run in parallel, each threading its *entire* factor chain
+//!   through its own disjoint slice of the workspace.
+//! * [`algorithm`] — the straightforward per-step functional reference for
+//!   a single sliced multiply ([`algorithm::sliced_multiply`]); the full
+//!   chain ([`algorithm::kron_matmul_fastkron`]) now runs on the fused
+//!   [`exec`] path.
 //! * [`kernel`] / [`fused`] — thread-block-accurate emulation of the CUDA
 //!   kernels, usable both functionally (tests) and in address-only trace
-//!   mode (performance counters),
+//!   mode (performance counters). The kernel epilogue and [`exec`] share
+//!   one output-column map, so the layers cannot drift apart.
 //! * [`engine`] — the public planned API: [`FastKron::plan`] autotunes tile
-//!   sizes for a problem on a device, [`KronPlan::execute`] computes, and
-//!   [`KronPlan::simulate`] produces a simulated-time [`gpu_sim::ExecReport`].
+//!   sizes for a problem on a device, [`KronPlan::execute`] computes (on
+//!   the fused path), and [`KronPlan::simulate`] produces a simulated-time
+//!   [`gpu_sim::ExecReport`].
 
 #![deny(missing_docs)]
 
 pub mod algorithm;
 pub mod engine;
+pub mod exec;
 pub mod fused;
 pub mod kernel;
 pub mod tile;
 pub mod tuner;
 
 pub use engine::{FastKron, KronPlan, PlanStage};
+pub use exec::{kron_matmul_fused, Workspace};
 pub use tile::{Caching, TileConfig};
 pub use tuner::{AutoTuner, Constraints, TuneOutcome, TuneReport};

@@ -72,8 +72,7 @@ impl TileConfig {
     /// f64), plus a fixed allowance for address arithmetic.
     pub fn regs_per_thread(&self, dtype: DType) -> usize {
         let words = dtype.bytes() / 4;
-        (self.tm * self.rk * self.rq + self.tm * self.rk * self.rp + self.rp * self.rq) * words
-            + 24
+        (self.tm * self.rk * self.rq + self.tm * self.rk * self.rp + self.rp * self.rq) * words + 24
     }
 
     /// Validates this configuration against a problem iteration
@@ -198,7 +197,15 @@ pub fn max_fused(tk: usize, p: usize, remaining: usize) -> usize {
 mod tests {
     use super::*;
 
-    fn cfg(tm: usize, tk: usize, tq: usize, tp: usize, rk: usize, rq: usize, rp: usize) -> TileConfig {
+    fn cfg(
+        tm: usize,
+        tk: usize,
+        tq: usize,
+        tp: usize,
+        rk: usize,
+        rq: usize,
+        rp: usize,
+    ) -> TileConfig {
         TileConfig {
             tm,
             tk,
@@ -250,10 +257,7 @@ mod tests {
     #[test]
     fn fused_shared_memory_doubles_x_buffer() {
         let c = cfg(1, 256, 4, 4, 2, 2, 2);
-        assert_eq!(
-            c.shared_bytes_fused(4, DType::F32),
-            (2 * 256 + 16) * 4
-        );
+        assert_eq!(c.shared_bytes_fused(4, DType::F32), (2 * 256 + 16) * 4);
     }
 
     #[test]
@@ -279,7 +283,11 @@ mod tests {
 
     #[test]
     fn minimal_config_is_valid() {
-        for &(m, k, p, q) in &[(1usize, 64usize, 8usize, 8usize), (16, 4096, 16, 16), (3, 50, 5, 2)] {
+        for &(m, k, p, q) in &[
+            (1usize, 64usize, 8usize, 8usize),
+            (16, 4096, 16, 16),
+            (3, 50, 5, 2),
+        ] {
             let c = TileConfig::minimal(m, k, p, q);
             c.validate(m, k, p, q)
                 .unwrap_or_else(|e| panic!("minimal({m},{k},{p},{q}) invalid: {e}"));
@@ -287,6 +295,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)]
     fn launch_geometry() {
         let c = cfg(1, 512, 2, 4, 2, 2, 2);
         let l = c.launch(2, 512, 8, 8, DType::F32);

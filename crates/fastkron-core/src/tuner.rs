@@ -111,7 +111,14 @@ impl AutoTuner {
     ///
     /// # Errors
     /// [`KronError::InvalidTileConfig`] if no candidate fits the device.
-    pub fn tune(&self, m: usize, k: usize, p: usize, q: usize, dtype: DType) -> Result<TuneOutcome> {
+    pub fn tune(
+        &self,
+        m: usize,
+        k: usize,
+        p: usize,
+        q: usize,
+        dtype: DType,
+    ) -> Result<TuneOutcome> {
         self.search(m, k, p, q, dtype, false, 1, Constraints::default())
     }
 
@@ -165,11 +172,7 @@ impl AutoTuner {
             let keep_small = self.max_tk_candidates / 4;
             let keep_large = self.max_tk_candidates - keep_small;
             let small: Vec<usize> = out.iter().copied().take(keep_small).collect();
-            let large: Vec<usize> = out
-                .iter()
-                .copied()
-                .skip(out.len() - keep_large)
-                .collect();
+            let large: Vec<usize> = out.iter().copied().skip(out.len() - keep_large).collect();
             out = small;
             out.extend(large);
         }
@@ -251,8 +254,11 @@ impl AutoTuner {
                                     // runs (scattered stores) — cf. paper
                                     // Figure 6 choosing Nfused = 2 of a
                                     // possible 3.
-                                    let nf_max =
-                                        if fused { max_fused(tk, p, remaining) } else { 1 };
+                                    let nf_max = if fused {
+                                        max_fused(tk, p, remaining)
+                                    } else {
+                                        1
+                                    };
                                     for nf in 1..=nf_max {
                                         report.scored += 1;
                                         let stats =
@@ -342,7 +348,8 @@ pub fn estimate_stats(
     let steps = (cfg.tp / cfg.rp) as u64;
     let multiplies = nfused as u64;
 
-    let gtos_instr = multiplies * blocks * tiles * (cfg.tm as u64) * (slices * cfg.tp).div_ceil(32) as u64;
+    let gtos_instr =
+        multiplies * blocks * tiles * (cfg.tm as u64) * (slices * cfg.tp).div_ceil(32) as u64;
     let f_stage_instr = multiplies * blocks * tiles * (cfg.tp * cfg.tq).div_ceil(32) as u64;
     let stor_x_instr =
         multiplies * blocks * tiles * steps * warps * (cfg.tm * cfg.rk * cfg.rp) as u64;
@@ -387,7 +394,10 @@ pub fn estimate_stats(
 
     let sector = device.dram_sector_bytes as f64;
     KernelStats {
-        flops: 2 * multiplies * blocks * (cfg.tm * cfg.tk * if nfused > 1 { q } else { cfg.tq }) as u64,
+        flops: 2
+            * multiplies
+            * blocks
+            * (cfg.tm * cfg.tk * if nfused > 1 { q } else { cfg.tq }) as u64,
         smem_load_transactions: smem_load + fused_extra,
         smem_store_transactions: smem_store + fused_extra,
         smem_load_ideal: (stor_x_instr + stor_f_instr) * words + fused_extra,
@@ -454,7 +464,11 @@ mod tests {
         let tuner = AutoTuner::new(&V100);
         let k = 8usize.pow(5);
         let out = tuner.tune_fused(1024, k, 8, 5, DType::F32).unwrap();
-        assert!(out.nfused >= 2, "expected fusion depth ≥ 2, got {}", out.nfused);
+        assert!(
+            out.nfused >= 2,
+            "expected fusion depth ≥ 2, got {}",
+            out.nfused
+        );
         assert_eq!(out.config.tp, 8);
         assert_eq!(out.config.tq, 8);
     }
@@ -547,7 +561,13 @@ mod tests {
         // §6.1 analog: tuning one shape must take far less than the
         // paper's 2-minute budget — we require under 2 s.
         let tuner = AutoTuner::new(&V100);
-        let out = tuner.tune(1024, 16usize.pow(5), 16, 16, DType::F32).unwrap();
-        assert!(out.report.tuning_seconds < 2.0, "{}", out.report.tuning_seconds);
+        let out = tuner
+            .tune(1024, 16usize.pow(5), 16, 16, DType::F32)
+            .unwrap();
+        assert!(
+            out.report.tuning_seconds < 2.0,
+            "{}",
+            out.report.tuning_seconds
+        );
     }
 }

@@ -199,8 +199,8 @@ impl CostModel {
 
         let compute_s = stats.flops as f64 / compute_capacity;
         let dram_s = (stats.gmem_sectors() * d.dram_sector_bytes as u64) as f64 / d.dram_bw;
-        let smem_s =
-            (stats.smem_transactions() * d.shared_transaction_bytes() as u64) as f64 / smem_capacity;
+        let smem_s = (stats.smem_transactions() * d.shared_transaction_bytes() as u64) as f64
+            / smem_capacity;
 
         // Wave quantization: the tail wave occupies the device as long as a
         // full one.

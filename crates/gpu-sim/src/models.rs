@@ -116,7 +116,9 @@ mod tests {
         for &(p, n, paper_s) in cases {
             let k: usize = p.pow(n as u32);
             let rows = 1024 * k / p;
-            let t: f64 = (0..n).map(|_| model.gemm_time(rows, p, p, DType::F32)).sum();
+            let t: f64 = (0..n)
+                .map(|_| model.gemm_time(rows, p, p, DType::F32))
+                .sum();
             let ratio = t / paper_s;
             assert!(
                 (0.5..=1.5).contains(&ratio),
@@ -133,7 +135,10 @@ mod tests {
         let t64 = model.gemm_time(1 << 16, 64, 64, DType::F32);
         let f8 = 2.0 * (1u64 << 22) as f64 * 64.0;
         let f64_ = 2.0 * (1u64 << 16) as f64 * 4096.0;
-        assert!(f64_ / t64 > 3.0 * f8 / t8, "skinny GEMM should be ≫ slower per FLOP");
+        assert!(
+            f64_ / t64 > 3.0 * f8 / t8,
+            "skinny GEMM should be ≫ slower per FLOP"
+        );
     }
 
     #[test]
@@ -166,8 +171,12 @@ mod tests {
         let cb = CublasModel::new(&V100);
         let tr = TransposeModel::new(&V100);
         let k = 8usize.pow(6);
-        let gemm: f64 = (0..6).map(|_| cb.gemm_time(1024 * k / 8, 8, 8, DType::F32)).sum();
-        let trans: f64 = (0..6).map(|_| tr.transpose_time(1024, k / 8, 8, DType::F32)).sum();
+        let gemm: f64 = (0..6)
+            .map(|_| cb.gemm_time(1024 * k / 8, 8, 8, DType::F32))
+            .sum();
+        let trans: f64 = (0..6)
+            .map(|_| tr.transpose_time(1024, k / 8, 8, DType::F32))
+            .sum();
         let frac = trans / (gemm + trans);
         assert!((0.55..=0.85).contains(&frac), "transpose fraction {frac}");
     }

@@ -51,10 +51,7 @@ impl FastKronEngine {
     ///
     /// # Errors
     /// Tuning errors when no configuration fits the device.
-    pub fn plan<T: Element>(
-        &self,
-        problem: &KronProblem,
-    ) -> Result<fastkron_core::KronPlan<T>> {
+    pub fn plan<T: Element>(&self, problem: &KronProblem) -> Result<fastkron_core::KronPlan<T>> {
         if self.fusion {
             fastkron_core::FastKron::plan::<T>(problem, &self.device)
         } else {

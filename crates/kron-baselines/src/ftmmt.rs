@@ -173,8 +173,8 @@ mod tests {
     use super::*;
     use crate::engine::FastKronEngine;
     use gpu_sim::device::V100;
-    use kron_core::naive::kron_matmul_naive;
     use kron_core::assert_matrices_close;
+    use kron_core::naive::kron_matmul_naive;
 
     #[test]
     fn execute_matches_naive() {
@@ -195,25 +195,19 @@ mod tests {
         // direct caching vs FastKron's shift caching.
         let problem = KronProblem::uniform(64, 8, 4).unwrap();
         let cogent = Engine::<f32>::simulate(&FtmmtEngine::new(&V100), &problem).unwrap();
-        let fastkron =
-            Engine::<f32>::simulate(&FastKronEngine::new(&V100), &problem).unwrap();
+        let fastkron = Engine::<f32>::simulate(&FastKronEngine::new(&V100), &problem).unwrap();
         let c = cogent.stats.smem_load_transactions;
         let f = fastkron.stats.smem_load_transactions;
-        assert!(
-            c > f,
-            "COGENT loads {c} should exceed FastKron loads {f}"
-        );
+        assert!(c > f, "COGENT loads {c} should exceed FastKron loads {f}");
     }
 
     #[test]
     fn cogent_slower_than_fastkron_but_faster_than_shuffle() {
         // Figure 9 ordering: GPyTorch < COGENT ≈ cuTensor < FastKron.
         let problem = KronProblem::uniform(1024, 16, 4).unwrap();
-        let shuffle =
-            Engine::<f32>::simulate(&crate::ShuffleEngine::new(&V100), &problem).unwrap();
+        let shuffle = Engine::<f32>::simulate(&crate::ShuffleEngine::new(&V100), &problem).unwrap();
         let cogent = Engine::<f32>::simulate(&FtmmtEngine::new(&V100), &problem).unwrap();
-        let fastkron =
-            Engine::<f32>::simulate(&FastKronEngine::new(&V100), &problem).unwrap();
+        let fastkron = Engine::<f32>::simulate(&FastKronEngine::new(&V100), &problem).unwrap();
         assert!(
             fastkron.seconds < cogent.seconds,
             "FastKron {} vs COGENT {}",

@@ -52,8 +52,8 @@ impl<T: Element> Engine<T> for NaiveEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_sim::device::V100;
     use crate::engine::FastKronEngine;
+    use gpu_sim::device::V100;
 
     #[test]
     fn naive_is_orders_of_magnitude_slower() {

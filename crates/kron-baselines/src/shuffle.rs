@@ -72,7 +72,9 @@ impl<T: Element> Engine<T> for ShuffleEngine {
             let rows = problem.m * it.slices;
             let (p, q) = (it.factor.p, it.factor.q);
             let gemm_s = self.cublas.gemm_time(rows, p, q, dtype);
-            let trans_s = self.transpose.transpose_time(problem.m, it.slices, q, dtype);
+            let trans_s = self
+                .transpose
+                .transpose_time(problem.m, it.slices, q, dtype);
             report.add_step("matmul", gemm_s);
             report.add_step("transpose", trans_s);
             report.launches += 2;
@@ -80,7 +82,9 @@ impl<T: Element> Engine<T> for ShuffleEngine {
             // GEMM moves its operands once, the transpose re-moves the
             // whole intermediate twice.
             let gemm_bytes = self.cublas.gemm_bytes(rows, p, q, dtype);
-            let trans_bytes = self.transpose.transpose_bytes(problem.m, it.slices, q, dtype);
+            let trans_bytes = self
+                .transpose
+                .transpose_bytes(problem.m, it.slices, q, dtype);
             report.stats.gmem_load_sectors +=
                 (gemm_bytes / 2 + trans_bytes / 2) / self.device.dram_sector_bytes as u64;
             report.stats.gmem_store_sectors +=

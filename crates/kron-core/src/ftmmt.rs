@@ -90,7 +90,9 @@ mod tests {
     use crate::shuffle::kron_matmul_shuffle;
 
     fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
-        Matrix::from_fn(rows, cols, |r, c| ((start + r * cols + c) % 11) as f64 - 5.0)
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((start + r * cols + c) % 11) as f64 - 5.0
+        })
     }
 
     #[test]

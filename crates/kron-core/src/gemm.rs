@@ -23,6 +23,91 @@ const PAR_ROW_THRESHOLD: usize = 64;
 /// # Errors
 /// Returns [`KronError::ShapeMismatch`] when `A.cols() != B.rows()`.
 pub fn gemm<T: Element>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_into(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// Computes `C = A × B` into caller-provided storage, allocating nothing.
+///
+/// `c` is overwritten (it is zeroed first, then accumulated into); reusing
+/// one output matrix across calls is what the fused execution path's
+/// workspace is built on. The inner loop is branch-free: unlike
+/// [`gemm_sparse`], zero elements of `A` are multiplied like any other —
+/// on dense operands the removed compare/branch per `A` element is pure
+/// savings.
+///
+/// # Errors
+/// Returns [`KronError::ShapeMismatch`] when `A.cols() != B.rows()` or `c`
+/// is not `A.rows() × B.cols()`.
+pub fn gemm_into<T: Element>(a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(KronError::ShapeMismatch {
+            expected: format!("B with {} rows", a.cols()),
+            found: format!("B with {} rows", b.rows()),
+        });
+    }
+    if c.rows() != a.rows() || c.cols() != b.cols() {
+        return Err(KronError::ShapeMismatch {
+            expected: format!("C of shape {}×{}", a.rows(), b.cols()),
+            found: format!("C of shape {}×{}", c.rows(), c.cols()),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    c.as_mut_slice().fill(T::ZERO);
+    if n == 0 || m == 0 {
+        // Degenerate output: nothing to compute, and the chunked dispatch
+        // below would be handed a zero chunk size.
+        return Ok(());
+    }
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+
+    let body = |(row_block_idx, c_chunk): (usize, &mut [T])| {
+        let r0 = row_block_idx * BLOCK;
+        let r1 = (r0 + BLOCK).min(m);
+        let rows_here = r1 - r0;
+        for kb in (0..k).step_by(BLOCK) {
+            let k1 = (kb + BLOCK).min(k);
+            for r in 0..rows_here {
+                let a_row = &a_data[(r0 + r) * k..(r0 + r) * k + k];
+                let c_row = &mut c_chunk[r * n..(r + 1) * n];
+                for kk in kb..k1 {
+                    let aval = a_row[kk];
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv = aval.mul_add(*bv, *cv);
+                    }
+                }
+            }
+        }
+    };
+
+    if m >= PAR_ROW_THRESHOLD {
+        c.as_mut_slice()
+            .par_chunks_mut(BLOCK * n)
+            .enumerate()
+            .for_each(body);
+    } else {
+        c.as_mut_slice()
+            .chunks_mut(BLOCK * n)
+            .enumerate()
+            .for_each(body);
+    }
+    Ok(())
+}
+
+/// Sparsity-aware `C = A × B`: skips zero elements of `A` entirely.
+///
+/// This is the old [`gemm`] hot loop with its `aval == 0` branch. On dense
+/// operands the branch costs more than the skipped FMAs save, so the dense
+/// path dropped it; keep using this variant when `A` is structurally sparse
+/// (e.g. selection or padding matrices, identity-heavy factor chains).
+///
+/// # Errors
+/// Returns [`KronError::ShapeMismatch`] when `A.cols() != B.rows()`.
+pub fn gemm_sparse<T: Element>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
     if a.cols() != b.rows() {
         return Err(KronError::ShapeMismatch {
             expected: format!("B with {} rows", a.cols()),
@@ -31,6 +116,9 @@ pub fn gemm<T: Element>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
     }
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut c = Matrix::zeros(m, n);
+    if n == 0 || m == 0 {
+        return Ok(c);
+    }
 
     let a_data = a.as_slice();
     let b_data = b.as_slice();
@@ -104,7 +192,9 @@ mod tests {
         // range keep f64 arithmetic exact so blocked == naive bit-for-bit.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 17) as f64 - 8.0
         })
     }
@@ -154,5 +244,59 @@ mod tests {
         let a = Matrix::<f64>::from_vec(1, 1, vec![3.0]).unwrap();
         let b = Matrix::<f64>::from_vec(1, 1, vec![-2.0]).unwrap();
         assert_eq!(gemm(&a, &b).unwrap()[(0, 0)], -6.0);
+    }
+
+    #[test]
+    fn sparse_variant_matches_dense() {
+        // Heavy zero content so the skip branch actually fires.
+        let mut a = arb_matrix(70, 40, 8);
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = arb_matrix(40, 23, 9);
+        assert_eq!(gemm_sparse(&a, &b).unwrap(), gemm(&a, &b).unwrap());
+        let bad = Matrix::<f64>::zeros(41, 2);
+        assert!(gemm_sparse(&a, &bad).is_err());
+    }
+
+    #[test]
+    fn gemm_into_reuses_storage() {
+        let a = arb_matrix(9, 12, 10);
+        let b = arb_matrix(12, 7, 11);
+        let mut c = Matrix::<f64>::from_fn(9, 7, |_, _| 99.0); // stale junk
+        gemm_into(&a, &b, &mut c).unwrap();
+        assert_eq!(c, gemm_naive(&a, &b).unwrap());
+        // Second multiply into the same storage fully overwrites it.
+        let a2 = arb_matrix(9, 12, 12);
+        gemm_into(&a2, &b, &mut c).unwrap();
+        assert_eq!(c, gemm_naive(&a2, &b).unwrap());
+    }
+
+    #[test]
+    fn gemm_into_validates_output_shape() {
+        let a = arb_matrix(4, 5, 13);
+        let b = arb_matrix(5, 6, 14);
+        let mut wrong = Matrix::<f64>::zeros(4, 5);
+        assert!(matches!(
+            gemm_into(&a, &b, &mut wrong),
+            Err(KronError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_width_operands_do_not_panic() {
+        // B with zero columns (and a zero-row A) are constructible through
+        // the public API; the chunked dispatch must not be handed a zero
+        // chunk size.
+        let a = arb_matrix(3, 4, 15);
+        let b = Matrix::<f64>::zeros(4, 0);
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!((c.rows(), c.cols()), (3, 0));
+        assert_eq!(gemm_sparse(&a, &b).unwrap().cols(), 0);
+        let empty_a = Matrix::<f64>::zeros(0, 4);
+        let wide_b = arb_matrix(4, 5, 16);
+        assert_eq!(gemm(&empty_a, &wide_b).unwrap().rows(), 0);
     }
 }

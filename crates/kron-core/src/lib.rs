@@ -36,7 +36,7 @@ pub mod shuffle;
 
 pub use element::{DType, Element};
 pub use error::{KronError, Result};
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixView, MatrixViewMut};
 pub use shape::{FactorShape, KronProblem};
 
 /// Maximum relative error tolerated when comparing two engines' outputs in

@@ -54,7 +54,8 @@ mod tests {
         // Figure 1/2 of the paper: X is 2×4, two 2×2 factors.
         // Verify one element of Y2 = reshape(X,4×2)·F2 by hand through the
         // full naive product instead.
-        let x = Matrix::<f64>::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+        let x =
+            Matrix::<f64>::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
         let f1 = Matrix::<f64>::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap(); // identity
         let f2 = Matrix::<f64>::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let y = kron_matmul_naive(&x, &[&f1, &f2]).unwrap();

@@ -71,7 +71,9 @@ impl KronProblem {
             return Err(KronError::NoFactors);
         }
         if m == 0 {
-            return Err(KronError::EmptyDimension { what: "M = 0".into() });
+            return Err(KronError::EmptyDimension {
+                what: "M = 0".into(),
+            });
         }
         for (i, f) in factors.iter().enumerate() {
             if f.p == 0 || f.q == 0 {
@@ -113,6 +115,14 @@ impl KronProblem {
             .max()
             .unwrap_or(0)
             .max(self.input_cols())
+    }
+
+    /// Elements of the largest intermediate any iteration produces or
+    /// consumes, `M · max_intermediate_cols()` — the size each of the fused
+    /// execution path's two ping-pong workspace buffers is allocated at
+    /// once, so that no factor step ever allocates.
+    pub fn max_intermediate_elems(&self) -> usize {
+        self.m * self.max_intermediate_cols()
     }
 
     /// Iterator over the `N` iteration shapes, last factor first.
@@ -202,7 +212,10 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(matches!(KronProblem::new(4, vec![]), Err(KronError::NoFactors)));
+        assert!(matches!(
+            KronProblem::new(4, vec![]),
+            Err(KronError::NoFactors)
+        ));
         assert!(KronProblem::new(0, vec![FactorShape::square(2)]).is_err());
         assert!(KronProblem::new(4, vec![FactorShape::new(0, 2)]).is_err());
     }
@@ -237,6 +250,17 @@ mod tests {
         assert_eq!(its[1].slices, 5);
         assert_eq!(its[1].output_cols, 15);
         assert_eq!(p.max_intermediate_cols(), 15);
+        assert_eq!(p.max_intermediate_elems(), 15);
+    }
+
+    #[test]
+    fn max_intermediate_elems_scales_with_m() {
+        let p = KronProblem::uniform(7, 4, 3).unwrap();
+        assert_eq!(p.max_intermediate_elems(), 7 * 64);
+        // Expanding factors: the input is not the largest intermediate.
+        let q = KronProblem::new(3, vec![FactorShape::new(2, 8), FactorShape::new(2, 8)]).unwrap();
+        assert_eq!(q.max_intermediate_cols(), 64);
+        assert_eq!(q.max_intermediate_elems(), 3 * 64);
     }
 
     #[test]

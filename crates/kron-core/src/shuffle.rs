@@ -59,7 +59,9 @@ mod tests {
     use crate::naive::kron_matmul_naive;
 
     fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
-        Matrix::from_fn(rows, cols, |r, c| ((start + r * cols + c) % 13) as f64 - 6.0)
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((start + r * cols + c) % 13) as f64 - 6.0
+        })
     }
 
     #[test]

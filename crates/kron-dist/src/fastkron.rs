@@ -206,7 +206,10 @@ impl DistFastKron {
                     }));
                 }
             }
-            handles.into_iter().map(|h| h.join().expect("gpu thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("gpu thread panicked"))
+                .collect()
         });
 
         // Gather.
@@ -260,8 +263,7 @@ impl DistFastKron {
                 // StoreGPUTile pass: re-writes the local block.
                 let t_place = (2 * part_bytes) as f64 / self.device.dram_bw;
                 report.add_step("exchange", t_comm + t_place);
-                report.comm_bytes +=
-                    send_bytes * (self.grid.gm * self.grid.gk) as u64;
+                report.comm_bytes += send_bytes * (self.grid.gm * self.grid.gk) as u64;
             }
         }
         Ok(report)
@@ -319,10 +321,8 @@ fn exchange<T: Element>(
             for (jp, &v) in row.iter().enumerate() {
                 // j = index in the source GPU's full local buffer.
                 let j = bk * part_cols + jp;
-                let col = (j / xl_s) * xg_s
-                    + ((j % xl_s) / xl_f) * xg_f
-                    + src_rank * xl_f
-                    + (j % xl_f);
+                let col =
+                    (j / xl_s) * xg_s + ((j % xl_s) / xl_f) * xg_f + src_rank * xl_f + (j % xl_f);
                 next[(r, col - my_base)] = v;
             }
         }
@@ -339,12 +339,13 @@ fn exchange<T: Element>(
         if src == bk {
             continue;
         }
-        let part = fabric
-            .receiver(grid.id(bm, src), me)
-            .recv()
-            .map_err(|_| KronError::InvalidGrid {
-                reason: "fabric channel closed".into(),
-            })?;
+        let part =
+            fabric
+                .receiver(grid.id(bm, src), me)
+                .recv()
+                .map_err(|_| KronError::InvalidGrid {
+                    reason: "fabric channel closed".into(),
+                })?;
         place(src, &part);
     }
     Ok(next)
@@ -358,7 +359,9 @@ mod tests {
     use kron_core::assert_matrices_close;
 
     fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
-        Matrix::from_fn(rows, cols, |r, c| ((start + 3 * r * cols + c) % 13) as f64 - 6.0)
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((start + 3 * r * cols + c) % 13) as f64 - 6.0
+        })
     }
 
     fn check_distributed(m: usize, p: usize, n: usize, gpus: usize) {

@@ -160,7 +160,11 @@ mod tests {
     #[test]
     fn weights_sum_to_one() {
         let g = grid(3, 5);
-        let pts = vec![vec![0.1, 0.5, 0.9], vec![0.0, 1.0, 0.33], vec![0.77, 0.2, 0.6]];
+        let pts = vec![
+            vec![0.1, 0.5, 0.9],
+            vec![0.0, 1.0, 0.33],
+            vec![0.77, 0.2, 0.6],
+        ];
         let w = SparseInterp::build(&g, &pts).unwrap();
         for row in &w.entries {
             let sum: f64 = row.iter().map(|&(_, v)| v).sum();
@@ -185,7 +189,12 @@ mod tests {
     #[test]
     fn scatter_gather_match_dense() {
         let g = grid(2, 4);
-        let pts = vec![vec![0.2, 0.9], vec![0.5, 0.5], vec![0.8, 0.1], vec![0.35, 0.65]];
+        let pts = vec![
+            vec![0.2, 0.9],
+            vec![0.5, 0.5],
+            vec![0.8, 0.1],
+            vec![0.35, 0.65],
+        ];
         let w = SparseInterp::build(&g, &pts).unwrap();
         let dense = w.to_dense::<f64>();
         let v = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64 - 5.0);

@@ -131,12 +131,12 @@ impl TrainTimer {
                 Ok(engine.matmul_seconds(&problem, T::DTYPE)
                     + engine.transpose_seconds(&problem, T::DTYPE))
             }
-            KronBackend::FastKron { gpus: 1 } => {
-                Ok(FastKron::plan::<T>(&problem, &self.device)?.simulate()?.seconds)
-            }
-            KronBackend::FastKron { gpus } => {
-                Ok(DistFastKron::new(&self.device, gpus)?.simulate::<T>(&problem)?.seconds)
-            }
+            KronBackend::FastKron { gpus: 1 } => Ok(FastKron::plan::<T>(&problem, &self.device)?
+                .simulate()?
+                .seconds),
+            KronBackend::FastKron { gpus } => Ok(DistFastKron::new(&self.device, gpus)?
+                .simulate::<T>(&problem)?
+                .seconds),
         }
     }
 
@@ -155,8 +155,7 @@ impl TrainTimer {
         let t_kron = self.kron_mvm_seconds::<T>(dataset, p, backend)? * mvms;
         // T_other is anchored to the unaccelerated engine (the backward
         // graph and framework stay GPyTorch's own regardless of backend).
-        let t_kron_gpy =
-            self.kron_mvm_seconds::<T>(dataset, p, KronBackend::GPyTorch)? * mvms;
+        let t_kron_gpy = self.kron_mvm_seconds::<T>(dataset, p, KronBackend::GPyTorch)? * mvms;
         let mut t_other =
             variant.other_factor() * (FRAMEWORK_FLOOR_S + BACKWARD_FRACTION * t_kron_gpy);
         if let KronBackend::FastKron { gpus } = backend {
@@ -179,10 +178,8 @@ impl TrainTimer {
         variant: GpVariant,
         gpus: usize,
     ) -> Result<f64> {
-        let vanilla =
-            self.epoch_seconds::<T>(dataset, p, variant, KronBackend::GPyTorch)?;
-        let fast =
-            self.epoch_seconds::<T>(dataset, p, variant, KronBackend::FastKron { gpus })?;
+        let vanilla = self.epoch_seconds::<T>(dataset, p, variant, KronBackend::GPyTorch)?;
+        let fast = self.epoch_seconds::<T>(dataset, p, variant, KronBackend::FastKron { gpus })?;
         Ok(vanilla / fast)
     }
 }
@@ -190,14 +187,14 @@ impl TrainTimer {
 /// The (dataset, P) rows of Table 5.
 pub fn table5_rows() -> [(UciDataset, usize); 8] {
     [
-        (UciDataset::AutoMpg, 8),    // 8^7
-        (UciDataset::Kin40k, 8),     // 8^8
-        (UciDataset::Airfoil, 16),   // 16^5
-        (UciDataset::Yacht, 16),     // 16^6
-        (UciDataset::Servo, 32),     // 32^4
-        (UciDataset::Airfoil, 32),   // 32^5
+        (UciDataset::AutoMpg, 8),     // 8^7
+        (UciDataset::Kin40k, 8),      // 8^8
+        (UciDataset::Airfoil, 16),    // 16^5
+        (UciDataset::Yacht, 16),      // 16^6
+        (UciDataset::Servo, 32),      // 32^4
+        (UciDataset::Airfoil, 32),    // 32^5
         (UciDataset::ThreeDRoad, 64), // 64^3
-        (UciDataset::Servo, 64),     // 64^4
+        (UciDataset::Servo, 64),      // 64^4
     ]
 }
 

@@ -1,0 +1,214 @@
+//! Vendored API-subset shim of [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the thin slice of rayon's API its crates actually use: `par_chunks`,
+//! `par_chunks_mut`, and the `enumerate`/`zip`/`for_each` adaptors on the
+//! resulting parallel iterators. Parallelism is real — work is split across
+//! `std::thread::scope` threads — but there is no work stealing: chunks are
+//! statically partitioned, which matches the uniform per-chunk cost of every
+//! call site in the workspace.
+//!
+//! On a single-hardware-thread host (or when there is at most one chunk)
+//! everything degrades to a plain serial loop with no thread spawns.
+
+#![deny(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// One-stop imports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads the shim will use (the host's available
+/// parallelism; rayon's default thread-pool size). Cached — the underlying
+/// query parses cgroup quotas and allocates on every call.
+pub fn current_num_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Distributes `items` across scoped threads and applies `f` to each.
+///
+/// Falls back to a serial loop when only one item or one hardware thread is
+/// available, spawning nothing.
+fn drive<T: Send, F: Fn(T) + Send + Sync>(items: Vec<T>, f: F) {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let per_thread = items.len().div_ceil(threads);
+    let mut buckets: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let take = per_thread.min(items.len());
+        let rest = items.split_off(take);
+        buckets.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for bucket in buckets {
+            s.spawn(move || bucket.into_iter().for_each(f));
+        }
+    });
+}
+
+/// A finite parallel iterator: materializes its items, then fans them out.
+pub trait ParallelIterator: Sized {
+    /// The item type produced for each parallel task.
+    type Item: Send;
+
+    /// Collects every item this iterator will yield (chunk handles, not
+    /// element data — cheap even for huge buffers).
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Applies `f` to every item across the worker threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        drive(self.into_items(), f);
+    }
+
+    /// Pairs each item with its index, like [`Iterator::enumerate`].
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Zips two parallel iterators item-by-item, like [`Iterator::zip`].
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+}
+
+/// Parallel-iterator adaptor produced by [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn into_items(self) -> Vec<Self::Item> {
+        self.inner.into_items().into_iter().enumerate().collect()
+    }
+}
+
+/// Parallel-iterator adaptor produced by [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn into_items(self) -> Vec<Self::Item> {
+        self.a
+            .into_items()
+            .into_iter()
+            .zip(self.b.into_items())
+            .collect()
+    }
+}
+
+/// Parallel chunked view of a shared slice (`rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Like [`slice::chunks`], but the chunks are processed in parallel.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel chunked view of a mutable slice (`rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Like [`slice::chunks_mut`], but the chunks are processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over immutable slice chunks.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn into_items(self) -> Vec<Self::Item> {
+        self.slice.chunks(self.chunk_size).collect()
+    }
+}
+
+/// Parallel iterator over mutable slice chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn into_items(self) -> Vec<Self::Item> {
+        self.slice.chunks_mut(self.chunk_size).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_enumerate_covers_all_chunks() {
+        let mut data = vec![0usize; 10];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 4]);
+    }
+
+    #[test]
+    fn zip_pairs_matching_chunks() {
+        let src = [1i64, 2, 3, 4, 5, 6];
+        let mut dst = vec![0i64; 6];
+        src.par_chunks(2)
+            .zip(dst.par_chunks_mut(2))
+            .for_each(|(s, d)| {
+                for (sv, dv) in s.iter().zip(d.iter_mut()) {
+                    *dv = sv * 10;
+                }
+            });
+        assert_eq!(dst, vec![10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn empty_slice_is_a_noop() {
+        let mut data: Vec<u8> = Vec::new();
+        data.par_chunks_mut(4).for_each(|_| panic!("no chunks"));
+    }
+}

@@ -40,6 +40,10 @@ fn main() {
                 )
             })
             .collect();
-        println!("  plan: {} launches: {}\n", plan.launches(), stages.join(" → "));
+        println!(
+            "  plan: {} launches: {}\n",
+            plan.launches(),
+            stages.join(" → ")
+        );
     }
 }

@@ -34,15 +34,15 @@ fn main() {
     let engine = FastKronEngine::new(&V100);
     let propagated = engine.execute(&seeds, &factors).expect("propagate");
     let mass: f64 = propagated.row(0).iter().sum();
-    println!(
-        "Propagated 8 seed vectors over a 3^{levels} = {vertices}-vertex Kronecker graph"
-    );
+    println!("Propagated 8 seed vectors over a 3^{levels} = {vertices}-vertex Kronecker graph");
     println!("Row-0 probability mass after one step: {mass:.4}");
 
     // Simulated device comparison for this exact workload (Table 4 id 17).
     let big = KronProblem::uniform(1024, 3, 7).expect("table-4 case");
     let t_fk = Engine::<f64>::simulate(&engine, &big).unwrap().seconds;
-    let t_gp = Engine::<f64>::simulate(&ShuffleEngine::new(&V100), &big).unwrap().seconds;
+    let t_gp = Engine::<f64>::simulate(&ShuffleEngine::new(&V100), &big)
+        .unwrap()
+        .seconds;
     println!(
         "Table 4 id 17 (M=1024, 3^7): FastKron {:.2} ms vs GPyTorch {:.2} ms ({:.1}x)",
         t_fk * 1e3,

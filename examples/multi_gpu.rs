@@ -22,12 +22,14 @@ fn main() {
 
     let engine = DistFastKron::new(&V100, gpus).expect("grid");
     let grid = engine.grid();
-    println!("Distributing M=16, 8^4 over {gpus} GPUs as a {}×{} grid", grid.gm, grid.gk);
+    println!(
+        "Distributing M=16, 8^4 over {gpus} GPUs as a {}×{} grid",
+        grid.gm, grid.gk
+    );
 
     // Functional distributed run (threads + channels) vs single-device.
     let y_dist = engine.execute(&x, &refs).expect("distributed run");
-    let y_single =
-        fastkron::kron::algorithm::kron_matmul_fastkron(&x, &refs).expect("single run");
+    let y_single = fastkron::kron::algorithm::kron_matmul_fastkron(&x, &refs).expect("single run");
     assert_matrices_close(&y_dist, &y_single, "distributed == single");
     println!("Distributed result matches the single-device engine.");
 
@@ -36,8 +38,14 @@ fn main() {
     println!("FastKron communication: {vol} elements (Algorithm 2, grouped rounds)");
 
     let fk = engine.simulate::<f64>(&problem).expect("sim");
-    let ctf = CtfEngine::new(&V100, gpus).unwrap().simulate::<f64>(&problem).unwrap();
-    let distal = DistalEngine::new(&V100, gpus).unwrap().simulate::<f64>(&problem).unwrap();
+    let ctf = CtfEngine::new(&V100, gpus)
+        .unwrap()
+        .simulate::<f64>(&problem)
+        .unwrap();
+    let distal = DistalEngine::new(&V100, gpus)
+        .unwrap()
+        .simulate::<f64>(&problem)
+        .unwrap();
     println!(
         "Simulated wall time: FastKron {:.3} ms | DISTAL {:.3} ms | CTF {:.3} ms",
         fk.seconds * 1e3,

@@ -32,7 +32,7 @@ pub use kron_gp as gp;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use fastkron_core::{FastKron, KronPlan, TileConfig};
+    pub use fastkron_core::{FastKron, KronPlan, TileConfig, Workspace};
     pub use gpu_sim::device::{DeviceSpec, A100, V100};
     pub use kron_core::{assert_matrices_close, FactorShape, KronProblem, Matrix};
 }

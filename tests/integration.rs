@@ -10,7 +10,9 @@ use kron_core::naive::kron_matmul_naive;
 use kron_core::{FactorShape, Matrix};
 
 fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
-    Matrix::from_fn(rows, cols, |r, c| ((start + 11 * r * cols + c) % 19) as f64 - 9.0)
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((start + 11 * r * cols + c) % 19) as f64 - 9.0
+    })
 }
 
 fn problem_inputs(problem: &KronProblem, seed: usize) -> (Matrix<f64>, Vec<Matrix<f64>>) {

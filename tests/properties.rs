@@ -2,6 +2,7 @@
 //! Kron-Matmul engine must satisfy.
 
 use fastkron::kron::algorithm::kron_matmul_fastkron;
+use fastkron::kron::exec::Workspace;
 use fastkron::prelude::*;
 use kron_core::ftmmt::kron_matmul_ftmmt;
 use kron_core::kron::kron_product;
@@ -129,15 +130,99 @@ proptest! {
             .map(|i| Matrix::from_fn(p, p, |r, c| ((seed + 2 * i + r + c) % 5) as f64 - 2.0))
             .collect();
         let refs: Vec<&Matrix<f64>> = fs.iter().collect();
-        match engine.execute(&x, &refs) {
-            Ok(y) => {
-                let reference = kron_matmul_naive(&x, &refs).unwrap();
-                prop_assert_eq!(y, reference);
-            }
-            // Some grids are invalid for small P (GK > P); that is a
-            // documented constraint, not a failure.
-            Err(_) => {}
+        // Some grids are invalid for small P (GK > P); that is a
+        // documented constraint, not a failure.
+        if let Ok(y) = engine.execute(&x, &refs) {
+            let reference = kron_matmul_naive(&x, &refs).unwrap();
+            prop_assert_eq!(y, reference);
         }
+    }
+
+    #[test]
+    fn fused_exec_matches_oracles_rectangular(
+        ((p1, q1), (p2, q2)) in (dims(), dims()),
+        m in 1usize..=4,
+        seed in 0u8..8,
+    ) {
+        // Rectangular two-factor chains through the Workspace entry point:
+        // the fused epilogue must equal both reference algorithms, f64 and
+        // f32 (integer-valued data keeps both exact).
+        let problem = KronProblem::new(
+            m,
+            vec![FactorShape::new(p1, q1), FactorShape::new(p2, q2)],
+        ).unwrap();
+        let k = problem.input_cols();
+        let x = Matrix::<f64>::from_fn(m, k, |r, c| {
+            ((seed as usize + 2 * r * k + c) % 9) as f64 - 4.0
+        });
+        let f1 = Matrix::<f64>::from_fn(p1, q1, |r, c| ((r * q1 + 3 * c + seed as usize) % 7) as f64 - 3.0);
+        let f2 = Matrix::<f64>::from_fn(p2, q2, |r, c| ((r * q2 + c + 2 * seed as usize) % 5) as f64 - 2.0);
+        let refs = [&f1, &f2];
+        let fused = Workspace::new(&problem).execute(&x, &refs).unwrap();
+        prop_assert_eq!(&fused, &kron_matmul_naive(&x, &refs).unwrap());
+        prop_assert_eq!(&fused, &kron_matmul_shuffle(&x, &refs).unwrap());
+
+        let xf = Matrix::<f32>::from_fn(m, k, |r, c| x[(r, c)] as f32);
+        let g1 = Matrix::<f32>::from_fn(p1, q1, |r, c| f1[(r, c)] as f32);
+        let g2 = Matrix::<f32>::from_fn(p2, q2, |r, c| f2[(r, c)] as f32);
+        let refs32 = [&g1, &g2];
+        let fused32 = Workspace::new(&problem).execute(&xf, &refs32).unwrap();
+        prop_assert_eq!(&fused32, &kron_matmul_shuffle(&xf, &refs32).unwrap());
+    }
+
+    #[test]
+    fn fused_exec_matches_oracles_mixed_chains(
+        variant in 0usize..4,
+        m in 1usize..=3,
+        seed in 0u8..8,
+    ) {
+        // Table 4-style mixed chains (square runs interleaved with small
+        // rectangular factors) of length 3-4.
+        let shapes: Vec<FactorShape> = match variant {
+            0 => vec![FactorShape::square(5), FactorShape::square(2), FactorShape::square(5)],
+            1 => vec![FactorShape::new(2, 3), FactorShape::new(3, 2), FactorShape::square(4)],
+            2 => vec![FactorShape::square(2); 4],
+            _ => vec![FactorShape::new(2, 5), FactorShape::square(3), FactorShape::new(5, 2)],
+        };
+        let problem = KronProblem::new(m, shapes.clone()).unwrap();
+        let k = problem.input_cols();
+        let x = Matrix::<f64>::from_fn(m, k, |r, c| {
+            ((seed as usize + r * k + 5 * c) % 11) as f64 - 5.0
+        });
+        let fs: Vec<Matrix<f64>> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Matrix::from_fn(s.p, s.q, |r, c| {
+                    ((seed as usize + i + 2 * r * s.q + c) % 7) as f64 - 3.0
+                })
+            })
+            .collect();
+        let refs: Vec<&Matrix<f64>> = fs.iter().collect();
+        let fused = Workspace::new(&problem).execute(&x, &refs).unwrap();
+        prop_assert_eq!(&fused, &kron_matmul_naive(&x, &refs).unwrap());
+        prop_assert_eq!(&fused, &kron_matmul_shuffle(&x, &refs).unwrap());
+    }
+
+    #[test]
+    fn fused_exec_matches_oracles_single_factor(
+        (p, q) in dims(),
+        m in 1usize..=5,
+        seed in 0u8..8,
+    ) {
+        // Single-factor chains stream X straight to Y (no ping-pong);
+        // degenerate but load-bearing: it is a plain GEMM in disguise.
+        let problem = KronProblem::new(m, vec![FactorShape::new(p, q)]).unwrap();
+        let x = Matrix::<f64>::from_fn(m, p, |r, c| ((seed as usize + r * p + c) % 9) as f64 - 4.0);
+        let f = Matrix::<f64>::from_fn(p, q, |r, c| ((r * q + c + seed as usize) % 5) as f64 - 2.0);
+        let fused = Workspace::new(&problem).execute(&x, &[&f]).unwrap();
+        prop_assert_eq!(&fused, &kron_matmul_naive(&x, &[&f]).unwrap());
+        prop_assert_eq!(&fused, &kron_matmul_shuffle(&x, &[&f]).unwrap());
+
+        let xf = Matrix::<f32>::from_fn(m, p, |r, c| x[(r, c)] as f32);
+        let g = Matrix::<f32>::from_fn(p, q, |r, c| f[(r, c)] as f32);
+        let fused32 = Workspace::new(&problem).execute(&xf, &[&g]).unwrap();
+        prop_assert_eq!(&fused32, &kron_matmul_shuffle(&xf, &[&g]).unwrap());
     }
 
     #[test]

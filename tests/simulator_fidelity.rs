@@ -57,7 +57,12 @@ fn table1_transpose_fraction_band() {
         let problem = KronProblem::uniform(1024, p, n).unwrap();
         let r = Engine::<f32>::simulate(&engine, &problem).unwrap();
         let frac = r.step_seconds("transpose") / r.seconds;
-        band(frac, paper_frac - 0.15, paper_frac + 0.12, &format!("transpose frac {p}^{n}"));
+        band(
+            frac,
+            paper_frac - 0.15,
+            paper_frac + 0.12,
+            &format!("transpose frac {p}^{n}"),
+        );
     }
 }
 
@@ -68,8 +73,7 @@ fn table2_load_reduction_band() {
         let problem = KronProblem::uniform(1024, p, n).unwrap();
         let co = Engine::<f32>::simulate(&FtmmtEngine::new(&V100), &problem).unwrap();
         let fk = Engine::<f32>::simulate(&FastKronEngine::new(&V100), &problem).unwrap();
-        let red = co.stats.smem_load_transactions as f64
-            / fk.stats.smem_load_transactions as f64;
+        let red = co.stats.smem_load_transactions as f64 / fk.stats.smem_load_transactions as f64;
         band(red, 1.0, 4.5, &format!("Table 2 load reduction {p}^{n}"));
     }
 }
@@ -104,7 +108,10 @@ fn figure11_weak_scaling_efficiency() {
     let p1 = KronProblem::uniform(128, 64, 4).unwrap();
     let p16 = KronProblem::uniform(2048, 64, 4).unwrap();
     let tf = |problem: &KronProblem, g: usize| {
-        let r = DistFastKron::new(&V100, g).unwrap().simulate::<f32>(problem).unwrap();
+        let r = DistFastKron::new(&V100, g)
+            .unwrap()
+            .simulate::<f32>(problem)
+            .unwrap();
         problem.flops() as f64 / r.seconds / 1e12
     };
     let t1 = tf(&p1, 1);
