@@ -29,9 +29,21 @@
 //! parallelized by partitioning rows into tiles and running each tile's
 //! *entire* chain on one thread — one dispatch per execute, not one per
 //! factor, with each thread ping-ponging inside its own disjoint slice of
-//! the workspace buffers.
+//! the workspace buffers. Dispatch goes to the process-wide persistent
+//! [`rayon::ThreadPool`] (workers parked on a channel), so an execute costs
+//! one task handoff per tile, never a thread spawn.
+//!
+//! When the problem has fewer rows than the host has threads (the paper's
+//! Table 3/4 small-M shapes), row tiles alone cannot use the machine. The
+//! **wide mode** then splits the *slice range within each row* across
+//! threads as well: every factor step becomes one pool broadcast over a
+//! `rows × column-groups` grid, with the broadcast's completion acting as
+//! the inter-step barrier. Each task computes slices `[s_lo, s_hi)` of its
+//! row and scatters to the same `q·S + s` output columns the serial path
+//! uses, so the two modes are numerically identical (pinned by a proptest).
 
 use kron_core::{Element, KronError, KronProblem, Matrix, Result};
+use rayon::ThreadPool;
 
 /// Slice-block edge of the register tile: the microkernel computes [`RK`]
 /// consecutive slices per accumulator tile, and the epilogue stores them as
@@ -68,14 +80,38 @@ pub fn fused_output_col(q: usize, slices: usize, s: usize) -> usize {
 /// Create once, call [`Workspace::execute`] or [`Workspace::execute_into`]
 /// many times; after construction the fused path performs **zero heap
 /// allocations per factor step** (asserted by a counting-allocator test).
-/// When row tiles run on multiple threads, the only allocation is the
-/// per-execute thread spawn, never anything per factor step.
+/// Parallel dispatch goes to the persistent global [`ThreadPool`], whose
+/// boxing-free task handoff keeps even multi-threaded executes
+/// allocation-free once the pool's queue is warm.
 pub struct Workspace<T> {
     problem: KronProblem,
     /// Row stride of both buffers (`max_intermediate_cols`).
     stride: usize,
     buf_a: Vec<T>,
     buf_b: Vec<T>,
+    /// Forced `(row_groups, col_groups)` decomposition; `None` auto-selects
+    /// from the pool width and problem size.
+    partition: Option<(usize, usize)>,
+}
+
+/// How one execute is decomposed across the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecMode {
+    /// One thread runs the whole chain.
+    Serial,
+    /// Rows are cut into this many tiles; each tile runs its entire chain
+    /// on one pool task (no inter-step synchronization).
+    RowTiles(usize),
+    /// Every factor step broadcasts a `row_groups × col_groups` task grid,
+    /// splitting the slice range within each row; the broadcast return is
+    /// the inter-step barrier. This is what lets `M < threads` problems
+    /// use the whole host.
+    Wide {
+        /// Row-range groups (≤ rows).
+        row_groups: usize,
+        /// Slice-range groups per row.
+        col_groups: usize,
+    },
 }
 
 impl<T: Element> Workspace<T> {
@@ -97,12 +133,25 @@ impl<T: Element> Workspace<T> {
             stride,
             buf_a: vec![T::ZERO; elems],
             buf_b: vec![T::ZERO; elems],
+            partition: None,
         }
     }
 
     /// The problem this workspace was sized for.
     pub fn problem(&self) -> &KronProblem {
         &self.problem
+    }
+
+    /// Pins the parallel decomposition to `(row_groups, col_groups)`
+    /// instead of auto-selecting from the host's thread count: `(1, 1)`
+    /// forces the serial path, `(r, 1)` forces `r` row tiles, and
+    /// `(r, c)` with `c > 1` forces the wide (column-splitting) mode.
+    ///
+    /// Intended for tests and benchmarks that must exercise a specific
+    /// mode regardless of the machine they run on; `None` restores
+    /// auto-selection.
+    pub fn set_partition(&mut self, partition: Option<(usize, usize)>) {
+        self.partition = partition;
     }
 
     /// Computes `Y = X · (F1 ⊗ … ⊗ FN)`, allocating only the result.
@@ -127,7 +176,59 @@ impl<T: Element> Workspace<T> {
         y: &mut Matrix<T>,
     ) -> Result<()> {
         self.validate(x, factors, y)?;
-        let m = self.problem.m;
+        self.run(x.as_slice(), factors, y.as_mut_slice(), self.problem.m);
+        Ok(())
+    }
+
+    /// Computes the first `rows` rows of `Y = X · (F1 ⊗ … ⊗ FN)`, where
+    /// `rows` may be anything up to the workspace's planned capacity
+    /// (`problem.m`) and `X`/`Y` may hold **at least** `rows` rows.
+    ///
+    /// This is the batched-serving entry point: a runtime sizes one
+    /// workspace for its maximum batch and executes whatever number of
+    /// request rows actually arrived, with no reallocation and no
+    /// per-batch planning. `rows == 0` is a no-op.
+    ///
+    /// # Errors
+    /// Shape mismatches: wrong factor shapes or column counts, fewer than
+    /// `rows` rows in an operand, or `rows` above the planned capacity.
+    pub fn execute_rows(
+        &mut self,
+        x: &Matrix<T>,
+        factors: &[&Matrix<T>],
+        y: &mut Matrix<T>,
+        rows: usize,
+    ) -> Result<()> {
+        self.validate_factors(factors)?;
+        if rows > self.problem.m {
+            return Err(KronError::ShapeMismatch {
+                expected: format!("at most {} rows (workspace capacity)", self.problem.m),
+                found: format!("{rows} rows"),
+            });
+        }
+        if x.rows() < rows || x.cols() != self.problem.input_cols() {
+            return Err(KronError::ShapeMismatch {
+                expected: format!("X with ≥{} rows × {}", rows, self.problem.input_cols()),
+                found: format!("X {}×{}", x.rows(), x.cols()),
+            });
+        }
+        if y.rows() < rows || y.cols() != self.problem.output_cols() {
+            return Err(KronError::ShapeMismatch {
+                expected: format!("Y with ≥{} rows × {}", rows, self.problem.output_cols()),
+                found: format!("Y {}×{}", y.rows(), y.cols()),
+            });
+        }
+        if rows == 0 {
+            return Ok(());
+        }
+        self.run(x.as_slice(), factors, y.as_mut_slice(), rows);
+        Ok(())
+    }
+
+    /// Dispatches `rows` rows over the selected execution mode. `x`/`y`
+    /// are full row-major buffers with strides `input_cols()` and
+    /// `output_cols()`.
+    fn run(&mut self, x: &[T], factors: &[&Matrix<T>], y: &mut [T], rows: usize) {
         let k0 = self.problem.input_cols();
         let l = self.problem.output_cols();
         let stride = self.stride;
@@ -135,78 +236,165 @@ impl<T: Element> Workspace<T> {
         // Execution order: last factor first (Algorithm 1 line 5).
         let chain = Chain { factors, k0 };
 
-        let tiles = self.row_tiles();
-        let x_data = x.as_slice();
-        let y_data = y.as_mut_slice();
-        if tiles <= 1 {
-            run_tile(
+        match self.mode(rows) {
+            ExecMode::Serial => run_tile(
                 chain,
                 TileBuffers {
-                    x: x_data,
-                    y: y_data,
+                    x,
+                    y,
                     a: &mut self.buf_a,
                     b: &mut self.buf_b,
                     stride,
-                    rows: m,
+                    rows,
                     l,
                 },
-            );
-            return Ok(());
-        }
-
-        // Partition rows into `tiles` contiguous blocks; each block gets
-        // disjoint slices of X, Y, and both ping-pong buffers.
-        let rows_per_tile = m.div_ceil(tiles);
-        std::thread::scope(|scope| {
-            let mut x_rest = x_data;
-            let mut y_rest = &mut *y_data;
-            let mut a_rest = &mut self.buf_a[..];
-            let mut b_rest = &mut self.buf_b[..];
-            let mut row = 0;
-            while row < m {
-                let rows = rows_per_tile.min(m - row);
-                let (x_t, xr) = x_rest.split_at(rows * k0);
-                let (y_t, yr) = y_rest.split_at_mut(rows * l);
-                let (a_t, ar) = a_rest.split_at_mut(rows * stride);
-                let (b_t, br) = b_rest.split_at_mut(rows * stride);
-                x_rest = xr;
-                y_rest = yr;
-                a_rest = ar;
-                b_rest = br;
-                scope.spawn(move || {
-                    run_tile(
-                        chain,
-                        TileBuffers {
-                            x: x_t,
-                            y: y_t,
-                            a: a_t,
-                            b: b_t,
-                            stride,
-                            rows,
-                            l,
-                        },
-                    );
-                });
-                row += rows;
+            ),
+            ExecMode::RowTiles(tiles) => {
+                run_row_tiles(
+                    chain,
+                    x,
+                    y,
+                    &mut self.buf_a,
+                    &mut self.buf_b,
+                    stride,
+                    rows,
+                    l,
+                    tiles,
+                );
             }
-        });
-        Ok(())
-    }
-
-    /// Number of row tiles (= threads) an execute will use.
-    fn row_tiles(&self) -> usize {
-        // current_num_threads is cached by the shim; querying
-        // available_parallelism directly would allocate (it reads cgroup
-        // quota files), breaking the zero-allocation contract.
-        let threads = rayon::current_num_threads();
-        if threads <= 1 || self.problem.flops() < MIN_PAR_FLOPS {
-            1
-        } else {
-            threads.min(self.problem.m)
+            ExecMode::Wide {
+                row_groups,
+                col_groups,
+            } => self.run_wide(chain, x, y, rows, l, row_groups, col_groups),
         }
     }
 
-    fn validate(&self, x: &Matrix<T>, factors: &[&Matrix<T>], y: &Matrix<T>) -> Result<()> {
+    /// Picks the decomposition for an execute over `rows` rows.
+    fn mode(&self, rows: usize) -> ExecMode {
+        if let Some((r, c)) = self.partition {
+            let r = r.clamp(1, rows.max(1));
+            let c = c.max(1);
+            return if r * c <= 1 {
+                ExecMode::Serial
+            } else if c == 1 {
+                ExecMode::RowTiles(r)
+            } else {
+                ExecMode::Wide {
+                    row_groups: r,
+                    col_groups: c,
+                }
+            };
+        }
+        // The global pool caches its width; querying available_parallelism
+        // directly would allocate (it reads cgroup quota files), breaking
+        // the zero-allocation contract.
+        let threads = ThreadPool::global().threads();
+        // FLOPs for the rows actually executing, not the full capacity.
+        let flops = (self.problem.flops() / self.problem.m as u64) * rows as u64;
+        if threads <= 1 || flops < MIN_PAR_FLOPS {
+            ExecMode::Serial
+        } else if rows >= threads {
+            ExecMode::RowTiles(threads)
+        } else {
+            let col_groups = threads / rows;
+            if col_groups <= 1 {
+                ExecMode::RowTiles(rows)
+            } else {
+                ExecMode::Wide {
+                    row_groups: rows,
+                    col_groups,
+                }
+            }
+        }
+    }
+
+    /// Wide mode: one pool broadcast per factor step over a
+    /// `row_groups × col_groups` grid, each task computing the slice range
+    /// `[s_lo, s_hi)` of its rows. The broadcast's completion is the
+    /// barrier that lets the next step consume this step's output.
+    #[allow(clippy::too_many_arguments)]
+    fn run_wide(
+        &mut self,
+        chain: Chain<'_, T>,
+        x: &[T],
+        y: &mut [T],
+        rows: usize,
+        l: usize,
+        row_groups: usize,
+        col_groups: usize,
+    ) {
+        let stride = self.stride;
+        let n = chain.factors.len();
+        let pool = ThreadPool::global();
+        let mut k_in = chain.k0;
+        let mut cur = self.buf_a.as_mut_ptr();
+        let mut nxt = self.buf_b.as_mut_ptr();
+        for (step, f) in chain.factors.iter().rev().enumerate() {
+            let (p, q) = (f.rows(), f.cols());
+            debug_assert!(p > 0 && k_in.is_multiple_of(p));
+            let slices = k_in / p;
+            let k_out = slices * q;
+            let first = step == 0;
+            let last = step + 1 == n;
+            let (src, src_stride) = if first {
+                (x.as_ptr(), chain.k0)
+            } else {
+                (cur as *const T, stride)
+            };
+            // Mirrors `run_tile`'s buffer selection: the first step fills
+            // `cur`, middle steps write `nxt` and swap, the last streams
+            // into `Y`.
+            let (dst, dst_stride) = if last {
+                (y.as_mut_ptr(), l)
+            } else if first {
+                (cur, stride)
+            } else {
+                (nxt, stride)
+            };
+
+            let rows_per = rows.div_ceil(row_groups);
+            let row_tasks = rows.div_ceil(rows_per);
+            // Column chunks are multiples of RK so interior tiles stay full.
+            let s_chunk = slices.div_ceil(col_groups).div_ceil(RK) * RK;
+            let col_tasks = slices.div_ceil(s_chunk);
+
+            let srcp = ConstPtr(src);
+            let dstp = MutPtr(dst);
+            let f_data = f.as_slice();
+            pool.broadcast(row_tasks * col_tasks, &|t| {
+                let rg = t / col_tasks;
+                let cg = t % col_tasks;
+                let r0 = rg * rows_per;
+                let nr = rows_per.min(rows - r0);
+                let s_lo = cg * s_chunk;
+                let s_hi = (s_lo + s_chunk).min(slices);
+                let mut panel = [T::ZERO; RK * PANEL_MAX_P];
+                for r in r0..r0 + nr {
+                    // SAFETY: tasks partition the (row, slice-range) grid
+                    // disjointly; reads from `src` are shared, writes go to
+                    // output columns `q·S + s` with `s ∈ [s_lo, s_hi)`,
+                    // which no other task touches. The broadcast barrier
+                    // sequences this step's writes before the next step's
+                    // reads.
+                    unsafe {
+                        let x_row =
+                            std::slice::from_raw_parts(srcp.ptr().add(r * src_stride), k_in);
+                        let out_row = dstp.ptr().add(r * dst_stride);
+                        sliced_multiply_row_range(
+                            x_row, f_data, p, q, slices, s_lo, s_hi, out_row, &mut panel,
+                        );
+                    }
+                }
+            });
+
+            if !first && !last {
+                std::mem::swap(&mut cur, &mut nxt);
+            }
+            k_in = k_out;
+        }
+    }
+
+    fn validate_factors(&self, factors: &[&Matrix<T>]) -> Result<()> {
         if factors.len() != self.problem.num_factors() {
             return Err(KronError::ShapeMismatch {
                 expected: format!("{} factors", self.problem.num_factors()),
@@ -221,6 +409,11 @@ impl<T: Element> Workspace<T> {
                 });
             }
         }
+        Ok(())
+    }
+
+    fn validate(&self, x: &Matrix<T>, factors: &[&Matrix<T>], y: &Matrix<T>) -> Result<()> {
+        self.validate_factors(factors)?;
         if x.rows() != self.problem.m || x.cols() != self.problem.input_cols() {
             return Err(KronError::ShapeMismatch {
                 expected: format!("X {}×{}", self.problem.m, self.problem.input_cols()),
@@ -291,6 +484,85 @@ struct TileBuffers<'a, T> {
     rows: usize,
     /// Output columns (`∏Qᵢ`).
     l: usize,
+}
+
+/// Shared read pointer a pool task may dereference; disjointness of the
+/// written regions is the caller's (documented) obligation.
+#[derive(Clone, Copy)]
+struct ConstPtr<T>(*const T);
+// SAFETY: tasks only read through the pointer while the owning broadcast
+// keeps the buffer borrowed.
+unsafe impl<T: Send + Sync> Send for ConstPtr<T> {}
+unsafe impl<T: Send + Sync> Sync for ConstPtr<T> {}
+
+impl<T> ConstPtr<T> {
+    /// Accessor (rather than field access) so closures capture the Sync
+    /// wrapper, not the raw pointer field (edition-2021 disjoint capture).
+    fn ptr(self) -> *const T {
+        self.0
+    }
+}
+
+/// Mutable base pointer a pool task writes disjoint regions through.
+#[derive(Clone, Copy)]
+struct MutPtr<T>(*mut T);
+// SAFETY: see `ConstPtr`; every dispatch site partitions the written
+// ranges disjointly across tasks.
+unsafe impl<T: Send + Sync> Send for MutPtr<T> {}
+unsafe impl<T: Send + Sync> Sync for MutPtr<T> {}
+
+impl<T> MutPtr<T> {
+    /// See [`ConstPtr::ptr`].
+    fn ptr(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Cuts `rows` into `tiles` contiguous blocks and runs each block's entire
+/// factor chain as one task on the persistent pool. Each task reconstructs
+/// its disjoint slices of `X`, `Y`, and both ping-pong buffers from base
+/// pointers (the closure is shared across workers, so sequential
+/// `split_at_mut` handoff is not possible).
+#[allow(clippy::too_many_arguments)]
+fn run_row_tiles<T: Element>(
+    chain: Chain<'_, T>,
+    x: &[T],
+    y: &mut [T],
+    buf_a: &mut [T],
+    buf_b: &mut [T],
+    stride: usize,
+    rows: usize,
+    l: usize,
+    tiles: usize,
+) {
+    let rows_per_tile = rows.div_ceil(tiles);
+    let tasks = rows.div_ceil(rows_per_tile);
+    let xp = ConstPtr(x.as_ptr());
+    let yp = MutPtr(y.as_mut_ptr());
+    let ap = MutPtr(buf_a.as_mut_ptr());
+    let bp = MutPtr(buf_b.as_mut_ptr());
+    let k0 = chain.k0;
+    ThreadPool::global().broadcast(tasks, &|t| {
+        let r0 = t * rows_per_tile;
+        let nr = rows_per_tile.min(rows - r0);
+        // SAFETY: tile `t` owns rows [r0, r0+nr), a range no other task
+        // touches, so the reconstructed slices are disjoint; the broadcast
+        // blocks until every task finishes, keeping the borrows alive.
+        unsafe {
+            run_tile(
+                chain,
+                TileBuffers {
+                    x: std::slice::from_raw_parts(xp.ptr().add(r0 * k0), nr * k0),
+                    y: std::slice::from_raw_parts_mut(yp.ptr().add(r0 * l), nr * l),
+                    a: std::slice::from_raw_parts_mut(ap.ptr().add(r0 * stride), nr * stride),
+                    b: std::slice::from_raw_parts_mut(bp.ptr().add(r0 * stride), nr * stride),
+                    stride,
+                    rows: nr,
+                    l,
+                },
+            );
+        }
+    });
 }
 
 /// Runs the entire factor chain for one row tile: step 0 reads from `X`,
@@ -386,18 +658,47 @@ fn sliced_multiply_row<T: Element>(
     out: &mut [T],
     panel: &mut [T; RK * PANEL_MAX_P],
 ) {
-    debug_assert!(x.len() >= slices * p);
-    debug_assert!(f.len() >= p * q);
     debug_assert!(out.len() >= slices * q);
+    // SAFETY: `out` is an exclusive borrow covering all `slices·q` writes,
+    // and the full slice range is computed by this one call.
+    unsafe { sliced_multiply_row_range(x, f, p, q, slices, 0, slices, out.as_mut_ptr(), panel) }
+}
+
+/// The slice-range form of [`sliced_multiply_row`]: computes only slices
+/// `[s_lo, s_hi)`, writing output columns `q·S + s` for `s` in that range.
+/// This is the unit the wide execution mode hands to each pool task —
+/// several tasks write *interleaved but disjoint* columns of the same row,
+/// which is why `out` is a raw base pointer rather than `&mut [T]`.
+///
+/// # Safety
+/// `out` must be valid for `slices·q` element writes, `x` must hold at
+/// least `s_hi·p` elements, `f` at least `p·q`, `s_lo ≤ s_hi ≤ slices`,
+/// and no other thread may concurrently touch the output elements
+/// `{q·slices + s | s ∈ [s_lo, s_hi), q ∈ [0, q)}`.
+#[allow(clippy::too_many_arguments)]
+unsafe fn sliced_multiply_row_range<T: Element>(
+    x: &[T],
+    f: &[T],
+    p: usize,
+    q: usize,
+    slices: usize,
+    s_lo: usize,
+    s_hi: usize,
+    out: *mut T,
+    panel: &mut [T; RK * PANEL_MAX_P],
+) {
+    debug_assert!(s_lo <= s_hi && s_hi <= slices);
+    debug_assert!(x.len() >= s_hi * p);
+    debug_assert!(f.len() >= p * q);
     if p > PANEL_MAX_P {
-        return sliced_multiply_row_tall(x, f, p, q, slices, out);
+        return sliced_multiply_row_tall(x, f, p, q, slices, s_lo, s_hi, out);
     }
 
     // Packed panel: panel[pi·rk + i] holds x[(s0+i)·P + pi], i.e. the
     // slice block transposed so the multiply reads unit-stride in `i`.
-    let mut s0 = 0;
-    while s0 < slices {
-        let rk = RK.min(slices - s0);
+    let mut s0 = s_lo;
+    while s0 < s_hi {
+        let rk = RK.min(s_hi - s0);
         for i in 0..rk {
             let slice = &x[(s0 + i) * p..(s0 + i) * p + p];
             for (pi, &v) in slice.iter().enumerate() {
@@ -411,8 +712,8 @@ fn sliced_multiply_row<T: Element>(
                 // SAFETY: the debug_asserts above establish the bounds this
                 // unchecked tile relies on: panel holds `p·RK` packed
                 // elements, `f` holds `p·q` with `q0 + RQ <= q`, and `out`
-                // holds `slices·q` with `s0 + RK <= slices`.
-                unsafe { full_tile(panel, f, p, q, q0, s0, slices, out) };
+                // covers `slices·q` elements with `s0 + RK <= slices`.
+                full_tile(panel, f, p, q, q0, s0, slices, out);
             } else {
                 edge_tile(panel, f, p, q, q0, rq, s0, rk, slices, out);
             }
@@ -427,7 +728,8 @@ fn sliced_multiply_row<T: Element>(
 ///
 /// # Safety
 /// Requires `panel.len() >= p·RK`, `f.len() >= p·q`, `q0 + RQ <= q`,
-/// `s0 + RK <= slices`, and `out.len() >= slices·q`.
+/// `s0 + RK <= slices`, and `out` valid for `slices·q` element writes with
+/// the written columns owned by this thread.
 #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
 #[inline(always)]
 unsafe fn full_tile<T: Element>(
@@ -438,7 +740,7 @@ unsafe fn full_tile<T: Element>(
     q0: usize,
     s0: usize,
     slices: usize,
-    out: &mut [T],
+    out: *mut T,
 ) {
     let mut acc = [[T::ZERO; RQ]; RK];
     for pi in 0..p {
@@ -455,16 +757,19 @@ unsafe fn full_tile<T: Element>(
     // results are consecutive there — one contiguous store per column.
     for j in 0..RQ {
         let base = fused_output_col(q0 + j, slices, s0);
-        let dst = out.get_unchecked_mut(base..base + RK);
         for i in 0..RK {
-            *dst.get_unchecked_mut(i) = acc[i][j];
+            *out.add(base + i) = acc[i][j];
         }
     }
 }
 
-/// Partial tile at the `slices`/`q` edges; plain checked loops.
+/// Partial tile at the `slices`/`q` edges.
+///
+/// # Safety
+/// `out` must be valid for `slices·q` element writes with the written
+/// columns owned by this thread; panel/`f` bounds as in the caller.
 #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
-fn edge_tile<T: Element>(
+unsafe fn edge_tile<T: Element>(
     panel: &[T],
     f: &[T],
     p: usize,
@@ -474,7 +779,7 @@ fn edge_tile<T: Element>(
     s0: usize,
     rk: usize,
     slices: usize,
-    out: &mut [T],
+    out: *mut T,
 ) {
     let mut acc = [[T::ZERO; RQ]; RK];
     for pi in 0..p {
@@ -488,8 +793,8 @@ fn edge_tile<T: Element>(
     }
     for j in 0..rq {
         let base = fused_output_col(q0 + j, slices, s0);
-        for (i, dst) in out[base..base + rk].iter_mut().enumerate() {
-            *dst = acc[i][j];
+        for i in 0..rk {
+            *out.add(base + i) = acc[i][j];
         }
     }
 }
@@ -497,15 +802,21 @@ fn edge_tile<T: Element>(
 /// Fallback for factors taller than [`PANEL_MAX_P`]: no packing (the panel
 /// would not fit the stack), strided reads, still allocation-free and still
 /// scattering through [`fused_output_col`].
-fn sliced_multiply_row_tall<T: Element>(
+///
+/// # Safety
+/// Same contract as [`sliced_multiply_row_range`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn sliced_multiply_row_tall<T: Element>(
     x: &[T],
     f: &[T],
     p: usize,
     q: usize,
     slices: usize,
-    out: &mut [T],
+    s_lo: usize,
+    s_hi: usize,
+    out: *mut T,
 ) {
-    for s in 0..slices {
+    for s in s_lo..s_hi {
         let slice = &x[s * p..(s + 1) * p];
         let mut q0 = 0;
         while q0 < q {
@@ -518,7 +829,7 @@ fn sliced_multiply_row_tall<T: Element>(
                 }
             }
             for (j, &v) in acc[..rq].iter().enumerate() {
-                out[fused_output_col(q0 + j, slices, s)] = v;
+                *out.add(fused_output_col(q0 + j, slices, s)) = v;
             }
             q0 += RQ;
         }

@@ -37,6 +37,8 @@ pub enum KronError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A request was submitted to a serving runtime that has shut down.
+    Shutdown,
 }
 
 impl fmt::Display for KronError {
@@ -52,6 +54,7 @@ impl fmt::Display for KronError {
             }
             KronError::ResourceExhausted { what } => write!(f, "resource exhausted: {what}"),
             KronError::InvalidGrid { reason } => write!(f, "invalid GPU grid: {reason}"),
+            KronError::Shutdown => write!(f, "the serving runtime has shut down"),
         }
     }
 }

@@ -196,6 +196,42 @@ impl fmt::Display for KronProblem {
     }
 }
 
+/// Cache key identifying one planned execution: everything that makes two
+/// [`crate::Matrix`]-level executions interchangeable — the problem shape,
+/// the scalar type, and the target device.
+///
+/// [`KronProblem`] (and [`FactorShape`]) derive `Hash`/`Eq` exactly so this
+/// key can index a plan/workspace cache: a serving runtime that keys its
+/// cache on `PlanKey` does zero planning and zero workspace allocation for
+/// any request shape it has seen before.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The full problem shape (row count and factor shapes).
+    pub problem: KronProblem,
+    /// Scalar type the plan was specialized for.
+    pub dtype: crate::DType,
+    /// Name of the device the plan was tuned for (e.g. a
+    /// `gpu_sim::DeviceSpec::name` or `"cpu"`).
+    pub device: &'static str,
+}
+
+impl PlanKey {
+    /// Convenience constructor.
+    pub fn new(problem: KronProblem, dtype: crate::DType, device: &'static str) -> Self {
+        PlanKey {
+            problem,
+            dtype,
+            device,
+        }
+    }
+}
+
+impl fmt::Display for PlanKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} · {} · {}", self.problem, self.dtype, self.device)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +327,48 @@ mod tests {
         let p = KronProblem::uniform(4, 4, 2).unwrap();
         // Two iterations, each reading M*16 and writing M*16.
         assert_eq!(p.intermediate_accesses(), 2 * 4 * (16 + 16));
+    }
+
+    #[test]
+    fn plan_keys_are_collision_free_across_distinct_shapes() {
+        use crate::DType;
+        use std::collections::HashSet;
+        // A family of deliberately confusable shapes: same element counts,
+        // same products, different decompositions. Every one must key
+        // distinctly, plus the same shape must differ by dtype and device.
+        let problems = vec![
+            KronProblem::uniform(4, 4, 2).unwrap(),
+            KronProblem::uniform(4, 2, 4).unwrap(),
+            KronProblem::uniform(2, 4, 4).unwrap(),
+            KronProblem::uniform(16, 4, 1).unwrap(),
+            KronProblem::new(4, vec![FactorShape::new(2, 8), FactorShape::new(8, 2)]).unwrap(),
+            KronProblem::new(4, vec![FactorShape::new(8, 2), FactorShape::new(2, 8)]).unwrap(),
+            KronProblem::new(4, vec![FactorShape::new(16, 16)]).unwrap(),
+        ];
+        let mut keys = HashSet::new();
+        for p in &problems {
+            for dtype in [DType::F32, DType::F64] {
+                for device in ["V100", "A100"] {
+                    assert!(
+                        keys.insert(PlanKey::new(p.clone(), dtype, device)),
+                        "duplicate key for {p} / {dtype} / {device}"
+                    );
+                }
+            }
+        }
+        assert_eq!(keys.len(), problems.len() * 4);
+    }
+
+    #[test]
+    fn plan_key_equality_is_structural() {
+        use crate::DType;
+        let a = PlanKey::new(KronProblem::uniform(8, 4, 3).unwrap(), DType::F32, "V100");
+        let b = PlanKey::new(KronProblem::uniform(8, 4, 3).unwrap(), DType::F32, "V100");
+        assert_eq!(a, b);
+        let mut hasher_input = std::collections::HashSet::new();
+        hasher_input.insert(a);
+        assert!(hasher_input.contains(&b));
+        assert_eq!(b.to_string(), "M=8, 4^3 · float · V100");
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! The shape-keyed plan + workspace cache: the reason steady-state serving
+//! does zero planning and zero allocation per request.
+//!
+//! Entries are indexed by `(model id, row capacity)` — a hash over two
+//! integers, so lookups themselves are allocation-free — and each entry
+//! carries the full [`PlanKey`] (problem shape × dtype × device) for
+//! introspection and as the structural identity the integer key stands in
+//! for. A capacity-`max_batch_rows` entry serves every small-`M` request
+//! and batch of its model; solo large-`M` requests get entries at
+//! power-of-two capacities so nearby sizes share workspaces instead of
+//! fragmenting the cache.
+
+use crate::runtime::{ModelInner, StatsInner};
+use fastkron_core::{FastKron, KronPlan, Workspace};
+use gpu_sim::device::DeviceSpec;
+use kron_core::{Element, KronProblem, Matrix, PlanKey, Result};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+/// One cached execution state: the autotuned plan, the reusable ping-pong
+/// workspace, and (for batch-capacity entries) the gather/scatter buffers.
+pub(crate) struct CachedPlan<T: Element> {
+    /// Structural identity of this entry.
+    pub(crate) key: PlanKey,
+    /// The autotuned plan (kept for launch counts / simulated pricing; the
+    /// CPU fused path's numbers do not depend on tile choices).
+    #[allow(dead_code)]
+    pub(crate) plan: KronPlan<T>,
+    /// Reusable execution workspace sized for the entry's row capacity.
+    pub(crate) workspace: Workspace<T>,
+    /// Row-stacked input/output staging for multi-request batches,
+    /// allocated on first batched use.
+    batch: Option<(Matrix<T>, Matrix<T>)>,
+}
+
+impl<T: Element> CachedPlan<T> {
+    /// The batch staging buffers, allocating them on first use.
+    pub(crate) fn batch_buffers(&mut self) -> &mut (Matrix<T>, Matrix<T>) {
+        if self.batch.is_none() {
+            let problem = &self.key.problem;
+            self.batch = Some((
+                Matrix::zeros(problem.m, problem.input_cols()),
+                Matrix::zeros(problem.m, problem.output_cols()),
+            ));
+        }
+        self.batch.as_mut().expect("just ensured")
+    }
+
+    /// Runs the workspace over the staged batch's first `rows` rows.
+    pub(crate) fn run_batch(&mut self, factors: &[&Matrix<T>], rows: usize) -> Result<()> {
+        let (bx, by) = self.batch.as_mut().expect("gather before run");
+        self.workspace.execute_rows(bx, factors, by, rows)
+    }
+
+    /// Read access to the staged batch output (after [`Self::run_batch`]).
+    pub(crate) fn batch_y(&self) -> &Matrix<T> {
+        &self.batch.as_ref().expect("gather before scatter").1
+    }
+}
+
+/// Plan/workspace cache keyed by `(model id, row capacity)`.
+pub struct PlanCache<T: Element> {
+    device: DeviceSpec,
+    entries: HashMap<(u64, usize), CachedPlan<T>>,
+}
+
+impl<T: Element> PlanCache<T> {
+    /// Creates an empty cache tuning plans for `device`.
+    pub fn new(device: DeviceSpec) -> Self {
+        PlanCache {
+            device,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The structural identities of every cached entry.
+    pub fn keys(&self) -> impl Iterator<Item = &PlanKey> {
+        self.entries.values().map(|e| &e.key)
+    }
+
+    /// Looks up (or plans, tunes, and allocates) the execution state for
+    /// `model` at `capacity` rows, counting the hit or miss.
+    pub(crate) fn get_or_create(
+        &mut self,
+        model: &ModelInner<T>,
+        capacity: usize,
+        stats: &StatsInner,
+    ) -> Result<&mut CachedPlan<T>> {
+        match self.entries.entry((model.id, capacity)) {
+            Entry::Occupied(e) => {
+                stats.plan_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(e.into_mut())
+            }
+            Entry::Vacant(v) => {
+                stats.plan_misses.fetch_add(1, Ordering::Relaxed);
+                let problem = KronProblem::new(capacity, model.shapes.clone())?;
+                let plan = FastKron::plan::<T>(&problem, &self.device)?;
+                let workspace = plan.workspace();
+                let key = PlanKey::new(problem, T::DTYPE, self.device.name);
+                Ok(v.insert(CachedPlan {
+                    key,
+                    plan,
+                    workspace,
+                    batch: None,
+                }))
+            }
+        }
+    }
+}

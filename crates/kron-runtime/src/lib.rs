@@ -1,0 +1,79 @@
+//! # kron-runtime
+//!
+//! A persistent serving runtime for Kron-Matmul: the layer the ROADMAP's
+//! production north star needs between request traffic and the fused
+//! execution path in `fastkron-core`.
+//!
+//! The paper's kernels shine at large `M`, but real serving traffic (GP
+//! inference, graph kernels) arrives as many small-`M` requests — the
+//! Table 3/4 shapes that underuse wide hosts. Following Jhurani &
+//! Mullowney's observation that many small Kronecker problems should be
+//! batched into one launch, this crate turns the small-`M` weakness into
+//! the fused path's best case by stacking same-model requests row-wise
+//! into one large-`M` execute.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients                       scheduler thread              compute
+//!  ───────                      ─────────────────              ───────
+//!  submit(x) ──► [gate] ──► channel ──► batcher ─┬─► plan cache
+//!  Ticket / Session              │  groups same-  │   PlanKey → KronPlan
+//!    ▲                           │  model small-M │   + Workspace
+//!    │                           │  requests      │   + batch buffers
+//!    │                           ▼                ▼
+//!    │                     gather rows      Workspace::execute_rows
+//!    │                     into batch X  ──────► persistent worker pool
+//!    │                           │               (rayon::ThreadPool::global,
+//!    │                           ▼                row tiles / wide mode)
+//!    └──── slot.fill() ◄── scatter rows to per-request Y
+//! ```
+//!
+//! * **Persistent worker pool** — compute runs on the process-wide
+//!   [`rayon::ThreadPool`]: long-lived workers parked on a channel, one
+//!   task handoff per row tile instead of a thread spawn per execute.
+//!   A single unbatchable small-`M` request still uses every core via the
+//!   exec layer's column-range splitting (wide mode).
+//! * **Plan + workspace cache** — keyed by model and row capacity
+//!   (introspectable as [`kron_core::PlanKey`]s): after the first request
+//!   of a shape, serving does **zero planning and zero allocation** per
+//!   request — plans, ping-pong workspaces, and batch buffers are all
+//!   reused (proved by a counting-allocator test).
+//! * **Cross-request batcher** — the scheduler drains the request queue,
+//!   groups same-model requests with `M ≤ batch_max_m`, stacks them
+//!   row-wise into one batch execute (up to `max_batch_rows` rows), and
+//!   scatters results back to each request's output.
+//!
+//! ## Usage
+//!
+//! ```
+//! use kron_core::Matrix;
+//! use kron_runtime::Runtime;
+//!
+//! let runtime = Runtime::<f32>::with_defaults();
+//! let factors: Vec<Matrix<f32>> = (0..2).map(|_| Matrix::identity(4)).collect();
+//! let model = runtime.load_model(factors).unwrap();
+//!
+//! // Asynchronous: submit returns a ticket, results arrive batched.
+//! let x = Matrix::<f32>::from_fn(2, 16, |r, c| (r + c) as f32);
+//! let ticket = runtime.submit(&model, x.clone()).unwrap();
+//! let y = ticket.wait().unwrap();
+//! assert_eq!(y, x); // identity factors ⇒ identity map
+//!
+//! // Synchronous convenience.
+//! let y2 = runtime.execute(&model, x).unwrap();
+//! assert_eq!(y2, y);
+//! ```
+//!
+//! For allocation-free steady-state serving, hold a [`Session`] and
+//! recycle its buffers: [`Session::call`] moves `x`/`y` in and returns
+//! them filled.
+
+#![deny(missing_docs)]
+
+mod cache;
+mod runtime;
+mod scheduler;
+
+pub use cache::PlanCache;
+pub use runtime::{Model, Runtime, RuntimeConfig, RuntimeStats, Session, Ticket};

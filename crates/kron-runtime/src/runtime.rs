@@ -1,0 +1,456 @@
+//! The public runtime: models, request submission, tickets, sessions, and
+//! graceful shutdown. The scheduler thread that serves requests lives in
+//! [`crate::scheduler`].
+
+use crate::scheduler::Scheduler;
+use crossbeam::channel::{unbounded, Sender};
+use gpu_sim::device::{DeviceSpec, V100};
+use kron_core::{Element, FactorShape, KronError, KronProblem, Matrix, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Maximum rows one batched execute covers; also the row capacity the
+    /// cached batch workspaces are sized for.
+    pub max_batch_rows: usize,
+    /// Requests with `M` at or below this are eligible for cross-request
+    /// batching; larger requests are served solo (they already saturate
+    /// the fused path on their own). Clamped to `max_batch_rows`.
+    pub batch_max_m: usize,
+    /// Maximum requests drained from the queue per scheduling cycle (the
+    /// batch window).
+    pub max_queue: usize,
+    /// How long the scheduler lingers after the first request of a cycle
+    /// to let more requests arrive and coalesce (microseconds; `0`
+    /// disables). Trades per-request latency for batch occupancy — most
+    /// useful on hosts where clients and the scheduler contend for cores,
+    /// where serving would otherwise degenerate into lockstep
+    /// one-request cycles.
+    pub batch_linger_us: u64,
+    /// Device model plans are tuned against (used for plan caching and
+    /// simulated pricing; CPU execution is unaffected numerically).
+    pub device: DeviceSpec,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            max_batch_rows: 256,
+            batch_max_m: 32,
+            max_queue: 1024,
+            batch_linger_us: 0,
+            device: V100.clone(),
+        }
+    }
+}
+
+/// Counters describing what a runtime has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeStats {
+    /// Requests accepted by `submit`/`execute`/`Session::call`.
+    pub submitted: u64,
+    /// Requests completed (successfully or with an error reply).
+    pub served: u64,
+    /// Multi-request fused executes performed.
+    pub batches: u64,
+    /// Requests served through a multi-request batch.
+    pub batched_requests: u64,
+    /// Requests served by a dedicated execute (large `M`, or a batch
+    /// window containing a single request).
+    pub solo_requests: u64,
+    /// Requests whose plan/workspace came from the cache.
+    pub plan_hits: u64,
+    /// Cache misses (a plan was built and tuned).
+    pub plan_misses: u64,
+}
+
+/// Shared atomic counters behind [`RuntimeStats`].
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) served: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    pub(crate) solo_requests: AtomicU64,
+    pub(crate) plan_hits: AtomicU64,
+    pub(crate) plan_misses: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> RuntimeStats {
+        RuntimeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            solo_requests: self.solo_requests.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A loaded set of Kronecker factors requests are served against.
+///
+/// Cross-request batching stacks inputs row-wise, which is only valid when
+/// the requests share the *same factor values* — so batching is keyed on
+/// model identity, the serving analog of "register the model once, then
+/// send inputs".
+#[derive(Clone)]
+pub struct Model<T: Element> {
+    pub(crate) inner: Arc<ModelInner<T>>,
+}
+
+pub(crate) struct ModelInner<T: Element> {
+    pub(crate) id: u64,
+    factors: Box<[Matrix<T>]>,
+    pub(crate) shapes: Vec<FactorShape>,
+    k: usize,
+    l: usize,
+}
+
+impl<T: Element> ModelInner<T> {
+    pub(crate) fn factors(&self) -> &[Matrix<T>] {
+        &self.factors
+    }
+
+    pub(crate) fn input_cols(&self) -> usize {
+        self.k
+    }
+
+    pub(crate) fn output_cols(&self) -> usize {
+        self.l
+    }
+}
+
+impl<T: Element> Model<T> {
+    /// Columns a request's `X` must have (`∏ᵢ Pᵢ`).
+    pub fn input_cols(&self) -> usize {
+        self.inner.k
+    }
+
+    /// Columns of every result (`∏ᵢ Qᵢ`).
+    pub fn output_cols(&self) -> usize {
+        self.inner.l
+    }
+
+    /// Number of Kronecker factors.
+    pub fn num_factors(&self) -> usize {
+        self.inner.shapes.len()
+    }
+
+    /// The factor shapes, in Kronecker-product order.
+    pub fn shapes(&self) -> &[FactorShape] {
+        &self.inner.shapes
+    }
+}
+
+/// One-shot result slot a request's reply travels through. Reused across
+/// calls by [`Session`], freshly allocated per [`Ticket`].
+pub(crate) struct Slot<T: Element> {
+    inner: Mutex<SlotInner<T>>,
+    ready: Condvar,
+}
+
+struct SlotInner<T: Element> {
+    result: Option<(Result<()>, Matrix<T>, Matrix<T>)>,
+    waiting: bool,
+}
+
+impl<T: Element> Slot<T> {
+    fn new() -> Self {
+        Slot {
+            inner: Mutex::new(SlotInner {
+                result: None,
+                waiting: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Deposits a reply. Notifies only when a waiter has registered, so
+    /// pipelined clients (submit many, wait later) skip the wakeup
+    /// syscall on all but the slot they are blocked on.
+    pub(crate) fn fill(&self, result: Result<()>, x: Matrix<T>, y: Matrix<T>) {
+        let mut s = self.inner.lock().unwrap();
+        debug_assert!(s.result.is_none(), "slot filled twice");
+        s.result = Some((result, x, y));
+        if s.waiting {
+            // Notify while holding the lock so the waiter cannot observe
+            // the result and drop the slot before this notify lands.
+            self.ready.notify_all();
+        }
+    }
+
+    fn take_blocking(&self) -> (Result<()>, Matrix<T>, Matrix<T>) {
+        let mut s = self.inner.lock().unwrap();
+        while s.result.is_none() {
+            s.waiting = true;
+            s = self.ready.wait(s).unwrap();
+        }
+        s.waiting = false;
+        s.result.take().expect("checked above")
+    }
+}
+
+/// One queued request: input, pre-shaped output, and the reply slot.
+pub(crate) struct Request<T: Element> {
+    pub(crate) model: Arc<ModelInner<T>>,
+    pub(crate) x: Matrix<T>,
+    pub(crate) y: Matrix<T>,
+    pub(crate) slot: Arc<Slot<T>>,
+}
+
+/// Messages on the scheduler's channel. `Shutdown` is always the final
+/// message (the gate guarantees no request is sent after it).
+pub(crate) enum Msg<T: Element> {
+    /// A request to serve.
+    Request(Request<T>),
+    /// Drain what is queued, then exit.
+    Shutdown,
+}
+
+/// State shared between the runtime handle and its [`Session`]s.
+pub(crate) struct Shared<T: Element> {
+    tx: Sender<Msg<T>>,
+    /// `true` once shutdown began. Sends happen *while holding* this
+    /// mutex, so every request sent before the scheduler's final drain is
+    /// guaranteed to be in the queue ahead of `Shutdown` — nothing is
+    /// ever silently dropped and no waiter can hang.
+    gate: Mutex<bool>,
+    stats: Arc<StatsInner>,
+}
+
+impl<T: Element> Shared<T> {
+    fn send_request(&self, req: Request<T>) -> Result<()> {
+        let closed = self.gate.lock().unwrap();
+        if *closed {
+            return Err(KronError::Shutdown);
+        }
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let _ = self.tx.send(Msg::Request(req));
+        drop(closed);
+        Ok(())
+    }
+}
+
+/// Handle to one result in flight; produced by [`Runtime::submit`].
+pub struct Ticket<T: Element> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T: Element> Ticket<T> {
+    /// Blocks until the request completes and returns its result matrix.
+    ///
+    /// # Errors
+    /// Whatever execution error the scheduler replied with.
+    pub fn wait(self) -> Result<Matrix<T>> {
+        let (result, _x, y) = self.slot.take_blocking();
+        result.map(|()| y)
+    }
+}
+
+/// A synchronous serving connection with a reusable reply slot and
+/// caller-recycled buffers: the allocation-free way to call the runtime.
+///
+/// One session serves one request at a time (like one connection) —
+/// [`Session::call`] takes `&mut self` so the reply slot can never carry
+/// two requests at once; concurrency comes from holding several sessions
+/// on several threads.
+pub struct Session<T: Element> {
+    shared: Arc<Shared<T>>,
+    slot: Arc<Slot<T>>,
+}
+
+impl<T: Element> Session<T> {
+    /// Serves one request synchronously, recycling the caller's buffers:
+    /// `x` is the input, `y` receives the result (it must already be
+    /// `x.rows() × model.output_cols()`), and both are returned for
+    /// reuse. After the first call of a given shape, a call performs zero
+    /// heap allocations end to end.
+    ///
+    /// # Errors
+    /// Shape mismatches, or [`KronError::Shutdown`] once the runtime has
+    /// shut down. Errors consume the buffers.
+    pub fn call(
+        &mut self,
+        model: &Model<T>,
+        x: Matrix<T>,
+        y: Matrix<T>,
+    ) -> Result<(Matrix<T>, Matrix<T>)> {
+        validate_request(model, &x)?;
+        if y.rows() != x.rows() || y.cols() != model.output_cols() {
+            return Err(KronError::ShapeMismatch {
+                expected: format!("Y {}×{}", x.rows(), model.output_cols()),
+                found: format!("Y {}×{}", y.rows(), y.cols()),
+            });
+        }
+        self.shared.send_request(Request {
+            model: Arc::clone(&model.inner),
+            x,
+            y,
+            slot: Arc::clone(&self.slot),
+        })?;
+        let (result, x, y) = self.slot.take_blocking();
+        result.map(|()| (x, y))
+    }
+}
+
+fn validate_request<T: Element>(model: &Model<T>, x: &Matrix<T>) -> Result<()> {
+    if x.rows() == 0 {
+        return Err(KronError::EmptyDimension {
+            what: "request with M = 0 rows".into(),
+        });
+    }
+    if x.cols() != model.input_cols() {
+        return Err(KronError::ShapeMismatch {
+            expected: format!("X with {} cols", model.input_cols()),
+            found: format!("X with {} cols", x.cols()),
+        });
+    }
+    Ok(())
+}
+
+/// A persistent Kron-Matmul serving runtime: a scheduler thread batching
+/// same-model requests, a shape-keyed plan/workspace cache, and compute on
+/// the process-wide persistent worker pool. See the crate docs for the
+/// architecture.
+pub struct Runtime<T: Element> {
+    shared: Arc<Shared<T>>,
+    scheduler: Option<JoinHandle<()>>,
+    next_model_id: AtomicU64,
+    cfg: RuntimeConfig,
+}
+
+impl<T: Element> Runtime<T> {
+    /// Starts a runtime with the given configuration (spawns the
+    /// scheduler thread).
+    pub fn new(mut cfg: RuntimeConfig) -> Self {
+        cfg.max_batch_rows = cfg.max_batch_rows.max(1);
+        cfg.batch_max_m = cfg.batch_max_m.min(cfg.max_batch_rows);
+        cfg.max_queue = cfg.max_queue.max(1);
+        let (tx, rx) = unbounded();
+        let stats = Arc::new(StatsInner::default());
+        let scheduler = Scheduler::new(rx, cfg.clone(), Arc::clone(&stats));
+        let handle = std::thread::Builder::new()
+            .name("kron-runtime-scheduler".into())
+            .spawn(move || scheduler.run())
+            .expect("spawn scheduler thread");
+        Runtime {
+            shared: Arc::new(Shared {
+                tx,
+                gate: Mutex::new(false),
+                stats,
+            }),
+            scheduler: Some(handle),
+            next_model_id: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    /// Starts a runtime with [`RuntimeConfig::default`].
+    pub fn with_defaults() -> Self {
+        Runtime::new(RuntimeConfig::default())
+    }
+
+    /// The configuration this runtime is running with (after clamping).
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Registers a factor set to serve requests against.
+    ///
+    /// # Errors
+    /// [`KronError::NoFactors`] / [`KronError::EmptyDimension`] for
+    /// degenerate factor sets.
+    pub fn load_model(&self, factors: Vec<Matrix<T>>) -> Result<Model<T>> {
+        let shapes: Vec<FactorShape> = factors
+            .iter()
+            .map(|f| FactorShape::new(f.rows(), f.cols()))
+            .collect();
+        // Validates non-empty factors and non-zero dimensions.
+        let probe = KronProblem::new(1, shapes.clone())?;
+        let (k, l) = (probe.input_cols(), probe.output_cols());
+        Ok(Model {
+            inner: Arc::new(ModelInner {
+                id: self.next_model_id.fetch_add(1, Ordering::Relaxed),
+                factors: factors.into_boxed_slice(),
+                shapes,
+                k,
+                l,
+            }),
+        })
+    }
+
+    /// Enqueues `Y = X · (F1 ⊗ … ⊗ FN)` and returns a [`Ticket`] for the
+    /// result. Same-model small-`M` submissions in flight together are
+    /// batched into one fused execute.
+    ///
+    /// # Errors
+    /// Shape mismatches against the model, or [`KronError::Shutdown`].
+    pub fn submit(&self, model: &Model<T>, x: Matrix<T>) -> Result<Ticket<T>> {
+        validate_request(model, &x)?;
+        let y = Matrix::zeros(x.rows(), model.output_cols());
+        let slot = Arc::new(Slot::new());
+        self.shared.send_request(Request {
+            model: Arc::clone(&model.inner),
+            x,
+            y,
+            slot: Arc::clone(&slot),
+        })?;
+        Ok(Ticket { slot })
+    }
+
+    /// Synchronous convenience: submit and wait.
+    ///
+    /// # Errors
+    /// As [`Runtime::submit`].
+    pub fn execute(&self, model: &Model<T>, x: Matrix<T>) -> Result<Matrix<T>> {
+        self.submit(model, x)?.wait()
+    }
+
+    /// Opens a [`Session`]: a synchronous connection with a reusable reply
+    /// slot, for allocation-free steady-state serving. Sessions outlive
+    /// shutdown gracefully (calls then return [`KronError::Shutdown`]).
+    pub fn session(&self) -> Session<T> {
+        Session {
+            shared: Arc::clone(&self.shared),
+            slot: Arc::new(Slot::new()),
+        }
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> RuntimeStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Graceful shutdown: every request already accepted is served, then
+    /// the scheduler exits and this call returns. Subsequent calls through
+    /// surviving [`Session`]s fail with [`KronError::Shutdown`]. Dropping
+    /// the runtime does the same implicitly.
+    pub fn shutdown(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if let Some(handle) = self.scheduler.take() {
+            {
+                let mut closed = self.shared.gate.lock().unwrap();
+                *closed = true;
+                // Send Shutdown while holding the gate: it is provably the
+                // last message on the channel.
+                let _ = self.shared.tx.send(Msg::Shutdown);
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Element> Drop for Runtime<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

@@ -1,0 +1,279 @@
+//! The scheduler thread: drains the request channel, groups batchable
+//! same-model requests, and executes batches/solos through the plan cache.
+//!
+//! All scratch state (`pending`, the grouping table, the factor-reference
+//! slice) is owned and reused across cycles, so a warmed scheduler serves
+//! requests without allocating — the other half of the crate's
+//! zero-allocation steady-state contract (the first half being the plan
+//! cache's reused workspaces and batch buffers).
+
+use crate::cache::PlanCache;
+use crate::runtime::{Msg, Request, RuntimeConfig, StatsInner};
+use crossbeam::channel::Receiver;
+use kron_core::{Element, Matrix};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+pub(crate) struct Scheduler<T: Element> {
+    rx: Receiver<Msg<T>>,
+    cfg: RuntimeConfig,
+    cache: PlanCache<T>,
+    stats: Arc<StatsInner>,
+    /// Requests drained this cycle; `None` marks served slots. Cleared
+    /// (capacity kept) at the end of every cycle.
+    pending: Vec<Option<Request<T>>>,
+    /// Grouping table: `(model id, pending indices)` per batchable model.
+    /// Entries beyond `groups_used` are retired but keep their Vec
+    /// capacity for reuse.
+    groups: Vec<(u64, Vec<usize>)>,
+    groups_used: usize,
+    /// Reused backing store for the `&[&Matrix<T>]` factor slice.
+    refs_scratch: Vec<*const Matrix<T>>,
+}
+
+// SAFETY: `refs_scratch` only holds pointers transiently within one serve
+// call; the scheduler is moved to its thread once and never shared.
+unsafe impl<T: Element> Send for Scheduler<T> {}
+
+/// Builds a `&[&Matrix<T>]` over `factors` in the reused scratch buffer —
+/// no allocation once the scratch has grown to the largest factor count
+/// seen.
+fn refs_of<'a, T: Element>(
+    scratch: &'a mut Vec<*const Matrix<T>>,
+    factors: &'a [Matrix<T>],
+) -> &'a [&'a Matrix<T>] {
+    scratch.clear();
+    scratch.extend(factors.iter().map(|f| f as *const Matrix<T>));
+    // SAFETY: `&Matrix<T>` and `*const Matrix<T>` have identical layout,
+    // every pointer is derived from a live reference in `factors`, and the
+    // returned slice's lifetime ties it to both borrows.
+    unsafe { std::slice::from_raw_parts(scratch.as_ptr().cast::<&Matrix<T>>(), scratch.len()) }
+}
+
+impl<T: Element> Scheduler<T> {
+    pub(crate) fn new(rx: Receiver<Msg<T>>, cfg: RuntimeConfig, stats: Arc<StatsInner>) -> Self {
+        let device = cfg.device.clone();
+        Scheduler {
+            rx,
+            cfg,
+            cache: PlanCache::new(device),
+            stats,
+            pending: Vec::new(),
+            groups: Vec::new(),
+            groups_used: 0,
+            refs_scratch: Vec::new(),
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        // recv errors (every sender gone) also end the loop.
+        while let Ok(msg) = self.rx.recv() {
+            let mut shutting = false;
+            match msg {
+                Msg::Shutdown => shutting = true,
+                Msg::Request(r) => {
+                    self.pending.push(Some(r));
+                    // Batch window: drain whatever is queued right now, up
+                    // to the configured cycle size; optionally linger to
+                    // let concurrent clients top the window up.
+                    let deadline = (self.cfg.batch_linger_us > 0).then(|| {
+                        std::time::Instant::now()
+                            + std::time::Duration::from_micros(self.cfg.batch_linger_us)
+                    });
+                    while self.pending.len() < self.cfg.max_queue {
+                        match self.rx.try_recv() {
+                            Ok(Msg::Request(r)) => self.pending.push(Some(r)),
+                            Ok(Msg::Shutdown) => {
+                                shutting = true;
+                                break;
+                            }
+                            Err(_) => {
+                                // Queue momentarily empty: park until the
+                                // linger deadline for a late arrival (no
+                                // spinning — producers get the CPU).
+                                let Some(d) = deadline else { break };
+                                let now = std::time::Instant::now();
+                                if now >= d {
+                                    break;
+                                }
+                                match self.rx.recv_timeout(d - now) {
+                                    Ok(Msg::Request(r)) => self.pending.push(Some(r)),
+                                    Ok(Msg::Shutdown) => {
+                                        shutting = true;
+                                        break;
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                    }
+                    self.serve_pending();
+                }
+            }
+            if shutting {
+                // The gate guarantees Shutdown is the channel's final
+                // message, but drain defensively before exiting.
+                loop {
+                    match self.rx.try_recv() {
+                        Ok(Msg::Request(r)) => self.pending.push(Some(r)),
+                        Ok(Msg::Shutdown) => {}
+                        Err(_) => break,
+                    }
+                }
+                self.serve_pending();
+                break;
+            }
+        }
+    }
+
+    /// Serves everything drained this cycle: batchable requests grouped by
+    /// model and chunked to `max_batch_rows`, the rest solo.
+    fn serve_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // Group batchable requests by model identity.
+        for g in &mut self.groups {
+            g.1.clear();
+        }
+        self.groups_used = 0;
+        for i in 0..self.pending.len() {
+            let r = self.pending[i].as_ref().expect("fresh this cycle");
+            if r.x.rows() > self.cfg.batch_max_m {
+                continue;
+            }
+            let id = r.model.id;
+            match self.groups[..self.groups_used]
+                .iter()
+                .position(|(gid, _)| *gid == id)
+            {
+                Some(s) => self.groups[s].1.push(i),
+                None => {
+                    if self.groups_used < self.groups.len() {
+                        self.groups[self.groups_used].0 = id;
+                        self.groups[self.groups_used].1.push(i);
+                    } else {
+                        self.groups.push((id, vec![i]));
+                    }
+                    self.groups_used += 1;
+                }
+            }
+        }
+
+        // Serve each group in row-budgeted chunks.
+        for g in 0..self.groups_used {
+            // Move the index list out so `serve_chunk(&mut self)` can run;
+            // restored below to keep its capacity for the next cycle.
+            let idxs = std::mem::take(&mut self.groups[g].1);
+            let mut start = 0;
+            while start < idxs.len() {
+                let mut rows = 0;
+                let mut end = start;
+                while end < idxs.len() {
+                    let m = self.pending[idxs[end]].as_ref().expect("unserved").x.rows();
+                    if end > start && rows + m > self.cfg.max_batch_rows {
+                        break;
+                    }
+                    rows += m;
+                    end += 1;
+                    if rows >= self.cfg.max_batch_rows {
+                        break;
+                    }
+                }
+                self.serve_chunk(&idxs[start..end], rows);
+                start = end;
+            }
+            self.groups[g].1 = idxs;
+        }
+
+        // Everything left (large-M, or models with batching disabled).
+        for i in 0..self.pending.len() {
+            if let Some(r) = self.pending[i].take() {
+                self.serve_solo(r);
+            }
+        }
+        self.pending.clear();
+    }
+
+    /// Serves a same-model chunk whose rows sum to `total_rows ≤
+    /// max_batch_rows`: gather rows into the cached batch input, one fused
+    /// execute, scatter back. A chunk of one skips the staging copies.
+    fn serve_chunk(&mut self, idxs: &[usize], total_rows: usize) {
+        debug_assert!(!idxs.is_empty());
+        if idxs.len() == 1 {
+            let r = self.pending[idxs[0]].take().expect("unserved");
+            self.serve_solo(r);
+            return;
+        }
+        let model = Arc::clone(&self.pending[idxs[0]].as_ref().expect("unserved").model);
+        let capacity = self.cfg.max_batch_rows;
+        let entry = match self.cache.get_or_create(&model, capacity, &self.stats) {
+            Ok(e) => e,
+            Err(err) => {
+                for &i in idxs {
+                    let r = self.pending[i].take().expect("unserved");
+                    self.stats.served.fetch_add(1, Ordering::Relaxed);
+                    r.slot.fill(Err(err.clone()), r.x, r.y);
+                }
+                return;
+            }
+        };
+
+        // Gather request rows into the staged batch input.
+        let k = model.input_cols();
+        let l = model.output_cols();
+        {
+            let (bx, _) = entry.batch_buffers();
+            let mut off = 0;
+            for &i in idxs {
+                let r = self.pending[i].as_ref().expect("unserved");
+                let m = r.x.rows();
+                bx.as_mut_slice()[off * k..(off + m) * k].copy_from_slice(r.x.as_slice());
+                off += m;
+            }
+            debug_assert_eq!(off, total_rows);
+        }
+
+        let refs = refs_of(&mut self.refs_scratch, model.factors());
+        let result = entry.run_batch(refs, total_rows);
+
+        // Scatter results back and reply.
+        let mut off = 0;
+        for &i in idxs {
+            let mut r = self.pending[i].take().expect("unserved");
+            let m = r.x.rows();
+            if result.is_ok() {
+                r.y.as_mut_slice()
+                    .copy_from_slice(&entry.batch_y().as_slice()[off * l..(off + m) * l]);
+            }
+            off += m;
+            self.stats.served.fetch_add(1, Ordering::Relaxed);
+            self.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
+            r.slot.fill(result.clone(), r.x, r.y);
+        }
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Serves one request on its own, directly from/to its buffers (no
+    /// staging copies). Small requests reuse the batch-capacity entry;
+    /// large ones get power-of-two-capacity entries so nearby sizes share
+    /// workspaces.
+    fn serve_solo(&mut self, mut r: Request<T>) {
+        let m = r.x.rows();
+        let capacity = if m <= self.cfg.max_batch_rows {
+            self.cfg.max_batch_rows
+        } else {
+            m.next_power_of_two()
+        };
+        let result = match self.cache.get_or_create(&r.model, capacity, &self.stats) {
+            Ok(entry) => {
+                let refs = refs_of(&mut self.refs_scratch, r.model.factors());
+                entry.workspace.execute_rows(&r.x, refs, &mut r.y, m)
+            }
+            Err(err) => Err(err),
+        };
+        self.stats.served.fetch_add(1, Ordering::Relaxed);
+        self.stats.solo_requests.fetch_add(1, Ordering::Relaxed);
+        r.slot.fill(result, r.x, r.y);
+    }
+}

@@ -1,0 +1,99 @@
+//! Counting-allocator proof of the runtime's steady-state contract: after
+//! warmup, serving a request through a [`Session`] performs **zero heap
+//! allocations** across the whole process — client submit, channel
+//! handoff, scheduler batching scratch, plan-cache lookup, fused execute,
+//! and reply all reuse warmed state.
+//!
+//! This extends `fastkron-core`'s `alloc_free` test (which proves the
+//! execute path alone is allocation-free) up through the serving stack.
+//! The allocator counts from every thread, so the scheduler thread is
+//! covered, not just the client.
+
+use kron_core::{assert_matrices_close, Matrix};
+use kron_runtime::{Runtime, RuntimeConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::SeqCst) - before, result)
+}
+
+fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((start + r * cols + c) % 13) as f64 - 6.0
+    })
+}
+
+#[test]
+fn steady_state_serving_is_allocation_free() {
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 16,
+        max_queue: 64,
+        ..RuntimeConfig::default()
+    });
+    // A Table 3/4-style small-M serving shape: M=4 against 4⊗4 factors.
+    let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i + 1)).collect();
+    let model = runtime.load_model(factors.clone()).unwrap();
+    let mut session = runtime.session();
+
+    let mut x = seq_matrix(4, model.input_cols(), 3);
+    let mut y = Matrix::zeros(4, model.output_cols());
+
+    // Warmup: grows the channel queue, scheduler scratch, plan cache
+    // entry (tuned plan + workspace), and the session slot to their
+    // steady-state capacities.
+    for _ in 0..16 {
+        (x, y) = session.call(&model, x, y).unwrap();
+    }
+
+    const SERVED: usize = 64;
+    let (allocs, moved) = allocations_during(|| {
+        let mut bufs = (x, y);
+        for _ in 0..SERVED {
+            bufs = session.call(&model, bufs.0, bufs.1).unwrap();
+        }
+        bufs
+    });
+    let (x, y) = moved;
+    assert_eq!(
+        allocs, 0,
+        "serving {SERVED} warm requests allocated {allocs} times \
+         (expected zero steady-state allocations per served request)"
+    );
+
+    // The served results are still right, not just cheap.
+    let refs: Vec<&Matrix<f64>> = factors.iter().collect();
+    let oracle = kron_core::shuffle::kron_matmul_shuffle(&x, &refs).unwrap();
+    assert_matrices_close(&y, &oracle, "steady-state result");
+
+    // And the cache really did plan exactly once for this shape.
+    let stats = runtime.stats();
+    assert_eq!(stats.plan_misses, 1, "stats: {stats:?}");
+    assert_eq!(stats.served, 16 + SERVED as u64);
+}

@@ -1,0 +1,195 @@
+//! Concurrent-serving stress tests: many client threads, mixed shapes and
+//! sizes, every result checked against the shuffle oracle; plus
+//! shutdown-while-busy and post-shutdown behavior.
+
+use kron_core::shuffle::kron_matmul_shuffle;
+use kron_core::{assert_matrices_close, KronError, Matrix};
+use kron_runtime::{Model, Runtime, RuntimeConfig};
+use std::sync::Arc;
+
+fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((start + 7 * r * cols + 3 * c) % 19) as f64 - 9.0
+    })
+}
+
+fn model_factors(shapes: &[(usize, usize)], seed: usize) -> Vec<Matrix<f64>> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, q))| seq_matrix(p, q, seed + 5 * i + 1))
+        .collect()
+}
+
+/// Oracle for one request against a model's factors.
+fn oracle(x: &Matrix<f64>, factors: &[Matrix<f64>]) -> Matrix<f64> {
+    let refs: Vec<&Matrix<f64>> = factors.iter().collect();
+    kron_matmul_shuffle(x, &refs).unwrap()
+}
+
+#[test]
+fn mixed_shape_concurrent_serving_matches_oracle() {
+    let runtime = Arc::new(Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 64,
+        batch_max_m: 16,
+        max_queue: 256,
+        ..RuntimeConfig::default()
+    }));
+
+    // Three models with deliberately different shapes, including a
+    // rectangular chain.
+    let model_shapes: Vec<Vec<(usize, usize)>> = vec![
+        vec![(4, 4), (4, 4)],
+        vec![(8, 8), (8, 8)],
+        vec![(2, 3), (5, 2), (3, 4)],
+    ];
+    let factor_sets: Vec<Vec<Matrix<f64>>> = model_shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| model_factors(s, 11 * i + 1))
+        .collect();
+    let models: Vec<Model<f64>> = factor_sets
+        .iter()
+        .map(|fs| runtime.load_model(fs.clone()).unwrap())
+        .collect();
+    let factor_sets = Arc::new(factor_sets);
+    let models = Arc::new(models);
+
+    const THREADS: usize = 8;
+    const REQUESTS_PER_THREAD: usize = 40;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let runtime = Arc::clone(&runtime);
+        let models = Arc::clone(&models);
+        let factor_sets = Arc::clone(&factor_sets);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..REQUESTS_PER_THREAD {
+                let which = (t + i) % models.len();
+                let model = &models[which];
+                // Mix of batchable (m ≤ 16) and solo (m > 16) sizes.
+                let m = 1 + (t * 7 + i * 3) % 24;
+                let x = seq_matrix(m, model.input_cols(), t * 100 + i);
+                let expected = oracle(&x, &factor_sets[which]);
+                let y = runtime.execute(model, x).unwrap();
+                assert_matrices_close(&y, &expected, &format!("thread {t} req {i}"));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = runtime.stats();
+    assert_eq!(stats.submitted, (THREADS * REQUESTS_PER_THREAD) as u64);
+    assert_eq!(stats.served, stats.submitted);
+    assert_eq!(stats.batched_requests + stats.solo_requests, stats.served);
+    // Plans must have been reused heavily: at most one batch entry plus a
+    // few power-of-two solo entries per model.
+    assert!(
+        stats.plan_misses <= (3 * model_shapes.len()) as u64,
+        "too many plan misses: {}",
+        stats.plan_misses
+    );
+    assert!(stats.plan_hits > stats.plan_misses);
+}
+
+#[test]
+fn pipelined_tickets_batch_and_match_oracle() {
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 8,
+        max_queue: 512,
+        ..RuntimeConfig::default()
+    });
+    let factors = model_factors(&[(4, 4), (4, 4), (4, 4)], 3);
+    let model = runtime.load_model(factors.clone()).unwrap();
+
+    // Submit a burst of tickets before waiting on any, so the scheduler
+    // sees many requests in flight and can batch them.
+    let mut tickets = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..96 {
+        let m = 1 + i % 4;
+        let x = seq_matrix(m, model.input_cols(), i);
+        expected.push(oracle(&x, &factors));
+        tickets.push(runtime.submit(&model, x).unwrap());
+    }
+    for (i, (t, e)) in tickets.into_iter().zip(expected.iter()).enumerate() {
+        let y = t.wait().unwrap();
+        assert_matrices_close(&y, e, &format!("ticket {i}"));
+    }
+
+    let stats = runtime.stats();
+    assert_eq!(stats.served, 96);
+    // At least some requests must have been coalesced (single-core hosts
+    // still batch: the client bursts before the scheduler wakes).
+    assert!(
+        stats.batched_requests > 0,
+        "expected some batching, stats: {stats:?}"
+    );
+}
+
+#[test]
+fn shutdown_while_busy_serves_everything_accepted() {
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        max_queue: 64,
+        ..RuntimeConfig::default()
+    });
+    let factors = model_factors(&[(8, 8), (8, 8)], 7);
+    let model = runtime.load_model(factors.clone()).unwrap();
+
+    let mut tickets = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..64 {
+        let m = 1 + i % 8;
+        let x = seq_matrix(m, model.input_cols(), i);
+        expected.push(oracle(&x, &factors));
+        tickets.push(runtime.submit(&model, x).unwrap());
+    }
+    // Shut down immediately, with (nearly) everything still queued. Every
+    // accepted request must still complete with a correct result.
+    runtime.shutdown();
+    for (i, (t, e)) in tickets.into_iter().zip(expected.iter()).enumerate() {
+        let y = t.wait().unwrap();
+        assert_matrices_close(&y, e, &format!("post-shutdown ticket {i}"));
+    }
+}
+
+#[test]
+fn session_calls_fail_cleanly_after_shutdown() {
+    let runtime = Runtime::<f64>::with_defaults();
+    let factors = model_factors(&[(4, 4)], 5);
+    let model = runtime.load_model(factors.clone()).unwrap();
+    let mut session = runtime.session();
+
+    // Session works while the runtime is up...
+    let x = seq_matrix(2, 4, 1);
+    let y = Matrix::zeros(2, 4);
+    let (x, y) = session.call(&model, x, y).unwrap();
+    assert_matrices_close(&y, &oracle(&x, &factors), "pre-shutdown call");
+
+    // ...and degrades to a clean error afterwards instead of hanging.
+    runtime.shutdown();
+    let err = session.call(&model, x, y).unwrap_err();
+    assert_eq!(err, KronError::Shutdown);
+}
+
+#[test]
+fn submit_validates_shapes() {
+    let runtime = Runtime::<f64>::with_defaults();
+    let model = runtime.load_model(model_factors(&[(4, 4)], 1)).unwrap();
+    // Wrong input width.
+    assert!(runtime.submit(&model, seq_matrix(2, 5, 0)).is_err());
+    // Zero rows.
+    assert!(runtime.submit(&model, Matrix::<f64>::zeros(0, 4)).is_err());
+    // Session with a mis-shaped output buffer.
+    let mut session = runtime.session();
+    assert!(session
+        .call(&model, seq_matrix(2, 4, 0), Matrix::zeros(2, 5))
+        .is_err());
+    // Degenerate models are rejected at load.
+    assert!(runtime.load_model(vec![]).is_err());
+    assert!(runtime.load_model(vec![Matrix::zeros(0, 3)]).is_err());
+}

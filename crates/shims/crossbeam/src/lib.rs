@@ -51,6 +51,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("sending on a disconnected channel")
@@ -139,6 +148,27 @@ pub mod channel {
             }
         }
 
+        /// Blocks up to `timeout` for a message — a timed [`Self::recv`]
+        /// (parks on the condvar; no spinning).
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.items.pop_front() {
+                    return Ok(v);
+                }
+                if q.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.shared.ready.wait_timeout(q, deadline - now).unwrap();
+                q = guard;
+            }
+        }
+
         /// Dequeues a message if one is ready.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.shared.queue.lock().unwrap();
@@ -161,7 +191,7 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, TryRecvError};
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
 
     #[test]
     fn send_recv_fifo() {
@@ -183,6 +213,23 @@ mod tests {
         assert_eq!(r.recv().unwrap(), 9);
         assert!(r.recv().is_err());
         assert_eq!(r.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (s, r) = unbounded::<u8>();
+        assert_eq!(
+            r.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        s.send(7).unwrap();
+        assert_eq!(r.recv_timeout(Duration::from_millis(5)), Ok(7));
+        drop(s);
+        assert_eq!(
+            r.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

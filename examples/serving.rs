@@ -1,0 +1,76 @@
+//! Serving: run the persistent `kron-runtime` over a stream of small-M
+//! requests — the Table 3/4-style traffic (GP inference, graph kernels)
+//! that single executes underuse hardware on — and watch the plan cache
+//! and cross-request batcher do their work.
+//!
+//! Run with `cargo run --release --example serving`.
+
+use fastkron::prelude::*;
+use kron_core::shuffle::kron_matmul_shuffle;
+
+fn main() {
+    // A runtime with a modest batch budget; `batch_linger_us` lets bursts
+    // coalesce even on small hosts.
+    let runtime = Runtime::<f32>::new(RuntimeConfig {
+        max_batch_rows: 128,
+        batch_max_m: 16,
+        batch_linger_us: 200,
+        ..RuntimeConfig::default()
+    });
+
+    // "Load the model once": a GP-style kernel operator 8 ⊗ 8 ⊗ 8.
+    let factors: Vec<Matrix<f32>> = (0..3)
+        .map(|i| Matrix::from_fn(8, 8, |r, c| ((i * 5 + r * 8 + c) % 11) as f32 - 5.0))
+        .collect();
+    let model = runtime.load_model(factors.clone()).expect("valid model");
+    println!(
+        "model: {} factors, X has {} cols, Y has {} cols",
+        model.num_factors(),
+        model.input_cols(),
+        model.output_cols()
+    );
+
+    // Fire a burst of small-M requests, then collect: in-flight same-model
+    // requests are stacked row-wise into large-M fused executes.
+    let refs: Vec<&Matrix<f32>> = factors.iter().collect();
+    let mut tickets = Vec::new();
+    let mut oracles = Vec::new();
+    for i in 0..64 {
+        let m = 1 + i % 4; // M ∈ {1..4}: far too small to use a wide host alone
+        let x = Matrix::<f32>::from_fn(m, model.input_cols(), |r, c| {
+            ((i + 3 * r + c) % 7) as f32 - 3.0
+        });
+        oracles.push(kron_matmul_shuffle(&x, &refs).expect("oracle"));
+        tickets.push(runtime.submit(&model, x).expect("submit"));
+    }
+    for (i, (ticket, oracle)) in tickets.into_iter().zip(&oracles).enumerate() {
+        let y = ticket.wait().expect("serve");
+        assert_matrices_close(&y, oracle, &format!("request {i}"));
+    }
+    println!("served and verified 64 burst requests");
+
+    // Synchronous, allocation-free steady state: a session recycles its
+    // buffers; after the first call of a shape, no allocation happens
+    // anywhere in the process per request.
+    let mut session = runtime.session();
+    let mut x = Matrix::<f32>::from_fn(4, model.input_cols(), |r, c| (r + c) as f32);
+    let mut y = Matrix::zeros(4, model.output_cols());
+    for _ in 0..100 {
+        (x, y) = session.call(&model, x, y).expect("session call");
+    }
+    println!("session served 100 recycled-buffer requests");
+
+    let stats = runtime.stats();
+    println!(
+        "stats: served={} (batched={} over {} fused executes, solo={}), \
+         plan cache hits/misses = {}/{}",
+        stats.served,
+        stats.batched_requests,
+        stats.batches,
+        stats.solo_requests,
+        stats.plan_hits,
+        stats.plan_misses
+    );
+    runtime.shutdown();
+    println!("runtime drained and shut down");
+}

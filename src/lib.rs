@@ -9,7 +9,9 @@
 //! * [`baselines`] — GPyTorch-, COGENT-, cuTensor-style engines
 //!   (`kron-baselines`),
 //! * [`dist`] — the multi-GPU engine and distributed baselines (`kron-dist`),
-//! * [`gp`] — the Gaussian-process case study (`kron-gp`).
+//! * [`gp`] — the Gaussian-process case study (`kron-gp`),
+//! * [`runtime`] — the persistent serving runtime: plan caching and
+//!   cross-request batching (`kron-runtime`).
 //!
 //! ```
 //! use fastkron::prelude::*;
@@ -29,10 +31,12 @@ pub use kron_baselines as baselines;
 pub use kron_core as core;
 pub use kron_dist as dist;
 pub use kron_gp as gp;
+pub use kron_runtime as runtime;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use fastkron_core::{FastKron, KronPlan, TileConfig, Workspace};
     pub use gpu_sim::device::{DeviceSpec, A100, V100};
-    pub use kron_core::{assert_matrices_close, FactorShape, KronProblem, Matrix};
+    pub use kron_core::{assert_matrices_close, FactorShape, KronProblem, Matrix, PlanKey};
+    pub use kron_runtime::{Runtime, RuntimeConfig, RuntimeStats, Session, Ticket};
 }
