@@ -430,6 +430,107 @@ impl<T: Element> Workspace<T> {
     }
 }
 
+/// Caller-owned pack buffer for [`sliced_multiply_rows_into`]: the packed
+/// slice panel the register-blocked microkernel stages slices through.
+///
+/// Hoisted into the caller so external engines (the distributed workers in
+/// `kron-dist`) can keep one panel per simulated device and stay
+/// allocation-free across calls, exactly like the fused path's row tiles.
+pub struct PackPanel<T: Element> {
+    buf: [T; RK * PANEL_MAX_P],
+}
+
+impl<T: Element> PackPanel<T> {
+    /// A fresh (zeroed) panel. ~`RK · 160` elements, fine on the stack.
+    pub fn new() -> Self {
+        PackPanel {
+            buf: [T::ZERO; RK * PANEL_MAX_P],
+        }
+    }
+}
+
+impl<T: Element> Default for PackPanel<T> {
+    fn default() -> Self {
+        PackPanel::new()
+    }
+}
+
+/// One sliced multiplication over `rows` row-major rows, written through
+/// caller-owned buffers: `out[r][q·S + s] = Σ_p x[r][s·P + p] · f[p][q]`
+/// with `S = k_in / P` slices per row.
+///
+/// This is the allocation-free primitive external engines build on — the
+/// distributed engine's per-GPU local multiply is exactly this on its
+/// `TGM × TGK` block, `Nlocal` times between exchanges. `x` and `out` are
+/// raw row-major buffers with row strides `x_stride` / `out_stride` (both
+/// may exceed the logical widths `k_in` / `k_in/P·Q`), and `panel` is the
+/// caller's reusable pack buffer.
+///
+/// Numerically identical to the fused path's serial row loop: it runs the
+/// same microkernel ([`RK`]`×`[`RQ`] packed-panel tiles with the
+/// [`fused_output_col`] epilogue), so engines layered on it agree
+/// bit-for-bit with every single-device path.
+///
+/// # Errors
+/// [`KronError::ShapeMismatch`] when `k_in` is not a multiple of the
+/// factor's `P`, a stride is smaller than its row's logical width, or a
+/// buffer cannot hold `rows` rows at its stride.
+#[allow(clippy::too_many_arguments)]
+pub fn sliced_multiply_rows_into<T: Element>(
+    x: &[T],
+    x_stride: usize,
+    f: &Matrix<T>,
+    rows: usize,
+    k_in: usize,
+    out: &mut [T],
+    out_stride: usize,
+    panel: &mut PackPanel<T>,
+) -> Result<()> {
+    let (p, q) = (f.rows(), f.cols());
+    if p == 0 || k_in == 0 || !k_in.is_multiple_of(p) {
+        return Err(KronError::ShapeMismatch {
+            expected: format!("k_in a positive multiple of P = {p}"),
+            found: format!("k_in = {k_in}"),
+        });
+    }
+    let slices = k_in / p;
+    let k_out = slices * q;
+    if x_stride < k_in || out_stride < k_out {
+        return Err(KronError::ShapeMismatch {
+            expected: format!("strides ≥ row widths {k_in} / {k_out}"),
+            found: format!("{x_stride} / {out_stride}"),
+        });
+    }
+    if rows == 0 {
+        return Ok(());
+    }
+    if x.len() < (rows - 1) * x_stride + k_in {
+        return Err(KronError::ShapeMismatch {
+            expected: format!("x holding {rows} rows at stride {x_stride}"),
+            found: format!("{} elements", x.len()),
+        });
+    }
+    if out.len() < (rows - 1) * out_stride + k_out {
+        return Err(KronError::ShapeMismatch {
+            expected: format!("out holding {rows} rows at stride {out_stride}"),
+            found: format!("{} elements", out.len()),
+        });
+    }
+    let f_data = f.as_slice();
+    for r in 0..rows {
+        sliced_multiply_row(
+            &x[r * x_stride..r * x_stride + k_in],
+            f_data,
+            p,
+            q,
+            slices,
+            &mut out[r * out_stride..r * out_stride + k_out],
+            &mut panel.buf,
+        );
+    }
+    Ok(())
+}
+
 /// Computes `Y = X · (F1 ⊗ … ⊗ FN)` on the fused path with a throwaway
 /// [`Workspace`] — the drop-in replacement for the old per-step-allocating
 /// `kron_matmul_fastkron` loop. Callers in a loop should hold a
@@ -987,6 +1088,60 @@ mod tests {
         assert_eq!(fused_output_col(0, 4, 3), 3);
         assert_eq!(fused_output_col(1, 4, 0), 4);
         assert_eq!(fused_output_col(2, 4, 1), 9);
+    }
+
+    #[test]
+    fn rows_into_matches_sliced_multiply_and_validates() {
+        use crate::algorithm::sliced_multiply;
+        let x = seq_matrix(3, 12, 2);
+        let f = seq_matrix(4, 5, 7);
+        let expected = sliced_multiply(&x, &f).unwrap();
+        // Strided buffers wider than the logical rows.
+        let (xs, os) = (16, 20);
+        let mut xbuf = vec![0.0f64; 3 * xs];
+        for r in 0..3 {
+            xbuf[r * xs..r * xs + 12].copy_from_slice(x.row(r));
+        }
+        let mut out = vec![-1.0f64; 3 * os];
+        let mut panel = PackPanel::new();
+        sliced_multiply_rows_into(&xbuf, xs, &f, 3, 12, &mut out, os, &mut panel).unwrap();
+        for r in 0..3 {
+            assert_eq!(&out[r * os..r * os + 15], expected.row(r), "row {r}");
+        }
+        // Validation: k_in not a multiple of P, short strides, short buffers.
+        let err = |r| -> bool { matches!(r, Err(kron_core::KronError::ShapeMismatch { .. })) };
+        let mut o = vec![0.0f64; 60];
+        assert!(err(sliced_multiply_rows_into(
+            &xbuf, xs, &f, 3, 10, &mut o, os, &mut panel
+        )));
+        assert!(err(sliced_multiply_rows_into(
+            &xbuf, 8, &f, 3, 12, &mut o, os, &mut panel
+        )));
+        assert!(err(sliced_multiply_rows_into(
+            &xbuf, xs, &f, 3, 12, &mut o, 10, &mut panel
+        )));
+        assert!(err(sliced_multiply_rows_into(
+            &xbuf[..20],
+            xs,
+            &f,
+            3,
+            12,
+            &mut o,
+            os,
+            &mut panel
+        )));
+        assert!(err(sliced_multiply_rows_into(
+            &xbuf,
+            xs,
+            &f,
+            3,
+            12,
+            &mut o[..40],
+            os,
+            &mut panel
+        )));
+        // rows == 0 is a no-op.
+        sliced_multiply_rows_into(&xbuf, xs, &f, 0, 12, &mut o, os, &mut panel).unwrap();
     }
 
     #[test]

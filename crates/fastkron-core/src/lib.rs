@@ -41,6 +41,6 @@ pub mod tile;
 pub mod tuner;
 
 pub use engine::{FastKron, KronPlan, PlanStage};
-pub use exec::{kron_matmul_fused, Workspace};
+pub use exec::{kron_matmul_fused, sliced_multiply_rows_into, PackPanel, Workspace};
 pub use tile::{Caching, TileConfig};
 pub use tuner::{AutoTuner, Constraints, TuneOutcome, TuneReport};

@@ -34,5 +34,5 @@ pub mod trace;
 
 pub use cost::{CostModel, LaunchConfig};
 pub use device::{DeviceSpec, A100, V100};
-pub use stats::{ExecReport, KernelStats, StepTiming};
+pub use stats::{ExecReport, ExecSummary, KernelStats, StepTiming};
 pub use trace::Tracer;

@@ -115,12 +115,57 @@ pub struct ExecReport {
     pub comm_bytes: u64,
 }
 
+/// `Copy` digest of an [`ExecReport`]: the numbers a serving runtime wants
+/// to attach to every request without allocating (an `ExecReport` owns a
+/// `String` and a `Vec`, so cloning one per request would break a
+/// zero-allocation steady state).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecSummary {
+    /// Total simulated time in seconds.
+    pub seconds: f64,
+    /// Bytes sent over inter-GPU links (0 for single-GPU runs).
+    pub comm_bytes: u64,
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Floating-point operations executed.
+    pub flops: u64,
+}
+
+impl ExecSummary {
+    /// Scales the summary by `num / den` — used to apportion a batch-level
+    /// simulation to one request's share of the batch rows (FastKron's
+    /// work, time, and communication volume are all linear in `M`, so
+    /// row-proportional attribution is exact up to launch quantization).
+    pub fn prorated(&self, num: usize, den: usize) -> ExecSummary {
+        if den == 0 {
+            return ExecSummary::default();
+        }
+        let frac = num as f64 / den as f64;
+        ExecSummary {
+            seconds: self.seconds * frac,
+            comm_bytes: (self.comm_bytes as f64 * frac).round() as u64,
+            launches: (self.launches as f64 * frac).ceil() as u64,
+            flops: (self.flops as f64 * frac).round() as u64,
+        }
+    }
+}
+
 impl ExecReport {
     /// Creates an empty report for `engine`.
     pub fn new(engine: impl Into<String>) -> Self {
         ExecReport {
             engine: engine.into(),
             ..Default::default()
+        }
+    }
+
+    /// The allocation-free [`ExecSummary`] digest of this report.
+    pub fn summary(&self) -> ExecSummary {
+        ExecSummary {
+            seconds: self.seconds,
+            comm_bytes: self.comm_bytes,
+            launches: self.launches,
+            flops: self.stats.flops,
         }
     }
 
@@ -209,6 +254,30 @@ mod tests {
         assert_eq!(r.step_seconds("transpose"), 3.0);
         assert_eq!(r.step_seconds("missing"), 0.0);
         assert_eq!(r.steps.len(), 2);
+    }
+
+    #[test]
+    fn summary_and_proration() {
+        let mut r = ExecReport::new("dist");
+        r.add_step("local-multiply", 1.0);
+        r.add_step("exchange", 0.5);
+        r.comm_bytes = 1000;
+        r.launches = 8;
+        r.stats.flops = 4000;
+        let s = r.summary();
+        assert_eq!(s.seconds, 1.5);
+        assert_eq!(s.comm_bytes, 1000);
+        assert_eq!(s.launches, 8);
+        assert_eq!(s.flops, 4000);
+        // One request holding 2 of the batch's 8 rows gets a quarter.
+        let p = s.prorated(2, 8);
+        assert_eq!(p.seconds, 0.375);
+        assert_eq!(p.comm_bytes, 250);
+        assert_eq!(p.launches, 2);
+        assert_eq!(p.flops, 1000);
+        // Launch counts round up: even a 1-row request rode every launch.
+        assert_eq!(s.prorated(1, 100).launches, 1);
+        assert_eq!(s.prorated(1, 0), ExecSummary::default());
     }
 
     #[test]

@@ -35,6 +35,15 @@ impl DType {
             DType::F64 => "double",
         }
     }
+
+    /// The Rust type name (`"f32"` / `"f64"`) — used when generating
+    /// copy-pasteable regression literals.
+    pub const fn rust_name(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+        }
+    }
 }
 
 impl Display for DType {

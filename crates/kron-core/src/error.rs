@@ -37,6 +37,24 @@ pub enum KronError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A simulated device failed (panicked) during a sharded execution.
+    /// The batch that was executing fails with this error; the engine and
+    /// the fabric stay consistent, so later batches are unaffected.
+    DeviceFailure {
+        /// Linear id of the device that failed.
+        gpu: usize,
+        /// The captured panic message (or fault-injection label).
+        reason: String,
+    },
+    /// A linked batch submission mixed requests against different models.
+    /// Cross-request batching stacks inputs row-wise against one factor
+    /// set, so every request of a linked batch must target the same model.
+    MixedModelBatch {
+        /// Model id of the batch's first request.
+        first: u64,
+        /// The first conflicting model id encountered.
+        conflicting: u64,
+    },
     /// A request was submitted to a serving runtime that has shut down.
     Shutdown,
 }
@@ -54,6 +72,14 @@ impl fmt::Display for KronError {
             }
             KronError::ResourceExhausted { what } => write!(f, "resource exhausted: {what}"),
             KronError::InvalidGrid { reason } => write!(f, "invalid GPU grid: {reason}"),
+            KronError::DeviceFailure { gpu, reason } => {
+                write!(f, "simulated device {gpu} failed: {reason}")
+            }
+            KronError::MixedModelBatch { first, conflicting } => write!(
+                f,
+                "linked batch mixes models {first} and {conflicting}; \
+                 a batch stacks rows against one factor set"
+            ),
             KronError::Shutdown => write!(f, "the serving runtime has shut down"),
         }
     }
@@ -81,6 +107,20 @@ mod tests {
         }
         .to_string()
         .contains("TP must divide P"));
+        assert_eq!(
+            KronError::DeviceFailure {
+                gpu: 3,
+                reason: "injected device fault".into()
+            }
+            .to_string(),
+            "simulated device 3 failed: injected device fault"
+        );
+        let mixed = KronError::MixedModelBatch {
+            first: 0,
+            conflicting: 2,
+        }
+        .to_string();
+        assert!(mixed.contains("models 0 and 2"), "{mixed}");
     }
 
     #[test]

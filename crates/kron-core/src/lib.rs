@@ -37,7 +37,7 @@ pub mod shuffle;
 pub use element::{DType, Element};
 pub use error::{KronError, Result};
 pub use matrix::{Matrix, MatrixView, MatrixViewMut};
-pub use shape::{FactorShape, KronProblem, PlanKey};
+pub use shape::{ExecBackend, FactorShape, KronProblem, PlanKey};
 
 /// Maximum relative error tolerated when comparing two engines' outputs in
 /// tests, expressed as a multiple of the element type's machine epsilon.

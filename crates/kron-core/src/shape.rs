@@ -196,9 +196,41 @@ impl fmt::Display for KronProblem {
     }
 }
 
+/// Where a planned execution runs: one device, or a `{GM, GK}` grid of
+/// simulated devices (§5 of the paper's SUMMA-style partitioning).
+///
+/// Plans for the same problem on different backends are **not**
+/// interchangeable — a sharded plan owns per-device blocks, a fabric, and
+/// a communication schedule a single-device plan has no use for — so this
+/// is part of [`PlanKey`] and any plan cache keyed on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecBackend {
+    /// The whole problem executes on one device.
+    #[default]
+    SingleDevice,
+    /// Rows are sharded `GM`-ways and columns `GK`-ways across a grid of
+    /// simulated devices with grouped exchanges (Algorithm 2).
+    Grid {
+        /// Row groups (partition of `M`).
+        gm: usize,
+        /// Column groups (partition of `K`).
+        gk: usize,
+    },
+}
+
+impl fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecBackend::SingleDevice => f.write_str("single"),
+            ExecBackend::Grid { gm, gk } => write!(f, "grid{{{gm}×{gk}}}"),
+        }
+    }
+}
+
 /// Cache key identifying one planned execution: everything that makes two
 /// [`crate::Matrix`]-level executions interchangeable — the problem shape,
-/// the scalar type, and the target device.
+/// the scalar type, the target device, and the execution backend (single
+/// device or a device grid).
 ///
 /// [`KronProblem`] (and [`FactorShape`]) derive `Hash`/`Eq` exactly so this
 /// key can index a plan/workspace cache: a serving runtime that keys its
@@ -213,22 +245,45 @@ pub struct PlanKey {
     /// Name of the device the plan was tuned for (e.g. a
     /// `gpu_sim::DeviceSpec::name` or `"cpu"`).
     pub device: &'static str,
+    /// Execution backend the plan targets.
+    pub backend: ExecBackend,
 }
 
 impl PlanKey {
-    /// Convenience constructor.
+    /// Single-device plan key.
     pub fn new(problem: KronProblem, dtype: crate::DType, device: &'static str) -> Self {
         PlanKey {
             problem,
             dtype,
             device,
+            backend: ExecBackend::SingleDevice,
+        }
+    }
+
+    /// Plan key for an execution sharded across a `{gm, gk}` device grid.
+    pub fn sharded(
+        problem: KronProblem,
+        dtype: crate::DType,
+        device: &'static str,
+        gm: usize,
+        gk: usize,
+    ) -> Self {
+        PlanKey {
+            problem,
+            dtype,
+            device,
+            backend: ExecBackend::Grid { gm, gk },
         }
     }
 }
 
 impl fmt::Display for PlanKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} · {} · {}", self.problem, self.dtype, self.device)
+        write!(
+            f,
+            "{} · {} · {} · {}",
+            self.problem, self.dtype, self.device, self.backend
+        )
     }
 }
 
@@ -349,6 +404,12 @@ mod tests {
         for p in &problems {
             for dtype in [DType::F32, DType::F64] {
                 for device in ["V100", "A100"] {
+                    for (gm, gk) in [(1, 2), (2, 2), (2, 4)] {
+                        assert!(
+                            keys.insert(PlanKey::sharded(p.clone(), dtype, device, gm, gk)),
+                            "duplicate key for {p} / {dtype} / {device} / {gm}x{gk}"
+                        );
+                    }
                     assert!(
                         keys.insert(PlanKey::new(p.clone(), dtype, device)),
                         "duplicate key for {p} / {dtype} / {device}"
@@ -356,7 +417,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(keys.len(), problems.len() * 4);
+        assert_eq!(keys.len(), problems.len() * 4 * 4);
     }
 
     #[test]
@@ -368,7 +429,18 @@ mod tests {
         let mut hasher_input = std::collections::HashSet::new();
         hasher_input.insert(a);
         assert!(hasher_input.contains(&b));
-        assert_eq!(b.to_string(), "M=8, 4^3 · float · V100");
+        assert_eq!(b.to_string(), "M=8, 4^3 · float · V100 · single");
+        let s = PlanKey::sharded(
+            KronProblem::uniform(8, 4, 3).unwrap(),
+            DType::F32,
+            "V100",
+            2,
+            4,
+        );
+        assert_ne!(s, b);
+        assert_eq!(s.to_string(), "M=8, 4^3 · float · V100 · grid{2×4}");
+        assert_eq!(s.backend, ExecBackend::Grid { gm: 2, gk: 4 });
+        assert_eq!(ExecBackend::default(), ExecBackend::SingleDevice);
     }
 
     #[test]

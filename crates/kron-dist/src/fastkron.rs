@@ -10,8 +10,8 @@
 //! is exactly `GM · ⌈N/Nlocal⌉ · TGM · (K − TGK)` elements — the paper's
 //! closed form — versus one exchange *per factor* in CTF/DISTAL.
 
-use crate::fabric::{CommModel, Fabric, GpuGrid};
-use fastkron_core::algorithm::sliced_multiply;
+use crate::engine::ShardedEngine;
+use crate::fabric::{CommModel, GpuGrid};
 use fastkron_core::kernel::SlicedMultiplyKernel;
 use fastkron_core::tuner::AutoTuner;
 use gpu_sim::cost::CostModel;
@@ -29,13 +29,106 @@ pub struct DistFastKron {
 
 /// Shape parameters of one distributed run.
 #[derive(Debug, Clone, Copy)]
-struct DistShape {
-    tgm: usize,
-    tgk: usize,
-    p: usize,
-    n: usize,
-    nlocal: usize,
-    rounds: usize,
+pub(crate) struct DistShape {
+    pub(crate) tgm: usize,
+    pub(crate) tgk: usize,
+    pub(crate) p: usize,
+    pub(crate) n: usize,
+    pub(crate) nlocal: usize,
+    pub(crate) rounds: usize,
+}
+
+/// Validates that `problem` is shardable over `grid` and derives the
+/// per-GPU shape — the checks every distributed entry point shares.
+pub(crate) fn dist_shape(grid: GpuGrid, problem: &KronProblem) -> Result<DistShape> {
+    if !problem.is_uniform() || problem.factors[0].p != problem.factors[0].q {
+        return Err(KronError::InvalidGrid {
+            reason: "distributed Kron-Matmul requires identical square factors".into(),
+        });
+    }
+    let p = problem.factors[0].p;
+    let n = problem.num_factors();
+    let k = problem.input_cols();
+    let (gm, gk) = (grid.gm, grid.gk);
+    if !problem.m.is_multiple_of(gm) {
+        return Err(KronError::InvalidGrid {
+            reason: format!("M = {} not divisible by GM = {gm}", problem.m),
+        });
+    }
+    if !k.is_multiple_of(gk) {
+        return Err(KronError::InvalidGrid {
+            reason: format!("K = {k} not divisible by GK = {gk}"),
+        });
+    }
+    let tgk = k / gk;
+    if gk > p {
+        return Err(KronError::InvalidGrid {
+            reason: format!("GK = {gk} exceeds P = {p}; columns would interleave"),
+        });
+    }
+    if !tgk.is_multiple_of(gk) {
+        return Err(KronError::InvalidGrid {
+            reason: format!("TGK = {tgk} not divisible by GK = {gk}"),
+        });
+    }
+    let nlocal = DistFastKron::nlocal(p, tgk).min(n);
+    if !tgk.is_multiple_of(p.pow(nlocal as u32)) {
+        return Err(KronError::InvalidGrid {
+            reason: format!("TGK = {tgk} not divisible by P^Nlocal"),
+        });
+    }
+    Ok(DistShape {
+        tgm: problem.m / gm,
+        tgk,
+        p,
+        n,
+        nlocal,
+        rounds: n.div_ceil(nlocal),
+    })
+}
+
+/// Simulated wall-clock report for `problem` sharded over `grid`: local
+/// kernel time from the traced single-GPU machinery on the per-GPU block,
+/// plus α–β exchange time per round. All GPUs progress in lockstep (the
+/// workload is perfectly balanced), so wall time equals one GPU's time.
+pub(crate) fn simulate_sharded<T: Element>(
+    device: &DeviceSpec,
+    grid: GpuGrid,
+    comm: &CommModel,
+    problem: &KronProblem,
+) -> Result<ExecReport> {
+    let s = dist_shape(grid, problem)?;
+    let mut report = ExecReport::new(format!("FastKron-{}GPU", grid.gpus()));
+
+    // One local sliced multiply on the TGM × TGK block.
+    let tuner = AutoTuner::new(device);
+    let cost = CostModel::new(device);
+    let outcome = tuner.tune(s.tgm, s.tgk, s.p, s.p, T::DTYPE)?;
+    let zeros = Matrix::<T>::zeros(s.p, s.p);
+    let kern = SlicedMultiplyKernel::new(outcome.config, s.tgm, s.tgk, &zeros)?;
+    let mut tracer = Tracer::new(device);
+    let per_block = kern.trace_block(&mut tracer);
+    let launch = outcome.config.launch(s.tgm, s.tgk, s.p, s.p, T::DTYPE);
+    let stats = per_block.scaled(launch.grid_blocks as u64);
+    let t_mul = cost.kernel_time(&launch, &stats, T::DTYPE)?.total_s;
+
+    let e = T::DTYPE.bytes();
+    let part_bytes = (s.tgm * s.tgk * e) as u64;
+    let send_bytes = part_bytes - part_bytes / grid.gk as u64;
+    for round in 0..s.rounds {
+        let nl = s.nlocal.min(s.n - round * s.nlocal);
+        report.add_step("local-multiply", t_mul * nl as f64);
+        report.stats += stats.scaled(nl as u64);
+        report.launches += nl as u64;
+        if grid.gk > 1 {
+            let t_comm = comm.send_time(send_bytes, grid.gk - 1);
+            // StoreGPUTile pass: re-writes the local block.
+            let t_place = (2 * part_bytes) as f64 / device.dram_bw;
+            report.add_step("exchange", t_comm + t_place);
+            report.comm_bytes += send_bytes * (grid.gm * grid.gk) as u64;
+        }
+    }
+    Ok(report)
 }
 
 impl DistFastKron {
@@ -76,50 +169,30 @@ impl DistFastKron {
     }
 
     fn shape(&self, problem: &KronProblem) -> Result<DistShape> {
-        if !problem.is_uniform() || problem.factors[0].p != problem.factors[0].q {
-            return Err(KronError::InvalidGrid {
-                reason: "distributed Kron-Matmul requires identical square factors".into(),
-            });
-        }
-        let p = problem.factors[0].p;
-        let n = problem.num_factors();
-        let k = problem.input_cols();
-        let (gm, gk) = (self.grid.gm, self.grid.gk);
-        if !problem.m.is_multiple_of(gm) {
-            return Err(KronError::InvalidGrid {
-                reason: format!("M = {} not divisible by GM = {gm}", problem.m),
-            });
-        }
-        if !k.is_multiple_of(gk) {
-            return Err(KronError::InvalidGrid {
-                reason: format!("K = {k} not divisible by GK = {gk}"),
-            });
-        }
-        let tgk = k / gk;
-        if gk > p {
-            return Err(KronError::InvalidGrid {
-                reason: format!("GK = {gk} exceeds P = {p}; columns would interleave"),
-            });
-        }
-        if !tgk.is_multiple_of(gk) {
-            return Err(KronError::InvalidGrid {
-                reason: format!("TGK = {tgk} not divisible by GK = {gk}"),
-            });
-        }
-        let nlocal = Self::nlocal(p, tgk).min(n);
-        if !tgk.is_multiple_of(p.pow(nlocal as u32)) {
-            return Err(KronError::InvalidGrid {
-                reason: format!("TGK = {tgk} not divisible by P^Nlocal"),
-            });
-        }
-        Ok(DistShape {
-            tgm: problem.m / gm,
-            tgk,
-            p,
-            n,
-            nlocal,
-            rounds: n.div_ceil(nlocal),
-        })
+        dist_shape(self.grid, problem)
+    }
+
+    /// Cheap shardability check: `Ok(())` when `problem` can shard over
+    /// this engine's grid, the [`KronError::InvalidGrid`] reason
+    /// otherwise. Pure arithmetic — no engine, threads, or buffers are
+    /// built, so this is the right probe for schedulers and tests.
+    ///
+    /// # Errors
+    /// [`KronError::InvalidGrid`] with the violated constraint.
+    pub fn shardable(&self, problem: &KronProblem) -> Result<()> {
+        self.shape(problem).map(|_| ())
+    }
+
+    /// Builds a caller-owned, reusable [`ShardedEngine`] for `problem` —
+    /// the planning-free entry point: persistent simulated-GPU workers,
+    /// pre-allocated blocks and exchange buffers, callable many times with
+    /// zero steady-state allocations. `problem.m` is the row capacity.
+    ///
+    /// # Errors
+    /// [`KronError::InvalidGrid`] when `problem` cannot shard over this
+    /// engine's grid.
+    pub fn workspace<T: Element>(&self, problem: &KronProblem) -> Result<ShardedEngine<T>> {
+        ShardedEngine::new(&self.device, self.grid, self.comm.clone(), problem)
     }
 
     /// Total elements communicated across the machine — the paper's
@@ -144,6 +217,10 @@ impl DistFastKron {
     /// crossbeam channels for `Send`/`Recv`, the real Algorithm 2 control
     /// flow. Returns the gathered `M × K` result.
     ///
+    /// This is the one-shot convenience over [`Self::workspace`]: it
+    /// builds a throwaway [`ShardedEngine`] per call. Servers should hold
+    /// the engine instead and pay planning and allocation once.
+    ///
     /// # Errors
     /// Shape/grid errors; operand mismatches.
     pub fn execute<T: Element>(&self, x: &Matrix<T>, factors: &[&Matrix<T>]) -> Result<Matrix<T>> {
@@ -158,72 +235,9 @@ impl DistFastKron {
                 found: format!("{} cols", x.cols()),
             });
         }
-        let s = self.shape(&problem)?;
-        let (gm, gk) = (self.grid.gm, self.grid.gk);
-        let k = problem.input_cols();
-
-        // Scatter blocks.
-        let mut blocks: Vec<Matrix<T>> = Vec::with_capacity(gm * gk);
-        for bm in 0..gm {
-            for bk in 0..gk {
-                let mut local = Matrix::zeros(s.tgm, s.tgk);
-                for r in 0..s.tgm {
-                    let src = &x.row(bm * s.tgm + r)[bk * s.tgk..(bk + 1) * s.tgk];
-                    local.row_mut(r).copy_from_slice(src);
-                }
-                blocks.push(local);
-            }
-        }
-
-        // Message: (source column-rank, rows × part columns).
-        type Part<T> = Vec<T>;
-        let fabric: Fabric<Part<T>> = Fabric::new(self.grid);
-
-        let results: Vec<Result<Matrix<T>>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(gm * gk);
-            for bm in 0..gm {
-                for bk in 0..gk {
-                    let mut local = blocks[bm * gk + bk].clone();
-                    let fabric = &fabric;
-                    let factors = &factors;
-                    handles.push(scope.spawn(move || -> Result<Matrix<T>> {
-                        let me = fabric.grid().id(bm, bk);
-                        let mut remaining = s.n;
-                        let mut fidx = s.n; // factors processed from the back
-                        while remaining > 0 {
-                            let nl = s.nlocal.min(remaining);
-                            // Nlocal local sliced multiplications.
-                            for j in 0..nl {
-                                local = sliced_multiply(&local, factors[fidx - 1 - j])?;
-                            }
-                            fidx -= nl;
-                            remaining -= nl;
-                            if gk > 1 {
-                                local = exchange(fabric, &local, bm, bk, me, s, nl, k)?;
-                            }
-                        }
-                        Ok(local)
-                    }));
-                }
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("gpu thread panicked"))
-                .collect()
-        });
-
-        // Gather.
-        let mut y = Matrix::zeros(problem.m, k);
-        for bm in 0..gm {
-            for bk in 0..gk {
-                let local = results[bm * gk + bk].as_ref().map_err(Clone::clone)?;
-                let local: &Matrix<T> = local;
-                for r in 0..s.tgm {
-                    y.row_mut(bm * s.tgm + r)[bk * s.tgk..(bk + 1) * s.tgk]
-                        .copy_from_slice(local.row(r));
-                }
-            }
-        }
+        let mut engine = self.workspace::<T>(&problem)?;
+        let mut y = Matrix::zeros(problem.m, problem.output_cols());
+        engine.execute_rows(x, factors, &mut y, problem.m)?;
         Ok(y)
     }
 
@@ -235,120 +249,8 @@ impl DistFastKron {
     /// # Errors
     /// Shape/grid or tuning errors.
     pub fn simulate<T: Element>(&self, problem: &KronProblem) -> Result<ExecReport> {
-        let s = self.shape(problem)?;
-        let mut report = ExecReport::new(format!("FastKron-{}GPU", self.grid.gpus()));
-
-        // One local sliced multiply on the TGM × TGK block.
-        let tuner = AutoTuner::new(&self.device);
-        let cost = CostModel::new(&self.device);
-        let outcome = tuner.tune(s.tgm, s.tgk, s.p, s.p, T::DTYPE)?;
-        let zeros = Matrix::<T>::zeros(s.p, s.p);
-        let kern = SlicedMultiplyKernel::new(outcome.config, s.tgm, s.tgk, &zeros)?;
-        let mut tracer = Tracer::new(&self.device);
-        let per_block = kern.trace_block(&mut tracer);
-        let launch = outcome.config.launch(s.tgm, s.tgk, s.p, s.p, T::DTYPE);
-        let stats = per_block.scaled(launch.grid_blocks as u64);
-        let t_mul = cost.kernel_time(&launch, &stats, T::DTYPE)?.total_s;
-
-        let e = T::DTYPE.bytes();
-        let part_bytes = (s.tgm * s.tgk * e) as u64;
-        let send_bytes = part_bytes - part_bytes / self.grid.gk as u64;
-        for round in 0..s.rounds {
-            let nl = s.nlocal.min(s.n - round * s.nlocal);
-            report.add_step("local-multiply", t_mul * nl as f64);
-            report.stats += stats.scaled(nl as u64);
-            report.launches += nl as u64;
-            if self.grid.gk > 1 {
-                let t_comm = self.comm.send_time(send_bytes, self.grid.gk - 1);
-                // StoreGPUTile pass: re-writes the local block.
-                let t_place = (2 * part_bytes) as f64 / self.device.dram_bw;
-                report.add_step("exchange", t_comm + t_place);
-                report.comm_bytes += send_bytes * (self.grid.gm * self.grid.gk) as u64;
-            }
-        }
-        Ok(report)
+        simulate_sharded::<T>(&self.device, self.grid, &self.comm, problem)
     }
-}
-
-/// One relocation round: split the local intermediate into `GK` parts,
-/// exchange them within the row, and place received parts at their
-/// canonical positions (`StoreGPUTile`).
-#[allow(clippy::too_many_arguments)]
-fn exchange<T: Element>(
-    fabric: &Fabric<Vec<T>>,
-    local: &Matrix<T>,
-    bm: usize,
-    bk: usize,
-    me: usize,
-    s: DistShape,
-    nl: usize,
-    k: usize,
-) -> Result<Matrix<T>> {
-    let grid = fabric.grid();
-    let gk = grid.gk;
-    let part_cols = s.tgk / gk;
-
-    // Send part `dst` to GPU (bm, dst).
-    for dst in 0..gk {
-        if dst == bk {
-            continue;
-        }
-        let mut part = Vec::with_capacity(s.tgm * part_cols);
-        for r in 0..s.tgm {
-            part.extend_from_slice(&local.row(r)[dst * part_cols..(dst + 1) * part_cols]);
-        }
-        fabric
-            .sender(me, grid.id(bm, dst))
-            .send(part)
-            .map_err(|_| KronError::InvalidGrid {
-                reason: "fabric channel closed".into(),
-            })?;
-    }
-
-    // Layout scales (paper Figure 8; identical in structure to
-    // StoreFusedShMem with the GPU in place of the thread block).
-    let pn = s.p.pow(nl as u32);
-    let xl_s = s.tgk / s.p;
-    let xg_s = k / s.p;
-    let xl_f = s.tgk / pn;
-    let xg_f = k / pn;
-    let my_base = bk * s.tgk;
-
-    let mut next = Matrix::zeros(s.tgm, s.tgk);
-    let mut place = |src_rank: usize, part: &[T]| {
-        for r in 0..s.tgm {
-            let row = &part[r * part_cols..(r + 1) * part_cols];
-            for (jp, &v) in row.iter().enumerate() {
-                // j = index in the source GPU's full local buffer.
-                let j = bk * part_cols + jp;
-                let col =
-                    (j / xl_s) * xg_s + ((j % xl_s) / xl_f) * xg_f + src_rank * xl_f + (j % xl_f);
-                next[(r, col - my_base)] = v;
-            }
-        }
-    };
-
-    // Own part placed directly.
-    let mut own = Vec::with_capacity(s.tgm * part_cols);
-    for r in 0..s.tgm {
-        own.extend_from_slice(&local.row(r)[bk * part_cols..(bk + 1) * part_cols]);
-    }
-    place(bk, &own);
-
-    for src in 0..gk {
-        if src == bk {
-            continue;
-        }
-        let part =
-            fabric
-                .receiver(grid.id(bm, src), me)
-                .recv()
-                .map_err(|_| KronError::InvalidGrid {
-                    reason: "fabric channel closed".into(),
-                })?;
-        place(src, &part);
-    }
-    Ok(next)
 }
 
 #[cfg(test)]

@@ -12,6 +12,12 @@
 //!   all-to-all relocation round (`StoreGPUTile`), cutting communication
 //!   volume by `Nlocal` versus per-iteration exchanges. Functionally
 //!   executable (threads) and analytically timeable.
+//! * [`engine`] — [`ShardedEngine`], the serving-grade form of Algorithm 2:
+//!   persistent simulated-device threads, caller-owned batch buffers, and
+//!   recycled exchange buffers, so a warmed engine executes with **zero
+//!   allocations** and a faulted device fails its batch cleanly instead of
+//!   hanging the fabric. Built via [`DistFastKron::workspace`]; this is
+//!   what `kron-runtime`'s `Distributed` backend serves through.
 //! * [`baselines`] — the two rival distributed systems of §6.3: CTF
 //!   (distributed shuffle: GEMM + distributed transpose every iteration)
 //!   and DISTAL (distributed FTMMT: fused contraction, but still one
@@ -20,9 +26,11 @@
 #![deny(missing_docs)]
 
 pub mod baselines;
+pub mod engine;
 pub mod fabric;
 pub mod fastkron;
 
 pub use baselines::{CtfEngine, DistalEngine};
+pub use engine::ShardedEngine;
 pub use fabric::{CommModel, GpuGrid};
 pub use fastkron::DistFastKron;

@@ -1,40 +1,79 @@
 //! The shape-keyed plan + workspace cache: the reason steady-state serving
 //! does zero planning and zero allocation per request.
 //!
-//! Entries are indexed by `(model id, row capacity)` — a hash over two
-//! integers, so lookups themselves are allocation-free — and each entry
-//! carries the full [`PlanKey`] (problem shape × dtype × device) for
-//! introspection and as the structural identity the integer key stands in
-//! for. A capacity-`max_batch_rows` entry serves every small-`M` request
-//! and batch of its model; solo large-`M` requests get entries at
+//! Entries are indexed by `(factor-shape-chain hash, row capacity)` — a
+//! hash over two integers, so lookups themselves are allocation-free —
+//! and each entry carries the full [`PlanKey`] (problem shape × dtype ×
+//! device × backend/grid) for introspection and as the structural
+//! identity the integer key stands in for (every hit re-verifies the full
+//! chain against the entry's key, so a 64-bit hash collision costs one
+//! rebuild, never a wrong-shape workspace). Keying on *shapes* rather
+//! than model identity means same-shape models — the multi-tenant case —
+//! share plans, workspaces, and sharded engines: execution state depends
+//! only on shapes; factor values arrive with each execute. A
+//! capacity-`max_batch_rows` entry serves every small-`M` request and
+//! batch of its shape; solo large-`M` requests get entries at
 //! power-of-two capacities so nearby sizes share workspaces instead of
 //! fragmenting the cache.
+//!
+//! Each entry owns one of two compute states, selected by the runtime's
+//! [`Backend`]:
+//!
+//! * **Local** — an autotuned [`KronPlan`] plus a fused-path
+//!   [`Workspace`], exactly the single-device serving state.
+//! * **Sharded** — a persistent [`ShardedEngine`]: simulated-GPU worker
+//!   threads and a fabric, planned once for the entry's row capacity
+//!   (rounded up to a `GM` multiple so any batch can zero-pad to shard).
+//!   Models the grid cannot shard (non-uniform factors, indivisible `K`)
+//!   fall back to a Local entry, counted in
+//!   [`crate::RuntimeStats::local_fallbacks`].
 
-use crate::runtime::{ModelInner, StatsInner};
+use crate::runtime::{Backend, ModelInner, StatsInner};
 use fastkron_core::{FastKron, KronPlan, Workspace};
 use gpu_sim::device::DeviceSpec;
-use kron_core::{Element, KronProblem, Matrix, PlanKey, Result};
+use gpu_sim::ExecSummary;
+use kron_core::{Element, KronError, KronProblem, Matrix, PlanKey, Result};
+use kron_dist::{CommModel, GpuGrid, ShardedEngine};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 
-/// One cached execution state: the autotuned plan, the reusable ping-pong
-/// workspace, and (for batch-capacity entries) the gather/scatter buffers.
+/// The execution state behind one cache entry.
+pub(crate) enum Compute<T: Element> {
+    /// Single-device fused path: the autotuned plan (kept for launch
+    /// counts / simulated pricing) and its reusable workspace.
+    Local {
+        /// The autotuned plan the workspace was derived from (boxed to
+        /// keep the variant lean; it is introspection-only).
+        #[allow(dead_code)]
+        plan: Box<KronPlan<T>>,
+        /// Reusable ping-pong execution workspace.
+        workspace: Workspace<T>,
+    },
+    /// Sharded across the simulated GPU grid (boxed: the engine carries
+    /// its device spec, grid state, and lazy report, dwarfing a
+    /// workspace; it prices its own simulation internally).
+    Sharded(Box<ShardedEngine<T>>),
+}
+
+/// One cached execution state: the structural key, the compute state, and
+/// (for batch-capacity entries) the gather/scatter staging buffers.
 pub(crate) struct CachedPlan<T: Element> {
     /// Structural identity of this entry.
     pub(crate) key: PlanKey,
-    /// The autotuned plan (kept for launch counts / simulated pricing; the
-    /// CPU fused path's numbers do not depend on tile choices).
-    #[allow(dead_code)]
-    pub(crate) plan: KronPlan<T>,
-    /// Reusable execution workspace sized for the entry's row capacity.
-    pub(crate) workspace: Workspace<T>,
-    /// Row-stacked input/output staging for multi-request batches,
-    /// allocated on first batched use.
+    /// The compute state requests execute through.
+    pub(crate) compute: Compute<T>,
+    /// Row-stacked input/output staging for multi-request batches (and for
+    /// sharded solos, which need padding), allocated on first use.
     batch: Option<(Matrix<T>, Matrix<T>)>,
 }
 
 impl<T: Element> CachedPlan<T> {
+    /// Whether requests through this entry execute sharded.
+    pub(crate) fn is_sharded(&self) -> bool {
+        matches!(self.compute, Compute::Sharded(_))
+    }
+
     /// The batch staging buffers, allocating them on first use.
     pub(crate) fn batch_buffers(&mut self) -> &mut (Matrix<T>, Matrix<T>) {
         if self.batch.is_none() {
@@ -47,29 +86,100 @@ impl<T: Element> CachedPlan<T> {
         self.batch.as_mut().expect("just ensured")
     }
 
-    /// Runs the workspace over the staged batch's first `rows` rows.
+    /// Arms a one-shot device fault on a sharded entry; returns whether
+    /// the entry could take it (Local entries have no devices to fault).
+    pub(crate) fn arm_fault(&mut self, gpu: usize) -> bool {
+        match &mut self.compute {
+            Compute::Sharded(engine) => engine.inject_fault(gpu).is_ok(),
+            Compute::Local { .. } => false,
+        }
+    }
+
+    /// Runs the compute state over the staged batch's first `rows` rows.
+    /// Sharded entries zero-pad up to the next `GM` multiple (the padding
+    /// always fits: the capacity is a `GM` multiple ≥ `rows`).
     pub(crate) fn run_batch(&mut self, factors: &[&Matrix<T>], rows: usize) -> Result<()> {
         let (bx, by) = self.batch.as_mut().expect("gather before run");
-        self.workspace.execute_rows(bx, factors, by, rows)
+        match &mut self.compute {
+            Compute::Local { workspace, .. } => workspace.execute_rows(bx, factors, by, rows),
+            Compute::Sharded(engine) => {
+                let gm = engine.grid().gm;
+                let padded = rows.div_ceil(gm) * gm;
+                if padded > rows {
+                    let k = engine.problem().input_cols();
+                    bx.as_mut_slice()[rows * k..padded * k].fill(T::ZERO);
+                }
+                engine.execute_rows(bx, factors, by, padded)
+            }
+        }
     }
 
     /// Read access to the staged batch output (after [`Self::run_batch`]).
     pub(crate) fn batch_y(&self) -> &Matrix<T> {
         &self.batch.as_ref().expect("gather before scatter").1
     }
+
+    /// Executes directly from/to the caller's buffers — the staging-free
+    /// solo path. Local entries only; sharded solos go through the staged
+    /// batch path (they may need row padding).
+    pub(crate) fn run_rows(
+        &mut self,
+        x: &Matrix<T>,
+        factors: &[&Matrix<T>],
+        y: &mut Matrix<T>,
+        rows: usize,
+    ) -> Result<()> {
+        match &mut self.compute {
+            Compute::Local { workspace, .. } => workspace.execute_rows(x, factors, y, rows),
+            Compute::Sharded(_) => unreachable!("sharded solos use the staged batch path"),
+        }
+    }
+
+    /// Simulated-execution digest for `rows` of this entry's capacity,
+    /// prorated from the engine's capacity-rows simulation. `None` on
+    /// Local entries (no communication to attribute) and when the cost
+    /// model cannot cover the per-GPU block shape.
+    pub(crate) fn shard_summary(&self, rows: usize) -> Option<ExecSummary> {
+        match &self.compute {
+            Compute::Sharded(engine) => engine
+                .summary()
+                .map(|s| s.prorated(rows, engine.capacity())),
+            Compute::Local { .. } => None,
+        }
+    }
 }
 
-/// Plan/workspace cache keyed by `(model id, row capacity)`.
+/// Resolved backend state: `None` means single-node, `Some` carries the
+/// grid and fabric model sharded entries are built against.
+type BackendState = std::result::Result<Option<(GpuGrid, CommModel)>, KronError>;
+
+/// Plan/workspace cache keyed by `(factor-shape chain, row capacity)`.
 pub struct PlanCache<T: Element> {
     device: DeviceSpec,
+    backend: BackendState,
     entries: HashMap<(u64, usize), CachedPlan<T>>,
 }
 
 impl<T: Element> PlanCache<T> {
-    /// Creates an empty cache tuning plans for `device`.
-    pub fn new(device: DeviceSpec) -> Self {
+    /// Creates an empty cache building entries for `backend` plans tuned
+    /// against `device`. An invalid distributed configuration (e.g. a
+    /// non-power-of-two GPU count) is captured here and surfaces as the
+    /// documented [`KronError::InvalidGrid`] on every subsequent request.
+    pub fn new(device: DeviceSpec, backend: &Backend) -> Self {
+        let backend = match backend {
+            Backend::SingleNode => Ok(None),
+            Backend::Distributed { gpus, p2p } => GpuGrid::for_gpus(*gpus).map(|grid| {
+                let comm = if *p2p {
+                    CommModel::p2p(&device)
+                } else {
+                    CommModel::nccl(&device)
+                };
+                Some((grid, comm))
+            }),
+        };
         PlanCache {
             device,
+            backend,
             entries: HashMap::new(),
         }
     }
@@ -89,32 +199,95 @@ impl<T: Element> PlanCache<T> {
         self.entries.values().map(|e| &e.key)
     }
 
+    /// Evicts one entry (after a device failure, so the next batch of the
+    /// shape rebuilds a fresh engine instead of trusting a possibly
+    /// inconsistent fabric).
+    pub(crate) fn evict(&mut self, shape_key: u64, capacity: usize) {
+        self.entries.remove(&(shape_key, capacity));
+    }
+
     /// Looks up (or plans, tunes, and allocates) the execution state for
-    /// `model` at `capacity` rows, counting the hit or miss.
+    /// `model`'s shape chain at `capacity` rows, counting the hit or miss
+    /// (and the local fallback when the grid cannot shard the model).
     pub(crate) fn get_or_create(
         &mut self,
         model: &ModelInner<T>,
         capacity: usize,
         stats: &StatsInner,
     ) -> Result<&mut CachedPlan<T>> {
-        match self.entries.entry((model.id, capacity)) {
+        let device = &self.device;
+        let backend = &self.backend;
+        match self.entries.entry((model.shape_key, capacity)) {
             Entry::Occupied(e) => {
-                stats.plan_hits.fetch_add(1, Ordering::Relaxed);
-                Ok(e.into_mut())
+                let e = e.into_mut();
+                if e.key.problem.factors == model.shapes {
+                    stats.plan_hits.fetch_add(1, Ordering::Relaxed);
+                    Ok(e)
+                } else {
+                    // 64-bit shape-hash collision: rebuild for the new
+                    // chain rather than ever serving a wrong-shape state.
+                    stats.plan_misses.fetch_add(1, Ordering::Relaxed);
+                    *e = Self::build_entry(device, backend, model, capacity, stats)?;
+                    Ok(e)
+                }
             }
             Entry::Vacant(v) => {
                 stats.plan_misses.fetch_add(1, Ordering::Relaxed);
-                let problem = KronProblem::new(capacity, model.shapes.clone())?;
-                let plan = FastKron::plan::<T>(&problem, &self.device)?;
-                let workspace = plan.workspace();
-                let key = PlanKey::new(problem, T::DTYPE, self.device.name);
-                Ok(v.insert(CachedPlan {
-                    key,
-                    plan,
-                    workspace,
-                    batch: None,
-                }))
+                let entry = Self::build_entry(device, backend, model, capacity, stats)?;
+                Ok(v.insert(entry))
             }
         }
+    }
+
+    fn build_entry(
+        device: &DeviceSpec,
+        backend: &BackendState,
+        model: &ModelInner<T>,
+        capacity: usize,
+        stats: &StatsInner,
+    ) -> Result<CachedPlan<T>> {
+        match backend.as_ref().map_err(Clone::clone)? {
+            Some((grid, comm)) => {
+                // Round the capacity up so any row count ≤ capacity can
+                // zero-pad to a GM multiple and shard.
+                let cap = capacity.div_ceil(grid.gm) * grid.gm;
+                let problem = KronProblem::new(cap, model.shapes.clone())?;
+                match ShardedEngine::new(device, *grid, comm.clone(), &problem) {
+                    Ok(engine) => Ok(CachedPlan {
+                        key: PlanKey::sharded(problem, T::DTYPE, device.name, grid.gm, grid.gk),
+                        compute: Compute::Sharded(Box::new(engine)),
+                        batch: None,
+                    }),
+                    Err(KronError::InvalidGrid { .. }) => {
+                        // The grid cannot shard this shape (mixed or
+                        // rectangular factors, indivisible K): serve it
+                        // locally rather than failing.
+                        stats.local_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        Self::local_entry(device, model, capacity)
+                    }
+                    Err(other) => Err(other),
+                }
+            }
+            None => Self::local_entry(device, model, capacity),
+        }
+    }
+
+    fn local_entry(
+        device: &DeviceSpec,
+        model: &ModelInner<T>,
+        capacity: usize,
+    ) -> Result<CachedPlan<T>> {
+        let problem = KronProblem::new(capacity, model.shapes.clone())?;
+        let plan = FastKron::plan::<T>(&problem, device)?;
+        let workspace = plan.workspace();
+        let key = PlanKey::new(problem, T::DTYPE, device.name);
+        Ok(CachedPlan {
+            key,
+            compute: Compute::Local {
+                plan: Box::new(plan),
+                workspace,
+            },
+            batch: None,
+        })
     }
 }

@@ -34,15 +34,46 @@
 //!   task handoff per row tile instead of a thread spawn per execute.
 //!   A single unbatchable small-`M` request still uses every core via the
 //!   exec layer's column-range splitting (wide mode).
-//! * **Plan + workspace cache** — keyed by model and row capacity
-//!   (introspectable as [`kron_core::PlanKey`]s): after the first request
-//!   of a shape, serving does **zero planning and zero allocation** per
-//!   request — plans, ping-pong workspaces, and batch buffers are all
-//!   reused (proved by a counting-allocator test).
+//! * **Plan + workspace cache** — keyed by factor-shape chain and row
+//!   capacity (introspectable as [`kron_core::PlanKey`]s): after the
+//!   first request of a shape, serving does **zero planning and zero
+//!   allocation** per request — plans, ping-pong workspaces, batch
+//!   buffers, and sharded engines are all reused (proved by
+//!   counting-allocator tests), including across *different models that
+//!   share a shape* (execution state depends on shapes only; factor
+//!   values arrive with each execute).
 //! * **Cross-request batcher** — the scheduler drains the request queue,
 //!   groups same-model requests with `M ≤ batch_max_m`, stacks them
 //!   row-wise into one batch execute (up to `max_batch_rows` rows), and
 //!   scatters results back to each request's output.
+//!
+//! ## Backends
+//!
+//! Where a batch executes is a [`Backend`] choice in [`RuntimeConfig`]:
+//!
+//! * [`Backend::SingleNode`] (default) — the fused-path
+//!   [`fastkron_core::Workspace`] on one device, as above.
+//! * [`Backend::Distributed`] — the stacked batch shards across a
+//!   simulated multi-GPU machine ([`kron_dist::ShardedEngine`]): rows
+//!   split `GM`-ways, columns `GK`-ways over a SUMMA-style grid, with
+//!   Algorithm 2's grouped exchanges (§5, Figure 11 of the paper) between
+//!   factor groups. The scheduler zero-pads each batch to a `GM` multiple,
+//!   so any request mix shards; results scatter back per request together
+//!   with each request's prorated share of the simulated execution
+//!   ([`Ticket::wait_with_stats`], [`Session::last_shard_summary`],
+//!   `comm_bytes` in [`RuntimeStats`]). Models the grid cannot shard
+//!   (mixed or rectangular factors, indivisible `K`) transparently fall
+//!   back to single-node execution; an impossible grid (non-power-of-two
+//!   GPU count) fails every request with the documented
+//!   [`kron_core::KronError::InvalidGrid`]. A device that panics
+//!   mid-batch fails only that batch with
+//!   [`kron_core::KronError::DeviceFailure`] — the fabric stays balanced,
+//!   later batches re-plan on a fresh engine.
+//!
+//! Both backends run the same microkernel
+//! ([`fastkron_core::sliced_multiply_rows_into`]), so on integer-valued
+//! data every execution path agrees bit-for-bit — the invariant the
+//! workspace-wide `kron-testkit` differential harness pins.
 //!
 //! ## Usage
 //!
@@ -76,4 +107,4 @@ mod runtime;
 mod scheduler;
 
 pub use cache::PlanCache;
-pub use runtime::{Model, Runtime, RuntimeConfig, RuntimeStats, Session, Ticket};
+pub use runtime::{Backend, Model, Runtime, RuntimeConfig, RuntimeStats, Session, Ticket};

@@ -5,10 +5,41 @@
 use crate::scheduler::Scheduler;
 use crossbeam::channel::{unbounded, Sender};
 use gpu_sim::device::{DeviceSpec, V100};
+use gpu_sim::ExecSummary;
 use kron_core::{Element, FactorShape, KronError, KronProblem, Matrix, Result};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Sentinel for "no device fault armed" in the shared fault flag.
+pub(crate) const NO_FAULT: usize = usize::MAX;
+
+/// Where a runtime executes its batches.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Everything runs on one device through the fused-path
+    /// [`fastkron_core::Workspace`] — the classic serving configuration.
+    #[default]
+    SingleNode,
+    /// Batches shard across a simulated multi-GPU machine: rows split
+    /// `GM`-ways and columns `GK`-ways over a SUMMA-style grid, with
+    /// Algorithm 2's grouped exchanges between factor groups
+    /// ([`kron_dist::ShardedEngine`]).
+    ///
+    /// Models the grid cannot shard (mixed or rectangular factors, `K`
+    /// not divisible by the grid) transparently fall back to single-node
+    /// execution, counted in [`RuntimeStats::local_fallbacks`]. A GPU
+    /// count the SUMMA rule cannot arrange (not a power of two) is a
+    /// configuration error: every request then fails with the documented
+    /// [`KronError::InvalidGrid`].
+    Distributed {
+        /// Number of simulated GPUs (must be a power of two).
+        gpus: usize,
+        /// Use the single-kernel P2P communication path instead of NCCL
+        /// (§5's peer-access optimization; lower per-message latency).
+        p2p: bool,
+    },
+}
 
 /// Tuning knobs for a [`Runtime`].
 #[derive(Debug, Clone)]
@@ -33,6 +64,8 @@ pub struct RuntimeConfig {
     /// Device model plans are tuned against (used for plan caching and
     /// simulated pricing; CPU execution is unaffected numerically).
     pub device: DeviceSpec,
+    /// Execution backend batches run on.
+    pub backend: Backend,
 }
 
 impl Default for RuntimeConfig {
@@ -43,6 +76,7 @@ impl Default for RuntimeConfig {
             max_queue: 1024,
             batch_linger_us: 0,
             device: V100.clone(),
+            backend: Backend::SingleNode,
         }
     }
 }
@@ -65,6 +99,15 @@ pub struct RuntimeStats {
     pub plan_hits: u64,
     /// Cache misses (a plan was built and tuned).
     pub plan_misses: u64,
+    /// Executes that sharded across the simulated GPU grid.
+    pub sharded_batches: u64,
+    /// Plan-cache entries that fell back to single-node execution because
+    /// the grid could not shard the model (Distributed backend only).
+    pub local_fallbacks: u64,
+    /// Total simulated bytes exchanged over inter-GPU links by sharded
+    /// executes (prorated per batch from the engine's capacity-rows
+    /// simulation).
+    pub comm_bytes: u64,
 }
 
 /// Shared atomic counters behind [`RuntimeStats`].
@@ -77,6 +120,9 @@ pub(crate) struct StatsInner {
     pub(crate) solo_requests: AtomicU64,
     pub(crate) plan_hits: AtomicU64,
     pub(crate) plan_misses: AtomicU64,
+    pub(crate) sharded_batches: AtomicU64,
+    pub(crate) local_fallbacks: AtomicU64,
+    pub(crate) comm_bytes: AtomicU64,
 }
 
 impl StatsInner {
@@ -89,6 +135,9 @@ impl StatsInner {
             solo_requests: self.solo_requests.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            sharded_batches: self.sharded_batches.load(Ordering::Relaxed),
+            local_fallbacks: self.local_fallbacks.load(Ordering::Relaxed),
+            comm_bytes: self.comm_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -106,6 +155,12 @@ pub struct Model<T: Element> {
 
 pub(crate) struct ModelInner<T: Element> {
     pub(crate) id: u64,
+    /// Hash of `shapes` — the plan-cache key, so models sharing a factor
+    ///-shape chain share plans, workspaces, and sharded engines (the
+    /// execution state depends on shapes only; factor *values* arrive per
+    /// execute). The cache verifies the full chain on every hit, so a
+    /// 64-bit collision costs a rebuild, never a wrong-shape workspace.
+    pub(crate) shape_key: u64,
     factors: Box<[Matrix<T>]>,
     pub(crate) shapes: Vec<FactorShape>,
     k: usize,
@@ -127,6 +182,12 @@ impl<T: Element> ModelInner<T> {
 }
 
 impl<T: Element> Model<T> {
+    /// The runtime-assigned model id (the identity cross-request batching
+    /// and [`KronError::MixedModelBatch`] reports are keyed on).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
     /// Columns a request's `X` must have (`∏ᵢ Pᵢ`).
     pub fn input_cols(&self) -> usize {
         self.inner.k
@@ -155,8 +216,18 @@ pub(crate) struct Slot<T: Element> {
     ready: Condvar,
 }
 
+/// A completed reply: outcome, the recycled buffers, and (for sharded
+/// executes) the request's prorated share of the batch's simulated
+/// execution — all `Copy` or moved, so replies never allocate.
+pub(crate) struct Reply<T: Element> {
+    pub(crate) result: Result<()>,
+    pub(crate) x: Matrix<T>,
+    pub(crate) y: Matrix<T>,
+    pub(crate) summary: Option<ExecSummary>,
+}
+
 struct SlotInner<T: Element> {
-    result: Option<(Result<()>, Matrix<T>, Matrix<T>)>,
+    result: Option<Reply<T>>,
     waiting: bool,
 }
 
@@ -174,10 +245,10 @@ impl<T: Element> Slot<T> {
     /// Deposits a reply. Notifies only when a waiter has registered, so
     /// pipelined clients (submit many, wait later) skip the wakeup
     /// syscall on all but the slot they are blocked on.
-    pub(crate) fn fill(&self, result: Result<()>, x: Matrix<T>, y: Matrix<T>) {
+    pub(crate) fn fill(&self, reply: Reply<T>) {
         let mut s = self.inner.lock().unwrap();
         debug_assert!(s.result.is_none(), "slot filled twice");
-        s.result = Some((result, x, y));
+        s.result = Some(reply);
         if s.waiting {
             // Notify while holding the lock so the waiter cannot observe
             // the result and drop the slot before this notify lands.
@@ -185,7 +256,7 @@ impl<T: Element> Slot<T> {
         }
     }
 
-    fn take_blocking(&self) -> (Result<()>, Matrix<T>, Matrix<T>) {
+    fn take_blocking(&self) -> Reply<T> {
         let mut s = self.inner.lock().unwrap();
         while s.result.is_none() {
             s.waiting = true;
@@ -226,12 +297,21 @@ pub(crate) struct Shared<T: Element> {
 
 impl<T: Element> Shared<T> {
     fn send_request(&self, req: Request<T>) -> Result<()> {
+        self.send_requests(std::iter::once(req))
+    }
+
+    /// Enqueues several requests atomically under one gate acquisition, so
+    /// a linked batch enters the scheduler's queue contiguously (one batch
+    /// window sees it whole) and shutdown cannot split it.
+    fn send_requests(&self, reqs: impl Iterator<Item = Request<T>>) -> Result<()> {
         let closed = self.gate.lock().unwrap();
         if *closed {
             return Err(KronError::Shutdown);
         }
-        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        let _ = self.tx.send(Msg::Request(req));
+        for req in reqs {
+            self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+            let _ = self.tx.send(Msg::Request(req));
+        }
         drop(closed);
         Ok(())
     }
@@ -242,14 +322,33 @@ pub struct Ticket<T: Element> {
     slot: Arc<Slot<T>>,
 }
 
+impl<T: Element> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
 impl<T: Element> Ticket<T> {
     /// Blocks until the request completes and returns its result matrix.
     ///
     /// # Errors
     /// Whatever execution error the scheduler replied with.
     pub fn wait(self) -> Result<Matrix<T>> {
-        let (result, _x, y) = self.slot.take_blocking();
-        result.map(|()| y)
+        let reply = self.slot.take_blocking();
+        reply.result.map(|()| reply.y)
+    }
+
+    /// Like [`Self::wait`], additionally returning this request's share of
+    /// the simulated sharded execution it rode (its prorated
+    /// [`ExecSummary`]: simulated seconds, inter-GPU bytes, launches).
+    /// `None` when the request was served on a single device, or when the
+    /// cost model could not price the per-GPU block shape.
+    ///
+    /// # Errors
+    /// As [`Self::wait`].
+    pub fn wait_with_stats(self) -> Result<(Matrix<T>, Option<ExecSummary>)> {
+        let reply = self.slot.take_blocking();
+        reply.result.map(|()| (reply.y, reply.summary))
     }
 }
 
@@ -263,9 +362,17 @@ impl<T: Element> Ticket<T> {
 pub struct Session<T: Element> {
     shared: Arc<Shared<T>>,
     slot: Arc<Slot<T>>,
+    last_summary: Option<ExecSummary>,
 }
 
 impl<T: Element> Session<T> {
+    /// The simulated sharded-execution share of this session's most recent
+    /// successful [`Session::call`] (see [`Ticket::wait_with_stats`]);
+    /// `None` when it was served on a single device. A `Copy` accessor so
+    /// the allocation-free call path stays allocation-free.
+    pub fn last_shard_summary(&self) -> Option<ExecSummary> {
+        self.last_summary
+    }
     /// Serves one request synchronously, recycling the caller's buffers:
     /// `x` is the input, `y` receives the result (it must already be
     /// `x.rows() × model.output_cols()`), and both are returned for
@@ -294,8 +401,13 @@ impl<T: Element> Session<T> {
             y,
             slot: Arc::clone(&self.slot),
         })?;
-        let (result, x, y) = self.slot.take_blocking();
-        result.map(|()| (x, y))
+        let reply = self.slot.take_blocking();
+        if reply.result.is_ok() {
+            // Failed replies carry no attribution; keep the last
+            // successful call's summary, as documented.
+            self.last_summary = reply.summary;
+        }
+        reply.result.map(|()| (reply.x, reply.y))
     }
 }
 
@@ -322,6 +434,7 @@ pub struct Runtime<T: Element> {
     shared: Arc<Shared<T>>,
     scheduler: Option<JoinHandle<()>>,
     next_model_id: AtomicU64,
+    fault: Arc<AtomicUsize>,
     cfg: RuntimeConfig,
 }
 
@@ -334,7 +447,8 @@ impl<T: Element> Runtime<T> {
         cfg.max_queue = cfg.max_queue.max(1);
         let (tx, rx) = unbounded();
         let stats = Arc::new(StatsInner::default());
-        let scheduler = Scheduler::new(rx, cfg.clone(), Arc::clone(&stats));
+        let fault = Arc::new(AtomicUsize::new(NO_FAULT));
+        let scheduler = Scheduler::new(rx, cfg.clone(), Arc::clone(&stats), Arc::clone(&fault));
         let handle = std::thread::Builder::new()
             .name("kron-runtime-scheduler".into())
             .spawn(move || scheduler.run())
@@ -347,6 +461,7 @@ impl<T: Element> Runtime<T> {
             }),
             scheduler: Some(handle),
             next_model_id: AtomicU64::new(0),
+            fault,
             cfg,
         }
     }
@@ -374,9 +489,16 @@ impl<T: Element> Runtime<T> {
         // Validates non-empty factors and non-zero dimensions.
         let probe = KronProblem::new(1, shapes.clone())?;
         let (k, l) = (probe.input_cols(), probe.output_cols());
+        let shape_key = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            shapes.hash(&mut h);
+            h.finish()
+        };
         Ok(Model {
             inner: Arc::new(ModelInner {
                 id: self.next_model_id.fetch_add(1, Ordering::Relaxed),
+                shape_key,
                 factors: factors.into_boxed_slice(),
                 shapes,
                 k,
@@ -412,6 +534,82 @@ impl<T: Element> Runtime<T> {
         self.submit(model, x)?.wait()
     }
 
+    /// Submits several requests against **one** model as a linked batch:
+    /// all of them enter the scheduler's queue atomically (one gate
+    /// acquisition), so they are contiguous in the queue and shutdown can
+    /// never split the group — every linked request is either all
+    /// accepted or all rejected. Contiguity makes co-batching into one
+    /// execute the overwhelmingly common case, but it is not a guarantee:
+    /// a scheduler that wakes mid-enqueue may serve the group across
+    /// consecutive windows (and a group wider than `max_batch_rows`
+    /// always chunks). Returns one [`Ticket`] per request, in submission
+    /// order.
+    ///
+    /// # Errors
+    /// [`KronError::MixedModelBatch`] when the requests do not all target
+    /// the same model (row-stacking is only valid against one factor
+    /// set); shape mismatches; [`KronError::Shutdown`]. On any error,
+    /// nothing is enqueued.
+    pub fn submit_linked(&self, batch: Vec<(&Model<T>, Matrix<T>)>) -> Result<Vec<Ticket<T>>> {
+        if let Some((first, _)) = batch.first() {
+            let first_id = first.id();
+            for (model, _) in &batch {
+                if model.id() != first_id {
+                    return Err(KronError::MixedModelBatch {
+                        first: first_id,
+                        conflicting: model.id(),
+                    });
+                }
+            }
+        }
+        for (model, x) in &batch {
+            validate_request(model, x)?;
+        }
+        let mut tickets = Vec::with_capacity(batch.len());
+        let reqs: Vec<Request<T>> = batch
+            .into_iter()
+            .map(|(model, x)| {
+                let y = Matrix::zeros(x.rows(), model.output_cols());
+                let slot = Arc::new(Slot::new());
+                tickets.push(Ticket {
+                    slot: Arc::clone(&slot),
+                });
+                Request {
+                    model: Arc::clone(&model.inner),
+                    x,
+                    y,
+                    slot,
+                }
+            })
+            .collect();
+        self.shared.send_requests(reqs.into_iter())?;
+        Ok(tickets)
+    }
+
+    /// Arms a one-shot fault on simulated device `gpu`: the next sharded
+    /// execute raises (and catches) a panic on that device, failing that
+    /// batch with [`KronError::DeviceFailure`] while every other batch —
+    /// before, after, or on other models — is unaffected. No-op on the
+    /// [`Backend::SingleNode`] runtime (there is no device to fault).
+    /// Simulator instrumentation for fault-isolation tests and chaos
+    /// drills.
+    ///
+    /// # Errors
+    /// [`KronError::InvalidGrid`] when `gpu` is outside the configured
+    /// grid — an out-of-range fault could otherwise never fire and would
+    /// stay armed forever, silently defeating the drill.
+    pub fn inject_device_fault(&self, gpu: usize) -> Result<()> {
+        if let Backend::Distributed { gpus, .. } = self.cfg.backend {
+            if gpu >= gpus {
+                return Err(KronError::InvalidGrid {
+                    reason: format!("device {gpu} outside a {gpus} GPU machine"),
+                });
+            }
+        }
+        self.fault.store(gpu, Ordering::SeqCst);
+        Ok(())
+    }
+
     /// Opens a [`Session`]: a synchronous connection with a reusable reply
     /// slot, for allocation-free steady-state serving. Sessions outlive
     /// shutdown gracefully (calls then return [`KronError::Shutdown`]).
@@ -419,6 +617,7 @@ impl<T: Element> Runtime<T> {
         Session {
             shared: Arc::clone(&self.shared),
             slot: Arc::new(Slot::new()),
+            last_summary: None,
         }
     }
 

@@ -8,10 +8,10 @@
 //! cache's reused workspaces and batch buffers).
 
 use crate::cache::PlanCache;
-use crate::runtime::{Msg, Request, RuntimeConfig, StatsInner};
+use crate::runtime::{Msg, Reply, Request, RuntimeConfig, StatsInner, NO_FAULT};
 use crossbeam::channel::Receiver;
-use kron_core::{Element, Matrix};
-use std::sync::atomic::Ordering;
+use kron_core::{Element, KronError, Matrix};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 pub(crate) struct Scheduler<T: Element> {
@@ -19,6 +19,9 @@ pub(crate) struct Scheduler<T: Element> {
     cfg: RuntimeConfig,
     cache: PlanCache<T>,
     stats: Arc<StatsInner>,
+    /// One-shot device-fault flag shared with the runtime handle
+    /// (`NO_FAULT` when disarmed); consumed by the next sharded execute.
+    fault: Arc<AtomicUsize>,
     /// Requests drained this cycle; `None` marks served slots. Cleared
     /// (capacity kept) at the end of every cycle.
     pending: Vec<Option<Request<T>>>,
@@ -50,14 +53,50 @@ fn refs_of<'a, T: Element>(
     unsafe { std::slice::from_raw_parts(scratch.as_ptr().cast::<&Matrix<T>>(), scratch.len()) }
 }
 
+/// The staged-batch execution core shared by the chunk and staged-solo
+/// paths: arm a pending device fault (consumed only if the entry has
+/// devices to fault), run the staged rows, and account sharded executes.
+/// Returns the result, the `rows`-prorated summary (successful sharded
+/// runs only), and whether the entry must be evicted (device failure —
+/// rebuild the engine rather than trust a possibly inconsistent fabric).
+fn run_staged_batch<T: Element>(
+    entry: &mut crate::cache::CachedPlan<T>,
+    fault: &AtomicUsize,
+    stats: &StatsInner,
+    refs: &[&Matrix<T>],
+    rows: usize,
+) -> (kron_core::Result<()>, Option<gpu_sim::ExecSummary>, bool) {
+    let gpu = fault.load(Ordering::SeqCst);
+    if gpu != NO_FAULT && entry.arm_fault(gpu) {
+        fault.store(NO_FAULT, Ordering::SeqCst);
+    }
+    let result = entry.run_batch(refs, rows);
+    let mut summary = None;
+    if result.is_ok() && entry.is_sharded() {
+        stats.sharded_batches.fetch_add(1, Ordering::Relaxed);
+        summary = entry.shard_summary(rows);
+        if let Some(s) = summary {
+            stats.comm_bytes.fetch_add(s.comm_bytes, Ordering::Relaxed);
+        }
+    }
+    let evict = matches!(result, Err(KronError::DeviceFailure { .. }));
+    (result, summary, evict)
+}
+
 impl<T: Element> Scheduler<T> {
-    pub(crate) fn new(rx: Receiver<Msg<T>>, cfg: RuntimeConfig, stats: Arc<StatsInner>) -> Self {
-        let device = cfg.device.clone();
+    pub(crate) fn new(
+        rx: Receiver<Msg<T>>,
+        cfg: RuntimeConfig,
+        stats: Arc<StatsInner>,
+        fault: Arc<AtomicUsize>,
+    ) -> Self {
+        let cache = PlanCache::new(cfg.device.clone(), &cfg.backend);
         Scheduler {
             rx,
             cfg,
-            cache: PlanCache::new(device),
+            cache,
             stats,
+            fault,
             pending: Vec::new(),
             groups: Vec::new(),
             groups_used: 0,
@@ -197,7 +236,8 @@ impl<T: Element> Scheduler<T> {
 
     /// Serves a same-model chunk whose rows sum to `total_rows ≤
     /// max_batch_rows`: gather rows into the cached batch input, one fused
-    /// execute, scatter back. A chunk of one skips the staging copies.
+    /// (or sharded) execute, scatter back. A chunk of one skips the
+    /// grouping bookkeeping via the solo path.
     fn serve_chunk(&mut self, idxs: &[usize], total_rows: usize) {
         debug_assert!(!idxs.is_empty());
         if idxs.len() == 1 {
@@ -213,7 +253,12 @@ impl<T: Element> Scheduler<T> {
                 for &i in idxs {
                     let r = self.pending[i].take().expect("unserved");
                     self.stats.served.fetch_add(1, Ordering::Relaxed);
-                    r.slot.fill(Err(err.clone()), r.x, r.y);
+                    r.slot.fill(Reply {
+                        result: Err(err.clone()),
+                        x: r.x,
+                        y: r.y,
+                        summary: None,
+                    });
                 }
                 return;
             }
@@ -235,29 +280,43 @@ impl<T: Element> Scheduler<T> {
         }
 
         let refs = refs_of(&mut self.refs_scratch, model.factors());
-        let result = entry.run_batch(refs, total_rows);
+        let (result, _, evict) =
+            run_staged_batch(entry, &self.fault, &self.stats, refs, total_rows);
 
-        // Scatter results back and reply.
+        // Scatter results back and reply with each request's prorated
+        // share of the simulated sharded execution.
         let mut off = 0;
         for &i in idxs {
             let mut r = self.pending[i].take().expect("unserved");
             let m = r.x.rows();
+            let mut summary = None;
             if result.is_ok() {
                 r.y.as_mut_slice()
                     .copy_from_slice(&entry.batch_y().as_slice()[off * l..(off + m) * l]);
+                summary = entry.shard_summary(m);
             }
             off += m;
             self.stats.served.fetch_add(1, Ordering::Relaxed);
             self.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
-            r.slot.fill(result.clone(), r.x, r.y);
+            r.slot.fill(Reply {
+                result: result.clone(),
+                x: r.x,
+                y: r.y,
+                summary,
+            });
         }
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        if evict {
+            self.cache.evict(model.shape_key, capacity);
+        }
     }
 
-    /// Serves one request on its own, directly from/to its buffers (no
-    /// staging copies). Small requests reuse the batch-capacity entry;
-    /// large ones get power-of-two-capacity entries so nearby sizes share
-    /// workspaces.
+    /// Serves one request on its own. On a local entry it executes
+    /// directly from/to the request's buffers (no staging copies); on a
+    /// sharded entry it stages through the batch buffers so the row count
+    /// can zero-pad to a `GM` multiple. Small requests reuse the
+    /// batch-capacity entry; large ones get power-of-two-capacity entries
+    /// so nearby sizes share workspaces.
     fn serve_solo(&mut self, mut r: Request<T>) {
         let m = r.x.rows();
         let capacity = if m <= self.cfg.max_batch_rows {
@@ -265,15 +324,43 @@ impl<T: Element> Scheduler<T> {
         } else {
             m.next_power_of_two()
         };
+        let mut summary = None;
+        let mut evict = false;
         let result = match self.cache.get_or_create(&r.model, capacity, &self.stats) {
             Ok(entry) => {
                 let refs = refs_of(&mut self.refs_scratch, r.model.factors());
-                entry.workspace.execute_rows(&r.x, refs, &mut r.y, m)
+                if entry.is_sharded() {
+                    let k = r.model.input_cols();
+                    let l = r.model.output_cols();
+                    {
+                        let (bx, _) = entry.batch_buffers();
+                        bx.as_mut_slice()[..m * k].copy_from_slice(r.x.as_slice());
+                    }
+                    let (result, s, ev) =
+                        run_staged_batch(entry, &self.fault, &self.stats, refs, m);
+                    if result.is_ok() {
+                        r.y.as_mut_slice()
+                            .copy_from_slice(&entry.batch_y().as_slice()[..m * l]);
+                        summary = s;
+                    }
+                    evict = ev;
+                    result
+                } else {
+                    entry.run_rows(&r.x, refs, &mut r.y, m)
+                }
             }
             Err(err) => Err(err),
         };
+        if evict {
+            self.cache.evict(r.model.shape_key, capacity);
+        }
         self.stats.served.fetch_add(1, Ordering::Relaxed);
         self.stats.solo_requests.fetch_add(1, Ordering::Relaxed);
-        r.slot.fill(result, r.x, r.y);
+        r.slot.fill(Reply {
+            result,
+            x: r.x,
+            y: r.y,
+            summary,
+        });
     }
 }

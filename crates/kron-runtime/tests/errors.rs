@@ -1,0 +1,152 @@
+//! Error-path contract of the distributed serving stack: misconfigured
+//! grids, unshardable shapes, and mixed-model batches return the
+//! documented `KronError` variants — never a panic, never a hang.
+
+use gpu_sim::device::V100;
+use kron_core::shuffle::kron_matmul_shuffle;
+use kron_core::{assert_matrices_close, KronError, KronProblem, Matrix};
+use kron_dist::DistFastKron;
+use kron_runtime::{Backend, Runtime, RuntimeConfig};
+
+fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((start + 5 * r * cols + 2 * c) % 17) as f64 - 8.0
+    })
+}
+
+fn dist_runtime(gpus: usize) -> Runtime<f64> {
+    Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 16,
+        backend: Backend::Distributed { gpus, p2p: false },
+        ..RuntimeConfig::default()
+    })
+}
+
+#[test]
+fn non_power_of_two_grid_is_a_clean_config_error() {
+    // The SUMMA grid rule needs a power of two; 6 GPUs cannot be arranged.
+    // The runtime still constructs (the scheduler must exist to reply),
+    // but every request fails with the documented InvalidGrid error.
+    let runtime = dist_runtime(6);
+    let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i)).collect();
+    let model = runtime.load_model(factors).unwrap();
+    for i in 0..3 {
+        let err = runtime
+            .execute(&model, seq_matrix(4, model.input_cols(), i))
+            .unwrap_err();
+        match err {
+            KronError::InvalidGrid { ref reason } => {
+                assert!(reason.contains("power of two"), "{reason}")
+            }
+            other => panic!("expected InvalidGrid, got {other:?}"),
+        }
+    }
+    // Shutdown still drains cleanly.
+    runtime.shutdown();
+}
+
+#[test]
+fn indivisible_k_errors_directly_and_falls_back_in_the_runtime() {
+    // K = 3² = 9 does not divide over GK = 2.
+    let problem = KronProblem::uniform(4, 3, 2).unwrap();
+    let engine = DistFastKron::new(&V100, 4).unwrap();
+    match engine.workspace::<f64>(&problem) {
+        Err(KronError::InvalidGrid { ref reason }) => {
+            assert!(reason.contains("not divisible by GK"), "{reason}")
+        }
+        other => panic!("expected InvalidGrid, got {other:?}"),
+    }
+    assert!(matches!(
+        engine.simulate::<f64>(&problem),
+        Err(KronError::InvalidGrid { .. })
+    ));
+
+    // The runtime's Distributed backend serves the same model through the
+    // documented local fallback — correct results, fallback counted.
+    let runtime = dist_runtime(4);
+    let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(3, 3, i + 1)).collect();
+    let model = runtime.load_model(factors.clone()).unwrap();
+    let x = seq_matrix(4, model.input_cols(), 3);
+    let refs: Vec<&Matrix<f64>> = factors.iter().collect();
+    let expected = kron_matmul_shuffle(&x, &refs).unwrap();
+    let y = runtime.execute(&model, x).unwrap();
+    assert_matrices_close(&y, &expected, "fallback serve");
+    assert!(runtime.stats().local_fallbacks >= 1);
+    assert_eq!(runtime.stats().sharded_batches, 0);
+}
+
+#[test]
+fn indivisible_m_errors_directly_but_the_runtime_pads() {
+    // Direct engine: M = 3 does not divide over GM = 2.
+    let engine = DistFastKron::new(&V100, 4).unwrap();
+    let x = seq_matrix(3, 16, 0);
+    let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i)).collect();
+    let refs: Vec<&Matrix<f64>> = factors.iter().collect();
+    match engine.execute(&x, &refs) {
+        Err(KronError::InvalidGrid { ref reason }) => {
+            assert!(reason.contains("not divisible by GM"), "{reason}")
+        }
+        other => panic!("expected InvalidGrid, got {other:?}"),
+    }
+
+    // The runtime zero-pads the batch to a GM multiple and shards anyway.
+    let runtime = dist_runtime(4);
+    let model = runtime.load_model(factors.clone()).unwrap();
+    let expected = kron_matmul_shuffle(&x, &refs).unwrap();
+    let y = runtime.execute(&model, x).unwrap();
+    assert_matrices_close(&y, &expected, "padded serve");
+    let stats = runtime.stats();
+    assert_eq!(stats.sharded_batches, 1, "stats: {stats:?}");
+    assert_eq!(stats.local_fallbacks, 0, "stats: {stats:?}");
+}
+
+#[test]
+fn mixed_model_linked_batch_is_rejected_atomically() {
+    let runtime = dist_runtime(4);
+    let fa: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i)).collect();
+    let fb: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(2, 2, i)).collect();
+    let a = runtime.load_model(fa).unwrap();
+    let b = runtime.load_model(fb).unwrap();
+
+    let err = runtime
+        .submit_linked(vec![
+            (&a, seq_matrix(2, a.input_cols(), 0)),
+            (&a, seq_matrix(1, a.input_cols(), 1)),
+            (&b, seq_matrix(2, b.input_cols(), 2)),
+        ])
+        .unwrap_err();
+    assert_eq!(
+        err,
+        KronError::MixedModelBatch {
+            first: a.id(),
+            conflicting: b.id(),
+        }
+    );
+    // Rejection is atomic: nothing entered the queue.
+    assert_eq!(runtime.stats().submitted, 0);
+
+    // A shape error anywhere also rejects the whole batch.
+    let err = runtime
+        .submit_linked(vec![
+            (&a, seq_matrix(2, a.input_cols(), 0)),
+            (&a, seq_matrix(2, a.input_cols() + 1, 1)),
+        ])
+        .unwrap_err();
+    assert!(matches!(err, KronError::ShapeMismatch { .. }));
+    assert_eq!(runtime.stats().submitted, 0);
+}
+
+#[test]
+fn fault_on_single_node_backend_is_inert() {
+    // No devices to fault: the flag is simply never consumed.
+    let runtime = Runtime::<f64>::new(RuntimeConfig::default());
+    let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i)).collect();
+    let model = runtime.load_model(factors.clone()).unwrap();
+    runtime.inject_device_fault(0).unwrap();
+    let x = seq_matrix(4, model.input_cols(), 1);
+    let refs: Vec<&Matrix<f64>> = factors.iter().collect();
+    let expected = kron_matmul_shuffle(&x, &refs).unwrap();
+    let y = runtime.execute(&model, x).unwrap();
+    assert_matrices_close(&y, &expected, "single-node serve with armed fault");
+}

@@ -10,7 +10,7 @@
 //! covered, not just the client.
 
 use kron_core::{assert_matrices_close, Matrix};
-use kron_runtime::{Runtime, RuntimeConfig};
+use kron_runtime::{Backend, Runtime, RuntimeConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -43,6 +43,11 @@ fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
     (ALLOCATIONS.load(Ordering::SeqCst) - before, result)
 }
 
+/// The counter is process-global, so the two tests in this binary must
+/// not run concurrently — a sibling test's allocations inside this
+/// test's measurement window would flake it.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
     Matrix::from_fn(rows, cols, |r, c| {
         ((start + r * cols + c) % 13) as f64 - 6.0
@@ -51,6 +56,7 @@ fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
 
 #[test]
 fn steady_state_serving_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let runtime = Runtime::<f64>::new(RuntimeConfig {
         max_batch_rows: 32,
         batch_max_m: 16,
@@ -96,4 +102,70 @@ fn steady_state_serving_is_allocation_free() {
     let stats = runtime.stats();
     assert_eq!(stats.plan_misses, 1, "stats: {stats:?}");
     assert_eq!(stats.served, 16 + SERVED as u64);
+}
+
+/// The same contract across the simulated multi-GPU machine: once the
+/// sharded engine, its per-device blocks, and the circulating exchange
+/// buffers are warm, serving a request through the `Distributed` backend —
+/// gather, `GM × GK` device commands, `Nlocal`-grouped local multiplies,
+/// the all-to-all relocation rounds, scatter, and the per-request
+/// simulated-stats reply — allocates **nothing**, on any thread.
+#[test]
+fn steady_state_sharded_serving_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 16,
+        max_queue: 64,
+        backend: Backend::Distributed {
+            gpus: 4,
+            p2p: false,
+        },
+        ..RuntimeConfig::default()
+    });
+    // Shardable over the {2, 2} grid: K = 16, GK = 2 | 16, GK ≤ P.
+    let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i + 1)).collect();
+    let model = runtime.load_model(factors.clone()).unwrap();
+    let mut session = runtime.session();
+
+    let mut x = seq_matrix(4, model.input_cols(), 3);
+    let mut y = Matrix::zeros(4, model.output_cols());
+
+    // Warmup: plan the sharded engine, spawn its device threads, grow the
+    // channel queues, and let the exchange buffers reach circulation.
+    for _ in 0..16 {
+        (x, y) = session.call(&model, x, y).unwrap();
+    }
+
+    const SERVED: usize = 64;
+    let (allocs, moved) = allocations_during(|| {
+        let mut bufs = (x, y);
+        for _ in 0..SERVED {
+            bufs = session.call(&model, bufs.0, bufs.1).unwrap();
+        }
+        bufs
+    });
+    let (x, y) = moved;
+    assert_eq!(
+        allocs, 0,
+        "sharded serving of {SERVED} warm requests allocated {allocs} times \
+         (expected zero steady-state allocations per request)"
+    );
+
+    // Served correctly, actually sharded, and stats flowed back.
+    let refs: Vec<&Matrix<f64>> = factors.iter().collect();
+    let oracle = kron_core::shuffle::kron_matmul_shuffle(&x, &refs).unwrap();
+    assert_matrices_close(&y, &oracle, "sharded steady-state result");
+    let stats = runtime.stats();
+    assert_eq!(stats.plan_misses, 1, "stats: {stats:?}");
+    assert_eq!(
+        stats.sharded_batches,
+        16 + SERVED as u64,
+        "stats: {stats:?}"
+    );
+    assert_eq!(stats.local_fallbacks, 0, "stats: {stats:?}");
+    assert!(
+        session.last_shard_summary().is_some(),
+        "sharded session calls carry a summary"
+    );
 }

@@ -4,8 +4,21 @@
 
 use kron_core::shuffle::kron_matmul_shuffle;
 use kron_core::{assert_matrices_close, KronError, Matrix};
-use kron_runtime::{Model, Runtime, RuntimeConfig};
+use kron_runtime::{Backend, Model, Runtime, RuntimeConfig};
 use std::sync::Arc;
+
+fn dist_config() -> RuntimeConfig {
+    RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 16,
+        max_queue: 256,
+        backend: Backend::Distributed {
+            gpus: 4,
+            p2p: false,
+        },
+        ..RuntimeConfig::default()
+    }
+}
 
 fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
     Matrix::from_fn(rows, cols, |r, c| {
@@ -155,6 +168,179 @@ fn shutdown_while_busy_serves_everything_accepted() {
         let y = t.wait().unwrap();
         assert_matrices_close(&y, e, &format!("post-shutdown ticket {i}"));
     }
+}
+
+#[test]
+fn sharded_concurrent_serving_matches_oracle() {
+    let runtime = Arc::new(Runtime::<f64>::new(dist_config()));
+    // One shardable model (uniform square pow2) and one the grid cannot
+    // shard (rectangular chain) — the fallback must interleave cleanly
+    // with sharded batches under concurrency.
+    let shardable = model_factors(&[(4, 4), (4, 4), (4, 4)], 3);
+    let fallback = model_factors(&[(2, 3), (5, 2), (3, 4)], 17);
+    let factor_sets = Arc::new(vec![shardable, fallback]);
+    let models: Vec<Model<f64>> = factor_sets
+        .iter()
+        .map(|fs| runtime.load_model(fs.clone()).unwrap())
+        .collect();
+    let models = Arc::new(models);
+
+    const THREADS: usize = 6;
+    const REQUESTS_PER_THREAD: usize = 30;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let runtime = Arc::clone(&runtime);
+        let models = Arc::clone(&models);
+        let factor_sets = Arc::clone(&factor_sets);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..REQUESTS_PER_THREAD {
+                let which = (t + i) % models.len();
+                let model = &models[which];
+                // Mixed batchable/solo sizes, including M with every
+                // residue mod GM = 2 (exercising the zero-padding).
+                let m = 1 + (t * 7 + i * 3) % 24;
+                let x = seq_matrix(m, model.input_cols(), t * 100 + i);
+                let expected = oracle(&x, &factor_sets[which]);
+                let y = runtime.execute(model, x).unwrap();
+                assert_matrices_close(&y, &expected, &format!("dist thread {t} req {i}"));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = runtime.stats();
+    assert_eq!(stats.served, (THREADS * REQUESTS_PER_THREAD) as u64);
+    assert!(stats.sharded_batches > 0, "nothing sharded: {stats:?}");
+    assert!(stats.local_fallbacks > 0, "no fallback entries: {stats:?}");
+    assert!(stats.comm_bytes > 0, "no communication recorded: {stats:?}");
+}
+
+#[test]
+fn shutdown_while_sharded_drains_all_accepted() {
+    let runtime = Runtime::<f64>::new(dist_config());
+    let factors = model_factors(&[(8, 8), (8, 8)], 7);
+    let model = runtime.load_model(factors.clone()).unwrap();
+
+    let mut tickets = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..64 {
+        let m = 1 + i % 8;
+        let x = seq_matrix(m, model.input_cols(), i);
+        expected.push(oracle(&x, &factors));
+        tickets.push(runtime.submit(&model, x).unwrap());
+    }
+    // Shut down with (nearly) everything still queued: every accepted
+    // ticket must still resolve with a correct sharded result.
+    runtime.shutdown();
+    for (i, (t, e)) in tickets.into_iter().zip(expected.iter()).enumerate() {
+        let y = t.wait().unwrap();
+        assert_matrices_close(&y, e, &format!("post-shutdown sharded ticket {i}"));
+    }
+}
+
+#[test]
+fn device_fault_fails_only_its_batch() {
+    let runtime = Runtime::<f64>::new(dist_config());
+    let factors = model_factors(&[(4, 4), (4, 4), (4, 4)], 5);
+    let model = runtime.load_model(factors.clone()).unwrap();
+    let x = seq_matrix(4, model.input_cols(), 2);
+    let expected = oracle(&x, &factors);
+
+    // Healthy batch first.
+    let y = runtime.execute(&model, x.clone()).unwrap();
+    assert_matrices_close(&y, &expected, "pre-fault batch");
+
+    // Arm a one-shot fault on simulated device 2, then submit a linked
+    // batch: the first sharded execute after arming — the chunk holding
+    // request 0 — fails on device 2. Requests the scheduler happened to
+    // serve in a later chunk simply succeed: the fault is one batch's,
+    // never the queue's.
+    // Out-of-range devices are rejected up front — an unfireable fault
+    // must not stay silently armed.
+    assert!(matches!(
+        runtime.inject_device_fault(64),
+        Err(KronError::InvalidGrid { .. })
+    ));
+    runtime.inject_device_fault(2).unwrap();
+    let xs: Vec<Matrix<f64>> = (0..4)
+        .map(|i| seq_matrix(2, model.input_cols(), 10 + i))
+        .collect();
+    let oracles: Vec<Matrix<f64>> = xs.iter().map(|x| oracle(x, &factors)).collect();
+    let tickets = runtime
+        .submit_linked(xs.into_iter().map(|x| (&model, x)).collect())
+        .unwrap();
+    let mut failures = 0;
+    for (i, (t, e)) in tickets.into_iter().zip(oracles.iter()).enumerate() {
+        match t.wait() {
+            Err(KronError::DeviceFailure { gpu, ref reason }) => {
+                assert_eq!(gpu, 2, "request {i}");
+                assert!(reason.contains("injected device fault"), "{reason}");
+                failures += 1;
+            }
+            Ok(y) => assert_matrices_close(&y, e, &format!("non-faulted request {i}")),
+            Err(other) => panic!("request {i}: unexpected error {other:?}"),
+        }
+        if i == 0 {
+            assert_eq!(failures, 1, "request 0 must ride the faulted batch");
+        }
+    }
+    assert!(failures >= 1);
+
+    // The very next batch succeeds (fresh engine, balanced fabric) — no
+    // hang, no residue.
+    let y = runtime.execute(&model, x).unwrap();
+    assert_matrices_close(&y, &expected, "post-fault batch");
+    let stats = runtime.stats();
+    assert!(stats.sharded_batches >= 2, "stats: {stats:?}");
+}
+
+#[test]
+fn linked_batch_serves_and_validates() {
+    let runtime = Runtime::<f64>::new(dist_config());
+    let factors = model_factors(&[(4, 4), (4, 4)], 9);
+    let model = runtime.load_model(factors.clone()).unwrap();
+
+    let xs: Vec<Matrix<f64>> = (0..5)
+        .map(|i| seq_matrix(1 + i % 3, model.input_cols(), 40 + i))
+        .collect();
+    let expected: Vec<Matrix<f64>> = xs.iter().map(|x| oracle(x, &factors)).collect();
+    let tickets = runtime
+        .submit_linked(xs.into_iter().map(|x| (&model, x)).collect())
+        .unwrap();
+    for (i, (t, e)) in tickets.into_iter().zip(expected.iter()).enumerate() {
+        let (y, stats) = t.wait_with_stats().unwrap();
+        assert_matrices_close(&y, e, &format!("linked request {i}"));
+        // Sharded serving attributes a simulated share to every request.
+        let s = stats.expect("sharded requests carry a summary");
+        assert!(s.seconds > 0.0 && s.comm_bytes > 0, "summary {s:?}");
+    }
+    // An empty linked batch is a no-op.
+    assert!(runtime.submit_linked(Vec::new()).unwrap().is_empty());
+}
+
+#[test]
+fn same_shape_models_share_one_plan() {
+    // Two models with identical factor-shape chains but different values:
+    // the plan cache is shape-keyed, so the second model rides the first
+    // model's tuned plan and workspace — and still gets its own numbers.
+    let runtime = Runtime::<f64>::with_defaults();
+    let fa = model_factors(&[(4, 4), (4, 4)], 1);
+    let fb = model_factors(&[(4, 4), (4, 4)], 99);
+    let a = runtime.load_model(fa.clone()).unwrap();
+    let b = runtime.load_model(fb.clone()).unwrap();
+    for i in 0..4 {
+        let x = seq_matrix(3, a.input_cols(), i);
+        let ya = runtime.execute(&a, x.clone()).unwrap();
+        let yb = runtime.execute(&b, x.clone()).unwrap();
+        assert_matrices_close(&ya, &oracle(&x, &fa), &format!("model a req {i}"));
+        assert_matrices_close(&yb, &oracle(&x, &fb), &format!("model b req {i}"));
+        assert_ne!(ya, yb, "different factor values must differ");
+    }
+    let stats = runtime.stats();
+    assert_eq!(stats.plan_misses, 1, "stats: {stats:?}");
+    assert_eq!(stats.plan_hits, 7, "stats: {stats:?}");
 }
 
 #[test]

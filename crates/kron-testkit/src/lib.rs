@@ -1,0 +1,33 @@
+//! # kron-testkit
+//!
+//! The workspace-wide test spine: deterministic problem-shape generators
+//! and a differential oracle asserting that **every** public execution
+//! path — naive, shuffle, FTMMT, fused, the pinned serial/row-tile/wide
+//! workspace modes, the planned API, the single-node serving runtime, the
+//! distributed serving runtime, and the direct sharded engine — produces
+//! the **same bits** on `f32` and `f64`.
+//!
+//! Bit-for-bit is possible because [`gen`] emits integer-valued operands
+//! whose worst-case partial sums stay exactly representable (below
+//! `2^24`), so float arithmetic on them is exact in any order. See the
+//! module docs for the bound.
+//!
+//! A failing check prints the case as a copy-pasteable
+//! [`KronCase::deterministic`] literal (via
+//! [`KronCase::regression_literal`]) so it can be pinned as a regression
+//! test verbatim.
+//!
+//! ```
+//! use kron_testkit::{check_all_paths, KronCase};
+//!
+//! let case = KronCase::<f32>::deterministic(3, &[(4, 4), (4, 4)], 7);
+//! check_all_paths(&case).unwrap();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod diff;
+pub mod gen;
+
+pub use diff::{check_all_paths, check_library_paths, check_runtime_paths, DiffElement, DIST_GPUS};
+pub use gen::{worst_case_magnitude, KronCase, ShapeFamily};

@@ -1,0 +1,116 @@
+//! Distributed serving walkthrough: the same `kron-runtime` API as
+//! `examples/serving.rs`, but batches shard across a simulated 8-GPU
+//! machine (§5 of the paper, Algorithm 2) instead of one device.
+//!
+//! What to watch:
+//! * the runtime stacks small requests row-wise, zero-pads the batch to a
+//!   `GM` multiple, and executes it sharded `{GM, GK}`-ways with grouped
+//!   exchanges between factor groups;
+//! * every request gets back its prorated share of the *simulated*
+//!   execution — seconds, inter-GPU bytes, launches — through
+//!   `Ticket::wait_with_stats` / `Session::last_shard_summary`;
+//! * a model the grid cannot shard falls back to single-node serving
+//!   transparently (`local_fallbacks` in the stats);
+//! * an injected device fault fails one batch with a clean
+//!   `DeviceFailure` and the very next batch serves normally.
+//!
+//! Run with `cargo run --release --example serving_dist`.
+
+use fastkron::prelude::*;
+use kron_core::shuffle::kron_matmul_shuffle;
+use kron_core::KronError;
+
+fn main() {
+    let runtime = Runtime::<f32>::new(RuntimeConfig {
+        max_batch_rows: 64,
+        batch_max_m: 16,
+        backend: Backend::Distributed {
+            gpus: 8,
+            p2p: false,
+        },
+        ..RuntimeConfig::default()
+    });
+
+    // A shardable model: 16 ⊗ 16 ⊗ 16 (uniform square, K divides the grid).
+    let factors: Vec<Matrix<f32>> = (0..3)
+        .map(|i| Matrix::from_fn(16, 16, |r, c| ((i * 5 + r * 16 + c) % 11) as f32 - 5.0))
+        .collect();
+    let model = runtime.load_model(factors.clone()).expect("valid model");
+    let refs: Vec<&Matrix<f32>> = factors.iter().collect();
+    println!(
+        "model: {} factors, K = L = {} — sharding over 8 simulated GPUs",
+        model.num_factors(),
+        model.input_cols()
+    );
+
+    // A burst of small requests: batched, padded, sharded, scattered back.
+    let mut tickets = Vec::new();
+    let mut oracles = Vec::new();
+    for i in 0..24 {
+        let m = 1 + i % 3;
+        let x = Matrix::<f32>::from_fn(m, model.input_cols(), |r, c| {
+            ((i + 3 * r + c) % 7) as f32 - 3.0
+        });
+        oracles.push(kron_matmul_shuffle(&x, &refs).expect("oracle"));
+        tickets.push(runtime.submit(&model, x).expect("submit"));
+    }
+    let mut comm_bytes = 0u64;
+    let mut sim_seconds = 0.0;
+    for (i, (ticket, oracle)) in tickets.into_iter().zip(&oracles).enumerate() {
+        let (y, stats) = ticket.wait_with_stats().expect("serve");
+        assert_matrices_close(&y, oracle, &format!("request {i}"));
+        if let Some(s) = stats {
+            comm_bytes += s.comm_bytes;
+            sim_seconds += s.seconds;
+        }
+    }
+    println!(
+        "served 24 sharded requests: {:.3} simulated ms, {:.1} KiB over the simulated fabric",
+        sim_seconds * 1e3,
+        comm_bytes as f64 / 1024.0
+    );
+
+    // Chaos drill: fault simulated device 3. Exactly one batch fails with
+    // the documented error; the engine rebuilds and serving continues.
+    runtime.inject_device_fault(3).expect("device 3 exists");
+    let x = Matrix::<f32>::from_fn(4, model.input_cols(), |r, c| (r + c) as f32 % 5.0);
+    match runtime.execute(&model, x.clone()) {
+        Err(KronError::DeviceFailure { gpu, reason }) => {
+            println!("fault drill: batch failed cleanly on device {gpu} ({reason})")
+        }
+        other => panic!("expected a device failure, got {other:?}"),
+    }
+    let y = runtime
+        .execute(&model, x.clone())
+        .expect("post-fault serve");
+    let expected = kron_matmul_shuffle(&x, &refs).expect("oracle");
+    assert_matrices_close(&y, &expected, "post-fault batch");
+    println!("fault drill: next batch served correctly");
+
+    // A rectangular model the grid cannot shard: transparent fallback.
+    let rect: Vec<Matrix<f32>> = vec![
+        Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32 % 4.0 - 2.0),
+        Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32 % 3.0 - 1.0),
+    ];
+    let rect_model = runtime.load_model(rect.clone()).expect("valid model");
+    let rect_refs: Vec<&Matrix<f32>> = rect.iter().collect();
+    let x = Matrix::<f32>::from_fn(5, rect_model.input_cols(), |r, c| (r + 2 * c) as f32 % 6.0);
+    let expected = kron_matmul_shuffle(&x, &rect_refs).expect("oracle");
+    let y = runtime.execute(&rect_model, x).expect("fallback serve");
+    assert_matrices_close(&y, &expected, "fallback result");
+    println!("unshardable model served through the single-node fallback");
+
+    let stats = runtime.stats();
+    println!(
+        "stats: served={} sharded_batches={} comm_bytes={} local_fallbacks={} \
+         plan hits/misses={}/{}",
+        stats.served,
+        stats.sharded_batches,
+        stats.comm_bytes,
+        stats.local_fallbacks,
+        stats.plan_hits,
+        stats.plan_misses
+    );
+    runtime.shutdown();
+    println!("runtime drained and shut down");
+}

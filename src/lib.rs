@@ -37,6 +37,10 @@ pub use kron_runtime as runtime;
 pub mod prelude {
     pub use fastkron_core::{FastKron, KronPlan, TileConfig, Workspace};
     pub use gpu_sim::device::{DeviceSpec, A100, V100};
-    pub use kron_core::{assert_matrices_close, FactorShape, KronProblem, Matrix, PlanKey};
-    pub use kron_runtime::{Runtime, RuntimeConfig, RuntimeStats, Session, Ticket};
+    pub use gpu_sim::ExecSummary;
+    pub use kron_core::{
+        assert_matrices_close, ExecBackend, FactorShape, KronProblem, Matrix, PlanKey,
+    };
+    pub use kron_dist::{DistFastKron, GpuGrid, ShardedEngine};
+    pub use kron_runtime::{Backend, Runtime, RuntimeConfig, RuntimeStats, Session, Ticket};
 }
