@@ -55,6 +55,16 @@ pub enum KronError {
         /// The first conflicting model id encountered.
         conflicting: u64,
     },
+    /// A request's deadline had already passed when the scheduler picked
+    /// it up, so it was shed without executing (admission control). Both
+    /// timestamps are microseconds on the serving runtime's clock
+    /// timeline.
+    DeadlineExceeded {
+        /// The deadline the request carried.
+        deadline_us: u64,
+        /// The scheduler's clock when it shed the request.
+        now_us: u64,
+    },
     /// A request was submitted to a serving runtime that has shut down.
     Shutdown,
 }
@@ -79,6 +89,13 @@ impl fmt::Display for KronError {
                 f,
                 "linked batch mixes models {first} and {conflicting}; \
                  a batch stacks rows against one factor set"
+            ),
+            KronError::DeadlineExceeded {
+                deadline_us,
+                now_us,
+            } => write!(
+                f,
+                "deadline exceeded: due at {deadline_us}us, scheduled at {now_us}us"
             ),
             KronError::Shutdown => write!(f, "the serving runtime has shut down"),
         }
@@ -121,6 +138,12 @@ mod tests {
         }
         .to_string();
         assert!(mixed.contains("models 0 and 2"), "{mixed}");
+        let late = KronError::DeadlineExceeded {
+            deadline_us: 500,
+            now_us: 1200,
+        }
+        .to_string();
+        assert!(late.contains("500us") && late.contains("1200us"), "{late}");
     }
 
     #[test]

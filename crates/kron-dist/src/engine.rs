@@ -40,8 +40,25 @@ use gpu_sim::{ExecReport, ExecSummary};
 use kron_core::{Element, KronError, KronProblem, Matrix, Result};
 use std::cell::OnceCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Process-wide count of live simulated-device worker threads, across all
+/// [`ShardedEngine`]s. Incremented as each worker is spawned and
+/// decremented after it is joined, so once any engine's `Drop` returns the
+/// count is exact — the probe runtime-lifecycle tests use to assert that
+/// evicting a sharded plan-cache entry really tears its `GM·GK` workers
+/// down (and that a capacity-bounded cache never holds more engines than
+/// its limit).
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of simulated-device worker threads currently alive in this
+/// process (see [`LIVE_WORKERS`]). Tests that assert on this should
+/// serialize against other engine-creating tests in the same binary.
+pub fn live_sim_worker_threads() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
 
 /// Upper bound a device waits on a fabric receive before declaring the
 /// sending peer lost. Normal exchanges complete in microseconds (the
@@ -401,6 +418,7 @@ impl<T: Element> ShardedEngine<T> {
                     .name(format!("kron-sim-gpu-{me}"))
                     .spawn(move || worker.run())
                     .expect("spawn simulated device thread");
+                LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
                 workers.push(handle);
             }
         }
@@ -432,6 +450,12 @@ impl<T: Element> ShardedEngine<T> {
     /// Row capacity (`problem().m`).
     pub fn capacity(&self) -> usize {
         self.problem.m
+    }
+
+    /// Number of parked simulated-device worker threads this engine owns
+    /// (`GM · GK`); they live until the engine drops.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// Simulated execution report for a capacity-rows execute, when the
@@ -563,10 +587,13 @@ impl<T: Element> ShardedEngine<T> {
 impl<T: Element> Drop for ShardedEngine<T> {
     fn drop(&mut self) {
         // Closing the command channels parks every worker out of its recv
-        // loop; join for a clean teardown.
+        // loop; join for a clean teardown. The live-worker gauge drops
+        // only after the join, so observers never see a joined thread
+        // still counted.
         self.cmd_txs.clear();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+            LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }

@@ -1,5 +1,6 @@
 //! The shape-keyed plan + workspace cache: the reason steady-state serving
-//! does zero planning and zero allocation per request.
+//! does zero planning and zero allocation per request — now with a
+//! lifecycle.
 //!
 //! Entries are indexed by `(factor-shape-chain hash, row capacity)` — a
 //! hash over two integers, so lookups themselves are allocation-free —
@@ -16,27 +17,74 @@
 //! power-of-two capacities so nearby sizes share workspaces instead of
 //! fragmenting the cache.
 //!
-//! Each entry owns one of two compute states, selected by the runtime's
-//! [`Backend`]:
+//! ## Bounded lifecycle
 //!
-//! * **Local** — an autotuned [`KronPlan`] plus a fused-path
-//!   [`Workspace`], exactly the single-device serving state.
-//! * **Sharded** — a persistent [`ShardedEngine`]: simulated-GPU worker
-//!   threads and a fabric, planned once for the entry's row capacity
-//!   (rounded up to a `GM` multiple so any batch can zero-pad to shard).
-//!   Models the grid cannot shard (non-uniform factors, indivisible `K`)
-//!   fall back to a Local entry, counted in
-//!   [`crate::RuntimeStats::local_fallbacks`].
+//! Left unbounded, a many-model deployment leaks: every `Distributed`
+//! entry pins `GM·GK` parked simulated-device threads plus per-device
+//! buffers forever. [`CachePolicy`] bounds the cache two ways:
+//!
+//! * **LRU capacity** (`max_entries`) — before building an entry that
+//!   would exceed the bound, the least-recently-used unpinned entry is
+//!   evicted, so the number of live engines never exceeds the bound (the
+//!   lifecycle tests assert this by counting live simulated-device
+//!   threads through [`kron_dist::live_sim_worker_threads`]).
+//! * **Idle timeout** (`max_idle_us`) — [`PlanCache::sweep_idle`] evicts
+//!   unpinned entries whose last use is older than the timeout on the
+//!   runtime's [`Clock`]; the scheduler sweeps at the start of every
+//!   serve cycle, and [`crate::Runtime::sweep`] does it on demand.
+//!
+//! Dropping an entry's last reference tears its state down synchronously:
+//! a `Sharded` entry's [`kron_dist::ShardedEngine`] joins all `GM·GK`
+//! worker threads in its `Drop`.
+//!
+//! ## Pinning
+//!
+//! Lookups hand out a [`PinnedEntry`] — an `Arc` to the entry plus a pin
+//! count — so an in-flight batch can never have its engine dropped
+//! underneath it: policy eviction (LRU and idle) skips pinned entries
+//! entirely, and the targeted post-`DeviceFailure` eviction
+//! ([`PlanCache::evict_failed`]) merely detaches the entry from the map —
+//! the engine lives until the last pin drops. [`crate::Runtime::pin_model`]
+//! exposes the same mechanism to clients for keeping a hot model resident.
+//!
+//! Evictions and rebuilds are counted in [`crate::RuntimeStats`]
+//! (`evictions`, `rebuilds`, and the `cached_entries` gauge).
 
+use crate::clock::Clock;
 use crate::runtime::{Backend, ModelInner, StatsInner};
 use fastkron_core::{FastKron, KronPlan, Workspace};
 use gpu_sim::device::DeviceSpec;
 use gpu_sim::ExecSummary;
 use kron_core::{Element, KronError, KronProblem, Matrix, PlanKey, Result};
 use kron_dist::{CommModel, GpuGrid, ShardedEngine};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Bounds on the plan cache's resident entries (and therefore on live
+/// engines, workspaces, and — under the `Distributed` backend — parked
+/// simulated-device threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePolicy {
+    /// Maximum resident entries. When a build would exceed this, the
+    /// least-recently-used unpinned entry is evicted first. Pinned
+    /// entries are never evicted, so a fully-pinned cache may temporarily
+    /// exceed the bound — an explicit client override, not a leak.
+    pub max_entries: usize,
+    /// Evict entries idle longer than this many microseconds on the
+    /// runtime's clock (`None` disables idle eviction). Enforced at the
+    /// start of every scheduler cycle and by [`crate::Runtime::sweep`].
+    pub max_idle_us: Option<u64>,
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        CachePolicy {
+            max_entries: usize::MAX,
+            max_idle_us: None,
+        }
+    }
+}
 
 /// The execution state behind one cache entry.
 pub(crate) enum Compute<T: Element> {
@@ -149,23 +197,96 @@ impl<T: Element> CachedPlan<T> {
     }
 }
 
+/// A pinned reference to one cache entry. While any pin is alive the
+/// entry is exempt from policy eviction, and the `Arc` guarantees the
+/// engine outlives every in-flight use even if the entry is detached from
+/// the map (post-failure eviction). Dropping the pin releases both.
+pub(crate) struct PinnedEntry<T: Element> {
+    entry: Arc<Mutex<CachedPlan<T>>>,
+    pins: Arc<AtomicUsize>,
+}
+
+impl<T: Element> PinnedEntry<T> {
+    fn new(slot: &Slot<T>) -> Self {
+        slot.pins.fetch_add(1, Ordering::SeqCst);
+        PinnedEntry {
+            entry: Arc::clone(&slot.entry),
+            pins: Arc::clone(&slot.pins),
+        }
+    }
+
+    /// Locks the entry for exclusive use (the scheduler holds this for
+    /// the duration of one gather/execute/scatter).
+    pub(crate) fn lock(&self) -> MutexGuard<'_, CachedPlan<T>> {
+        self.entry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Element> Drop for PinnedEntry<T> {
+    fn drop(&mut self) {
+        self.pins.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Map value: the shared entry, its pin count, and recency bookkeeping.
+struct Slot<T: Element> {
+    entry: Arc<Mutex<CachedPlan<T>>>,
+    pins: Arc<AtomicUsize>,
+    /// Monotonic touch sequence — the LRU order (deterministic even when
+    /// a manual clock never advances).
+    last_used_seq: u64,
+    /// Clock time of the last touch — the idle-timeout basis.
+    last_used_us: u64,
+}
+
+impl<T: Element> Slot<T> {
+    fn pinned(&self) -> bool {
+        self.pins.load(Ordering::SeqCst) > 0
+    }
+}
+
 /// Resolved backend state: `None` means single-node, `Some` carries the
 /// grid and fabric model sharded entries are built against.
 type BackendState = std::result::Result<Option<(GpuGrid, CommModel)>, KronError>;
 
-/// Plan/workspace cache keyed by `(factor-shape chain, row capacity)`.
+/// Bound on the evicted-key memory behind `rebuilds` attribution. Past
+/// this many distinct evicted keys the set resets (rebuild counting is
+/// observability, not correctness) so unbounded model churn cannot leak
+/// through the very subsystem that bounds the cache.
+const EVICTED_KEYS_CAP: usize = 4096;
+
+/// Records an evicted key for later rebuild attribution, resetting the
+/// set at [`EVICTED_KEYS_CAP`] instead of growing forever.
+fn note_evicted(evicted_keys: &mut HashSet<(u64, usize)>, key: (u64, usize)) {
+    if evicted_keys.len() >= EVICTED_KEYS_CAP {
+        evicted_keys.clear();
+    }
+    evicted_keys.insert(key);
+}
+
+/// Plan/workspace cache keyed by `(factor-shape chain, row capacity)`,
+/// bounded by a [`CachePolicy`]. See the module docs for the lifecycle.
 pub struct PlanCache<T: Element> {
     device: DeviceSpec,
     backend: BackendState,
-    entries: HashMap<(u64, usize), CachedPlan<T>>,
+    policy: CachePolicy,
+    clock: Clock,
+    entries: HashMap<(u64, usize), Slot<T>>,
+    /// Keys that were evicted at some point — a later build for one of
+    /// them counts as a `rebuild` (cache thrash observability). Keys
+    /// only, and capped at [`EVICTED_KEYS_CAP`] (the set resets past
+    /// that), so it stays small however long the runtime serves.
+    evicted_keys: HashSet<(u64, usize)>,
+    use_seq: u64,
 }
 
 impl<T: Element> PlanCache<T> {
     /// Creates an empty cache building entries for `backend` plans tuned
-    /// against `device`. An invalid distributed configuration (e.g. a
+    /// against `device`, bounded by `policy`, with idle ages measured on
+    /// `clock`. An invalid distributed configuration (e.g. a
     /// non-power-of-two GPU count) is captured here and surfaces as the
     /// documented [`KronError::InvalidGrid`] on every subsequent request.
-    pub fn new(device: DeviceSpec, backend: &Backend) -> Self {
+    pub fn new(device: DeviceSpec, backend: &Backend, policy: CachePolicy, clock: Clock) -> Self {
         let backend = match backend {
             Backend::SingleNode => Ok(None),
             Backend::Distributed { gpus, p2p } => GpuGrid::for_gpus(*gpus).map(|grid| {
@@ -180,7 +301,11 @@ impl<T: Element> PlanCache<T> {
         PlanCache {
             device,
             backend,
+            policy,
+            clock,
             entries: HashMap::new(),
+            evicted_keys: HashSet::new(),
+            use_seq: 0,
         }
     }
 
@@ -194,49 +319,145 @@ impl<T: Element> PlanCache<T> {
         self.entries.is_empty()
     }
 
-    /// The structural identities of every cached entry.
-    pub fn keys(&self) -> impl Iterator<Item = &PlanKey> {
-        self.entries.values().map(|e| &e.key)
+    /// The structural identities of every cached entry (snapshot).
+    pub fn keys(&self) -> Vec<PlanKey> {
+        self.entries
+            .values()
+            .map(|s| {
+                s.entry
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .key
+                    .clone()
+            })
+            .collect()
     }
 
-    /// Evicts one entry (after a device failure, so the next batch of the
+    /// Evicts the entry after a device failure, so the next batch of the
     /// shape rebuilds a fresh engine instead of trusting a possibly
-    /// inconsistent fabric).
-    pub(crate) fn evict(&mut self, shape_key: u64, capacity: usize) {
-        self.entries.remove(&(shape_key, capacity));
+    /// inconsistent fabric. Unconditional: a pinned (in-flight) entry is
+    /// detached from the map and lives until its last pin drops — it is
+    /// never handed out again.
+    pub(crate) fn evict_failed(&mut self, shape_key: u64, capacity: usize, stats: &StatsInner) {
+        if self.entries.remove(&(shape_key, capacity)).is_some() {
+            note_evicted(&mut self.evicted_keys, (shape_key, capacity));
+            stats.evictions.fetch_add(1, Ordering::Relaxed);
+            self.update_gauge(stats);
+        }
+    }
+
+    /// Evicts unpinned entries idle longer than the policy's
+    /// `max_idle_us`; returns how many were evicted. A no-op when idle
+    /// eviction is disabled.
+    pub(crate) fn sweep_idle(&mut self, stats: &StatsInner) -> usize {
+        let Some(max_idle) = self.policy.max_idle_us else {
+            return 0;
+        };
+        let now = self.clock.now_us();
+        let before = self.entries.len();
+        let evicted_keys = &mut self.evicted_keys;
+        self.entries.retain(|key, slot| {
+            let keep = slot.pinned() || now.saturating_sub(slot.last_used_us) <= max_idle;
+            if !keep {
+                note_evicted(evicted_keys, *key);
+            }
+            keep
+        });
+        let evicted = before - self.entries.len();
+        if evicted > 0 {
+            stats.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+            self.update_gauge(stats);
+        }
+        evicted
     }
 
     /// Looks up (or plans, tunes, and allocates) the execution state for
     /// `model`'s shape chain at `capacity` rows, counting the hit or miss
     /// (and the local fallback when the grid cannot shard the model).
+    /// Returns the entry pinned; the pin must outlive every use of the
+    /// entry this serve.
     pub(crate) fn get_or_create(
         &mut self,
         model: &ModelInner<T>,
         capacity: usize,
         stats: &StatsInner,
-    ) -> Result<&mut CachedPlan<T>> {
-        let device = &self.device;
-        let backend = &self.backend;
-        match self.entries.entry((model.shape_key, capacity)) {
-            Entry::Occupied(e) => {
-                let e = e.into_mut();
-                if e.key.problem.factors == model.shapes {
-                    stats.plan_hits.fetch_add(1, Ordering::Relaxed);
-                    Ok(e)
-                } else {
-                    // 64-bit shape-hash collision: rebuild for the new
-                    // chain rather than ever serving a wrong-shape state.
-                    stats.plan_misses.fetch_add(1, Ordering::Relaxed);
-                    *e = Self::build_entry(device, backend, model, capacity, stats)?;
-                    Ok(e)
-                }
+    ) -> Result<PinnedEntry<T>> {
+        let map_key = (model.shape_key, capacity);
+        self.use_seq += 1;
+        let (seq, now) = (self.use_seq, self.clock.now_us());
+        if let Some(slot) = self.entries.get_mut(&map_key) {
+            let fresh = {
+                let entry = slot.entry.lock().unwrap_or_else(|e| e.into_inner());
+                entry.key.problem.factors == model.shapes
+            };
+            slot.last_used_seq = seq;
+            slot.last_used_us = now;
+            if fresh {
+                stats.plan_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(PinnedEntry::new(slot));
             }
-            Entry::Vacant(v) => {
-                stats.plan_misses.fetch_add(1, Ordering::Relaxed);
-                let entry = Self::build_entry(device, backend, model, capacity, stats)?;
-                Ok(v.insert(entry))
-            }
+            // 64-bit shape-hash collision: rebuild for the new chain
+            // rather than ever serving a wrong-shape state. The old
+            // entry's Arc is replaced, so an in-flight pin (impossible
+            // for a colliding shape, but harmless) keeps the old engine
+            // alive until it drops.
+            stats.plan_misses.fetch_add(1, Ordering::Relaxed);
+            let built = Self::build_entry(&self.device, &self.backend, model, capacity, stats)?;
+            let slot = self.entries.get_mut(&map_key).expect("present above");
+            slot.entry = Arc::new(Mutex::new(built));
+            slot.pins = Arc::new(AtomicUsize::new(0));
+            return Ok(PinnedEntry::new(slot));
         }
+
+        stats.plan_misses.fetch_add(1, Ordering::Relaxed);
+        // A misconfigured backend (e.g. non-power-of-two grid) fails
+        // every build, forever: surface it before evicting anyone, so a
+        // stream of doomed requests cannot flush healthy entries.
+        self.backend.as_ref().map_err(Clone::clone)?;
+        // Make room *before* building, so live engines never exceed the
+        // bound even transiently (the new engine's threads only spawn
+        // after the evicted one's joined). A one-off build failure below
+        // can cost one early eviction; the recurring failure mode is the
+        // backend check above.
+        self.make_room(stats);
+        let built = Self::build_entry(&self.device, &self.backend, model, capacity, stats)?;
+        if self.evicted_keys.remove(&map_key) {
+            stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = self.entries.entry(map_key).or_insert(Slot {
+            entry: Arc::new(Mutex::new(built)),
+            pins: Arc::new(AtomicUsize::new(0)),
+            last_used_seq: seq,
+            last_used_us: now,
+        });
+        let pinned = PinnedEntry::new(slot);
+        self.update_gauge(stats);
+        Ok(pinned)
+    }
+
+    /// Evicts least-recently-used unpinned entries until there is room
+    /// for one more entry under `max_entries`. Stops early if everything
+    /// left is pinned (pins are an explicit override of the bound).
+    fn make_room(&mut self, stats: &StatsInner) {
+        while self.entries.len() >= self.policy.max_entries {
+            let lru = self
+                .entries
+                .iter()
+                .filter(|(_, slot)| !slot.pinned())
+                .min_by_key(|(_, slot)| slot.last_used_seq)
+                .map(|(key, _)| *key);
+            let Some(key) = lru else { break };
+            self.entries.remove(&key);
+            note_evicted(&mut self.evicted_keys, key);
+            stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.update_gauge(stats);
+    }
+
+    fn update_gauge(&self, stats: &StatsInner) {
+        stats
+            .cached_entries
+            .store(self.entries.len() as u64, Ordering::Relaxed);
     }
 
     fn build_entry(
@@ -289,5 +510,78 @@ impl<T: Element> PlanCache<T> {
             },
             batch: None,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::device::V100;
+
+    fn model(shapes: &[(usize, usize)], id: u64) -> ModelInner<f64> {
+        let factors = shapes
+            .iter()
+            .map(|&(p, q)| Matrix::from_fn(p, q, |r, c| (r * q + c) as f64))
+            .collect();
+        ModelInner::build(id, factors).unwrap()
+    }
+
+    fn cache(policy: CachePolicy, clock: Clock) -> (PlanCache<f64>, StatsInner) {
+        (
+            PlanCache::new(V100.clone(), &Backend::SingleNode, policy, clock),
+            StatsInner::default(),
+        )
+    }
+
+    #[test]
+    fn pinned_entry_survives_lru_and_idle_eviction_while_in_flight() {
+        let clock = Clock::manual();
+        let handle = clock.manual_handle().unwrap();
+        let (mut cache, stats) = cache(
+            CachePolicy {
+                max_entries: 1,
+                max_idle_us: Some(100),
+            },
+            clock,
+        );
+        let a = model(&[(2, 2), (2, 2)], 0);
+        let b = model(&[(3, 3)], 1);
+
+        // Hold A's pin — the in-flight state during a batch execute.
+        let pin_a = cache.get_or_create(&a, 8, &stats).unwrap();
+
+        // Idle sweep far past the timeout must not touch the pinned entry.
+        handle.advance_us(10_000);
+        assert_eq!(cache.sweep_idle(&stats), 0);
+        assert_eq!(cache.len(), 1);
+
+        // Capacity pressure must also route around it: B builds, the
+        // cache overflows to 2 (explicit pin override), A survives.
+        let pin_b = cache.get_or_create(&b, 8, &stats).unwrap();
+        assert_eq!(cache.len(), 2);
+        drop(pin_b);
+
+        // Once A's batch lands (pin dropped), the same pressures evict
+        // the LRU unpinned entry again.
+        drop(pin_a);
+        let c = model(&[(4, 4)], 2);
+        let _pin_c = cache.get_or_create(&c, 8, &stats).unwrap();
+        assert!(cache.len() <= 2);
+        assert!(stats.evictions.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn failed_entry_detaches_but_lives_until_pin_drops() {
+        let (mut cache, stats) = cache(CachePolicy::default(), Clock::manual());
+        let a = model(&[(2, 2)], 0);
+        let pin = cache.get_or_create(&a, 4, &stats).unwrap();
+        cache.evict_failed(a.shape_key, 4, &stats);
+        assert_eq!(cache.len(), 0);
+        // The detached entry is still usable through the pin.
+        assert!(!pin.lock().is_sharded());
+        drop(pin);
+        // And the next lookup is a rebuild.
+        let _pin = cache.get_or_create(&a, 4, &stats).unwrap();
+        assert_eq!(stats.rebuilds.load(Ordering::Relaxed), 1);
     }
 }

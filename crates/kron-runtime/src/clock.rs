@@ -1,0 +1,145 @@
+//! Time virtualization for the serving runtime.
+//!
+//! Every time-dependent runtime decision — deadline admission checks,
+//! idle-timeout cache eviction, and the batch-linger window — reads a
+//! [`Clock`] instead of `std::time::Instant` directly. In production the
+//! clock is [`Clock::real`] (monotonic microseconds since the clock was
+//! created); in tests it is [`Clock::manual`], a counter that only moves
+//! when the test calls [`ManualClock::advance_us`]. That makes scheduler
+//! behavior that would otherwise race wall time — "this request's deadline
+//! already passed", "this cache entry has been idle too long", "the linger
+//! window is still open" — fully deterministic: the test decides when time
+//! passes, then observes the exact consequence.
+//!
+//! The timeline is a plain `u64` of microseconds starting at zero.
+//! Deadlines ([`crate::SubmitOptions::deadline_us`]) are absolute points
+//! on this timeline; [`crate::Runtime::now_us`] reads the runtime's
+//! current position so clients can form `now + budget` deadlines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A microsecond clock: real (monotonic) or manually advanced (tests).
+///
+/// Cheap to clone; manual clones share the same underlying counter, so a
+/// test can keep one handle and advance the runtime's copy.
+#[derive(Clone, Debug)]
+pub enum Clock {
+    /// Monotonic wall time, measured from the moment the clock was
+    /// created (`Instant`-backed, so it never goes backwards).
+    Real(Instant),
+    /// A shared counter that only moves when the owner advances it.
+    Manual(Arc<ManualClock>),
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::real()
+    }
+}
+
+impl Clock {
+    /// A real monotonic clock starting at zero now.
+    pub fn real() -> Self {
+        Clock::Real(Instant::now())
+    }
+
+    /// A manually-advanced clock starting at zero. Keep a
+    /// [`Self::manual_handle`] to advance it after handing the clock to a
+    /// [`crate::RuntimeConfig`].
+    pub fn manual() -> Self {
+        Clock::Manual(Arc::new(ManualClock::default()))
+    }
+
+    /// The shared counter behind a manual clock (`None` for a real one).
+    pub fn manual_handle(&self) -> Option<Arc<ManualClock>> {
+        match self {
+            Clock::Real(_) => None,
+            Clock::Manual(m) => Some(Arc::clone(m)),
+        }
+    }
+
+    /// Microseconds since the clock's origin.
+    pub fn now_us(&self) -> u64 {
+        match self {
+            Clock::Real(epoch) => epoch.elapsed().as_micros() as u64,
+            Clock::Manual(m) => m.now_us(),
+        }
+    }
+
+    /// Whether time only moves when a test advances it (the scheduler's
+    /// linger park polls instead of sleeping for the full window then).
+    pub(crate) fn is_manual(&self) -> bool {
+        matches!(self, Clock::Manual(_))
+    }
+}
+
+/// The shared counter behind [`Clock::Manual`]. All reads and advances are
+/// sequentially consistent, so an `advance_us` is visible to the scheduler
+/// thread's very next `now_us` read.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    us: AtomicU64,
+}
+
+impl ManualClock {
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.us.load(Ordering::SeqCst)
+    }
+
+    /// Moves virtual time forward by `delta` microseconds.
+    pub fn advance_us(&self, delta: u64) {
+        self.us.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Jumps virtual time to an absolute position. Panics if that would
+    /// move time backwards (the runtime assumes monotonicity, like
+    /// `Instant`).
+    pub fn set_us(&self, at: u64) {
+        let prev = self.us.swap(at, Ordering::SeqCst);
+        assert!(prev <= at, "manual clock moved backwards: {prev} -> {at}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_only_moves_when_advanced() {
+        let clock = Clock::manual();
+        let handle = clock.manual_handle().unwrap();
+        assert_eq!(clock.now_us(), 0);
+        assert_eq!(clock.now_us(), 0);
+        handle.advance_us(250);
+        assert_eq!(clock.now_us(), 250);
+        handle.set_us(1_000);
+        assert_eq!(clock.now_us(), 1_000);
+        // Clones share the counter.
+        let other = clock.clone();
+        handle.advance_us(1);
+        assert_eq!(other.now_us(), 1_001);
+        assert!(clock.is_manual());
+    }
+
+    #[test]
+    fn real_clock_is_monotonic_and_has_no_handle() {
+        let clock = Clock::real();
+        assert!(clock.manual_handle().is_none());
+        let a = clock.now_us();
+        let b = clock.now_us();
+        assert!(b >= a);
+        assert!(!clock.is_manual());
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn manual_clock_rejects_time_travel() {
+        let clock = Clock::manual();
+        let handle = clock.manual_handle().unwrap();
+        handle.set_us(10);
+        handle.set_us(5);
+    }
+}

@@ -75,6 +75,34 @@
 //! data every execution path agrees bit-for-bit — the invariant the
 //! workspace-wide `kron-testkit` differential harness pins.
 //!
+//! ## Lifecycle and admission control
+//!
+//! Long-lived many-model deployments get three levers on top of the
+//! serving core, all measured on an injectable [`Clock`] (real in
+//! production, manually advanced in tests — which is what makes the
+//! scheduler's timing behavior deterministically testable):
+//!
+//! * **Bounded plan cache** — [`CachePolicy`] caps resident entries (LRU
+//!   eviction, enforced *before* a new entry builds so live engines never
+//!   exceed the bound) and ages idle ones out (`max_idle_us`, swept each
+//!   scheduler cycle and via [`Runtime::sweep`]). Evicting a
+//!   `Distributed` entry joins its `GM·GK` simulated-device threads
+//!   synchronously. In-flight batches pin their entry, and
+//!   [`Runtime::pin_model`] gives clients the same RAII pin to keep a hot
+//!   model resident; [`RuntimeStats`] counts `evictions`/`rebuilds` and
+//!   gauges `cached_entries`.
+//! * **Per-request admission control** — [`SubmitOptions`] carries a
+//!   `priority` (higher drains first within a scheduling window) and an
+//!   absolute `deadline_us` on the runtime's clock ([`Runtime::now_us`]);
+//!   a request whose deadline passed before the scheduler picked it up is
+//!   shed with [`kron_core::KronError::DeadlineExceeded`] before any plan
+//!   lookup or execute. [`Runtime::submit_linked_with`] applies one
+//!   deadline to a whole linked group atomically.
+//! * **Adaptive linger** — `batch_linger_us` is a cap: the effective
+//!   window ([`adaptive_linger_us`]) collapses to zero under sequential
+//!   traffic and grows to the cap as the smoothed queue depth rises,
+//!   visible as the [`RuntimeStats::current_linger_us`] gauge.
+//!
 //! ## Usage
 //!
 //! ```
@@ -103,8 +131,14 @@
 #![deny(missing_docs)]
 
 mod cache;
+mod clock;
 mod runtime;
 mod scheduler;
 
-pub use cache::PlanCache;
-pub use runtime::{Backend, Model, Runtime, RuntimeConfig, RuntimeStats, Session, Ticket};
+pub use cache::{CachePolicy, PlanCache};
+pub use clock::{Clock, ManualClock};
+pub use runtime::{
+    Backend, Model, ModelPin, Runtime, RuntimeConfig, RuntimeStats, ServeReceipt, Session,
+    SubmitOptions, Ticket,
+};
+pub use scheduler::adaptive_linger_us;

@@ -2,11 +2,13 @@
 //! graceful shutdown. The scheduler thread that serves requests lives in
 //! [`crate::scheduler`].
 
+use crate::cache::{CachePolicy, PinnedEntry, PlanCache};
+use crate::clock::Clock;
 use crate::scheduler::Scheduler;
 use crossbeam::channel::{unbounded, Sender};
 use gpu_sim::device::{DeviceSpec, V100};
 use gpu_sim::ExecSummary;
-use kron_core::{Element, FactorShape, KronError, KronProblem, Matrix, Result};
+use kron_core::{Element, FactorShape, KronError, KronProblem, Matrix, PlanKey, Result};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -54,13 +56,32 @@ pub struct RuntimeConfig {
     /// Maximum requests drained from the queue per scheduling cycle (the
     /// batch window).
     pub max_queue: usize,
-    /// How long the scheduler lingers after the first request of a cycle
-    /// to let more requests arrive and coalesce (microseconds; `0`
-    /// disables). Trades per-request latency for batch occupancy — most
-    /// useful on hosts where clients and the scheduler contend for cores,
-    /// where serving would otherwise degenerate into lockstep
-    /// one-request cycles.
+    /// Upper bound on how long the scheduler lingers after the first
+    /// request of a cycle to let more requests arrive and coalesce
+    /// (microseconds; `0` disables lingering). Trades per-request latency
+    /// for batch occupancy — most useful on hosts where clients and the
+    /// scheduler contend for cores, where serving would otherwise
+    /// degenerate into lockstep one-request cycles. With
+    /// [`RuntimeConfig::adaptive_linger`] (the default) this is a *cap*:
+    /// the effective linger shrinks toward zero when the queue is shallow
+    /// and grows toward the cap under load (see
+    /// [`crate::adaptive_linger_us`]; the current value is the
+    /// [`RuntimeStats::current_linger_us`] gauge).
     pub batch_linger_us: u64,
+    /// Scale the effective linger with observed load instead of always
+    /// lingering the full `batch_linger_us`. `false` restores the fixed
+    /// window.
+    pub adaptive_linger: bool,
+    /// Bounds on the plan cache (LRU capacity and idle timeout). The
+    /// default is unbounded — production deployments serving many model
+    /// shapes should set [`CachePolicy::max_entries`], since every cached
+    /// `Distributed` entry pins `GM·GK` parked worker threads.
+    pub cache: CachePolicy,
+    /// The clock deadlines, idle ages, and linger windows are measured
+    /// on. [`Clock::real`] (the default) in production;
+    /// [`Clock::manual`] makes scheduler timing decisions deterministic
+    /// in tests.
+    pub clock: Clock,
     /// Device model plans are tuned against (used for plan caching and
     /// simulated pricing; CPU execution is unaffected numerically).
     pub device: DeviceSpec,
@@ -75,6 +96,9 @@ impl Default for RuntimeConfig {
             batch_max_m: 32,
             max_queue: 1024,
             batch_linger_us: 0,
+            adaptive_linger: true,
+            cache: CachePolicy::default(),
+            clock: Clock::default(),
             device: V100.clone(),
             backend: Backend::SingleNode,
         }
@@ -108,6 +132,24 @@ pub struct RuntimeStats {
     /// executes (prorated per batch from the engine's capacity-rows
     /// simulation).
     pub comm_bytes: u64,
+    /// Plan-cache entries evicted (LRU capacity, idle timeout, or
+    /// post-device-failure), each tearing down its workspace or sharded
+    /// engine.
+    pub evictions: u64,
+    /// Plan builds for a shape that had previously been evicted — cache
+    /// thrash; a rising rate means `max_entries` is too small for the
+    /// live model set.
+    pub rebuilds: u64,
+    /// Requests shed with [`KronError::DeadlineExceeded`] because their
+    /// deadline had already passed when the scheduler picked them up
+    /// (they never reached an execute).
+    pub deadline_shed: u64,
+    /// Gauge: plan-cache entries currently resident.
+    pub cached_entries: u64,
+    /// Gauge: the effective linger window of the most recent scheduling
+    /// cycle (equals `batch_linger_us` with adaptation off; breathes with
+    /// load otherwise).
+    pub current_linger_us: u64,
 }
 
 /// Shared atomic counters behind [`RuntimeStats`].
@@ -123,6 +165,11 @@ pub(crate) struct StatsInner {
     pub(crate) sharded_batches: AtomicU64,
     pub(crate) local_fallbacks: AtomicU64,
     pub(crate) comm_bytes: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+    pub(crate) rebuilds: AtomicU64,
+    pub(crate) deadline_shed: AtomicU64,
+    pub(crate) cached_entries: AtomicU64,
+    pub(crate) current_linger_us: AtomicU64,
 }
 
 impl StatsInner {
@@ -138,6 +185,11 @@ impl StatsInner {
             sharded_batches: self.sharded_batches.load(Ordering::Relaxed),
             local_fallbacks: self.local_fallbacks.load(Ordering::Relaxed),
             comm_bytes: self.comm_bytes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            cached_entries: self.cached_entries.load(Ordering::Relaxed),
+            current_linger_us: self.current_linger_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -168,6 +220,32 @@ pub(crate) struct ModelInner<T: Element> {
 }
 
 impl<T: Element> ModelInner<T> {
+    /// Validates the factor set and derives the shape chain, its hash
+    /// key, and the input/output widths.
+    pub(crate) fn build(id: u64, factors: Vec<Matrix<T>>) -> Result<Self> {
+        let shapes: Vec<FactorShape> = factors
+            .iter()
+            .map(|f| FactorShape::new(f.rows(), f.cols()))
+            .collect();
+        // Validates non-empty factors and non-zero dimensions.
+        let probe = KronProblem::new(1, shapes.clone())?;
+        let (k, l) = (probe.input_cols(), probe.output_cols());
+        let shape_key = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            shapes.hash(&mut h);
+            h.finish()
+        };
+        Ok(ModelInner {
+            id,
+            shape_key,
+            factors: factors.into_boxed_slice(),
+            shapes,
+            k,
+            l,
+        })
+    }
+
     pub(crate) fn factors(&self) -> &[Matrix<T>] {
         &self.factors
     }
@@ -216,13 +294,15 @@ pub(crate) struct Slot<T: Element> {
     ready: Condvar,
 }
 
-/// A completed reply: outcome, the recycled buffers, and (for sharded
-/// executes) the request's prorated share of the batch's simulated
-/// execution — all `Copy` or moved, so replies never allocate.
+/// A completed reply: outcome, the recycled buffers, the global serve
+/// sequence number, and (for sharded executes) the request's prorated
+/// share of the batch's simulated execution — all `Copy` or moved, so
+/// replies never allocate.
 pub(crate) struct Reply<T: Element> {
     pub(crate) result: Result<()>,
     pub(crate) x: Matrix<T>,
     pub(crate) y: Matrix<T>,
+    pub(crate) seq: u64,
     pub(crate) summary: Option<ExecSummary>,
 }
 
@@ -267,11 +347,48 @@ impl<T: Element> Slot<T> {
     }
 }
 
-/// One queued request: input, pre-shaped output, and the reply slot.
+/// Per-request admission-control options.
+///
+/// Deadlines are absolute microseconds on the runtime's clock timeline
+/// (see [`Runtime::now_us`]); form them as `runtime.now_us() + budget`.
+/// A request whose deadline has already passed when the scheduler picks
+/// it up is shed with [`KronError::DeadlineExceeded`] before any plan
+/// lookup or execute. Priorities order service within a scheduling
+/// window: higher-priority model groups (and solo requests) drain first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubmitOptions {
+    /// Service priority within a scheduling window; higher drains first.
+    /// Default `0`.
+    pub priority: u8,
+    /// Absolute deadline in microseconds on the runtime's clock, or
+    /// `None` for no deadline.
+    pub deadline_us: Option<u64>,
+}
+
+impl SubmitOptions {
+    /// Options with the given priority (no deadline).
+    pub fn priority(priority: u8) -> Self {
+        SubmitOptions {
+            priority,
+            ..SubmitOptions::default()
+        }
+    }
+
+    /// Sets the absolute deadline (microseconds on the runtime's clock).
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+}
+
+/// One queued request: input, pre-shaped output, admission-control
+/// options, and the reply slot.
 pub(crate) struct Request<T: Element> {
     pub(crate) model: Arc<ModelInner<T>>,
     pub(crate) x: Matrix<T>,
     pub(crate) y: Matrix<T>,
+    pub(crate) priority: u8,
+    pub(crate) deadline_us: Option<u64>,
     pub(crate) slot: Arc<Slot<T>>,
 }
 
@@ -284,7 +401,8 @@ pub(crate) enum Msg<T: Element> {
     Shutdown,
 }
 
-/// State shared between the runtime handle and its [`Session`]s.
+/// State shared between the runtime handle, its [`Session`]s, and the
+/// scheduler thread.
 pub(crate) struct Shared<T: Element> {
     tx: Sender<Msg<T>>,
     /// `true` once shutdown began. Sends happen *while holding* this
@@ -293,6 +411,12 @@ pub(crate) struct Shared<T: Element> {
     /// ever silently dropped and no waiter can hang.
     gate: Mutex<bool>,
     stats: Arc<StatsInner>,
+    /// The plan cache, shared so clients can pin models, sweep idle
+    /// entries, and introspect residency without a scheduler round-trip.
+    /// Lock order: the cache lock is never taken while holding an entry
+    /// lock.
+    cache: Arc<Mutex<PlanCache<T>>>,
+    clock: Clock,
 }
 
 impl<T: Element> Shared<T> {
@@ -350,6 +474,38 @@ impl<T: Element> Ticket<T> {
         let reply = self.slot.take_blocking();
         reply.result.map(|()| (reply.y, reply.summary))
     }
+
+    /// Like [`Self::wait`], additionally returning the [`ServeReceipt`]:
+    /// the runtime-global serve sequence number (which reveals the order
+    /// the scheduler actually served requests in — how priority tests
+    /// observe that high-priority groups drained first) and the sharded
+    /// execution share of [`Self::wait_with_stats`].
+    ///
+    /// # Errors
+    /// As [`Self::wait`].
+    pub fn wait_with_receipt(self) -> Result<(Matrix<T>, ServeReceipt)> {
+        let reply = self.slot.take_blocking();
+        reply.result.map(|()| {
+            (
+                reply.y,
+                ServeReceipt {
+                    seq: reply.seq,
+                    shard: reply.summary,
+                },
+            )
+        })
+    }
+}
+
+/// Serving metadata returned by [`Ticket::wait_with_receipt`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeReceipt {
+    /// Runtime-global serve sequence number (0-based): the order the
+    /// scheduler completed requests in.
+    pub seq: u64,
+    /// The request's prorated share of its sharded execution, when it
+    /// rode one (see [`Ticket::wait_with_stats`]).
+    pub shard: Option<ExecSummary>,
 }
 
 /// A synchronous serving connection with a reusable reply slot and
@@ -388,6 +544,22 @@ impl<T: Element> Session<T> {
         x: Matrix<T>,
         y: Matrix<T>,
     ) -> Result<(Matrix<T>, Matrix<T>)> {
+        self.call_with(model, x, y, SubmitOptions::default())
+    }
+
+    /// [`Session::call`] with explicit admission-control options
+    /// (priority and deadline; see [`SubmitOptions`]).
+    ///
+    /// # Errors
+    /// As [`Session::call`], plus [`KronError::DeadlineExceeded`] when
+    /// the deadline passed before the scheduler picked the request up.
+    pub fn call_with(
+        &mut self,
+        model: &Model<T>,
+        x: Matrix<T>,
+        y: Matrix<T>,
+        opts: SubmitOptions,
+    ) -> Result<(Matrix<T>, Matrix<T>)> {
         validate_request(model, &x)?;
         if y.rows() != x.rows() || y.cols() != model.output_cols() {
             return Err(KronError::ShapeMismatch {
@@ -399,6 +571,8 @@ impl<T: Element> Session<T> {
             model: Arc::clone(&model.inner),
             x,
             y,
+            priority: opts.priority,
+            deadline_us: opts.deadline_us,
             slot: Arc::clone(&self.slot),
         })?;
         let reply = self.slot.take_blocking();
@@ -445,10 +619,23 @@ impl<T: Element> Runtime<T> {
         cfg.max_batch_rows = cfg.max_batch_rows.max(1);
         cfg.batch_max_m = cfg.batch_max_m.min(cfg.max_batch_rows);
         cfg.max_queue = cfg.max_queue.max(1);
+        cfg.cache.max_entries = cfg.cache.max_entries.max(1);
         let (tx, rx) = unbounded();
         let stats = Arc::new(StatsInner::default());
         let fault = Arc::new(AtomicUsize::new(NO_FAULT));
-        let scheduler = Scheduler::new(rx, cfg.clone(), Arc::clone(&stats), Arc::clone(&fault));
+        let cache = Arc::new(Mutex::new(PlanCache::new(
+            cfg.device.clone(),
+            &cfg.backend,
+            cfg.cache,
+            cfg.clock.clone(),
+        )));
+        let scheduler = Scheduler::new(
+            rx,
+            cfg.clone(),
+            Arc::clone(&cache),
+            Arc::clone(&stats),
+            Arc::clone(&fault),
+        );
         let handle = std::thread::Builder::new()
             .name("kron-runtime-scheduler".into())
             .spawn(move || scheduler.run())
@@ -458,6 +645,8 @@ impl<T: Element> Runtime<T> {
                 tx,
                 gate: Mutex::new(false),
                 stats,
+                cache,
+                clock: cfg.clock.clone(),
             }),
             scheduler: Some(handle),
             next_model_id: AtomicU64::new(0),
@@ -482,28 +671,9 @@ impl<T: Element> Runtime<T> {
     /// [`KronError::NoFactors`] / [`KronError::EmptyDimension`] for
     /// degenerate factor sets.
     pub fn load_model(&self, factors: Vec<Matrix<T>>) -> Result<Model<T>> {
-        let shapes: Vec<FactorShape> = factors
-            .iter()
-            .map(|f| FactorShape::new(f.rows(), f.cols()))
-            .collect();
-        // Validates non-empty factors and non-zero dimensions.
-        let probe = KronProblem::new(1, shapes.clone())?;
-        let (k, l) = (probe.input_cols(), probe.output_cols());
-        let shape_key = {
-            use std::hash::{Hash, Hasher};
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            shapes.hash(&mut h);
-            h.finish()
-        };
+        let id = self.next_model_id.fetch_add(1, Ordering::Relaxed);
         Ok(Model {
-            inner: Arc::new(ModelInner {
-                id: self.next_model_id.fetch_add(1, Ordering::Relaxed),
-                shape_key,
-                factors: factors.into_boxed_slice(),
-                shapes,
-                k,
-                l,
-            }),
+            inner: Arc::new(ModelInner::build(id, factors)?),
         })
     }
 
@@ -514,6 +684,24 @@ impl<T: Element> Runtime<T> {
     /// # Errors
     /// Shape mismatches against the model, or [`KronError::Shutdown`].
     pub fn submit(&self, model: &Model<T>, x: Matrix<T>) -> Result<Ticket<T>> {
+        self.submit_with(model, x, SubmitOptions::default())
+    }
+
+    /// [`Runtime::submit`] with explicit admission-control options: a
+    /// service priority (higher drains first within a scheduling window)
+    /// and an absolute deadline on the runtime's clock (see
+    /// [`Runtime::now_us`]); a request whose deadline has already passed
+    /// when the scheduler picks it up is shed with
+    /// [`KronError::DeadlineExceeded`] without executing.
+    ///
+    /// # Errors
+    /// As [`Runtime::submit`].
+    pub fn submit_with(
+        &self,
+        model: &Model<T>,
+        x: Matrix<T>,
+        opts: SubmitOptions,
+    ) -> Result<Ticket<T>> {
         validate_request(model, &x)?;
         let y = Matrix::zeros(x.rows(), model.output_cols());
         let slot = Arc::new(Slot::new());
@@ -521,6 +709,8 @@ impl<T: Element> Runtime<T> {
             model: Arc::clone(&model.inner),
             x,
             y,
+            priority: opts.priority,
+            deadline_us: opts.deadline_us,
             slot: Arc::clone(&slot),
         })?;
         Ok(Ticket { slot })
@@ -551,6 +741,29 @@ impl<T: Element> Runtime<T> {
     /// set); shape mismatches; [`KronError::Shutdown`]. On any error,
     /// nothing is enqueued.
     pub fn submit_linked(&self, batch: Vec<(&Model<T>, Matrix<T>)>) -> Result<Vec<Ticket<T>>> {
+        self.submit_linked_with(batch, SubmitOptions::default())
+    }
+
+    /// [`Runtime::submit_linked`] with one set of admission-control
+    /// options for the whole group: every linked request inherits the
+    /// same priority and the same deadline atomically. Deadlines are
+    /// checked once per scheduling window, so within the window that
+    /// picks the group up the outcome is uniform — timely and every
+    /// member executes, or late and every member is shed with
+    /// [`KronError::DeadlineExceeded`]. A group too wide for one drain
+    /// window (more requests than `max_queue`, or arriving as a window
+    /// fills) is served across consecutive windows like any linked
+    /// batch, and a deadline that expires *between* those windows sheds
+    /// only the not-yet-served remainder — size deadline budgets to
+    /// cover the whole group's service time.
+    ///
+    /// # Errors
+    /// As [`Runtime::submit_linked`].
+    pub fn submit_linked_with(
+        &self,
+        batch: Vec<(&Model<T>, Matrix<T>)>,
+        opts: SubmitOptions,
+    ) -> Result<Vec<Ticket<T>>> {
         if let Some((first, _)) = batch.first() {
             let first_id = first.id();
             for (model, _) in &batch {
@@ -578,6 +791,8 @@ impl<T: Element> Runtime<T> {
                     model: Arc::clone(&model.inner),
                     x,
                     y,
+                    priority: opts.priority,
+                    deadline_us: opts.deadline_us,
                     slot,
                 }
             })
@@ -608,6 +823,64 @@ impl<T: Element> Runtime<T> {
         }
         self.fault.store(gpu, Ordering::SeqCst);
         Ok(())
+    }
+
+    /// Current time in microseconds on this runtime's [`Clock`] — the
+    /// timeline [`SubmitOptions::deadline_us`] deadlines are measured on.
+    /// Form deadlines as `runtime.now_us() + budget_us`.
+    pub fn now_us(&self) -> u64 {
+        self.shared.clock.now_us()
+    }
+
+    /// Builds (if absent) and pins the plan-cache entry serving `model`'s
+    /// shape at the batch row capacity. While the returned [`ModelPin`]
+    /// is alive the entry is exempt from LRU and idle eviction — its
+    /// plan, workspaces, and (under the `Distributed` backend) sharded
+    /// engine stay warm however many other shapes rotate through a
+    /// bounded cache. Dropping the pin re-subjects the entry to policy.
+    ///
+    /// Also useful as an explicit pre-warm: the first request of a pinned
+    /// model never pays planning or engine construction.
+    ///
+    /// # Errors
+    /// Whatever building the entry can raise (e.g. the documented
+    /// [`KronError::InvalidGrid`] on a misconfigured distributed
+    /// backend).
+    pub fn pin_model(&self, model: &Model<T>) -> Result<ModelPin<T>> {
+        let mut cache = self.shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let pinned =
+            cache.get_or_create(&model.inner, self.cfg.max_batch_rows, &self.shared.stats)?;
+        Ok(ModelPin { _pinned: pinned })
+    }
+
+    /// Runs an idle sweep of the plan cache now (the scheduler also
+    /// sweeps at the start of every serve cycle): evicts unpinned entries
+    /// idle longer than the policy's `max_idle_us` on the runtime's
+    /// clock, tearing down their workspaces/engines. Returns how many
+    /// entries were evicted. A no-op when idle eviction is disabled.
+    pub fn sweep(&self) -> usize {
+        let mut cache = self.shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.sweep_idle(&self.shared.stats)
+    }
+
+    /// Number of plan-cache entries currently resident (each owns a
+    /// workspace or a sharded engine).
+    pub fn cached_entries(&self) -> usize {
+        self.shared
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Snapshot of the structural identities ([`PlanKey`]s) of every
+    /// resident plan-cache entry.
+    pub fn cache_keys(&self) -> Vec<PlanKey> {
+        self.shared
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
     }
 
     /// Opens a [`Session`]: a synchronous connection with a reusable reply
@@ -651,5 +924,18 @@ impl<T: Element> Runtime<T> {
 impl<T: Element> Drop for Runtime<T> {
     fn drop(&mut self) {
         self.close();
+    }
+}
+
+/// RAII pin on one model's plan-cache entry, from [`Runtime::pin_model`]:
+/// while alive, the entry is exempt from LRU and idle eviction and its
+/// execution state stays warm. Dropping releases the pin.
+pub struct ModelPin<T: Element> {
+    _pinned: PinnedEntry<T>,
+}
+
+impl<T: Element> std::fmt::Debug for ModelPin<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelPin").finish_non_exhaustive()
     }
 }

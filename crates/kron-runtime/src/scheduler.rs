@@ -1,35 +1,86 @@
-//! The scheduler thread: drains the request channel, groups batchable
-//! same-model requests, and executes batches/solos through the plan cache.
+//! The scheduler thread: drains the request channel under an adaptive
+//! linger window, sheds requests whose deadline already passed, orders
+//! the remainder by priority, and executes batches/solos through the
+//! bounded plan cache.
 //!
-//! All scratch state (`pending`, the grouping table, the factor-reference
-//! slice) is owned and reused across cycles, so a warmed scheduler serves
-//! requests without allocating — the other half of the crate's
-//! zero-allocation steady-state contract (the first half being the plan
-//! cache's reused workspaces and batch buffers).
+//! All scratch state (`pending`, the grouping table, the solo ordering
+//! buffer, the factor-reference slice) is owned and reused across cycles,
+//! so a warmed scheduler serves requests without allocating — the other
+//! half of the crate's zero-allocation steady-state contract (the first
+//! half being the plan cache's reused workspaces and batch buffers). The
+//! in-cycle sorts are `sort_unstable` (in-place) for the same reason.
+//!
+//! Every time-dependent decision — the linger window, deadline admission,
+//! the cache's idle sweep — reads the runtime's [`Clock`], so a manual
+//! clock makes the whole scheduling pipeline deterministic for tests.
 
 use crate::cache::PlanCache;
+use crate::clock::Clock;
 use crate::runtime::{Msg, Reply, Request, RuntimeConfig, StatsInner, NO_FAULT};
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use kron_core::{Element, KronError, Matrix};
+use std::cmp::Reverse;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often a lingering scheduler re-reads a **manual** clock while
+/// parked on the request channel. Virtual time only moves when the test
+/// advances it, so the park polls at this real-time interval instead of
+/// sleeping out the window; the interval affects only wall-clock test
+/// latency, never which requests share a window.
+const MANUAL_POLL: Duration = Duration::from_micros(200);
+
+/// Saturation depth for the adaptive linger, in x16 fixed point: once the
+/// smoothed per-cycle queue depth reaches 9 requests (1 + 8), the linger
+/// sits at its cap.
+const LINGER_SAT_X16: u64 = 8 * 16;
+
+/// The load-adaptive linger window: how long the scheduler should hold a
+/// batch window open, given the cap (`batch_linger_us`) and the smoothed
+/// per-cycle queue depth in x16 fixed point (`16` = one request per
+/// cycle).
+///
+/// A depth of one request per cycle means traffic is sequential —
+/// lingering cannot coalesce anything, so the window collapses to zero
+/// and solo latency stays minimal. As the smoothed depth grows past one,
+/// the window opens proportionally, reaching the full cap at a depth of
+/// nine (`1 + 8`) — by then the queue is deep enough that trading linger
+/// latency for batch occupancy always pays. Monotone in the depth, never
+/// exceeds the cap, and `cap == 0` disables lingering entirely.
+pub fn adaptive_linger_us(cap_us: u64, ewma_depth_x16: u64) -> u64 {
+    let above_one = ewma_depth_x16.saturating_sub(16);
+    if above_one == 0 {
+        return 0;
+    }
+    cap_us * above_one.min(LINGER_SAT_X16) / LINGER_SAT_X16
+}
 
 pub(crate) struct Scheduler<T: Element> {
     rx: Receiver<Msg<T>>,
     cfg: RuntimeConfig,
-    cache: PlanCache<T>,
+    /// The plan cache, shared with the runtime handle (client-side pins,
+    /// sweeps, and probes). Never locked while an entry lock is held.
+    cache: Arc<Mutex<PlanCache<T>>>,
     stats: Arc<StatsInner>,
+    clock: Clock,
     /// One-shot device-fault flag shared with the runtime handle
     /// (`NO_FAULT` when disarmed); consumed by the next sharded execute.
     fault: Arc<AtomicUsize>,
+    /// Smoothed requests-per-cycle in x16 fixed point; drives
+    /// [`adaptive_linger_us`].
+    ewma_depth_x16: u64,
     /// Requests drained this cycle; `None` marks served slots. Cleared
     /// (capacity kept) at the end of every cycle.
     pending: Vec<Option<Request<T>>>,
-    /// Grouping table: `(model id, pending indices)` per batchable model.
-    /// Entries beyond `groups_used` are retired but keep their Vec
-    /// capacity for reuse.
-    groups: Vec<(u64, Vec<usize>)>,
+    /// Grouping table: `(model id, max priority, pending indices)` per
+    /// batchable model. Entries beyond `groups_used` are retired but keep
+    /// their Vec capacity for reuse.
+    groups: Vec<(u64, u8, Vec<usize>)>,
     groups_used: usize,
+    /// Reused `(priority, pending index)` buffer for ordering solo
+    /// requests.
+    solo_order: Vec<(u8, usize)>,
     /// Reused backing store for the `&[&Matrix<T>]` factor slice.
     refs_scratch: Vec<*const Matrix<T>>,
 }
@@ -87,21 +138,35 @@ impl<T: Element> Scheduler<T> {
     pub(crate) fn new(
         rx: Receiver<Msg<T>>,
         cfg: RuntimeConfig,
+        cache: Arc<Mutex<PlanCache<T>>>,
         stats: Arc<StatsInner>,
         fault: Arc<AtomicUsize>,
     ) -> Self {
-        let cache = PlanCache::new(cfg.device.clone(), &cfg.backend);
+        let clock = cfg.clock.clone();
         Scheduler {
             rx,
             cfg,
             cache,
             stats,
+            clock,
             fault,
+            ewma_depth_x16: 0,
             pending: Vec::new(),
             groups: Vec::new(),
             groups_used: 0,
+            solo_order: Vec::new(),
             refs_scratch: Vec::new(),
         }
+    }
+
+    /// The linger window for the next batch cycle: the configured cap,
+    /// scaled by smoothed load when adaptation is on.
+    fn effective_linger_us(&self) -> u64 {
+        let cap = self.cfg.batch_linger_us;
+        if cap == 0 || !self.cfg.adaptive_linger {
+            return cap;
+        }
+        adaptive_linger_us(cap, self.ewma_depth_x16)
     }
 
     pub(crate) fn run(mut self) {
@@ -113,12 +178,16 @@ impl<T: Element> Scheduler<T> {
                 Msg::Request(r) => {
                     self.pending.push(Some(r));
                     // Batch window: drain whatever is queued right now, up
-                    // to the configured cycle size; optionally linger to
-                    // let concurrent clients top the window up.
-                    let deadline = (self.cfg.batch_linger_us > 0).then(|| {
-                        std::time::Instant::now()
-                            + std::time::Duration::from_micros(self.cfg.batch_linger_us)
-                    });
+                    // to the configured cycle size; optionally linger (per
+                    // the adaptive policy) to let concurrent clients top
+                    // the window up. The window is measured on the
+                    // runtime's clock, so a manual clock holds it open
+                    // until the test advances time.
+                    let linger_us = self.effective_linger_us();
+                    self.stats
+                        .current_linger_us
+                        .store(linger_us, Ordering::Relaxed);
+                    let deadline = (linger_us > 0).then(|| self.clock.now_us() + linger_us);
                     while self.pending.len() < self.cfg.max_queue {
                         match self.rx.try_recv() {
                             Ok(Msg::Request(r)) => self.pending.push(Some(r)),
@@ -131,15 +200,25 @@ impl<T: Element> Scheduler<T> {
                                 // linger deadline for a late arrival (no
                                 // spinning — producers get the CPU).
                                 let Some(d) = deadline else { break };
-                                let now = std::time::Instant::now();
+                                let now = self.clock.now_us();
                                 if now >= d {
                                     break;
                                 }
-                                match self.rx.recv_timeout(d - now) {
+                                let wait = if self.clock.is_manual() {
+                                    MANUAL_POLL
+                                } else {
+                                    Duration::from_micros(d - now)
+                                };
+                                match self.rx.recv_timeout(wait) {
                                     Ok(Msg::Request(r)) => self.pending.push(Some(r)),
                                     Ok(Msg::Shutdown) => {
                                         shutting = true;
                                         break;
+                                    }
+                                    Err(RecvTimeoutError::Timeout) if self.clock.is_manual() => {
+                                        // Re-read the virtual clock; the
+                                        // test may have advanced it.
+                                        continue;
                                     }
                                     Err(_) => break,
                                 }
@@ -165,45 +244,98 @@ impl<T: Element> Scheduler<T> {
         }
     }
 
-    /// Serves everything drained this cycle: batchable requests grouped by
-    /// model and chunked to `max_batch_rows`, the rest solo.
+    /// Serves everything drained this cycle: expired deadlines shed
+    /// first, then batchable requests grouped by model, ordered by
+    /// priority, and chunked to `max_batch_rows`; the rest solo, also in
+    /// priority order.
     fn serve_pending(&mut self) {
         if self.pending.is_empty() {
             return;
         }
-        // Group batchable requests by model identity.
+        // Load signal for the next cycle's linger window.
+        let depth = self.pending.len() as u64;
+        self.ewma_depth_x16 = (3 * self.ewma_depth_x16 + 16 * depth) / 4;
+
+        // Cycle-boundary idle sweep (a no-op unless the policy sets
+        // `max_idle_us`).
+        {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.sweep_idle(&self.stats);
+        }
+
+        // Admission control: shed requests whose deadline already passed
+        // — before any plan lookup, gather, or execute.
+        let now = self.clock.now_us();
+        for i in 0..self.pending.len() {
+            let expired = self.pending[i]
+                .as_ref()
+                .expect("fresh this cycle")
+                .deadline_us
+                .is_some_and(|d| d < now);
+            if expired {
+                let r = self.pending[i].take().expect("checked above");
+                let deadline_us = r.deadline_us.expect("expired implies a deadline");
+                self.stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                let seq = self.stats.served.fetch_add(1, Ordering::Relaxed);
+                r.slot.fill(Reply {
+                    result: Err(KronError::DeadlineExceeded {
+                        deadline_us,
+                        now_us: now,
+                    }),
+                    x: r.x,
+                    y: r.y,
+                    seq,
+                    summary: None,
+                });
+            }
+        }
+
+        // Group batchable requests by model identity, tracking each
+        // group's strongest priority.
         for g in &mut self.groups {
-            g.1.clear();
+            g.2.clear();
         }
         self.groups_used = 0;
         for i in 0..self.pending.len() {
-            let r = self.pending[i].as_ref().expect("fresh this cycle");
+            let Some(r) = self.pending[i].as_ref() else {
+                continue; // shed above
+            };
             if r.x.rows() > self.cfg.batch_max_m {
                 continue;
             }
-            let id = r.model.id;
+            let (id, prio) = (r.model.id, r.priority);
             match self.groups[..self.groups_used]
                 .iter()
-                .position(|(gid, _)| *gid == id)
+                .position(|(gid, _, _)| *gid == id)
             {
-                Some(s) => self.groups[s].1.push(i),
+                Some(s) => {
+                    self.groups[s].1 = self.groups[s].1.max(prio);
+                    self.groups[s].2.push(i);
+                }
                 None => {
                     if self.groups_used < self.groups.len() {
                         self.groups[self.groups_used].0 = id;
-                        self.groups[self.groups_used].1.push(i);
+                        self.groups[self.groups_used].1 = prio;
+                        self.groups[self.groups_used].2.push(i);
                     } else {
-                        self.groups.push((id, vec![i]));
+                        self.groups.push((id, prio, vec![i]));
                     }
                     self.groups_used += 1;
                 }
             }
         }
 
+        // Priority order: strongest group first; ties drain in arrival
+        // order (a group's first pending index is its earliest arrival).
+        self.groups[..self.groups_used].sort_unstable_by_key(|(_, prio, idxs)| {
+            (Reverse(*prio), idxs.first().copied().unwrap_or(usize::MAX))
+        });
+
         // Serve each group in row-budgeted chunks.
         for g in 0..self.groups_used {
             // Move the index list out so `serve_chunk(&mut self)` can run;
             // restored below to keep its capacity for the next cycle.
-            let idxs = std::mem::take(&mut self.groups[g].1);
+            let idxs = std::mem::take(&mut self.groups[g].2);
             let mut start = 0;
             while start < idxs.len() {
                 let mut rows = 0;
@@ -222,11 +354,21 @@ impl<T: Element> Scheduler<T> {
                 self.serve_chunk(&idxs[start..end], rows);
                 start = end;
             }
-            self.groups[g].1 = idxs;
+            self.groups[g].2 = idxs;
         }
 
-        // Everything left (large-M, or models with batching disabled).
+        // Everything left (large-M, or models with batching disabled), in
+        // priority order.
+        self.solo_order.clear();
         for i in 0..self.pending.len() {
+            if let Some(r) = self.pending[i].as_ref() {
+                self.solo_order.push((r.priority, i));
+            }
+        }
+        self.solo_order
+            .sort_unstable_by_key(|&(prio, i)| (Reverse(prio), i));
+        for k in 0..self.solo_order.len() {
+            let (_, i) = self.solo_order[k];
             if let Some(r) = self.pending[i].take() {
                 self.serve_solo(r);
             }
@@ -237,7 +379,9 @@ impl<T: Element> Scheduler<T> {
     /// Serves a same-model chunk whose rows sum to `total_rows ≤
     /// max_batch_rows`: gather rows into the cached batch input, one fused
     /// (or sharded) execute, scatter back. A chunk of one skips the
-    /// grouping bookkeeping via the solo path.
+    /// grouping bookkeeping via the solo path. The cache entry stays
+    /// pinned for the whole gather/execute/scatter, so no concurrent
+    /// sweep can drop the engine mid-batch.
     fn serve_chunk(&mut self, idxs: &[usize], total_rows: usize) {
         debug_assert!(!idxs.is_empty());
         if idxs.len() == 1 {
@@ -247,22 +391,28 @@ impl<T: Element> Scheduler<T> {
         }
         let model = Arc::clone(&self.pending[idxs[0]].as_ref().expect("unserved").model);
         let capacity = self.cfg.max_batch_rows;
-        let entry = match self.cache.get_or_create(&model, capacity, &self.stats) {
-            Ok(e) => e,
+        let pinned = {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.get_or_create(&model, capacity, &self.stats)
+        };
+        let pinned = match pinned {
+            Ok(p) => p,
             Err(err) => {
                 for &i in idxs {
                     let r = self.pending[i].take().expect("unserved");
-                    self.stats.served.fetch_add(1, Ordering::Relaxed);
+                    let seq = self.stats.served.fetch_add(1, Ordering::Relaxed);
                     r.slot.fill(Reply {
                         result: Err(err.clone()),
                         x: r.x,
                         y: r.y,
+                        seq,
                         summary: None,
                     });
                 }
                 return;
             }
         };
+        let mut entry = pinned.lock();
 
         // Gather request rows into the staged batch input.
         let k = model.input_cols();
@@ -281,7 +431,7 @@ impl<T: Element> Scheduler<T> {
 
         let refs = refs_of(&mut self.refs_scratch, model.factors());
         let (result, _, evict) =
-            run_staged_batch(entry, &self.fault, &self.stats, refs, total_rows);
+            run_staged_batch(&mut entry, &self.fault, &self.stats, refs, total_rows);
 
         // Scatter results back and reply with each request's prorated
         // share of the simulated sharded execution.
@@ -296,18 +446,24 @@ impl<T: Element> Scheduler<T> {
                 summary = entry.shard_summary(m);
             }
             off += m;
-            self.stats.served.fetch_add(1, Ordering::Relaxed);
+            let seq = self.stats.served.fetch_add(1, Ordering::Relaxed);
             self.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
             r.slot.fill(Reply {
                 result: result.clone(),
                 x: r.x,
                 y: r.y,
+                seq,
                 summary,
             });
         }
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        // Release the entry before touching the cache again (lock order:
+        // never hold an entry lock while taking the cache lock).
+        drop(entry);
+        drop(pinned);
         if evict {
-            self.cache.evict(model.shape_key, capacity);
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.evict_failed(model.shape_key, capacity, &self.stats);
         }
     }
 
@@ -326,8 +482,13 @@ impl<T: Element> Scheduler<T> {
         };
         let mut summary = None;
         let mut evict = false;
-        let result = match self.cache.get_or_create(&r.model, capacity, &self.stats) {
-            Ok(entry) => {
+        let pinned = {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.get_or_create(&r.model, capacity, &self.stats)
+        };
+        let result = match &pinned {
+            Ok(pinned) => {
+                let mut entry = pinned.lock();
                 let refs = refs_of(&mut self.refs_scratch, r.model.factors());
                 if entry.is_sharded() {
                     let k = r.model.input_cols();
@@ -337,7 +498,7 @@ impl<T: Element> Scheduler<T> {
                         bx.as_mut_slice()[..m * k].copy_from_slice(r.x.as_slice());
                     }
                     let (result, s, ev) =
-                        run_staged_batch(entry, &self.fault, &self.stats, refs, m);
+                        run_staged_batch(&mut entry, &self.fault, &self.stats, refs, m);
                     if result.is_ok() {
                         r.y.as_mut_slice()
                             .copy_from_slice(&entry.batch_y().as_slice()[..m * l]);
@@ -349,18 +510,47 @@ impl<T: Element> Scheduler<T> {
                     entry.run_rows(&r.x, refs, &mut r.y, m)
                 }
             }
-            Err(err) => Err(err),
+            Err(err) => Err(err.clone()),
         };
+        drop(pinned);
         if evict {
-            self.cache.evict(r.model.shape_key, capacity);
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.evict_failed(r.model.shape_key, capacity, &self.stats);
         }
-        self.stats.served.fetch_add(1, Ordering::Relaxed);
+        let seq = self.stats.served.fetch_add(1, Ordering::Relaxed);
         self.stats.solo_requests.fetch_add(1, Ordering::Relaxed);
         r.slot.fill(Reply {
             result,
             x: r.x,
             y: r.y,
+            seq,
             summary,
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_linger_collapses_at_depth_one_and_saturates() {
+        // Sequential traffic (one request per cycle) must not linger.
+        assert_eq!(adaptive_linger_us(500, 0), 0);
+        assert_eq!(adaptive_linger_us(500, 16), 0);
+        // Saturation: at and past nine requests per cycle, the full cap.
+        assert_eq!(adaptive_linger_us(500, 16 * 9), 500);
+        assert_eq!(adaptive_linger_us(500, 16 * 100), 500);
+        // In between: strictly monotone and bounded by the cap.
+        let mut last = 0;
+        for depth_x16 in (16..=16 * 9).step_by(16) {
+            let l = adaptive_linger_us(800, depth_x16);
+            assert!(l >= last, "linger must grow with load");
+            assert!(l <= 800);
+            last = l;
+        }
+        assert_eq!(last, 800);
+        // A zero cap disables lingering at any load.
+        assert_eq!(adaptive_linger_us(0, 16 * 100), 0);
     }
 }

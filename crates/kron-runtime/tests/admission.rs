@@ -1,0 +1,328 @@
+//! Admission-control contract, time-virtualized via the manual clock:
+//! expired deadlines shed without executing, high-priority groups drain
+//! before low within a scheduling window, linked batches inherit one
+//! deadline atomically, and the linger window adapts to load.
+
+use kron_core::shuffle::kron_matmul_shuffle;
+use kron_core::{assert_matrices_close, KronError, Matrix};
+use kron_runtime::{Clock, ManualClock, Runtime, RuntimeConfig, SubmitOptions};
+use std::sync::Arc;
+
+/// Pumps virtual time forward until the runtime has served `target`
+/// requests. The scheduler computes its linger deadline from virtual
+/// "now" whenever it opens a window, so a single big advance can land
+/// *before* the window opens and never close it; stepping until the work
+/// lands is robust against that ordering while staying exact about
+/// *which* requests share the window (everything already submitted is
+/// drained from the channel before the scheduler re-checks the
+/// deadline).
+fn pump_until_served(runtime: &Runtime<f64>, time: &Arc<ManualClock>, target: u64) {
+    while runtime.stats().served < target {
+        time.advance_us(50_000);
+        std::thread::yield_now();
+    }
+}
+
+fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((start + 5 * r * cols + 2 * c) % 17) as f64 - 8.0
+    })
+}
+
+fn model_factors(shapes: &[(usize, usize)], seed: usize) -> Vec<Matrix<f64>> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, q))| seq_matrix(p, q, seed + 5 * i + 1))
+        .collect()
+}
+
+fn oracle(x: &Matrix<f64>, factors: &[Matrix<f64>]) -> Matrix<f64> {
+    let refs: Vec<&Matrix<f64>> = factors.iter().collect();
+    kron_matmul_shuffle(x, &refs).unwrap()
+}
+
+#[test]
+fn expired_deadline_sheds_without_executing() {
+    let clock = Clock::manual();
+    let time = clock.manual_handle().unwrap();
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        clock,
+        ..RuntimeConfig::default()
+    });
+    let factors = model_factors(&[(4, 4), (4, 4)], 1);
+    let model = runtime.load_model(factors.clone()).unwrap();
+
+    // Virtual now = 1000; the request's deadline (500) already passed.
+    time.set_us(1_000);
+    let x = seq_matrix(2, model.input_cols(), 3);
+    let ticket = runtime
+        .submit_with(&model, x, SubmitOptions::default().with_deadline_us(500))
+        .unwrap();
+    match ticket.wait() {
+        Err(KronError::DeadlineExceeded {
+            deadline_us,
+            now_us,
+        }) => {
+            assert_eq!(deadline_us, 500);
+            assert!(now_us >= 1_000, "shed at virtual {now_us}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // Shed before any execute — or even a plan lookup.
+    let stats = runtime.stats();
+    assert_eq!(stats.deadline_shed, 1, "stats: {stats:?}");
+    assert_eq!(stats.served, 1, "shed requests still complete: {stats:?}");
+    assert_eq!(stats.plan_misses, 0, "no plan was built: {stats:?}");
+    assert_eq!(stats.batches, 0, "stats: {stats:?}");
+    assert_eq!(stats.solo_requests, 0, "stats: {stats:?}");
+    assert_eq!(stats.batched_requests, 0, "stats: {stats:?}");
+
+    // A timely request on the same runtime still executes correctly.
+    let x = seq_matrix(2, model.input_cols(), 4);
+    let expected = oracle(&x, &factors);
+    let y = runtime
+        .execute(&model, x)
+        .expect("no-deadline requests are never shed");
+    assert_matrices_close(&y, &expected, "timely request after a shed one");
+}
+
+#[test]
+fn high_priority_groups_drain_before_low_under_a_full_window() {
+    // Manual clock + a fixed linger window: the scheduler opens the
+    // window on the first submit and cannot close it until virtual time
+    // advances, so every request below is guaranteed to share ONE
+    // scheduling window — the "full queue" case, deterministically.
+    let clock = Clock::manual();
+    let time = clock.manual_handle().unwrap();
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 8,
+        batch_linger_us: 10_000,
+        adaptive_linger: false,
+        clock,
+        ..RuntimeConfig::default()
+    });
+    let f_low = model_factors(&[(4, 4), (4, 4)], 1);
+    let f_high = model_factors(&[(2, 2), (2, 2)], 2);
+    let low = runtime.load_model(f_low.clone()).unwrap();
+    let high = runtime.load_model(f_high.clone()).unwrap();
+
+    // Low-priority group submitted FIRST; high-priority second. Also two
+    // solo (large-M) requests with the same priority inversion.
+    let mut low_tickets = Vec::new();
+    let mut high_tickets = Vec::new();
+    for i in 0..3 {
+        let x = seq_matrix(2, low.input_cols(), 10 + i);
+        low_tickets.push((
+            runtime
+                .submit_with(&low, x.clone(), SubmitOptions::priority(1))
+                .unwrap(),
+            oracle(&x, &f_low),
+        ));
+    }
+    for i in 0..3 {
+        let x = seq_matrix(2, high.input_cols(), 20 + i);
+        high_tickets.push((
+            runtime
+                .submit_with(&high, x.clone(), SubmitOptions::priority(7))
+                .unwrap(),
+            oracle(&x, &f_high),
+        ));
+    }
+    let x_solo_low = seq_matrix(12, low.input_cols(), 30);
+    let solo_low = (
+        runtime
+            .submit_with(&low, x_solo_low.clone(), SubmitOptions::priority(0))
+            .unwrap(),
+        oracle(&x_solo_low, &f_low),
+    );
+    let x_solo_high = seq_matrix(12, high.input_cols(), 31);
+    let solo_high = (
+        runtime
+            .submit_with(&high, x_solo_high.clone(), SubmitOptions::priority(9))
+            .unwrap(),
+        oracle(&x_solo_high, &f_high),
+    );
+
+    // Close the window: everything above drains as one cycle (all eight
+    // submissions completed before any advance, and the scheduler drains
+    // the whole channel before re-checking its window deadline).
+    pump_until_served(&runtime, &time, 8);
+
+    let low_seqs: Vec<u64> = low_tickets
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, expected))| {
+            let (y, receipt) = t.wait_with_receipt().unwrap();
+            assert_matrices_close(&y, &expected, &format!("low request {i}"));
+            receipt.seq
+        })
+        .collect();
+    let high_seqs: Vec<u64> = high_tickets
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, expected))| {
+            let (y, receipt) = t.wait_with_receipt().unwrap();
+            assert_matrices_close(&y, &expected, &format!("high request {i}"));
+            receipt.seq
+        })
+        .collect();
+
+    // The high-priority group drained before the low one despite
+    // arriving later.
+    let max_high = *high_seqs.iter().max().unwrap();
+    let min_low = *low_seqs.iter().min().unwrap();
+    assert!(
+        max_high < min_low,
+        "high group must fully drain first: high {high_seqs:?} vs low {low_seqs:?}"
+    );
+
+    // Same inversion among solos (solos drain after batched groups).
+    let (t, expected) = solo_high;
+    let (y, high_receipt) = t.wait_with_receipt().unwrap();
+    assert_matrices_close(&y, &expected, "solo high");
+    let (t, expected) = solo_low;
+    let (y, low_receipt) = t.wait_with_receipt().unwrap();
+    assert_matrices_close(&y, &expected, "solo low");
+    assert!(
+        high_receipt.seq < low_receipt.seq,
+        "high solo ({}) must precede low solo ({})",
+        high_receipt.seq,
+        low_receipt.seq
+    );
+
+    // And the window really did coalesce: the two groups batched.
+    let stats = runtime.stats();
+    assert_eq!(stats.batched_requests, 6, "stats: {stats:?}");
+    assert_eq!(stats.solo_requests, 2, "stats: {stats:?}");
+}
+
+#[test]
+fn linked_batches_inherit_one_deadline_atomically() {
+    let clock = Clock::manual();
+    let time = clock.manual_handle().unwrap();
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        clock,
+        ..RuntimeConfig::default()
+    });
+    let factors = model_factors(&[(4, 4), (4, 4)], 1);
+    let model = runtime.load_model(factors.clone()).unwrap();
+
+    // Late: the whole linked group shares the expired deadline — every
+    // member is shed, none executes.
+    time.set_us(1_000);
+    let xs: Vec<Matrix<f64>> = (0..3)
+        .map(|i| seq_matrix(1 + i, model.input_cols(), 40 + i))
+        .collect();
+    let tickets = runtime
+        .submit_linked_with(
+            xs.iter().map(|x| (&model, x.clone())).collect(),
+            SubmitOptions::priority(3).with_deadline_us(900),
+        )
+        .unwrap();
+    for (i, t) in tickets.into_iter().enumerate() {
+        match t.wait() {
+            Err(KronError::DeadlineExceeded { deadline_us, .. }) => {
+                assert_eq!(deadline_us, 900, "request {i}")
+            }
+            other => panic!("request {i}: expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+    let stats = runtime.stats();
+    assert_eq!(stats.deadline_shed, 3, "stats: {stats:?}");
+    assert_eq!(stats.plan_misses, 0, "nothing executed: {stats:?}");
+
+    // Timely: the same group with a future deadline fully executes,
+    // bit-correct.
+    let tickets = runtime
+        .submit_linked_with(
+            xs.iter().map(|x| (&model, x.clone())).collect(),
+            SubmitOptions::priority(3).with_deadline_us(runtime.now_us() + 1_000_000),
+        )
+        .unwrap();
+    for (i, (t, x)) in tickets.into_iter().zip(xs.iter()).enumerate() {
+        let y = t.wait().unwrap();
+        assert_matrices_close(&y, &oracle(x, &factors), &format!("timely linked {i}"));
+    }
+    let stats = runtime.stats();
+    assert_eq!(stats.deadline_shed, 3, "no further sheds: {stats:?}");
+    assert_eq!(stats.served, 6, "stats: {stats:?}");
+}
+
+#[test]
+fn adaptive_linger_breathes_with_load() {
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 64,
+        batch_max_m: 8,
+        batch_linger_us: 400,
+        adaptive_linger: true,
+        ..RuntimeConfig::default()
+    });
+    let factors = model_factors(&[(4, 4), (4, 4)], 1);
+    let model = runtime.load_model(factors.clone()).unwrap();
+    let expected1 = oracle(&seq_matrix(1, model.input_cols(), 0), &factors);
+
+    // Burst phase: linked batches arrive atomically, so once the
+    // scheduler drains one whole burst in a cycle the smoothed depth
+    // crosses the linger threshold and the gauge opens. (Bounded retry
+    // only because a cycle may catch a partial burst; one pass is the
+    // overwhelmingly common case.)
+    let mut opened = 0;
+    for round in 0..50 {
+        let xs: Vec<Matrix<f64>> = (0..12)
+            .map(|i| seq_matrix(1, model.input_cols(), 100 * round + i))
+            .collect();
+        let tickets = runtime
+            .submit_linked(xs.iter().map(|x| (&model, x.clone())).collect())
+            .unwrap();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        opened = runtime.stats().current_linger_us;
+        if opened > 0 {
+            break;
+        }
+    }
+    assert!(opened > 0, "linger must open under burst load");
+    assert!(opened <= 400, "linger never exceeds the cap");
+
+    // Sequential phase: strictly one request per cycle decays the
+    // smoothed depth back to one, collapsing the window to zero — solo
+    // traffic pays no linger latency.
+    for i in 0..64 {
+        let x = seq_matrix(1, model.input_cols(), i);
+        let y = runtime.execute(&model, x).unwrap();
+        if i == 0 {
+            assert_matrices_close(&y, &expected1, "sequential request 0");
+        }
+    }
+    assert_eq!(
+        runtime.stats().current_linger_us,
+        0,
+        "sequential traffic must not linger"
+    );
+}
+
+#[test]
+fn fixed_linger_reports_the_cap() {
+    let clock = Clock::manual();
+    let time = clock.manual_handle().unwrap();
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        batch_linger_us: 750,
+        adaptive_linger: false,
+        clock,
+        ..RuntimeConfig::default()
+    });
+    let factors = model_factors(&[(2, 2)], 1);
+    let model = runtime.load_model(factors.clone()).unwrap();
+    let x = seq_matrix(1, model.input_cols(), 0);
+    let ticket = runtime.submit(&model, x.clone()).unwrap();
+    pump_until_served(&runtime, &time, 1);
+    let y = ticket.wait().unwrap();
+    assert_matrices_close(&y, &oracle(&x, &factors), "fixed-linger request");
+    assert_eq!(runtime.stats().current_linger_us, 750);
+}

@@ -1,0 +1,333 @@
+//! Plan-cache lifecycle contract, made deterministic by the manual
+//! clock: LRU eviction order under a bounded cache, idle-timeout
+//! eviction, engine-thread teardown on eviction (counted through
+//! `kron_dist::live_sim_worker_threads`), pinned-entry survival, and
+//! re-warm after eviction — with every served result still checked
+//! against the shuffle oracle, so a rebuilt engine is proven correct,
+//! not just present.
+
+use kron_core::shuffle::kron_matmul_shuffle;
+use kron_core::{assert_matrices_close, Matrix};
+use kron_runtime::{Backend, CachePolicy, Clock, Model, Runtime, RuntimeConfig};
+
+/// `live_sim_worker_threads` is process-global, so tests that assert on
+/// it must not overlap with other engine-creating tests in this binary.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((start + 7 * r * cols + 3 * c) % 19) as f64 - 9.0
+    })
+}
+
+fn model_factors(shapes: &[(usize, usize)], seed: usize) -> Vec<Matrix<f64>> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, q))| seq_matrix(p, q, seed + 5 * i + 1))
+        .collect()
+}
+
+fn oracle(x: &Matrix<f64>, factors: &[Matrix<f64>]) -> Matrix<f64> {
+    let refs: Vec<&Matrix<f64>> = factors.iter().collect();
+    kron_matmul_shuffle(x, &refs).unwrap()
+}
+
+/// Serves one small request against `model` and checks it against the
+/// oracle — the standard "touch this model's cache entry" move.
+fn serve_checked(runtime: &Runtime<f64>, model: &Model<f64>, factors: &[Matrix<f64>], tag: &str) {
+    let x = seq_matrix(2, model.input_cols(), 3);
+    let expected = oracle(&x, factors);
+    let y = runtime.execute(model, x).unwrap();
+    assert_matrices_close(&y, &expected, tag);
+}
+
+#[test]
+fn lru_eviction_order_under_a_capacity_2_cache() {
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        cache: CachePolicy {
+            max_entries: 2,
+            max_idle_us: None,
+        },
+        ..RuntimeConfig::default()
+    });
+    // Three distinct shape chains → three distinct cache keys.
+    let fa = model_factors(&[(2, 2), (2, 2)], 1);
+    let fb = model_factors(&[(3, 3)], 2);
+    let fc = model_factors(&[(4, 4)], 3);
+    let a = runtime.load_model(fa.clone()).unwrap();
+    let b = runtime.load_model(fb.clone()).unwrap();
+    let c = runtime.load_model(fc.clone()).unwrap();
+
+    serve_checked(&runtime, &a, &fa, "warm A");
+    serve_checked(&runtime, &b, &fb, "warm B");
+    let stats = runtime.stats();
+    assert_eq!(stats.cached_entries, 2, "stats: {stats:?}");
+    assert_eq!(stats.evictions, 0, "stats: {stats:?}");
+    assert_eq!(runtime.cached_entries(), 2);
+
+    // C must evict the least-recently-used entry: A.
+    serve_checked(&runtime, &c, &fc, "C evicts A");
+    let stats = runtime.stats();
+    assert_eq!(stats.cached_entries, 2, "stats: {stats:?}");
+    assert_eq!(stats.evictions, 1, "stats: {stats:?}");
+
+    // B survived (cache hit, no new plan) — if the eviction picked the
+    // wrong victim, this would be a miss.
+    let misses_before = runtime.stats().plan_misses;
+    serve_checked(&runtime, &b, &fb, "B survived as MRU");
+    assert_eq!(runtime.stats().plan_misses, misses_before);
+
+    // Re-warm after eviction: A rebuilds (counted), evicting today's LRU
+    // (C), and still serves bit-correct results.
+    serve_checked(&runtime, &a, &fa, "A re-warms");
+    let stats = runtime.stats();
+    assert_eq!(stats.rebuilds, 1, "stats: {stats:?}");
+    assert_eq!(stats.evictions, 2, "stats: {stats:?}");
+    assert_eq!(stats.cached_entries, 2, "stats: {stats:?}");
+    // And the victim really was C, not B.
+    let misses_before = runtime.stats().plan_misses;
+    serve_checked(&runtime, &b, &fb, "B still resident");
+    assert_eq!(runtime.stats().plan_misses, misses_before);
+}
+
+#[test]
+fn idle_timeout_eviction_via_the_test_clock() {
+    let clock = Clock::manual();
+    let time = clock.manual_handle().unwrap();
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        clock,
+        cache: CachePolicy {
+            max_entries: usize::MAX,
+            max_idle_us: Some(1_000),
+        },
+        ..RuntimeConfig::default()
+    });
+    let fa = model_factors(&[(2, 2), (2, 2)], 1);
+    let fb = model_factors(&[(3, 3)], 2);
+    let a = runtime.load_model(fa.clone()).unwrap();
+    let b = runtime.load_model(fb.clone()).unwrap();
+
+    // A used at t=0; B at t=500.
+    serve_checked(&runtime, &a, &fa, "A at t=0");
+    time.advance_us(500);
+    serve_checked(&runtime, &b, &fb, "B at t=500");
+    assert_eq!(runtime.cached_entries(), 2);
+
+    // t=1600: A is 1600us idle (> 1000), B only 1100... also expired.
+    // First check the boundary: at t=1400, A (1400) is out, B (900) is
+    // not.
+    time.advance_us(900);
+    assert_eq!(runtime.sweep(), 1, "exactly A expires at t=1400");
+    let stats = runtime.stats();
+    assert_eq!(stats.evictions, 1, "stats: {stats:?}");
+    assert_eq!(stats.cached_entries, 1, "stats: {stats:?}");
+
+    // A sweep with nothing expired is a no-op.
+    assert_eq!(runtime.sweep(), 0);
+
+    // The scheduler also sweeps on its own cycle boundary: advance far
+    // past B's timeout and serve A — B's entry goes without an explicit
+    // sweep() call, while A rebuilds and serves correctly.
+    time.advance_us(10_000);
+    serve_checked(&runtime, &a, &fa, "A re-warms after idle eviction");
+    let stats = runtime.stats();
+    assert_eq!(stats.evictions, 2, "stats: {stats:?}");
+    assert_eq!(stats.rebuilds, 1, "stats: {stats:?}");
+    assert_eq!(stats.cached_entries, 1, "only A remains: {stats:?}");
+}
+
+#[test]
+fn eviction_joins_engine_worker_threads() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let base = kron_dist::live_sim_worker_threads();
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        backend: Backend::Distributed {
+            gpus: 4,
+            p2p: false,
+        },
+        cache: CachePolicy {
+            max_entries: 1,
+            max_idle_us: None,
+        },
+        ..RuntimeConfig::default()
+    });
+    // Both shardable over the {2,2} grid: each entry pins GM·GK = 4
+    // simulated-device threads.
+    let fa = model_factors(&[(4, 4), (4, 4)], 1);
+    let fb = model_factors(&[(8, 8), (8, 8)], 2);
+    let a = runtime.load_model(fa.clone()).unwrap();
+    let b = runtime.load_model(fb.clone()).unwrap();
+
+    serve_checked(&runtime, &a, &fa, "sharded A");
+    assert_eq!(kron_dist::live_sim_worker_threads(), base + 4);
+
+    // Serving B evicts A under the capacity-1 bound; A's engine must have
+    // joined all 4 workers before B's spawned (never exceeds the bound).
+    serve_checked(&runtime, &b, &fb, "sharded B evicts A");
+    assert_eq!(
+        kron_dist::live_sim_worker_threads(),
+        base + 4,
+        "evicted engine must join its GM*GK workers"
+    );
+    let stats = runtime.stats();
+    assert_eq!(stats.evictions, 1, "stats: {stats:?}");
+    assert_eq!(stats.cached_entries, 1, "stats: {stats:?}");
+
+    // A full rotation back: rebuild works, still bounded.
+    serve_checked(&runtime, &a, &fa, "sharded A re-warms");
+    assert_eq!(kron_dist::live_sim_worker_threads(), base + 4);
+    assert_eq!(runtime.stats().rebuilds, 1);
+
+    // Shutdown tears the last engine down too.
+    runtime.shutdown();
+    assert_eq!(kron_dist::live_sim_worker_threads(), base);
+}
+
+#[test]
+fn capacity_bound_holds_while_serving_more_shapes_than_entries() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let base = kron_dist::live_sim_worker_threads();
+    const MAX_ENTRIES: usize = 2;
+    const GPUS: usize = 4;
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        backend: Backend::Distributed {
+            gpus: GPUS,
+            p2p: false,
+        },
+        cache: CachePolicy {
+            max_entries: MAX_ENTRIES,
+            max_idle_us: None,
+        },
+        ..RuntimeConfig::default()
+    });
+    // N > capacity distinct shardable shapes, rotated twice.
+    let factor_sets: Vec<Vec<Matrix<f64>>> = vec![
+        model_factors(&[(4, 4), (4, 4)], 1),
+        model_factors(&[(8, 8), (8, 8)], 2),
+        model_factors(&[(4, 4), (4, 4), (4, 4)], 3),
+        model_factors(&[(2, 2), (2, 2), (2, 2), (2, 2)], 4),
+    ];
+    let models: Vec<Model<f64>> = factor_sets
+        .iter()
+        .map(|fs| runtime.load_model(fs.clone()).unwrap())
+        .collect();
+
+    for round in 0..2 {
+        for (i, model) in models.iter().enumerate() {
+            serve_checked(
+                &runtime,
+                model,
+                &factor_sets[i],
+                &format!("round {round} model {i}"),
+            );
+            // The lifecycle acceptance bound: live engines (counted by
+            // worker threads) never exceed max_entries.
+            let live = kron_dist::live_sim_worker_threads() - base;
+            assert!(
+                live <= MAX_ENTRIES * GPUS,
+                "round {round} model {i}: {live} live workers exceeds the \
+                 {MAX_ENTRIES}-entry bound"
+            );
+            assert!(runtime.cached_entries() <= MAX_ENTRIES);
+        }
+    }
+    let stats = runtime.stats();
+    // 4 shapes through a 2-entry cache, twice: every visit after warmup
+    // evicts and (from round 2) rebuilds.
+    assert!(stats.evictions >= 6, "stats: {stats:?}");
+    assert!(stats.rebuilds >= 4, "stats: {stats:?}");
+    runtime.shutdown();
+    assert_eq!(kron_dist::live_sim_worker_threads(), base);
+}
+
+#[test]
+fn pinned_entry_survives_eviction_pressure_until_released() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let base = kron_dist::live_sim_worker_threads();
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        backend: Backend::Distributed {
+            gpus: 4,
+            p2p: false,
+        },
+        cache: CachePolicy {
+            max_entries: 1,
+            max_idle_us: None,
+        },
+        ..RuntimeConfig::default()
+    });
+    let fa = model_factors(&[(4, 4), (4, 4)], 1);
+    let fb = model_factors(&[(8, 8), (8, 8)], 2);
+    let fc = model_factors(&[(4, 4), (4, 4), (4, 4)], 3);
+    let a = runtime.load_model(fa.clone()).unwrap();
+    let b = runtime.load_model(fb.clone()).unwrap();
+    let c = runtime.load_model(fc.clone()).unwrap();
+
+    // Pin A: builds (and pre-warms) its sharded engine.
+    let pin = runtime.pin_model(&a).unwrap();
+    assert_eq!(kron_dist::live_sim_worker_threads(), base + 4);
+    let misses_after_pin = runtime.stats().plan_misses;
+
+    // Rotate other shapes through the capacity-1 cache. The pinned entry
+    // is exempt: the cache overflows to 2 (pin override) but A is never
+    // the victim.
+    serve_checked(&runtime, &b, &fb, "B under pin");
+    serve_checked(&runtime, &c, &fc, "C under pin");
+    serve_checked(&runtime, &b, &fb, "B again under pin");
+    let stats = runtime.stats();
+    assert!(stats.evictions >= 2, "unpinned shapes churn: {stats:?}");
+
+    // A's entry is still the pinned original: serving it is a pure hit.
+    let hits_before = runtime.stats().plan_hits;
+    serve_checked(&runtime, &a, &fa, "pinned A still warm");
+    let stats = runtime.stats();
+    assert_eq!(stats.plan_hits, hits_before + 1, "stats: {stats:?}");
+    assert_eq!(
+        stats.plan_misses - misses_after_pin,
+        3,
+        "only B, C, B rebuilt"
+    );
+
+    // Release the pin: A becomes evictable again and the bound recovers.
+    drop(pin);
+    serve_checked(&runtime, &b, &fb, "B after unpin");
+    serve_checked(&runtime, &c, &fc, "C after unpin evicts A or B");
+    assert!(runtime.cached_entries() <= 2);
+    let evictions_after_unpin = runtime.stats().evictions;
+    assert!(evictions_after_unpin >= 4, "stats: {:?}", runtime.stats());
+    runtime.shutdown();
+    assert_eq!(kron_dist::live_sim_worker_threads(), base);
+}
+
+#[test]
+fn cache_keys_reflect_residency() {
+    let runtime = Runtime::<f64>::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        cache: CachePolicy {
+            max_entries: 2,
+            max_idle_us: None,
+        },
+        ..RuntimeConfig::default()
+    });
+    let fa = model_factors(&[(2, 2), (2, 2)], 1);
+    let a = runtime.load_model(fa.clone()).unwrap();
+    assert!(runtime.cache_keys().is_empty());
+    serve_checked(&runtime, &a, &fa, "warm A");
+    let keys = runtime.cache_keys();
+    assert_eq!(keys.len(), 1);
+    // The batch-capacity entry for A's shape chain: M = max_batch_rows,
+    // K = 4.
+    assert_eq!(keys[0].problem.m, 16);
+    assert_eq!(keys[0].problem.input_cols(), 4);
+}

@@ -48,7 +48,7 @@ pub struct KronCase<T: Element> {
 
 /// SplitMix64 step — the same generator the proptest shim uses, reused
 /// here so a case is reconstructible from its literal alone.
-fn splitmix(state: &mut u64) -> u64 {
+pub(crate) fn splitmix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -56,7 +56,7 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn int_matrix<T: Element>(rows: usize, cols: usize, state: &mut u64) -> Matrix<T> {
+pub(crate) fn int_matrix<T: Element>(rows: usize, cols: usize, state: &mut u64) -> Matrix<T> {
     let span = (2 * VAL_BOUND + 1) as u64;
     Matrix::from_fn(rows, cols, |_, _| {
         T::from_f64((splitmix(state) % span) as f64 - VAL_BOUND as f64)

@@ -28,6 +28,8 @@
 
 pub mod diff;
 pub mod gen;
+pub mod serve;
 
 pub use diff::{check_all_paths, check_library_paths, check_runtime_paths, DiffElement, DIST_GPUS};
 pub use gen::{worst_case_magnitude, KronCase, ShapeFamily};
+pub use serve::{check_serve_plan, PlannedRequest, ServePlan};

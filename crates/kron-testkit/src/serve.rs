@@ -1,0 +1,298 @@
+//! Deterministic multi-model serving traces and their differential
+//! oracle.
+//!
+//! A [`ServePlan`] is everything a serving run needs, derived purely from
+//! a seed: a mix of models (factor-shape chains plus integer-valued
+//! factor data inside the [`crate::gen`] exactness budget), and an
+//! arrival-ordered request list where each request carries its input,
+//! priority, and optional deadline slack. Replaying the same seed
+//! replays the same trace bit-for-bit.
+//!
+//! [`check_serve_plan`] is the satellite differential oracle: the trace
+//! is served through **both** runtime backends (single-node and the
+//! simulated multi-GPU grid), with consecutive same-model runs submitted
+//! as linked batches and everything carrying its priority/deadline
+//! options — and every result must equal the *per-request planned
+//! execution* (`FastKron::plan` + `execute`, no batching, no runtime)
+//! **bit-for-bit**. Batching, priority reordering, deadline plumbing,
+//! zero-padding for the grid, and cache eviction between requests must
+//! all be value-invisible; on integer-valued operands any divergence is a
+//! hard failure, not rounding.
+
+use crate::diff::DiffElement;
+use crate::gen::{int_matrix, splitmix, worst_case_magnitude};
+use fastkron_core::FastKron;
+use gpu_sim::device::V100;
+use kron_core::{Element, FactorShape, KronProblem, Matrix};
+use kron_runtime::{Runtime, SubmitOptions, Ticket};
+
+/// Factor-shape chains the model mix draws from — all comfortably inside
+/// the `f32` exactness budget, covering pow2-uniform (shardable), odd,
+/// rectangular, and mixed-square families.
+const MODEL_POOL: &[&[(usize, usize)]] = &[
+    &[(4, 4), (4, 4)],
+    &[(2, 2), (2, 2), (2, 2), (2, 2)],
+    &[(8, 8), (8, 8)],
+    &[(3, 3), (3, 3)],
+    &[(2, 3), (3, 2)],
+    &[(4, 4), (4, 4), (4, 4)],
+    &[(5, 5), (2, 2)],
+];
+
+/// One request of a serving trace.
+#[derive(Debug, Clone)]
+pub struct PlannedRequest<T: Element> {
+    /// Index into [`ServePlan::models`].
+    pub model: usize,
+    /// The request input (`m × ∏Pᵢ` of its model).
+    pub x: Matrix<T>,
+    /// Service priority (higher drains first within a window).
+    pub priority: u8,
+    /// Deadline slack in microseconds from submission time, or `None`
+    /// for no deadline. The differential oracle uses generous slacks so
+    /// nothing sheds; admission tests shrink them.
+    pub deadline_slack_us: Option<u64>,
+}
+
+/// A deterministic multi-model serving trace: model mix, arrival order,
+/// priorities, and deadlines, all derived from `(seed)` alone.
+#[derive(Debug, Clone)]
+pub struct ServePlan<T: Element> {
+    /// The factor sets requests are served against.
+    pub models: Vec<Vec<Matrix<T>>>,
+    /// The requests, in arrival order.
+    pub requests: Vec<PlannedRequest<T>>,
+    /// The seed the trace was derived from.
+    pub seed: u64,
+}
+
+impl<T: Element> ServePlan<T> {
+    /// Builds the trace for `seed` — fully deterministic.
+    pub fn deterministic(seed: u64) -> Self {
+        let mut state = seed ^ 0x51ed_2700_94fe_aced;
+        let n_models = 2 + (splitmix(&mut state) % 3) as usize;
+        let pool_base = splitmix(&mut state) as usize;
+        let mut models = Vec::with_capacity(n_models);
+        let mut shapes = Vec::with_capacity(n_models);
+        for i in 0..n_models {
+            let chain = MODEL_POOL[(pool_base + i) % MODEL_POOL.len()];
+            // Budget sanity: the pool is chosen to respect it for f32.
+            let probe = KronProblem::new(
+                1,
+                chain.iter().map(|&(p, q)| FactorShape::new(p, q)).collect(),
+            )
+            .expect("pool shapes are valid");
+            assert!(worst_case_magnitude(&probe) < (1 << 24));
+            let factors: Vec<Matrix<T>> = chain
+                .iter()
+                .map(|&(p, q)| int_matrix(p, q, &mut state))
+                .collect();
+            models.push(factors);
+            shapes.push(chain);
+        }
+
+        let n_requests = 24 + (splitmix(&mut state) % 17) as usize;
+        let mut requests = Vec::with_capacity(n_requests);
+        for _ in 0..n_requests {
+            let model = (splitmix(&mut state) % n_models as u64) as usize;
+            // Mostly batchable sizes, with an occasional solo-path M.
+            let m = if splitmix(&mut state).is_multiple_of(8) {
+                17 + (splitmix(&mut state) % 16) as usize
+            } else {
+                1 + (splitmix(&mut state) % 12) as usize
+            };
+            let k: usize = shapes[model].iter().map(|&(p, _)| p).product();
+            let x = int_matrix(m, k, &mut state);
+            let priority = (splitmix(&mut state) % 4) as u8;
+            let deadline_slack_us = match splitmix(&mut state) % 4 {
+                // A generous minute of slack: exercises the deadline
+                // plumbing without ever shedding.
+                0 => Some(60_000_000),
+                _ => None,
+            };
+            requests.push(PlannedRequest {
+                model,
+                x,
+                priority,
+                deadline_slack_us,
+            });
+        }
+        ServePlan {
+            models,
+            requests,
+            seed,
+        }
+    }
+}
+
+/// Per-request planned-execution oracle for one trace request.
+fn planned_oracle<T: Element>(
+    plan: &ServePlan<T>,
+    req: &PlannedRequest<T>,
+) -> Result<Matrix<T>, String> {
+    let factors = &plan.models[req.model];
+    let refs: Vec<&Matrix<T>> = factors.iter().collect();
+    let shapes = factors
+        .iter()
+        .map(|f| FactorShape::new(f.rows(), f.cols()))
+        .collect();
+    let problem = KronProblem::new(req.x.rows(), shapes)
+        .map_err(|e| format!("trace {} problem invalid: {e}", plan.seed))?;
+    let kplan = FastKron::plan::<T>(&problem, &V100)
+        .map_err(|e| format!("trace {} planning failed: {e}", plan.seed))?;
+    kplan
+        .execute(&req.x, &refs)
+        .map_err(|e| format!("trace {} planned execute failed: {e}", plan.seed))
+}
+
+/// Serves `plan` through `runtime`, submitting consecutive same-model
+/// runs as one linked batch (inheriting one deadline atomically) and
+/// everything else individually, then compares every result bit-for-bit
+/// against `oracles`.
+fn check_on_runtime<T: Element>(
+    name: &str,
+    runtime: &Runtime<T>,
+    plan: &ServePlan<T>,
+    oracles: &[Matrix<T>],
+) -> Result<(), String> {
+    let models: Vec<_> = plan
+        .models
+        .iter()
+        .map(|f| runtime.load_model(f.clone()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("{name}: load_model failed on trace {}: {e}", plan.seed))?;
+
+    let now = runtime.now_us();
+    let opts = |req: &PlannedRequest<T>| SubmitOptions {
+        priority: req.priority,
+        deadline_us: req.deadline_slack_us.map(|slack| now + slack),
+    };
+
+    // Submit the whole trace as a burst (maximum co-batching pressure),
+    // linking runs of consecutive same-model requests.
+    let mut tickets: Vec<Ticket<T>> = Vec::with_capacity(plan.requests.len());
+    let mut i = 0;
+    while i < plan.requests.len() {
+        let mut j = i + 1;
+        while j < plan.requests.len()
+            && plan.requests[j].model == plan.requests[i].model
+            && plan.requests[j].priority == plan.requests[i].priority
+            && plan.requests[j].deadline_slack_us == plan.requests[i].deadline_slack_us
+        {
+            j += 1;
+        }
+        if j - i > 1 {
+            let group: Vec<_> = plan.requests[i..j]
+                .iter()
+                .map(|r| (&models[r.model], r.x.clone()))
+                .collect();
+            let linked = runtime
+                .submit_linked_with(group, opts(&plan.requests[i]))
+                .map_err(|e| format!("{name}: linked submit failed on trace {}: {e}", plan.seed))?;
+            tickets.extend(linked);
+        } else {
+            let r = &plan.requests[i];
+            tickets.push(
+                runtime
+                    .submit_with(&models[r.model], r.x.clone(), opts(r))
+                    .map_err(|e| format!("{name}: submit failed on trace {}: {e}", plan.seed))?,
+            );
+        }
+        i = j;
+    }
+
+    for (idx, (ticket, oracle)) in tickets.into_iter().zip(oracles.iter()).enumerate() {
+        let got = ticket
+            .wait()
+            .map_err(|e| format!("{name}: request {idx} of trace {} failed: {e}", plan.seed))?;
+        if got.as_slice() != oracle.as_slice() {
+            let req = &plan.requests[idx];
+            return Err(format!(
+                "{name}: request {idx} (model {}, M={}, prio {}) of trace seed {} \
+                 diverged from the per-request planned execution (bit-exact contract)\n  \
+                 regression: ServePlan::<{}>::deterministic({})",
+                req.model,
+                req.x.rows(),
+                req.priority,
+                plan.seed,
+                T::DTYPE.rust_name(),
+                plan.seed,
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The serve-trace differential oracle: every request of `plan`, served
+/// batched/prioritized through both runtime backends, must match its
+/// per-request planned execution bit-for-bit. See the module docs.
+pub fn check_serve_plan<T: DiffElement>(plan: &ServePlan<T>) -> Result<(), String> {
+    let oracles: Vec<Matrix<T>> = plan
+        .requests
+        .iter()
+        .map(|r| planned_oracle(plan, r))
+        .collect::<Result<_, _>>()?;
+    check_on_runtime("serve-single", T::single_runtime(), plan, &oracles)?;
+    check_on_runtime("serve-dist", T::dist_runtime(), plan, &oracles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::KronCase;
+
+    /// Budget guard shared with [`crate::gen`]: every pool chain must
+    /// keep worst-case magnitudes exactly representable in `f32`, or the
+    /// bit-exact serve-trace contract silently becomes a rounding test.
+    #[test]
+    fn every_pool_chain_respects_the_exactness_budget() {
+        for chain in MODEL_POOL {
+            let case = KronCase::<f32>::deterministic(1, chain, 0);
+            assert!(
+                worst_case_magnitude(&case.problem) < (1 << 24),
+                "pool chain {chain:?} breaches the f32 exactness budget"
+            );
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_vary_by_seed() {
+        let a = ServePlan::<f64>::deterministic(7);
+        let b = ServePlan::<f64>::deterministic(7);
+        assert_eq!(a.models.len(), b.models.len());
+        assert_eq!(a.requests.len(), b.requests.len());
+        for (ra, rb) in a.requests.iter().zip(b.requests.iter()) {
+            assert_eq!(ra.model, rb.model);
+            assert_eq!(ra.x, rb.x);
+            assert_eq!(ra.priority, rb.priority);
+            assert_eq!(ra.deadline_slack_us, rb.deadline_slack_us);
+        }
+        let c = ServePlan::<f64>::deterministic(8);
+        assert!(
+            a.requests.len() != c.requests.len()
+                || a.requests
+                    .iter()
+                    .zip(c.requests.iter())
+                    .any(|(x, y)| x.x != y.x),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn traces_mix_models_priorities_and_sizes() {
+        let plan = ServePlan::<f32>::deterministic(3);
+        assert!(plan.models.len() >= 2);
+        assert!(plan.requests.len() >= 24);
+        let models_hit: std::collections::HashSet<_> =
+            plan.requests.iter().map(|r| r.model).collect();
+        assert!(models_hit.len() >= 2, "trace must mix models");
+        let prios: std::collections::HashSet<_> =
+            plan.requests.iter().map(|r| r.priority).collect();
+        assert!(prios.len() >= 2, "trace must mix priorities");
+    }
+
+    #[test]
+    fn known_trace_passes_the_differential_oracle() {
+        check_serve_plan(&ServePlan::<f64>::deterministic(1)).unwrap();
+    }
+}

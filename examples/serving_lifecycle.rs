@@ -1,0 +1,133 @@
+//! Serving lifecycle: a capacity-bounded plan cache serving a rotating
+//! model set, with pinning, idle eviction, deadlines, priorities, and the
+//! adaptive linger window — the admission-control layer on top of the
+//! batching runtime.
+//!
+//! Run with `cargo run --release --example serving_lifecycle`.
+
+use fastkron::prelude::*;
+use kron_runtime::Model;
+
+fn factors_for(shapes: &[(usize, usize)], seed: usize) -> Vec<Matrix<f32>> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, q))| {
+            Matrix::from_fn(p, q, |r, c| ((seed + 5 * i + r * q + c) % 11) as f32 - 5.0)
+        })
+        .collect()
+}
+
+fn main() {
+    // A bounded runtime over the simulated 4-GPU machine: at most TWO
+    // resident plan-cache entries (each `Distributed` entry pins GM·GK
+    // parked device threads, so the bound is also a thread/memory
+    // bound), entries idle > 50 ms age out, and the linger window adapts
+    // to load under a 200 us cap.
+    let runtime = Runtime::<f32>::new(RuntimeConfig {
+        max_batch_rows: 128,
+        batch_max_m: 16,
+        batch_linger_us: 200,
+        adaptive_linger: true,
+        cache: CachePolicy {
+            max_entries: 2,
+            max_idle_us: Some(50_000),
+        },
+        backend: Backend::Distributed { gpus: 4, p2p: true },
+        ..RuntimeConfig::default()
+    });
+
+    // Four distinct model shapes — twice the cache capacity, so serving
+    // the full rotation must evict and rebuild.
+    let model_shapes: &[&[(usize, usize)]] = &[
+        &[(4, 4), (4, 4)],
+        &[(8, 8), (8, 8)],
+        &[(4, 4), (4, 4), (4, 4)],
+        &[(16, 16), (16, 16)],
+    ];
+    let factor_sets: Vec<Vec<Matrix<f32>>> = model_shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| factors_for(s, 3 * i + 1))
+        .collect();
+    let models: Vec<Model<f32>> = factor_sets
+        .iter()
+        .map(|fs| runtime.load_model(fs.clone()).expect("valid model"))
+        .collect();
+
+    // Pin the hot model: model 0 stays resident (and pre-warmed) however
+    // hard the rotation churns the other entries.
+    let _pin = runtime.pin_model(&models[0]).expect("pin hot model");
+    println!(
+        "pinned model 0; live simulated-device threads: {}",
+        live_sim_worker_threads()
+    );
+
+    // Rotate traffic across all four shapes. The cache can hold only two
+    // entries, so models 1–3 churn (evict + rebuild) while model 0 rides
+    // its pin; the worker-thread count stays bounded throughout.
+    for round in 0..3 {
+        for (i, model) in models.iter().enumerate() {
+            let m = 2 + (round + i) % 6;
+            let x = Matrix::<f32>::from_fn(m, model.input_cols(), |r, c| {
+                ((round + i + r + c) % 7) as f32 - 3.0
+            });
+            let y = runtime
+                .submit_with(
+                    model,
+                    x,
+                    SubmitOptions::priority(if i == 0 { 5 } else { 1 })
+                        .with_deadline_us(runtime.now_us() + 5_000_000),
+                )
+                .expect("submit")
+                .wait()
+                .expect("timely request");
+            assert_eq!(y.cols(), model.output_cols());
+        }
+        let s = runtime.stats();
+        println!(
+            "round {round}: entries={} evictions={} rebuilds={} hits/misses={}/{} \
+             live-threads={}",
+            s.cached_entries,
+            s.evictions,
+            s.rebuilds,
+            s.plan_hits,
+            s.plan_misses,
+            live_sim_worker_threads(),
+        );
+    }
+
+    // Deadline admission: a request whose deadline is already in the
+    // past is shed before any execute — the error names both times.
+    let late = runtime
+        .submit_with(
+            &models[0],
+            Matrix::<f32>::from_fn(2, models[0].input_cols(), |r, c| (r + c) as f32),
+            SubmitOptions::default().with_deadline_us(runtime.now_us().saturating_sub(1)),
+        )
+        .expect("accepted at submit; shed at scheduling")
+        .wait();
+    println!("expired-deadline request: {late:?}");
+
+    let s = runtime.stats();
+    println!(
+        "\ntotals: served={} batched={} solo={} deadline_shed={} evictions={} \
+         rebuilds={} linger_now={}us",
+        s.served,
+        s.batched_requests,
+        s.solo_requests,
+        s.deadline_shed,
+        s.evictions,
+        s.rebuilds,
+        s.current_linger_us,
+    );
+
+    // Shutdown drains and joins every engine: no simulated-device thread
+    // survives the runtime.
+    drop(_pin);
+    runtime.shutdown();
+    println!(
+        "after shutdown: live simulated-device threads = {}",
+        live_sim_worker_threads()
+    );
+}

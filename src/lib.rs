@@ -41,6 +41,9 @@ pub mod prelude {
     pub use kron_core::{
         assert_matrices_close, ExecBackend, FactorShape, KronProblem, Matrix, PlanKey,
     };
-    pub use kron_dist::{DistFastKron, GpuGrid, ShardedEngine};
-    pub use kron_runtime::{Backend, Runtime, RuntimeConfig, RuntimeStats, Session, Ticket};
+    pub use kron_dist::{live_sim_worker_threads, DistFastKron, GpuGrid, ShardedEngine};
+    pub use kron_runtime::{
+        adaptive_linger_us, Backend, CachePolicy, Clock, ManualClock, ModelPin, Runtime,
+        RuntimeConfig, RuntimeStats, ServeReceipt, Session, SubmitOptions, Ticket,
+    };
 }

@@ -1,0 +1,38 @@
+//! Serve-trace differential suite: deterministic multi-model request
+//! traces (model mix, arrival order, priorities, deadlines — see
+//! `kron_testkit::ServePlan`) served through the batching/prioritizing
+//! runtime on **both** backends must return results bit-identical to
+//! per-request planned execution, on f32 and f64.
+//!
+//! This is the serving-layer analog of `tests/differential.rs`: where
+//! that suite pins single executions across engines, this one pins the
+//! whole admission-control pipeline — burst submission, linked batches,
+//! priority reordering, deadline plumbing, cross-request row stacking,
+//! grid zero-padding — as value-invisible.
+
+use kron_testkit::{check_serve_plan, ServePlan};
+
+/// Seeds swept per dtype. Each trace is 24–40 requests over 2–4 models.
+const SEEDS: u64 = 4;
+
+#[test]
+fn serve_traces_match_planned_execution_f32() {
+    for seed in 0..SEEDS {
+        check_serve_plan(&ServePlan::<f32>::deterministic(seed)).unwrap();
+    }
+}
+
+#[test]
+fn serve_traces_match_planned_execution_f64() {
+    for seed in 0..SEEDS {
+        check_serve_plan(&ServePlan::<f64>::deterministic(seed)).unwrap();
+    }
+}
+
+/// A pinned larger trace, kept stable as a regression anchor (the sweep
+/// above rotates with `SEEDS`; this one never changes).
+#[test]
+fn pinned_serve_trace_regression() {
+    check_serve_plan(&ServePlan::<f64>::deterministic(0xC0FFEE)).unwrap();
+    check_serve_plan(&ServePlan::<f32>::deterministic(0xC0FFEE)).unwrap();
+}
