@@ -69,7 +69,7 @@ struct CaseResult {
 /// batch; returns wall-clock requests/second and the summed per-request
 /// simulated communication bytes.
 fn serve_scaled(
-    runtime: &Runtime<f32>,
+    runtime: &Runtime,
     factors: &[Matrix<f32>],
     x_all: &Matrix<f32>,
     oracle_rows: &Matrix<f32>,
@@ -95,13 +95,7 @@ fn serve_scaled(
     (SCALED_M as f64 / wall, comm)
 }
 
-fn run_case(
-    dist_rt: &Runtime<f32>,
-    single_rt: &Runtime<f32>,
-    m: usize,
-    p: usize,
-    n: usize,
-) -> CaseResult {
+fn run_case(dist_rt: &Runtime, single_rt: &Runtime, m: usize, p: usize, n: usize) -> CaseResult {
     // Simulated gate at the paper's full M.
     let problem = KronProblem::uniform(m, p, n).expect("valid case");
     let single = DistFastKron::new(&V100, 1).expect("grid");
@@ -186,7 +180,7 @@ fn emit_json(results: &[CaseResult]) -> String {
 }
 
 fn main() {
-    let dist_rt = Runtime::<f32>::new(RuntimeConfig {
+    let dist_rt = Runtime::new(RuntimeConfig {
         max_batch_rows: SCALED_M,
         batch_max_m: SCALED_M,
         max_queue: 64,
@@ -196,7 +190,7 @@ fn main() {
         },
         ..RuntimeConfig::default()
     });
-    let single_rt = Runtime::<f32>::new(RuntimeConfig {
+    let single_rt = Runtime::new(RuntimeConfig {
         max_batch_rows: SCALED_M,
         batch_max_m: SCALED_M,
         max_queue: 64,

@@ -103,7 +103,7 @@ fn run_direct(xs: &[Matrix<f32>], refs: &[&Matrix<f32>]) -> PathResult {
 
 /// Pipelined runtime serving: submit every request, then drain tickets.
 fn run_batched(
-    runtime: &Runtime<f32>,
+    runtime: &Runtime,
     model: &kron_runtime::Model<f32>,
     xs: &[Matrix<f32>],
 ) -> (PathResult, u64) {
@@ -136,7 +136,7 @@ struct CaseResult {
     batches: u64,
 }
 
-fn run_case(runtime: &Runtime<f32>, m: usize, p: usize, n: usize) -> CaseResult {
+fn run_case(runtime: &Runtime, m: usize, p: usize, n: usize) -> CaseResult {
     let problem = KronProblem::uniform(m, p, n).expect("valid case");
     let k = problem.input_cols();
     let factors: Vec<Matrix<f32>> = (0..n).map(|i| seq_matrix(p, p, i + 2)).collect();
@@ -223,7 +223,7 @@ fn emit_json(results: &[CaseResult], threads: usize) -> String {
 }
 
 fn main() {
-    let runtime = Runtime::<f32>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 256,
         batch_max_m: 32,
         max_queue: 2048,

@@ -67,6 +67,16 @@ pub enum KronError {
     },
     /// A request was submitted to a serving runtime that has shut down.
     Shutdown,
+    /// Building this model's execution state alone would exceed the plan
+    /// cache's whole byte budget, so no amount of eviction could admit it
+    /// — a configuration error (the budget is too small for the model),
+    /// surfaced per request rather than silently blowing the bound.
+    CacheBudgetExceeded {
+        /// Estimated bytes the entry would hold resident.
+        required_bytes: usize,
+        /// The configured `CachePolicy::max_bytes` budget.
+        max_bytes: usize,
+    },
 }
 
 impl fmt::Display for KronError {
@@ -98,6 +108,14 @@ impl fmt::Display for KronError {
                 "deadline exceeded: due at {deadline_us}us, scheduled at {now_us}us"
             ),
             KronError::Shutdown => write!(f, "the serving runtime has shut down"),
+            KronError::CacheBudgetExceeded {
+                required_bytes,
+                max_bytes,
+            } => write!(
+                f,
+                "plan-cache byte budget exceeded: entry needs ~{required_bytes} bytes \
+                 but the whole budget is {max_bytes} bytes"
+            ),
         }
     }
 }
@@ -144,6 +162,12 @@ mod tests {
         }
         .to_string();
         assert!(late.contains("500us") && late.contains("1200us"), "{late}");
+        let over = KronError::CacheBudgetExceeded {
+            required_bytes: 4096,
+            max_bytes: 1024,
+        }
+        .to_string();
+        assert!(over.contains("4096") && over.contains("1024"), "{over}");
     }
 
     #[test]

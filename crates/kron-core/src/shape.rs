@@ -275,6 +275,45 @@ impl PlanKey {
             backend: ExecBackend::Grid { gm, gk },
         }
     }
+
+    /// Estimated resident bytes of the execution state a cache entry for
+    /// this key holds — the basis for byte-accounted cache budgets.
+    ///
+    /// Covers the three allocations that dominate an entry's footprint:
+    ///
+    /// * **workspace** — the fused path's two ping-pong intermediate
+    ///   buffers (`2 · max_intermediate_elems`, zero for single-factor
+    ///   chains); under a device grid, the per-device `local`/`next`
+    ///   blocks tile the same two intermediates plus up to four more
+    ///   intermediates' worth of pre-seeded and circulating exchange-part
+    ///   buffers (the engine seeds `4·(GK−1)` parts per worker so
+    ///   exchanges never allocate in steady state),
+    /// * **staging** — the row-stacked batch input/output buffers
+    ///   (`m · (K + L)`),
+    ///
+    /// all scaled by the dtype's element width. It is an accounting
+    /// estimate (plans, channels, and thread stacks are not counted), so
+    /// budgets should treat it as a sizing signal, not an allocator
+    /// ledger.
+    pub fn estimated_bytes(&self) -> usize {
+        let p = &self.problem;
+        let intermediates = if p.num_factors() > 1 {
+            p.max_intermediate_elems()
+        } else {
+            0
+        };
+        let workspace = match self.backend {
+            // Two ping-pong buffers.
+            ExecBackend::SingleDevice => 2 * intermediates,
+            // Per-device local/next blocks tile 2 intermediates across the
+            // grid; the seeded exchange freelists (4·(GK−1) parts of
+            // 1/GK of a block per worker) plus in-flight parts bound
+            // another 4.
+            ExecBackend::Grid { .. } => 6 * p.m * p.max_intermediate_cols(),
+        };
+        let staging = p.m * (p.input_cols() + p.output_cols());
+        (workspace + staging) * self.dtype.bytes()
+    }
 }
 
 impl fmt::Display for PlanKey {
@@ -290,6 +329,24 @@ impl fmt::Display for PlanKey {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn estimated_bytes_scales_with_dtype_backend_and_shape() {
+        let p = KronProblem::uniform(8, 4, 2).unwrap(); // K = L = 16, inter = 8·16
+        let single32 = PlanKey::new(p.clone(), crate::DType::F32, "v100");
+        // workspace 2·128 + staging 8·32 = 512 elems · 4 bytes.
+        assert_eq!(single32.estimated_bytes(), 512 * 4);
+        // f64 doubles it.
+        let single64 = PlanKey::new(p.clone(), crate::DType::F64, "v100");
+        assert_eq!(single64.estimated_bytes(), 512 * 8);
+        // A grid entry accounts more (distributed blocks + exchange).
+        let grid = PlanKey::sharded(p, crate::DType::F32, "v100", 2, 2);
+        assert!(grid.estimated_bytes() > single32.estimated_bytes());
+        // Single-factor chains hold no intermediates, only staging.
+        let one = KronProblem::new(4, vec![FactorShape::square(3)]).unwrap();
+        let key = PlanKey::new(one, crate::DType::F32, "v100");
+        assert_eq!(key.estimated_bytes(), 4 * (3 + 3) * 4);
+    }
 
     #[test]
     fn uniform_sizes() {

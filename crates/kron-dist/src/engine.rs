@@ -274,7 +274,14 @@ impl<T: Element> Worker<T> {
             if dst == self.bk {
                 continue;
             }
-            let mut buf = self.free.pop().unwrap_or_default();
+            // The seeded freelist makes the pop succeed in steady state;
+            // the fallback allocates the full part in one shot so even a
+            // pathological interleaving costs one allocation, not an
+            // amortized-growth series.
+            let mut buf = self
+                .free
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(tgm * part_cols));
             buf.clear();
             for r in 0..tgm {
                 buf.extend_from_slice(&self.local[r * tgk + dst * part_cols..][..part_cols]);
@@ -411,7 +418,17 @@ impl<T: Element> ShardedEngine<T> {
                         .collect(),
                     local: vec![T::ZERO; shape.tgm * shape.tgk],
                     next: vec![T::ZERO; shape.tgm * shape.tgk],
-                    free: Vec::new(),
+                    // Pre-seed enough part buffers that exchanges never
+                    // allocate in steady state, however the recycle sends
+                    // and reclaim drains interleave: per relocation round
+                    // a worker sends `gk-1` parts, and peers can lag a
+                    // couple of rounds behind before the happens-before
+                    // chain forces their recycles to be visible. An empty
+                    // freelist here used to make the zero-allocation
+                    // serving tests timing-dependent.
+                    free: (0..4 * gk.saturating_sub(1))
+                        .map(|_| Vec::with_capacity(shape.tgm * (shape.tgk / gk.max(1))))
+                        .collect(),
                     panel: PackPanel::new(),
                 };
                 let handle = std::thread::Builder::new()

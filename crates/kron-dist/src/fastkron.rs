@@ -183,6 +183,17 @@ impl DistFastKron {
         self.shape(problem).map(|_| ())
     }
 
+    /// [`Self::shardable`] without an engine handle: the same pure
+    /// arithmetic probe against an explicit `grid` — what a plan cache
+    /// uses to predict, *before building anything*, whether a shape will
+    /// shard or fall back to single-device execution.
+    ///
+    /// # Errors
+    /// [`KronError::InvalidGrid`] with the violated constraint.
+    pub fn shardable_over(grid: GpuGrid, problem: &KronProblem) -> Result<()> {
+        dist_shape(grid, problem).map(|_| ())
+    }
+
     /// Builds a caller-owned, reusable [`ShardedEngine`] for `problem` —
     /// the planning-free entry point: persistent simulated-GPU workers,
     /// pre-allocated blocks and exchange buffers, callable many times with

@@ -1,33 +1,52 @@
 //! The shape-keyed plan + workspace cache: the reason steady-state serving
-//! does zero planning and zero allocation per request — now with a
-//! lifecycle.
+//! does zero planning and zero allocation per request — now dtype-erased
+//! and byte-accounted.
 //!
-//! Entries are indexed by `(factor-shape-chain hash, row capacity)` — a
-//! hash over two integers, so lookups themselves are allocation-free —
-//! and each entry carries the full [`PlanKey`] (problem shape × dtype ×
-//! device × backend/grid) for introspection and as the structural
-//! identity the integer key stands in for (every hit re-verifies the full
-//! chain against the entry's key, so a 64-bit hash collision costs one
-//! rebuild, never a wrong-shape workspace). Keying on *shapes* rather
-//! than model identity means same-shape models — the multi-tenant case —
-//! share plans, workspaces, and sharded engines: execution state depends
-//! only on shapes; factor values arrive with each execute. A
-//! capacity-`max_batch_rows` entry serves every small-`M` request and
-//! batch of its shape; solo large-`M` requests get entries at
+//! Entries are indexed by `(DType, factor-shape-chain hash, row capacity)`
+//! — a hash over three small values, so lookups themselves are
+//! allocation-free — and each entry carries the full [`PlanKey`] (problem
+//! shape × dtype × device × backend/grid) for introspection and as the
+//! structural identity the integer key stands in for (every hit
+//! re-verifies the full chain against the entry's key, so a 64-bit hash
+//! collision costs one rebuild, never a wrong-shape workspace). Keying on
+//! *shapes* rather than model identity means same-shape models — the
+//! multi-tenant case — share plans, workspaces, and sharded engines:
+//! execution state depends only on shapes; factor values arrive with each
+//! execute. A capacity-`max_batch_rows` entry serves every small-`M`
+//! request and batch of its shape; solo large-`M` requests get entries at
 //! power-of-two capacities so nearby sizes share workspaces instead of
 //! fragmenting the cache.
+//!
+//! ## One cache for both dtypes
+//!
+//! The map stores [`ErasedPlan`] — an `f32`/`f64` enum over the typed
+//! [`CachedPlan<T>`] — so one cache, one [`CachePolicy`], and one LRU
+//! order span all traffic a mixed-dtype runtime serves. Eviction
+//! pressure from a burst of `f64` models can reclaim idle `f32` entries
+//! and vice versa: the bounds are global, which is the point of serving
+//! both dtypes through one runtime. Typed access in and out goes through
+//! the sealed [`crate::runtime::sealed::ErasedDtype`] hooks — enum
+//! dispatch, no `Box<dyn>` anywhere near the hot path.
 //!
 //! ## Bounded lifecycle
 //!
 //! Left unbounded, a many-model deployment leaks: every `Distributed`
 //! entry pins `GM·GK` parked simulated-device threads plus per-device
-//! buffers forever. [`CachePolicy`] bounds the cache two ways:
+//! buffers forever. [`CachePolicy`] bounds the cache three ways:
 //!
 //! * **LRU capacity** (`max_entries`) — before building an entry that
 //!   would exceed the bound, the least-recently-used unpinned entry is
 //!   evicted, so the number of live engines never exceeds the bound (the
 //!   lifecycle tests assert this by counting live simulated-device
 //!   threads through [`kron_dist::live_sim_worker_threads`]).
+//! * **Byte budget** (`max_bytes`) — every entry is accounted at its
+//!   [`PlanKey::estimated_bytes`] (workspace + batch staging + engine
+//!   footprint), and LRU eviction also runs until the new entry's
+//!   estimate fits the budget *before* it builds. An entry whose estimate
+//!   alone exceeds the whole budget fails with the documented
+//!   [`KronError::CacheBudgetExceeded`] — no amount of eviction could
+//!   admit it. The resident total is the
+//!   [`crate::RuntimeStats::cached_bytes`] gauge.
 //! * **Idle timeout** (`max_idle_us`) — [`PlanCache::sweep_idle`] evicts
 //!   unpinned entries whose last use is older than the timeout on the
 //!   runtime's [`Clock`]; the scheduler sweeps at the start of every
@@ -41,29 +60,32 @@
 //!
 //! Lookups hand out a [`PinnedEntry`] — an `Arc` to the entry plus a pin
 //! count — so an in-flight batch can never have its engine dropped
-//! underneath it: policy eviction (LRU and idle) skips pinned entries
-//! entirely, and the targeted post-`DeviceFailure` eviction
+//! underneath it: policy eviction (LRU, bytes, and idle) skips pinned
+//! entries entirely, and the targeted post-`DeviceFailure` eviction
 //! ([`PlanCache::evict_failed`]) merely detaches the entry from the map —
 //! the engine lives until the last pin drops. [`crate::Runtime::pin_model`]
 //! exposes the same mechanism to clients for keeping a hot model resident.
 //!
 //! Evictions and rebuilds are counted in [`crate::RuntimeStats`]
-//! (`evictions`, `rebuilds`, and the `cached_entries` gauge).
+//! (`evictions`, `rebuilds`, and the `cached_entries` / `cached_bytes`
+//! gauges).
 
 use crate::clock::Clock;
+use crate::runtime::sealed::ErasedDtype;
 use crate::runtime::{Backend, ModelInner, StatsInner};
 use fastkron_core::{FastKron, KronPlan, Workspace};
 use gpu_sim::device::DeviceSpec;
 use gpu_sim::ExecSummary;
-use kron_core::{Element, KronError, KronProblem, Matrix, PlanKey, Result};
+use kron_core::{DType, Element, KronError, KronProblem, Matrix, PlanKey, Result};
 use kron_dist::{CommModel, GpuGrid, ShardedEngine};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Bounds on the plan cache's resident entries (and therefore on live
-/// engines, workspaces, and — under the `Distributed` backend — parked
-/// simulated-device threads).
+/// engines, workspaces, staging buffers, and — under the `Distributed`
+/// backend — parked simulated-device threads). One policy spans every
+/// dtype the runtime serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CachePolicy {
     /// Maximum resident entries. When a build would exceed this, the
@@ -75,6 +97,14 @@ pub struct CachePolicy {
     /// runtime's clock (`None` disables idle eviction). Enforced at the
     /// start of every scheduler cycle and by [`crate::Runtime::sweep`].
     pub max_idle_us: Option<u64>,
+    /// Byte budget over every resident entry's estimated footprint
+    /// ([`PlanKey::estimated_bytes`]: workspace + batch staging + engine
+    /// blocks), across both dtypes (`None` disables byte accounting).
+    /// LRU eviction runs until a new entry's estimate fits *before* it
+    /// builds; an entry larger than the whole budget fails with
+    /// [`KronError::CacheBudgetExceeded`]. As with `max_entries`, pinned
+    /// entries may hold the total over budget until released.
+    pub max_bytes: Option<usize>,
 }
 
 impl Default for CachePolicy {
@@ -82,6 +112,7 @@ impl Default for CachePolicy {
         CachePolicy {
             max_entries: usize::MAX,
             max_idle_us: None,
+            max_bytes: None,
         }
     }
 }
@@ -197,17 +228,38 @@ impl<T: Element> CachedPlan<T> {
     }
 }
 
+/// A dtype-erased cache entry: the typed [`CachedPlan`] behind one of two
+/// enum arms. The map key carries the same [`DType`], so an entry's arm
+/// always matches its key — the typed lanes unwrap with the sealed
+/// [`ErasedDtype::plan_mut`] hook after the lookup verified the dtype.
+pub(crate) enum ErasedPlan {
+    /// `f32` execution state.
+    F32(CachedPlan<f32>),
+    /// `f64` execution state.
+    F64(CachedPlan<f64>),
+}
+
+impl ErasedPlan {
+    /// The structural identity of the entry, whichever dtype it holds.
+    pub(crate) fn key(&self) -> &PlanKey {
+        match self {
+            ErasedPlan::F32(p) => &p.key,
+            ErasedPlan::F64(p) => &p.key,
+        }
+    }
+}
+
 /// A pinned reference to one cache entry. While any pin is alive the
 /// entry is exempt from policy eviction, and the `Arc` guarantees the
 /// engine outlives every in-flight use even if the entry is detached from
 /// the map (post-failure eviction). Dropping the pin releases both.
-pub(crate) struct PinnedEntry<T: Element> {
-    entry: Arc<Mutex<CachedPlan<T>>>,
+pub(crate) struct PinnedEntry {
+    entry: Arc<Mutex<ErasedPlan>>,
     pins: Arc<AtomicUsize>,
 }
 
-impl<T: Element> PinnedEntry<T> {
-    fn new(slot: &Slot<T>) -> Self {
+impl PinnedEntry {
+    fn new(slot: &Slot) -> Self {
         slot.pins.fetch_add(1, Ordering::SeqCst);
         PinnedEntry {
             entry: Arc::clone(&slot.entry),
@@ -216,30 +268,36 @@ impl<T: Element> PinnedEntry<T> {
     }
 
     /// Locks the entry for exclusive use (the scheduler holds this for
-    /// the duration of one gather/execute/scatter).
-    pub(crate) fn lock(&self) -> MutexGuard<'_, CachedPlan<T>> {
+    /// the duration of one gather/execute/scatter). The guard yields the
+    /// erased enum; the lookup that produced this pin already verified
+    /// the dtype, so the lane's typed unwrap cannot fail.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, ErasedPlan> {
         self.entry.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
-impl<T: Element> Drop for PinnedEntry<T> {
+impl Drop for PinnedEntry {
     fn drop(&mut self) {
         self.pins.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-/// Map value: the shared entry, its pin count, and recency bookkeeping.
-struct Slot<T: Element> {
-    entry: Arc<Mutex<CachedPlan<T>>>,
+/// Map value: the shared erased entry, its pin count, recency
+/// bookkeeping, and the byte footprint it is accounted at.
+struct Slot {
+    entry: Arc<Mutex<ErasedPlan>>,
     pins: Arc<AtomicUsize>,
     /// Monotonic touch sequence — the LRU order (deterministic even when
     /// a manual clock never advances).
     last_used_seq: u64,
     /// Clock time of the last touch — the idle-timeout basis.
     last_used_us: u64,
+    /// [`PlanKey::estimated_bytes`] of the built entry — the byte-budget
+    /// accounting unit.
+    bytes: usize,
 }
 
-impl<T: Element> Slot<T> {
+impl Slot {
     fn pinned(&self) -> bool {
         self.pins.load(Ordering::SeqCst) > 0
     }
@@ -249,6 +307,9 @@ impl<T: Element> Slot<T> {
 /// grid and fabric model sharded entries are built against.
 type BackendState = std::result::Result<Option<(GpuGrid, CommModel)>, KronError>;
 
+/// Map key: `(dtype, factor-shape-chain hash, row capacity)`.
+type MapKey = (DType, u64, usize);
+
 /// Bound on the evicted-key memory behind `rebuilds` attribution. Past
 /// this many distinct evicted keys the set resets (rebuild counting is
 /// observability, not correctness) so unbounded model churn cannot leak
@@ -257,30 +318,34 @@ const EVICTED_KEYS_CAP: usize = 4096;
 
 /// Records an evicted key for later rebuild attribution, resetting the
 /// set at [`EVICTED_KEYS_CAP`] instead of growing forever.
-fn note_evicted(evicted_keys: &mut HashSet<(u64, usize)>, key: (u64, usize)) {
+fn note_evicted(evicted_keys: &mut HashSet<MapKey>, key: MapKey) {
     if evicted_keys.len() >= EVICTED_KEYS_CAP {
         evicted_keys.clear();
     }
     evicted_keys.insert(key);
 }
 
-/// Plan/workspace cache keyed by `(factor-shape chain, row capacity)`,
-/// bounded by a [`CachePolicy`]. See the module docs for the lifecycle.
-pub struct PlanCache<T: Element> {
+/// Dtype-spanning plan/workspace cache keyed by `(dtype, factor-shape
+/// chain, row capacity)`, bounded by a [`CachePolicy`]. See the module
+/// docs for the lifecycle.
+pub struct PlanCache {
     device: DeviceSpec,
     backend: BackendState,
     policy: CachePolicy,
     clock: Clock,
-    entries: HashMap<(u64, usize), Slot<T>>,
+    entries: HashMap<MapKey, Slot>,
     /// Keys that were evicted at some point — a later build for one of
     /// them counts as a `rebuild` (cache thrash observability). Keys
     /// only, and capped at [`EVICTED_KEYS_CAP`] (the set resets past
     /// that), so it stays small however long the runtime serves.
-    evicted_keys: HashSet<(u64, usize)>,
+    evicted_keys: HashSet<MapKey>,
     use_seq: u64,
+    /// Sum of every resident slot's `bytes` — the budget's ledger and the
+    /// `cached_bytes` gauge.
+    total_bytes: usize,
 }
 
-impl<T: Element> PlanCache<T> {
+impl PlanCache {
     /// Creates an empty cache building entries for `backend` plans tuned
     /// against `device`, bounded by `policy`, with idle ages measured on
     /// `clock`. An invalid distributed configuration (e.g. a
@@ -306,10 +371,11 @@ impl<T: Element> PlanCache<T> {
             entries: HashMap::new(),
             evicted_keys: HashSet::new(),
             use_seq: 0,
+            total_bytes: 0,
         }
     }
 
-    /// Number of cached entries.
+    /// Number of cached entries (across both dtypes).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -317,6 +383,12 @@ impl<T: Element> PlanCache<T> {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Estimated bytes resident across every cached entry (the
+    /// byte-budget ledger; see [`PlanKey::estimated_bytes`]).
+    pub fn resident_bytes(&self) -> usize {
+        self.total_bytes
     }
 
     /// The structural identities of every cached entry (snapshot).
@@ -327,10 +399,22 @@ impl<T: Element> PlanCache<T> {
                 s.entry
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
-                    .key
+                    .key()
                     .clone()
             })
             .collect()
+    }
+
+    /// Removes one slot from the map and the byte ledger, recording it
+    /// for rebuild attribution. Returns whether it was present.
+    fn remove_slot(&mut self, key: MapKey) -> bool {
+        if let Some(slot) = self.entries.remove(&key) {
+            self.total_bytes -= slot.bytes;
+            note_evicted(&mut self.evicted_keys, key);
+            true
+        } else {
+            false
+        }
     }
 
     /// Evicts the entry after a device failure, so the next batch of the
@@ -338,11 +422,16 @@ impl<T: Element> PlanCache<T> {
     /// inconsistent fabric. Unconditional: a pinned (in-flight) entry is
     /// detached from the map and lives until its last pin drops — it is
     /// never handed out again.
-    pub(crate) fn evict_failed(&mut self, shape_key: u64, capacity: usize, stats: &StatsInner) {
-        if self.entries.remove(&(shape_key, capacity)).is_some() {
-            note_evicted(&mut self.evicted_keys, (shape_key, capacity));
+    pub(crate) fn evict_failed(
+        &mut self,
+        dtype: DType,
+        shape_key: u64,
+        capacity: usize,
+        stats: &StatsInner,
+    ) {
+        if self.remove_slot((dtype, shape_key, capacity)) {
             stats.evictions.fetch_add(1, Ordering::Relaxed);
-            self.update_gauge(stats);
+            self.update_gauges(stats);
         }
     }
 
@@ -356,9 +445,11 @@ impl<T: Element> PlanCache<T> {
         let now = self.clock.now_us();
         let before = self.entries.len();
         let evicted_keys = &mut self.evicted_keys;
+        let total_bytes = &mut self.total_bytes;
         self.entries.retain(|key, slot| {
             let keep = slot.pinned() || now.saturating_sub(slot.last_used_us) <= max_idle;
             if !keep {
+                *total_bytes -= slot.bytes;
                 note_evicted(evicted_keys, *key);
             }
             keep
@@ -366,7 +457,7 @@ impl<T: Element> PlanCache<T> {
         let evicted = before - self.entries.len();
         if evicted > 0 {
             stats.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
-            self.update_gauge(stats);
+            self.update_gauges(stats);
         }
         evicted
     }
@@ -375,20 +466,22 @@ impl<T: Element> PlanCache<T> {
     /// `model`'s shape chain at `capacity` rows, counting the hit or miss
     /// (and the local fallback when the grid cannot shard the model).
     /// Returns the entry pinned; the pin must outlive every use of the
-    /// entry this serve.
-    pub(crate) fn get_or_create(
+    /// entry this serve. The lookup verifies the dtype and the full shape
+    /// chain, so a later [`ErasedDtype::plan_mut`] on the pinned entry is
+    /// infallible.
+    pub(crate) fn get_or_create<T: ErasedDtype>(
         &mut self,
         model: &ModelInner<T>,
         capacity: usize,
         stats: &StatsInner,
-    ) -> Result<PinnedEntry<T>> {
-        let map_key = (model.shape_key, capacity);
+    ) -> Result<PinnedEntry> {
+        let map_key = (T::DTYPE, model.shape_key, capacity);
         self.use_seq += 1;
         let (seq, now) = (self.use_seq, self.clock.now_us());
         if let Some(slot) = self.entries.get_mut(&map_key) {
             let fresh = {
-                let entry = slot.entry.lock().unwrap_or_else(|e| e.into_inner());
-                entry.key.problem.factors == model.shapes
+                let mut entry = slot.entry.lock().unwrap_or_else(|e| e.into_inner());
+                T::plan_mut(&mut entry).is_some_and(|p| p.key.problem.factors == model.shapes)
             };
             slot.last_used_seq = seq;
             slot.last_used_us = now;
@@ -403,10 +496,15 @@ impl<T: Element> PlanCache<T> {
             // alive until it drops.
             stats.plan_misses.fetch_add(1, Ordering::Relaxed);
             let built = Self::build_entry(&self.device, &self.backend, model, capacity, stats)?;
+            let bytes = built.key.estimated_bytes();
             let slot = self.entries.get_mut(&map_key).expect("present above");
-            slot.entry = Arc::new(Mutex::new(built));
+            self.total_bytes = self.total_bytes - slot.bytes + bytes;
+            slot.bytes = bytes;
+            slot.entry = Arc::new(Mutex::new(T::wrap_plan(built)));
             slot.pins = Arc::new(AtomicUsize::new(0));
-            return Ok(PinnedEntry::new(slot));
+            let pinned = PinnedEntry::new(slot);
+            self.update_gauges(stats);
+            return Ok(pinned);
         }
 
         stats.plan_misses.fetch_add(1, Ordering::Relaxed);
@@ -415,31 +513,78 @@ impl<T: Element> PlanCache<T> {
         // stream of doomed requests cannot flush healthy entries.
         self.backend.as_ref().map_err(Clone::clone)?;
         // Make room *before* building, so live engines never exceed the
-        // bound even transiently (the new engine's threads only spawn
-        // after the evicted one's joined). A one-off build failure below
-        // can cost one early eviction; the recurring failure mode is the
-        // backend check above.
-        self.make_room(stats);
+        // entry bound (the new engine's threads only spawn after the
+        // evicted one's joined) and the byte ledger never exceeds the
+        // budget even transiently. The estimate is conservative for a
+        // grid backend whose model later falls back to a (smaller) local
+        // entry; the ledger records the actual built footprint.
+        let estimate = self.estimate_bytes::<T>(model, capacity)?;
+        if let Some(max_bytes) = self.policy.max_bytes {
+            if estimate > max_bytes {
+                return Err(KronError::CacheBudgetExceeded {
+                    required_bytes: estimate,
+                    max_bytes,
+                });
+            }
+        }
+        self.make_room(estimate, stats);
         let built = Self::build_entry(&self.device, &self.backend, model, capacity, stats)?;
+        let bytes = built.key.estimated_bytes();
         if self.evicted_keys.remove(&map_key) {
             stats.rebuilds.fetch_add(1, Ordering::Relaxed);
         }
+        self.total_bytes += bytes;
         let slot = self.entries.entry(map_key).or_insert(Slot {
-            entry: Arc::new(Mutex::new(built)),
+            entry: Arc::new(Mutex::new(T::wrap_plan(built))),
             pins: Arc::new(AtomicUsize::new(0)),
             last_used_seq: seq,
             last_used_us: now,
+            bytes,
         });
         let pinned = PinnedEntry::new(slot);
-        self.update_gauge(stats);
+        self.update_gauges(stats);
         Ok(pinned)
     }
 
+    /// The prospective [`PlanKey::estimated_bytes`] of an entry for
+    /// `model` at `capacity` rows under this cache's backend — computed
+    /// *before* building, so eviction can make room first. Mirrors
+    /// [`Self::build_entry`] exactly, including the documented
+    /// local-fallback for shapes the grid cannot shard (probed with
+    /// [`kron_dist::DistFastKron::shardable_over`], pure arithmetic), so
+    /// the budget check never rejects a model whose actual entry would
+    /// fit.
+    fn estimate_bytes<T: ErasedDtype>(
+        &self,
+        model: &ModelInner<T>,
+        capacity: usize,
+    ) -> Result<usize> {
+        if let Some((grid, _)) = self.backend.as_ref().map_err(Clone::clone)? {
+            let cap = capacity.div_ceil(grid.gm) * grid.gm;
+            let problem = KronProblem::new(cap, model.shapes.clone())?;
+            if kron_dist::DistFastKron::shardable_over(*grid, &problem).is_ok() {
+                let key = PlanKey::sharded(problem, T::DTYPE, self.device.name, grid.gm, grid.gk);
+                return Ok(key.estimated_bytes());
+            }
+            // build_entry will serve this shape through a local entry.
+        }
+        let problem = KronProblem::new(capacity, model.shapes.clone())?;
+        Ok(PlanKey::new(problem, T::DTYPE, self.device.name).estimated_bytes())
+    }
+
     /// Evicts least-recently-used unpinned entries until there is room
-    /// for one more entry under `max_entries`. Stops early if everything
-    /// left is pinned (pins are an explicit override of the bound).
-    fn make_room(&mut self, stats: &StatsInner) {
-        while self.entries.len() >= self.policy.max_entries {
+    /// for one more entry under `max_entries` *and* `incoming_bytes` more
+    /// under `max_bytes`. Stops early if everything left is pinned (pins
+    /// are an explicit override of both bounds).
+    fn make_room(&mut self, incoming_bytes: usize, stats: &StatsInner) {
+        let over = |cache: &Self| {
+            cache.entries.len() >= cache.policy.max_entries
+                || cache
+                    .policy
+                    .max_bytes
+                    .is_some_and(|b| cache.total_bytes + incoming_bytes > b)
+        };
+        while over(self) {
             let lru = self
                 .entries
                 .iter()
@@ -447,20 +592,22 @@ impl<T: Element> PlanCache<T> {
                 .min_by_key(|(_, slot)| slot.last_used_seq)
                 .map(|(key, _)| *key);
             let Some(key) = lru else { break };
-            self.entries.remove(&key);
-            note_evicted(&mut self.evicted_keys, key);
+            self.remove_slot(key);
             stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        self.update_gauge(stats);
+        self.update_gauges(stats);
     }
 
-    fn update_gauge(&self, stats: &StatsInner) {
+    fn update_gauges(&self, stats: &StatsInner) {
         stats
             .cached_entries
             .store(self.entries.len() as u64, Ordering::Relaxed);
+        stats
+            .cached_bytes
+            .store(self.total_bytes as u64, Ordering::Relaxed);
     }
 
-    fn build_entry(
+    fn build_entry<T: ErasedDtype>(
         device: &DeviceSpec,
         backend: &BackendState,
         model: &ModelInner<T>,
@@ -493,7 +640,7 @@ impl<T: Element> PlanCache<T> {
         }
     }
 
-    fn local_entry(
+    fn local_entry<T: ErasedDtype>(
         device: &DeviceSpec,
         model: &ModelInner<T>,
         capacity: usize,
@@ -526,7 +673,15 @@ mod tests {
         ModelInner::build(id, factors).unwrap()
     }
 
-    fn cache(policy: CachePolicy, clock: Clock) -> (PlanCache<f64>, StatsInner) {
+    fn model_f32(shapes: &[(usize, usize)], id: u64) -> ModelInner<f32> {
+        let factors = shapes
+            .iter()
+            .map(|&(p, q)| Matrix::from_fn(p, q, |r, c| (r * q + c) as f32))
+            .collect();
+        ModelInner::build(id, factors).unwrap()
+    }
+
+    fn cache(policy: CachePolicy, clock: Clock) -> (PlanCache, StatsInner) {
         (
             PlanCache::new(V100.clone(), &Backend::SingleNode, policy, clock),
             StatsInner::default(),
@@ -541,6 +696,7 @@ mod tests {
             CachePolicy {
                 max_entries: 1,
                 max_idle_us: Some(100),
+                max_bytes: None,
             },
             clock,
         );
@@ -575,13 +731,107 @@ mod tests {
         let (mut cache, stats) = cache(CachePolicy::default(), Clock::manual());
         let a = model(&[(2, 2)], 0);
         let pin = cache.get_or_create(&a, 4, &stats).unwrap();
-        cache.evict_failed(a.shape_key, 4, &stats);
+        cache.evict_failed(DType::F64, a.shape_key, 4, &stats);
         assert_eq!(cache.len(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
         // The detached entry is still usable through the pin.
-        assert!(!pin.lock().is_sharded());
+        let mut guard = pin.lock();
+        assert!(!<f64 as ErasedDtype>::plan_mut(&mut guard)
+            .expect("f64 entry")
+            .is_sharded());
+        drop(guard);
         drop(pin);
         // And the next lookup is a rebuild.
         let _pin = cache.get_or_create(&a, 4, &stats).unwrap();
         assert_eq!(stats.rebuilds.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn one_cache_holds_both_dtypes_under_one_policy() {
+        let (mut cache, stats) = cache(CachePolicy::default(), Clock::manual());
+        // Same shape chain, both dtypes: two distinct entries (the key
+        // includes the dtype), one ledger.
+        let a64 = model(&[(4, 4), (4, 4)], 0);
+        let a32 = model_f32(&[(4, 4), (4, 4)], 1);
+        let p64 = cache.get_or_create(&a64, 8, &stats).unwrap();
+        let p32 = cache.get_or_create(&a32, 8, &stats).unwrap();
+        assert_eq!(cache.len(), 2);
+        // f64 state accounts twice the bytes of the same-shape f32 state.
+        let keys = cache.keys();
+        let b64 = keys
+            .iter()
+            .find(|k| k.dtype == DType::F64)
+            .unwrap()
+            .estimated_bytes();
+        let b32 = keys
+            .iter()
+            .find(|k| k.dtype == DType::F32)
+            .unwrap()
+            .estimated_bytes();
+        assert_eq!(b64, 2 * b32);
+        assert_eq!(cache.resident_bytes(), b64 + b32);
+        // A second f64 lookup is a hit (4 ops: 2 misses + 2 re-lookups).
+        drop(p64);
+        drop(p32);
+        let _again = cache.get_or_create(&a64, 8, &stats).unwrap();
+        assert_eq!(stats.plan_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.plan_misses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_across_dtypes_before_building() {
+        let a32 = model_f32(&[(4, 4), (4, 4)], 0);
+        let a64 = model(&[(4, 4), (4, 4)], 1);
+        // Budget sized to hold either entry alone, but not both: the f64
+        // build must evict the idle f32 entry first.
+        let one64 = {
+            let (mut probe, stats) = cache(CachePolicy::default(), Clock::manual());
+            let _p = probe.get_or_create(&a64, 8, &stats).unwrap();
+            probe.resident_bytes()
+        };
+        let (mut cache, stats) = cache(
+            CachePolicy {
+                max_entries: usize::MAX,
+                max_idle_us: None,
+                max_bytes: Some(one64),
+            },
+            Clock::manual(),
+        );
+        let p32 = cache.get_or_create(&a32, 8, &stats).unwrap();
+        drop(p32);
+        assert_eq!(cache.len(), 1);
+        let _p64 = cache.get_or_create(&a64, 8, &stats).unwrap();
+        assert_eq!(cache.len(), 1, "f32 entry evicted to fit the budget");
+        assert_eq!(cache.keys()[0].dtype, DType::F64);
+        assert_eq!(stats.evictions.load(Ordering::Relaxed), 1);
+        assert!(cache.resident_bytes() <= one64);
+        assert_eq!(
+            stats.cached_bytes.load(Ordering::Relaxed) as usize,
+            cache.resident_bytes()
+        );
+    }
+
+    #[test]
+    fn entry_larger_than_the_whole_budget_is_a_clean_error() {
+        let (mut cache, stats) = cache(
+            CachePolicy {
+                max_entries: usize::MAX,
+                max_idle_us: None,
+                max_bytes: Some(64),
+            },
+            Clock::manual(),
+        );
+        let a = model(&[(8, 8), (8, 8)], 0);
+        match cache.get_or_create(&a, 32, &stats).map(|_| ()) {
+            Err(KronError::CacheBudgetExceeded {
+                required_bytes,
+                max_bytes,
+            }) => {
+                assert!(required_bytes > max_bytes);
+                assert_eq!(max_bytes, 64);
+            }
+            other => panic!("expected CacheBudgetExceeded, got {other:?}"),
+        }
+        assert!(cache.is_empty(), "nothing was built or leaked");
     }
 }

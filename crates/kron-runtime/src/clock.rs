@@ -1,15 +1,18 @@
 //! Time virtualization for the serving runtime.
 //!
 //! Every time-dependent runtime decision — deadline admission checks,
-//! idle-timeout cache eviction, and the batch-linger window — reads a
-//! [`Clock`] instead of `std::time::Instant` directly. In production the
-//! clock is [`Clock::real`] (monotonic microseconds since the clock was
-//! created); in tests it is [`Clock::manual`], a counter that only moves
-//! when the test calls [`ManualClock::advance_us`]. That makes scheduler
-//! behavior that would otherwise race wall time — "this request's deadline
-//! already passed", "this cache entry has been idle too long", "the linger
-//! window is still open" — fully deterministic: the test decides when time
-//! passes, then observes the exact consequence.
+//! priority aging (queue age raises effective priority; see
+//! [`crate::aged_priority`]), idle-timeout cache eviction, and the
+//! batch-linger window — reads a [`Clock`] instead of
+//! `std::time::Instant` directly. In production the clock is
+//! [`Clock::real`] (monotonic microseconds since the clock was created);
+//! in tests it is [`Clock::manual`], a counter that only moves when the
+//! test calls [`ManualClock::advance_us`]. That makes scheduler behavior
+//! that would otherwise race wall time — "this request's deadline already
+//! passed", "this request has aged past that one's priority", "this cache
+//! entry has been idle too long", "the linger window is still open" —
+//! fully deterministic: the test decides when time passes, then observes
+//! the exact consequence.
 //!
 //! The timeline is a plain `u64` of microseconds starting at zero.
 //! Deadlines ([`crate::SubmitOptions::deadline_us`]) are absolute points

@@ -12,20 +12,38 @@
 //! the fused path's best case by stacking same-model requests row-wise
 //! into one large-`M` execute.
 //!
+//! ## One runtime for mixed `f32`/`f64` traffic
+//!
+//! [`Runtime`] is **not generic**. Like FastKron's and Jhurani's C
+//! interfaces — dtype-polymorphic handles over one engine — a single
+//! runtime serves `f32` and `f64` models side by side: one scheduler
+//! thread, one admission queue (deadlines, aged priorities, and the
+//! serve-sequence counter span both dtypes), and one bounded plan cache
+//! whose keys and byte budget cover all traffic. Models, tickets, and
+//! sessions stay fully typed ([`Model<f32>`], [`Session<f64>`], …); the
+//! typed entry points wrap requests into a two-armed erased enum at the
+//! channel and the scheduler unwraps them into typed per-dtype lanes —
+//! enum dispatch only, no `Box<dyn>` on the hot path, and the
+//! zero-allocation steady state is preserved (the counting-allocator
+//! suite drives interleaved f32/f64 sessions). The scalar types the
+//! runtime accepts are exactly the [`ServeElement`] impls (`f32`, `f64`;
+//! the trait is sealed because the erased enum has one arm per dtype).
+//!
 //! ## Architecture
 //!
 //! ```text
-//!  clients                       scheduler thread              compute
-//!  ───────                      ─────────────────              ───────
-//!  submit(x) ──► [gate] ──► channel ──► batcher ─┬─► plan cache
-//!  Ticket / Session              │  groups same-  │   PlanKey → KronPlan
-//!    ▲                           │  model small-M │   + Workspace
-//!    │                           │  requests      │   + batch buffers
-//!    │                           ▼                ▼
-//!    │                     gather rows      Workspace::execute_rows
-//!    │                     into batch X  ──────► persistent worker pool
-//!    │                           │               (rayon::ThreadPool::global,
-//!    │                           ▼                row tiles / wide mode)
+//!  clients (typed)                 scheduler thread (erased)      compute (typed)
+//!  ───────────────                ──────────────────────────      ───────────────
+//!  submit(x: f32)──► [gate] ──► channel of ErasedRequest ─┬─► one PlanCache
+//!  submit(x: f64)──►   │        {F32(..) | F64(..)}       │   (DType, shapes,
+//!  Ticket / Session    │              │                   │    capacity) → plan
+//!    ▲                 │       typed lanes: f32 | f64     │    + workspace
+//!    │                 │       shed expired deadlines     │    + batch buffers
+//!    │                 │       group per model, order by  │    (byte-accounted)
+//!    │                 │       aged prio → deadline →     ▼
+//!    │                 │       arrival (cross-dtype)   Workspace::execute_rows
+//!    │                 ▼              │               ──► persistent worker pool
+//!    │           gather rows into typed batch X          (rayon::ThreadPool)
 //!    └──── slot.fill() ◄── scatter rows to per-request Y
 //! ```
 //!
@@ -34,8 +52,8 @@
 //!   task handoff per row tile instead of a thread spawn per execute.
 //!   A single unbatchable small-`M` request still uses every core via the
 //!   exec layer's column-range splitting (wide mode).
-//! * **Plan + workspace cache** — keyed by factor-shape chain and row
-//!   capacity (introspectable as [`kron_core::PlanKey`]s): after the
+//! * **Plan + workspace cache** — keyed by dtype, factor-shape chain, and
+//!   row capacity (introspectable as [`kron_core::PlanKey`]s): after the
 //!   first request of a shape, serving does **zero planning and zero
 //!   allocation** per request — plans, ping-pong workspaces, batch
 //!   buffers, and sharded engines are all reused (proved by
@@ -45,7 +63,9 @@
 //! * **Cross-request batcher** — the scheduler drains the request queue,
 //!   groups same-model requests with `M ≤ batch_max_m`, stacks them
 //!   row-wise into one batch execute (up to `max_batch_rows` rows), and
-//!   scatters results back to each request's output.
+//!   scatters results back to each request's output. Batches are
+//!   per-model and therefore per-dtype; the *order* batches are served in
+//!   is global.
 //!
 //! ## Backends
 //!
@@ -73,31 +93,40 @@
 //! Both backends run the same microkernel
 //! ([`fastkron_core::sliced_multiply_rows_into`]), so on integer-valued
 //! data every execution path agrees bit-for-bit — the invariant the
-//! workspace-wide `kron-testkit` differential harness pins.
+//! workspace-wide `kron-testkit` differential harness pins, including
+//! across mixed-dtype traces through one runtime.
 //!
 //! ## Lifecycle and admission control
 //!
-//! Long-lived many-model deployments get three levers on top of the
+//! Long-lived many-model deployments get these levers on top of the
 //! serving core, all measured on an injectable [`Clock`] (real in
 //! production, manually advanced in tests — which is what makes the
 //! scheduler's timing behavior deterministically testable):
 //!
-//! * **Bounded plan cache** — [`CachePolicy`] caps resident entries (LRU
-//!   eviction, enforced *before* a new entry builds so live engines never
-//!   exceed the bound) and ages idle ones out (`max_idle_us`, swept each
-//!   scheduler cycle and via [`Runtime::sweep`]). Evicting a
+//! * **Bounded plan cache** — [`CachePolicy`] caps resident entries
+//!   (LRU), their **byte footprint** (`max_bytes`, accounted per entry at
+//!   [`kron_core::PlanKey::estimated_bytes`]: workspace + staging +
+//!   engine blocks — eviction runs until the incoming entry fits *before*
+//!   it builds, and an entry larger than the whole budget fails with
+//!   [`kron_core::KronError::CacheBudgetExceeded`]), and ages idle ones
+//!   out (`max_idle_us`, swept each scheduler cycle and via
+//!   [`Runtime::sweep`]). All three bounds span both dtypes. Evicting a
 //!   `Distributed` entry joins its `GM·GK` simulated-device threads
 //!   synchronously. In-flight batches pin their entry, and
 //!   [`Runtime::pin_model`] gives clients the same RAII pin to keep a hot
 //!   model resident; [`RuntimeStats`] counts `evictions`/`rebuilds` and
-//!   gauges `cached_entries`.
+//!   gauges `cached_entries`/`cached_bytes`.
 //! * **Per-request admission control** — [`SubmitOptions`] carries a
-//!   `priority` (higher drains first within a scheduling window) and an
-//!   absolute `deadline_us` on the runtime's clock ([`Runtime::now_us`]);
-//!   a request whose deadline passed before the scheduler picked it up is
-//!   shed with [`kron_core::KronError::DeadlineExceeded`] before any plan
-//!   lookup or execute. [`Runtime::submit_linked_with`] applies one
-//!   deadline to a whole linked group atomically.
+//!   `priority` and an absolute `deadline_us` on the runtime's clock
+//!   ([`Runtime::now_us`]); a request whose deadline passed before the
+//!   scheduler picked it up is shed with
+//!   [`kron_core::KronError::DeadlineExceeded`] before any plan lookup or
+//!   execute. Within a window, service order is **aged priority first**
+//!   ([`aged_priority`]: queue age raises effective priority at one step
+//!   per [`RuntimeConfig::priority_aging_us`], so strict ordering cannot
+//!   starve), then **tightest deadline**, then arrival.
+//!   [`Runtime::submit_linked_with`] applies one deadline to a whole
+//!   linked group atomically.
 //! * **Adaptive linger** — `batch_linger_us` is a cap: the effective
 //!   window ([`adaptive_linger_us`]) collapses to zero under sequential
 //!   traffic and grows to the cap as the smoothed queue depth rises,
@@ -109,24 +138,32 @@
 //! use kron_core::Matrix;
 //! use kron_runtime::Runtime;
 //!
-//! let runtime = Runtime::<f32>::with_defaults();
-//! let factors: Vec<Matrix<f32>> = (0..2).map(|_| Matrix::identity(4)).collect();
-//! let model = runtime.load_model(factors).unwrap();
+//! // One runtime, models of both dtypes.
+//! let runtime = Runtime::with_defaults();
+//! let f32_factors: Vec<Matrix<f32>> = (0..2).map(|_| Matrix::identity(4)).collect();
+//! let f64_factors: Vec<Matrix<f64>> = (0..2).map(|_| Matrix::identity(3)).collect();
+//! let m32 = runtime.load_model(f32_factors).unwrap();
+//! let m64 = runtime.load_model(f64_factors).unwrap();
 //!
-//! // Asynchronous: submit returns a ticket, results arrive batched.
-//! let x = Matrix::<f32>::from_fn(2, 16, |r, c| (r + c) as f32);
-//! let ticket = runtime.submit(&model, x.clone()).unwrap();
-//! let y = ticket.wait().unwrap();
-//! assert_eq!(y, x); // identity factors ⇒ identity map
+//! // Asynchronous: submit returns a typed ticket; mixed-dtype requests
+//! // interleave through the same scheduler.
+//! let x32 = Matrix::<f32>::from_fn(2, 16, |r, c| (r + c) as f32);
+//! let x64 = Matrix::<f64>::from_fn(2, 9, |r, c| (r * 2 + c) as f64);
+//! let t32 = runtime.submit(&m32, x32.clone()).unwrap();
+//! let t64 = runtime.submit(&m64, x64.clone()).unwrap();
+//! assert_eq!(t32.wait().unwrap(), x32); // identity factors ⇒ identity map
+//! assert_eq!(t64.wait().unwrap(), x64);
 //!
 //! // Synchronous convenience.
-//! let y2 = runtime.execute(&model, x).unwrap();
-//! assert_eq!(y2, y);
+//! let y = runtime.execute(&m32, x32.clone()).unwrap();
+//! assert_eq!(y, x32);
+//! let stats = runtime.stats();
+//! assert_eq!(stats.requests_f32 + stats.requests_f64, 3);
 //! ```
 //!
-//! For allocation-free steady-state serving, hold a [`Session`] and
-//! recycle its buffers: [`Session::call`] moves `x`/`y` in and returns
-//! them filled.
+//! For allocation-free steady-state serving, hold a typed [`Session`] per
+//! dtype and recycle its buffers: [`Session::call`] moves `x`/`y` in and
+//! returns them filled.
 
 #![deny(missing_docs)]
 
@@ -138,7 +175,7 @@ mod scheduler;
 pub use cache::{CachePolicy, PlanCache};
 pub use clock::{Clock, ManualClock};
 pub use runtime::{
-    Backend, Model, ModelPin, Runtime, RuntimeConfig, RuntimeStats, ServeReceipt, Session,
-    SubmitOptions, Ticket,
+    Backend, Model, ModelPin, Runtime, RuntimeConfig, RuntimeStats, ServeElement, ServeReceipt,
+    Session, SubmitOptions, Ticket,
 };
-pub use scheduler::adaptive_linger_us;
+pub use scheduler::{adaptive_linger_us, aged_priority};

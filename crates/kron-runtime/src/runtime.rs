@@ -1,6 +1,16 @@
 //! The public runtime: models, request submission, tickets, sessions, and
-//! graceful shutdown. The scheduler thread that serves requests lives in
+//! graceful shutdown — dtype-erased, so **one** runtime serves mixed
+//! `f32`/`f64` traffic through one scheduler thread and one plan cache.
+//! The scheduler thread that serves requests lives in
 //! [`crate::scheduler`].
+//!
+//! The erasure boundary is the request channel: typed entry points
+//! (`submit`, `Session::call`, …) wrap their [`Request<T>`] into the
+//! two-armed [`ErasedRequest`] enum via the sealed [`sealed::ErasedDtype`]
+//! hooks, and the scheduler unwraps into fully-typed per-dtype lanes.
+//! Enum dispatch only — no trait objects, no `Box<dyn>`, and no
+//! allocation on the wrap/unwrap — so the zero-allocation steady-state
+//! contract survives the redesign unchanged.
 
 use crate::cache::{CachePolicy, PinnedEntry, PlanCache};
 use crate::clock::Clock;
@@ -8,7 +18,7 @@ use crate::scheduler::Scheduler;
 use crossbeam::channel::{unbounded, Sender};
 use gpu_sim::device::{DeviceSpec, V100};
 use gpu_sim::ExecSummary;
-use kron_core::{Element, FactorShape, KronError, KronProblem, Matrix, PlanKey, Result};
+use kron_core::{DType, Element, FactorShape, KronError, KronProblem, Matrix, PlanKey, Result};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -54,7 +64,7 @@ pub struct RuntimeConfig {
     /// the fused path on their own). Clamped to `max_batch_rows`.
     pub batch_max_m: usize,
     /// Maximum requests drained from the queue per scheduling cycle (the
-    /// batch window).
+    /// batch window), across both dtypes.
     pub max_queue: usize,
     /// Upper bound on how long the scheduler lingers after the first
     /// request of a cycle to let more requests arrive and coalesce
@@ -72,13 +82,21 @@ pub struct RuntimeConfig {
     /// lingering the full `batch_linger_us`. `false` restores the fixed
     /// window.
     pub adaptive_linger: bool,
-    /// Bounds on the plan cache (LRU capacity and idle timeout). The
-    /// default is unbounded — production deployments serving many model
-    /// shapes should set [`CachePolicy::max_entries`], since every cached
-    /// `Distributed` entry pins `GM·GK` parked worker threads.
+    /// Microseconds of queue age per effective-priority step (see
+    /// [`crate::aged_priority`]): a request that has waited `n ×
+    /// priority_aging_us` is served as if its priority were `n` higher,
+    /// so sustained high-priority traffic can delay low-priority work but
+    /// never starve it. `0` disables aging (strict static priorities).
+    pub priority_aging_us: u64,
+    /// Bounds on the plan cache (LRU capacity, byte budget, and idle
+    /// timeout), spanning both dtypes. The default is unbounded —
+    /// production deployments serving many model shapes should set
+    /// [`CachePolicy::max_entries`] and/or [`CachePolicy::max_bytes`],
+    /// since every cached `Distributed` entry pins `GM·GK` parked worker
+    /// threads plus its buffers.
     pub cache: CachePolicy,
-    /// The clock deadlines, idle ages, and linger windows are measured
-    /// on. [`Clock::real`] (the default) in production;
+    /// The clock deadlines, queue ages, idle ages, and linger windows are
+    /// measured on. [`Clock::real`] (the default) in production;
     /// [`Clock::manual`] makes scheduler timing decisions deterministic
     /// in tests.
     pub clock: Clock,
@@ -97,6 +115,7 @@ impl Default for RuntimeConfig {
             max_queue: 1024,
             batch_linger_us: 0,
             adaptive_linger: true,
+            priority_aging_us: 1_000,
             cache: CachePolicy::default(),
             clock: Clock::default(),
             device: V100.clone(),
@@ -105,11 +124,16 @@ impl Default for RuntimeConfig {
     }
 }
 
-/// Counters describing what a runtime has done so far.
+/// Counters describing what a runtime has done so far, across every
+/// dtype it serves (the per-dtype split is `requests_f32`/`requests_f64`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RuntimeStats {
     /// Requests accepted by `submit`/`execute`/`Session::call`.
     pub submitted: u64,
+    /// Accepted requests carrying `f32` data.
+    pub requests_f32: u64,
+    /// Accepted requests carrying `f64` data.
+    pub requests_f64: u64,
     /// Requests completed (successfully or with an error reply).
     pub served: u64,
     /// Multi-request fused executes performed.
@@ -132,20 +156,24 @@ pub struct RuntimeStats {
     /// executes (prorated per batch from the engine's capacity-rows
     /// simulation).
     pub comm_bytes: u64,
-    /// Plan-cache entries evicted (LRU capacity, idle timeout, or
-    /// post-device-failure), each tearing down its workspace or sharded
-    /// engine.
+    /// Plan-cache entries evicted (LRU capacity, byte budget, idle
+    /// timeout, or post-device-failure), each tearing down its workspace
+    /// or sharded engine.
     pub evictions: u64,
     /// Plan builds for a shape that had previously been evicted — cache
-    /// thrash; a rising rate means `max_entries` is too small for the
+    /// thrash; a rising rate means the cache bounds are too small for the
     /// live model set.
     pub rebuilds: u64,
     /// Requests shed with [`KronError::DeadlineExceeded`] because their
     /// deadline had already passed when the scheduler picked them up
     /// (they never reached an execute).
     pub deadline_shed: u64,
-    /// Gauge: plan-cache entries currently resident.
+    /// Gauge: plan-cache entries currently resident (both dtypes).
     pub cached_entries: u64,
+    /// Gauge: estimated bytes resident across every plan-cache entry
+    /// (workspace + staging + engine footprint; the
+    /// [`CachePolicy::max_bytes`] accounting basis).
+    pub cached_bytes: u64,
     /// Gauge: the effective linger window of the most recent scheduling
     /// cycle (equals `batch_linger_us` with adaptation off; breathes with
     /// load otherwise).
@@ -156,6 +184,8 @@ pub struct RuntimeStats {
 #[derive(Default)]
 pub(crate) struct StatsInner {
     pub(crate) submitted: AtomicU64,
+    pub(crate) requests_f32: AtomicU64,
+    pub(crate) requests_f64: AtomicU64,
     pub(crate) served: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
@@ -169,6 +199,7 @@ pub(crate) struct StatsInner {
     pub(crate) rebuilds: AtomicU64,
     pub(crate) deadline_shed: AtomicU64,
     pub(crate) cached_entries: AtomicU64,
+    pub(crate) cached_bytes: AtomicU64,
     pub(crate) current_linger_us: AtomicU64,
 }
 
@@ -176,6 +207,8 @@ impl StatsInner {
     fn snapshot(&self) -> RuntimeStats {
         RuntimeStats {
             submitted: self.submitted.load(Ordering::Relaxed),
+            requests_f32: self.requests_f32.load(Ordering::Relaxed),
+            requests_f64: self.requests_f64.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
@@ -189,6 +222,7 @@ impl StatsInner {
             rebuilds: self.rebuilds.load(Ordering::Relaxed),
             deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
             cached_entries: self.cached_entries.load(Ordering::Relaxed),
+            cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
             current_linger_us: self.current_linger_us.load(Ordering::Relaxed),
         }
     }
@@ -199,7 +233,9 @@ impl StatsInner {
 /// Cross-request batching stacks inputs row-wise, which is only valid when
 /// the requests share the *same factor values* — so batching is keyed on
 /// model identity, the serving analog of "register the model once, then
-/// send inputs".
+/// send inputs". Models stay fully typed; the runtime that serves them is
+/// dtype-erased, so `Model<f32>` and `Model<f64>` handles from the same
+/// [`Runtime`] interleave through one scheduler.
 #[derive(Clone)]
 pub struct Model<T: Element> {
     pub(crate) inner: Arc<ModelInner<T>>,
@@ -261,7 +297,8 @@ impl<T: Element> ModelInner<T> {
 
 impl<T: Element> Model<T> {
     /// The runtime-assigned model id (the identity cross-request batching
-    /// and [`KronError::MixedModelBatch`] reports are keyed on).
+    /// and [`KronError::MixedModelBatch`] reports are keyed on). Ids are
+    /// unique across dtypes within one runtime.
     pub fn id(&self) -> u64 {
         self.inner.id
     }
@@ -354,11 +391,15 @@ impl<T: Element> Slot<T> {
 /// A request whose deadline has already passed when the scheduler picks
 /// it up is shed with [`KronError::DeadlineExceeded`] before any plan
 /// lookup or execute. Priorities order service within a scheduling
-/// window: higher-priority model groups (and solo requests) drain first.
+/// window, across both dtypes: higher-(aged-)priority model groups (and
+/// solo requests) drain first, and within one priority level the group
+/// with the tightest deadline goes first (see the scheduler docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SubmitOptions {
     /// Service priority within a scheduling window; higher drains first.
-    /// Default `0`.
+    /// Default `0`. Waiting raises the *effective* priority (see
+    /// [`crate::aged_priority`] and
+    /// [`RuntimeConfig::priority_aging_us`]).
     pub priority: u8,
     /// Absolute deadline in microseconds on the runtime's clock, or
     /// `None` for no deadline.
@@ -382,29 +423,116 @@ impl SubmitOptions {
 }
 
 /// One queued request: input, pre-shaped output, admission-control
-/// options, and the reply slot.
+/// options, the enqueue timestamp (the priority-aging basis), and the
+/// reply slot.
 pub(crate) struct Request<T: Element> {
     pub(crate) model: Arc<ModelInner<T>>,
     pub(crate) x: Matrix<T>,
     pub(crate) y: Matrix<T>,
     pub(crate) priority: u8,
     pub(crate) deadline_us: Option<u64>,
+    /// Clock time the request entered the queue (stamped under the send
+    /// gate); `now - enqueued_us` is the queue age priority aging runs on.
+    pub(crate) enqueued_us: u64,
     pub(crate) slot: Arc<Slot<T>>,
+}
+
+/// A typed request behind the dtype-erased channel: the enum the sealed
+/// [`sealed::ErasedDtype::erase`] hook wraps into and the scheduler's
+/// typed lanes unwrap out of. Plain enum dispatch — the wrap is a move,
+/// never an allocation.
+pub(crate) enum ErasedRequest {
+    /// An `f32` request.
+    F32(Request<f32>),
+    /// An `f64` request.
+    F64(Request<f64>),
 }
 
 /// Messages on the scheduler's channel. `Shutdown` is always the final
 /// message (the gate guarantees no request is sent after it).
-pub(crate) enum Msg<T: Element> {
-    /// A request to serve.
-    Request(Request<T>),
+pub(crate) enum Msg {
+    /// A request to serve, of either dtype.
+    Request(ErasedRequest),
     /// Drain what is queued, then exit.
     Shutdown,
 }
 
+/// The sealed dtype-erasure hooks behind [`ServeElement`].
+///
+/// The module is private, so the trait cannot be named (or implemented)
+/// outside this crate — which is what keeps the erased enum total: every
+/// `T: ServeElement` is exactly one of the two arms, checked nowhere at
+/// runtime on the hot path. (The trait is technically reachable as a
+/// supertrait of the public [`ServeElement`], so its crate-private method
+/// signatures trip `private_interfaces` — allowed deliberately: hiding
+/// those types is the point of sealing.)
+#[allow(private_interfaces)]
+pub(crate) mod sealed {
+    use super::{ErasedRequest, Request};
+    use crate::cache::{CachedPlan, ErasedPlan};
+    use kron_core::Element;
+
+    /// Wrap/unwrap hooks between the typed and erased layers; implemented
+    /// for `f32` and `f64` only.
+    pub trait ErasedDtype: Element {
+        /// Wraps a typed request into the erased channel enum.
+        fn erase(req: Request<Self>) -> ErasedRequest;
+        /// Wraps a typed cache entry into the erased cache enum.
+        fn wrap_plan(plan: CachedPlan<Self>) -> ErasedPlan;
+        /// The typed view of an erased cache entry; `None` when the entry
+        /// holds the other dtype (unreachable after a dtype-keyed lookup,
+        /// handled as a rebuild rather than trusted).
+        fn plan_mut(plan: &mut ErasedPlan) -> Option<&mut CachedPlan<Self>>;
+    }
+
+    impl ErasedDtype for f32 {
+        fn erase(req: Request<Self>) -> ErasedRequest {
+            ErasedRequest::F32(req)
+        }
+        fn wrap_plan(plan: CachedPlan<Self>) -> ErasedPlan {
+            ErasedPlan::F32(plan)
+        }
+        fn plan_mut(plan: &mut ErasedPlan) -> Option<&mut CachedPlan<Self>> {
+            match plan {
+                ErasedPlan::F32(p) => Some(p),
+                ErasedPlan::F64(_) => None,
+            }
+        }
+    }
+
+    impl ErasedDtype for f64 {
+        fn erase(req: Request<Self>) -> ErasedRequest {
+            ErasedRequest::F64(req)
+        }
+        fn wrap_plan(plan: CachedPlan<Self>) -> ErasedPlan {
+            ErasedPlan::F64(plan)
+        }
+        fn plan_mut(plan: &mut ErasedPlan) -> Option<&mut CachedPlan<Self>> {
+            match plan {
+                ErasedPlan::F32(_) => None,
+                ErasedPlan::F64(p) => Some(p),
+            }
+        }
+    }
+}
+
+/// Scalar types the dtype-erased [`Runtime`] serves: `f32` and `f64`.
+///
+/// Sealed — the supertrait lives in a private module — because the
+/// runtime's erased request enum has exactly one arm per dtype; a foreign
+/// `Element` impl could not flow through the channel. Everything generic
+/// over request data (`load_model`, `submit`, `Session::call`, …) bounds
+/// on this.
+pub trait ServeElement: Element + sealed::ErasedDtype {}
+
+impl ServeElement for f32 {}
+impl ServeElement for f64 {}
+
 /// State shared between the runtime handle, its [`Session`]s, and the
-/// scheduler thread.
-pub(crate) struct Shared<T: Element> {
-    tx: Sender<Msg<T>>,
+/// scheduler thread. Dtype-erased: one channel, one cache, one stats
+/// surface for all traffic.
+pub(crate) struct Shared {
+    tx: Sender<Msg>,
     /// `true` once shutdown began. Sends happen *while holding* this
     /// mutex, so every request sent before the scheduler's final drain is
     /// guaranteed to be in the queue ahead of `Shutdown` — nothing is
@@ -415,26 +543,34 @@ pub(crate) struct Shared<T: Element> {
     /// entries, and introspect residency without a scheduler round-trip.
     /// Lock order: the cache lock is never taken while holding an entry
     /// lock.
-    cache: Arc<Mutex<PlanCache<T>>>,
+    cache: Arc<Mutex<PlanCache>>,
     clock: Clock,
 }
 
-impl<T: Element> Shared<T> {
-    fn send_request(&self, req: Request<T>) -> Result<()> {
+impl Shared {
+    fn send_request<T: ServeElement>(&self, req: Request<T>) -> Result<()> {
         self.send_requests(std::iter::once(req))
     }
 
     /// Enqueues several requests atomically under one gate acquisition, so
     /// a linked batch enters the scheduler's queue contiguously (one batch
-    /// window sees it whole) and shutdown cannot split it.
-    fn send_requests(&self, reqs: impl Iterator<Item = Request<T>>) -> Result<()> {
+    /// window sees it whole) and shutdown cannot split it. Stamps every
+    /// request's enqueue time (the priority-aging basis) under the gate.
+    fn send_requests<T: ServeElement>(&self, reqs: impl Iterator<Item = Request<T>>) -> Result<()> {
         let closed = self.gate.lock().unwrap();
         if *closed {
             return Err(KronError::Shutdown);
         }
-        for req in reqs {
+        let now = self.clock.now_us();
+        let dtype_counter = match T::DTYPE {
+            DType::F32 => &self.stats.requests_f32,
+            DType::F64 => &self.stats.requests_f64,
+        };
+        for mut req in reqs {
+            req.enqueued_us = now;
             self.stats.submitted.fetch_add(1, Ordering::Relaxed);
-            let _ = self.tx.send(Msg::Request(req));
+            dtype_counter.fetch_add(1, Ordering::Relaxed);
+            let _ = self.tx.send(Msg::Request(T::erase(req)));
         }
         drop(closed);
         Ok(())
@@ -477,9 +613,10 @@ impl<T: Element> Ticket<T> {
 
     /// Like [`Self::wait`], additionally returning the [`ServeReceipt`]:
     /// the runtime-global serve sequence number (which reveals the order
-    /// the scheduler actually served requests in — how priority tests
-    /// observe that high-priority groups drained first) and the sharded
-    /// execution share of [`Self::wait_with_stats`].
+    /// the scheduler actually served requests in — across both dtypes;
+    /// how priority and deadline-ordering tests observe what drained
+    /// first) and the sharded execution share of
+    /// [`Self::wait_with_stats`].
     ///
     /// # Errors
     /// As [`Self::wait`].
@@ -501,7 +638,7 @@ impl<T: Element> Ticket<T> {
 #[derive(Debug, Clone, Copy)]
 pub struct ServeReceipt {
     /// Runtime-global serve sequence number (0-based): the order the
-    /// scheduler completed requests in.
+    /// scheduler completed requests in, shared across both dtypes.
     pub seq: u64,
     /// The request's prorated share of its sharded execution, when it
     /// rode one (see [`Ticket::wait_with_stats`]).
@@ -514,14 +651,15 @@ pub struct ServeReceipt {
 /// One session serves one request at a time (like one connection) —
 /// [`Session::call`] takes `&mut self` so the reply slot can never carry
 /// two requests at once; concurrency comes from holding several sessions
-/// on several threads.
+/// on several threads. A session is typed; hold one per dtype against the
+/// same erased runtime to serve mixed traffic.
 pub struct Session<T: Element> {
-    shared: Arc<Shared<T>>,
+    shared: Arc<Shared>,
     slot: Arc<Slot<T>>,
     last_summary: Option<ExecSummary>,
 }
 
-impl<T: Element> Session<T> {
+impl<T: ServeElement> Session<T> {
     /// The simulated sharded-execution share of this session's most recent
     /// successful [`Session::call`] (see [`Ticket::wait_with_stats`]);
     /// `None` when it was served on a single device. A `Copy` accessor so
@@ -573,6 +711,7 @@ impl<T: Element> Session<T> {
             y,
             priority: opts.priority,
             deadline_us: opts.deadline_us,
+            enqueued_us: 0,
             slot: Arc::clone(&self.slot),
         })?;
         let reply = self.slot.take_blocking();
@@ -600,19 +739,23 @@ fn validate_request<T: Element>(model: &Model<T>, x: &Matrix<T>) -> Result<()> {
     Ok(())
 }
 
-/// A persistent Kron-Matmul serving runtime: a scheduler thread batching
-/// same-model requests, a shape-keyed plan/workspace cache, and compute on
-/// the process-wide persistent worker pool. See the crate docs for the
+/// A persistent Kron-Matmul serving runtime: **one** scheduler thread
+/// batching same-model requests of either dtype, one shape-keyed
+/// plan/workspace cache spanning `f32` and `f64`, and compute on the
+/// process-wide persistent worker pool. Models, tickets, and sessions
+/// stay typed; the runtime itself is not generic, so a deployment serving
+/// mixed-dtype traffic runs one admission queue and one cache budget
+/// instead of two half-blind ones. See the crate docs for the
 /// architecture.
-pub struct Runtime<T: Element> {
-    shared: Arc<Shared<T>>,
+pub struct Runtime {
+    shared: Arc<Shared>,
     scheduler: Option<JoinHandle<()>>,
     next_model_id: AtomicU64,
     fault: Arc<AtomicUsize>,
     cfg: RuntimeConfig,
 }
 
-impl<T: Element> Runtime<T> {
+impl Runtime {
     /// Starts a runtime with the given configuration (spawns the
     /// scheduler thread).
     pub fn new(mut cfg: RuntimeConfig) -> Self {
@@ -665,12 +808,14 @@ impl<T: Element> Runtime<T> {
         &self.cfg
     }
 
-    /// Registers a factor set to serve requests against.
+    /// Registers a factor set to serve requests against. The model is
+    /// typed (`f32` or `f64`); any mix of loaded models is served by this
+    /// one runtime.
     ///
     /// # Errors
     /// [`KronError::NoFactors`] / [`KronError::EmptyDimension`] for
     /// degenerate factor sets.
-    pub fn load_model(&self, factors: Vec<Matrix<T>>) -> Result<Model<T>> {
+    pub fn load_model<T: ServeElement>(&self, factors: Vec<Matrix<T>>) -> Result<Model<T>> {
         let id = self.next_model_id.fetch_add(1, Ordering::Relaxed);
         Ok(Model {
             inner: Arc::new(ModelInner::build(id, factors)?),
@@ -679,24 +824,28 @@ impl<T: Element> Runtime<T> {
 
     /// Enqueues `Y = X · (F1 ⊗ … ⊗ FN)` and returns a [`Ticket`] for the
     /// result. Same-model small-`M` submissions in flight together are
-    /// batched into one fused execute.
+    /// batched into one fused execute; requests of the other dtype
+    /// interleave through the same scheduler without affecting this
+    /// request's numerics.
     ///
     /// # Errors
     /// Shape mismatches against the model, or [`KronError::Shutdown`].
-    pub fn submit(&self, model: &Model<T>, x: Matrix<T>) -> Result<Ticket<T>> {
+    pub fn submit<T: ServeElement>(&self, model: &Model<T>, x: Matrix<T>) -> Result<Ticket<T>> {
         self.submit_with(model, x, SubmitOptions::default())
     }
 
     /// [`Runtime::submit`] with explicit admission-control options: a
-    /// service priority (higher drains first within a scheduling window)
-    /// and an absolute deadline on the runtime's clock (see
-    /// [`Runtime::now_us`]); a request whose deadline has already passed
-    /// when the scheduler picks it up is shed with
-    /// [`KronError::DeadlineExceeded`] without executing.
+    /// service priority (higher drains first within a scheduling window,
+    /// aged by queue time — see [`crate::aged_priority`]) and an absolute
+    /// deadline on the runtime's clock (see [`Runtime::now_us`]); a
+    /// request whose deadline has already passed when the scheduler picks
+    /// it up is shed with [`KronError::DeadlineExceeded`] without
+    /// executing, and within a window tighter-deadline groups are served
+    /// first at equal priority.
     ///
     /// # Errors
     /// As [`Runtime::submit`].
-    pub fn submit_with(
+    pub fn submit_with<T: ServeElement>(
         &self,
         model: &Model<T>,
         x: Matrix<T>,
@@ -711,6 +860,7 @@ impl<T: Element> Runtime<T> {
             y,
             priority: opts.priority,
             deadline_us: opts.deadline_us,
+            enqueued_us: 0,
             slot: Arc::clone(&slot),
         })?;
         Ok(Ticket { slot })
@@ -720,7 +870,7 @@ impl<T: Element> Runtime<T> {
     ///
     /// # Errors
     /// As [`Runtime::submit`].
-    pub fn execute(&self, model: &Model<T>, x: Matrix<T>) -> Result<Matrix<T>> {
+    pub fn execute<T: ServeElement>(&self, model: &Model<T>, x: Matrix<T>) -> Result<Matrix<T>> {
         self.submit(model, x)?.wait()
     }
 
@@ -740,7 +890,10 @@ impl<T: Element> Runtime<T> {
     /// the same model (row-stacking is only valid against one factor
     /// set); shape mismatches; [`KronError::Shutdown`]. On any error,
     /// nothing is enqueued.
-    pub fn submit_linked(&self, batch: Vec<(&Model<T>, Matrix<T>)>) -> Result<Vec<Ticket<T>>> {
+    pub fn submit_linked<T: ServeElement>(
+        &self,
+        batch: Vec<(&Model<T>, Matrix<T>)>,
+    ) -> Result<Vec<Ticket<T>>> {
         self.submit_linked_with(batch, SubmitOptions::default())
     }
 
@@ -759,7 +912,7 @@ impl<T: Element> Runtime<T> {
     ///
     /// # Errors
     /// As [`Runtime::submit_linked`].
-    pub fn submit_linked_with(
+    pub fn submit_linked_with<T: ServeElement>(
         &self,
         batch: Vec<(&Model<T>, Matrix<T>)>,
         opts: SubmitOptions,
@@ -793,6 +946,7 @@ impl<T: Element> Runtime<T> {
                     y,
                     priority: opts.priority,
                     deadline_us: opts.deadline_us,
+                    enqueued_us: 0,
                     slot,
                 }
             })
@@ -834,19 +988,21 @@ impl<T: Element> Runtime<T> {
 
     /// Builds (if absent) and pins the plan-cache entry serving `model`'s
     /// shape at the batch row capacity. While the returned [`ModelPin`]
-    /// is alive the entry is exempt from LRU and idle eviction — its
-    /// plan, workspaces, and (under the `Distributed` backend) sharded
-    /// engine stay warm however many other shapes rotate through a
-    /// bounded cache. Dropping the pin re-subjects the entry to policy.
+    /// is alive the entry is exempt from LRU, byte-budget, and idle
+    /// eviction — its plan, workspaces, and (under the `Distributed`
+    /// backend) sharded engine stay warm however many other shapes *of
+    /// either dtype* rotate through a bounded cache. Dropping the pin
+    /// re-subjects the entry to policy.
     ///
     /// Also useful as an explicit pre-warm: the first request of a pinned
     /// model never pays planning or engine construction.
     ///
     /// # Errors
     /// Whatever building the entry can raise (e.g. the documented
-    /// [`KronError::InvalidGrid`] on a misconfigured distributed
-    /// backend).
-    pub fn pin_model(&self, model: &Model<T>) -> Result<ModelPin<T>> {
+    /// [`KronError::InvalidGrid`] on a misconfigured distributed backend,
+    /// or [`KronError::CacheBudgetExceeded`] for an entry larger than the
+    /// whole byte budget).
+    pub fn pin_model<T: ServeElement>(&self, model: &Model<T>) -> Result<ModelPin> {
         let mut cache = self.shared.cache.lock().unwrap_or_else(|e| e.into_inner());
         let pinned =
             cache.get_or_create(&model.inner, self.cfg.max_batch_rows, &self.shared.stats)?;
@@ -855,16 +1011,17 @@ impl<T: Element> Runtime<T> {
 
     /// Runs an idle sweep of the plan cache now (the scheduler also
     /// sweeps at the start of every serve cycle): evicts unpinned entries
-    /// idle longer than the policy's `max_idle_us` on the runtime's
-    /// clock, tearing down their workspaces/engines. Returns how many
-    /// entries were evicted. A no-op when idle eviction is disabled.
+    /// of either dtype idle longer than the policy's `max_idle_us` on the
+    /// runtime's clock, tearing down their workspaces/engines. Returns
+    /// how many entries were evicted. A no-op when idle eviction is
+    /// disabled.
     pub fn sweep(&self) -> usize {
         let mut cache = self.shared.cache.lock().unwrap_or_else(|e| e.into_inner());
         cache.sweep_idle(&self.shared.stats)
     }
 
-    /// Number of plan-cache entries currently resident (each owns a
-    /// workspace or a sharded engine).
+    /// Number of plan-cache entries currently resident across both dtypes
+    /// (each owns a workspace or a sharded engine).
     pub fn cached_entries(&self) -> usize {
         self.shared
             .cache
@@ -873,8 +1030,19 @@ impl<T: Element> Runtime<T> {
             .len()
     }
 
-    /// Snapshot of the structural identities ([`PlanKey`]s) of every
-    /// resident plan-cache entry.
+    /// Estimated bytes resident across every plan-cache entry — the
+    /// ledger [`CachePolicy::max_bytes`] budgets against (also the
+    /// [`RuntimeStats::cached_bytes`] gauge).
+    pub fn cached_bytes(&self) -> usize {
+        self.shared
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .resident_bytes()
+    }
+
+    /// Snapshot of the structural identities ([`PlanKey`]s, which carry
+    /// the dtype) of every resident plan-cache entry.
     pub fn cache_keys(&self) -> Vec<PlanKey> {
         self.shared
             .cache
@@ -883,10 +1051,12 @@ impl<T: Element> Runtime<T> {
             .keys()
     }
 
-    /// Opens a [`Session`]: a synchronous connection with a reusable reply
-    /// slot, for allocation-free steady-state serving. Sessions outlive
-    /// shutdown gracefully (calls then return [`KronError::Shutdown`]).
-    pub fn session(&self) -> Session<T> {
+    /// Opens a typed [`Session`]: a synchronous connection with a
+    /// reusable reply slot, for allocation-free steady-state serving.
+    /// Hold one session per dtype to serve mixed traffic through this
+    /// runtime. Sessions outlive shutdown gracefully (calls then return
+    /// [`KronError::Shutdown`]).
+    pub fn session<T: ServeElement>(&self) -> Session<T> {
         Session {
             shared: Arc::clone(&self.shared),
             slot: Arc::new(Slot::new()),
@@ -894,7 +1064,9 @@ impl<T: Element> Runtime<T> {
         }
     }
 
-    /// Snapshot of the serving counters.
+    /// Snapshot of the serving counters (spanning both dtypes; see
+    /// [`RuntimeStats::requests_f32`]/[`RuntimeStats::requests_f64`] for
+    /// the split).
     pub fn stats(&self) -> RuntimeStats {
         self.shared.stats.snapshot()
     }
@@ -921,20 +1093,22 @@ impl<T: Element> Runtime<T> {
     }
 }
 
-impl<T: Element> Drop for Runtime<T> {
+impl Drop for Runtime {
     fn drop(&mut self) {
         self.close();
     }
 }
 
 /// RAII pin on one model's plan-cache entry, from [`Runtime::pin_model`]:
-/// while alive, the entry is exempt from LRU and idle eviction and its
-/// execution state stays warm. Dropping releases the pin.
-pub struct ModelPin<T: Element> {
-    _pinned: PinnedEntry<T>,
+/// while alive, the entry is exempt from LRU, byte-budget, and idle
+/// eviction and its execution state stays warm. Dropping releases the
+/// pin. Not generic — the pin holds the erased entry, so pins for models
+/// of different dtypes can live in one collection.
+pub struct ModelPin {
+    _pinned: PinnedEntry,
 }
 
-impl<T: Element> std::fmt::Debug for ModelPin<T> {
+impl std::fmt::Debug for ModelPin {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ModelPin").finish_non_exhaustive()
     }

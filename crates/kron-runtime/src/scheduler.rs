@@ -1,24 +1,53 @@
-//! The scheduler thread: drains the request channel under an adaptive
-//! linger window, sheds requests whose deadline already passed, orders
-//! the remainder by priority, and executes batches/solos through the
-//! bounded plan cache.
+//! The scheduler thread: drains the dtype-erased request channel under an
+//! adaptive linger window, sheds requests whose deadline already passed,
+//! orders the remainder by aged priority and deadline **across both
+//! dtypes**, and executes batches/solos through the bounded plan cache.
 //!
-//! All scratch state (`pending`, the grouping table, the solo ordering
-//! buffer, the factor-reference slice) is owned and reused across cycles,
-//! so a warmed scheduler serves requests without allocating — the other
-//! half of the crate's zero-allocation steady-state contract (the first
-//! half being the plan cache's reused workspaces and batch buffers). The
+//! ## Erased queue, typed lanes
+//!
+//! One thread serves all traffic: [`ErasedRequest`]s coming off the
+//! channel are unwrapped into two fully-typed [`TypedLane`]s (`f32`,
+//! `f64`), each owning its own gather/scatter scratch — so batch staging,
+//! the fused execute, and result scatter never see an erased value, and
+//! the enum round-trip is a move, not an allocation. What *is* shared is
+//! the admission pipeline: one deadline check, one priority order, one
+//! serve-sequence counter, one plan cache — the scheduler interleaves
+//! `f32` and `f64` work strictly by the global order, not lane by lane.
+//!
+//! ## Service order within a window
+//!
+//! Model groups (and then solos) drain ordered by, in turn:
+//!
+//! 1. **Aged priority**, descending — [`aged_priority`]: the static
+//!    [`crate::SubmitOptions::priority`] plus one step per
+//!    [`crate::RuntimeConfig::priority_aging_us`] of queue age, so a
+//!    starving low-priority group eventually outranks fresh high-priority
+//!    traffic (strict ordering cannot starve).
+//! 2. **Tightest deadline first** — a group's earliest member deadline;
+//!    deadline-less work sorts last within its priority level. Deadlines
+//!    thus shape the *order* of service, not only the shedding of
+//!    already-expired requests.
+//! 3. **Arrival order** — the global (cross-dtype) arrival number breaks
+//!    remaining ties deterministically.
+//!
+//! All scratch state (the lanes' `pending`/grouping/ref-slice buffers and
+//! the global ordering buffers) is owned and reused across cycles, so a
+//! warmed scheduler serves requests without allocating — the other half
+//! of the crate's zero-allocation steady-state contract (the first half
+//! being the plan cache's reused workspaces and batch buffers). The
 //! in-cycle sorts are `sort_unstable` (in-place) for the same reason.
 //!
 //! Every time-dependent decision — the linger window, deadline admission,
-//! the cache's idle sweep — reads the runtime's [`Clock`], so a manual
-//! clock makes the whole scheduling pipeline deterministic for tests.
+//! priority aging, the cache's idle sweep — reads the runtime's
+//! [`Clock`], so a manual clock makes the whole scheduling pipeline
+//! deterministic for tests.
 
-use crate::cache::PlanCache;
+use crate::cache::{CachedPlan, PlanCache};
 use crate::clock::Clock;
-use crate::runtime::{Msg, Reply, Request, RuntimeConfig, StatsInner, NO_FAULT};
+use crate::runtime::sealed::ErasedDtype;
+use crate::runtime::{ErasedRequest, Msg, Reply, Request, RuntimeConfig, StatsInner, NO_FAULT};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
-use kron_core::{Element, KronError, Matrix};
+use kron_core::{DType, Element, KronError, Matrix};
 use std::cmp::Reverse;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -56,52 +85,57 @@ pub fn adaptive_linger_us(cap_us: u64, ewma_depth_x16: u64) -> u64 {
     cap_us * above_one.min(LINGER_SAT_X16) / LINGER_SAT_X16
 }
 
-pub(crate) struct Scheduler<T: Element> {
-    rx: Receiver<Msg<T>>,
-    cfg: RuntimeConfig,
-    /// The plan cache, shared with the runtime handle (client-side pins,
-    /// sweeps, and probes). Never locked while an entry lock is held.
-    cache: Arc<Mutex<PlanCache<T>>>,
-    stats: Arc<StatsInner>,
-    clock: Clock,
-    /// One-shot device-fault flag shared with the runtime handle
-    /// (`NO_FAULT` when disarmed); consumed by the next sharded execute.
-    fault: Arc<AtomicUsize>,
-    /// Smoothed requests-per-cycle in x16 fixed point; drives
-    /// [`adaptive_linger_us`].
-    ewma_depth_x16: u64,
-    /// Requests drained this cycle; `None` marks served slots. Cleared
-    /// (capacity kept) at the end of every cycle.
-    pending: Vec<Option<Request<T>>>,
-    /// Grouping table: `(model id, max priority, pending indices)` per
-    /// batchable model. Entries beyond `groups_used` are retired but keep
-    /// their Vec capacity for reuse.
-    groups: Vec<(u64, u8, Vec<usize>)>,
-    groups_used: usize,
-    /// Reused `(priority, pending index)` buffer for ordering solo
-    /// requests.
-    solo_order: Vec<(u8, usize)>,
-    /// Reused backing store for the `&[&Matrix<T>]` factor slice.
-    refs_scratch: Vec<*const Matrix<T>>,
+/// The effective service priority of a request that has waited
+/// `queued_us` on the queue: its static priority plus one step per
+/// `step_us` of age (`step_us == 0` disables aging). Uncapped and
+/// strictly monotone in the age, so **any** request eventually outranks
+/// **any** static priority — the anti-starvation guarantee. Requests that
+/// entered the queue together age together, so aging never reorders a
+/// burst; it only lifts long-waiting stragglers.
+///
+/// A pure function of clock arithmetic — the deterministic admission
+/// tests pin service order by advancing a manual clock between submits.
+pub fn aged_priority(priority: u8, queued_us: u64, step_us: u64) -> u64 {
+    let boost = queued_us.checked_div(step_us).unwrap_or(0);
+    priority as u64 + boost
 }
 
-// SAFETY: `refs_scratch` only holds pointers transiently within one serve
-// call; the scheduler is moved to its thread once and never shared.
-unsafe impl<T: Element> Send for Scheduler<T> {}
+/// One schedulable unit in the global (cross-dtype) service order: a
+/// model group or a solo request, identified by `(dtype, idx)` into the
+/// owning lane.
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    /// Aged priority (higher first).
+    prio: u64,
+    /// Earliest member deadline (`u64::MAX` when none) — tighter first.
+    deadline: u64,
+    /// Global arrival number of the earliest member — FIFO tie-break.
+    arrival: u64,
+    /// Which lane owns the work.
+    dtype: DType,
+    /// Group index (group phase) or pending index (solo phase) in that
+    /// lane.
+    idx: usize,
+}
 
-/// Builds a `&[&Matrix<T>]` over `factors` in the reused scratch buffer —
-/// no allocation once the scratch has grown to the largest factor count
-/// seen.
-fn refs_of<'a, T: Element>(
-    scratch: &'a mut Vec<*const Matrix<T>>,
-    factors: &'a [Matrix<T>],
-) -> &'a [&'a Matrix<T>] {
-    scratch.clear();
-    scratch.extend(factors.iter().map(|f| f as *const Matrix<T>));
-    // SAFETY: `&Matrix<T>` and `*const Matrix<T>` have identical layout,
-    // every pointer is derived from a live reference in `factors`, and the
-    // returned slice's lifetime ties it to both borrows.
-    unsafe { std::slice::from_raw_parts(scratch.as_ptr().cast::<&Matrix<T>>(), scratch.len()) }
+/// Sort key: aged priority descending, then tightest deadline, then
+/// arrival.
+fn work_key(w: &WorkItem) -> (Reverse<u64>, u64, u64) {
+    (Reverse(w.prio), w.deadline, w.arrival)
+}
+
+/// One batchable model group within a lane's window.
+struct Group {
+    /// Model id the group batches against.
+    model: u64,
+    /// Max aged priority across members.
+    prio: u64,
+    /// Min deadline across members (`u64::MAX` when none carry one).
+    deadline: u64,
+    /// Global arrival number of the first member.
+    arrival: u64,
+    /// Pending indices of the members, in arrival order.
+    idxs: Vec<usize>,
 }
 
 /// The staged-batch execution core shared by the chunk and staged-solo
@@ -111,7 +145,7 @@ fn refs_of<'a, T: Element>(
 /// runs only), and whether the entry must be evicted (device failure —
 /// rebuild the engine rather than trust a possibly inconsistent fabric).
 fn run_staged_batch<T: Element>(
-    entry: &mut crate::cache::CachedPlan<T>,
+    entry: &mut CachedPlan<T>,
     fault: &AtomicUsize,
     stats: &StatsInner,
     refs: &[&Matrix<T>],
@@ -134,11 +168,419 @@ fn run_staged_batch<T: Element>(
     (result, summary, evict)
 }
 
-impl<T: Element> Scheduler<T> {
+/// Builds a `&[&Matrix<T>]` over `factors` in the reused scratch buffer —
+/// no allocation once the scratch has grown to the largest factor count
+/// seen.
+fn refs_of<'a, T: Element>(
+    scratch: &'a mut Vec<*const Matrix<T>>,
+    factors: &'a [Matrix<T>],
+) -> &'a [&'a Matrix<T>] {
+    scratch.clear();
+    scratch.extend(factors.iter().map(|f| f as *const Matrix<T>));
+    // SAFETY: `&Matrix<T>` and `*const Matrix<T>` have identical layout,
+    // every pointer is derived from a live reference in `factors`, and the
+    // returned slice's lifetime ties it to both borrows.
+    unsafe { std::slice::from_raw_parts(scratch.as_ptr().cast::<&Matrix<T>>(), scratch.len()) }
+}
+
+/// One dtype's fully-typed half of the scheduler: the pending window,
+/// grouping table, and execution scratch. Everything request-valued in
+/// here is `T`-typed — the erasure boundary ends at [`Scheduler::enqueue`].
+struct TypedLane<T: ErasedDtype> {
+    /// Requests drained this cycle; `None` marks served slots. Cleared
+    /// (capacity kept) at the end of every cycle.
+    pending: Vec<Option<Request<T>>>,
+    /// Global (cross-dtype) arrival number per pending slot; index
+    /// -parallel with `pending` and valid after the slot is taken.
+    arrivals: Vec<u64>,
+    /// Grouping table; entries beyond `groups_used` are retired but keep
+    /// their Vec capacity for reuse.
+    groups: Vec<Group>,
+    groups_used: usize,
+    /// Reused backing store for the `&[&Matrix<T>]` factor slice.
+    refs_scratch: Vec<*const Matrix<T>>,
+}
+
+// SAFETY: `refs_scratch` only holds pointers transiently within one serve
+// call; the lane lives inside the scheduler, which is moved to its thread
+// once and never shared.
+unsafe impl<T: ErasedDtype> Send for TypedLane<T> {}
+
+impl<T: ErasedDtype> TypedLane<T> {
+    fn new() -> Self {
+        TypedLane {
+            pending: Vec::new(),
+            arrivals: Vec::new(),
+            groups: Vec::new(),
+            groups_used: 0,
+            refs_scratch: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, req: Request<T>, arrival: u64) {
+        self.pending.push(Some(req));
+        self.arrivals.push(arrival);
+    }
+
+    fn clear(&mut self) {
+        self.pending.clear();
+        self.arrivals.clear();
+    }
+
+    /// Admission control: shed requests whose deadline already passed —
+    /// before any plan lookup, gather, or execute.
+    fn shed_expired(&mut self, now: u64, stats: &StatsInner) {
+        for i in 0..self.pending.len() {
+            let expired = self.pending[i]
+                .as_ref()
+                .expect("fresh this cycle")
+                .deadline_us
+                .is_some_and(|d| d < now);
+            if expired {
+                let r = self.pending[i].take().expect("checked above");
+                let deadline_us = r.deadline_us.expect("expired implies a deadline");
+                stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                let seq = stats.served.fetch_add(1, Ordering::Relaxed);
+                r.slot.fill(Reply {
+                    result: Err(KronError::DeadlineExceeded {
+                        deadline_us,
+                        now_us: now,
+                    }),
+                    x: r.x,
+                    y: r.y,
+                    seq,
+                    summary: None,
+                });
+            }
+        }
+    }
+
+    /// Groups batchable requests by model identity, tracking each group's
+    /// strongest aged priority, tightest deadline, and first arrival.
+    fn build_groups(&mut self, batch_max_m: usize, now: u64, aging_us: u64) {
+        for g in &mut self.groups {
+            g.idxs.clear();
+        }
+        self.groups_used = 0;
+        for i in 0..self.pending.len() {
+            let Some(r) = self.pending[i].as_ref() else {
+                continue; // shed above
+            };
+            if r.x.rows() > batch_max_m {
+                continue;
+            }
+            let id = r.model.id;
+            let prio = aged_priority(r.priority, now.saturating_sub(r.enqueued_us), aging_us);
+            let deadline = r.deadline_us.unwrap_or(u64::MAX);
+            match self.groups[..self.groups_used]
+                .iter()
+                .position(|g| g.model == id)
+            {
+                Some(s) => {
+                    let g = &mut self.groups[s];
+                    g.prio = g.prio.max(prio);
+                    g.deadline = g.deadline.min(deadline);
+                    g.idxs.push(i);
+                }
+                None => {
+                    let arrival = self.arrivals[i];
+                    if self.groups_used < self.groups.len() {
+                        let g = &mut self.groups[self.groups_used];
+                        g.model = id;
+                        g.prio = prio;
+                        g.deadline = deadline;
+                        g.arrival = arrival;
+                        g.idxs.push(i);
+                    } else {
+                        self.groups.push(Group {
+                            model: id,
+                            prio,
+                            deadline,
+                            arrival,
+                            idxs: vec![i],
+                        });
+                    }
+                    self.groups_used += 1;
+                }
+            }
+        }
+    }
+
+    /// Appends this lane's groups to the global ordering buffer.
+    fn collect_groups(&self, dtype: DType, out: &mut Vec<WorkItem>) {
+        for (gi, g) in self.groups[..self.groups_used].iter().enumerate() {
+            out.push(WorkItem {
+                prio: g.prio,
+                deadline: g.deadline,
+                arrival: g.arrival,
+                dtype,
+                idx: gi,
+            });
+        }
+    }
+
+    /// Appends everything still pending (large-M and singleton leftovers)
+    /// to the global solo ordering buffer.
+    fn collect_solos(&self, now: u64, aging_us: u64, dtype: DType, out: &mut Vec<WorkItem>) {
+        for (i, slot) in self.pending.iter().enumerate() {
+            if let Some(r) = slot.as_ref() {
+                out.push(WorkItem {
+                    prio: aged_priority(r.priority, now.saturating_sub(r.enqueued_us), aging_us),
+                    deadline: r.deadline_us.unwrap_or(u64::MAX),
+                    arrival: self.arrivals[i],
+                    dtype,
+                    idx: i,
+                });
+            }
+        }
+    }
+
+    /// Serves group `gi` in row-budgeted chunks.
+    fn serve_group(
+        &mut self,
+        gi: usize,
+        cache: &Mutex<PlanCache>,
+        stats: &StatsInner,
+        fault: &AtomicUsize,
+        max_batch_rows: usize,
+    ) {
+        // Move the index list out so `serve_chunk(&mut self)` can run;
+        // restored below to keep its capacity for the next cycle.
+        let idxs = std::mem::take(&mut self.groups[gi].idxs);
+        let mut start = 0;
+        while start < idxs.len() {
+            let mut rows = 0;
+            let mut end = start;
+            while end < idxs.len() {
+                let m = self.pending[idxs[end]].as_ref().expect("unserved").x.rows();
+                if end > start && rows + m > max_batch_rows {
+                    break;
+                }
+                rows += m;
+                end += 1;
+                if rows >= max_batch_rows {
+                    break;
+                }
+            }
+            self.serve_chunk(&idxs[start..end], rows, cache, stats, fault, max_batch_rows);
+            start = end;
+        }
+        self.groups[gi].idxs = idxs;
+    }
+
+    /// Serves a same-model chunk whose rows sum to `total_rows ≤
+    /// max_batch_rows`: gather rows into the cached batch input, one fused
+    /// (or sharded) execute, scatter back. A chunk of one skips the
+    /// grouping bookkeeping via the solo path. The cache entry stays
+    /// pinned for the whole gather/execute/scatter, so no concurrent
+    /// sweep can drop the engine mid-batch.
+    fn serve_chunk(
+        &mut self,
+        idxs: &[usize],
+        total_rows: usize,
+        cache: &Mutex<PlanCache>,
+        stats: &StatsInner,
+        fault: &AtomicUsize,
+        max_batch_rows: usize,
+    ) {
+        debug_assert!(!idxs.is_empty());
+        if idxs.len() == 1 {
+            let r = self.pending[idxs[0]].take().expect("unserved");
+            self.serve_solo(r, cache, stats, fault, max_batch_rows);
+            return;
+        }
+        let model = Arc::clone(&self.pending[idxs[0]].as_ref().expect("unserved").model);
+        let capacity = max_batch_rows;
+        let pinned = {
+            let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.get_or_create(&model, capacity, stats)
+        };
+        let pinned = match pinned {
+            Ok(p) => p,
+            Err(err) => {
+                for &i in idxs {
+                    let r = self.pending[i].take().expect("unserved");
+                    let seq = stats.served.fetch_add(1, Ordering::Relaxed);
+                    r.slot.fill(Reply {
+                        result: Err(err.clone()),
+                        x: r.x,
+                        y: r.y,
+                        seq,
+                        summary: None,
+                    });
+                }
+                return;
+            }
+        };
+        let mut guard = pinned.lock();
+        let entry = T::plan_mut(&mut guard).expect("dtype verified at cache lookup");
+
+        // Gather request rows into the staged batch input.
+        let k = model.input_cols();
+        let l = model.output_cols();
+        {
+            let (bx, _) = entry.batch_buffers();
+            let mut off = 0;
+            for &i in idxs {
+                let r = self.pending[i].as_ref().expect("unserved");
+                let m = r.x.rows();
+                bx.as_mut_slice()[off * k..(off + m) * k].copy_from_slice(r.x.as_slice());
+                off += m;
+            }
+            debug_assert_eq!(off, total_rows);
+        }
+
+        let refs = refs_of(&mut self.refs_scratch, model.factors());
+        let (result, _, evict) = run_staged_batch(entry, fault, stats, refs, total_rows);
+
+        // Scatter results back and reply with each request's prorated
+        // share of the simulated sharded execution.
+        let mut off = 0;
+        for &i in idxs {
+            let mut r = self.pending[i].take().expect("unserved");
+            let m = r.x.rows();
+            let mut summary = None;
+            if result.is_ok() {
+                r.y.as_mut_slice()
+                    .copy_from_slice(&entry.batch_y().as_slice()[off * l..(off + m) * l]);
+                summary = entry.shard_summary(m);
+            }
+            off += m;
+            let seq = stats.served.fetch_add(1, Ordering::Relaxed);
+            stats.batched_requests.fetch_add(1, Ordering::Relaxed);
+            r.slot.fill(Reply {
+                result: result.clone(),
+                x: r.x,
+                y: r.y,
+                seq,
+                summary,
+            });
+        }
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        // Release the entry before touching the cache again (lock order:
+        // never hold an entry lock while taking the cache lock).
+        drop(guard);
+        drop(pinned);
+        if evict {
+            let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.evict_failed(T::DTYPE, model.shape_key, capacity, stats);
+        }
+    }
+
+    /// Takes pending slot `idx` and serves it solo.
+    fn serve_solo_at(
+        &mut self,
+        idx: usize,
+        cache: &Mutex<PlanCache>,
+        stats: &StatsInner,
+        fault: &AtomicUsize,
+        max_batch_rows: usize,
+    ) {
+        if let Some(r) = self.pending[idx].take() {
+            self.serve_solo(r, cache, stats, fault, max_batch_rows);
+        }
+    }
+
+    /// Serves one request on its own. On a local entry it executes
+    /// directly from/to the request's buffers (no staging copies); on a
+    /// sharded entry it stages through the batch buffers so the row count
+    /// can zero-pad to a `GM` multiple. Small requests reuse the
+    /// batch-capacity entry; large ones get power-of-two-capacity entries
+    /// so nearby sizes share workspaces.
+    fn serve_solo(
+        &mut self,
+        mut r: Request<T>,
+        cache: &Mutex<PlanCache>,
+        stats: &StatsInner,
+        fault: &AtomicUsize,
+        max_batch_rows: usize,
+    ) {
+        let m = r.x.rows();
+        let capacity = if m <= max_batch_rows {
+            max_batch_rows
+        } else {
+            m.next_power_of_two()
+        };
+        let mut summary = None;
+        let mut evict = false;
+        let pinned = {
+            let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.get_or_create(&r.model, capacity, stats)
+        };
+        let result = match &pinned {
+            Ok(pinned) => {
+                let mut guard = pinned.lock();
+                let entry = T::plan_mut(&mut guard).expect("dtype verified at cache lookup");
+                let refs = refs_of(&mut self.refs_scratch, r.model.factors());
+                if entry.is_sharded() {
+                    let k = r.model.input_cols();
+                    let l = r.model.output_cols();
+                    {
+                        let (bx, _) = entry.batch_buffers();
+                        bx.as_mut_slice()[..m * k].copy_from_slice(r.x.as_slice());
+                    }
+                    let (result, s, ev) = run_staged_batch(entry, fault, stats, refs, m);
+                    if result.is_ok() {
+                        r.y.as_mut_slice()
+                            .copy_from_slice(&entry.batch_y().as_slice()[..m * l]);
+                        summary = s;
+                    }
+                    evict = ev;
+                    result
+                } else {
+                    entry.run_rows(&r.x, refs, &mut r.y, m)
+                }
+            }
+            Err(err) => Err(err.clone()),
+        };
+        drop(pinned);
+        if evict {
+            let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.evict_failed(T::DTYPE, r.model.shape_key, capacity, stats);
+        }
+        let seq = stats.served.fetch_add(1, Ordering::Relaxed);
+        stats.solo_requests.fetch_add(1, Ordering::Relaxed);
+        r.slot.fill(Reply {
+            result,
+            x: r.x,
+            y: r.y,
+            seq,
+            summary,
+        });
+    }
+}
+
+/// The dtype-erased scheduler: one channel, one window, one service
+/// order; two typed lanes. See the module docs.
+pub(crate) struct Scheduler {
+    rx: Receiver<Msg>,
+    cfg: RuntimeConfig,
+    /// The plan cache, shared with the runtime handle (client-side pins,
+    /// sweeps, and probes). Never locked while an entry lock is held.
+    cache: Arc<Mutex<PlanCache>>,
+    stats: Arc<StatsInner>,
+    clock: Clock,
+    /// One-shot device-fault flag shared with the runtime handle
+    /// (`NO_FAULT` when disarmed); consumed by the next sharded execute.
+    fault: Arc<AtomicUsize>,
+    /// Smoothed requests-per-cycle in x16 fixed point; drives
+    /// [`adaptive_linger_us`].
+    ewma_depth_x16: u64,
+    /// Global arrival counter — the cross-dtype FIFO tie-break.
+    next_arrival: u64,
+    f32_lane: TypedLane<f32>,
+    f64_lane: TypedLane<f64>,
+    /// Reused global ordering buffer for model groups.
+    group_order: Vec<WorkItem>,
+    /// Reused global ordering buffer for solo requests.
+    solo_order: Vec<WorkItem>,
+}
+
+impl Scheduler {
     pub(crate) fn new(
-        rx: Receiver<Msg<T>>,
+        rx: Receiver<Msg>,
         cfg: RuntimeConfig,
-        cache: Arc<Mutex<PlanCache<T>>>,
+        cache: Arc<Mutex<PlanCache>>,
         stats: Arc<StatsInner>,
         fault: Arc<AtomicUsize>,
     ) -> Self {
@@ -151,12 +593,28 @@ impl<T: Element> Scheduler<T> {
             clock,
             fault,
             ewma_depth_x16: 0,
-            pending: Vec::new(),
-            groups: Vec::new(),
-            groups_used: 0,
+            next_arrival: 0,
+            f32_lane: TypedLane::new(),
+            f64_lane: TypedLane::new(),
+            group_order: Vec::new(),
             solo_order: Vec::new(),
-            refs_scratch: Vec::new(),
         }
+    }
+
+    /// Unwraps an erased request into its typed lane, assigning the
+    /// global arrival number.
+    fn enqueue(&mut self, req: ErasedRequest) {
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
+        match req {
+            ErasedRequest::F32(r) => self.f32_lane.push(r, arrival),
+            ErasedRequest::F64(r) => self.f64_lane.push(r, arrival),
+        }
+    }
+
+    /// Requests drained into the current window, across both lanes.
+    fn pending_len(&self) -> usize {
+        self.f32_lane.pending.len() + self.f64_lane.pending.len()
     }
 
     /// The linger window for the next batch cycle: the configured cap,
@@ -176,7 +634,7 @@ impl<T: Element> Scheduler<T> {
             match msg {
                 Msg::Shutdown => shutting = true,
                 Msg::Request(r) => {
-                    self.pending.push(Some(r));
+                    self.enqueue(r);
                     // Batch window: drain whatever is queued right now, up
                     // to the configured cycle size; optionally linger (per
                     // the adaptive policy) to let concurrent clients top
@@ -188,9 +646,9 @@ impl<T: Element> Scheduler<T> {
                         .current_linger_us
                         .store(linger_us, Ordering::Relaxed);
                     let deadline = (linger_us > 0).then(|| self.clock.now_us() + linger_us);
-                    while self.pending.len() < self.cfg.max_queue {
+                    while self.pending_len() < self.cfg.max_queue {
                         match self.rx.try_recv() {
-                            Ok(Msg::Request(r)) => self.pending.push(Some(r)),
+                            Ok(Msg::Request(r)) => self.enqueue(r),
                             Ok(Msg::Shutdown) => {
                                 shutting = true;
                                 break;
@@ -210,7 +668,7 @@ impl<T: Element> Scheduler<T> {
                                     Duration::from_micros(d - now)
                                 };
                                 match self.rx.recv_timeout(wait) {
-                                    Ok(Msg::Request(r)) => self.pending.push(Some(r)),
+                                    Ok(Msg::Request(r)) => self.enqueue(r),
                                     Ok(Msg::Shutdown) => {
                                         shutting = true;
                                         break;
@@ -233,7 +691,7 @@ impl<T: Element> Scheduler<T> {
                 // message, but drain defensively before exiting.
                 loop {
                     match self.rx.try_recv() {
-                        Ok(Msg::Request(r)) => self.pending.push(Some(r)),
+                        Ok(Msg::Request(r)) => self.enqueue(r),
                         Ok(Msg::Shutdown) => {}
                         Err(_) => break,
                     }
@@ -245,16 +703,16 @@ impl<T: Element> Scheduler<T> {
     }
 
     /// Serves everything drained this cycle: expired deadlines shed
-    /// first, then batchable requests grouped by model, ordered by
-    /// priority, and chunked to `max_batch_rows`; the rest solo, also in
-    /// priority order.
+    /// first, then batchable requests grouped by model and served in the
+    /// global aged-priority/deadline/arrival order (interleaving dtypes),
+    /// chunked to `max_batch_rows`; then the solos, in the same order.
     fn serve_pending(&mut self) {
-        if self.pending.is_empty() {
+        let total = self.pending_len();
+        if total == 0 {
             return;
         }
         // Load signal for the next cycle's linger window.
-        let depth = self.pending.len() as u64;
-        self.ewma_depth_x16 = (3 * self.ewma_depth_x16 + 16 * depth) / 4;
+        self.ewma_depth_x16 = (3 * self.ewma_depth_x16 + 16 * total as u64) / 4;
 
         // Cycle-boundary idle sweep (a no-op unless the policy sets
         // `max_idle_us`).
@@ -263,269 +721,73 @@ impl<T: Element> Scheduler<T> {
             cache.sweep_idle(&self.stats);
         }
 
-        // Admission control: shed requests whose deadline already passed
-        // — before any plan lookup, gather, or execute.
         let now = self.clock.now_us();
-        for i in 0..self.pending.len() {
-            let expired = self.pending[i]
-                .as_ref()
-                .expect("fresh this cycle")
-                .deadline_us
-                .is_some_and(|d| d < now);
-            if expired {
-                let r = self.pending[i].take().expect("checked above");
-                let deadline_us = r.deadline_us.expect("expired implies a deadline");
-                self.stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
-                let seq = self.stats.served.fetch_add(1, Ordering::Relaxed);
-                r.slot.fill(Reply {
-                    result: Err(KronError::DeadlineExceeded {
-                        deadline_us,
-                        now_us: now,
-                    }),
-                    x: r.x,
-                    y: r.y,
-                    seq,
-                    summary: None,
-                });
-            }
-        }
+        self.f32_lane.shed_expired(now, &self.stats);
+        self.f64_lane.shed_expired(now, &self.stats);
 
-        // Group batchable requests by model identity, tracking each
-        // group's strongest priority.
-        for g in &mut self.groups {
-            g.2.clear();
-        }
-        self.groups_used = 0;
-        for i in 0..self.pending.len() {
-            let Some(r) = self.pending[i].as_ref() else {
-                continue; // shed above
-            };
-            if r.x.rows() > self.cfg.batch_max_m {
-                continue;
-            }
-            let (id, prio) = (r.model.id, r.priority);
-            match self.groups[..self.groups_used]
-                .iter()
-                .position(|(gid, _, _)| *gid == id)
-            {
-                Some(s) => {
-                    self.groups[s].1 = self.groups[s].1.max(prio);
-                    self.groups[s].2.push(i);
-                }
-                None => {
-                    if self.groups_used < self.groups.len() {
-                        self.groups[self.groups_used].0 = id;
-                        self.groups[self.groups_used].1 = prio;
-                        self.groups[self.groups_used].2.push(i);
-                    } else {
-                        self.groups.push((id, prio, vec![i]));
-                    }
-                    self.groups_used += 1;
-                }
-            }
-        }
+        let aging = self.cfg.priority_aging_us;
+        let batch_max_m = self.cfg.batch_max_m;
+        self.f32_lane.build_groups(batch_max_m, now, aging);
+        self.f64_lane.build_groups(batch_max_m, now, aging);
 
-        // Priority order: strongest group first; ties drain in arrival
-        // order (a group's first pending index is its earliest arrival).
-        self.groups[..self.groups_used].sort_unstable_by_key(|(_, prio, idxs)| {
-            (Reverse(*prio), idxs.first().copied().unwrap_or(usize::MAX))
-        });
-
-        // Serve each group in row-budgeted chunks.
-        for g in 0..self.groups_used {
-            // Move the index list out so `serve_chunk(&mut self)` can run;
-            // restored below to keep its capacity for the next cycle.
-            let idxs = std::mem::take(&mut self.groups[g].2);
-            let mut start = 0;
-            while start < idxs.len() {
-                let mut rows = 0;
-                let mut end = start;
-                while end < idxs.len() {
-                    let m = self.pending[idxs[end]].as_ref().expect("unserved").x.rows();
-                    if end > start && rows + m > self.cfg.max_batch_rows {
-                        break;
-                    }
-                    rows += m;
-                    end += 1;
-                    if rows >= self.cfg.max_batch_rows {
-                        break;
-                    }
-                }
-                self.serve_chunk(&idxs[start..end], rows);
-                start = end;
+        // Global group order: aged priority, then tightest deadline, then
+        // arrival — across both dtypes.
+        self.group_order.clear();
+        self.f32_lane
+            .collect_groups(DType::F32, &mut self.group_order);
+        self.f64_lane
+            .collect_groups(DType::F64, &mut self.group_order);
+        self.group_order.sort_unstable_by_key(work_key);
+        let max_batch_rows = self.cfg.max_batch_rows;
+        for i in 0..self.group_order.len() {
+            let w = self.group_order[i];
+            match w.dtype {
+                DType::F32 => self.f32_lane.serve_group(
+                    w.idx,
+                    &self.cache,
+                    &self.stats,
+                    &self.fault,
+                    max_batch_rows,
+                ),
+                DType::F64 => self.f64_lane.serve_group(
+                    w.idx,
+                    &self.cache,
+                    &self.stats,
+                    &self.fault,
+                    max_batch_rows,
+                ),
             }
-            self.groups[g].2 = idxs;
         }
 
         // Everything left (large-M, or models with batching disabled), in
-        // priority order.
+        // the same global order.
         self.solo_order.clear();
-        for i in 0..self.pending.len() {
-            if let Some(r) = self.pending[i].as_ref() {
-                self.solo_order.push((r.priority, i));
+        self.f32_lane
+            .collect_solos(now, aging, DType::F32, &mut self.solo_order);
+        self.f64_lane
+            .collect_solos(now, aging, DType::F64, &mut self.solo_order);
+        self.solo_order.sort_unstable_by_key(work_key);
+        for i in 0..self.solo_order.len() {
+            let w = self.solo_order[i];
+            match w.dtype {
+                DType::F32 => self.f32_lane.serve_solo_at(
+                    w.idx,
+                    &self.cache,
+                    &self.stats,
+                    &self.fault,
+                    max_batch_rows,
+                ),
+                DType::F64 => self.f64_lane.serve_solo_at(
+                    w.idx,
+                    &self.cache,
+                    &self.stats,
+                    &self.fault,
+                    max_batch_rows,
+                ),
             }
         }
-        self.solo_order
-            .sort_unstable_by_key(|&(prio, i)| (Reverse(prio), i));
-        for k in 0..self.solo_order.len() {
-            let (_, i) = self.solo_order[k];
-            if let Some(r) = self.pending[i].take() {
-                self.serve_solo(r);
-            }
-        }
-        self.pending.clear();
-    }
-
-    /// Serves a same-model chunk whose rows sum to `total_rows ≤
-    /// max_batch_rows`: gather rows into the cached batch input, one fused
-    /// (or sharded) execute, scatter back. A chunk of one skips the
-    /// grouping bookkeeping via the solo path. The cache entry stays
-    /// pinned for the whole gather/execute/scatter, so no concurrent
-    /// sweep can drop the engine mid-batch.
-    fn serve_chunk(&mut self, idxs: &[usize], total_rows: usize) {
-        debug_assert!(!idxs.is_empty());
-        if idxs.len() == 1 {
-            let r = self.pending[idxs[0]].take().expect("unserved");
-            self.serve_solo(r);
-            return;
-        }
-        let model = Arc::clone(&self.pending[idxs[0]].as_ref().expect("unserved").model);
-        let capacity = self.cfg.max_batch_rows;
-        let pinned = {
-            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            cache.get_or_create(&model, capacity, &self.stats)
-        };
-        let pinned = match pinned {
-            Ok(p) => p,
-            Err(err) => {
-                for &i in idxs {
-                    let r = self.pending[i].take().expect("unserved");
-                    let seq = self.stats.served.fetch_add(1, Ordering::Relaxed);
-                    r.slot.fill(Reply {
-                        result: Err(err.clone()),
-                        x: r.x,
-                        y: r.y,
-                        seq,
-                        summary: None,
-                    });
-                }
-                return;
-            }
-        };
-        let mut entry = pinned.lock();
-
-        // Gather request rows into the staged batch input.
-        let k = model.input_cols();
-        let l = model.output_cols();
-        {
-            let (bx, _) = entry.batch_buffers();
-            let mut off = 0;
-            for &i in idxs {
-                let r = self.pending[i].as_ref().expect("unserved");
-                let m = r.x.rows();
-                bx.as_mut_slice()[off * k..(off + m) * k].copy_from_slice(r.x.as_slice());
-                off += m;
-            }
-            debug_assert_eq!(off, total_rows);
-        }
-
-        let refs = refs_of(&mut self.refs_scratch, model.factors());
-        let (result, _, evict) =
-            run_staged_batch(&mut entry, &self.fault, &self.stats, refs, total_rows);
-
-        // Scatter results back and reply with each request's prorated
-        // share of the simulated sharded execution.
-        let mut off = 0;
-        for &i in idxs {
-            let mut r = self.pending[i].take().expect("unserved");
-            let m = r.x.rows();
-            let mut summary = None;
-            if result.is_ok() {
-                r.y.as_mut_slice()
-                    .copy_from_slice(&entry.batch_y().as_slice()[off * l..(off + m) * l]);
-                summary = entry.shard_summary(m);
-            }
-            off += m;
-            let seq = self.stats.served.fetch_add(1, Ordering::Relaxed);
-            self.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
-            r.slot.fill(Reply {
-                result: result.clone(),
-                x: r.x,
-                y: r.y,
-                seq,
-                summary,
-            });
-        }
-        self.stats.batches.fetch_add(1, Ordering::Relaxed);
-        // Release the entry before touching the cache again (lock order:
-        // never hold an entry lock while taking the cache lock).
-        drop(entry);
-        drop(pinned);
-        if evict {
-            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            cache.evict_failed(model.shape_key, capacity, &self.stats);
-        }
-    }
-
-    /// Serves one request on its own. On a local entry it executes
-    /// directly from/to the request's buffers (no staging copies); on a
-    /// sharded entry it stages through the batch buffers so the row count
-    /// can zero-pad to a `GM` multiple. Small requests reuse the
-    /// batch-capacity entry; large ones get power-of-two-capacity entries
-    /// so nearby sizes share workspaces.
-    fn serve_solo(&mut self, mut r: Request<T>) {
-        let m = r.x.rows();
-        let capacity = if m <= self.cfg.max_batch_rows {
-            self.cfg.max_batch_rows
-        } else {
-            m.next_power_of_two()
-        };
-        let mut summary = None;
-        let mut evict = false;
-        let pinned = {
-            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            cache.get_or_create(&r.model, capacity, &self.stats)
-        };
-        let result = match &pinned {
-            Ok(pinned) => {
-                let mut entry = pinned.lock();
-                let refs = refs_of(&mut self.refs_scratch, r.model.factors());
-                if entry.is_sharded() {
-                    let k = r.model.input_cols();
-                    let l = r.model.output_cols();
-                    {
-                        let (bx, _) = entry.batch_buffers();
-                        bx.as_mut_slice()[..m * k].copy_from_slice(r.x.as_slice());
-                    }
-                    let (result, s, ev) =
-                        run_staged_batch(&mut entry, &self.fault, &self.stats, refs, m);
-                    if result.is_ok() {
-                        r.y.as_mut_slice()
-                            .copy_from_slice(&entry.batch_y().as_slice()[..m * l]);
-                        summary = s;
-                    }
-                    evict = ev;
-                    result
-                } else {
-                    entry.run_rows(&r.x, refs, &mut r.y, m)
-                }
-            }
-            Err(err) => Err(err.clone()),
-        };
-        drop(pinned);
-        if evict {
-            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            cache.evict_failed(r.model.shape_key, capacity, &self.stats);
-        }
-        let seq = self.stats.served.fetch_add(1, Ordering::Relaxed);
-        self.stats.solo_requests.fetch_add(1, Ordering::Relaxed);
-        r.slot.fill(Reply {
-            result,
-            x: r.x,
-            y: r.y,
-            seq,
-            summary,
-        });
+        self.f32_lane.clear();
+        self.f64_lane.clear();
     }
 }
 
@@ -552,5 +814,50 @@ mod tests {
         assert_eq!(last, 800);
         // A zero cap disables lingering at any load.
         assert_eq!(adaptive_linger_us(0, 16 * 100), 0);
+    }
+
+    #[test]
+    fn aged_priority_is_monotone_and_eventually_dominates() {
+        // No age, no boost: static priorities order as given.
+        assert_eq!(aged_priority(3, 0, 1_000), 3);
+        assert!(aged_priority(7, 0, 1_000) > aged_priority(3, 0, 1_000));
+        // One step per `step_us` of queue age.
+        assert_eq!(aged_priority(0, 999, 1_000), 0);
+        assert_eq!(aged_priority(0, 1_000, 1_000), 1);
+        assert_eq!(aged_priority(0, 5_500, 1_000), 5);
+        // Anti-starvation: enough age lifts priority 0 over a fresh 255.
+        assert!(aged_priority(0, 256_000, 1_000) > aged_priority(255, 0, 1_000));
+        // Equal age cancels: a burst submitted together keeps its static
+        // order however long it waits.
+        for age in [0, 10_000, 10_000_000] {
+            assert!(aged_priority(5, age, 1_000) > aged_priority(2, age, 1_000));
+        }
+        // Monotone in age.
+        let mut last = 0;
+        for age in (0..20_000).step_by(500) {
+            let p = aged_priority(1, age, 1_000);
+            assert!(p >= last);
+            last = p;
+        }
+        // Aging disabled: pure static priority at any age.
+        assert_eq!(aged_priority(2, u64::MAX, 0), 2);
+    }
+
+    #[test]
+    fn work_key_orders_priority_then_deadline_then_arrival() {
+        let item = |prio, deadline, arrival| WorkItem {
+            prio,
+            deadline,
+            arrival,
+            dtype: DType::F32,
+            idx: 0,
+        };
+        // Higher priority first.
+        assert!(work_key(&item(5, u64::MAX, 9)) < work_key(&item(4, 0, 0)));
+        // Same priority: tighter deadline first; deadline-less last.
+        assert!(work_key(&item(5, 100, 9)) < work_key(&item(5, 200, 0)));
+        assert!(work_key(&item(5, 200, 9)) < work_key(&item(5, u64::MAX, 0)));
+        // Full tie: arrival order.
+        assert!(work_key(&item(5, 100, 1)) < work_key(&item(5, 100, 2)));
     }
 }

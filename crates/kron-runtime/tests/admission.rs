@@ -1,6 +1,9 @@
 //! Admission-control contract, time-virtualized via the manual clock:
 //! expired deadlines shed without executing, high-priority groups drain
-//! before low within a scheduling window, linked batches inherit one
+//! before low within a scheduling window, starving low-priority work ages
+//! past fresh high-priority traffic, tighter deadlines serve first at
+//! equal priority, mixed f32/f64 traffic shares one window and one
+//! priority order through the erased runtime, linked batches inherit one
 //! deadline atomically, and the linger window adapts to load.
 
 use kron_core::shuffle::kron_matmul_shuffle;
@@ -16,7 +19,7 @@ use std::sync::Arc;
 /// *which* requests share the window (everything already submitted is
 /// drained from the channel before the scheduler re-checks the
 /// deadline).
-fn pump_until_served(runtime: &Runtime<f64>, time: &Arc<ManualClock>, target: u64) {
+fn pump_until_served(runtime: &Runtime, time: &Arc<ManualClock>, target: u64) {
     while runtime.stats().served < target {
         time.advance_us(50_000);
         std::thread::yield_now();
@@ -46,7 +49,7 @@ fn oracle(x: &Matrix<f64>, factors: &[Matrix<f64>]) -> Matrix<f64> {
 fn expired_deadline_sheds_without_executing() {
     let clock = Clock::manual();
     let time = clock.manual_handle().unwrap();
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         clock,
         ..RuntimeConfig::default()
     });
@@ -96,7 +99,7 @@ fn high_priority_groups_drain_before_low_under_a_full_window() {
     // scheduling window — the "full queue" case, deterministically.
     let clock = Clock::manual();
     let time = clock.manual_handle().unwrap();
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 32,
         batch_max_m: 8,
         batch_linger_us: 10_000,
@@ -199,11 +202,242 @@ fn high_priority_groups_drain_before_low_under_a_full_window() {
     assert_eq!(stats.solo_requests, 2, "stats: {stats:?}");
 }
 
+/// The shared setup for the two aging cases below: a low-priority request
+/// enqueued 300 virtual ms before a high-priority one, both guaranteed to
+/// share ONE scheduling window (the fixed linger holds it open far past
+/// the advance). Returns `(low_seq, high_seq)`.
+fn aging_inversion_seqs(priority_aging_us: u64) -> (u64, u64) {
+    let clock = Clock::manual();
+    let time = clock.manual_handle().unwrap();
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 8,
+        // A very wide fixed window: it cannot close during the 300 ms
+        // virtual wait below, so both submissions land in one cycle.
+        batch_linger_us: 10_000_000,
+        adaptive_linger: false,
+        priority_aging_us,
+        clock,
+        ..RuntimeConfig::default()
+    });
+    let f_low = model_factors(&[(4, 4), (4, 4)], 1);
+    let f_high = model_factors(&[(2, 2), (2, 2)], 2);
+    let low = runtime.load_model(f_low.clone()).unwrap();
+    let high = runtime.load_model(f_high.clone()).unwrap();
+
+    // The starving request: priority 0, enqueued at t = 0.
+    let x_low = seq_matrix(2, low.input_cols(), 10);
+    let t_low = runtime
+        .submit_with(&low, x_low.clone(), SubmitOptions::priority(0))
+        .unwrap();
+    // It waits 300 virtual ms (the window is still open), then fresh
+    // high-priority traffic arrives.
+    time.advance_us(300_000);
+    let x_high = seq_matrix(2, high.input_cols(), 20);
+    let t_high = runtime
+        .submit_with(&high, x_high.clone(), SubmitOptions::priority(7))
+        .unwrap();
+
+    pump_until_served(&runtime, &time, 2);
+    let (y_low, low_receipt) = t_low.wait_with_receipt().unwrap();
+    assert_matrices_close(&y_low, &oracle(&x_low, &f_low), "aged low request");
+    let (y_high, high_receipt) = t_high.wait_with_receipt().unwrap();
+    assert_matrices_close(&y_high, &oracle(&x_high, &f_high), "fresh high request");
+    (low_receipt.seq, high_receipt.seq)
+}
+
+#[test]
+fn starving_low_priority_ages_past_fresh_high_priority() {
+    // With aging at one step per virtual millisecond, 300 ms of queue age
+    // boosts priority 0 by ~300 steps over priority 7's head start (both
+    // also age while the window drains, but by the same amount — only
+    // the 300 ms enqueue gap differs). The starving request drains first.
+    let (low_seq, high_seq) = aging_inversion_seqs(1_000);
+    assert!(
+        low_seq < high_seq,
+        "aged low-priority must outrank fresh high-priority: low {low_seq} vs high {high_seq}"
+    );
+}
+
+#[test]
+fn aging_disabled_restores_strict_priority_order() {
+    // The identical trace with aging off: static priorities rule and the
+    // high-priority request drains first however long the other waited.
+    let (low_seq, high_seq) = aging_inversion_seqs(0);
+    assert!(
+        high_seq < low_seq,
+        "with aging disabled strict priority must hold: low {low_seq} vs high {high_seq}"
+    );
+}
+
+#[test]
+fn tighter_deadline_group_serves_first_at_equal_priority() {
+    // Three same-priority model groups in one held window, submitted in
+    // the order no-deadline, loose-deadline, tight-deadline (arrival
+    // order favors the WRONG outcome, so only deadline-aware ordering
+    // can produce the right one). All deadlines are far in the future —
+    // nothing sheds; the deadline shapes the *order*.
+    let clock = Clock::manual();
+    let time = clock.manual_handle().unwrap();
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 8,
+        batch_linger_us: 200_000,
+        adaptive_linger: false,
+        clock,
+        ..RuntimeConfig::default()
+    });
+    let f_none = model_factors(&[(4, 4), (4, 4)], 1);
+    let f_loose = model_factors(&[(2, 2), (2, 2)], 2);
+    let f_tight = model_factors(&[(3, 3)], 3);
+    let none = runtime.load_model(f_none.clone()).unwrap();
+    let loose = runtime.load_model(f_loose.clone()).unwrap();
+    let tight = runtime.load_model(f_tight.clone()).unwrap();
+
+    let submit_pair = |model: &kron_runtime::Model<f64>,
+                       factors: &[Matrix<f64>],
+                       seed: usize,
+                       opts: SubmitOptions| {
+        (0..2)
+            .map(|i| {
+                let x = seq_matrix(2, model.input_cols(), seed + i);
+                let expected = oracle(&x, factors);
+                (runtime.submit_with(model, x, opts).unwrap(), expected)
+            })
+            .collect::<Vec<_>>()
+    };
+    let now = runtime.now_us();
+    let group_none = submit_pair(&none, &f_none, 10, SubmitOptions::priority(2));
+    let group_loose = submit_pair(
+        &loose,
+        &f_loose,
+        20,
+        SubmitOptions::priority(2).with_deadline_us(now + 1_000_000_000),
+    );
+    let group_tight = submit_pair(
+        &tight,
+        &f_tight,
+        30,
+        SubmitOptions::priority(2).with_deadline_us(now + 500_000_000),
+    );
+
+    pump_until_served(&runtime, &time, 6);
+    let seqs = |group: Vec<(kron_runtime::Ticket<f64>, Matrix<f64>)>, tag: &str| {
+        group
+            .into_iter()
+            .enumerate()
+            .map(|(i, (t, expected))| {
+                let (y, receipt) = t.wait_with_receipt().unwrap();
+                assert_matrices_close(&y, &expected, &format!("{tag} request {i}"));
+                receipt.seq
+            })
+            .collect::<Vec<u64>>()
+    };
+    let seq_none = seqs(group_none, "no-deadline");
+    let seq_loose = seqs(group_loose, "loose-deadline");
+    let seq_tight = seqs(group_tight, "tight-deadline");
+
+    // Full group order: tight < loose < none, despite inverse arrival.
+    assert!(
+        seq_tight.iter().max() < seq_loose.iter().min(),
+        "tightest deadline must drain first: tight {seq_tight:?} vs loose {seq_loose:?}"
+    );
+    assert!(
+        seq_loose.iter().max() < seq_none.iter().min(),
+        "deadline-less work drains last at equal priority: loose {seq_loose:?} vs none {seq_none:?}"
+    );
+}
+
+#[test]
+fn mixed_dtype_requests_share_one_window_and_one_priority_order() {
+    // The erased runtime's cross-dtype admission contract: f32 and f64
+    // requests drain from ONE window in ONE priority order, each batched
+    // within its own (typed) model group, every result bit-correct for
+    // its dtype.
+    let clock = Clock::manual();
+    let time = clock.manual_handle().unwrap();
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 8,
+        batch_linger_us: 10_000,
+        adaptive_linger: false,
+        clock,
+        ..RuntimeConfig::default()
+    });
+    let f_f64 = model_factors(&[(4, 4), (4, 4)], 1);
+    let model_f64 = runtime.load_model(f_f64.clone()).unwrap();
+    let f_f32: Vec<Matrix<f32>> = (0..2)
+        .map(|i| Matrix::from_fn(2, 2, |r, c| ((i * 5 + r * 2 + c) % 7) as f32 - 3.0))
+        .collect();
+    let model_f32 = runtime.load_model(f_f32.clone()).unwrap();
+    let refs_f32: Vec<&Matrix<f32>> = f_f32.iter().collect();
+
+    // Low-priority f32 group submitted FIRST, high-priority f64 second:
+    // the f64 group must fully drain before any f32 request, which is
+    // only possible if one priority order spans both dtypes.
+    let mut f32_tickets = Vec::new();
+    for i in 0..3 {
+        let x = Matrix::<f32>::from_fn(2, model_f32.input_cols(), |r, c| {
+            ((i + 2 * r + c) % 5) as f32 - 2.0
+        });
+        let expected = kron_core::shuffle::kron_matmul_shuffle(&x, &refs_f32).unwrap();
+        f32_tickets.push((
+            runtime
+                .submit_with(&model_f32, x, SubmitOptions::priority(1))
+                .unwrap(),
+            expected,
+        ));
+    }
+    let mut f64_tickets = Vec::new();
+    for i in 0..3 {
+        let x = seq_matrix(2, model_f64.input_cols(), 40 + i);
+        f64_tickets.push((
+            runtime
+                .submit_with(&model_f64, x.clone(), SubmitOptions::priority(7))
+                .unwrap(),
+            oracle(&x, &f_f64),
+        ));
+    }
+
+    pump_until_served(&runtime, &time, 6);
+    let f64_seqs: Vec<u64> = f64_tickets
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, expected))| {
+            let (y, receipt) = t.wait_with_receipt().unwrap();
+            assert_matrices_close(&y, &expected, &format!("f64 request {i}"));
+            receipt.seq
+        })
+        .collect();
+    let f32_seqs: Vec<u64> = f32_tickets
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, expected))| {
+            let (y, receipt) = t.wait_with_receipt().unwrap();
+            assert_matrices_close(&y, &expected, &format!("f32 request {i}"));
+            receipt.seq
+        })
+        .collect();
+    assert!(
+        f64_seqs.iter().max() < f32_seqs.iter().min(),
+        "high-priority f64 group must drain before the low-priority f32 one: \
+         f64 {f64_seqs:?} vs f32 {f32_seqs:?}"
+    );
+
+    // Both dtypes batched (one fused execute each), through one runtime.
+    let stats = runtime.stats();
+    assert_eq!(stats.requests_f32, 3, "stats: {stats:?}");
+    assert_eq!(stats.requests_f64, 3, "stats: {stats:?}");
+    assert_eq!(stats.batched_requests, 6, "stats: {stats:?}");
+    assert_eq!(stats.batches, 2, "stats: {stats:?}");
+    assert_eq!(stats.plan_misses, 2, "one entry per dtype: {stats:?}");
+}
+
 #[test]
 fn linked_batches_inherit_one_deadline_atomically() {
     let clock = Clock::manual();
     let time = clock.manual_handle().unwrap();
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 16,
         batch_max_m: 8,
         clock,
@@ -255,7 +489,7 @@ fn linked_batches_inherit_one_deadline_atomically() {
 
 #[test]
 fn adaptive_linger_breathes_with_load() {
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 64,
         batch_max_m: 8,
         batch_linger_us: 400,
@@ -311,7 +545,7 @@ fn adaptive_linger_breathes_with_load() {
 fn fixed_linger_reports_the_cap() {
     let clock = Clock::manual();
     let time = clock.manual_handle().unwrap();
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         batch_linger_us: 750,
         adaptive_linger: false,
         clock,

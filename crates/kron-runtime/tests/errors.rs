@@ -14,7 +14,7 @@ fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
     })
 }
 
-fn dist_runtime(gpus: usize) -> Runtime<f64> {
+fn dist_runtime(gpus: usize) -> Runtime {
     Runtime::new(RuntimeConfig {
         max_batch_rows: 32,
         batch_max_m: 16,
@@ -140,7 +140,7 @@ fn mixed_model_linked_batch_is_rejected_atomically() {
 #[test]
 fn fault_on_single_node_backend_is_inert() {
     // No devices to fault: the flag is simply never consumed.
-    let runtime = Runtime::<f64>::new(RuntimeConfig::default());
+    let runtime = Runtime::new(RuntimeConfig::default());
     let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i)).collect();
     let model = runtime.load_model(factors.clone()).unwrap();
     runtime.inject_device_fault(0).unwrap();

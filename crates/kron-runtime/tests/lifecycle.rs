@@ -35,7 +35,7 @@ fn oracle(x: &Matrix<f64>, factors: &[Matrix<f64>]) -> Matrix<f64> {
 
 /// Serves one small request against `model` and checks it against the
 /// oracle — the standard "touch this model's cache entry" move.
-fn serve_checked(runtime: &Runtime<f64>, model: &Model<f64>, factors: &[Matrix<f64>], tag: &str) {
+fn serve_checked(runtime: &Runtime, model: &Model<f64>, factors: &[Matrix<f64>], tag: &str) {
     let x = seq_matrix(2, model.input_cols(), 3);
     let expected = oracle(&x, factors);
     let y = runtime.execute(model, x).unwrap();
@@ -44,12 +44,13 @@ fn serve_checked(runtime: &Runtime<f64>, model: &Model<f64>, factors: &[Matrix<f
 
 #[test]
 fn lru_eviction_order_under_a_capacity_2_cache() {
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 16,
         batch_max_m: 8,
         cache: CachePolicy {
             max_entries: 2,
             max_idle_us: None,
+            max_bytes: None,
         },
         ..RuntimeConfig::default()
     });
@@ -97,13 +98,14 @@ fn lru_eviction_order_under_a_capacity_2_cache() {
 fn idle_timeout_eviction_via_the_test_clock() {
     let clock = Clock::manual();
     let time = clock.manual_handle().unwrap();
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 16,
         batch_max_m: 8,
         clock,
         cache: CachePolicy {
             max_entries: usize::MAX,
             max_idle_us: Some(1_000),
+            max_bytes: None,
         },
         ..RuntimeConfig::default()
     });
@@ -145,7 +147,7 @@ fn idle_timeout_eviction_via_the_test_clock() {
 fn eviction_joins_engine_worker_threads() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let base = kron_dist::live_sim_worker_threads();
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 16,
         batch_max_m: 8,
         backend: Backend::Distributed {
@@ -155,6 +157,7 @@ fn eviction_joins_engine_worker_threads() {
         cache: CachePolicy {
             max_entries: 1,
             max_idle_us: None,
+            max_bytes: None,
         },
         ..RuntimeConfig::default()
     });
@@ -196,7 +199,7 @@ fn capacity_bound_holds_while_serving_more_shapes_than_entries() {
     let base = kron_dist::live_sim_worker_threads();
     const MAX_ENTRIES: usize = 2;
     const GPUS: usize = 4;
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 16,
         batch_max_m: 8,
         backend: Backend::Distributed {
@@ -206,6 +209,7 @@ fn capacity_bound_holds_while_serving_more_shapes_than_entries() {
         cache: CachePolicy {
             max_entries: MAX_ENTRIES,
             max_idle_us: None,
+            max_bytes: None,
         },
         ..RuntimeConfig::default()
     });
@@ -253,7 +257,7 @@ fn capacity_bound_holds_while_serving_more_shapes_than_entries() {
 fn pinned_entry_survives_eviction_pressure_until_released() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let base = kron_dist::live_sim_worker_threads();
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 16,
         batch_max_m: 8,
         backend: Backend::Distributed {
@@ -263,6 +267,7 @@ fn pinned_entry_survives_eviction_pressure_until_released() {
         cache: CachePolicy {
             max_entries: 1,
             max_idle_us: None,
+            max_bytes: None,
         },
         ..RuntimeConfig::default()
     });
@@ -310,13 +315,170 @@ fn pinned_entry_survives_eviction_pressure_until_released() {
 }
 
 #[test]
+fn byte_budget_bounds_resident_bytes_across_dtypes() {
+    // A budget sized for one f64 entry: rotating same-shape f64 and f32
+    // models through it must evict across the dtype boundary (the ledger
+    // is global), keep the gauge within budget, and keep serving
+    // bit-correct results.
+    let shapes: &[(usize, usize)] = &[(4, 4), (4, 4)];
+    let fa = model_factors(shapes, 1);
+    let f32_factors: Vec<Matrix<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, q))| Matrix::from_fn(p, q, |r, c| ((i * 5 + r * q + c) % 11) as f32 - 5.0))
+        .collect();
+
+    // Probe the f64 entry's accounted footprint with an unbounded twin.
+    let probe = Runtime::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        ..RuntimeConfig::default()
+    });
+    let pa = probe.load_model(fa.clone()).unwrap();
+    serve_checked(&probe, &pa, &fa, "probe A");
+    let budget = probe.cached_bytes();
+    assert!(budget > 0, "an entry must account nonzero bytes");
+    probe.shutdown();
+
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        cache: CachePolicy {
+            max_entries: usize::MAX,
+            max_idle_us: None,
+            max_bytes: Some(budget),
+        },
+        ..RuntimeConfig::default()
+    });
+    let a = runtime.load_model(fa.clone()).unwrap();
+    let b = runtime.load_model(f32_factors.clone()).unwrap();
+    serve_checked(&runtime, &a, &fa, "A under budget");
+    assert_eq!(runtime.cached_entries(), 1);
+    assert!(runtime.cached_bytes() <= budget);
+
+    // The same-shape f32 entry is half the bytes, but the budget cannot
+    // hold both: serving B must evict A (cross-dtype eviction).
+    let refs32: Vec<&Matrix<f32>> = f32_factors.iter().collect();
+    let x32 = Matrix::<f32>::from_fn(2, b.input_cols(), |r, c| ((r + c) % 7) as f32 - 3.0);
+    let expected = kron_core::shuffle::kron_matmul_shuffle(&x32, &refs32).unwrap();
+    let y32 = runtime.execute(&b, x32).unwrap();
+    assert_matrices_close(&y32, &expected, "f32 B evicts f64 A");
+    let stats = runtime.stats();
+    assert_eq!(stats.evictions, 1, "stats: {stats:?}");
+    assert_eq!(stats.cached_entries, 1, "stats: {stats:?}");
+    assert!(stats.cached_bytes as usize <= budget, "stats: {stats:?}");
+    assert_eq!(
+        stats.cached_bytes as usize,
+        runtime.cached_bytes(),
+        "gauge and probe agree"
+    );
+
+    // A comes back (rebuild counted), evicting B in turn — and still
+    // serves bit-correct results through the rebuilt entry.
+    serve_checked(&runtime, &a, &fa, "A re-warms under the byte budget");
+    let stats = runtime.stats();
+    assert_eq!(stats.rebuilds, 1, "stats: {stats:?}");
+    assert_eq!(stats.evictions, 2, "stats: {stats:?}");
+    assert!(stats.cached_bytes as usize <= budget, "stats: {stats:?}");
+}
+
+#[test]
+fn unshardable_model_budget_admits_at_the_local_fallback_footprint() {
+    // A rectangular chain the grid cannot shard is served through the
+    // documented local fallback — so the byte-budget admission check must
+    // size it as the local entry it will actually build, not as the
+    // (larger) sharded entry it never will. A budget that exactly fits
+    // the local footprint must admit and serve the model.
+    let f = model_factors(&[(2, 3), (3, 2)], 5);
+
+    // Probe the local footprint with an unbounded single-node twin (the
+    // fallback builds the identical entry shape).
+    let probe = Runtime::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        ..RuntimeConfig::default()
+    });
+    let pm = probe.load_model(f.clone()).unwrap();
+    serve_checked(&probe, &pm, &f, "probe rect");
+    let local_budget = probe.cached_bytes();
+    probe.shutdown();
+
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        backend: Backend::Distributed {
+            gpus: 4,
+            p2p: false,
+        },
+        cache: CachePolicy {
+            max_entries: usize::MAX,
+            max_idle_us: None,
+            max_bytes: Some(local_budget),
+        },
+        ..RuntimeConfig::default()
+    });
+    let model = runtime.load_model(f.clone()).unwrap();
+    serve_checked(
+        &runtime,
+        &model,
+        &f,
+        "rect model under a local-sized budget",
+    );
+    let stats = runtime.stats();
+    assert!(stats.local_fallbacks >= 1, "stats: {stats:?}");
+    assert!(
+        stats.cached_bytes as usize <= local_budget,
+        "stats: {stats:?}"
+    );
+}
+
+#[test]
+fn oversized_entry_fails_with_cache_budget_exceeded() {
+    // A budget smaller than any entry: every request for the model fails
+    // with the documented error instead of silently blowing the bound —
+    // and the runtime keeps serving once the caller picks a model that
+    // fits... which none does here, so everything fails cleanly.
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        cache: CachePolicy {
+            max_entries: usize::MAX,
+            max_idle_us: None,
+            max_bytes: Some(16),
+        },
+        ..RuntimeConfig::default()
+    });
+    let fa = model_factors(&[(4, 4), (4, 4)], 1);
+    let a = runtime.load_model(fa.clone()).unwrap();
+    let x = seq_matrix(2, a.input_cols(), 3);
+    match runtime.execute(&a, x) {
+        Err(kron_core::KronError::CacheBudgetExceeded {
+            required_bytes,
+            max_bytes,
+        }) => {
+            assert!(required_bytes > max_bytes);
+            assert_eq!(max_bytes, 16);
+        }
+        other => panic!("expected CacheBudgetExceeded, got {other:?}"),
+    }
+    assert_eq!(runtime.cached_entries(), 0, "nothing was built");
+    assert_eq!(runtime.cached_bytes(), 0);
+    // Pinning an oversized model reports the same error.
+    match runtime.pin_model(&a).map(|_| ()) {
+        Err(kron_core::KronError::CacheBudgetExceeded { .. }) => {}
+        other => panic!("expected CacheBudgetExceeded from pin, got {other:?}"),
+    }
+}
+
+#[test]
 fn cache_keys_reflect_residency() {
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 16,
         batch_max_m: 8,
         cache: CachePolicy {
             max_entries: 2,
             max_idle_us: None,
+            max_bytes: None,
         },
         ..RuntimeConfig::default()
     });

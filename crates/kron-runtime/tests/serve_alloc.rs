@@ -57,7 +57,7 @@ fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
 #[test]
 fn steady_state_serving_is_allocation_free() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 32,
         batch_max_m: 16,
         max_queue: 64,
@@ -104,6 +104,76 @@ fn steady_state_serving_is_allocation_free() {
     assert_eq!(stats.served, 16 + SERVED as u64);
 }
 
+/// The erased-runtime contract: ONE runtime serving interleaved f32 and
+/// f64 sessions stays allocation-free once both dtype lanes are warm.
+/// The erased request enum is a move (never a box), the scheduler's
+/// typed-lane scratch and the global ordering buffers are reused, and the
+/// dtype-spanning plan cache hands both entries out lock-only — so mixing
+/// dtypes costs exactly zero allocations per request, same as the
+/// monomorphic runtime did.
+#[test]
+fn steady_state_mixed_dtype_serving_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 16,
+        max_queue: 64,
+        ..RuntimeConfig::default()
+    });
+    let f64_factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i + 1)).collect();
+    let f32_factors: Vec<Matrix<f32>> = (0..2)
+        .map(|i| Matrix::from_fn(4, 4, |r, c| (((i + 1) + r * 4 + c) % 13) as f32 - 6.0))
+        .collect();
+    let model64 = runtime.load_model(f64_factors.clone()).unwrap();
+    let model32 = runtime.load_model(f32_factors.clone()).unwrap();
+    let mut session64 = runtime.session::<f64>();
+    let mut session32 = runtime.session::<f32>();
+
+    let mut x64 = seq_matrix(4, model64.input_cols(), 3);
+    let mut y64 = Matrix::zeros(4, model64.output_cols());
+    let mut x32 = Matrix::<f32>::from_fn(4, model32.input_cols(), |r, c| ((3 + r + c) % 9) as f32);
+    let mut y32 = Matrix::<f32>::zeros(4, model32.output_cols());
+
+    // Warm both dtype lanes: channel queues, per-lane scheduler scratch,
+    // the global ordering buffers, one plan-cache entry per dtype, and
+    // both session slots.
+    for _ in 0..16 {
+        (x64, y64) = session64.call(&model64, x64, y64).unwrap();
+        (x32, y32) = session32.call(&model32, x32, y32).unwrap();
+    }
+
+    const SERVED: usize = 32;
+    let (allocs, moved) = allocations_during(|| {
+        let mut b64 = (x64, y64);
+        let mut b32 = (x32, y32);
+        for _ in 0..SERVED {
+            b64 = session64.call(&model64, b64.0, b64.1).unwrap();
+            b32 = session32.call(&model32, b32.0, b32.1).unwrap();
+        }
+        (b64, b32)
+    });
+    let ((x64, y64), (x32, y32)) = moved;
+    assert_eq!(
+        allocs, 0,
+        "serving {SERVED} interleaved f32+f64 request pairs allocated {allocs} times \
+         (expected zero steady-state allocations through the erased runtime)"
+    );
+
+    // Both lanes still serve the right numbers.
+    let refs64: Vec<&Matrix<f64>> = f64_factors.iter().collect();
+    let oracle64 = kron_core::shuffle::kron_matmul_shuffle(&x64, &refs64).unwrap();
+    assert_matrices_close(&y64, &oracle64, "mixed steady-state f64 result");
+    let refs32: Vec<&Matrix<f32>> = f32_factors.iter().collect();
+    let oracle32 = kron_core::shuffle::kron_matmul_shuffle(&x32, &refs32).unwrap();
+    assert_matrices_close(&y32, &oracle32, "mixed steady-state f32 result");
+
+    // One plan per dtype, both counted on the one stats surface.
+    let stats = runtime.stats();
+    assert_eq!(stats.plan_misses, 2, "stats: {stats:?}");
+    assert_eq!(stats.requests_f64, (16 + SERVED) as u64, "stats: {stats:?}");
+    assert_eq!(stats.requests_f32, (16 + SERVED) as u64, "stats: {stats:?}");
+}
+
 /// The same contract across the simulated multi-GPU machine: once the
 /// sharded engine, its per-device blocks, and the circulating exchange
 /// buffers are warm, serving a request through the `Distributed` backend —
@@ -113,7 +183,7 @@ fn steady_state_serving_is_allocation_free() {
 #[test]
 fn steady_state_sharded_serving_is_allocation_free() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 32,
         batch_max_m: 16,
         max_queue: 64,

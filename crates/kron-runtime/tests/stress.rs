@@ -42,7 +42,7 @@ fn oracle(x: &Matrix<f64>, factors: &[Matrix<f64>]) -> Matrix<f64> {
 
 #[test]
 fn mixed_shape_concurrent_serving_matches_oracle() {
-    let runtime = Arc::new(Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Arc::new(Runtime::new(RuntimeConfig {
         max_batch_rows: 64,
         batch_max_m: 16,
         max_queue: 256,
@@ -117,7 +117,7 @@ fn pipelined_tickets_batch_and_match_oracle() {
     // batched_requests assertion went probabilistic).
     let clock = Clock::manual();
     let time = clock.manual_handle().unwrap();
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 32,
         batch_max_m: 8,
         max_queue: 512,
@@ -166,7 +166,7 @@ fn pipelined_tickets_batch_and_match_oracle() {
 
 #[test]
 fn shutdown_while_busy_serves_everything_accepted() {
-    let runtime = Runtime::<f64>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 16,
         batch_max_m: 8,
         max_queue: 64,
@@ -194,7 +194,7 @@ fn shutdown_while_busy_serves_everything_accepted() {
 
 #[test]
 fn sharded_concurrent_serving_matches_oracle() {
-    let runtime = Arc::new(Runtime::<f64>::new(dist_config()));
+    let runtime = Arc::new(Runtime::new(dist_config()));
     // One shardable model (uniform square pow2) and one the grid cannot
     // shard (rectangular chain) — the fallback must interleave cleanly
     // with sharded batches under concurrency.
@@ -241,7 +241,7 @@ fn sharded_concurrent_serving_matches_oracle() {
 
 #[test]
 fn shutdown_while_sharded_drains_all_accepted() {
-    let runtime = Runtime::<f64>::new(dist_config());
+    let runtime = Runtime::new(dist_config());
     let factors = model_factors(&[(8, 8), (8, 8)], 7);
     let model = runtime.load_model(factors.clone()).unwrap();
 
@@ -264,7 +264,7 @@ fn shutdown_while_sharded_drains_all_accepted() {
 
 #[test]
 fn device_fault_fails_only_its_batch() {
-    let runtime = Runtime::<f64>::new(dist_config());
+    let runtime = Runtime::new(dist_config());
     let factors = model_factors(&[(4, 4), (4, 4), (4, 4)], 5);
     let model = runtime.load_model(factors.clone()).unwrap();
     let x = seq_matrix(4, model.input_cols(), 2);
@@ -320,7 +320,7 @@ fn device_fault_fails_only_its_batch() {
 
 #[test]
 fn linked_batch_serves_and_validates() {
-    let runtime = Runtime::<f64>::new(dist_config());
+    let runtime = Runtime::new(dist_config());
     let factors = model_factors(&[(4, 4), (4, 4)], 9);
     let model = runtime.load_model(factors.clone()).unwrap();
 
@@ -339,7 +339,7 @@ fn linked_batch_serves_and_validates() {
         assert!(s.seconds > 0.0 && s.comm_bytes > 0, "summary {s:?}");
     }
     // An empty linked batch is a no-op.
-    assert!(runtime.submit_linked(Vec::new()).unwrap().is_empty());
+    assert!(runtime.submit_linked::<f64>(Vec::new()).unwrap().is_empty());
 }
 
 #[test]
@@ -347,7 +347,7 @@ fn same_shape_models_share_one_plan() {
     // Two models with identical factor-shape chains but different values:
     // the plan cache is shape-keyed, so the second model rides the first
     // model's tuned plan and workspace — and still gets its own numbers.
-    let runtime = Runtime::<f64>::with_defaults();
+    let runtime = Runtime::with_defaults();
     let fa = model_factors(&[(4, 4), (4, 4)], 1);
     let fb = model_factors(&[(4, 4), (4, 4)], 99);
     let a = runtime.load_model(fa.clone()).unwrap();
@@ -367,7 +367,7 @@ fn same_shape_models_share_one_plan() {
 
 #[test]
 fn session_calls_fail_cleanly_after_shutdown() {
-    let runtime = Runtime::<f64>::with_defaults();
+    let runtime = Runtime::with_defaults();
     let factors = model_factors(&[(4, 4)], 5);
     let model = runtime.load_model(factors.clone()).unwrap();
     let mut session = runtime.session();
@@ -386,7 +386,7 @@ fn session_calls_fail_cleanly_after_shutdown() {
 
 #[test]
 fn submit_validates_shapes() {
-    let runtime = Runtime::<f64>::with_defaults();
+    let runtime = Runtime::with_defaults();
     let model = runtime.load_model(model_factors(&[(4, 4)], 1)).unwrap();
     // Wrong input width.
     assert!(runtime.submit(&model, seq_matrix(2, 5, 0)).is_err());
@@ -398,6 +398,8 @@ fn submit_validates_shapes() {
         .call(&model, seq_matrix(2, 4, 0), Matrix::zeros(2, 5))
         .is_err());
     // Degenerate models are rejected at load.
-    assert!(runtime.load_model(vec![]).is_err());
-    assert!(runtime.load_model(vec![Matrix::zeros(0, 3)]).is_err());
+    assert!(runtime.load_model::<f64>(vec![]).is_err());
+    assert!(runtime
+        .load_model(vec![Matrix::<f64>::zeros(0, 3)])
+        .is_err());
 }

@@ -19,10 +19,14 @@
 //! | `dist-runtime`      | `Runtime` on the `Distributed` backend |
 //! | `dist-direct`       | `DistFastKron::execute` (shardable shapes) |
 //!
-//! The two runtimes are shared process-wide (`OnceLock`), so a property
-//! sweep pays model-load and plan-tuning once per shape, not once per
-//! case, and the runtime's plan cache and batcher get exercised across
-//! cases — closer to real serving than a runtime-per-case would be.
+//! The two runtimes are shared process-wide (`OnceLock`) **across both
+//! dtypes** — the serving API is dtype-erased, so one single-node runtime
+//! and one distributed runtime serve every `f32` and `f64` case in the
+//! sweep through one scheduler and one plan cache. A property sweep
+//! therefore pays model-load and plan-tuning once per shape, not once per
+//! case, and the runtimes see genuinely mixed-dtype traffic across
+//! cases — closer to real serving than a runtime-per-case (or
+//! runtime-per-dtype) would be.
 
 use crate::gen::KronCase;
 use fastkron_core::{kron_matmul_fused, FastKron, Workspace};
@@ -30,19 +34,19 @@ use gpu_sim::device::V100;
 use kron_core::naive::kron_matmul_naive;
 use kron_core::{Element, Matrix};
 use kron_dist::DistFastKron;
-use kron_runtime::{Backend, Runtime, RuntimeConfig};
+use kron_runtime::{Backend, Runtime, RuntimeConfig, ServeElement};
 use std::sync::OnceLock;
 
 /// Simulated GPUs the shared distributed runtime shards over.
 pub const DIST_GPUS: usize = 4;
 
-/// Scalar types that own a pair of shared differential runtimes.
-pub trait DiffElement: Element {
-    /// The process-wide single-node runtime.
-    fn single_runtime() -> &'static Runtime<Self>;
-    /// The process-wide distributed runtime (4 simulated GPUs).
-    fn dist_runtime() -> &'static Runtime<Self>;
-}
+/// Scalar types the differential harness sweeps: the [`ServeElement`]s
+/// (`f32`, `f64`). Kept as a named trait so test suites can stay generic
+/// over "everything the harness covers".
+pub trait DiffElement: ServeElement {}
+
+impl DiffElement for f32 {}
+impl DiffElement for f64 {}
 
 fn runtime_config(backend: Backend) -> RuntimeConfig {
     RuntimeConfig {
@@ -54,28 +58,23 @@ fn runtime_config(backend: Backend) -> RuntimeConfig {
     }
 }
 
-macro_rules! impl_diff_element {
-    ($t:ty) => {
-        impl DiffElement for $t {
-            fn single_runtime() -> &'static Runtime<Self> {
-                static RT: OnceLock<Runtime<$t>> = OnceLock::new();
-                RT.get_or_init(|| Runtime::new(runtime_config(Backend::SingleNode)))
-            }
-            fn dist_runtime() -> &'static Runtime<Self> {
-                static RT: OnceLock<Runtime<$t>> = OnceLock::new();
-                RT.get_or_init(|| {
-                    Runtime::new(runtime_config(Backend::Distributed {
-                        gpus: DIST_GPUS,
-                        p2p: false,
-                    }))
-                })
-            }
-        }
-    };
+/// The process-wide single-node runtime, shared by every dtype.
+pub fn single_runtime() -> &'static Runtime {
+    static RT: OnceLock<Runtime> = OnceLock::new();
+    RT.get_or_init(|| Runtime::new(runtime_config(Backend::SingleNode)))
 }
 
-impl_diff_element!(f32);
-impl_diff_element!(f64);
+/// The process-wide distributed runtime ([`DIST_GPUS`] simulated GPUs),
+/// shared by every dtype.
+pub fn dist_runtime() -> &'static Runtime {
+    static RT: OnceLock<Runtime> = OnceLock::new();
+    RT.get_or_init(|| {
+        Runtime::new(runtime_config(Backend::Distributed {
+            gpus: DIST_GPUS,
+            p2p: false,
+        }))
+    })
+}
 
 /// Exact comparison with a diagnostic naming the first mismatch and the
 /// case's regression literal.
@@ -177,8 +176,8 @@ pub fn check_runtime_paths<T: DiffElement>(case: &KronCase<T>) -> Result<(), Str
     let oracle = kron_matmul_naive(&case.x, &refs).map_err(|e| format!("naive failed: {e}"))?;
 
     for (name, runtime) in [
-        ("runtime-single", T::single_runtime()),
-        ("dist-runtime", T::dist_runtime()),
+        ("runtime-single", single_runtime()),
+        ("dist-runtime", dist_runtime()),
     ] {
         let model = runtime
             .load_model(case.factors.clone())
@@ -229,7 +228,7 @@ mod tests {
         // and still agree bit-for-bit.
         let case = KronCase::<f64>::deterministic(3, &[(2, 5), (3, 2)], 9);
         check_all_paths(&case).unwrap();
-        let stats = f64::dist_runtime().stats();
+        let stats = dist_runtime().stats();
         assert!(stats.local_fallbacks > 0, "expected a local fallback");
     }
 

@@ -30,6 +30,12 @@ pub mod diff;
 pub mod gen;
 pub mod serve;
 
-pub use diff::{check_all_paths, check_library_paths, check_runtime_paths, DiffElement, DIST_GPUS};
+pub use diff::{
+    check_all_paths, check_library_paths, check_runtime_paths, dist_runtime, single_runtime,
+    DiffElement, DIST_GPUS,
+};
 pub use gen::{worst_case_magnitude, KronCase, ShapeFamily};
-pub use serve::{check_serve_plan, PlannedRequest, ServePlan};
+pub use serve::{
+    check_mixed_serve_plan, check_serve_plan, MixedRequest, MixedServePlan, PlannedRequest,
+    ServePlan,
+};

@@ -1,30 +1,34 @@
 //! Deterministic multi-model serving traces and their differential
-//! oracle.
+//! oracle — including mixed-dtype traces through one erased runtime.
 //!
 //! A [`ServePlan`] is everything a serving run needs, derived purely from
 //! a seed: a mix of models (factor-shape chains plus integer-valued
 //! factor data inside the [`crate::gen`] exactness budget), and an
 //! arrival-ordered request list where each request carries its input,
 //! priority, and optional deadline slack. Replaying the same seed
-//! replays the same trace bit-for-bit.
+//! replays the same trace bit-for-bit. A [`MixedServePlan`] interleaves
+//! an `f32` and an `f64` trace into **one** arrival order, served by one
+//! dtype-erased runtime — the contract the serving API redesign added.
 //!
-//! [`check_serve_plan`] is the satellite differential oracle: the trace
-//! is served through **both** runtime backends (single-node and the
+//! [`check_serve_plan`] is the single-dtype differential oracle: the
+//! trace is served through **both** runtime backends (single-node and the
 //! simulated multi-GPU grid), with consecutive same-model runs submitted
 //! as linked batches and everything carrying its priority/deadline
 //! options — and every result must equal the *per-request planned
 //! execution* (`FastKron::plan` + `execute`, no batching, no runtime)
-//! **bit-for-bit**. Batching, priority reordering, deadline plumbing,
-//! zero-padding for the grid, and cache eviction between requests must
-//! all be value-invisible; on integer-valued operands any divergence is a
-//! hard failure, not rounding.
+//! **bit-for-bit**. [`check_mixed_serve_plan`] does the same for a mixed
+//! trace: one runtime, both dtypes in flight at once. Batching, priority
+//! reordering (including aging), deadline plumbing, cross-dtype
+//! interleaving, zero-padding for the grid, and cache eviction between
+//! requests must all be value-invisible; on integer-valued operands any
+//! divergence is a hard failure, not rounding.
 
-use crate::diff::DiffElement;
+use crate::diff::{dist_runtime, single_runtime, DiffElement};
 use crate::gen::{int_matrix, splitmix, worst_case_magnitude};
 use fastkron_core::FastKron;
 use gpu_sim::device::V100;
 use kron_core::{Element, FactorShape, KronProblem, Matrix};
-use kron_runtime::{Runtime, SubmitOptions, Ticket};
+use kron_runtime::{Model, Runtime, SubmitOptions, Ticket};
 
 /// Factor-shape chains the model mix draws from — all comfortably inside
 /// the `f32` exactness budget, covering pow2-uniform (shardable), odd,
@@ -125,33 +129,94 @@ impl<T: Element> ServePlan<T> {
     }
 }
 
-/// Per-request planned-execution oracle for one trace request.
+/// One request of a mixed-dtype trace: the typed request plus which lane
+/// it rides.
+#[derive(Debug, Clone)]
+pub enum MixedRequest {
+    /// An `f32` request (indexing [`MixedServePlan::models_f32`]).
+    F32(PlannedRequest<f32>),
+    /// An `f64` request (indexing [`MixedServePlan::models_f64`]).
+    F64(PlannedRequest<f64>),
+}
+
+/// A deterministic mixed-dtype serving trace: an `f32` and an `f64`
+/// [`ServePlan`] interleaved into **one** arrival order, to be served by
+/// one dtype-erased runtime. Each underlying plan's internal request
+/// order is preserved; the interleaving pattern is seed-derived.
+#[derive(Debug, Clone)]
+pub struct MixedServePlan {
+    /// The `f32` factor sets.
+    pub models_f32: Vec<Vec<Matrix<f32>>>,
+    /// The `f64` factor sets.
+    pub models_f64: Vec<Vec<Matrix<f64>>>,
+    /// The requests of both dtypes, in (interleaved) arrival order.
+    pub requests: Vec<MixedRequest>,
+    /// The seed the trace was derived from.
+    pub seed: u64,
+}
+
+impl MixedServePlan {
+    /// Builds the mixed trace for `seed` — fully deterministic. The two
+    /// halves come from independent sub-seeds, so the mixed sweep covers
+    /// model mixes neither single-dtype sweep saw together.
+    pub fn deterministic(seed: u64) -> Self {
+        let p32 = ServePlan::<f32>::deterministic(seed ^ 0x3232_3232_3232_3232);
+        let p64 = ServePlan::<f64>::deterministic(seed ^ 0x6464_6464_6464_6464);
+        let mut state = seed ^ 0x1417_e256_a7ed_5eed;
+        let mut a = p32.requests.into_iter().peekable();
+        let mut b = p64.requests.into_iter().peekable();
+        let mut requests = Vec::new();
+        loop {
+            match (a.peek().is_some(), b.peek().is_some()) {
+                (false, false) => break,
+                (true, false) => requests.push(MixedRequest::F32(a.next().expect("peeked"))),
+                (false, true) => requests.push(MixedRequest::F64(b.next().expect("peeked"))),
+                (true, true) => {
+                    if splitmix(&mut state).is_multiple_of(2) {
+                        requests.push(MixedRequest::F32(a.next().expect("peeked")));
+                    } else {
+                        requests.push(MixedRequest::F64(b.next().expect("peeked")));
+                    }
+                }
+            }
+        }
+        MixedServePlan {
+            models_f32: p32.models,
+            models_f64: p64.models,
+            requests,
+            seed,
+        }
+    }
+}
+
+/// Per-request planned-execution oracle: `FastKron::plan` + `execute`
+/// against the request's own factor set — no runtime, no batching.
 fn planned_oracle<T: Element>(
-    plan: &ServePlan<T>,
-    req: &PlannedRequest<T>,
+    factors: &[Matrix<T>],
+    x: &Matrix<T>,
+    seed: u64,
 ) -> Result<Matrix<T>, String> {
-    let factors = &plan.models[req.model];
     let refs: Vec<&Matrix<T>> = factors.iter().collect();
     let shapes = factors
         .iter()
         .map(|f| FactorShape::new(f.rows(), f.cols()))
         .collect();
-    let problem = KronProblem::new(req.x.rows(), shapes)
-        .map_err(|e| format!("trace {} problem invalid: {e}", plan.seed))?;
+    let problem = KronProblem::new(x.rows(), shapes)
+        .map_err(|e| format!("trace {seed} problem invalid: {e}"))?;
     let kplan = FastKron::plan::<T>(&problem, &V100)
-        .map_err(|e| format!("trace {} planning failed: {e}", plan.seed))?;
+        .map_err(|e| format!("trace {seed} planning failed: {e}"))?;
     kplan
-        .execute(&req.x, &refs)
-        .map_err(|e| format!("trace {} planned execute failed: {e}", plan.seed))
+        .execute(x, &refs)
+        .map_err(|e| format!("trace {seed} planned execute failed: {e}"))
 }
 
 /// Serves `plan` through `runtime`, submitting consecutive same-model
 /// runs as one linked batch (inheriting one deadline atomically) and
 /// everything else individually, then compares every result bit-for-bit
 /// against `oracles`.
-fn check_on_runtime<T: Element>(
+fn check_on_runtime<T: DiffElement>(
     name: &str,
-    runtime: &Runtime<T>,
+    runtime: &Runtime,
     plan: &ServePlan<T>,
     oracles: &[Matrix<T>],
 ) -> Result<(), String> {
@@ -230,10 +295,115 @@ pub fn check_serve_plan<T: DiffElement>(plan: &ServePlan<T>) -> Result<(), Strin
     let oracles: Vec<Matrix<T>> = plan
         .requests
         .iter()
-        .map(|r| planned_oracle(plan, r))
+        .map(|r| planned_oracle(&plan.models[r.model], &r.x, plan.seed))
         .collect::<Result<_, _>>()?;
-    check_on_runtime("serve-single", T::single_runtime(), plan, &oracles)?;
-    check_on_runtime("serve-dist", T::dist_runtime(), plan, &oracles)
+    check_on_runtime("serve-single", single_runtime(), plan, &oracles)?;
+    check_on_runtime("serve-dist", dist_runtime(), plan, &oracles)
+}
+
+/// A typed ticket of either dtype, held in submission order.
+enum MixedTicket {
+    F32(Ticket<f32>),
+    F64(Ticket<f64>),
+}
+
+/// Serves the interleaved mixed-dtype trace through one erased `runtime`
+/// as a burst and compares every result bit-for-bit against its typed
+/// per-request planned execution.
+fn check_mixed_on_runtime(
+    name: &str,
+    runtime: &Runtime,
+    plan: &MixedServePlan,
+) -> Result<(), String> {
+    let load = |e| {
+        format!(
+            "{name}: load_model failed on mixed trace {}: {e}",
+            plan.seed
+        )
+    };
+    let models_f32: Vec<Model<f32>> = plan
+        .models_f32
+        .iter()
+        .map(|f| runtime.load_model(f.clone()))
+        .collect::<Result<_, _>>()
+        .map_err(load)?;
+    let models_f64: Vec<Model<f64>> = plan
+        .models_f64
+        .iter()
+        .map(|f| runtime.load_model(f.clone()))
+        .collect::<Result<_, _>>()
+        .map_err(load)?;
+
+    let now = runtime.now_us();
+    fn opts<T: Element>(req: &PlannedRequest<T>, now: u64) -> SubmitOptions {
+        SubmitOptions {
+            priority: req.priority,
+            deadline_us: req.deadline_slack_us.map(|slack| now + slack),
+        }
+    }
+
+    // Submit the whole interleaved trace as one burst: both dtypes are in
+    // flight together, so a single window batches f32 and f64 groups side
+    // by side and the global priority order spans them.
+    let mut tickets = Vec::with_capacity(plan.requests.len());
+    for req in &plan.requests {
+        let ticket = match req {
+            MixedRequest::F32(r) => runtime
+                .submit_with(&models_f32[r.model], r.x.clone(), opts(r, now))
+                .map(MixedTicket::F32),
+            MixedRequest::F64(r) => runtime
+                .submit_with(&models_f64[r.model], r.x.clone(), opts(r, now))
+                .map(MixedTicket::F64),
+        }
+        .map_err(|e| format!("{name}: submit failed on mixed trace {}: {e}", plan.seed))?;
+        tickets.push(ticket);
+    }
+
+    for (idx, (ticket, req)) in tickets.into_iter().zip(plan.requests.iter()).enumerate() {
+        let diverged = |dtype: &str, model: usize, m: usize, prio: u8| {
+            format!(
+                "{name}: request {idx} ({dtype} model {model}, M={m}, prio {prio}) of mixed \
+                 trace seed {} diverged from the per-request planned execution (bit-exact \
+                 contract)\n  regression: MixedServePlan::deterministic({})",
+                plan.seed, plan.seed,
+            )
+        };
+        let wait_err = |e| {
+            format!(
+                "{name}: request {idx} of mixed trace {} failed: {e}",
+                plan.seed
+            )
+        };
+        match (ticket, req) {
+            (MixedTicket::F32(t), MixedRequest::F32(r)) => {
+                let got = t.wait().map_err(wait_err)?;
+                let oracle = planned_oracle(&plan.models_f32[r.model], &r.x, plan.seed)?;
+                if got.as_slice() != oracle.as_slice() {
+                    return Err(diverged("f32", r.model, r.x.rows(), r.priority));
+                }
+            }
+            (MixedTicket::F64(t), MixedRequest::F64(r)) => {
+                let got = t.wait().map_err(wait_err)?;
+                let oracle = planned_oracle(&plan.models_f64[r.model], &r.x, plan.seed)?;
+                if got.as_slice() != oracle.as_slice() {
+                    return Err(diverged("f64", r.model, r.x.rows(), r.priority));
+                }
+            }
+            _ => unreachable!("tickets zip requests in submission order"),
+        }
+    }
+    Ok(())
+}
+
+/// The mixed-dtype serve-trace oracle: one erased runtime per backend
+/// serves the interleaved `f32`+`f64` burst, and every request must
+/// match its typed per-request planned execution bit-for-bit. The
+/// runtimes are the same process-wide pair the single-dtype checks use,
+/// so residual cache state from other traces is part of the test, as in
+/// real serving.
+pub fn check_mixed_serve_plan(plan: &MixedServePlan) -> Result<(), String> {
+    check_mixed_on_runtime("mixed-single", single_runtime(), plan)?;
+    check_mixed_on_runtime("mixed-dist", dist_runtime(), plan)
 }
 
 #[cfg(test)]
@@ -292,7 +462,46 @@ mod tests {
     }
 
     #[test]
+    fn mixed_plans_are_deterministic_and_genuinely_interleave() {
+        let a = MixedServePlan::deterministic(5);
+        let b = MixedServePlan::deterministic(5);
+        assert_eq!(a.requests.len(), b.requests.len());
+        for (ra, rb) in a.requests.iter().zip(b.requests.iter()) {
+            match (ra, rb) {
+                (MixedRequest::F32(x), MixedRequest::F32(y)) => assert_eq!(x.x, y.x),
+                (MixedRequest::F64(x), MixedRequest::F64(y)) => assert_eq!(x.x, y.x),
+                _ => panic!("same seed must interleave identically"),
+            }
+        }
+        // Both dtypes present, and at least one dtype switch inside the
+        // arrival order (not two concatenated halves).
+        let n32 = a
+            .requests
+            .iter()
+            .filter(|r| matches!(r, MixedRequest::F32(_)))
+            .count();
+        let n64 = a.requests.len() - n32;
+        assert!(
+            n32 >= 10 && n64 >= 10,
+            "both dtypes must appear: {n32}/{n64}"
+        );
+        let switches = a
+            .requests
+            .windows(2)
+            .filter(|w| {
+                matches!(w[0], MixedRequest::F32(_)) != matches!(w[1], MixedRequest::F32(_))
+            })
+            .count();
+        assert!(switches >= 4, "arrival order must interleave: {switches}");
+    }
+
+    #[test]
     fn known_trace_passes_the_differential_oracle() {
         check_serve_plan(&ServePlan::<f64>::deterministic(1)).unwrap();
+    }
+
+    #[test]
+    fn known_mixed_trace_passes_the_differential_oracle() {
+        check_mixed_serve_plan(&MixedServePlan::deterministic(1)).unwrap();
     }
 }

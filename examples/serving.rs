@@ -3,73 +3,119 @@
 //! that single executes underuse hardware on — and watch the plan cache
 //! and cross-request batcher do their work.
 //!
+//! The runtime is **dtype-erased**: one `Runtime` (no type parameter)
+//! serves `f32` and `f64` models side by side through one scheduler
+//! thread, one admission queue, and one plan cache. Models, tickets, and
+//! sessions stay typed — mixing dtypes is just loading both kinds of
+//! model into the same runtime.
+//!
 //! Run with `cargo run --release --example serving`.
 
 use fastkron::prelude::*;
 use kron_core::shuffle::kron_matmul_shuffle;
 
 fn main() {
-    // A runtime with a modest batch budget; `batch_linger_us` lets bursts
-    // coalesce even on small hosts.
-    let runtime = Runtime::<f32>::new(RuntimeConfig {
+    // ONE runtime for all traffic; `batch_linger_us` lets bursts coalesce
+    // even on small hosts.
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 128,
         batch_max_m: 16,
         batch_linger_us: 200,
         ..RuntimeConfig::default()
     });
 
-    // "Load the model once": a GP-style kernel operator 8 ⊗ 8 ⊗ 8.
-    let factors: Vec<Matrix<f32>> = (0..3)
+    // "Load the models once": an f32 GP-style kernel operator 8 ⊗ 8 ⊗ 8
+    // and an f64 operator 4 ⊗ 4 — both served by the same runtime.
+    let f32_factors: Vec<Matrix<f32>> = (0..3)
         .map(|i| Matrix::from_fn(8, 8, |r, c| ((i * 5 + r * 8 + c) % 11) as f32 - 5.0))
         .collect();
-    let model = runtime.load_model(factors.clone()).expect("valid model");
+    let model32 = runtime
+        .load_model(f32_factors.clone())
+        .expect("valid model");
+    let f64_factors: Vec<Matrix<f64>> = (0..2)
+        .map(|i| Matrix::from_fn(4, 4, |r, c| ((i * 3 + r * 4 + c) % 7) as f64 - 3.0))
+        .collect();
+    let model64 = runtime
+        .load_model(f64_factors.clone())
+        .expect("valid model");
     println!(
-        "model: {} factors, X has {} cols, Y has {} cols",
-        model.num_factors(),
-        model.input_cols(),
-        model.output_cols()
+        "one runtime, two models: f32 {}-factor (K={}) and f64 {}-factor (K={})",
+        model32.num_factors(),
+        model32.input_cols(),
+        model64.num_factors(),
+        model64.input_cols()
     );
 
-    // Fire a burst of small-M requests, then collect: in-flight same-model
-    // requests are stacked row-wise into large-M fused executes.
-    let refs: Vec<&Matrix<f32>> = factors.iter().collect();
-    let mut tickets = Vec::new();
-    let mut oracles = Vec::new();
+    // Fire an interleaved burst of small-M requests of BOTH dtypes, then
+    // collect: in-flight same-model requests are stacked row-wise into
+    // large-M fused executes; the service order (priorities, deadlines,
+    // arrival) spans both dtypes.
+    let refs32: Vec<&Matrix<f32>> = f32_factors.iter().collect();
+    let refs64: Vec<&Matrix<f64>> = f64_factors.iter().collect();
+    let mut t32 = Vec::new();
+    let mut o32 = Vec::new();
+    let mut t64 = Vec::new();
+    let mut o64 = Vec::new();
     for i in 0..64 {
         let m = 1 + i % 4; // M ∈ {1..4}: far too small to use a wide host alone
-        let x = Matrix::<f32>::from_fn(m, model.input_cols(), |r, c| {
-            ((i + 3 * r + c) % 7) as f32 - 3.0
-        });
-        oracles.push(kron_matmul_shuffle(&x, &refs).expect("oracle"));
-        tickets.push(runtime.submit(&model, x).expect("submit"));
+        if i % 2 == 0 {
+            let x = Matrix::<f32>::from_fn(m, model32.input_cols(), |r, c| {
+                ((i + 3 * r + c) % 7) as f32 - 3.0
+            });
+            o32.push(kron_matmul_shuffle(&x, &refs32).expect("oracle"));
+            t32.push(runtime.submit(&model32, x).expect("submit"));
+        } else {
+            let x = Matrix::<f64>::from_fn(m, model64.input_cols(), |r, c| {
+                ((i + 2 * r + c) % 9) as f64 - 4.0
+            });
+            o64.push(kron_matmul_shuffle(&x, &refs64).expect("oracle"));
+            t64.push(runtime.submit(&model64, x).expect("submit"));
+        }
     }
-    for (i, (ticket, oracle)) in tickets.into_iter().zip(&oracles).enumerate() {
+    for (i, (ticket, oracle)) in t32.into_iter().zip(&o32).enumerate() {
         let y = ticket.wait().expect("serve");
-        assert_matrices_close(&y, oracle, &format!("request {i}"));
+        assert_matrices_close(&y, oracle, &format!("f32 request {i}"));
     }
-    println!("served and verified 64 burst requests");
+    for (i, (ticket, oracle)) in t64.into_iter().zip(&o64).enumerate() {
+        let y = ticket.wait().expect("serve");
+        assert_matrices_close(&y, oracle, &format!("f64 request {i}"));
+    }
+    println!("served and verified 64 interleaved f32/f64 burst requests");
 
-    // Synchronous, allocation-free steady state: a session recycles its
-    // buffers; after the first call of a shape, no allocation happens
-    // anywhere in the process per request.
-    let mut session = runtime.session();
-    let mut x = Matrix::<f32>::from_fn(4, model.input_cols(), |r, c| (r + c) as f32);
-    let mut y = Matrix::zeros(4, model.output_cols());
+    // Synchronous, allocation-free steady state: hold one typed session
+    // per dtype against the same runtime; each recycles its buffers, and
+    // after the first call of a shape no allocation happens anywhere in
+    // the process per request — even with both dtypes in flight.
+    let mut session32 = runtime.session::<f32>();
+    let mut session64 = runtime.session::<f64>();
+    let mut x32 = Matrix::<f32>::from_fn(4, model32.input_cols(), |r, c| (r + c) as f32);
+    let mut y32 = Matrix::zeros(4, model32.output_cols());
+    let mut x64 = Matrix::<f64>::from_fn(4, model64.input_cols(), |r, c| (r + 2 * c) as f64);
+    let mut y64 = Matrix::zeros(4, model64.output_cols());
     for _ in 0..100 {
-        (x, y) = session.call(&model, x, y).expect("session call");
+        (x32, y32) = session32
+            .call(&model32, x32, y32)
+            .expect("f32 session call");
+        (x64, y64) = session64
+            .call(&model64, x64, y64)
+            .expect("f64 session call");
     }
-    println!("session served 100 recycled-buffer requests");
+    println!("two sessions served 200 recycled-buffer requests (100 per dtype)");
 
     let stats = runtime.stats();
     println!(
-        "stats: served={} (batched={} over {} fused executes, solo={}), \
-         plan cache hits/misses = {}/{}",
+        "stats: served={} (f32={}, f64={}; batched={} over {} fused executes, solo={}), \
+         plan cache hits/misses = {}/{}, resident entries={} (~{} KiB accounted)",
         stats.served,
+        stats.requests_f32,
+        stats.requests_f64,
         stats.batched_requests,
         stats.batches,
         stats.solo_requests,
         stats.plan_hits,
-        stats.plan_misses
+        stats.plan_misses,
+        stats.cached_entries,
+        stats.cached_bytes / 1024,
     );
     runtime.shutdown();
     println!("runtime drained and shut down");

@@ -21,7 +21,7 @@ use kron_core::shuffle::kron_matmul_shuffle;
 use kron_core::KronError;
 
 fn main() {
-    let runtime = Runtime::<f32>::new(RuntimeConfig {
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 64,
         batch_max_m: 16,
         backend: Backend::Distributed {

@@ -1,7 +1,8 @@
-//! Serving lifecycle: a capacity-bounded plan cache serving a rotating
-//! model set, with pinning, idle eviction, deadlines, priorities, and the
-//! adaptive linger window — the admission-control layer on top of the
-//! batching runtime.
+//! Serving lifecycle: a capacity- and byte-bounded plan cache serving a
+//! rotating model set of both dtypes through one erased runtime, with
+//! pinning, idle eviction, deadlines, priorities (aged), and the adaptive
+//! linger window — the admission-control layer on top of the batching
+//! runtime.
 //!
 //! Run with `cargo run --release --example serving_lifecycle`.
 
@@ -19,12 +20,14 @@ fn factors_for(shapes: &[(usize, usize)], seed: usize) -> Vec<Matrix<f32>> {
 }
 
 fn main() {
-    // A bounded runtime over the simulated 4-GPU machine: at most TWO
-    // resident plan-cache entries (each `Distributed` entry pins GM·GK
-    // parked device threads, so the bound is also a thread/memory
-    // bound), entries idle > 50 ms age out, and the linger window adapts
-    // to load under a 200 us cap.
-    let runtime = Runtime::<f32>::new(RuntimeConfig {
+    // A bounded (dtype-erased) runtime over the simulated 4-GPU machine:
+    // at most TWO resident plan-cache entries (each `Distributed` entry
+    // pins GM·GK parked device threads, so the bound is also a
+    // thread/memory bound), at most 64 MiB of accounted execution state
+    // (workspace + staging + engine blocks, across every dtype served),
+    // entries idle > 50 ms age out, and the linger window adapts to load
+    // under a 200 us cap.
+    let runtime = Runtime::new(RuntimeConfig {
         max_batch_rows: 128,
         batch_max_m: 16,
         batch_linger_us: 200,
@@ -32,6 +35,7 @@ fn main() {
         cache: CachePolicy {
             max_entries: 2,
             max_idle_us: Some(50_000),
+            max_bytes: Some(64 << 20),
         },
         backend: Backend::Distributed { gpus: 4, p2p: true },
         ..RuntimeConfig::default()
@@ -63,9 +67,18 @@ fn main() {
         live_sim_worker_threads()
     );
 
-    // Rotate traffic across all four shapes. The cache can hold only two
-    // entries, so models 1–3 churn (evict + rebuild) while model 0 rides
-    // its pin; the worker-thread count stays bounded throughout.
+    // The runtime is dtype-erased: an f64 model joins the same rotation,
+    // competing for the same two cache slots and the same byte budget as
+    // the f32 models.
+    let f64_factors: Vec<Matrix<f64>> = (0..2)
+        .map(|i| Matrix::from_fn(4, 4, |r, c| ((7 + 5 * i + r * 4 + c) % 11) as f64 - 5.0))
+        .collect();
+    let model_f64 = runtime.load_model(f64_factors).expect("valid f64 model");
+
+    // Rotate traffic across all five shapes (four f32 + one f64). The
+    // cache can hold only two entries, so the unpinned models churn
+    // (evict + rebuild) while model 0 rides its pin; the worker-thread
+    // count and the accounted bytes stay bounded throughout.
     for round in 0..3 {
         for (i, model) in models.iter().enumerate() {
             let m = 2 + (round + i) % 6;
@@ -84,11 +97,17 @@ fn main() {
                 .expect("timely request");
             assert_eq!(y.cols(), model.output_cols());
         }
+        let x = Matrix::<f64>::from_fn(2, model_f64.input_cols(), |r, c| {
+            ((round + r + 2 * c) % 9) as f64 - 4.0
+        });
+        let y = runtime.execute(&model_f64, x).expect("f64 request");
+        assert_eq!(y.cols(), model_f64.output_cols());
         let s = runtime.stats();
         println!(
-            "round {round}: entries={} evictions={} rebuilds={} hits/misses={}/{} \
+            "round {round}: entries={} (~{} KiB) evictions={} rebuilds={} hits/misses={}/{} \
              live-threads={}",
             s.cached_entries,
+            s.cached_bytes / 1024,
             s.evictions,
             s.rebuilds,
             s.plan_hits,
@@ -111,9 +130,11 @@ fn main() {
 
     let s = runtime.stats();
     println!(
-        "\ntotals: served={} batched={} solo={} deadline_shed={} evictions={} \
-         rebuilds={} linger_now={}us",
+        "\ntotals: served={} (f32={}, f64={}) batched={} solo={} deadline_shed={} \
+         evictions={} rebuilds={} linger_now={}us",
         s.served,
+        s.requests_f32,
+        s.requests_f64,
         s.batched_requests,
         s.solo_requests,
         s.deadline_shed,

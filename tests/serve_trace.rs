@@ -7,10 +7,12 @@
 //! This is the serving-layer analog of `tests/differential.rs`: where
 //! that suite pins single executions across engines, this one pins the
 //! whole admission-control pipeline — burst submission, linked batches,
-//! priority reordering, deadline plumbing, cross-request row stacking,
-//! grid zero-padding — as value-invisible.
+//! priority reordering (with aging), deadline plumbing, cross-request row
+//! stacking, grid zero-padding, and (via `MixedServePlan`) f32/f64
+//! interleaving through the one dtype-erased runtime — as
+//! value-invisible.
 
-use kron_testkit::{check_serve_plan, ServePlan};
+use kron_testkit::{check_mixed_serve_plan, check_serve_plan, MixedServePlan, ServePlan};
 
 /// Seeds swept per dtype. Each trace is 24–40 requests over 2–4 models.
 const SEEDS: u64 = 4;
@@ -29,10 +31,22 @@ fn serve_traces_match_planned_execution_f64() {
     }
 }
 
+/// The erased-runtime contract: an interleaved f32+f64 trace (48–80
+/// requests over 4–8 models of both dtypes in ONE arrival order) served
+/// by the single dtype-erased runtime on both backends must match every
+/// request's typed per-request planned execution bit-for-bit.
+#[test]
+fn mixed_dtype_serve_traces_match_planned_execution() {
+    for seed in 0..SEEDS {
+        check_mixed_serve_plan(&MixedServePlan::deterministic(seed)).unwrap();
+    }
+}
+
 /// A pinned larger trace, kept stable as a regression anchor (the sweep
 /// above rotates with `SEEDS`; this one never changes).
 #[test]
 fn pinned_serve_trace_regression() {
     check_serve_plan(&ServePlan::<f64>::deterministic(0xC0FFEE)).unwrap();
     check_serve_plan(&ServePlan::<f32>::deterministic(0xC0FFEE)).unwrap();
+    check_mixed_serve_plan(&MixedServePlan::deterministic(0xC0FFEE)).unwrap();
 }
