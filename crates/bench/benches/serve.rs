@@ -23,7 +23,7 @@ use fastkron_core::exec::kron_matmul_fused;
 use fastkron_core::FastKron;
 use gpu_sim::device::V100;
 use kron_core::{KronProblem, Matrix};
-use kron_runtime::{Runtime, RuntimeConfig};
+use kron_runtime::{RetryPolicy, Runtime, RuntimeConfig};
 use std::time::Instant;
 
 /// Requests per case for the direct and batched paths.
@@ -133,10 +133,14 @@ struct CaseResult {
     planned: PathResult,
     direct: PathResult,
     batched: PathResult,
+    /// The batched path again, on a twin runtime with retry disabled —
+    /// the fault-free-overhead control (self-healing must be free when
+    /// nothing fails).
+    noretry: PathResult,
     batches: u64,
 }
 
-fn run_case(runtime: &Runtime, m: usize, p: usize, n: usize) -> CaseResult {
+fn run_case(runtime: &Runtime, noretry_rt: &Runtime, m: usize, p: usize, n: usize) -> CaseResult {
     let problem = KronProblem::uniform(m, p, n).expect("valid case");
     let k = problem.input_cols();
     let factors: Vec<Matrix<f32>> = (0..n).map(|i| seq_matrix(p, p, i + 2)).collect();
@@ -155,9 +159,15 @@ fn run_case(runtime: &Runtime, m: usize, p: usize, n: usize) -> CaseResult {
     let (_, _) = run_batched(runtime, &model, &xs[..64.min(xs.len())]);
     let _ = run_planned(&problem, &xs[..4], &refs);
 
+    // Fault-free-overhead control: the identical request stream through a
+    // twin runtime whose retry machinery is disabled.
+    let noretry_model = noretry_rt.load_model(factors.clone()).expect("load model");
+    let (_, _) = run_batched(noretry_rt, &noretry_model, &xs[..64.min(xs.len())]);
+
     let planned = run_planned(&problem, &xs[..PLANNED_REQUESTS], &refs);
     let direct = run_direct(&xs, &refs);
     let (batched, batches) = run_batched(runtime, &model, &xs);
+    let (noretry, _) = run_batched(noretry_rt, &noretry_model, &xs);
 
     CaseResult {
         m,
@@ -166,6 +176,7 @@ fn run_case(runtime: &Runtime, m: usize, p: usize, n: usize) -> CaseResult {
         planned,
         direct,
         batched,
+        noretry,
         batches,
     }
 }
@@ -187,6 +198,7 @@ fn emit_json(results: &[CaseResult], threads: usize) -> String {
                     "     \"unbatched_planned\": {},\n",
                     "     \"unbatched_direct\": {},\n",
                     "     \"batched\": {},\n",
+                    "     \"batched_noretry\": {},\n",
                     "     \"batches\": {},\n",
                     "     \"speedup\": {:.3}, \"speedup_vs_direct\": {:.3}}}"
                 ),
@@ -196,6 +208,7 @@ fn emit_json(results: &[CaseResult], threads: usize) -> String {
                 path_json(&r.planned),
                 path_json(&r.direct),
                 path_json(&r.batched),
+                path_json(&r.noretry),
                 r.batches,
                 r.batched.rps / r.planned.rps,
                 r.batched.rps / r.direct.rps,
@@ -223,7 +236,7 @@ fn emit_json(results: &[CaseResult], threads: usize) -> String {
 }
 
 fn main() {
-    let runtime = Runtime::new(RuntimeConfig {
+    let config = RuntimeConfig {
         max_batch_rows: 256,
         batch_max_m: 32,
         max_queue: 2048,
@@ -231,6 +244,19 @@ fn main() {
         // thread and the scheduler contend for the same core.
         batch_linger_us: 300,
         ..RuntimeConfig::default()
+    };
+    // Default config: retry/breaker/chaos machinery compiled in and armed
+    // (but never firing — this bench is the fault-free path).
+    let runtime = Runtime::new(config.clone());
+    // Control: identical twin with the retry machinery disabled, to price
+    // what self-healing costs a healthy server.
+    let noretry_rt = Runtime::new(RuntimeConfig {
+        retry: RetryPolicy {
+            max_attempts: 0,
+            backoff_us: 0,
+            degrade: false,
+        },
+        ..config
     });
     let threads = rayon::ThreadPool::global().threads();
 
@@ -240,7 +266,7 @@ fn main() {
     );
     let mut results = Vec::new();
     for &(m, p, n) in CASES {
-        let r = run_case(&runtime, m, p, n);
+        let r = run_case(&runtime, &noretry_rt, m, p, n);
         println!(
             "{:>10} {:>12.0} {:>12.0} {:>12.0} {:>8.2}x {:>8.2}x {:>8}",
             format!("M={m} {p}^{n}"),
@@ -299,6 +325,36 @@ fn main() {
         println!("cross-request batching engaged on every case");
     } else {
         println!("FAIL: no batches formed on: {}", unbatched_cases.join(", "));
+        failed = true;
+    }
+    // (3) Fault-free overhead: with no fault firing, the retry-enabled
+    // runtime's p50 must be indistinguishable from the retry-disabled
+    // twin's — the self-healing machinery may not tax the healthy path.
+    // The bound is generous (1.5x + 20µs) because single-digit-µs p50s
+    // on shared CI hosts jitter by more than the machinery could ever
+    // cost; a real regression (a lock or allocation on the hot path)
+    // blows through it anyway.
+    let overhead_ok = results
+        .iter()
+        .filter(|r| r.batched.p50_us <= 1.5 * r.noretry.p50_us + 20.0)
+        .count();
+    if overhead_ok >= 6 {
+        println!(
+            "retry-enabled p50 within noise of retry-disabled on {overhead_ok}/{} cases",
+            results.len()
+        );
+    } else {
+        for r in &results {
+            println!(
+                "  M={} {}^{}: p50 retry={:.2}us noretry={:.2}us",
+                r.m, r.p, r.n, r.batched.p50_us, r.noretry.p50_us
+            );
+        }
+        println!(
+            "FAIL: fault-free retry overhead visible on {}/{} cases",
+            results.len() - overhead_ok,
+            results.len()
+        );
         failed = true;
     }
     if failed {

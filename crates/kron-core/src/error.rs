@@ -65,6 +65,19 @@ pub enum KronError {
         /// The scheduler's clock when it shed the request.
         now_us: u64,
     },
+    /// A simulated device failed to report completion within the
+    /// watchdog budget during a sharded execution — the bounded verdict
+    /// for a hung (or injected slow) device. The batch's result must be
+    /// discarded; the engine's fabric stays balanced, but the serving
+    /// runtime evicts and rebuilds the entry like a
+    /// [`KronError::DeviceFailure`].
+    DeviceTimeout {
+        /// Linear id of the device that missed the watchdog deadline.
+        gpu: usize,
+        /// How long the coordinator had waited when it gave up
+        /// (microseconds on the owning runtime's clock).
+        waited_us: u64,
+    },
     /// A request was submitted to a serving runtime that has shut down.
     Shutdown,
     /// Building this model's execution state alone would exceed the plan
@@ -106,6 +119,10 @@ impl fmt::Display for KronError {
             } => write!(
                 f,
                 "deadline exceeded: due at {deadline_us}us, scheduled at {now_us}us"
+            ),
+            KronError::DeviceTimeout { gpu, waited_us } => write!(
+                f,
+                "simulated device {gpu} timed out: no completion after {waited_us}us (watchdog)"
             ),
             KronError::Shutdown => write!(f, "the serving runtime has shut down"),
             KronError::CacheBudgetExceeded {

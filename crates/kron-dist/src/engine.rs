@@ -25,6 +25,15 @@
 //!   stay balanced and the fabric never hangs. The batch fails with
 //!   [`KronError::DeviceFailure`] naming the device; the engine stays
 //!   consistent for later batches.
+//! * **Slow-device watchdog** — [`ShardedEngine::inject_stall`] parks a
+//!   device at the top of its next batch until the coordinator releases
+//!   it. The coordinator times the stall on a caller-injected clock (see
+//!   [`Watchdog`]): a stall within the watchdog budget is released on
+//!   schedule and the batch succeeds (a latency blip); a stall past the
+//!   budget is released *at* the budget and the batch fails with a
+//!   bounded [`KronError::DeviceTimeout`] — a hung device can never hang
+//!   the engine. Either way every device's `Done` is collected, so the
+//!   fabric stays balanced.
 //!
 //! The local multiply steps run [`fastkron_core::sliced_multiply_rows_into`]
 //! — the exact microkernel of the single-device fused path — so sharded
@@ -68,6 +77,37 @@ pub fn live_sim_worker_threads() -> usize {
 /// into a bounded-latency `DeviceFailure` instead of a permanent hang.
 const FABRIC_RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// Real-time granularity of the watchdog's completion poll while a stall
+/// is armed: the coordinator alternates between checking the injected
+/// clock and a bounded `done_rx` receive so that manual-clock tests (where
+/// virtual time only moves when the test advances it) still make progress.
+const WATCHDOG_POLL: Duration = Duration::from_micros(200);
+
+/// Clock bridge for the slow-device watchdog. The engine itself is
+/// clock-free; its owner (the serving runtime, or a test) injects its
+/// timeline as a `now_us` closure plus a timeout budget, so watchdog
+/// verdicts are deterministic under a manual clock.
+pub struct Watchdog {
+    timeout_us: u64,
+    now_us: Box<dyn Fn() -> u64 + Send>,
+}
+
+impl Watchdog {
+    /// A watchdog declaring [`KronError::DeviceTimeout`] after
+    /// `timeout_us` on the timeline `now_us` reads.
+    pub fn new(timeout_us: u64, now_us: Box<dyn Fn() -> u64 + Send>) -> Self {
+        Watchdog { timeout_us, now_us }
+    }
+}
+
+impl std::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("timeout_us", &self.timeout_us)
+            .finish_non_exhaustive()
+    }
+}
+
 /// One execution command broadcast to every simulated device. The raw
 /// pointers stay valid because [`ShardedEngine::execute_rows`] blocks until
 /// every device reports done.
@@ -82,6 +122,10 @@ struct Cmd<T> {
     k: usize,
     /// Device id to fault-inject on, or `usize::MAX` for none.
     fault: usize,
+    /// Device id to stall at batch start, or `usize::MAX` for none. The
+    /// stalled device parks on its resume channel until the coordinator's
+    /// watchdog releases it.
+    stall: usize,
 }
 
 impl<T> Clone for Cmd<T> {
@@ -115,6 +159,10 @@ struct Worker<T: Element> {
     nlocal: usize,
     cmd_rx: Receiver<Cmd<T>>,
     done_tx: Sender<Done>,
+    /// Release channel for an injected stall; closed channels release
+    /// immediately, so engine teardown can never deadlock on a stalled
+    /// device.
+    resume_rx: Receiver<()>,
     /// Data fabric senders to row peers, indexed by destination column
     /// (`None` at our own column).
     data_tx: Vec<Option<Sender<Vec<T>>>>,
@@ -165,6 +213,13 @@ impl<T: Element> Worker<T> {
     }
 
     fn serve(&mut self, cmd: &Cmd<T>) -> Done {
+        if cmd.stall == self.me {
+            // Simulated slow device: park until the coordinator's watchdog
+            // releases us — on schedule for a tolerable stall, at the
+            // timeout verdict for an excessive one. A closed channel
+            // (engine teardown) releases immediately.
+            let _ = self.resume_rx.recv();
+        }
         let tgm = cmd.rows / self.gm;
         let (k, tgk) = (cmd.k, self.tgk);
         // SAFETY: the coordinator blocks until we send `Done`, keeping the
@@ -354,7 +409,12 @@ pub struct ShardedEngine<T: Element> {
     report: OnceCell<Option<ExecReport>>,
     cmd_txs: Vec<Sender<Cmd<T>>>,
     done_rx: Receiver<Done>,
+    /// Per-device stall release channels, indexed by linear device id.
+    resume_txs: Vec<Sender<()>>,
     pending_fault: Option<usize>,
+    /// Armed slow-device injection: `(gpu, stall_us)`.
+    pending_stall: Option<(usize, u64)>,
+    watchdog: Option<Watchdog>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -386,12 +446,15 @@ impl<T: Element> ShardedEngine<T> {
         let recycle: Fabric<Vec<T>> = Fabric::new(grid);
         let (done_tx, done_rx) = unbounded();
         let mut cmd_txs = Vec::with_capacity(gm * gk);
+        let mut resume_txs: Vec<Option<Sender<()>>> = (0..gm * gk).map(|_| None).collect();
         let mut workers = Vec::with_capacity(gm * gk);
         for bm in 0..gm {
             for bk in 0..gk {
                 let me = grid.id(bm, bk);
                 let (cmd_tx, cmd_rx) = unbounded();
                 cmd_txs.push(cmd_tx);
+                let (resume_tx, resume_rx) = unbounded();
+                resume_txs[me] = Some(resume_tx);
                 let peer = |other: usize| (other != bk).then(|| grid.id(bm, other));
                 let worker = Worker {
                     bm,
@@ -404,6 +467,7 @@ impl<T: Element> ShardedEngine<T> {
                     nlocal: shape.nlocal,
                     cmd_rx,
                     done_tx: done_tx.clone(),
+                    resume_rx,
                     data_tx: (0..gk)
                         .map(|d| peer(d).map(|id| data.sender(me, id)))
                         .collect(),
@@ -448,7 +512,13 @@ impl<T: Element> ShardedEngine<T> {
             report: OnceCell::new(),
             cmd_txs,
             done_rx,
+            resume_txs: resume_txs
+                .into_iter()
+                .map(|tx| tx.expect("every linear id visited"))
+                .collect(),
             pending_fault: None,
+            pending_stall: None,
+            watchdog: None,
             workers,
         })
     }
@@ -506,6 +576,39 @@ impl<T: Element> ShardedEngine<T> {
             });
         }
         self.pending_fault = Some(gpu);
+        Ok(())
+    }
+
+    /// Installs (or replaces) the slow-device watchdog. Required before
+    /// [`Self::inject_stall`]; without a stall armed the watchdog is
+    /// never consulted, so healthy executes stay on the zero-overhead
+    /// blocking path.
+    pub fn set_watchdog(&mut self, watchdog: Watchdog) {
+        self.watchdog = Some(watchdog);
+    }
+
+    /// Arms a one-shot slow-device injection: on the next
+    /// [`Self::execute_rows`], device `gpu` parks at batch start for
+    /// `stall_us` of watchdog-clock time. A stall within the watchdog
+    /// budget is a latency blip (the batch succeeds); a stall past it
+    /// fails the batch with [`KronError::DeviceTimeout`] — the result
+    /// must then be discarded, though the engine's fabric stays balanced.
+    ///
+    /// # Errors
+    /// [`KronError::InvalidGrid`] when `gpu` is outside the grid or no
+    /// watchdog is installed (an unbudgeted stall could hang the engine).
+    pub fn inject_stall(&mut self, gpu: usize, stall_us: u64) -> Result<()> {
+        if gpu >= self.grid.gpus() {
+            return Err(KronError::InvalidGrid {
+                reason: format!("device {gpu} outside a {} GPU grid", self.grid.gpus()),
+            });
+        }
+        if self.watchdog.is_none() {
+            return Err(KronError::InvalidGrid {
+                reason: "slow-device injection requires a watchdog (call set_watchdog)".into(),
+            });
+        }
+        self.pending_stall = Some((gpu, stall_us));
         Ok(())
     }
 
@@ -570,6 +673,7 @@ impl<T: Element> ShardedEngine<T> {
         }
 
         let fault = self.pending_fault.take().unwrap_or(usize::MAX);
+        let stall = self.pending_stall.take();
         let cmd = Cmd {
             x: x.as_slice().as_ptr(),
             y: y.as_mut_slice().as_mut_ptr(),
@@ -578,21 +682,79 @@ impl<T: Element> ShardedEngine<T> {
             rows,
             k,
             fault,
+            stall: stall.map_or(usize::MAX, |(gpu, _)| gpu),
         };
         for tx in &self.cmd_txs {
             let _ = tx.send(cmd);
         }
         // Block until every device reports: this pins the Cmd pointers'
-        // referents for the whole sharded execution.
+        // referents for the whole sharded execution. With a stall armed,
+        // the coordinator doubles as the watchdog: it polls the injected
+        // clock between bounded receives and releases the stalled device
+        // either on schedule or at the budget's timeout verdict — every
+        // Done is still collected, so the fabric stays balanced.
         let mut first_failure: Option<(usize, String)> = None;
-        for _ in 0..self.grid.gpus() {
-            let done = self.done_rx.recv().expect("device threads alive");
-            if let Some(reason) = done.failure {
-                let replace = first_failure.as_ref().is_none_or(|(g, _)| done.gpu < *g);
-                if replace {
-                    first_failure = Some((done.gpu, reason));
+        let mut timed_out: Option<(usize, u64)> = None;
+        match stall {
+            None => {
+                for _ in 0..self.grid.gpus() {
+                    let done = self.done_rx.recv().expect("device threads alive");
+                    if let Some(reason) = done.failure {
+                        let replace = first_failure.as_ref().is_none_or(|(g, _)| done.gpu < *g);
+                        if replace {
+                            first_failure = Some((done.gpu, reason));
+                        }
+                    }
                 }
             }
+            Some((gpu, stall_us)) => {
+                let wd = self
+                    .watchdog
+                    .as_ref()
+                    .expect("inject_stall requires watchdog");
+                let start = (wd.now_us)();
+                let release_at = start.saturating_add(stall_us);
+                let deadline = start.saturating_add(wd.timeout_us);
+                // Fire at whichever comes first: the scheduled release or
+                // the watchdog's verdict.
+                let (fire_at, verdict_is_timeout) = if release_at <= deadline {
+                    (release_at, false)
+                } else {
+                    (deadline, true)
+                };
+                let mut released = false;
+                let mut received = 0;
+                while received < self.grid.gpus() {
+                    if !released && (wd.now_us)() >= fire_at {
+                        if verdict_is_timeout {
+                            timed_out = Some((gpu, (wd.now_us)().saturating_sub(start)));
+                        }
+                        let _ = self.resume_txs[gpu].send(());
+                        released = true;
+                    }
+                    match self.done_rx.recv_timeout(WATCHDOG_POLL) {
+                        Ok(done) => {
+                            if let Some(reason) = done.failure {
+                                let replace =
+                                    first_failure.as_ref().is_none_or(|(g, _)| done.gpu < *g);
+                                if replace {
+                                    first_failure = Some((done.gpu, reason));
+                                }
+                            }
+                            received += 1;
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                            unreachable!("device threads alive")
+                        }
+                    }
+                }
+            }
+        }
+        // A timeout verdict outranks any secondary failure: the stalled
+        // device is the root cause and names the bounded wait.
+        if let Some((gpu, waited_us)) = timed_out {
+            return Err(KronError::DeviceTimeout { gpu, waited_us });
         }
         match first_failure {
             Some((gpu, reason)) => Err(KronError::DeviceFailure { gpu, reason }),
@@ -606,8 +768,10 @@ impl<T: Element> Drop for ShardedEngine<T> {
         // Closing the command channels parks every worker out of its recv
         // loop; join for a clean teardown. The live-worker gauge drops
         // only after the join, so observers never see a joined thread
-        // still counted.
+        // still counted. Resume channels close too, so a device parked in
+        // an armed-but-never-executed stall can never block the join.
         self.cmd_txs.clear();
+        self.resume_txs.clear();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
             LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
@@ -700,6 +864,74 @@ mod tests {
         engine.execute_rows(&x, &refs, &mut y, 8).unwrap();
         let oracle = kron_matmul_fastkron(&x, &refs).unwrap();
         assert_eq!(y.as_slice(), oracle.as_slice());
+    }
+
+    /// A deterministic watchdog timeline for single-threaded tests: every
+    /// read advances virtual time by `step_us`, so the coordinator's poll
+    /// loop observes time passing without a second thread driving it.
+    fn ticking_clock(step_us: u64) -> Box<dyn Fn() -> u64 + Send> {
+        let t = std::sync::atomic::AtomicU64::new(0);
+        Box::new(move || t.fetch_add(step_us, Ordering::SeqCst))
+    }
+
+    #[test]
+    fn stall_within_watchdog_budget_is_a_latency_blip() {
+        let mut engine = engine_for(8, 4, 3, 4);
+        let fs: Vec<Matrix<f64>> = (0..3).map(|i| seq_matrix(4, 4, 7 * i + 1)).collect();
+        let refs: Vec<&Matrix<f64>> = fs.iter().collect();
+        let x = seq_matrix(8, 64, 3);
+        let mut y = Matrix::zeros(8, 64);
+
+        engine.set_watchdog(Watchdog::new(10_000, ticking_clock(250)));
+        engine.inject_stall(1, 500).unwrap();
+        engine.execute_rows(&x, &refs, &mut y, 8).unwrap();
+        let oracle = kron_matmul_fastkron(&x, &refs).unwrap();
+        assert_eq!(y.as_slice(), oracle.as_slice());
+    }
+
+    #[test]
+    fn stall_past_watchdog_budget_is_a_bounded_timeout() {
+        let mut engine = engine_for(8, 4, 3, 4);
+        let fs: Vec<Matrix<f64>> = (0..3).map(|i| seq_matrix(4, 4, 2 * i + 3)).collect();
+        let refs: Vec<&Matrix<f64>> = fs.iter().collect();
+        let x = seq_matrix(8, 64, 9);
+        let mut y = Matrix::zeros(8, 64);
+
+        engine.set_watchdog(Watchdog::new(1_000, ticking_clock(250)));
+        engine.inject_stall(2, 50_000).unwrap();
+        let err = engine.execute_rows(&x, &refs, &mut y, 8).unwrap_err();
+        match err {
+            KronError::DeviceTimeout { gpu, waited_us } => {
+                assert_eq!(gpu, 2);
+                assert!(waited_us >= 1_000, "waited {waited_us}us");
+            }
+            other => panic!("expected DeviceTimeout, got {other:?}"),
+        }
+
+        // Every Done was still collected (the verdict released the
+        // stalled device), so the fabric stayed balanced and the very
+        // next batch succeeds.
+        engine.execute_rows(&x, &refs, &mut y, 8).unwrap();
+        let oracle = kron_matmul_fastkron(&x, &refs).unwrap();
+        assert_eq!(y.as_slice(), oracle.as_slice());
+    }
+
+    #[test]
+    fn stall_injection_is_validated() {
+        let mut engine = engine_for(8, 4, 2, 4);
+        // No watchdog installed: an unbudgeted stall is refused.
+        assert!(matches!(
+            engine.inject_stall(1, 100),
+            Err(KronError::InvalidGrid { .. })
+        ));
+        engine.set_watchdog(Watchdog::new(1_000, ticking_clock(100)));
+        assert!(matches!(
+            engine.inject_stall(99, 100),
+            Err(KronError::InvalidGrid { .. })
+        ));
+        engine.inject_stall(3, 100).unwrap();
+        // Dropping the engine with a stall still armed (never executed)
+        // must not deadlock: resume channels close on teardown.
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub mod fabric;
 pub mod fastkron;
 
 pub use baselines::{CtfEngine, DistalEngine};
-pub use engine::{live_sim_worker_threads, ShardedEngine};
+pub use engine::{live_sim_worker_threads, ShardedEngine, Watchdog};
 pub use fabric::{CommModel, GpuGrid};
 pub use fastkron::DistFastKron;

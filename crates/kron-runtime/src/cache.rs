@@ -77,7 +77,7 @@ use fastkron_core::{FastKron, KronPlan, Workspace};
 use gpu_sim::device::DeviceSpec;
 use gpu_sim::ExecSummary;
 use kron_core::{DType, Element, KronError, KronProblem, Matrix, PlanKey, Result};
-use kron_dist::{CommModel, GpuGrid, ShardedEngine};
+use kron_dist::{CommModel, GpuGrid, ShardedEngine, Watchdog};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -171,6 +171,26 @@ impl<T: Element> CachedPlan<T> {
         match &mut self.compute {
             Compute::Sharded(engine) => engine.inject_fault(gpu).is_ok(),
             Compute::Local { .. } => false,
+        }
+    }
+
+    /// Arms a one-shot `stall_us` stall on device `gpu` of a sharded
+    /// entry (the engine's watchdog converts a stall past its budget into
+    /// [`KronError::DeviceTimeout`]); returns whether the entry could
+    /// take it.
+    pub(crate) fn arm_stall(&mut self, gpu: usize, stall_us: u64) -> bool {
+        match &mut self.compute {
+            Compute::Sharded(engine) => engine.inject_stall(gpu, stall_us).is_ok(),
+            Compute::Local { .. } => false,
+        }
+    }
+
+    /// The `{GM, GK}` grid a sharded entry executes over; `None` for
+    /// local entries. Reveals degraded builds to receipts and tests.
+    pub(crate) fn grid(&self) -> Option<GpuGrid> {
+        match &self.compute {
+            Compute::Sharded(engine) => Some(engine.grid()),
+            Compute::Local { .. } => None,
         }
     }
 
@@ -295,6 +315,12 @@ struct Slot {
     /// [`PlanKey::estimated_bytes`] of the built entry — the byte-budget
     /// accounting unit.
     bytes: usize,
+    /// The device limit the entry was built under (see
+    /// [`PlanCache::get_or_create`]'s `limit`): a hit must match the
+    /// current limit, so a degraded entry is rebuilt at full width once
+    /// the grid heals (and vice versa) instead of serving degraded
+    /// forever.
+    built_limit: usize,
 }
 
 impl Slot {
@@ -343,6 +369,10 @@ pub struct PlanCache {
     /// Sum of every resident slot's `bytes` — the budget's ledger and the
     /// `cached_bytes` gauge.
     total_bytes: usize,
+    /// Watchdog budget installed on every engine this cache builds: a
+    /// device stalled past this many clock microseconds fails its batch
+    /// with [`KronError::DeviceTimeout`] instead of hanging the fabric.
+    watchdog_us: u64,
 }
 
 impl PlanCache {
@@ -351,7 +381,13 @@ impl PlanCache {
     /// `clock`. An invalid distributed configuration (e.g. a
     /// non-power-of-two GPU count) is captured here and surfaces as the
     /// documented [`KronError::InvalidGrid`] on every subsequent request.
-    pub fn new(device: DeviceSpec, backend: &Backend, policy: CachePolicy, clock: Clock) -> Self {
+    pub fn new(
+        device: DeviceSpec,
+        backend: &Backend,
+        policy: CachePolicy,
+        clock: Clock,
+        watchdog_us: u64,
+    ) -> Self {
         let backend = match backend {
             Backend::SingleNode => Ok(None),
             Backend::Distributed { gpus, p2p } => GpuGrid::for_gpus(*gpus).map(|grid| {
@@ -372,6 +408,7 @@ impl PlanCache {
             evicted_keys: HashSet::new(),
             use_seq: 0,
             total_bytes: 0,
+            watchdog_us: watchdog_us.max(1),
         }
     }
 
@@ -462,24 +499,50 @@ impl PlanCache {
         evicted
     }
 
+    /// The device limit an entry actually builds under for a requested
+    /// `limit` (from the health ledger / retry ladder): clamped to the
+    /// configured grid and floored to a power of two so it always maps to
+    /// a valid [`GpuGrid`]. `1` on a single-node (or misconfigured)
+    /// backend, where every entry is local anyway.
+    fn effective_limit(&self, limit: usize) -> usize {
+        match self.backend.as_ref() {
+            Ok(Some((grid, _))) => {
+                let clamped = limit.clamp(1, grid.gpus());
+                if clamped.is_power_of_two() {
+                    clamped
+                } else {
+                    clamped.next_power_of_two() / 2
+                }
+            }
+            _ => 1,
+        }
+    }
+
     /// Looks up (or plans, tunes, and allocates) the execution state for
     /// `model`'s shape chain at `capacity` rows, counting the hit or miss
     /// (and the local fallback when the grid cannot shard the model).
-    /// Returns the entry pinned; the pin must outlive every use of the
-    /// entry this serve. The lookup verifies the dtype and the full shape
-    /// chain, so a later [`ErasedDtype::plan_mut`] on the pinned entry is
-    /// infallible.
+    /// `limit` caps how many simulated devices the entry may span (the
+    /// breaker's quarantine and the retry ladder's degradation both pass
+    /// fewer than the configured grid; pass `usize::MAX` for "whatever
+    /// the backend has") — a resident entry built under a different
+    /// effective limit is rebuilt in place, so healing and degradation
+    /// both converge. Returns the entry pinned; the pin must outlive
+    /// every use of the entry this serve. The lookup verifies the dtype
+    /// and the full shape chain, so a later [`ErasedDtype::plan_mut`] on
+    /// the pinned entry is infallible.
     pub(crate) fn get_or_create<T: ErasedDtype>(
         &mut self,
         model: &ModelInner<T>,
         capacity: usize,
+        limit: usize,
         stats: &StatsInner,
     ) -> Result<PinnedEntry> {
+        let eff_limit = self.effective_limit(limit);
         let map_key = (T::DTYPE, model.shape_key, capacity);
         self.use_seq += 1;
         let (seq, now) = (self.use_seq, self.clock.now_us());
         if let Some(slot) = self.entries.get_mut(&map_key) {
-            let fresh = {
+            let fresh = slot.built_limit == eff_limit && {
                 let mut entry = slot.entry.lock().unwrap_or_else(|e| e.into_inner());
                 T::plan_mut(&mut entry).is_some_and(|p| p.key.problem.factors == model.shapes)
             };
@@ -489,17 +552,18 @@ impl PlanCache {
                 stats.plan_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(PinnedEntry::new(slot));
             }
-            // 64-bit shape-hash collision: rebuild for the new chain
-            // rather than ever serving a wrong-shape state. The old
-            // entry's Arc is replaced, so an in-flight pin (impossible
-            // for a colliding shape, but harmless) keeps the old engine
-            // alive until it drops.
+            // 64-bit shape-hash collision, or a device-limit transition
+            // (degraded ↔ full width): rebuild for the new chain/limit
+            // rather than ever serving a wrong-shape or wrong-width
+            // state. The old entry's Arc is replaced, so an in-flight pin
+            // keeps the old engine alive until it drops.
             stats.plan_misses.fetch_add(1, Ordering::Relaxed);
-            let built = Self::build_entry(&self.device, &self.backend, model, capacity, stats)?;
+            let built = self.build_entry(model, capacity, eff_limit, stats)?;
             let bytes = built.key.estimated_bytes();
             let slot = self.entries.get_mut(&map_key).expect("present above");
             self.total_bytes = self.total_bytes - slot.bytes + bytes;
             slot.bytes = bytes;
+            slot.built_limit = eff_limit;
             slot.entry = Arc::new(Mutex::new(T::wrap_plan(built)));
             slot.pins = Arc::new(AtomicUsize::new(0));
             let pinned = PinnedEntry::new(slot);
@@ -518,7 +582,7 @@ impl PlanCache {
         // budget even transiently. The estimate is conservative for a
         // grid backend whose model later falls back to a (smaller) local
         // entry; the ledger records the actual built footprint.
-        let estimate = self.estimate_bytes::<T>(model, capacity)?;
+        let estimate = self.estimate_bytes::<T>(model, capacity, eff_limit)?;
         if let Some(max_bytes) = self.policy.max_bytes {
             if estimate > max_bytes {
                 return Err(KronError::CacheBudgetExceeded {
@@ -528,7 +592,7 @@ impl PlanCache {
             }
         }
         self.make_room(estimate, stats);
-        let built = Self::build_entry(&self.device, &self.backend, model, capacity, stats)?;
+        let built = self.build_entry(model, capacity, eff_limit, stats)?;
         let bytes = built.key.estimated_bytes();
         if self.evicted_keys.remove(&map_key) {
             stats.rebuilds.fetch_add(1, Ordering::Relaxed);
@@ -540,6 +604,7 @@ impl PlanCache {
             last_used_seq: seq,
             last_used_us: now,
             bytes,
+            built_limit: eff_limit,
         });
         let pinned = PinnedEntry::new(slot);
         self.update_gauges(stats);
@@ -558,11 +623,12 @@ impl PlanCache {
         &self,
         model: &ModelInner<T>,
         capacity: usize,
+        limit: usize,
     ) -> Result<usize> {
-        if let Some((grid, _)) = self.backend.as_ref().map_err(Clone::clone)? {
+        if let Some(grid) = self.grid_for_limit(limit)? {
             let cap = capacity.div_ceil(grid.gm) * grid.gm;
             let problem = KronProblem::new(cap, model.shapes.clone())?;
-            if kron_dist::DistFastKron::shardable_over(*grid, &problem).is_ok() {
+            if kron_dist::DistFastKron::shardable_over(grid, &problem).is_ok() {
                 let key = PlanKey::sharded(problem, T::DTYPE, self.device.name, grid.gm, grid.gk);
                 return Ok(key.estimated_bytes());
             }
@@ -607,25 +673,49 @@ impl PlanCache {
             .store(self.total_bytes as u64, Ordering::Relaxed);
     }
 
+    /// The grid an entry at effective device limit `limit` shards over:
+    /// the configured grid at full limit, a [`GpuGrid::for_gpus`] prefix
+    /// grid when degraded, `None` when the limit is 1 (single-device
+    /// fallback — local execution) or the backend is single-node.
+    fn grid_for_limit(&self, limit: usize) -> Result<Option<GpuGrid>> {
+        match self.backend.as_ref().map_err(Clone::clone)? {
+            Some((grid, _)) if limit >= grid.gpus() => Ok(Some(*grid)),
+            Some(_) if limit > 1 => Ok(Some(GpuGrid::for_gpus(limit)?)),
+            _ => Ok(None),
+        }
+    }
+
     fn build_entry<T: ErasedDtype>(
-        device: &DeviceSpec,
-        backend: &BackendState,
+        &self,
         model: &ModelInner<T>,
         capacity: usize,
+        limit: usize,
         stats: &StatsInner,
     ) -> Result<CachedPlan<T>> {
-        match backend.as_ref().map_err(Clone::clone)? {
-            Some((grid, comm)) => {
+        let device = &self.device;
+        match self.grid_for_limit(limit)? {
+            Some(grid) => {
+                let comm = match self.backend.as_ref() {
+                    Ok(Some((_, comm))) => comm.clone(),
+                    _ => unreachable!("grid_for_limit returned Some"),
+                };
                 // Round the capacity up so any row count ≤ capacity can
                 // zero-pad to a GM multiple and shard.
                 let cap = capacity.div_ceil(grid.gm) * grid.gm;
                 let problem = KronProblem::new(cap, model.shapes.clone())?;
-                match ShardedEngine::new(device, *grid, comm.clone(), &problem) {
-                    Ok(engine) => Ok(CachedPlan {
-                        key: PlanKey::sharded(problem, T::DTYPE, device.name, grid.gm, grid.gk),
-                        compute: Compute::Sharded(Box::new(engine)),
-                        batch: None,
-                    }),
+                match ShardedEngine::new(device, grid, comm, &problem) {
+                    Ok(mut engine) => {
+                        let clock = self.clock.clone();
+                        engine.set_watchdog(Watchdog::new(
+                            self.watchdog_us,
+                            Box::new(move || clock.now_us()),
+                        ));
+                        Ok(CachedPlan {
+                            key: PlanKey::sharded(problem, T::DTYPE, device.name, grid.gm, grid.gk),
+                            compute: Compute::Sharded(Box::new(engine)),
+                            batch: None,
+                        })
+                    }
                     Err(KronError::InvalidGrid { .. }) => {
                         // The grid cannot shard this shape (mixed or
                         // rectangular factors, indivisible K): serve it
@@ -683,7 +773,7 @@ mod tests {
 
     fn cache(policy: CachePolicy, clock: Clock) -> (PlanCache, StatsInner) {
         (
-            PlanCache::new(V100.clone(), &Backend::SingleNode, policy, clock),
+            PlanCache::new(V100.clone(), &Backend::SingleNode, policy, clock, 2_000_000),
             StatsInner::default(),
         )
     }
@@ -704,7 +794,7 @@ mod tests {
         let b = model(&[(3, 3)], 1);
 
         // Hold A's pin — the in-flight state during a batch execute.
-        let pin_a = cache.get_or_create(&a, 8, &stats).unwrap();
+        let pin_a = cache.get_or_create(&a, 8, usize::MAX, &stats).unwrap();
 
         // Idle sweep far past the timeout must not touch the pinned entry.
         handle.advance_us(10_000);
@@ -713,7 +803,7 @@ mod tests {
 
         // Capacity pressure must also route around it: B builds, the
         // cache overflows to 2 (explicit pin override), A survives.
-        let pin_b = cache.get_or_create(&b, 8, &stats).unwrap();
+        let pin_b = cache.get_or_create(&b, 8, usize::MAX, &stats).unwrap();
         assert_eq!(cache.len(), 2);
         drop(pin_b);
 
@@ -721,7 +811,7 @@ mod tests {
         // the LRU unpinned entry again.
         drop(pin_a);
         let c = model(&[(4, 4)], 2);
-        let _pin_c = cache.get_or_create(&c, 8, &stats).unwrap();
+        let _pin_c = cache.get_or_create(&c, 8, usize::MAX, &stats).unwrap();
         assert!(cache.len() <= 2);
         assert!(stats.evictions.load(Ordering::Relaxed) >= 1);
     }
@@ -730,7 +820,7 @@ mod tests {
     fn failed_entry_detaches_but_lives_until_pin_drops() {
         let (mut cache, stats) = cache(CachePolicy::default(), Clock::manual());
         let a = model(&[(2, 2)], 0);
-        let pin = cache.get_or_create(&a, 4, &stats).unwrap();
+        let pin = cache.get_or_create(&a, 4, usize::MAX, &stats).unwrap();
         cache.evict_failed(DType::F64, a.shape_key, 4, &stats);
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.resident_bytes(), 0);
@@ -742,7 +832,7 @@ mod tests {
         drop(guard);
         drop(pin);
         // And the next lookup is a rebuild.
-        let _pin = cache.get_or_create(&a, 4, &stats).unwrap();
+        let _pin = cache.get_or_create(&a, 4, usize::MAX, &stats).unwrap();
         assert_eq!(stats.rebuilds.load(Ordering::Relaxed), 1);
     }
 
@@ -753,8 +843,8 @@ mod tests {
         // includes the dtype), one ledger.
         let a64 = model(&[(4, 4), (4, 4)], 0);
         let a32 = model_f32(&[(4, 4), (4, 4)], 1);
-        let p64 = cache.get_or_create(&a64, 8, &stats).unwrap();
-        let p32 = cache.get_or_create(&a32, 8, &stats).unwrap();
+        let p64 = cache.get_or_create(&a64, 8, usize::MAX, &stats).unwrap();
+        let p32 = cache.get_or_create(&a32, 8, usize::MAX, &stats).unwrap();
         assert_eq!(cache.len(), 2);
         // f64 state accounts twice the bytes of the same-shape f32 state.
         let keys = cache.keys();
@@ -773,7 +863,7 @@ mod tests {
         // A second f64 lookup is a hit (4 ops: 2 misses + 2 re-lookups).
         drop(p64);
         drop(p32);
-        let _again = cache.get_or_create(&a64, 8, &stats).unwrap();
+        let _again = cache.get_or_create(&a64, 8, usize::MAX, &stats).unwrap();
         assert_eq!(stats.plan_hits.load(Ordering::Relaxed), 1);
         assert_eq!(stats.plan_misses.load(Ordering::Relaxed), 2);
     }
@@ -786,7 +876,7 @@ mod tests {
         // build must evict the idle f32 entry first.
         let one64 = {
             let (mut probe, stats) = cache(CachePolicy::default(), Clock::manual());
-            let _p = probe.get_or_create(&a64, 8, &stats).unwrap();
+            let _p = probe.get_or_create(&a64, 8, usize::MAX, &stats).unwrap();
             probe.resident_bytes()
         };
         let (mut cache, stats) = cache(
@@ -797,10 +887,10 @@ mod tests {
             },
             Clock::manual(),
         );
-        let p32 = cache.get_or_create(&a32, 8, &stats).unwrap();
+        let p32 = cache.get_or_create(&a32, 8, usize::MAX, &stats).unwrap();
         drop(p32);
         assert_eq!(cache.len(), 1);
-        let _p64 = cache.get_or_create(&a64, 8, &stats).unwrap();
+        let _p64 = cache.get_or_create(&a64, 8, usize::MAX, &stats).unwrap();
         assert_eq!(cache.len(), 1, "f32 entry evicted to fit the budget");
         assert_eq!(cache.keys()[0].dtype, DType::F64);
         assert_eq!(stats.evictions.load(Ordering::Relaxed), 1);
@@ -822,7 +912,7 @@ mod tests {
             Clock::manual(),
         );
         let a = model(&[(8, 8), (8, 8)], 0);
-        match cache.get_or_create(&a, 32, &stats).map(|_| ()) {
+        match cache.get_or_create(&a, 32, usize::MAX, &stats).map(|_| ()) {
             Err(KronError::CacheBudgetExceeded {
                 required_bytes,
                 max_bytes,

@@ -132,6 +132,49 @@
 //!   traffic and grows to the cap as the smoothed queue depth rises,
 //!   visible as the [`RuntimeStats::current_linger_us`] gauge.
 //!
+//! ## Self-healing
+//!
+//! Device faults are a *runtime* concern, not a client concern. Three
+//! cooperating mechanisms (all deterministic under a manual clock) keep
+//! transient failures invisible and persistent ones bounded:
+//!
+//! * **Transparent retry with degraded re-sharding** —
+//!   [`RetryPolicy`] (on by default): a batch that fails with
+//!   [`kron_core::KronError::DeviceFailure`] or
+//!   [`kron_core::KronError::DeviceTimeout`] evicts its broken engine and
+//!   re-executes on a rebuilt grid; if the fault persists, later attempts
+//!   halve the device count (`4 → 2 → 1`) down to the single-device
+//!   fallback, so a sick machine serves slower instead of failing. The
+//!   client sees `Ok` with bit-identical results (every backend shares
+//!   one microkernel); [`ServeReceipt::attempts`] / [`ServeReceipt::grid`]
+//!   and the [`RuntimeStats`] counters (`retries`, `degraded_batches`,
+//!   `recovered_requests`) record what really happened. Retries honor
+//!   deadlines — a request whose deadline a retry would overshoot is shed
+//!   with [`kron_core::KronError::DeadlineExceeded`], never served late.
+//! * **Device health + circuit breakers** — every device fault is
+//!   attributed to its device; [`BreakerPolicy::trip_after`] consecutive
+//!   failures trip that device's breaker ([`BreakerState`]: Closed →
+//!   Open → HalfOpen), quarantining its grid — new plans build on the
+//!   largest clean power-of-two device prefix, so traffic routes around
+//!   the sick device with no retry at all until the cooldown's half-open
+//!   probe succeeds. Observable via [`Runtime::device_health`] and the
+//!   `breaker_trips` counter.
+//! * **Engine watchdog** — a device that *hangs* (rather than fails) is
+//!   bounded by [`RuntimeConfig::device_watchdog_us`]: the sharded
+//!   engine's coordinator converts the stall into
+//!   [`kron_core::KronError::DeviceTimeout`], which then feeds the same
+//!   retry/breaker machinery.
+//! * **Scheduler panic containment** — the scheduler loop runs under
+//!   `catch_unwind`; a panic poisons the runtime: every pending
+//!   [`Ticket::wait`] fails with [`kron_core::KronError::Shutdown`] and
+//!   later submits error instead of hanging on a dead thread.
+//!
+//! Faults are injected deterministically through the **chaos plane**:
+//!   [`Runtime::install_fault_plan`] scripts [`FaultPlan`]s of device
+//!   panics, watchdog-bounded stalls, and scheduler panics, triggered on
+//!   the Nth sharded batch or at a clock time ([`FaultTrigger`]), with
+//!   [`Runtime::pending_fault_events`] to assert a drill ran.
+//!
 //! ## Usage
 //!
 //! ```
@@ -169,13 +212,17 @@
 
 mod cache;
 mod clock;
+mod fault;
+mod health;
 mod runtime;
 mod scheduler;
 
 pub use cache::{CachePolicy, PlanCache};
 pub use clock::{Clock, ManualClock};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultTrigger};
+pub use health::{BreakerPolicy, BreakerState, DeviceHealthReport};
 pub use runtime::{
-    Backend, Model, ModelPin, Runtime, RuntimeConfig, RuntimeStats, ServeElement, ServeReceipt,
-    Session, SubmitOptions, Ticket,
+    Backend, Model, ModelPin, RetryPolicy, Runtime, RuntimeConfig, RuntimeStats, ServeElement,
+    ServeReceipt, Session, SubmitOptions, Ticket,
 };
 pub use scheduler::{adaptive_linger_us, aged_priority};

@@ -14,17 +14,16 @@
 
 use crate::cache::{CachePolicy, PinnedEntry, PlanCache};
 use crate::clock::Clock;
-use crate::scheduler::Scheduler;
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultPlane, FaultTrigger};
+use crate::health::{BreakerPolicy, DeviceHealth, DeviceHealthReport};
+use crate::scheduler::{arm_scripted_fault, Scheduler};
 use crossbeam::channel::{unbounded, Sender};
 use gpu_sim::device::{DeviceSpec, V100};
 use gpu_sim::ExecSummary;
 use kron_core::{DType, Element, FactorShape, KronError, KronProblem, Matrix, PlanKey, Result};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-
-/// Sentinel for "no device fault armed" in the shared fault flag.
-pub(crate) const NO_FAULT: usize = usize::MAX;
 
 /// Where a runtime executes its batches.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -51,6 +50,56 @@ pub enum Backend {
         /// (§5's peer-access optimization; lower per-message latency).
         p2p: bool,
     },
+}
+
+impl Backend {
+    /// The configured device count: the machine size under
+    /// [`Backend::Distributed`], `1` on a single node.
+    pub fn gpus(&self) -> usize {
+        match self {
+            Backend::SingleNode => 1,
+            Backend::Distributed { gpus, .. } => *gpus,
+        }
+    }
+}
+
+/// Transparent batch-retry policy ([`RuntimeConfig::retry`]).
+///
+/// On a device fault ([`KronError::DeviceFailure`] /
+/// [`KronError::DeviceTimeout`]) the scheduler evicts the broken entry
+/// and re-executes the failed batch instead of surfacing the error: first
+/// on a freshly rebuilt full grid, then — with [`RetryPolicy::degrade`] —
+/// halving the grid toward the single-device fallback. Retried results
+/// are *value-invisible*: every grid shape and the local path compute the
+/// same bits on integer-valued data (the workspace's differential spine),
+/// so a recovered client can't tell a retry happened except by reading
+/// its [`ServeReceipt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum re-executions of a failed batch. `0` disables retry: a
+    /// device fault surfaces to the client as the raw error (PR 3's
+    /// behavior).
+    pub max_attempts: u32,
+    /// Wait between attempts, in microseconds on the runtime's clock
+    /// (`0` retries immediately). A member whose deadline the retry
+    /// would land past is shed with [`KronError::DeadlineExceeded`]
+    /// instead of being retried — a batch never silently retries past
+    /// its deadlines.
+    pub backoff_us: u64,
+    /// After the first same-size rebuild retry, halve the grid on each
+    /// further attempt toward single-device execution. `false` rebuilds
+    /// at full size every attempt.
+    pub degrade: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_us: 0,
+            degrade: true,
+        }
+    }
 }
 
 /// Tuning knobs for a [`Runtime`].
@@ -105,6 +154,17 @@ pub struct RuntimeConfig {
     pub device: DeviceSpec,
     /// Execution backend batches run on.
     pub backend: Backend,
+    /// Transparent retry of device-faulted batches (see [`RetryPolicy`]).
+    /// On by default; set `max_attempts: 0` for fail-fast serving.
+    pub retry: RetryPolicy,
+    /// Per-device circuit breaker quarantining repeatedly-failing devices
+    /// (see [`BreakerPolicy`] and [`Runtime::device_health`]).
+    pub breaker: BreakerPolicy,
+    /// Watchdog budget for a hung simulated device, in microseconds on
+    /// the runtime's clock: a sharded execute whose device stalls longer
+    /// fails with the bounded [`KronError::DeviceTimeout`] instead of
+    /// hanging the scheduler.
+    pub device_watchdog_us: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -120,6 +180,9 @@ impl Default for RuntimeConfig {
             clock: Clock::default(),
             device: V100.clone(),
             backend: Backend::SingleNode,
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            device_watchdog_us: 2_000_000,
         }
     }
 }
@@ -166,8 +229,21 @@ pub struct RuntimeStats {
     pub rebuilds: u64,
     /// Requests shed with [`KronError::DeadlineExceeded`] because their
     /// deadline had already passed when the scheduler picked them up
-    /// (they never reached an execute).
+    /// (they never reached an execute), or because a retry would have
+    /// landed past their deadline.
     pub deadline_shed: u64,
+    /// Batch re-executions after a device fault (each failed execute that
+    /// was retried counts once, whatever grid the retry ran on).
+    pub retries: u64,
+    /// Successful executes that ran on a smaller grid than configured
+    /// (retry degradation or breaker quarantine).
+    pub degraded_batches: u64,
+    /// Requests that saw a device fault but were ultimately served `Ok`
+    /// by a retry — the transparent-recovery counter.
+    pub recovered_requests: u64,
+    /// Device circuit-breaker trips (Closed or HalfOpen → Open; see
+    /// [`Runtime::device_health`]).
+    pub breaker_trips: u64,
     /// Gauge: plan-cache entries currently resident (both dtypes).
     pub cached_entries: u64,
     /// Gauge: estimated bytes resident across every plan-cache entry
@@ -198,6 +274,10 @@ pub(crate) struct StatsInner {
     pub(crate) evictions: AtomicU64,
     pub(crate) rebuilds: AtomicU64,
     pub(crate) deadline_shed: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) degraded_batches: AtomicU64,
+    pub(crate) recovered_requests: AtomicU64,
+    pub(crate) breaker_trips: AtomicU64,
     pub(crate) cached_entries: AtomicU64,
     pub(crate) cached_bytes: AtomicU64,
     pub(crate) current_linger_us: AtomicU64,
@@ -221,6 +301,10 @@ impl StatsInner {
             evictions: self.evictions.load(Ordering::Relaxed),
             rebuilds: self.rebuilds.load(Ordering::Relaxed),
             deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            recovered_requests: self.recovered_requests.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             cached_entries: self.cached_entries.load(Ordering::Relaxed),
             cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
             current_linger_us: self.current_linger_us.load(Ordering::Relaxed),
@@ -341,6 +425,11 @@ pub(crate) struct Reply<T: Element> {
     pub(crate) y: Matrix<T>,
     pub(crate) seq: u64,
     pub(crate) summary: Option<ExecSummary>,
+    /// Executes the serving batch went through (1 = first try served).
+    pub(crate) attempts: u32,
+    /// `{GM, GK}` of the grid the successful execute ran on, `None` for
+    /// local (single-device) execution or an unserved request.
+    pub(crate) grid: Option<(usize, usize)>,
 }
 
 struct SlotInner<T: Element> {
@@ -533,11 +622,14 @@ impl ServeElement for f64 {}
 /// surface for all traffic.
 pub(crate) struct Shared {
     tx: Sender<Msg>,
-    /// `true` once shutdown began. Sends happen *while holding* this
-    /// mutex, so every request sent before the scheduler's final drain is
-    /// guaranteed to be in the queue ahead of `Shutdown` — nothing is
-    /// ever silently dropped and no waiter can hang.
-    gate: Mutex<bool>,
+    /// Admission gate. Sends happen *while holding* this mutex, so every
+    /// request sent before the scheduler's final drain is guaranteed to
+    /// be in the queue ahead of `Shutdown` — nothing is ever silently
+    /// dropped and no waiter can hang. The scheduler shares the gate:
+    /// when its loop dies to a panic it locks the gate, marks the
+    /// runtime poisoned, and fails everything already queued, so later
+    /// submitters get [`KronError::Shutdown`] instead of a hang.
+    gate: Arc<Mutex<Gate>>,
     stats: Arc<StatsInner>,
     /// The plan cache, shared so clients can pin models, sweep idle
     /// entries, and introspect residency without a scheduler round-trip.
@@ -557,8 +649,8 @@ impl Shared {
     /// window sees it whole) and shutdown cannot split it. Stamps every
     /// request's enqueue time (the priority-aging basis) under the gate.
     fn send_requests<T: ServeElement>(&self, reqs: impl Iterator<Item = Request<T>>) -> Result<()> {
-        let closed = self.gate.lock().unwrap();
-        if *closed {
+        let gate = self.gate.lock().unwrap();
+        if gate.closed || gate.poisoned {
             return Err(KronError::Shutdown);
         }
         let now = self.clock.now_us();
@@ -572,9 +664,20 @@ impl Shared {
             dtype_counter.fetch_add(1, Ordering::Relaxed);
             let _ = self.tx.send(Msg::Request(T::erase(req)));
         }
-        drop(closed);
+        drop(gate);
         Ok(())
     }
+}
+
+/// Shutdown/poison state behind the admission gate (see [`Shared::gate`]).
+#[derive(Default)]
+pub(crate) struct Gate {
+    /// `true` once orderly shutdown began ([`Runtime::close`] / drop).
+    pub(crate) closed: bool,
+    /// `true` once the scheduler thread died to a panic: every pending
+    /// ticket has been failed with [`KronError::Shutdown`] and no new
+    /// request will ever be served.
+    pub(crate) poisoned: bool,
 }
 
 /// Handle to one result in flight; produced by [`Runtime::submit`].
@@ -628,6 +731,8 @@ impl<T: Element> Ticket<T> {
                 ServeReceipt {
                     seq: reply.seq,
                     shard: reply.summary,
+                    attempts: reply.attempts,
+                    grid: reply.grid,
                 },
             )
         })
@@ -643,6 +748,14 @@ pub struct ServeReceipt {
     /// The request's prorated share of its sharded execution, when it
     /// rode one (see [`Ticket::wait_with_stats`]).
     pub shard: Option<ExecSummary>,
+    /// How many executes the serving batch went through: `1` means the
+    /// first try served; `> 1` means a device fault was retried away
+    /// transparently (see [`RetryPolicy`]).
+    pub attempts: u32,
+    /// `{GM, GK}` of the grid the successful execute ran on — smaller
+    /// than the configured grid when the batch was served degraded.
+    /// `None` for local (single-device) execution.
+    pub grid: Option<(usize, usize)>,
 }
 
 /// A synchronous serving connection with a reusable reply slot and
@@ -751,7 +864,8 @@ pub struct Runtime {
     shared: Arc<Shared>,
     scheduler: Option<JoinHandle<()>>,
     next_model_id: AtomicU64,
-    fault: Arc<AtomicUsize>,
+    plane: Arc<FaultPlane>,
+    health: Arc<DeviceHealth>,
     cfg: RuntimeConfig,
 }
 
@@ -765,19 +879,28 @@ impl Runtime {
         cfg.cache.max_entries = cfg.cache.max_entries.max(1);
         let (tx, rx) = unbounded();
         let stats = Arc::new(StatsInner::default());
-        let fault = Arc::new(AtomicUsize::new(NO_FAULT));
+        let plane = Arc::new(FaultPlane::new());
+        let health_gpus = match cfg.backend {
+            Backend::SingleNode => 0,
+            Backend::Distributed { .. } => cfg.backend.gpus(),
+        };
+        let health = Arc::new(DeviceHealth::new(health_gpus, cfg.breaker));
+        let gate = Arc::new(Mutex::new(Gate::default()));
         let cache = Arc::new(Mutex::new(PlanCache::new(
             cfg.device.clone(),
             &cfg.backend,
             cfg.cache,
             cfg.clock.clone(),
+            cfg.device_watchdog_us,
         )));
         let scheduler = Scheduler::new(
             rx,
             cfg.clone(),
             Arc::clone(&cache),
             Arc::clone(&stats),
-            Arc::clone(&fault),
+            Arc::clone(&plane),
+            Arc::clone(&health),
+            Arc::clone(&gate),
         );
         let handle = std::thread::Builder::new()
             .name("kron-runtime-scheduler".into())
@@ -786,14 +909,15 @@ impl Runtime {
         Runtime {
             shared: Arc::new(Shared {
                 tx,
-                gate: Mutex::new(false),
+                gate,
                 stats,
                 cache,
                 clock: cfg.clock.clone(),
             }),
             scheduler: Some(handle),
             next_model_id: AtomicU64::new(0),
-            fault,
+            plane,
+            health,
             cfg,
         }
     }
@@ -957,11 +1081,13 @@ impl Runtime {
 
     /// Arms a one-shot fault on simulated device `gpu`: the next sharded
     /// execute raises (and catches) a panic on that device, failing that
-    /// batch with [`KronError::DeviceFailure`] while every other batch —
-    /// before, after, or on other models — is unaffected. No-op on the
-    /// [`Backend::SingleNode`] runtime (there is no device to fault).
-    /// Simulator instrumentation for fault-isolation tests and chaos
-    /// drills.
+    /// attempt with [`KronError::DeviceFailure`] while every other batch —
+    /// before, after, or on other models — is unaffected. Under the
+    /// default [`RetryPolicy`] the client never sees the fault (the batch
+    /// is retried transparently); set `max_attempts: 0` to surface it.
+    /// No-op on the [`Backend::SingleNode`] runtime (there is no device
+    /// to fault). Sugar for a one-event [`FaultPlan`] — see
+    /// [`Runtime::install_fault_plan`] for scripted chaos.
     ///
     /// # Errors
     /// [`KronError::InvalidGrid`] when `gpu` is outside the configured
@@ -975,8 +1101,66 @@ impl Runtime {
                 });
             }
         }
-        self.fault.store(gpu, Ordering::SeqCst);
+        self.plane.push(FaultEvent {
+            gpu,
+            trigger: FaultTrigger::OnShardedBatch(self.plane.current_batch()),
+            repeat: 1,
+            kind: FaultKind::Panic,
+        });
         Ok(())
+    }
+
+    /// Installs a scripted [`FaultPlan`], replacing any pending events:
+    /// each event fires deterministically on its trigger (the Nth sharded
+    /// execute since runtime start, or a clock time), `repeat` times,
+    /// injecting a device panic, a device stall (caught by the engine
+    /// watchdog as [`KronError::DeviceTimeout`]), or a scheduler-thread
+    /// panic. The chaos plane for repeatable self-healing drills; see the
+    /// crate docs.
+    ///
+    /// # Errors
+    /// [`KronError::InvalidGrid`] when a device event names a device
+    /// outside the configured grid (as [`Runtime::inject_device_fault`]);
+    /// [`KronError::EmptyDimension`] when an event has `repeat == 0`.
+    pub fn install_fault_plan(&self, plan: FaultPlan) -> Result<()> {
+        for event in &plan.events {
+            if event.repeat == 0 {
+                return Err(KronError::EmptyDimension {
+                    what: "fault-plan event repeat count".into(),
+                });
+            }
+            if matches!(event.kind, FaultKind::SchedulerPanic) {
+                continue;
+            }
+            if let Backend::Distributed { gpus, .. } = self.cfg.backend {
+                if event.gpu >= gpus {
+                    return Err(KronError::InvalidGrid {
+                        reason: format!(
+                            "fault-plan device {} outside a {gpus} GPU machine",
+                            event.gpu
+                        ),
+                    });
+                }
+            }
+        }
+        self.plane.install(plan);
+        Ok(())
+    }
+
+    /// Scripted fault events still pending (not yet fired). `0` once a
+    /// plan has fully played out — how chaos drills assert the script
+    /// actually ran.
+    pub fn pending_fault_events(&self) -> usize {
+        self.plane.pending()
+    }
+
+    /// Per-device health snapshot: consecutive failures, circuit-breaker
+    /// state, and lifetime trip count for every simulated device (empty
+    /// under [`Backend::SingleNode`]). Read-only and clock-consistent
+    /// with [`Runtime::now_us`]; see the crate docs for breaker
+    /// semantics.
+    pub fn device_health(&self) -> Vec<DeviceHealthReport> {
+        self.health.report(self.shared.clock.now_us())
     }
 
     /// Current time in microseconds on this runtime's [`Clock`] — the
@@ -994,18 +1178,66 @@ impl Runtime {
     /// either dtype* rotate through a bounded cache. Dropping the pin
     /// re-subjects the entry to policy.
     ///
-    /// Also useful as an explicit pre-warm: the first request of a pinned
-    /// model never pays planning or engine construction.
+    /// Also an explicit pre-warm: a sharded entry executes one throwaway
+    /// batch here, so the first real request pays neither planning,
+    /// engine construction, nor first-touch staging — and a device that
+    /// faults during the warm-up run fails *this* call (the broken engine
+    /// is evicted and the failure recorded against the device) instead of
+    /// leaving a pinned dead engine for the first request to trip over.
     ///
     /// # Errors
     /// Whatever building the entry can raise (e.g. the documented
     /// [`KronError::InvalidGrid`] on a misconfigured distributed backend,
     /// or [`KronError::CacheBudgetExceeded`] for an entry larger than the
-    /// whole byte budget).
+    /// whole byte budget), plus [`KronError::DeviceFailure`] /
+    /// [`KronError::DeviceTimeout`] when a device faults during the
+    /// pre-warm execute.
     pub fn pin_model<T: ServeElement>(&self, model: &Model<T>) -> Result<ModelPin> {
-        let mut cache = self.shared.cache.lock().unwrap_or_else(|e| e.into_inner());
-        let pinned =
-            cache.get_or_create(&model.inner, self.cfg.max_batch_rows, &self.shared.stats)?;
+        let now = self.shared.clock.now_us();
+        let limit = self.health.allowed_gpus(now, self.cfg.backend.gpus());
+        let capacity = self.cfg.max_batch_rows;
+        let pinned = {
+            let mut cache = self.shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.get_or_create(&model.inner, capacity, limit, &self.shared.stats)?
+        };
+        // Pre-warm execute (sharded entries only: a local workspace has
+        // no lazily-allocated staging or fabric to warm, and no device to
+        // fault). Zero input — the output is discarded.
+        let warm_result = {
+            let mut guard = pinned.lock();
+            match <T as sealed::ErasedDtype>::plan_mut(&mut guard) {
+                Some(entry) if entry.is_sharded() => {
+                    entry.batch_buffers().0.as_mut_slice().fill(T::ZERO);
+                    arm_scripted_fault(entry, &self.plane, now);
+                    let refs: Vec<&Matrix<T>> = model.inner.factors().iter().collect();
+                    let rows = entry.grid().map_or(1, |g| g.gm);
+                    entry.run_batch(&refs, rows)
+                }
+                _ => Ok(()),
+            }
+        };
+        if let Err(err) = warm_result {
+            // Drop the pin first so the evicted entry tears down.
+            drop(pinned);
+            if let KronError::DeviceFailure { gpu, .. } | KronError::DeviceTimeout { gpu, .. } =
+                &err
+            {
+                if self.health.record_failure(*gpu, self.shared.clock.now_us()) {
+                    self.shared
+                        .stats
+                        .breaker_trips
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                let mut cache = self.shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+                cache.evict_failed(
+                    T::DTYPE,
+                    model.inner.shape_key,
+                    capacity,
+                    &self.shared.stats,
+                );
+            }
+            return Err(err);
+        }
         Ok(ModelPin { _pinned: pinned })
     }
 
@@ -1082,10 +1314,12 @@ impl Runtime {
     fn close(&mut self) {
         if let Some(handle) = self.scheduler.take() {
             {
-                let mut closed = self.shared.gate.lock().unwrap();
-                *closed = true;
+                let mut gate = self.shared.gate.lock().unwrap_or_else(|e| e.into_inner());
+                gate.closed = true;
                 // Send Shutdown while holding the gate: it is provably the
-                // last message on the channel.
+                // last message on the channel. A poisoned (panicked)
+                // scheduler never reads it — the send is ignored and the
+                // join below observes the already-dead thread.
                 let _ = self.shared.tx.send(Msg::Shutdown);
             }
             let _ = handle.join();

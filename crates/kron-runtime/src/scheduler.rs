@@ -44,12 +44,16 @@
 
 use crate::cache::{CachedPlan, PlanCache};
 use crate::clock::Clock;
+use crate::fault::{FaultKind, FaultPlane};
+use crate::health::DeviceHealth;
 use crate::runtime::sealed::ErasedDtype;
-use crate::runtime::{ErasedRequest, Msg, Reply, Request, RuntimeConfig, StatsInner, NO_FAULT};
+use crate::runtime::{
+    ErasedRequest, Gate, Msg, Reply, Request, RetryPolicy, RuntimeConfig, StatsInner,
+};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use kron_core::{DType, Element, KronError, Matrix};
 use std::cmp::Reverse;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -138,33 +142,135 @@ struct Group {
     idxs: Vec<usize>,
 }
 
-/// The staged-batch execution core shared by the chunk and staged-solo
-/// paths: arm a pending device fault (consumed only if the entry has
-/// devices to fault), run the staged rows, and account sharded executes.
-/// Returns the result, the `rows`-prorated summary (successful sharded
-/// runs only), and whether the entry must be evicted (device failure —
-/// rebuild the engine rather than trust a possibly inconsistent fabric).
-fn run_staged_batch<T: Element>(
+/// The device a device-fault error blames, or `None` for every other
+/// error. Exactly the errors that evict the entry and feed the breaker:
+/// a device that panicked mid-batch or stalled past the watchdog.
+fn faulted_device(err: &KronError) -> Option<usize> {
+    match err {
+        KronError::DeviceFailure { gpu, .. } | KronError::DeviceTimeout { gpu, .. } => Some(*gpu),
+        _ => None,
+    }
+}
+
+/// Consumes the next due scripted device fault (if any) and arms it on
+/// the entry about to execute: a `Panic` arms the engine's one-shot
+/// device panic, a `Stall` arms a device stall the engine's watchdog
+/// bounds into [`KronError::DeviceTimeout`]. Local entries never consult
+/// the plane — they have no devices, so device events stay pending (and
+/// the sharded-batch counter does not advance), exactly as on a
+/// single-node runtime. Also used by the `pin_model` pre-warm, which
+/// executes outside the scheduler.
+pub(crate) fn arm_scripted_fault<T: Element>(
     entry: &mut CachedPlan<T>,
-    fault: &AtomicUsize,
-    stats: &StatsInner,
+    plane: &FaultPlane,
+    now_us: u64,
+) {
+    if !entry.is_sharded() {
+        return;
+    }
+    let gpus = entry.grid().map_or(0, |g| g.gpus());
+    if let Some((gpu, kind)) = plane.next_device_fault(now_us, gpus) {
+        match kind {
+            FaultKind::Panic => {
+                entry.arm_fault(gpu);
+            }
+            FaultKind::Stall { stall_us } => {
+                entry.arm_stall(gpu, stall_us);
+            }
+            FaultKind::SchedulerPanic => unreachable!("filtered by next_device_fault"),
+        }
+    }
+}
+
+/// The device limit the `attempt`-th execute of a batch may span: the
+/// first try and first retry run at the configured width (a transient
+/// fault usually clears on a fresh engine), later retries halve toward
+/// the single-device fallback when degradation is enabled — and the
+/// breaker's `allowed` quarantine limit caps every rung.
+fn attempt_limit(retry: &RetryPolicy, configured: usize, attempt: u32, allowed: usize) -> usize {
+    let ladder = if retry.degrade && attempt >= 2 {
+        configured.checked_shr(attempt - 1).unwrap_or(0).max(1)
+    } else {
+        configured
+    };
+    ladder.min(allowed).max(1)
+}
+
+/// Sleeps until `at_us` on the runtime's clock — the retry backoff. A
+/// real clock sleeps out the remaining wall time; a manual clock polls
+/// (virtual time only moves when the test advances it).
+fn wait_until(clock: &Clock, at_us: u64) {
+    loop {
+        let now = clock.now_us();
+        if now >= at_us {
+            return;
+        }
+        if clock.is_manual() {
+            std::thread::sleep(MANUAL_POLL);
+        } else {
+            std::thread::sleep(Duration::from_micros(at_us - now));
+        }
+    }
+}
+
+/// Everything one execute (and its retries) needs from the scheduler,
+/// projected out of its fields so a `&mut` lane can serve while the
+/// context borrows the shared state.
+pub(crate) struct ServeCtx<'a> {
+    cache: &'a Mutex<PlanCache>,
+    stats: &'a StatsInner,
+    plane: &'a FaultPlane,
+    health: &'a DeviceHealth,
+    clock: &'a Clock,
+    retry: RetryPolicy,
+    max_batch_rows: usize,
+    /// Devices the configured backend spans (1 for single-node) — the top
+    /// rung of the degradation ladder and the "not degraded" reference.
+    configured_gpus: usize,
+}
+
+/// The staged-batch execution core shared by the chunk and staged-solo
+/// paths: arm the next due scripted fault (consumed only if the entry has
+/// devices to fault), run the staged rows, account sharded executes, and
+/// feed the device-health ledger (successes close healthy breakers,
+/// device faults count toward trips). Returns the result, the
+/// `rows`-prorated summary (successful sharded runs only), and whether
+/// the entry must be evicted (device fault — rebuild the engine rather
+/// than trust a possibly inconsistent fabric).
+fn execute_once<T: Element>(
+    entry: &mut CachedPlan<T>,
+    ctx: &ServeCtx,
     refs: &[&Matrix<T>],
     rows: usize,
 ) -> (kron_core::Result<()>, Option<gpu_sim::ExecSummary>, bool) {
-    let gpu = fault.load(Ordering::SeqCst);
-    if gpu != NO_FAULT && entry.arm_fault(gpu) {
-        fault.store(NO_FAULT, Ordering::SeqCst);
-    }
+    arm_scripted_fault(entry, ctx.plane, ctx.clock.now_us());
     let result = entry.run_batch(refs, rows);
     let mut summary = None;
-    if result.is_ok() && entry.is_sharded() {
-        stats.sharded_batches.fetch_add(1, Ordering::Relaxed);
-        summary = entry.shard_summary(rows);
-        if let Some(s) = summary {
-            stats.comm_bytes.fetch_add(s.comm_bytes, Ordering::Relaxed);
+    match &result {
+        Ok(()) => {
+            if entry.is_sharded() {
+                ctx.stats.sharded_batches.fetch_add(1, Ordering::Relaxed);
+                summary = entry.shard_summary(rows);
+                if let Some(s) = summary {
+                    ctx.stats
+                        .comm_bytes
+                        .fetch_add(s.comm_bytes, Ordering::Relaxed);
+                }
+                if ctx.health.is_suspect() {
+                    let gpus = entry.grid().map_or(0, |g| g.gpus());
+                    ctx.health.record_success(gpus, ctx.clock.now_us());
+                }
+            }
+        }
+        Err(err) => {
+            if let Some(gpu) = faulted_device(err) {
+                if ctx.health.record_failure(gpu, ctx.clock.now_us()) {
+                    ctx.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
-    let evict = matches!(result, Err(KronError::DeviceFailure { .. }));
+    let evict = result.as_ref().err().and_then(faulted_device).is_some();
     (result, summary, evict)
 }
 
@@ -199,6 +305,9 @@ struct TypedLane<T: ErasedDtype> {
     groups_used: usize,
     /// Reused backing store for the `&[&Matrix<T>]` factor slice.
     refs_scratch: Vec<*const Matrix<T>>,
+    /// Reused live-member list for the retry loop (deadline shedding
+    /// between attempts compacts it in place).
+    retry_scratch: Vec<usize>,
 }
 
 // SAFETY: `refs_scratch` only holds pointers transiently within one serve
@@ -214,6 +323,7 @@ impl<T: ErasedDtype> TypedLane<T> {
             groups: Vec::new(),
             groups_used: 0,
             refs_scratch: Vec::new(),
+            retry_scratch: Vec::new(),
         }
     }
 
@@ -250,9 +360,32 @@ impl<T: ErasedDtype> TypedLane<T> {
                     y: r.y,
                     seq,
                     summary: None,
+                    attempts: 0,
+                    grid: None,
                 });
             }
         }
+    }
+
+    /// Fails everything still pending with [`KronError::Shutdown`] — the
+    /// poison path after a scheduler-thread panic, so no `Ticket::wait`
+    /// can hang on a dead scheduler.
+    fn fail_all(&mut self, stats: &StatsInner) {
+        for slot in self.pending.iter_mut() {
+            if let Some(r) = slot.take() {
+                let seq = stats.served.fetch_add(1, Ordering::Relaxed);
+                r.slot.fill(Reply {
+                    result: Err(KronError::Shutdown),
+                    x: r.x,
+                    y: r.y,
+                    seq,
+                    summary: None,
+                    attempts: 0,
+                    grid: None,
+                });
+            }
+        }
+        self.clear();
     }
 
     /// Groups batchable requests by model identity, tracking each group's
@@ -336,17 +469,11 @@ impl<T: ErasedDtype> TypedLane<T> {
     }
 
     /// Serves group `gi` in row-budgeted chunks.
-    fn serve_group(
-        &mut self,
-        gi: usize,
-        cache: &Mutex<PlanCache>,
-        stats: &StatsInner,
-        fault: &AtomicUsize,
-        max_batch_rows: usize,
-    ) {
+    fn serve_group(&mut self, gi: usize, ctx: &ServeCtx) {
         // Move the index list out so `serve_chunk(&mut self)` can run;
         // restored below to keep its capacity for the next cycle.
         let idxs = std::mem::take(&mut self.groups[gi].idxs);
+        let max_batch_rows = ctx.max_batch_rows;
         let mut start = 0;
         while start < idxs.len() {
             let mut rows = 0;
@@ -362,122 +489,207 @@ impl<T: ErasedDtype> TypedLane<T> {
                     break;
                 }
             }
-            self.serve_chunk(&idxs[start..end], rows, cache, stats, fault, max_batch_rows);
+            self.serve_chunk(&idxs[start..end], ctx);
             start = end;
         }
         self.groups[gi].idxs = idxs;
     }
 
-    /// Serves a same-model chunk whose rows sum to `total_rows ≤
-    /// max_batch_rows`: gather rows into the cached batch input, one fused
-    /// (or sharded) execute, scatter back. A chunk of one skips the
-    /// grouping bookkeeping via the solo path. The cache entry stays
-    /// pinned for the whole gather/execute/scatter, so no concurrent
-    /// sweep can drop the engine mid-batch.
-    fn serve_chunk(
-        &mut self,
-        idxs: &[usize],
-        total_rows: usize,
-        cache: &Mutex<PlanCache>,
-        stats: &StatsInner,
-        fault: &AtomicUsize,
-        max_batch_rows: usize,
-    ) {
+    /// Replies a deadline shed to retry survivors: drops every live
+    /// member whose deadline has passed (a retry landing past the
+    /// deadline is useless work — shed it instead of serving it late),
+    /// compacting `live` in place.
+    fn shed_expired_retries(&mut self, live: &mut Vec<usize>, attempts: u32, ctx: &ServeCtx) {
+        let now = ctx.clock.now_us();
+        let pending = &mut self.pending;
+        live.retain(|&i| {
+            let expired = pending[i]
+                .as_ref()
+                .expect("unserved")
+                .deadline_us
+                .is_some_and(|d| d < now);
+            if expired {
+                let r = pending[i].take().expect("checked above");
+                let deadline_us = r.deadline_us.expect("expired implies a deadline");
+                ctx.stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
+                r.slot.fill(Reply {
+                    result: Err(KronError::DeadlineExceeded {
+                        deadline_us,
+                        now_us: now,
+                    }),
+                    x: r.x,
+                    y: r.y,
+                    seq,
+                    summary: None,
+                    attempts,
+                    grid: None,
+                });
+            }
+            !expired
+        });
+    }
+
+    /// Serves a same-model chunk whose rows sum to ≤ `max_batch_rows`:
+    /// gather rows into the cached batch input, one fused (or sharded)
+    /// execute, scatter back. A chunk of one skips the grouping
+    /// bookkeeping via the solo path. The cache entry stays pinned for
+    /// the whole gather/execute/scatter, so no concurrent sweep can drop
+    /// the engine mid-batch.
+    ///
+    /// On a device fault the chunk is retried per [`RetryPolicy`]: the
+    /// broken engine is evicted and the batch re-executes on a rebuilt
+    /// grid, degrading toward single-device as attempts mount; members
+    /// whose deadline a retry would overshoot are shed between attempts.
+    /// The gather repeats per attempt — a degraded entry has its own
+    /// staging buffers.
+    fn serve_chunk(&mut self, idxs: &[usize], ctx: &ServeCtx) {
         debug_assert!(!idxs.is_empty());
         if idxs.len() == 1 {
             let r = self.pending[idxs[0]].take().expect("unserved");
-            self.serve_solo(r, cache, stats, fault, max_batch_rows);
+            self.serve_solo(r, ctx);
             return;
         }
         let model = Arc::clone(&self.pending[idxs[0]].as_ref().expect("unserved").model);
-        let capacity = max_batch_rows;
-        let pinned = {
-            let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
-            cache.get_or_create(&model, capacity, stats)
-        };
-        let pinned = match pinned {
-            Ok(p) => p,
-            Err(err) => {
-                for &i in idxs {
-                    let r = self.pending[i].take().expect("unserved");
-                    let seq = stats.served.fetch_add(1, Ordering::Relaxed);
-                    r.slot.fill(Reply {
-                        result: Err(err.clone()),
-                        x: r.x,
-                        y: r.y,
-                        seq,
-                        summary: None,
-                    });
-                }
-                return;
-            }
-        };
-        let mut guard = pinned.lock();
-        let entry = T::plan_mut(&mut guard).expect("dtype verified at cache lookup");
-
-        // Gather request rows into the staged batch input.
+        let capacity = ctx.max_batch_rows;
         let k = model.input_cols();
         let l = model.output_cols();
-        {
-            let (bx, _) = entry.batch_buffers();
-            let mut off = 0;
-            for &i in idxs {
-                let r = self.pending[i].as_ref().expect("unserved");
-                let m = r.x.rows();
-                bx.as_mut_slice()[off * k..(off + m) * k].copy_from_slice(r.x.as_slice());
-                off += m;
-            }
-            debug_assert_eq!(off, total_rows);
-        }
+        let mut live = std::mem::take(&mut self.retry_scratch);
+        live.clear();
+        live.extend_from_slice(idxs);
+        // `attempt` counts executes performed; the reply's `attempts`.
+        let mut attempt: u32 = 0;
+        loop {
+            let now = ctx.clock.now_us();
+            let allowed = ctx.health.allowed_gpus(now, ctx.configured_gpus);
+            let limit = attempt_limit(&ctx.retry, ctx.configured_gpus, attempt, allowed);
+            let pinned = {
+                let mut cache = ctx.cache.lock().unwrap_or_else(|e| e.into_inner());
+                cache.get_or_create(&model, capacity, limit, ctx.stats)
+            };
+            let pinned = match pinned {
+                Ok(p) => p,
+                Err(err) => {
+                    // Build errors are deterministic — retrying cannot
+                    // help. Terminal for the whole chunk.
+                    for &i in &live {
+                        let r = self.pending[i].take().expect("unserved");
+                        let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
+                        r.slot.fill(Reply {
+                            result: Err(err.clone()),
+                            x: r.x,
+                            y: r.y,
+                            seq,
+                            summary: None,
+                            attempts: attempt,
+                            grid: None,
+                        });
+                    }
+                    break;
+                }
+            };
+            let mut guard = pinned.lock();
+            let entry = T::plan_mut(&mut guard).expect("dtype verified at cache lookup");
 
-        let refs = refs_of(&mut self.refs_scratch, model.factors());
-        let (result, _, evict) = run_staged_batch(entry, fault, stats, refs, total_rows);
+            // Gather request rows into the staged batch input.
+            let total_rows = {
+                let (bx, _) = entry.batch_buffers();
+                let mut off = 0;
+                for &i in &live {
+                    let r = self.pending[i].as_ref().expect("unserved");
+                    let m = r.x.rows();
+                    bx.as_mut_slice()[off * k..(off + m) * k].copy_from_slice(r.x.as_slice());
+                    off += m;
+                }
+                off
+            };
 
-        // Scatter results back and reply with each request's prorated
-        // share of the simulated sharded execution.
-        let mut off = 0;
-        for &i in idxs {
-            let mut r = self.pending[i].take().expect("unserved");
-            let m = r.x.rows();
-            let mut summary = None;
-            if result.is_ok() {
-                r.y.as_mut_slice()
-                    .copy_from_slice(&entry.batch_y().as_slice()[off * l..(off + m) * l]);
-                summary = entry.shard_summary(m);
+            let refs = refs_of(&mut self.refs_scratch, model.factors());
+            let (result, _, evict) = execute_once(entry, ctx, refs, total_rows);
+            attempt += 1;
+            match result {
+                Ok(()) => {
+                    let grid = entry.grid().map(|g| (g.gm, g.gk));
+                    // Scatter results back and reply with each request's
+                    // prorated share of the simulated sharded execution.
+                    let mut off = 0;
+                    for &i in &live {
+                        let mut r = self.pending[i].take().expect("unserved");
+                        let m = r.x.rows();
+                        r.y.as_mut_slice()
+                            .copy_from_slice(&entry.batch_y().as_slice()[off * l..(off + m) * l]);
+                        let summary = entry.shard_summary(m);
+                        off += m;
+                        let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
+                        ctx.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
+                        if attempt > 1 {
+                            ctx.stats.recovered_requests.fetch_add(1, Ordering::Relaxed);
+                        }
+                        r.slot.fill(Reply {
+                            result: Ok(()),
+                            x: r.x,
+                            y: r.y,
+                            seq,
+                            summary,
+                            attempts: attempt,
+                            grid,
+                        });
+                    }
+                    ctx.stats.batches.fetch_add(1, Ordering::Relaxed);
+                    if grid.is_some() && limit < ctx.configured_gpus {
+                        ctx.stats.degraded_batches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+                Err(err) => {
+                    // Release the entry before touching the cache again
+                    // (lock order: never hold an entry lock while taking
+                    // the cache lock).
+                    drop(guard);
+                    drop(pinned);
+                    if evict {
+                        let mut cache = ctx.cache.lock().unwrap_or_else(|e| e.into_inner());
+                        cache.evict_failed(T::DTYPE, model.shape_key, capacity, ctx.stats);
+                    }
+                    if !evict || attempt > ctx.retry.max_attempts {
+                        // Not a device fault, or the retry budget is
+                        // spent: the error is client-visible.
+                        for &i in &live {
+                            let r = self.pending[i].take().expect("unserved");
+                            let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
+                            ctx.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
+                            r.slot.fill(Reply {
+                                result: Err(err.clone()),
+                                x: r.x,
+                                y: r.y,
+                                seq,
+                                summary: None,
+                                attempts: attempt,
+                                grid: None,
+                            });
+                        }
+                        ctx.stats.batches.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    ctx.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    if ctx.retry.backoff_us > 0 {
+                        wait_until(ctx.clock, ctx.clock.now_us() + ctx.retry.backoff_us);
+                    }
+                    self.shed_expired_retries(&mut live, attempt, ctx);
+                    if live.is_empty() {
+                        break;
+                    }
+                }
             }
-            off += m;
-            let seq = stats.served.fetch_add(1, Ordering::Relaxed);
-            stats.batched_requests.fetch_add(1, Ordering::Relaxed);
-            r.slot.fill(Reply {
-                result: result.clone(),
-                x: r.x,
-                y: r.y,
-                seq,
-                summary,
-            });
         }
-        stats.batches.fetch_add(1, Ordering::Relaxed);
-        // Release the entry before touching the cache again (lock order:
-        // never hold an entry lock while taking the cache lock).
-        drop(guard);
-        drop(pinned);
-        if evict {
-            let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
-            cache.evict_failed(T::DTYPE, model.shape_key, capacity, stats);
-        }
+        live.clear();
+        self.retry_scratch = live;
     }
 
     /// Takes pending slot `idx` and serves it solo.
-    fn serve_solo_at(
-        &mut self,
-        idx: usize,
-        cache: &Mutex<PlanCache>,
-        stats: &StatsInner,
-        fault: &AtomicUsize,
-        max_batch_rows: usize,
-    ) {
+    fn serve_solo_at(&mut self, idx: usize, ctx: &ServeCtx) {
         if let Some(r) = self.pending[idx].take() {
-            self.serve_solo(r, cache, stats, fault, max_batch_rows);
+            self.serve_solo(r, ctx);
         }
     }
 
@@ -486,29 +698,44 @@ impl<T: ErasedDtype> TypedLane<T> {
     /// sharded entry it stages through the batch buffers so the row count
     /// can zero-pad to a `GM` multiple. Small requests reuse the
     /// batch-capacity entry; large ones get power-of-two-capacity entries
-    /// so nearby sizes share workspaces.
-    fn serve_solo(
-        &mut self,
-        mut r: Request<T>,
-        cache: &Mutex<PlanCache>,
-        stats: &StatsInner,
-        fault: &AtomicUsize,
-        max_batch_rows: usize,
-    ) {
+    /// so nearby sizes share workspaces. Device faults retry exactly as
+    /// in [`Self::serve_chunk`].
+    fn serve_solo(&mut self, mut r: Request<T>, ctx: &ServeCtx) {
         let m = r.x.rows();
-        let capacity = if m <= max_batch_rows {
-            max_batch_rows
+        let capacity = if m <= ctx.max_batch_rows {
+            ctx.max_batch_rows
         } else {
             m.next_power_of_two()
         };
-        let mut summary = None;
-        let mut evict = false;
-        let pinned = {
-            let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
-            cache.get_or_create(&r.model, capacity, stats)
-        };
-        let result = match &pinned {
-            Ok(pinned) => {
+        let mut attempt: u32 = 0;
+        loop {
+            let now = ctx.clock.now_us();
+            let allowed = ctx.health.allowed_gpus(now, ctx.configured_gpus);
+            let limit = attempt_limit(&ctx.retry, ctx.configured_gpus, attempt, allowed);
+            let pinned = {
+                let mut cache = ctx.cache.lock().unwrap_or_else(|e| e.into_inner());
+                cache.get_or_create(&r.model, capacity, limit, ctx.stats)
+            };
+            let pinned = match pinned {
+                Ok(p) => p,
+                Err(err) => {
+                    let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
+                    ctx.stats.solo_requests.fetch_add(1, Ordering::Relaxed);
+                    r.slot.fill(Reply {
+                        result: Err(err),
+                        x: r.x,
+                        y: r.y,
+                        seq,
+                        summary: None,
+                        attempts: attempt,
+                        grid: None,
+                    });
+                    return;
+                }
+            };
+            let mut summary = None;
+            let mut grid = None;
+            let (result, evict) = {
                 let mut guard = pinned.lock();
                 let entry = T::plan_mut(&mut guard).expect("dtype verified at cache lookup");
                 let refs = refs_of(&mut self.refs_scratch, r.model.factors());
@@ -519,34 +746,87 @@ impl<T: ErasedDtype> TypedLane<T> {
                         let (bx, _) = entry.batch_buffers();
                         bx.as_mut_slice()[..m * k].copy_from_slice(r.x.as_slice());
                     }
-                    let (result, s, ev) = run_staged_batch(entry, fault, stats, refs, m);
+                    let (result, s, ev) = execute_once(entry, ctx, refs, m);
                     if result.is_ok() {
                         r.y.as_mut_slice()
                             .copy_from_slice(&entry.batch_y().as_slice()[..m * l]);
                         summary = s;
+                        grid = entry.grid().map(|g| (g.gm, g.gk));
                     }
-                    evict = ev;
-                    result
+                    (result, ev)
                 } else {
-                    entry.run_rows(&r.x, refs, &mut r.y, m)
+                    (entry.run_rows(&r.x, refs, &mut r.y, m), false)
+                }
+            };
+            attempt += 1;
+            drop(pinned);
+            if evict {
+                let mut cache = ctx.cache.lock().unwrap_or_else(|e| e.into_inner());
+                cache.evict_failed(T::DTYPE, r.model.shape_key, capacity, ctx.stats);
+            }
+            match result {
+                Ok(()) => {
+                    let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
+                    ctx.stats.solo_requests.fetch_add(1, Ordering::Relaxed);
+                    if attempt > 1 {
+                        ctx.stats.recovered_requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if grid.is_some() && limit < ctx.configured_gpus {
+                        ctx.stats.degraded_batches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    r.slot.fill(Reply {
+                        result: Ok(()),
+                        x: r.x,
+                        y: r.y,
+                        seq,
+                        summary,
+                        attempts: attempt,
+                        grid,
+                    });
+                    return;
+                }
+                Err(err) => {
+                    if !evict || attempt > ctx.retry.max_attempts {
+                        let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
+                        ctx.stats.solo_requests.fetch_add(1, Ordering::Relaxed);
+                        r.slot.fill(Reply {
+                            result: Err(err),
+                            x: r.x,
+                            y: r.y,
+                            seq,
+                            summary: None,
+                            attempts: attempt,
+                            grid: None,
+                        });
+                        return;
+                    }
+                    ctx.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    if ctx.retry.backoff_us > 0 {
+                        wait_until(ctx.clock, ctx.clock.now_us() + ctx.retry.backoff_us);
+                    }
+                    let now = ctx.clock.now_us();
+                    if let Some(deadline_us) = r.deadline_us {
+                        if deadline_us < now {
+                            ctx.stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                            let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
+                            r.slot.fill(Reply {
+                                result: Err(KronError::DeadlineExceeded {
+                                    deadline_us,
+                                    now_us: now,
+                                }),
+                                x: r.x,
+                                y: r.y,
+                                seq,
+                                summary: None,
+                                attempts: attempt,
+                                grid: None,
+                            });
+                            return;
+                        }
+                    }
                 }
             }
-            Err(err) => Err(err.clone()),
-        };
-        drop(pinned);
-        if evict {
-            let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
-            cache.evict_failed(T::DTYPE, r.model.shape_key, capacity, stats);
         }
-        let seq = stats.served.fetch_add(1, Ordering::Relaxed);
-        stats.solo_requests.fetch_add(1, Ordering::Relaxed);
-        r.slot.fill(Reply {
-            result,
-            x: r.x,
-            y: r.y,
-            seq,
-            summary,
-        });
     }
 }
 
@@ -560,9 +840,16 @@ pub(crate) struct Scheduler {
     cache: Arc<Mutex<PlanCache>>,
     stats: Arc<StatsInner>,
     clock: Clock,
-    /// One-shot device-fault flag shared with the runtime handle
-    /// (`NO_FAULT` when disarmed); consumed by the next sharded execute.
-    fault: Arc<AtomicUsize>,
+    /// Scripted chaos plane shared with the runtime handle; consulted
+    /// before every sharded execute (one atomic load while disarmed).
+    plane: Arc<FaultPlane>,
+    /// Device-health ledger shared with the runtime handle: executes
+    /// record outcomes, plan builds respect its quarantine limit.
+    health: Arc<DeviceHealth>,
+    /// The admission gate, shared with [`crate::Runtime`]'s send path.
+    /// [`Self::poison`] locks it to mark the runtime poisoned race-free
+    /// (senders hold it while sending).
+    gate: Arc<Mutex<Gate>>,
     /// Smoothed requests-per-cycle in x16 fixed point; drives
     /// [`adaptive_linger_us`].
     ewma_depth_x16: u64,
@@ -582,7 +869,9 @@ impl Scheduler {
         cfg: RuntimeConfig,
         cache: Arc<Mutex<PlanCache>>,
         stats: Arc<StatsInner>,
-        fault: Arc<AtomicUsize>,
+        plane: Arc<FaultPlane>,
+        health: Arc<DeviceHealth>,
+        gate: Arc<Mutex<Gate>>,
     ) -> Self {
         let clock = cfg.clock.clone();
         Scheduler {
@@ -591,7 +880,9 @@ impl Scheduler {
             cache,
             stats,
             clock,
-            fault,
+            plane,
+            health,
+            gate,
             ewma_depth_x16: 0,
             next_arrival: 0,
             f32_lane: TypedLane::new(),
@@ -627,9 +918,53 @@ impl Scheduler {
         adaptive_linger_us(cap, self.ewma_depth_x16)
     }
 
+    /// The scheduler loop, panic-contained: each iteration runs under
+    /// `catch_unwind`, so a panic anywhere in the serve path (injected by
+    /// the chaos plane's `SchedulerPanic`, or a real bug) poisons the
+    /// runtime — every pending `Ticket::wait` is failed with
+    /// [`KronError::Shutdown`] and later submits error — instead of
+    /// stranding in-flight callers on a silently dead thread.
     pub(crate) fn run(mut self) {
-        // recv errors (every sender gone) also end the loop.
-        while let Ok(msg) = self.rx.recv() {
+        loop {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.step())) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(_) => {
+                    self.poison();
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Marks the runtime poisoned and fails everything queued or drained.
+    /// Senders hold the gate while sending, so once the gate is marked no
+    /// new request can enter the channel — the drain below is complete,
+    /// not racy.
+    fn poison(&mut self) {
+        {
+            let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+            gate.poisoned = true;
+        }
+        loop {
+            match self.rx.try_recv() {
+                Ok(Msg::Request(r)) => self.enqueue(r),
+                Ok(Msg::Shutdown) => {}
+                Err(_) => break,
+            }
+        }
+        self.f32_lane.fail_all(&self.stats);
+        self.f64_lane.fail_all(&self.stats);
+    }
+
+    /// One loop iteration: block for a message, drain a batch window,
+    /// serve it. Returns `false` when the loop should exit (shutdown, or
+    /// every sender gone).
+    fn step(&mut self) -> bool {
+        let Ok(msg) = self.rx.recv() else {
+            return false;
+        };
+        {
             let mut shutting = false;
             match msg {
                 Msg::Shutdown => shutting = true,
@@ -697,9 +1032,10 @@ impl Scheduler {
                     }
                 }
                 self.serve_pending();
-                break;
+                return false;
             }
         }
+        true
     }
 
     /// Serves everything drained this cycle: expired deadlines shed
@@ -710,6 +1046,12 @@ impl Scheduler {
         let total = self.pending_len();
         if total == 0 {
             return;
+        }
+        // Scripted scheduler-thread fault: fires here, before any request
+        // leaves its pending slot, so the poison path can honestly fail
+        // every in-flight caller (none is ever half-served).
+        if self.plane.scheduler_panic_due(self.clock.now_us()) {
+            panic!("injected scheduler fault (chaos plane)");
         }
         // Load signal for the next cycle's linger window.
         self.ewma_depth_x16 = (3 * self.ewma_depth_x16 + 16 * total as u64) / 4;
@@ -738,24 +1080,21 @@ impl Scheduler {
         self.f64_lane
             .collect_groups(DType::F64, &mut self.group_order);
         self.group_order.sort_unstable_by_key(work_key);
-        let max_batch_rows = self.cfg.max_batch_rows;
+        let ctx = ServeCtx {
+            cache: &self.cache,
+            stats: &self.stats,
+            plane: &self.plane,
+            health: &self.health,
+            clock: &self.clock,
+            retry: self.cfg.retry,
+            max_batch_rows: self.cfg.max_batch_rows,
+            configured_gpus: self.cfg.backend.gpus(),
+        };
         for i in 0..self.group_order.len() {
             let w = self.group_order[i];
             match w.dtype {
-                DType::F32 => self.f32_lane.serve_group(
-                    w.idx,
-                    &self.cache,
-                    &self.stats,
-                    &self.fault,
-                    max_batch_rows,
-                ),
-                DType::F64 => self.f64_lane.serve_group(
-                    w.idx,
-                    &self.cache,
-                    &self.stats,
-                    &self.fault,
-                    max_batch_rows,
-                ),
+                DType::F32 => self.f32_lane.serve_group(w.idx, &ctx),
+                DType::F64 => self.f64_lane.serve_group(w.idx, &ctx),
             }
         }
 
@@ -770,20 +1109,8 @@ impl Scheduler {
         for i in 0..self.solo_order.len() {
             let w = self.solo_order[i];
             match w.dtype {
-                DType::F32 => self.f32_lane.serve_solo_at(
-                    w.idx,
-                    &self.cache,
-                    &self.stats,
-                    &self.fault,
-                    max_batch_rows,
-                ),
-                DType::F64 => self.f64_lane.serve_solo_at(
-                    w.idx,
-                    &self.cache,
-                    &self.stats,
-                    &self.fault,
-                    max_batch_rows,
-                ),
+                DType::F32 => self.f32_lane.serve_solo_at(w.idx, &ctx),
+                DType::F64 => self.f64_lane.serve_solo_at(w.idx, &ctx),
             }
         }
         self.f32_lane.clear();

@@ -6,7 +6,9 @@ use gpu_sim::device::V100;
 use kron_core::shuffle::kron_matmul_shuffle;
 use kron_core::{assert_matrices_close, KronError, KronProblem, Matrix};
 use kron_dist::DistFastKron;
-use kron_runtime::{Backend, Runtime, RuntimeConfig};
+use kron_runtime::{
+    Backend, BreakerPolicy, BreakerState, Clock, FaultPlan, Runtime, RuntimeConfig,
+};
 
 fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
     Matrix::from_fn(rows, cols, |r, c| {
@@ -14,13 +16,17 @@ fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
     })
 }
 
-fn dist_runtime(gpus: usize) -> Runtime {
-    Runtime::new(RuntimeConfig {
+fn dist_runtime_config(gpus: usize) -> RuntimeConfig {
+    RuntimeConfig {
         max_batch_rows: 32,
         batch_max_m: 16,
         backend: Backend::Distributed { gpus, p2p: false },
         ..RuntimeConfig::default()
-    })
+    }
+}
+
+fn dist_runtime(gpus: usize) -> Runtime {
+    Runtime::new(dist_runtime_config(gpus))
 }
 
 #[test]
@@ -149,4 +155,195 @@ fn fault_on_single_node_backend_is_inert() {
     let expected = kron_matmul_shuffle(&x, &refs).unwrap();
     let y = runtime.execute(&model, x).unwrap();
     assert_matrices_close(&y, &expected, "single-node serve with armed fault");
+}
+
+/// Every `KronError` variant has a stable, self-describing `Display`
+/// message and a `Debug` form naming the variant — exhaustively, so a
+/// newly-added variant without a message shows up here as a missing row.
+#[test]
+fn every_error_variant_round_trips_display_and_debug() {
+    let cases: Vec<(KronError, &str, &str)> = vec![
+        (
+            KronError::ShapeMismatch {
+                expected: "M×64".into(),
+                found: "M×63".into(),
+            },
+            "shape mismatch: expected M×64, found M×63",
+            "ShapeMismatch",
+        ),
+        (
+            KronError::NoFactors,
+            "Kron-Matmul requires at least one factor",
+            "NoFactors",
+        ),
+        (
+            KronError::EmptyDimension {
+                what: "factor 2 has 0 rows".into(),
+            },
+            "empty dimension: factor 2 has 0 rows",
+            "EmptyDimension",
+        ),
+        (
+            KronError::InvalidTileConfig {
+                reason: "TP must divide P".into(),
+            },
+            "invalid tile configuration: TP must divide P",
+            "InvalidTileConfig",
+        ),
+        (
+            KronError::ResourceExhausted {
+                what: "shared memory over by 4096 bytes".into(),
+            },
+            "resource exhausted: shared memory over by 4096 bytes",
+            "ResourceExhausted",
+        ),
+        (
+            KronError::InvalidGrid {
+                reason: "6 GPUs is not a power of two".into(),
+            },
+            "invalid GPU grid: 6 GPUs is not a power of two",
+            "InvalidGrid",
+        ),
+        (
+            KronError::DeviceFailure {
+                gpu: 3,
+                reason: "injected device fault".into(),
+            },
+            "simulated device 3 failed: injected device fault",
+            "DeviceFailure",
+        ),
+        (
+            KronError::MixedModelBatch {
+                first: 1,
+                conflicting: 7,
+            },
+            "linked batch mixes models 1 and 7; a batch stacks rows against one factor set",
+            "MixedModelBatch",
+        ),
+        (
+            KronError::DeadlineExceeded {
+                deadline_us: 500,
+                now_us: 750,
+            },
+            "deadline exceeded: due at 500us, scheduled at 750us",
+            "DeadlineExceeded",
+        ),
+        (
+            KronError::DeviceTimeout {
+                gpu: 2,
+                waited_us: 2_000_000,
+            },
+            "simulated device 2 timed out: no completion after 2000000us (watchdog)",
+            "DeviceTimeout",
+        ),
+        (
+            KronError::Shutdown,
+            "the serving runtime has shut down",
+            "Shutdown",
+        ),
+        (
+            KronError::CacheBudgetExceeded {
+                required_bytes: 4096,
+                max_bytes: 1024,
+            },
+            "plan-cache byte budget exceeded: entry needs ~4096 bytes but the whole budget is 1024 bytes",
+            "CacheBudgetExceeded",
+        ),
+    ];
+    for (err, display, variant) in &cases {
+        assert_eq!(&err.to_string(), display, "{variant} Display drifted");
+        let debug = format!("{err:?}");
+        assert!(debug.contains(variant), "{variant} not in Debug: {debug}");
+        // The std::error::Error impl reports the same message.
+        let dynamic: &dyn std::error::Error = err;
+        assert_eq!(dynamic.to_string(), *display, "{variant} via dyn Error");
+    }
+    // Exhaustive: compiling this match is the proof no variant is missing
+    // a row above (add the variant here AND a case above when extending).
+    for (err, _, _) in &cases {
+        match err {
+            KronError::ShapeMismatch { .. }
+            | KronError::NoFactors
+            | KronError::EmptyDimension { .. }
+            | KronError::InvalidTileConfig { .. }
+            | KronError::ResourceExhausted { .. }
+            | KronError::InvalidGrid { .. }
+            | KronError::DeviceFailure { .. }
+            | KronError::MixedModelBatch { .. }
+            | KronError::DeadlineExceeded { .. }
+            | KronError::DeviceTimeout { .. }
+            | KronError::Shutdown
+            | KronError::CacheBudgetExceeded { .. } => {}
+        }
+    }
+    assert_eq!(cases.len(), 12, "new variant? add its row");
+}
+
+/// Full breaker lifecycle through the public runtime API, deterministic
+/// on a manual clock: repeated faults on one device trip its breaker,
+/// traffic degrades around the quarantine (clients keep seeing Ok), the
+/// cooldown relaxes the breaker to half-open, and a clean full-width
+/// batch closes it.
+#[test]
+fn breaker_trips_quarantines_and_recovers_on_manual_clock() {
+    let clock = Clock::manual();
+    let handle = clock.manual_handle().unwrap();
+    let runtime = Runtime::new(RuntimeConfig {
+        clock,
+        breaker: BreakerPolicy {
+            trip_after: 2,
+            cooldown_us: 1_000,
+        },
+        ..dist_runtime_config(4)
+    });
+    let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i)).collect();
+    let refs: Vec<&Matrix<f64>> = factors.iter().collect();
+    let model = runtime.load_model(factors.clone()).unwrap();
+
+    // Device 1 fails the first two sharded executes: attempt 0 and the
+    // same-width retry both fault, tripping the breaker (trip_after: 2);
+    // the degraded third attempt routes around the quarantine and
+    // succeeds — the client never sees the fault.
+    runtime
+        .install_fault_plan(FaultPlan::new().panic_on_batch_repeat(1, 0, 2))
+        .unwrap();
+    let x = seq_matrix(4, model.input_cols(), 9);
+    let expected = kron_matmul_shuffle(&x, &refs).unwrap();
+    let t = runtime.submit(&model, x.clone()).unwrap();
+    let (y, receipt) = t.wait_with_receipt().unwrap();
+    assert_matrices_close(&y, &expected, "recovered through quarantine");
+    assert_eq!(receipt.attempts, 3, "two faults then a degraded success");
+    assert_eq!(runtime.pending_fault_events(), 0, "plan fully consumed");
+
+    let health = runtime.device_health();
+    assert_eq!(health.len(), 4);
+    assert_eq!(health[1].state, BreakerState::Open);
+    assert_eq!(health[1].trips, 1);
+    assert_eq!(health[1].consecutive_failures, 2);
+    let stats = runtime.stats();
+    assert_eq!(stats.breaker_trips, 1, "stats: {stats:?}");
+    assert!(stats.retries >= 2, "stats: {stats:?}");
+    assert_eq!(stats.recovered_requests, 1, "stats: {stats:?}");
+
+    // While quarantined, serving continues degraded — Ok on the first
+    // attempt, no retry, breaker still open (a degraded success proves
+    // nothing about the sick device).
+    let y = runtime.execute(&model, x.clone()).unwrap();
+    assert_matrices_close(&y, &expected, "degraded serve under quarantine");
+    assert_eq!(runtime.device_health()[1].state, BreakerState::Open);
+
+    // Cooldown elapses on the manual clock: half-open, full grid offered.
+    handle.advance_us(1_000);
+    assert_eq!(runtime.device_health()[1].state, BreakerState::HalfOpen);
+
+    // The probing batch succeeds at full width and closes the breaker.
+    let t = runtime.submit(&model, x).unwrap();
+    let (y, receipt) = t.wait_with_receipt().unwrap();
+    assert_matrices_close(&y, &expected, "half-open probe");
+    assert_eq!(receipt.attempts, 1);
+    assert_eq!(receipt.grid, Some((2, 2)), "probe ran the full 4-GPU grid");
+    let health = runtime.device_health();
+    assert_eq!(health[1].state, BreakerState::Closed);
+    assert_eq!(health[1].consecutive_failures, 0);
+    assert_eq!(health[1].trips, 1, "trip count is cumulative");
 }

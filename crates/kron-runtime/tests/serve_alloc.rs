@@ -239,3 +239,64 @@ fn steady_state_sharded_serving_is_allocation_free() {
         "sharded session calls carry a summary"
     );
 }
+
+/// The self-healing machinery must cost nothing once the storm passes:
+/// after a device fault is retried away (evict, rebuild, re-execute) and
+/// the health ledger returns to clean, warm serving is allocation-free
+/// again — the retry scratch, fault plane, and breaker fast path leave
+/// no per-request residue.
+#[test]
+fn steady_state_after_fault_recovery_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 16,
+        max_queue: 64,
+        backend: Backend::Distributed {
+            gpus: 4,
+            p2p: false,
+        },
+        ..RuntimeConfig::default()
+    });
+    let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i + 1)).collect();
+    let model = runtime.load_model(factors.clone()).unwrap();
+    let mut session = runtime.session();
+
+    let mut x = seq_matrix(4, model.input_cols(), 3);
+    let mut y = Matrix::zeros(4, model.output_cols());
+    for _ in 0..8 {
+        (x, y) = session.call(&model, x, y).unwrap();
+    }
+
+    // The storm: a one-shot device fault, transparently retried away
+    // (allocates freely — eviction and rebuild are the expensive path).
+    runtime.inject_device_fault(2).unwrap();
+    (x, y) = session.call(&model, x, y).unwrap();
+    let stats = runtime.stats();
+    assert!(stats.retries >= 1, "the fault must have fired: {stats:?}");
+    assert!(stats.evictions >= 1, "stats: {stats:?}");
+
+    // Re-warm the rebuilt engine, then hold the steady-state bar.
+    for _ in 0..16 {
+        (x, y) = session.call(&model, x, y).unwrap();
+    }
+    const SERVED: usize = 64;
+    let (allocs, moved) = allocations_during(|| {
+        let mut bufs = (x, y);
+        for _ in 0..SERVED {
+            bufs = session.call(&model, bufs.0, bufs.1).unwrap();
+        }
+        bufs
+    });
+    let (x, y) = moved;
+    assert_eq!(
+        allocs, 0,
+        "post-recovery serving of {SERVED} warm requests allocated {allocs} times \
+         (expected the self-healing path to leave zero steady-state residue)"
+    );
+
+    let refs: Vec<&Matrix<f64>> = factors.iter().collect();
+    let oracle = kron_core::shuffle::kron_matmul_shuffle(&x, &refs).unwrap();
+    assert_matrices_close(&y, &oracle, "post-recovery steady-state result");
+    assert_eq!(runtime.stats().local_fallbacks, 0);
+}

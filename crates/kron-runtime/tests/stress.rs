@@ -263,7 +263,7 @@ fn shutdown_while_sharded_drains_all_accepted() {
 }
 
 #[test]
-fn device_fault_fails_only_its_batch() {
+fn device_fault_recovers_transparently_by_default() {
     let runtime = Runtime::new(dist_config());
     let factors = model_factors(&[(4, 4), (4, 4), (4, 4)], 5);
     let model = runtime.load_model(factors.clone()).unwrap();
@@ -274,17 +274,66 @@ fn device_fault_fails_only_its_batch() {
     let y = runtime.execute(&model, x.clone()).unwrap();
     assert_matrices_close(&y, &expected, "pre-fault batch");
 
-    // Arm a one-shot fault on simulated device 2, then submit a linked
-    // batch: the first sharded execute after arming — the chunk holding
-    // request 0 — fails on device 2. Requests the scheduler happened to
-    // serve in a later chunk simply succeed: the fault is one batch's,
-    // never the queue's.
     // Out-of-range devices are rejected up front — an unfireable fault
     // must not stay silently armed.
     assert!(matches!(
         runtime.inject_device_fault(64),
         Err(KronError::InvalidGrid { .. })
     ));
+
+    // Arm a one-shot fault on simulated device 2, then submit a linked
+    // batch. With the default retry policy the faulted chunk is rebuilt
+    // and re-executed: every client sees Ok, and results stay bit-exact
+    // with the oracle (all backends share one microkernel).
+    runtime.inject_device_fault(2).unwrap();
+    let xs: Vec<Matrix<f64>> = (0..4)
+        .map(|i| seq_matrix(2, model.input_cols(), 10 + i))
+        .collect();
+    let oracles: Vec<Matrix<f64>> = xs.iter().map(|x| oracle(x, &factors)).collect();
+    let tickets = runtime
+        .submit_linked(xs.into_iter().map(|x| (&model, x)).collect())
+        .unwrap();
+    let mut recovered = 0;
+    for (i, (t, e)) in tickets.into_iter().zip(oracles.iter()).enumerate() {
+        let (y, receipt) = t.wait_with_receipt().unwrap();
+        assert_matrices_close(&y, e, &format!("request {i}"));
+        if receipt.attempts > 1 {
+            recovered += 1;
+        }
+    }
+    assert!(recovered >= 1, "the faulted chunk must report a retry");
+
+    // The very next batch succeeds — no hang, no residue — and the stats
+    // ledger shows the drill: a retry happened, clients recovered.
+    let y = runtime.execute(&model, x).unwrap();
+    assert_matrices_close(&y, &expected, "post-fault batch");
+    let stats = runtime.stats();
+    assert!(stats.sharded_batches >= 2, "stats: {stats:?}");
+    assert!(stats.retries >= 1, "stats: {stats:?}");
+    assert!(stats.recovered_requests >= 1, "stats: {stats:?}");
+}
+
+#[test]
+fn device_fault_surfaces_when_retry_disabled() {
+    // `max_attempts: 0` restores the pre-retry contract: the fault fails
+    // only its own batch, client-visibly, and the queue moves on.
+    let runtime = Runtime::new(RuntimeConfig {
+        retry: kron_runtime::RetryPolicy {
+            max_attempts: 0,
+            backoff_us: 0,
+            degrade: false,
+        },
+        ..dist_config()
+    });
+    let factors = model_factors(&[(4, 4), (4, 4), (4, 4)], 5);
+    let model = runtime.load_model(factors.clone()).unwrap();
+    let x = seq_matrix(4, model.input_cols(), 2);
+    let expected = oracle(&x, &factors);
+
+    // Healthy batch first.
+    let y = runtime.execute(&model, x.clone()).unwrap();
+    assert_matrices_close(&y, &expected, "pre-fault batch");
+
     runtime.inject_device_fault(2).unwrap();
     let xs: Vec<Matrix<f64>> = (0..4)
         .map(|i| seq_matrix(2, model.input_cols(), 10 + i))
@@ -311,11 +360,12 @@ fn device_fault_fails_only_its_batch() {
     assert!(failures >= 1);
 
     // The very next batch succeeds (fresh engine, balanced fabric) — no
-    // hang, no residue.
+    // hang, no residue, and nothing counted as a retry.
     let y = runtime.execute(&model, x).unwrap();
     assert_matrices_close(&y, &expected, "post-fault batch");
     let stats = runtime.stats();
     assert!(stats.sharded_batches >= 2, "stats: {stats:?}");
+    assert_eq!(stats.retries, 0, "stats: {stats:?}");
 }
 
 #[test]

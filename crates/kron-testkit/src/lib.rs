@@ -26,10 +26,12 @@
 
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod diff;
 pub mod gen;
 pub mod serve;
 
+pub use chaos::{check_chaos_serve_plan, ChaosOutcome, ChaosServePlan};
 pub use diff::{
     check_all_paths, check_library_paths, check_runtime_paths, dist_runtime, single_runtime,
     DiffElement, DIST_GPUS,

@@ -214,7 +214,7 @@ fn planned_oracle<T: Element>(
 /// runs as one linked batch (inheriting one deadline atomically) and
 /// everything else individually, then compares every result bit-for-bit
 /// against `oracles`.
-fn check_on_runtime<T: DiffElement>(
+pub(crate) fn check_on_runtime<T: DiffElement>(
     name: &str,
     runtime: &Runtime,
     plan: &ServePlan<T>,
@@ -310,7 +310,7 @@ enum MixedTicket {
 /// Serves the interleaved mixed-dtype trace through one erased `runtime`
 /// as a burst and compares every result bit-for-bit against its typed
 /// per-request planned execution.
-fn check_mixed_on_runtime(
+pub(crate) fn check_mixed_on_runtime(
     name: &str,
     runtime: &Runtime,
     plan: &MixedServePlan,

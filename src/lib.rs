@@ -43,8 +43,9 @@ pub mod prelude {
     };
     pub use kron_dist::{live_sim_worker_threads, DistFastKron, GpuGrid, ShardedEngine};
     pub use kron_runtime::{
-        adaptive_linger_us, aged_priority, Backend, CachePolicy, Clock, ManualClock, ModelPin,
-        Runtime, RuntimeConfig, RuntimeStats, ServeElement, ServeReceipt, Session, SubmitOptions,
-        Ticket,
+        adaptive_linger_us, aged_priority, Backend, BreakerPolicy, BreakerState, CachePolicy,
+        Clock, DeviceHealthReport, FaultEvent, FaultKind, FaultPlan, FaultTrigger, ManualClock,
+        ModelPin, RetryPolicy, Runtime, RuntimeConfig, RuntimeStats, ServeElement, ServeReceipt,
+        Session, SubmitOptions, Ticket,
     };
 }
