@@ -18,12 +18,18 @@
 //! per-request path (the runtime's plan cache plus the batcher);
 //! `speedup_vs_direct` isolates what batching and buffer reuse add over
 //! a plan-free but allocating per-request loop.
+//!
+//! Each case also records `batched_tails`: the timed window's p50/p95/p99
+//! as the *runtime itself* measured them, read back from the per-model
+//! latency histograms behind `Runtime::metrics_snapshot` — the numbers a
+//! production scrape would see, cross-checkable against the client-side
+//! `batched` percentiles.
 
 use fastkron_core::exec::kron_matmul_fused;
 use fastkron_core::FastKron;
 use gpu_sim::device::V100;
 use kron_core::{KronProblem, Matrix};
-use kron_runtime::{RetryPolicy, Runtime, RuntimeConfig};
+use kron_runtime::{HistogramSnapshot, RetryPolicy, Runtime, RuntimeConfig};
 use std::time::Instant;
 
 /// Requests per case for the direct and batched paths.
@@ -56,6 +62,7 @@ fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f32> {
 struct PathResult {
     rps: f64,
     p50_us: f64,
+    p95_us: f64,
     p99_us: f64,
 }
 
@@ -70,8 +77,24 @@ fn summarize(mut latencies_s: Vec<f64>, wall_s: f64) -> PathResult {
     PathResult {
         rps: n as f64 / wall_s,
         p50_us: percentile(&latencies_s, 0.50) * 1e6,
+        p95_us: percentile(&latencies_s, 0.95) * 1e6,
         p99_us: percentile(&latencies_s, 0.99) * 1e6,
     }
+}
+
+/// The timed batched window's end-to-end latency histogram, read back
+/// from the runtime's own per-model registry (not client-side clocks):
+/// the same zero-alloc log2 buckets `Runtime::metrics_snapshot` exports
+/// to Prometheus. Diffed before/after the window because cases sharing a
+/// factor-shape family (e.g. every `8^2` M-sweep case) share one registry
+/// entry.
+fn model_latency(runtime: &Runtime, model: &kron_runtime::Model<f32>) -> HistogramSnapshot {
+    runtime
+        .model_stats()
+        .into_iter()
+        .find(|e| e.shape_key == model.shape_key())
+        .map(|e| e.latency)
+        .unwrap_or_default()
 }
 
 /// Per-request planning + execution: the pre-runtime planned API loop.
@@ -138,6 +161,8 @@ struct CaseResult {
     /// nothing fails).
     noretry: PathResult,
     batches: u64,
+    /// Runtime-reported tail histogram for the timed batched window.
+    tails: HistogramSnapshot,
 }
 
 fn run_case(runtime: &Runtime, noretry_rt: &Runtime, m: usize, p: usize, n: usize) -> CaseResult {
@@ -166,7 +191,9 @@ fn run_case(runtime: &Runtime, noretry_rt: &Runtime, m: usize, p: usize, n: usiz
 
     let planned = run_planned(&problem, &xs[..PLANNED_REQUESTS], &refs);
     let direct = run_direct(&xs, &refs);
+    let before = model_latency(runtime, &model);
     let (batched, batches) = run_batched(runtime, &model, &xs);
+    let tails = model_latency(runtime, &model).since(&before);
     let (noretry, _) = run_batched(noretry_rt, &noretry_model, &xs);
 
     CaseResult {
@@ -178,13 +205,26 @@ fn run_case(runtime: &Runtime, noretry_rt: &Runtime, m: usize, p: usize, n: usiz
         batched,
         noretry,
         batches,
+        tails,
     }
 }
 
 fn path_json(r: &PathResult) -> String {
     format!(
-        "{{\"rps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}",
-        r.rps, r.p50_us, r.p99_us
+        "{{\"rps\": {:.1}, \"p50_us\": {:.2}, \"p95_us\": {:.2}, \"p99_us\": {:.2}}}",
+        r.rps, r.p50_us, r.p95_us, r.p99_us
+    )
+}
+
+/// Tail object for the runtime-reported histogram: log2-bucket upper
+/// bounds, in whole microseconds.
+fn tails_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+        h.count,
+        h.percentile(0.50),
+        h.percentile(0.95),
+        h.percentile(0.99)
     )
 }
 
@@ -199,6 +239,7 @@ fn emit_json(results: &[CaseResult], threads: usize) -> String {
                     "     \"unbatched_direct\": {},\n",
                     "     \"batched\": {},\n",
                     "     \"batched_noretry\": {},\n",
+                    "     \"batched_tails\": {},\n",
                     "     \"batches\": {},\n",
                     "     \"speedup\": {:.3}, \"speedup_vs_direct\": {:.3}}}"
                 ),
@@ -209,6 +250,7 @@ fn emit_json(results: &[CaseResult], threads: usize) -> String {
                 path_json(&r.direct),
                 path_json(&r.batched),
                 path_json(&r.noretry),
+                tails_json(&r.tails),
                 r.batches,
                 r.batched.rps / r.planned.rps,
                 r.batched.rps / r.direct.rps,
@@ -325,6 +367,25 @@ fn main() {
         println!("cross-request batching engaged on every case");
     } else {
         println!("FAIL: no batches formed on: {}", unbatched_cases.join(", "));
+        failed = true;
+    }
+    // (2b) Tail integrity: the runtime's own histograms attributed every
+    // timed request of every case to its model entry — `batched_tails`
+    // is a real measurement, not a stale or cross-wired one.
+    let tail_gaps: Vec<String> = results
+        .iter()
+        .filter(|r| r.tails.count != REQUESTS as u64)
+        .map(|r| {
+            format!(
+                "M={} {}^{} counted {}/{REQUESTS}",
+                r.m, r.p, r.n, r.tails.count
+            )
+        })
+        .collect();
+    if tail_gaps.is_empty() {
+        println!("runtime histograms attributed all {REQUESTS} timed requests per case");
+    } else {
+        println!("FAIL: histogram attribution gaps: {}", tail_gaps.join(", "));
         failed = true;
     }
     // (3) Fault-free overhead: with no fault firing, the retry-enabled

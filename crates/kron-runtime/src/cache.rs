@@ -71,8 +71,10 @@
 //! gauges).
 
 use crate::clock::Clock;
+use crate::metrics::MetricsHub;
 use crate::runtime::sealed::ErasedDtype;
 use crate::runtime::{Backend, ModelInner, StatsInner};
+use crate::trace::{EvictReason, ServeEventKind};
 use fastkron_core::{FastKron, KronPlan, Workspace};
 use gpu_sim::device::DeviceSpec;
 use gpu_sim::ExecSummary;
@@ -373,6 +375,9 @@ pub struct PlanCache {
     /// device stalled past this many clock microseconds fails its batch
     /// with [`KronError::DeviceTimeout`] instead of hanging the fabric.
     watchdog_us: u64,
+    /// Metrics plane evictions and per-model plan lookups are recorded
+    /// into. A standalone cache gets its own private hub.
+    hub: Arc<MetricsHub>,
 }
 
 impl PlanCache {
@@ -387,6 +392,26 @@ impl PlanCache {
         policy: CachePolicy,
         clock: Clock,
         watchdog_us: u64,
+    ) -> Self {
+        Self::with_hub(
+            device,
+            backend,
+            policy,
+            clock,
+            watchdog_us,
+            Arc::new(MetricsHub::new(0)),
+        )
+    }
+
+    /// [`Self::new`], recording evictions and per-model plan lookups
+    /// into the runtime's shared metrics `hub`.
+    pub(crate) fn with_hub(
+        device: DeviceSpec,
+        backend: &Backend,
+        policy: CachePolicy,
+        clock: Clock,
+        watchdog_us: u64,
+        hub: Arc<MetricsHub>,
     ) -> Self {
         let backend = match backend {
             Backend::SingleNode => Ok(None),
@@ -409,6 +434,7 @@ impl PlanCache {
             use_seq: 0,
             total_bytes: 0,
             watchdog_us: watchdog_us.max(1),
+            hub,
         }
     }
 
@@ -443,11 +469,20 @@ impl PlanCache {
     }
 
     /// Removes one slot from the map and the byte ledger, recording it
-    /// for rebuild attribution. Returns whether it was present.
-    fn remove_slot(&mut self, key: MapKey) -> bool {
+    /// for rebuild attribution and into the flight recorder. Returns
+    /// whether it was present.
+    fn remove_slot(&mut self, key: MapKey, reason: EvictReason) -> bool {
         if let Some(slot) = self.entries.remove(&key) {
             self.total_bytes -= slot.bytes;
             note_evicted(&mut self.evicted_keys, key);
+            self.hub.event(
+                self.clock.now_us(),
+                ServeEventKind::Eviction {
+                    dtype: key.0,
+                    capacity: key.2 as u32,
+                    reason,
+                },
+            );
             true
         } else {
             false
@@ -466,7 +501,7 @@ impl PlanCache {
         capacity: usize,
         stats: &StatsInner,
     ) {
-        if self.remove_slot((dtype, shape_key, capacity)) {
+        if self.remove_slot((dtype, shape_key, capacity), EvictReason::Failed) {
             stats.evictions.fetch_add(1, Ordering::Relaxed);
             self.update_gauges(stats);
         }
@@ -483,11 +518,20 @@ impl PlanCache {
         let before = self.entries.len();
         let evicted_keys = &mut self.evicted_keys;
         let total_bytes = &mut self.total_bytes;
+        let hub = &self.hub;
         self.entries.retain(|key, slot| {
             let keep = slot.pinned() || now.saturating_sub(slot.last_used_us) <= max_idle;
             if !keep {
                 *total_bytes -= slot.bytes;
                 note_evicted(evicted_keys, *key);
+                hub.event(
+                    now,
+                    ServeEventKind::Eviction {
+                        dtype: key.0,
+                        capacity: key.2 as u32,
+                        reason: EvictReason::Idle,
+                    },
+                );
             }
             keep
         });
@@ -550,6 +594,8 @@ impl PlanCache {
             slot.last_used_us = now;
             if fresh {
                 stats.plan_hits.fetch_add(1, Ordering::Relaxed);
+                self.hub
+                    .record_plan_lookup(T::DTYPE, model.shape_key, capacity, true);
                 return Ok(PinnedEntry::new(slot));
             }
             // 64-bit shape-hash collision, or a device-limit transition
@@ -558,6 +604,8 @@ impl PlanCache {
             // state. The old entry's Arc is replaced, so an in-flight pin
             // keeps the old engine alive until it drops.
             stats.plan_misses.fetch_add(1, Ordering::Relaxed);
+            self.hub
+                .record_plan_lookup(T::DTYPE, model.shape_key, capacity, false);
             let built = self.build_entry(model, capacity, eff_limit, stats)?;
             let bytes = built.key.estimated_bytes();
             let slot = self.entries.get_mut(&map_key).expect("present above");
@@ -572,6 +620,8 @@ impl PlanCache {
         }
 
         stats.plan_misses.fetch_add(1, Ordering::Relaxed);
+        self.hub
+            .record_plan_lookup(T::DTYPE, model.shape_key, capacity, false);
         // A misconfigured backend (e.g. non-power-of-two grid) fails
         // every build, forever: surface it before evicting anyone, so a
         // stream of doomed requests cannot flush healthy entries.
@@ -658,7 +708,7 @@ impl PlanCache {
                 .min_by_key(|(_, slot)| slot.last_used_seq)
                 .map(|(key, _)| *key);
             let Some(key) = lru else { break };
-            self.remove_slot(key);
+            self.remove_slot(key, EvictReason::Capacity);
             stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
         self.update_gauges(stats);

@@ -15,8 +15,10 @@
 //! no lock, no allocation — preserving the zero-allocation steady-state
 //! contract with retry and chaos machinery compiled in.
 
+use crate::metrics::MetricsHub;
+use crate::trace::ServeEventKind;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// When a scripted fault fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,14 +176,18 @@ pub(crate) struct FaultPlane {
     armed: AtomicBool,
     sharded_seq: AtomicU64,
     state: Mutex<PlaneState>,
+    hub: Arc<MetricsHub>,
 }
 
 impl FaultPlane {
-    pub(crate) fn new() -> Self {
+    /// A disarmed plane; injected faults are recorded into `hub`'s
+    /// flight recorder when they fire.
+    pub(crate) fn new(hub: Arc<MetricsHub>) -> Self {
         FaultPlane {
             armed: AtomicBool::new(false),
             sharded_seq: AtomicU64::new(0),
             state: Mutex::new(PlaneState::default()),
+            hub,
         }
     }
 
@@ -246,6 +252,13 @@ impl FaultPlane {
         if st.events.is_empty() {
             self.armed.store(false, Ordering::SeqCst);
         }
+        self.hub.event(
+            now_us,
+            ServeEventKind::FaultInjected {
+                gpu: fired.0 as u32,
+                kind: fired.1,
+            },
+        );
         Some(fired)
     }
 
@@ -277,9 +290,13 @@ impl FaultPlane {
 mod tests {
     use super::*;
 
+    fn plane() -> FaultPlane {
+        FaultPlane::new(Arc::new(MetricsHub::new(0)))
+    }
+
     #[test]
     fn disarmed_plane_counts_batches_but_fires_nothing() {
-        let plane = FaultPlane::new();
+        let plane = plane();
         assert_eq!(plane.current_batch(), 0);
         assert!(plane.next_device_fault(0, 4).is_none());
         assert!(plane.next_device_fault(0, 4).is_none());
@@ -289,7 +306,7 @@ mod tests {
 
     #[test]
     fn batch_triggers_fire_at_or_after_their_batch_and_repeat() {
-        let plane = FaultPlane::new();
+        let plane = plane();
         plane.install(FaultPlan::new().panic_on_batch_repeat(1, 2, 2));
         assert!(plane.next_device_fault(0, 4).is_none()); // batch 0
         assert!(plane.next_device_fault(0, 4).is_none()); // batch 1
@@ -301,7 +318,7 @@ mod tests {
 
     #[test]
     fn time_triggers_and_stalls_fire_on_the_clock() {
-        let plane = FaultPlane::new();
+        let plane = plane();
         plane.install(
             FaultPlan::new()
                 .stall_on_batch(0, 0, 700)
@@ -320,7 +337,7 @@ mod tests {
 
     #[test]
     fn faults_outside_a_degraded_grid_stay_pending() {
-        let plane = FaultPlane::new();
+        let plane = plane();
         plane.install(FaultPlan::new().panic_on_batch(3, 0));
         // Degraded to 2 devices: the device-3 fault cannot fire.
         assert!(plane.next_device_fault(0, 2).is_none());
@@ -331,7 +348,7 @@ mod tests {
 
     #[test]
     fn scheduler_panic_events_only_fire_through_their_own_probe() {
-        let plane = FaultPlane::new();
+        let plane = plane();
         plane.install(FaultPlan::new().scheduler_panic_at_time(100));
         assert!(plane.next_device_fault(500, 4).is_none());
         assert!(!plane.scheduler_panic_due(99));

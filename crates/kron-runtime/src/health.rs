@@ -23,8 +23,10 @@
 //! [`KronError::DeviceFailure`]: kron_core::KronError::DeviceFailure
 //! [`KronError::DeviceTimeout`]: kron_core::KronError::DeviceTimeout
 
+use crate::metrics::{DeviceMetricsSnapshot, MetricsHub};
+use crate::trace::ServeEventKind;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Circuit-breaker tuning, part of [`crate::RuntimeConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +72,8 @@ pub struct DeviceHealthReport {
     pub state: BreakerState,
     /// Times this device's breaker has tripped over the runtime's life.
     pub trips: u64,
+    /// Execute/fault counters and execute latency for this device.
+    pub metrics: DeviceMetricsSnapshot,
 }
 
 /// Internal per-device state. `Open` keeps the trip time so quarantine
@@ -96,12 +100,14 @@ pub(crate) struct DeviceHealth {
     policy: BreakerPolicy,
     suspect: AtomicBool,
     inner: Mutex<Vec<DeviceState>>,
+    hub: Arc<MetricsHub>,
 }
 
 impl DeviceHealth {
     /// A ledger for `gpus` devices (0 for a single-node runtime, which
-    /// has no devices to quarantine).
-    pub(crate) fn new(gpus: usize, policy: BreakerPolicy) -> Self {
+    /// has no devices to quarantine). Breaker transitions are recorded
+    /// into `hub`'s flight recorder.
+    pub(crate) fn new(gpus: usize, policy: BreakerPolicy, hub: Arc<MetricsHub>) -> Self {
         DeviceHealth {
             policy,
             suspect: AtomicBool::new(false),
@@ -113,6 +119,7 @@ impl DeviceHealth {
                 };
                 gpus
             ]),
+            hub,
         }
     }
 
@@ -140,6 +147,13 @@ impl DeviceHealth {
         if trip {
             d.state = State::Open { since_us: now_us };
             d.trips += 1;
+            self.hub.event(
+                now_us,
+                ServeEventKind::Breaker {
+                    gpu: gpu as u32,
+                    to: BreakerState::Open,
+                },
+            );
         }
         trip
     }
@@ -156,16 +170,24 @@ impl DeviceHealth {
         }
         let mut devices = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let n = gpus_used.min(devices.len());
-        for d in &mut devices[..n] {
+        for (gpu, d) in devices[..n].iter_mut().enumerate() {
             d.consecutive_failures = 0;
-            match d.state {
-                State::HalfOpen => d.state = State::Closed,
-                State::Open { since_us }
-                    if now_us.saturating_sub(since_us) >= self.policy.cooldown_us =>
-                {
-                    d.state = State::Closed;
+            let closed = match d.state {
+                State::HalfOpen => true,
+                State::Open { since_us } => {
+                    now_us.saturating_sub(since_us) >= self.policy.cooldown_us
                 }
-                _ => {}
+                State::Closed => false,
+            };
+            if closed {
+                d.state = State::Closed;
+                self.hub.event(
+                    now_us,
+                    ServeEventKind::Breaker {
+                        gpu: gpu as u32,
+                        to: BreakerState::Closed,
+                    },
+                );
             }
         }
         let clean = devices
@@ -187,10 +209,17 @@ impl DeviceHealth {
             return configured;
         }
         let mut devices = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        for d in devices.iter_mut() {
+        for (gpu, d) in devices.iter_mut().enumerate() {
             if let State::Open { since_us } = d.state {
                 if now_us.saturating_sub(since_us) >= self.policy.cooldown_us {
                     d.state = State::HalfOpen;
+                    self.hub.event(
+                        now_us,
+                        ServeEventKind::Breaker {
+                            gpu: gpu as u32,
+                            to: BreakerState::HalfOpen,
+                        },
+                    );
                 }
             }
         }
@@ -226,6 +255,7 @@ impl DeviceHealth {
                     }
                 },
                 trips: d.trips,
+                metrics: self.hub.device_snapshot(gpu),
             })
             .collect()
     }
@@ -242,9 +272,13 @@ mod tests {
         }
     }
 
+    fn ledger(gpus: usize) -> DeviceHealth {
+        DeviceHealth::new(gpus, policy(), Arc::new(MetricsHub::new(gpus)))
+    }
+
     #[test]
     fn healthy_ledger_is_wide_open_and_lock_free() {
-        let h = DeviceHealth::new(4, policy());
+        let h = ledger(4);
         assert!(!h.is_suspect());
         assert_eq!(h.allowed_gpus(0, 4), 4);
         assert!(h.report(0).iter().all(|d| d.state == BreakerState::Closed));
@@ -252,7 +286,7 @@ mod tests {
 
     #[test]
     fn trips_at_threshold_quarantines_then_half_opens_and_recovers() {
-        let h = DeviceHealth::new(4, policy());
+        let h = ledger(4);
         assert!(!h.record_failure(2, 10));
         assert!(!h.record_failure(2, 20));
         assert!(h.record_failure(2, 30), "third consecutive failure trips");
@@ -274,7 +308,7 @@ mod tests {
 
     #[test]
     fn failed_half_open_probe_retrips_immediately() {
-        let h = DeviceHealth::new(4, policy());
+        let h = ledger(4);
         for t in [0, 1, 2] {
             h.record_failure(1, t);
         }
@@ -287,7 +321,7 @@ mod tests {
 
     #[test]
     fn open_device_zero_degrades_to_single_device() {
-        let h = DeviceHealth::new(4, policy());
+        let h = ledger(4);
         for t in [0, 1, 2] {
             h.record_failure(0, t);
         }
@@ -296,7 +330,7 @@ mod tests {
 
     #[test]
     fn successes_outside_the_grid_leave_other_devices_alone() {
-        let h = DeviceHealth::new(4, policy());
+        let h = ledger(4);
         h.record_failure(3, 0);
         h.record_failure(3, 1);
         // A 2-device success resets only devices 0-1.

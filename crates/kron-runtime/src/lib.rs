@@ -207,6 +207,38 @@
 //! For allocation-free steady-state serving, hold a typed [`Session`] per
 //! dtype and recycle its buffers: [`Session::call`] moves `x`/`y` in and
 //! returns them filled.
+//!
+//! ## Observability
+//!
+//! The runtime measures itself continuously, at zero steady-state
+//! allocation cost (the counting-allocator suite proves serving with
+//! every instrument armed allocates nothing):
+//!
+//! * **Stage timelines** — every request is clock-stamped through the
+//!   pipeline; the [`ServeReceipt`] from [`Ticket::wait_with_receipt`]
+//!   carries a [`StageTimings`] breakdown (queue, linger, plan, exec,
+//!   scatter, retry — microseconds on the runtime's [`Clock`], so
+//!   manual-clock tests can assert exact timelines).
+//! * **Latency histograms** — preallocated atomic log2 histograms per
+//!   stage and per outcome, with conservative [`HistogramSnapshot::percentile`]
+//!   readout; aggregated globally, per plan key in a bounded model
+//!   registry ([`Runtime::model_stats`], [`ModelStats`]), and per device
+//!   ([`Runtime::device_health`] reports carry a
+//!   [`DeviceMetricsSnapshot`]).
+//! * **Flight recorder** — a fixed-capacity lock-free ring of recent
+//!   [`ServeEvent`]s (admissions, sheds, batch formation, executes,
+//!   faults, retries, degrades, breaker transitions, evictions), drained
+//!   in causal order via [`Runtime::drain_events`] — chaos drills and
+//!   test failures produce a post-mortem trace, not just counters.
+//! * **Snapshot/export** — [`Runtime::metrics_snapshot`] folds counters,
+//!   histograms, registries, and device health into one
+//!   [`MetricsSnapshot`] that renders to stable JSON
+//!   ([`MetricsSnapshot::to_json`]) or Prometheus text
+//!   ([`MetricsSnapshot::to_prometheus`]); the serve bench records its
+//!   p50/p95/p99 tails from these histograms.
+//!
+//! See `examples/serving_observability.rs` for a chaos drill that prints
+//! the snapshot and the drained event trace.
 
 #![deny(missing_docs)]
 
@@ -214,15 +246,21 @@ mod cache;
 mod clock;
 mod fault;
 mod health;
+mod metrics;
 mod runtime;
 mod scheduler;
+mod trace;
 
 pub use cache::{CachePolicy, PlanCache};
 pub use clock::{Clock, ManualClock};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultTrigger};
 pub use health::{BreakerPolicy, BreakerState, DeviceHealthReport};
+pub use metrics::{
+    DeviceMetricsSnapshot, HistogramSnapshot, MetricsSnapshot, ModelStats, Outcome, Stage,
+};
 pub use runtime::{
     Backend, Model, ModelPin, RetryPolicy, Runtime, RuntimeConfig, RuntimeStats, ServeElement,
     ServeReceipt, Session, SubmitOptions, Ticket,
 };
 pub use scheduler::{adaptive_linger_us, aged_priority};
+pub use trace::{EvictReason, ServeEvent, ServeEventKind, StageTimings};

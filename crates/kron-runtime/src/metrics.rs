@@ -1,0 +1,864 @@
+//! Latency histograms, per-model/per-device metric registries, and the
+//! snapshot/export surface: the aggregate half of the runtime's
+//! observability layer (the causal half — timelines and the flight
+//! recorder — lives in [`crate::trace`]).
+//!
+//! Everything on the hot path is preallocated and atomic: recording a
+//! stage latency is one `leading_zeros` plus three relaxed atomic adds
+//! into a fixed 40-bucket log2 histogram, and the per-model registry
+//! reserves its slots up front so steady-state serving performs zero
+//! heap allocations (proved in `serve_alloc.rs`). Reads are cold-path:
+//! [`crate::Runtime::metrics_snapshot`] folds counters, stage/outcome
+//! histograms, both registries, and device health into one coherent
+//! [`MetricsSnapshot`] that renders to stable JSON or Prometheus text.
+
+use crate::health::DeviceHealthReport;
+use crate::runtime::RuntimeStats;
+use crate::trace::{FlightRecorder, ServeEvent, ServeEventKind, StageTimings};
+use kron_core::DType;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of log2 latency buckets. Bucket 0 holds exactly 0µs; bucket
+/// `i` in `1..=38` holds `[2^(i-1), 2^i - 1]`µs; bucket 39 holds
+/// everything ≥ 2^38 µs.
+pub(crate) const BUCKETS: usize = 40;
+
+/// Log2 bucket index for a microsecond latency.
+fn bucket_index(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` in microseconds (used as the
+/// conservative percentile readout). Bucket 0 is exactly 0.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Preallocated atomic log2 latency histogram: recording is lock-free
+/// and allocation-free.
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub(crate) fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency observation. Hot path: three relaxed adds.
+    pub(crate) fn record(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Copies the current bucket counts out (cold path).
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let mut s = HistogramSnapshot::default();
+        for (i, b) in self.buckets.iter().enumerate() {
+            s.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        s.count = self.count.load(Ordering::Relaxed);
+        s.sum_us = self.sum_us.load(Ordering::Relaxed);
+        s
+    }
+}
+
+/// Point-in-time copy of a latency histogram with percentile readout.
+///
+/// Buckets are log2-spaced: bucket 0 holds exactly 0µs and bucket `i`
+/// holds latencies in `[2^(i-1), 2^i - 1]`µs, so
+/// [`Self::percentile`] answers with the bucket's inclusive upper bound
+/// — a conservative (never understated) tail estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observation count per log2 bucket.
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed latencies (µs).
+    pub sum_us: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Accumulates one observation into this snapshot (registry slots
+    /// under a lock use plain snapshots as their accumulator).
+    pub(crate) fn record(&mut self, us: u64) {
+        self.buckets[bucket_index(us)] += 1;
+        self.count += 1;
+        self.sum_us += us;
+    }
+
+    /// The latency (µs) at percentile `p` in `(0.0, 1.0]`, reported as
+    /// the inclusive upper bound of the log2 bucket containing that
+    /// rank. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// Mean observed latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The observations recorded since `earlier` was taken — bucket-wise
+    /// saturating difference. Lets a bench window tails to one timed
+    /// phase by diffing before/after snapshots of a shared histogram.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        for i in 0..BUCKETS {
+            out.buckets[i] = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum_us = self.sum_us.saturating_sub(earlier.sum_us);
+        out
+    }
+}
+
+/// Pipeline stage a latency histogram attributes time to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Channel wait: enqueue → scheduler pickup.
+    Queue,
+    /// Batching wait: pickup → linger window close.
+    Linger,
+    /// Plan-cache resolution on the final attempt.
+    Plan,
+    /// Kernel execution on the final attempt.
+    Exec,
+    /// Result scatter: execute end → reply fill.
+    Scatter,
+    /// Retry cost: serve start → final attempt start.
+    Retry,
+    /// End-to-end: sum of all stages.
+    Total,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Queue,
+        Stage::Linger,
+        Stage::Plan,
+        Stage::Exec,
+        Stage::Scatter,
+        Stage::Retry,
+        Stage::Total,
+    ];
+
+    /// Stable lowercase name (used as the JSON/Prometheus label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::Linger => "linger",
+            Stage::Plan => "plan",
+            Stage::Exec => "exec",
+            Stage::Scatter => "scatter",
+            Stage::Retry => "retry",
+            Stage::Total => "total",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Queue => 0,
+            Stage::Linger => 1,
+            Stage::Plan => 2,
+            Stage::Exec => 3,
+            Stage::Scatter => 4,
+            Stage::Retry => 5,
+            Stage::Total => 6,
+        }
+    }
+}
+
+/// How a request's reply resolved, keying the per-outcome end-to-end
+/// latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served successfully.
+    Ok,
+    /// Replied with a non-deadline error.
+    Error,
+    /// Shed with [`kron_core::KronError::DeadlineExceeded`].
+    Shed,
+}
+
+impl Outcome {
+    /// Every outcome.
+    pub const ALL: [Outcome; 3] = [Outcome::Ok, Outcome::Error, Outcome::Shed];
+
+    /// Stable lowercase name (used as the JSON/Prometheus label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Error => "error",
+            Outcome::Shed => "shed",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Outcome::Ok => 0,
+            Outcome::Error => 1,
+            Outcome::Shed => 2,
+        }
+    }
+}
+
+/// Per-plan-key serving stats from the bounded model registry, read via
+/// [`crate::Runtime::model_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Element dtype of the plan key.
+    pub dtype: DType,
+    /// Shape-chain hash of the plan key (matches
+    /// [`crate::Model::shape_key`]).
+    pub shape_key: u64,
+    /// Row capacity of the plan key.
+    pub capacity: usize,
+    /// Requests served `Ok` under this key.
+    pub serves: u64,
+    /// Requests replied with an error (including sheds) under this key.
+    pub errors: u64,
+    /// Plan-cache hits for this key.
+    pub plan_hits: u64,
+    /// Plan-cache misses (builds) for this key.
+    pub plan_misses: u64,
+    /// End-to-end latency of requests served under this key.
+    pub latency: HistogramSnapshot,
+    /// True for the single spill slot that aggregates every key past the
+    /// registry's bound (its key fields are zeroed).
+    pub overflow: bool,
+}
+
+/// Per-device execute/fault counters and execute-latency histogram,
+/// carried on each [`DeviceHealthReport`] row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceMetricsSnapshot {
+    /// Sharded executes this device participated in.
+    pub executes: u64,
+    /// Faults attributed to this device (failures and timeouts).
+    pub faults: u64,
+    /// The subset of faults that were watchdog timeouts.
+    pub timeouts: u64,
+    /// Execute latency of batches this device participated in.
+    pub exec_latency: HistogramSnapshot,
+}
+
+/// Distinct plan keys the model registry tracks exactly before spilling
+/// into the shared overflow slot. Slots are reserved up front so
+/// tracking a new key in steady state does not allocate.
+const MODEL_SLOTS: usize = 64;
+
+#[derive(Clone, Copy)]
+struct ModelSlot {
+    dtype: DType,
+    shape_key: u64,
+    capacity: usize,
+    serves: u64,
+    errors: u64,
+    plan_hits: u64,
+    plan_misses: u64,
+    latency: HistogramSnapshot,
+}
+
+impl ModelSlot {
+    fn empty() -> Self {
+        ModelSlot {
+            dtype: DType::F32,
+            shape_key: 0,
+            capacity: 0,
+            serves: 0,
+            errors: 0,
+            plan_hits: 0,
+            plan_misses: 0,
+            latency: HistogramSnapshot::default(),
+        }
+    }
+
+    fn used(&self) -> bool {
+        self.serves + self.errors + self.plan_hits + self.plan_misses > 0
+    }
+}
+
+struct ModelRegistry {
+    slots: Vec<ModelSlot>,
+    overflow: ModelSlot,
+}
+
+impl ModelRegistry {
+    fn new() -> Self {
+        ModelRegistry {
+            slots: Vec::with_capacity(MODEL_SLOTS),
+            overflow: ModelSlot::empty(),
+        }
+    }
+
+    /// The slot for `(dtype, shape_key, capacity)`, spilling to the
+    /// overflow slot past [`MODEL_SLOTS`] distinct keys. Pushing within
+    /// the reserved capacity never reallocates.
+    fn slot_mut(&mut self, dtype: DType, shape_key: u64, capacity: usize) -> &mut ModelSlot {
+        if let Some(i) = self
+            .slots
+            .iter()
+            .position(|s| s.dtype == dtype && s.shape_key == shape_key && s.capacity == capacity)
+        {
+            return &mut self.slots[i];
+        }
+        if self.slots.len() < MODEL_SLOTS {
+            let mut s = ModelSlot::empty();
+            s.dtype = dtype;
+            s.shape_key = shape_key;
+            s.capacity = capacity;
+            self.slots.push(s);
+            let last = self.slots.len() - 1;
+            return &mut self.slots[last];
+        }
+        &mut self.overflow
+    }
+}
+
+struct DeviceMetrics {
+    executes: AtomicU64,
+    faults: AtomicU64,
+    timeouts: AtomicU64,
+    exec_latency: LatencyHistogram,
+}
+
+/// The runtime's shared metrics plane: stage/outcome histograms, the
+/// bounded per-model registry, per-device counters, and the flight
+/// recorder. One `Arc<MetricsHub>` is threaded through the scheduler,
+/// plan cache, device-health ledger, and fault plane.
+pub(crate) struct MetricsHub {
+    stages: [LatencyHistogram; 7],
+    outcomes: [LatencyHistogram; 3],
+    models: Mutex<ModelRegistry>,
+    devices: Box<[DeviceMetrics]>,
+    recorder: FlightRecorder,
+}
+
+impl MetricsHub {
+    pub(crate) fn new(gpus: usize) -> Self {
+        MetricsHub {
+            stages: std::array::from_fn(|_| LatencyHistogram::new()),
+            outcomes: std::array::from_fn(|_| LatencyHistogram::new()),
+            models: Mutex::new(ModelRegistry::new()),
+            devices: (0..gpus)
+                .map(|_| DeviceMetrics {
+                    executes: AtomicU64::new(0),
+                    faults: AtomicU64::new(0),
+                    timeouts: AtomicU64::new(0),
+                    exec_latency: LatencyHistogram::new(),
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            recorder: FlightRecorder::new(),
+        }
+    }
+
+    /// Records one request's stage breakdown into the stage histograms
+    /// and its end-to-end total into the outcome histogram.
+    pub(crate) fn record_timings(&self, t: &StageTimings, outcome: Outcome) {
+        self.stages[Stage::Queue.index()].record(t.queue_us);
+        self.stages[Stage::Linger.index()].record(t.linger_us);
+        self.stages[Stage::Plan.index()].record(t.plan_us);
+        self.stages[Stage::Exec.index()].record(t.exec_us);
+        self.stages[Stage::Scatter.index()].record(t.scatter_us);
+        self.stages[Stage::Retry.index()].record(t.retry_us);
+        let total = t.total_us();
+        self.stages[Stage::Total.index()].record(total);
+        self.outcomes[outcome.index()].record(total);
+    }
+
+    /// Folds one reply into the per-model registry.
+    pub(crate) fn record_model_serve(
+        &self,
+        dtype: DType,
+        shape_key: u64,
+        capacity: usize,
+        outcome: Outcome,
+        total_us: u64,
+    ) {
+        let mut reg = self.models.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = reg.slot_mut(dtype, shape_key, capacity);
+        match outcome {
+            Outcome::Ok => slot.serves += 1,
+            Outcome::Error | Outcome::Shed => slot.errors += 1,
+        }
+        slot.latency.record(total_us);
+    }
+
+    /// Folds one plan-cache lookup into the per-model registry.
+    pub(crate) fn record_plan_lookup(
+        &self,
+        dtype: DType,
+        shape_key: u64,
+        capacity: usize,
+        hit: bool,
+    ) {
+        let mut reg = self.models.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = reg.slot_mut(dtype, shape_key, capacity);
+        if hit {
+            slot.plan_hits += 1;
+        } else {
+            slot.plan_misses += 1;
+        }
+    }
+
+    /// Records a sharded execute this device participated in.
+    pub(crate) fn record_device_execute(&self, gpu: usize, exec_us: u64) {
+        if let Some(d) = self.devices.get(gpu) {
+            d.executes.fetch_add(1, Ordering::Relaxed);
+            d.exec_latency.record(exec_us);
+        }
+    }
+
+    /// Records a fault attributed to this device.
+    pub(crate) fn record_device_fault(&self, gpu: usize, timeout: bool) {
+        if let Some(d) = self.devices.get(gpu) {
+            d.faults.fetch_add(1, Ordering::Relaxed);
+            if timeout {
+                d.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// One device's counters for [`DeviceHealthReport::metrics`].
+    pub(crate) fn device_snapshot(&self, gpu: usize) -> DeviceMetricsSnapshot {
+        match self.devices.get(gpu) {
+            Some(d) => DeviceMetricsSnapshot {
+                executes: d.executes.load(Ordering::Relaxed),
+                faults: d.faults.load(Ordering::Relaxed),
+                timeouts: d.timeouts.load(Ordering::Relaxed),
+                exec_latency: d.exec_latency.snapshot(),
+            },
+            None => DeviceMetricsSnapshot::default(),
+        }
+    }
+
+    /// Records a flight-recorder event (lock-free, allocation-free).
+    pub(crate) fn event(&self, at_us: u64, kind: ServeEventKind) {
+        self.recorder.record(ServeEvent { at_us, kind });
+    }
+
+    /// Drains the flight recorder (cold path).
+    pub(crate) fn drain_events(&self) -> Vec<ServeEvent> {
+        self.recorder.drain()
+    }
+
+    /// Snapshot of one stage histogram.
+    pub(crate) fn stage_snapshot(&self, stage: Stage) -> HistogramSnapshot {
+        self.stages[stage.index()].snapshot()
+    }
+
+    /// Snapshot of one outcome histogram.
+    pub(crate) fn outcome_snapshot(&self, outcome: Outcome) -> HistogramSnapshot {
+        self.outcomes[outcome.index()].snapshot()
+    }
+
+    /// Every used model-registry slot (plus the overflow aggregate if it
+    /// absorbed anything), ordered by first use.
+    pub(crate) fn model_stats(&self) -> Vec<ModelStats> {
+        let reg = self.models.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<ModelStats> = reg
+            .slots
+            .iter()
+            .map(|s| ModelStats {
+                dtype: s.dtype,
+                shape_key: s.shape_key,
+                capacity: s.capacity,
+                serves: s.serves,
+                errors: s.errors,
+                plan_hits: s.plan_hits,
+                plan_misses: s.plan_misses,
+                latency: s.latency,
+                overflow: false,
+            })
+            .collect();
+        if reg.overflow.used() {
+            out.push(ModelStats {
+                dtype: reg.overflow.dtype,
+                shape_key: 0,
+                capacity: 0,
+                serves: reg.overflow.serves,
+                errors: reg.overflow.errors,
+                plan_hits: reg.overflow.plan_hits,
+                plan_misses: reg.overflow.plan_misses,
+                latency: reg.overflow.latency,
+                overflow: true,
+            });
+        }
+        out
+    }
+}
+
+/// One coherent view of everything the runtime measures, from
+/// [`crate::Runtime::metrics_snapshot`]: lifetime counters, per-stage
+/// and per-outcome latency histograms, the per-model registry, and
+/// per-device health + metrics. Renders to stable JSON
+/// ([`Self::to_json`]) or Prometheus text ([`Self::to_prometheus`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Clock time the snapshot was taken (µs on the runtime clock).
+    pub at_us: u64,
+    /// Lifetime counters.
+    pub stats: RuntimeStats,
+    /// Per-stage latency histograms, in [`Stage::ALL`] order.
+    pub stages: Vec<(Stage, HistogramSnapshot)>,
+    /// Per-outcome end-to-end histograms, in [`Outcome::ALL`] order.
+    pub outcomes: Vec<(Outcome, HistogramSnapshot)>,
+    /// The per-model registry.
+    pub models: Vec<ModelStats>,
+    /// Per-device health and metrics (empty on a single-node runtime).
+    pub devices: Vec<DeviceHealthReport>,
+}
+
+fn json_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum_us\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+        h.count,
+        h.sum_us,
+        h.mean_us(),
+        h.percentile(0.50),
+        h.percentile(0.95),
+        h.percentile(0.99)
+    );
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as one stable JSON object (hand-formatted —
+    /// the runtime carries no serialization dependency). Key order is
+    /// fixed, so textual diffs between snapshots are meaningful.
+    pub fn to_json(&self) -> String {
+        // Destructured so a new counter is a compile error here until
+        // the renderer handles it.
+        let RuntimeStats {
+            submitted,
+            requests_f32,
+            requests_f64,
+            served,
+            batches,
+            batched_requests,
+            solo_requests,
+            error_replies,
+            plan_hits,
+            plan_misses,
+            sharded_batches,
+            local_fallbacks,
+            comm_bytes,
+            evictions,
+            rebuilds,
+            deadline_shed,
+            retries,
+            degraded_batches,
+            recovered_requests,
+            breaker_trips,
+            cached_entries,
+            cached_bytes,
+            current_linger_us,
+        } = self.stats;
+        let mut out = String::with_capacity(4096);
+        let _ = write!(out, "{{\"at_us\":{},\"stats\":{{", self.at_us);
+        let _ = write!(
+            out,
+            "\"submitted\":{submitted},\"requests_f32\":{requests_f32},\
+             \"requests_f64\":{requests_f64},\"served\":{served},\"batches\":{batches},\
+             \"batched_requests\":{batched_requests},\"solo_requests\":{solo_requests},\
+             \"error_replies\":{error_replies},\"plan_hits\":{plan_hits},\
+             \"plan_misses\":{plan_misses},\"sharded_batches\":{sharded_batches},\
+             \"local_fallbacks\":{local_fallbacks},\"comm_bytes\":{comm_bytes},\
+             \"evictions\":{evictions},\"rebuilds\":{rebuilds},\"deadline_shed\":{deadline_shed},\
+             \"retries\":{retries},\"degraded_batches\":{degraded_batches},\
+             \"recovered_requests\":{recovered_requests},\"breaker_trips\":{breaker_trips},\
+             \"cached_entries\":{cached_entries},\"cached_bytes\":{cached_bytes},\
+             \"current_linger_us\":{current_linger_us}}}"
+        );
+        out.push_str(",\"stages\":{");
+        for (i, (stage, h)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", stage.name());
+            json_histogram(&mut out, h);
+        }
+        out.push_str("},\"outcomes\":{");
+        for (i, (outcome, h)) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", outcome.name());
+            json_histogram(&mut out, h);
+        }
+        out.push_str("},\"models\":[");
+        for (i, m) in self.models.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"dtype\":\"{}\",\"shape_key\":{},\"capacity\":{},\"serves\":{},\
+                 \"errors\":{},\"plan_hits\":{},\"plan_misses\":{},\"overflow\":{},\"latency\":",
+                m.dtype.rust_name(),
+                m.shape_key,
+                m.capacity,
+                m.serves,
+                m.errors,
+                m.plan_hits,
+                m.plan_misses,
+                m.overflow
+            );
+            json_histogram(&mut out, &m.latency);
+            out.push('}');
+        }
+        out.push_str("],\"devices\":[");
+        for (i, d) in self.devices.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"gpu\":{},\"state\":\"{:?}\",\"consecutive_failures\":{},\"trips\":{},\
+                 \"executes\":{},\"faults\":{},\"timeouts\":{},\"exec_latency\":",
+                d.gpu,
+                d.state,
+                d.consecutive_failures,
+                d.trips,
+                d.metrics.executes,
+                d.metrics.faults,
+                d.metrics.timeouts
+            );
+            json_histogram(&mut out, &d.metrics.exec_latency);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// lifetime counters as `kron_*` counters/gauges, stage histograms
+    /// as cumulative-`le` histograms, per-model serve counters, and
+    /// per-device counters.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        let RuntimeStats {
+            submitted,
+            requests_f32,
+            requests_f64,
+            served,
+            batches,
+            batched_requests,
+            solo_requests,
+            error_replies,
+            plan_hits,
+            plan_misses,
+            sharded_batches,
+            local_fallbacks,
+            comm_bytes,
+            evictions,
+            rebuilds,
+            deadline_shed,
+            retries,
+            degraded_batches,
+            recovered_requests,
+            breaker_trips,
+            cached_entries,
+            cached_bytes,
+            current_linger_us,
+        } = self.stats;
+        for (name, kind, v) in [
+            ("kron_submitted_total", "counter", submitted),
+            ("kron_requests_f32_total", "counter", requests_f32),
+            ("kron_requests_f64_total", "counter", requests_f64),
+            ("kron_served_total", "counter", served),
+            ("kron_batches_total", "counter", batches),
+            ("kron_batched_requests_total", "counter", batched_requests),
+            ("kron_solo_requests_total", "counter", solo_requests),
+            ("kron_error_replies_total", "counter", error_replies),
+            ("kron_plan_hits_total", "counter", plan_hits),
+            ("kron_plan_misses_total", "counter", plan_misses),
+            ("kron_sharded_batches_total", "counter", sharded_batches),
+            ("kron_local_fallbacks_total", "counter", local_fallbacks),
+            ("kron_comm_bytes_total", "counter", comm_bytes),
+            ("kron_evictions_total", "counter", evictions),
+            ("kron_rebuilds_total", "counter", rebuilds),
+            ("kron_deadline_shed_total", "counter", deadline_shed),
+            ("kron_retries_total", "counter", retries),
+            ("kron_degraded_batches_total", "counter", degraded_batches),
+            (
+                "kron_recovered_requests_total",
+                "counter",
+                recovered_requests,
+            ),
+            ("kron_breaker_trips_total", "counter", breaker_trips),
+            ("kron_cached_entries", "gauge", cached_entries),
+            ("kron_cached_bytes", "gauge", cached_bytes),
+            ("kron_current_linger_us", "gauge", current_linger_us),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} {kind}\n{name} {v}");
+        }
+        for (stage, h) in &self.stages {
+            let name = format!("kron_stage_{}_us", stage.name());
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            let highest = h.buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
+            for (i, &b) in h.buckets.iter().enumerate().take(highest + 1) {
+                cumulative += b;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    bucket_upper(i)
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum_us);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        let _ = writeln!(out, "# TYPE kron_model_serves_total counter");
+        for m in &self.models {
+            let _ = writeln!(
+                out,
+                "kron_model_serves_total{{dtype=\"{}\",shape_key=\"{}\",capacity=\"{}\",overflow=\"{}\"}} {}",
+                m.dtype.rust_name(),
+                m.shape_key,
+                m.capacity,
+                m.overflow,
+                m.serves
+            );
+        }
+        let _ = writeln!(out, "# TYPE kron_device_executes_total counter");
+        let _ = writeln!(out, "# TYPE kron_device_faults_total counter");
+        for d in &self.devices {
+            let _ = writeln!(
+                out,
+                "kron_device_executes_total{{gpu=\"{}\"}} {}",
+                d.gpu, d.metrics.executes
+            );
+            let _ = writeln!(
+                out,
+                "kron_device_faults_total{{gpu=\"{}\"}} {}",
+                d.gpu, d.metrics.faults
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentile_reads_bucket_upper_bound() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 7, upper bound 127
+        }
+        h.record(10_000); // bucket 14, upper bound 16383
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.percentile(0.50), 127);
+        assert_eq!(s.percentile(0.99), 127);
+        assert_eq!(s.percentile(1.0), 16_383);
+        assert_eq!(s.mean_us(), (99 * 100 + 10_000) / 100);
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        let s = HistogramSnapshot::default();
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.mean_us(), 0);
+    }
+
+    #[test]
+    fn since_diffs_windows() {
+        let h = LatencyHistogram::new();
+        h.record(5);
+        let before = h.snapshot();
+        h.record(1_000);
+        h.record(1_000);
+        let after = h.snapshot();
+        let window = after.since(&before);
+        assert_eq!(window.count, 2);
+        assert_eq!(window.sum_us, 2_000);
+        assert_eq!(window.percentile(0.5), 1_023);
+    }
+
+    #[test]
+    fn model_registry_spills_to_overflow_past_capacity() {
+        let hub = MetricsHub::new(0);
+        for k in 0..(MODEL_SLOTS as u64 + 5) {
+            hub.record_model_serve(DType::F32, k, 64, Outcome::Ok, 10);
+        }
+        let stats = hub.model_stats();
+        assert_eq!(stats.len(), MODEL_SLOTS + 1);
+        let spill = stats.last().unwrap();
+        assert!(spill.overflow);
+        assert_eq!(spill.serves, 5);
+        assert!(stats[..MODEL_SLOTS].iter().all(|m| !m.overflow));
+    }
+
+    #[test]
+    fn device_metrics_round_trip() {
+        let hub = MetricsHub::new(2);
+        hub.record_device_execute(0, 50);
+        hub.record_device_execute(1, 50);
+        hub.record_device_fault(1, true);
+        hub.record_device_fault(1, false);
+        let d1 = hub.device_snapshot(1);
+        assert_eq!(d1.executes, 1);
+        assert_eq!(d1.faults, 2);
+        assert_eq!(d1.timeouts, 1);
+        assert_eq!(hub.device_snapshot(7), DeviceMetricsSnapshot::default());
+    }
+}

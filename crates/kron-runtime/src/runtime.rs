@@ -16,7 +16,9 @@ use crate::cache::{CachePolicy, PinnedEntry, PlanCache};
 use crate::clock::Clock;
 use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultPlane, FaultTrigger};
 use crate::health::{BreakerPolicy, DeviceHealth, DeviceHealthReport};
+use crate::metrics::{MetricsHub, MetricsSnapshot, ModelStats, Outcome, Stage};
 use crate::scheduler::{arm_scripted_fault, Scheduler};
+use crate::trace::{ServeEvent, ServeEventKind, StageTimings};
 use crossbeam::channel::{unbounded, Sender};
 use gpu_sim::device::{DeviceSpec, V100};
 use gpu_sim::ExecSummary;
@@ -206,6 +208,11 @@ pub struct RuntimeStats {
     /// Requests served by a dedicated execute (large `M`, or a batch
     /// window containing a single request).
     pub solo_requests: u64,
+    /// Requests that completed with an error reply (deadline sheds,
+    /// execution errors, shutdown poisoning). Every served request is
+    /// counted exactly once across `batched_requests`, `solo_requests`,
+    /// and this counter: `served == batched + solo + error_replies`.
+    pub error_replies: u64,
     /// Requests whose plan/workspace came from the cache.
     pub plan_hits: u64,
     /// Cache misses (a plan was built and tuned).
@@ -266,6 +273,7 @@ pub(crate) struct StatsInner {
     pub(crate) batches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
     pub(crate) solo_requests: AtomicU64,
+    pub(crate) error_replies: AtomicU64,
     pub(crate) plan_hits: AtomicU64,
     pub(crate) plan_misses: AtomicU64,
     pub(crate) sharded_batches: AtomicU64,
@@ -293,6 +301,7 @@ impl StatsInner {
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             solo_requests: self.solo_requests.load(Ordering::Relaxed),
+            error_replies: self.error_replies.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
             sharded_batches: self.sharded_batches.load(Ordering::Relaxed),
@@ -309,6 +318,67 @@ impl StatsInner {
             cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
             current_linger_us: self.current_linger_us.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Exhaustive destructure: adding a counter without a table row
+        // is a compile error.
+        let RuntimeStats {
+            submitted,
+            requests_f32,
+            requests_f64,
+            served,
+            batches,
+            batched_requests,
+            solo_requests,
+            error_replies,
+            plan_hits,
+            plan_misses,
+            sharded_batches,
+            local_fallbacks,
+            comm_bytes,
+            evictions,
+            rebuilds,
+            deadline_shed,
+            retries,
+            degraded_batches,
+            recovered_requests,
+            breaker_trips,
+            cached_entries,
+            cached_bytes,
+            current_linger_us,
+        } = *self;
+        writeln!(f, "runtime stats")?;
+        for (name, value) in [
+            ("submitted", submitted),
+            ("requests_f32", requests_f32),
+            ("requests_f64", requests_f64),
+            ("served", served),
+            ("batches", batches),
+            ("batched_requests", batched_requests),
+            ("solo_requests", solo_requests),
+            ("error_replies", error_replies),
+            ("plan_hits", plan_hits),
+            ("plan_misses", plan_misses),
+            ("sharded_batches", sharded_batches),
+            ("local_fallbacks", local_fallbacks),
+            ("comm_bytes", comm_bytes),
+            ("evictions", evictions),
+            ("rebuilds", rebuilds),
+            ("deadline_shed", deadline_shed),
+            ("retries", retries),
+            ("degraded_batches", degraded_batches),
+            ("recovered_requests", recovered_requests),
+            ("breaker_trips", breaker_trips),
+            ("cached_entries", cached_entries),
+            ("cached_bytes", cached_bytes),
+            ("current_linger_us", current_linger_us),
+        ] {
+            writeln!(f, "  {name:<20} {value:>12}")?;
+        }
+        Ok(())
     }
 }
 
@@ -406,6 +476,13 @@ impl<T: Element> Model<T> {
     pub fn shapes(&self) -> &[FactorShape] {
         &self.inner.shapes
     }
+
+    /// Hash of the factor-shape chain — the identity the plan cache and
+    /// the per-model metrics registry ([`crate::ModelStats::shape_key`])
+    /// key on. Models sharing a shape chain share this key.
+    pub fn shape_key(&self) -> u64 {
+        self.inner.shape_key
+    }
 }
 
 /// One-shot result slot a request's reply travels through. Reused across
@@ -430,6 +507,8 @@ pub(crate) struct Reply<T: Element> {
     /// `{GM, GK}` of the grid the successful execute ran on, `None` for
     /// local (single-device) execution or an unserved request.
     pub(crate) grid: Option<(usize, usize)>,
+    /// Per-stage latency breakdown of this request.
+    pub(crate) timings: StageTimings,
 }
 
 struct SlotInner<T: Element> {
@@ -523,6 +602,9 @@ pub(crate) struct Request<T: Element> {
     /// Clock time the request entered the queue (stamped under the send
     /// gate); `now - enqueued_us` is the queue age priority aging runs on.
     pub(crate) enqueued_us: u64,
+    /// Clock time the scheduler pulled the request off the channel —
+    /// `drained_us - enqueued_us` is the timeline's queue stage.
+    pub(crate) drained_us: u64,
     pub(crate) slot: Arc<Slot<T>>,
 }
 
@@ -637,6 +719,10 @@ pub(crate) struct Shared {
     /// lock.
     cache: Arc<Mutex<PlanCache>>,
     clock: Clock,
+    /// The observability plane (histograms, registries, flight
+    /// recorder), shared with the scheduler, cache, health ledger, and
+    /// fault plane.
+    hub: Arc<MetricsHub>,
 }
 
 impl Shared {
@@ -662,6 +748,15 @@ impl Shared {
             req.enqueued_us = now;
             self.stats.submitted.fetch_add(1, Ordering::Relaxed);
             dtype_counter.fetch_add(1, Ordering::Relaxed);
+            self.hub.event(
+                now,
+                ServeEventKind::Admit {
+                    dtype: T::DTYPE,
+                    model: req.model.id,
+                    rows: req.x.rows() as u32,
+                    priority: req.priority,
+                },
+            );
             let _ = self.tx.send(Msg::Request(T::erase(req)));
         }
         drop(gate);
@@ -733,6 +828,7 @@ impl<T: Element> Ticket<T> {
                     shard: reply.summary,
                     attempts: reply.attempts,
                     grid: reply.grid,
+                    timings: reply.timings,
                 },
             )
         })
@@ -756,6 +852,32 @@ pub struct ServeReceipt {
     /// than the configured grid when the batch was served degraded.
     /// `None` for local (single-device) execution.
     pub grid: Option<(usize, usize)>,
+    /// Where this request's microseconds went, stage by stage.
+    pub timings: StageTimings,
+}
+
+impl std::fmt::Display for ServeReceipt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ServeReceipt {
+            seq,
+            shard,
+            attempts,
+            grid,
+            timings,
+        } = self;
+        writeln!(f, "serve receipt")?;
+        writeln!(f, "  {:<10} {seq:>12}", "seq")?;
+        writeln!(f, "  {:<10} {attempts:>12}", "attempts")?;
+        match grid {
+            Some((gm, gk)) => writeln!(f, "  {:<10} {:>12}", "grid", format!("{gm}x{gk}"))?,
+            None => writeln!(f, "  {:<10} {:>12}", "grid", "local")?,
+        }
+        match shard {
+            Some(s) => writeln!(f, "  {:<10} {:>12}", "shard", format!("{} B", s.comm_bytes))?,
+            None => writeln!(f, "  {:<10} {:>12}", "shard", "-")?,
+        }
+        writeln!(f, "  {:<10} {timings}", "timings")
+    }
 }
 
 /// A synchronous serving connection with a reusable reply slot and
@@ -825,6 +947,7 @@ impl<T: ServeElement> Session<T> {
             priority: opts.priority,
             deadline_us: opts.deadline_us,
             enqueued_us: 0,
+            drained_us: 0,
             slot: Arc::clone(&self.slot),
         })?;
         let reply = self.slot.take_blocking();
@@ -879,19 +1002,25 @@ impl Runtime {
         cfg.cache.max_entries = cfg.cache.max_entries.max(1);
         let (tx, rx) = unbounded();
         let stats = Arc::new(StatsInner::default());
-        let plane = Arc::new(FaultPlane::new());
         let health_gpus = match cfg.backend {
             Backend::SingleNode => 0,
             Backend::Distributed { .. } => cfg.backend.gpus(),
         };
-        let health = Arc::new(DeviceHealth::new(health_gpus, cfg.breaker));
+        let hub = Arc::new(MetricsHub::new(health_gpus));
+        let plane = Arc::new(FaultPlane::new(Arc::clone(&hub)));
+        let health = Arc::new(DeviceHealth::new(
+            health_gpus,
+            cfg.breaker,
+            Arc::clone(&hub),
+        ));
         let gate = Arc::new(Mutex::new(Gate::default()));
-        let cache = Arc::new(Mutex::new(PlanCache::new(
+        let cache = Arc::new(Mutex::new(PlanCache::with_hub(
             cfg.device.clone(),
             &cfg.backend,
             cfg.cache,
             cfg.clock.clone(),
             cfg.device_watchdog_us,
+            Arc::clone(&hub),
         )));
         let scheduler = Scheduler::new(
             rx,
@@ -901,6 +1030,7 @@ impl Runtime {
             Arc::clone(&plane),
             Arc::clone(&health),
             Arc::clone(&gate),
+            Arc::clone(&hub),
         );
         let handle = std::thread::Builder::new()
             .name("kron-runtime-scheduler".into())
@@ -913,6 +1043,7 @@ impl Runtime {
                 stats,
                 cache,
                 clock: cfg.clock.clone(),
+                hub,
             }),
             scheduler: Some(handle),
             next_model_id: AtomicU64::new(0),
@@ -985,6 +1116,7 @@ impl Runtime {
             priority: opts.priority,
             deadline_us: opts.deadline_us,
             enqueued_us: 0,
+            drained_us: 0,
             slot: Arc::clone(&slot),
         })?;
         Ok(Ticket { slot })
@@ -1071,6 +1203,7 @@ impl Runtime {
                     priority: opts.priority,
                     deadline_us: opts.deadline_us,
                     enqueued_us: 0,
+                    drained_us: 0,
                     slot,
                 }
             })
@@ -1222,7 +1355,17 @@ impl Runtime {
             if let KronError::DeviceFailure { gpu, .. } | KronError::DeviceTimeout { gpu, .. } =
                 &err
             {
-                if self.health.record_failure(*gpu, self.shared.clock.now_us()) {
+                let fault_now = self.shared.clock.now_us();
+                let timeout = matches!(err, KronError::DeviceTimeout { .. });
+                self.shared.hub.record_device_fault(*gpu, timeout);
+                self.shared.hub.event(
+                    fault_now,
+                    ServeEventKind::Fault {
+                        gpu: *gpu as u32,
+                        timeout,
+                    },
+                );
+                if self.health.record_failure(*gpu, fault_now) {
                     self.shared
                         .stats
                         .breaker_trips
@@ -1301,6 +1444,47 @@ impl Runtime {
     /// the split).
     pub fn stats(&self) -> RuntimeStats {
         self.shared.stats.snapshot()
+    }
+
+    /// One coherent view of everything the runtime measures: lifetime
+    /// counters, per-stage and per-outcome latency histograms with
+    /// percentile readout, the per-model registry, and per-device health
+    /// and metrics. Renders to stable JSON ([`MetricsSnapshot::to_json`])
+    /// or Prometheus text ([`MetricsSnapshot::to_prometheus`]). Cold
+    /// path: snapshotting allocates; recording never does.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let hub = &self.shared.hub;
+        MetricsSnapshot {
+            at_us: self.shared.clock.now_us(),
+            stats: self.shared.stats.snapshot(),
+            stages: Stage::ALL
+                .iter()
+                .map(|&st| (st, hub.stage_snapshot(st)))
+                .collect(),
+            outcomes: Outcome::ALL
+                .iter()
+                .map(|&o| (o, hub.outcome_snapshot(o)))
+                .collect(),
+            models: hub.model_stats(),
+            devices: self.device_health(),
+        }
+    }
+
+    /// Per-plan-key serving stats from the bounded model registry:
+    /// serves, errors, plan hits/misses, and an end-to-end latency
+    /// histogram per `(dtype, shape_key, capacity)` — match entries to a
+    /// handle via [`Model::shape_key`]. Past the registry's bound, new
+    /// keys aggregate into a single overflow row.
+    pub fn model_stats(&self) -> Vec<ModelStats> {
+        self.shared.hub.model_stats()
+    }
+
+    /// Drains the flight recorder: every [`ServeEvent`] recorded since
+    /// the last drain (bounded by the ring's capacity — the oldest
+    /// events are overwritten under sustained load), in causal record
+    /// order. The post-mortem trace for chaos drills and test failures.
+    pub fn drain_events(&self) -> Vec<ServeEvent> {
+        self.shared.hub.drain_events()
     }
 
     /// Graceful shutdown: every request already accepted is served, then

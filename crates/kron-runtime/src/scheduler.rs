@@ -46,10 +46,12 @@ use crate::cache::{CachedPlan, PlanCache};
 use crate::clock::Clock;
 use crate::fault::{FaultKind, FaultPlane};
 use crate::health::DeviceHealth;
+use crate::metrics::{MetricsHub, Outcome};
 use crate::runtime::sealed::ErasedDtype;
 use crate::runtime::{
     ErasedRequest, Gate, Msg, Reply, Request, RetryPolicy, RuntimeConfig, StatsInner,
 };
+use crate::trace::{ServeEventKind, StageTimings};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use kron_core::{DType, Element, KronError, Matrix};
 use std::cmp::Reverse;
@@ -222,33 +224,149 @@ pub(crate) struct ServeCtx<'a> {
     plane: &'a FaultPlane,
     health: &'a DeviceHealth,
     clock: &'a Clock,
+    /// Metrics hub: stage histograms, registries, and the flight
+    /// recorder. Every reply flows through [`ServeCtx::finish`], which
+    /// records into it.
+    hub: &'a MetricsHub,
     retry: RetryPolicy,
     max_batch_rows: usize,
     /// Devices the configured backend spans (1 for single-node) — the top
     /// rung of the degradation ladder and the "not degraded" reference.
     configured_gpus: usize,
+    /// Clock time when this cycle's linger window closed — the boundary
+    /// between a request's linger stage and its execution stages.
+    window_close_us: u64,
+}
+
+/// Which lifetime counter an `Ok` reply lands in: the batched lane
+/// ([`crate::RuntimeStats::batched_requests`]) or the solo lane
+/// ([`crate::RuntimeStats::solo_requests`]). Error replies count in
+/// neither — they increment `error_replies`, so the three always
+/// decompose `served` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplyClass {
+    Batched,
+    Solo,
+}
+
+impl ServeCtx<'_> {
+    /// The single exit point for every request the scheduler answers:
+    /// completes the timeline (queue and linger legs from the request's
+    /// own stamps), classifies the outcome, bumps exactly one of
+    /// `batched_requests`/`solo_requests`/`error_replies`, records the
+    /// stage histograms and the per-model registry, and fills the
+    /// reply slot. Centralizing this is what pins the
+    /// `served == batched + solo + error_replies` invariant.
+    #[allow(clippy::too_many_arguments)]
+    fn finish<T: Element>(
+        &self,
+        mut timings: StageTimings,
+        r: Request<T>,
+        result: kron_core::Result<()>,
+        summary: Option<gpu_sim::ExecSummary>,
+        attempts: u32,
+        grid: Option<(usize, usize)>,
+        class: ReplyClass,
+    ) {
+        let shape_key = r.model.shape_key;
+        let m = r.x.rows();
+        let capacity = if m <= self.max_batch_rows {
+            self.max_batch_rows
+        } else {
+            m.next_power_of_two()
+        };
+        timings.queue_us = r.drained_us.saturating_sub(r.enqueued_us);
+        timings.linger_us = self.window_close_us.saturating_sub(r.drained_us);
+        let outcome = match &result {
+            Ok(()) => {
+                match class {
+                    ReplyClass::Batched => {
+                        self.stats.batched_requests.fetch_add(1, Ordering::Relaxed)
+                    }
+                    ReplyClass::Solo => self.stats.solo_requests.fetch_add(1, Ordering::Relaxed),
+                };
+                if attempts > 1 {
+                    self.stats
+                        .recovered_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Outcome::Ok
+            }
+            Err(KronError::DeadlineExceeded {
+                deadline_us,
+                now_us,
+            }) => {
+                self.stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                self.stats.error_replies.fetch_add(1, Ordering::Relaxed);
+                self.hub.event(
+                    self.clock.now_us(),
+                    ServeEventKind::Shed {
+                        deadline_us: *deadline_us,
+                        now_us: *now_us,
+                    },
+                );
+                Outcome::Shed
+            }
+            Err(_) => {
+                self.stats.error_replies.fetch_add(1, Ordering::Relaxed);
+                Outcome::Error
+            }
+        };
+        let seq = self.stats.served.fetch_add(1, Ordering::Relaxed);
+        self.hub.record_timings(&timings, outcome);
+        self.hub
+            .record_model_serve(T::DTYPE, shape_key, capacity, outcome, timings.total_us());
+        r.slot.fill(Reply {
+            result,
+            x: r.x,
+            y: r.y,
+            seq,
+            summary,
+            attempts,
+            grid,
+            timings,
+        });
+    }
 }
 
 /// The staged-batch execution core shared by the chunk and staged-solo
 /// paths: arm the next due scripted fault (consumed only if the entry has
 /// devices to fault), run the staged rows, account sharded executes, and
 /// feed the device-health ledger (successes close healthy breakers,
-/// device faults count toward trips). Returns the result, the
-/// `rows`-prorated summary (successful sharded runs only), and whether
-/// the entry must be evicted (device fault — rebuild the engine rather
-/// than trust a possibly inconsistent fabric).
+/// device faults count toward trips) and the device metric registry.
+/// Returns the result, the `rows`-prorated summary (successful sharded
+/// runs only), whether the entry must be evicted (device fault — rebuild
+/// the engine rather than trust a possibly inconsistent fabric), and the
+/// execute wall time on the runtime clock.
 fn execute_once<T: Element>(
     entry: &mut CachedPlan<T>,
     ctx: &ServeCtx,
     refs: &[&Matrix<T>],
     rows: usize,
-) -> (kron_core::Result<()>, Option<gpu_sim::ExecSummary>, bool) {
+) -> (
+    kron_core::Result<()>,
+    Option<gpu_sim::ExecSummary>,
+    bool,
+    u64,
+) {
     arm_scripted_fault(entry, ctx.plane, ctx.clock.now_us());
+    let exec_start = ctx.clock.now_us();
     let result = entry.run_batch(refs, rows);
+    let exec_us = ctx.clock.now_us().saturating_sub(exec_start);
+    let sharded = entry.is_sharded();
+    ctx.hub.event(
+        ctx.clock.now_us(),
+        ServeEventKind::Execute {
+            rows: rows as u32,
+            sharded,
+            ok: result.is_ok(),
+            exec_us,
+        },
+    );
     let mut summary = None;
     match &result {
         Ok(()) => {
-            if entry.is_sharded() {
+            if sharded {
                 ctx.stats.sharded_batches.fetch_add(1, Ordering::Relaxed);
                 summary = entry.shard_summary(rows);
                 if let Some(s) = summary {
@@ -256,14 +374,26 @@ fn execute_once<T: Element>(
                         .comm_bytes
                         .fetch_add(s.comm_bytes, Ordering::Relaxed);
                 }
+                let gpus = entry.grid().map_or(0, |g| g.gpus());
+                for gpu in 0..gpus {
+                    ctx.hub.record_device_execute(gpu, exec_us);
+                }
                 if ctx.health.is_suspect() {
-                    let gpus = entry.grid().map_or(0, |g| g.gpus());
                     ctx.health.record_success(gpus, ctx.clock.now_us());
                 }
             }
         }
         Err(err) => {
             if let Some(gpu) = faulted_device(err) {
+                let timeout = matches!(err, KronError::DeviceTimeout { .. });
+                ctx.hub.record_device_fault(gpu, timeout);
+                ctx.hub.event(
+                    ctx.clock.now_us(),
+                    ServeEventKind::Fault {
+                        gpu: gpu as u32,
+                        timeout,
+                    },
+                );
                 if ctx.health.record_failure(gpu, ctx.clock.now_us()) {
                     ctx.stats.breaker_trips.fetch_add(1, Ordering::Relaxed);
                 }
@@ -271,7 +401,7 @@ fn execute_once<T: Element>(
         }
     }
     let evict = result.as_ref().err().and_then(faulted_device).is_some();
-    (result, summary, evict)
+    (result, summary, evict, exec_us)
 }
 
 /// Builds a `&[&Matrix<T>]` over `factors` in the reused scratch buffer —
@@ -339,7 +469,7 @@ impl<T: ErasedDtype> TypedLane<T> {
 
     /// Admission control: shed requests whose deadline already passed —
     /// before any plan lookup, gather, or execute.
-    fn shed_expired(&mut self, now: u64, stats: &StatsInner) {
+    fn shed_expired(&mut self, now: u64, ctx: &ServeCtx) {
         for i in 0..self.pending.len() {
             let expired = self.pending[i]
                 .as_ref()
@@ -349,20 +479,18 @@ impl<T: ErasedDtype> TypedLane<T> {
             if expired {
                 let r = self.pending[i].take().expect("checked above");
                 let deadline_us = r.deadline_us.expect("expired implies a deadline");
-                stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
-                let seq = stats.served.fetch_add(1, Ordering::Relaxed);
-                r.slot.fill(Reply {
-                    result: Err(KronError::DeadlineExceeded {
+                ctx.finish(
+                    StageTimings::default(),
+                    r,
+                    Err(KronError::DeadlineExceeded {
                         deadline_us,
                         now_us: now,
                     }),
-                    x: r.x,
-                    y: r.y,
-                    seq,
-                    summary: None,
-                    attempts: 0,
-                    grid: None,
-                });
+                    None,
+                    0,
+                    None,
+                    ReplyClass::Batched,
+                );
             }
         }
     }
@@ -370,19 +498,18 @@ impl<T: ErasedDtype> TypedLane<T> {
     /// Fails everything still pending with [`KronError::Shutdown`] — the
     /// poison path after a scheduler-thread panic, so no `Ticket::wait`
     /// can hang on a dead scheduler.
-    fn fail_all(&mut self, stats: &StatsInner) {
+    fn fail_all(&mut self, ctx: &ServeCtx) {
         for slot in self.pending.iter_mut() {
             if let Some(r) = slot.take() {
-                let seq = stats.served.fetch_add(1, Ordering::Relaxed);
-                r.slot.fill(Reply {
-                    result: Err(KronError::Shutdown),
-                    x: r.x,
-                    y: r.y,
-                    seq,
-                    summary: None,
-                    attempts: 0,
-                    grid: None,
-                });
+                ctx.finish(
+                    StageTimings::default(),
+                    r,
+                    Err(KronError::Shutdown),
+                    None,
+                    0,
+                    None,
+                    ReplyClass::Batched,
+                );
             }
         }
         self.clear();
@@ -499,7 +626,13 @@ impl<T: ErasedDtype> TypedLane<T> {
     /// member whose deadline has passed (a retry landing past the
     /// deadline is useless work — shed it instead of serving it late),
     /// compacting `live` in place.
-    fn shed_expired_retries(&mut self, live: &mut Vec<usize>, attempts: u32, ctx: &ServeCtx) {
+    fn shed_expired_retries(
+        &mut self,
+        live: &mut Vec<usize>,
+        attempts: u32,
+        ctx: &ServeCtx,
+        base: StageTimings,
+    ) {
         let now = ctx.clock.now_us();
         let pending = &mut self.pending;
         live.retain(|&i| {
@@ -511,20 +644,18 @@ impl<T: ErasedDtype> TypedLane<T> {
             if expired {
                 let r = pending[i].take().expect("checked above");
                 let deadline_us = r.deadline_us.expect("expired implies a deadline");
-                ctx.stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
-                let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
-                r.slot.fill(Reply {
-                    result: Err(KronError::DeadlineExceeded {
+                ctx.finish(
+                    base,
+                    r,
+                    Err(KronError::DeadlineExceeded {
                         deadline_us,
                         now_us: now,
                     }),
-                    x: r.x,
-                    y: r.y,
-                    seq,
-                    summary: None,
+                    None,
                     attempts,
-                    grid: None,
-                });
+                    None,
+                    ReplyClass::Batched,
+                );
             }
             !expired
         });
@@ -557,33 +688,54 @@ impl<T: ErasedDtype> TypedLane<T> {
         let mut live = std::mem::take(&mut self.retry_scratch);
         live.clear();
         live.extend_from_slice(idxs);
+        let chunk_rows: usize = live
+            .iter()
+            .map(|&i| self.pending[i].as_ref().expect("unserved").x.rows())
+            .sum();
+        let serve_start = ctx.clock.now_us();
+        ctx.hub.event(
+            serve_start,
+            ServeEventKind::BatchFormed {
+                model: model.id,
+                requests: live.len() as u32,
+                rows: chunk_rows as u32,
+            },
+        );
         // `attempt` counts executes performed; the reply's `attempts`.
         let mut attempt: u32 = 0;
         loop {
             let now = ctx.clock.now_us();
+            // Backoff waited out before this attempt (0 on the first).
+            let retry_us = now.saturating_sub(serve_start);
             let allowed = ctx.health.allowed_gpus(now, ctx.configured_gpus);
             let limit = attempt_limit(&ctx.retry, ctx.configured_gpus, attempt, allowed);
+            let plan_start = ctx.clock.now_us();
             let pinned = {
                 let mut cache = ctx.cache.lock().unwrap_or_else(|e| e.into_inner());
                 cache.get_or_create(&model, capacity, limit, ctx.stats)
             };
+            let plan_us = ctx.clock.now_us().saturating_sub(plan_start);
             let pinned = match pinned {
                 Ok(p) => p,
                 Err(err) => {
                     // Build errors are deterministic — retrying cannot
                     // help. Terminal for the whole chunk.
+                    let timings = StageTimings {
+                        plan_us,
+                        retry_us,
+                        ..StageTimings::default()
+                    };
                     for &i in &live {
                         let r = self.pending[i].take().expect("unserved");
-                        let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
-                        r.slot.fill(Reply {
-                            result: Err(err.clone()),
-                            x: r.x,
-                            y: r.y,
-                            seq,
-                            summary: None,
-                            attempts: attempt,
-                            grid: None,
-                        });
+                        ctx.finish(
+                            timings,
+                            r,
+                            Err(err.clone()),
+                            None,
+                            attempt,
+                            None,
+                            ReplyClass::Batched,
+                        );
                     }
                     break;
                 }
@@ -605,7 +757,8 @@ impl<T: ErasedDtype> TypedLane<T> {
             };
 
             let refs = refs_of(&mut self.refs_scratch, model.factors());
-            let (result, _, evict) = execute_once(entry, ctx, refs, total_rows);
+            let (result, _, evict, exec_us) = execute_once(entry, ctx, refs, total_rows);
+            let exec_end = ctx.clock.now_us();
             attempt += 1;
             match result {
                 Ok(()) => {
@@ -620,24 +773,33 @@ impl<T: ErasedDtype> TypedLane<T> {
                             .copy_from_slice(&entry.batch_y().as_slice()[off * l..(off + m) * l]);
                         let summary = entry.shard_summary(m);
                         off += m;
-                        let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
-                        ctx.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
-                        if attempt > 1 {
-                            ctx.stats.recovered_requests.fetch_add(1, Ordering::Relaxed);
-                        }
-                        r.slot.fill(Reply {
-                            result: Ok(()),
-                            x: r.x,
-                            y: r.y,
-                            seq,
+                        let timings = StageTimings {
+                            plan_us,
+                            exec_us,
+                            scatter_us: ctx.clock.now_us().saturating_sub(exec_end),
+                            retry_us,
+                            ..StageTimings::default()
+                        };
+                        ctx.finish(
+                            timings,
+                            r,
+                            Ok(()),
                             summary,
-                            attempts: attempt,
+                            attempt,
                             grid,
-                        });
+                            ReplyClass::Batched,
+                        );
                     }
                     ctx.stats.batches.fetch_add(1, Ordering::Relaxed);
                     if grid.is_some() && limit < ctx.configured_gpus {
                         ctx.stats.degraded_batches.fetch_add(1, Ordering::Relaxed);
+                        ctx.hub.event(
+                            ctx.clock.now_us(),
+                            ServeEventKind::Degrade {
+                                from_gpus: ctx.configured_gpus as u32,
+                                to_gpus: limit as u32,
+                            },
+                        );
                     }
                     break;
                 }
@@ -651,31 +813,42 @@ impl<T: ErasedDtype> TypedLane<T> {
                         let mut cache = ctx.cache.lock().unwrap_or_else(|e| e.into_inner());
                         cache.evict_failed(T::DTYPE, model.shape_key, capacity, ctx.stats);
                     }
+                    let timings = StageTimings {
+                        plan_us,
+                        exec_us,
+                        retry_us,
+                        ..StageTimings::default()
+                    };
                     if !evict || attempt > ctx.retry.max_attempts {
                         // Not a device fault, or the retry budget is
                         // spent: the error is client-visible.
                         for &i in &live {
                             let r = self.pending[i].take().expect("unserved");
-                            let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
-                            ctx.stats.batched_requests.fetch_add(1, Ordering::Relaxed);
-                            r.slot.fill(Reply {
-                                result: Err(err.clone()),
-                                x: r.x,
-                                y: r.y,
-                                seq,
-                                summary: None,
-                                attempts: attempt,
-                                grid: None,
-                            });
+                            ctx.finish(
+                                timings,
+                                r,
+                                Err(err.clone()),
+                                None,
+                                attempt,
+                                None,
+                                ReplyClass::Batched,
+                            );
                         }
                         ctx.stats.batches.fetch_add(1, Ordering::Relaxed);
                         break;
                     }
                     ctx.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    ctx.hub.event(
+                        ctx.clock.now_us(),
+                        ServeEventKind::Retry {
+                            attempt: attempt + 1,
+                            limit_gpus: limit as u32,
+                        },
+                    );
                     if ctx.retry.backoff_us > 0 {
                         wait_until(ctx.clock, ctx.clock.now_us() + ctx.retry.backoff_us);
                     }
-                    self.shed_expired_retries(&mut live, attempt, ctx);
+                    self.shed_expired_retries(&mut live, attempt, ctx, timings);
                     if live.is_empty() {
                         break;
                     }
@@ -707,35 +880,35 @@ impl<T: ErasedDtype> TypedLane<T> {
         } else {
             m.next_power_of_two()
         };
+        let serve_start = ctx.clock.now_us();
         let mut attempt: u32 = 0;
         loop {
             let now = ctx.clock.now_us();
+            // Backoff waited out before this attempt (0 on the first).
+            let retry_us = now.saturating_sub(serve_start);
             let allowed = ctx.health.allowed_gpus(now, ctx.configured_gpus);
             let limit = attempt_limit(&ctx.retry, ctx.configured_gpus, attempt, allowed);
+            let plan_start = ctx.clock.now_us();
             let pinned = {
                 let mut cache = ctx.cache.lock().unwrap_or_else(|e| e.into_inner());
                 cache.get_or_create(&r.model, capacity, limit, ctx.stats)
             };
+            let plan_us = ctx.clock.now_us().saturating_sub(plan_start);
             let pinned = match pinned {
                 Ok(p) => p,
                 Err(err) => {
-                    let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
-                    ctx.stats.solo_requests.fetch_add(1, Ordering::Relaxed);
-                    r.slot.fill(Reply {
-                        result: Err(err),
-                        x: r.x,
-                        y: r.y,
-                        seq,
-                        summary: None,
-                        attempts: attempt,
-                        grid: None,
-                    });
+                    let timings = StageTimings {
+                        plan_us,
+                        retry_us,
+                        ..StageTimings::default()
+                    };
+                    ctx.finish(timings, r, Err(err), None, attempt, None, ReplyClass::Solo);
                     return;
                 }
             };
             let mut summary = None;
             let mut grid = None;
-            let (result, evict) = {
+            let (result, evict, exec_us, scatter_us) = {
                 let mut guard = pinned.lock();
                 let entry = T::plan_mut(&mut guard).expect("dtype verified at cache lookup");
                 let refs = refs_of(&mut self.refs_scratch, r.model.factors());
@@ -746,16 +919,31 @@ impl<T: ErasedDtype> TypedLane<T> {
                         let (bx, _) = entry.batch_buffers();
                         bx.as_mut_slice()[..m * k].copy_from_slice(r.x.as_slice());
                     }
-                    let (result, s, ev) = execute_once(entry, ctx, refs, m);
+                    let (result, s, ev, exec_us) = execute_once(entry, ctx, refs, m);
+                    let exec_end = ctx.clock.now_us();
+                    let mut scatter_us = 0;
                     if result.is_ok() {
                         r.y.as_mut_slice()
                             .copy_from_slice(&entry.batch_y().as_slice()[..m * l]);
                         summary = s;
                         grid = entry.grid().map(|g| (g.gm, g.gk));
+                        scatter_us = ctx.clock.now_us().saturating_sub(exec_end);
                     }
-                    (result, ev)
+                    (result, ev, exec_us, scatter_us)
                 } else {
-                    (entry.run_rows(&r.x, refs, &mut r.y, m), false)
+                    let exec_start = ctx.clock.now_us();
+                    let result = entry.run_rows(&r.x, refs, &mut r.y, m);
+                    let exec_us = ctx.clock.now_us().saturating_sub(exec_start);
+                    ctx.hub.event(
+                        ctx.clock.now_us(),
+                        ServeEventKind::Execute {
+                            rows: m as u32,
+                            sharded: false,
+                            ok: result.is_ok(),
+                            exec_us,
+                        },
+                    );
+                    (result, false, exec_us, 0)
                 }
             };
             attempt += 1;
@@ -764,63 +952,59 @@ impl<T: ErasedDtype> TypedLane<T> {
                 let mut cache = ctx.cache.lock().unwrap_or_else(|e| e.into_inner());
                 cache.evict_failed(T::DTYPE, r.model.shape_key, capacity, ctx.stats);
             }
+            let timings = StageTimings {
+                plan_us,
+                exec_us,
+                scatter_us,
+                retry_us,
+                ..StageTimings::default()
+            };
             match result {
                 Ok(()) => {
-                    let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
-                    ctx.stats.solo_requests.fetch_add(1, Ordering::Relaxed);
-                    if attempt > 1 {
-                        ctx.stats.recovered_requests.fetch_add(1, Ordering::Relaxed);
-                    }
                     if grid.is_some() && limit < ctx.configured_gpus {
                         ctx.stats.degraded_batches.fetch_add(1, Ordering::Relaxed);
+                        ctx.hub.event(
+                            ctx.clock.now_us(),
+                            ServeEventKind::Degrade {
+                                from_gpus: ctx.configured_gpus as u32,
+                                to_gpus: limit as u32,
+                            },
+                        );
                     }
-                    r.slot.fill(Reply {
-                        result: Ok(()),
-                        x: r.x,
-                        y: r.y,
-                        seq,
-                        summary,
-                        attempts: attempt,
-                        grid,
-                    });
+                    ctx.finish(timings, r, Ok(()), summary, attempt, grid, ReplyClass::Solo);
                     return;
                 }
                 Err(err) => {
                     if !evict || attempt > ctx.retry.max_attempts {
-                        let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
-                        ctx.stats.solo_requests.fetch_add(1, Ordering::Relaxed);
-                        r.slot.fill(Reply {
-                            result: Err(err),
-                            x: r.x,
-                            y: r.y,
-                            seq,
-                            summary: None,
-                            attempts: attempt,
-                            grid: None,
-                        });
+                        ctx.finish(timings, r, Err(err), None, attempt, None, ReplyClass::Solo);
                         return;
                     }
                     ctx.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    ctx.hub.event(
+                        ctx.clock.now_us(),
+                        ServeEventKind::Retry {
+                            attempt: attempt + 1,
+                            limit_gpus: limit as u32,
+                        },
+                    );
                     if ctx.retry.backoff_us > 0 {
                         wait_until(ctx.clock, ctx.clock.now_us() + ctx.retry.backoff_us);
                     }
                     let now = ctx.clock.now_us();
                     if let Some(deadline_us) = r.deadline_us {
                         if deadline_us < now {
-                            ctx.stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
-                            let seq = ctx.stats.served.fetch_add(1, Ordering::Relaxed);
-                            r.slot.fill(Reply {
-                                result: Err(KronError::DeadlineExceeded {
+                            ctx.finish(
+                                timings,
+                                r,
+                                Err(KronError::DeadlineExceeded {
                                     deadline_us,
                                     now_us: now,
                                 }),
-                                x: r.x,
-                                y: r.y,
-                                seq,
-                                summary: None,
-                                attempts: attempt,
-                                grid: None,
-                            });
+                                None,
+                                attempt,
+                                None,
+                                ReplyClass::Solo,
+                            );
                             return;
                         }
                     }
@@ -850,6 +1034,9 @@ pub(crate) struct Scheduler {
     /// [`Self::poison`] locks it to mark the runtime poisoned race-free
     /// (senders hold it while sending).
     gate: Arc<Mutex<Gate>>,
+    /// Metrics hub shared with the runtime handle: stage histograms,
+    /// per-model/per-device registries, and the flight recorder.
+    hub: Arc<MetricsHub>,
     /// Smoothed requests-per-cycle in x16 fixed point; drives
     /// [`adaptive_linger_us`].
     ewma_depth_x16: u64,
@@ -864,6 +1051,7 @@ pub(crate) struct Scheduler {
 }
 
 impl Scheduler {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rx: Receiver<Msg>,
         cfg: RuntimeConfig,
@@ -872,6 +1060,7 @@ impl Scheduler {
         plane: Arc<FaultPlane>,
         health: Arc<DeviceHealth>,
         gate: Arc<Mutex<Gate>>,
+        hub: Arc<MetricsHub>,
     ) -> Self {
         let clock = cfg.clock.clone();
         Scheduler {
@@ -883,6 +1072,7 @@ impl Scheduler {
             plane,
             health,
             gate,
+            hub,
             ewma_depth_x16: 0,
             next_arrival: 0,
             f32_lane: TypedLane::new(),
@@ -893,13 +1083,21 @@ impl Scheduler {
     }
 
     /// Unwraps an erased request into its typed lane, assigning the
-    /// global arrival number.
+    /// global arrival number and stamping scheduler pickup — the
+    /// queue-stage boundary in the request's [`StageTimings`].
     fn enqueue(&mut self, req: ErasedRequest) {
         let arrival = self.next_arrival;
         self.next_arrival += 1;
+        let now = self.clock.now_us();
         match req {
-            ErasedRequest::F32(r) => self.f32_lane.push(r, arrival),
-            ErasedRequest::F64(r) => self.f64_lane.push(r, arrival),
+            ErasedRequest::F32(mut r) => {
+                r.drained_us = now;
+                self.f32_lane.push(r, arrival);
+            }
+            ErasedRequest::F64(mut r) => {
+                r.drained_us = now;
+                self.f64_lane.push(r, arrival);
+            }
         }
     }
 
@@ -953,8 +1151,20 @@ impl Scheduler {
                 Err(_) => break,
             }
         }
-        self.f32_lane.fail_all(&self.stats);
-        self.f64_lane.fail_all(&self.stats);
+        let ctx = ServeCtx {
+            cache: &self.cache,
+            stats: &self.stats,
+            plane: &self.plane,
+            health: &self.health,
+            clock: &self.clock,
+            hub: &self.hub,
+            retry: self.cfg.retry,
+            max_batch_rows: self.cfg.max_batch_rows,
+            configured_gpus: self.cfg.backend.gpus(),
+            window_close_us: self.clock.now_us(),
+        };
+        self.f32_lane.fail_all(&ctx);
+        self.f64_lane.fail_all(&ctx);
     }
 
     /// One loop iteration: block for a message, drain a batch window,
@@ -1063,9 +1273,23 @@ impl Scheduler {
             cache.sweep_idle(&self.stats);
         }
 
+        // The window closes here: everything drained this cycle spent
+        // `now - drained_us` lingering, and the serve stages start now.
         let now = self.clock.now_us();
-        self.f32_lane.shed_expired(now, &self.stats);
-        self.f64_lane.shed_expired(now, &self.stats);
+        let ctx = ServeCtx {
+            cache: &self.cache,
+            stats: &self.stats,
+            plane: &self.plane,
+            health: &self.health,
+            clock: &self.clock,
+            hub: &self.hub,
+            retry: self.cfg.retry,
+            max_batch_rows: self.cfg.max_batch_rows,
+            configured_gpus: self.cfg.backend.gpus(),
+            window_close_us: now,
+        };
+        self.f32_lane.shed_expired(now, &ctx);
+        self.f64_lane.shed_expired(now, &ctx);
 
         let aging = self.cfg.priority_aging_us;
         let batch_max_m = self.cfg.batch_max_m;
@@ -1080,16 +1304,6 @@ impl Scheduler {
         self.f64_lane
             .collect_groups(DType::F64, &mut self.group_order);
         self.group_order.sort_unstable_by_key(work_key);
-        let ctx = ServeCtx {
-            cache: &self.cache,
-            stats: &self.stats,
-            plane: &self.plane,
-            health: &self.health,
-            clock: &self.clock,
-            retry: self.cfg.retry,
-            max_batch_rows: self.cfg.max_batch_rows,
-            configured_gpus: self.cfg.backend.gpus(),
-        };
         for i in 0..self.group_order.len() {
             let w = self.group_order[i];
             match w.dtype {

@@ -279,6 +279,115 @@ fn every_error_variant_round_trips_display_and_debug() {
     assert_eq!(cases.len(), 12, "new variant? add its row");
 }
 
+/// `RuntimeStats::Display` renders an aligned table with one row per
+/// counter — exhaustively, so a newly-added counter without a row shows
+/// up here as a failing count.
+#[test]
+fn runtime_stats_display_renders_every_counter_row() {
+    let runtime = dist_runtime(4);
+    let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i)).collect();
+    let model = runtime.load_model(factors).unwrap();
+    runtime
+        .execute(&model, seq_matrix(4, model.input_cols(), 1))
+        .unwrap();
+
+    let stats = runtime.stats();
+    let table = stats.to_string();
+    assert!(table.starts_with("runtime stats\n"), "{table}");
+    let rows = [
+        "submitted",
+        "requests_f32",
+        "requests_f64",
+        "served",
+        "batches",
+        "batched_requests",
+        "solo_requests",
+        "error_replies",
+        "plan_hits",
+        "plan_misses",
+        "sharded_batches",
+        "local_fallbacks",
+        "comm_bytes",
+        "evictions",
+        "rebuilds",
+        "deadline_shed",
+        "retries",
+        "degraded_batches",
+        "recovered_requests",
+        "breaker_trips",
+        "cached_entries",
+        "cached_bytes",
+        "current_linger_us",
+    ];
+    for name in rows {
+        assert!(
+            table.contains(&format!("  {name:<20}")),
+            "missing row {name} in:\n{table}"
+        );
+    }
+    // One header plus exactly one row per counter — a new counter must
+    // add a row (the Display impl destructures exhaustively).
+    assert_eq!(table.lines().count(), 1 + rows.len(), "{table}");
+    // Spot-check a value landed in its row, right-aligned.
+    let served_row = table
+        .lines()
+        .find(|l| l.trim_start().starts_with("served"))
+        .unwrap();
+    assert!(
+        served_row.ends_with(&format!("{:>12}", stats.served)),
+        "{served_row:?}"
+    );
+}
+
+/// `ServeReceipt::Display` renders the serve metadata — sequence,
+/// attempts, grid, shard traffic, and the stage timeline — for both a
+/// sharded and a local serve.
+#[test]
+fn serve_receipt_display_round_trips_sharded_and_local() {
+    // Sharded: a 4-GPU grid with real comm traffic on the receipt.
+    let runtime = dist_runtime(4);
+    let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i)).collect();
+    let model = runtime.load_model(factors).unwrap();
+    let t = runtime
+        .submit(&model, seq_matrix(4, model.input_cols(), 2))
+        .unwrap();
+    let (_, receipt) = t.wait_with_receipt().unwrap();
+    let text = receipt.to_string();
+    assert!(text.starts_with("serve receipt\n"), "{text}");
+    for needle in ["seq", "attempts", "grid", "2x2", "shard", " B", "timings"] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    assert!(
+        text.contains(&format!(
+            "queue {}us | linger {}us | plan {}us | exec {}us | scatter {}us | retry {}us | total {}us",
+            receipt.timings.queue_us,
+            receipt.timings.linger_us,
+            receipt.timings.plan_us,
+            receipt.timings.exec_us,
+            receipt.timings.scatter_us,
+            receipt.timings.retry_us,
+            receipt.timings.total_us(),
+        )),
+        "timeline row must render every stage:\n{text}"
+    );
+
+    // Local: no grid, no shard summary.
+    let runtime = Runtime::new(RuntimeConfig::default());
+    let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i)).collect();
+    let model = runtime.load_model(factors).unwrap();
+    let t = runtime
+        .submit(&model, seq_matrix(4, model.input_cols(), 3))
+        .unwrap();
+    let (_, receipt) = t.wait_with_receipt().unwrap();
+    let text = receipt.to_string();
+    assert!(text.contains("local"), "local serve has no grid:\n{text}");
+    assert!(
+        text.lines()
+            .any(|l| l.trim_start().starts_with("shard") && l.trim_end().ends_with('-')),
+        "local serve has no shard row value:\n{text}"
+    );
+}
+
 /// Full breaker lifecycle through the public runtime API, deterministic
 /// on a manual clock: repeated faults on one device trip its breaker,
 /// traffic degrades around the quarantine (clients keep seeing Ok), the

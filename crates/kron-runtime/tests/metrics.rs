@@ -1,0 +1,280 @@
+//! Observability contract against the public runtime API: the stats
+//! decomposition invariant (`served == batched + solo + error_replies`),
+//! per-stage and per-outcome latency histograms, the per-model registry,
+//! the flight recorder's causal event trace under a chaos drill, and the
+//! stable JSON / Prometheus renderings of one coherent snapshot.
+
+use kron_core::Matrix;
+use kron_runtime::{
+    Backend, Clock, FaultPlan, ManualClock, Outcome, Runtime, RuntimeConfig, ServeEventKind, Stage,
+    SubmitOptions,
+};
+use std::sync::Arc;
+
+fn seq_matrix(rows: usize, cols: usize, start: usize) -> Matrix<f64> {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((start + 5 * r * cols + 2 * c) % 17) as f64 - 8.0
+    })
+}
+
+fn model_factors(shapes: &[(usize, usize)], seed: usize) -> Vec<Matrix<f64>> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, q))| seq_matrix(p, q, seed + 5 * i + 1))
+        .collect()
+}
+
+/// Pumps virtual time forward until the runtime has served `target`
+/// requests (see `tests/admission.rs` for why stepping beats one big
+/// advance).
+fn pump_until_served(runtime: &Runtime, time: &Arc<ManualClock>, target: u64) {
+    while runtime.stats().served < target {
+        time.advance_us(50_000);
+        std::thread::yield_now();
+    }
+}
+
+/// Mixed traffic — a batched group, a large-M solo, and an
+/// expired-deadline shed — must decompose `served` exactly: every reply
+/// lands in exactly one of `batched_requests`, `solo_requests`, or
+/// `error_replies`. (Before the centralized reply path, error replies
+/// leaked into the batched/solo counters, so nothing pinned this.)
+#[test]
+fn served_decomposes_into_batched_solo_and_error_replies() {
+    let clock = Clock::manual();
+    let time = clock.manual_handle().unwrap();
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 8,
+        batch_linger_us: 10_000,
+        adaptive_linger: false,
+        clock,
+        ..RuntimeConfig::default()
+    });
+    let factors = model_factors(&[(4, 4), (4, 4)], 1);
+    let model = runtime.load_model(factors).unwrap();
+
+    time.set_us(1_000);
+    // One window: three batchable members, one large-M solo, one request
+    // whose deadline (500) already passed at virtual now = 1000.
+    let mut tickets = Vec::new();
+    for i in 0..3 {
+        let x = seq_matrix(2, model.input_cols(), 10 + i);
+        tickets.push(runtime.submit(&model, x).unwrap());
+    }
+    let solo_x = seq_matrix(16, model.input_cols(), 20);
+    tickets.push(runtime.submit(&model, solo_x).unwrap());
+    let shed_x = seq_matrix(2, model.input_cols(), 30);
+    let shed = runtime
+        .submit_with(
+            &model,
+            shed_x,
+            SubmitOptions::default().with_deadline_us(500),
+        )
+        .unwrap();
+
+    pump_until_served(&runtime, &time, 5);
+    for t in tickets {
+        t.wait().expect("timely requests serve");
+    }
+    shed.wait().expect_err("expired deadline must shed");
+
+    let stats = runtime.stats();
+    assert_eq!(stats.served, 5, "stats: {stats}");
+    assert_eq!(stats.batched_requests, 3, "stats: {stats}");
+    assert_eq!(stats.solo_requests, 1, "stats: {stats}");
+    assert_eq!(stats.error_replies, 1, "stats: {stats}");
+    assert_eq!(stats.deadline_shed, 1, "stats: {stats}");
+    assert_eq!(
+        stats.served,
+        stats.batched_requests + stats.solo_requests + stats.error_replies,
+        "decomposition invariant: {stats}"
+    );
+    assert_eq!(stats.submitted, stats.served, "nothing in flight: {stats}");
+
+    // The same traffic, attributed in the histograms: every stage saw
+    // every reply, and the outcomes split 4 ok / 1 shed / 0 error.
+    let snap = runtime.metrics_snapshot();
+    for (stage, h) in &snap.stages {
+        assert_eq!(h.count, 5, "stage {} saw every reply", stage.name());
+    }
+    let outcome = |want: Outcome| {
+        snap.outcomes
+            .iter()
+            .find(|(o, _)| *o == want)
+            .map(|(_, h)| h.count)
+            .unwrap()
+    };
+    assert_eq!(outcome(Outcome::Ok), 4);
+    assert_eq!(outcome(Outcome::Shed), 1);
+    assert_eq!(outcome(Outcome::Error), 0);
+}
+
+/// The per-model registry attributes serves, plan hits, and plan misses
+/// to the plan key that served them.
+#[test]
+fn model_registry_tracks_serves_hits_and_misses() {
+    let runtime = Runtime::new(RuntimeConfig {
+        batch_linger_us: 0,
+        ..RuntimeConfig::default()
+    });
+    let factors = model_factors(&[(4, 4), (4, 4)], 3);
+    let model = runtime.load_model(factors).unwrap();
+
+    for i in 0..3 {
+        let x = seq_matrix(2, model.input_cols(), 40 + i);
+        runtime.execute(&model, x).unwrap();
+    }
+
+    let models = runtime.model_stats();
+    let entry = models
+        .iter()
+        .find(|m| m.shape_key == model.shape_key())
+        .expect("served model is in the registry");
+    assert_eq!(entry.serves, 3, "entry: {entry:?}");
+    assert_eq!(entry.errors, 0, "entry: {entry:?}");
+    assert_eq!(entry.plan_misses, 1, "first lookup builds: {entry:?}");
+    assert_eq!(entry.plan_hits, 2, "warm lookups hit: {entry:?}");
+    assert_eq!(entry.latency.count, 3, "entry: {entry:?}");
+    assert!(!entry.overflow);
+}
+
+/// A chaos drill leaves a causal post-mortem in the flight recorder:
+/// admit, the injected fault, the failed execute, the blamed device, the
+/// eviction, the retry, and the recovering execute — in that order, with
+/// non-decreasing timestamps. A second drain starts after the first.
+#[test]
+fn flight_recorder_yields_causally_ordered_chaos_trace() {
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 16,
+        backend: Backend::Distributed {
+            gpus: 4,
+            p2p: false,
+        },
+        ..RuntimeConfig::default()
+    });
+    let factors = model_factors(&[(4, 4), (4, 4)], 5);
+    let model = runtime.load_model(factors).unwrap();
+    runtime
+        .install_fault_plan(FaultPlan::new().panic_on_batch(0, 0))
+        .unwrap();
+
+    let x = seq_matrix(4, model.input_cols(), 50);
+    let t = runtime.submit(&model, x).unwrap();
+    let (_, receipt) = t.wait_with_receipt().unwrap();
+    assert!(receipt.attempts > 1, "receipt: {receipt}");
+
+    let events = runtime.drain_events();
+    assert!(!events.is_empty());
+    for w in events.windows(2) {
+        assert!(w[0].at_us <= w[1].at_us, "timestamps are causal");
+    }
+    let pos = |pred: &dyn Fn(&ServeEventKind) -> bool| events.iter().position(|e| pred(&e.kind));
+    let admit = pos(&|k| matches!(k, ServeEventKind::Admit { .. })).expect("admit");
+    let injected =
+        pos(&|k| matches!(k, ServeEventKind::FaultInjected { gpu: 0, .. })).expect("injected");
+    let failed = pos(&|k| matches!(k, ServeEventKind::Execute { ok: false, .. })).expect("failed");
+    let fault = pos(&|k| matches!(k, ServeEventKind::Fault { gpu: 0, .. })).expect("fault");
+    let eviction = pos(&|k| matches!(k, ServeEventKind::Eviction { .. })).expect("eviction");
+    let retry = pos(&|k| matches!(k, ServeEventKind::Retry { attempt: 2, .. })).expect("retry");
+    let recovered = events
+        .iter()
+        .rposition(|e| matches!(e.kind, ServeEventKind::Execute { ok: true, .. }))
+        .expect("recovered");
+    assert!(admit < injected, "admitted before the fault armed");
+    assert!(injected < failed, "armed before the execute failed");
+    assert!(failed < fault, "execute failed before blame assigned");
+    assert!(fault < eviction, "blamed before the engine was evicted");
+    assert!(eviction < retry, "evicted before the retry was scheduled");
+    assert!(retry < recovered, "retried before the recovery execute");
+
+    // The drain cursor advanced: nothing served since, nothing returned.
+    assert!(runtime.drain_events().is_empty());
+}
+
+/// The snapshot renders to stable JSON and Prometheus text carrying the
+/// counters, stage histograms, model registry, and device registry.
+#[test]
+fn snapshot_renders_stable_json_and_prometheus_text() {
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 16,
+        backend: Backend::Distributed {
+            gpus: 2,
+            p2p: false,
+        },
+        ..RuntimeConfig::default()
+    });
+    let factors = model_factors(&[(4, 4), (4, 4)], 7);
+    let model = runtime.load_model(factors).unwrap();
+    for i in 0..2 {
+        let x = seq_matrix(4, model.input_cols(), 60 + i);
+        runtime.execute(&model, x).unwrap();
+    }
+
+    let snap = runtime.metrics_snapshot();
+    let json = snap.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    for needle in [
+        "\"served\":2",
+        "\"error_replies\":0",
+        "\"stages\":{\"queue\":",
+        "\"total\":{\"count\":2",
+        "\"outcomes\":{\"ok\":",
+        "\"models\":[{\"dtype\":\"f64\"",
+        "\"devices\":[{\"gpu\":0,",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+
+    let prom = snap.to_prometheus();
+    for needle in [
+        "# TYPE kron_served_total counter\nkron_served_total 2",
+        "# TYPE kron_stage_total_us histogram",
+        "kron_stage_total_us_bucket{le=\"+Inf\"} 2",
+        "kron_stage_total_us_count 2",
+        "kron_model_serves_total{dtype=\"f64\"",
+        "kron_device_executes_total{gpu=\"0\"} 2",
+    ] {
+        assert!(prom.contains(needle), "missing {needle} in {prom}");
+    }
+
+    // Per-device execute latencies surfaced through device_health too.
+    let health = runtime.device_health();
+    assert_eq!(health.len(), 2);
+    for d in &health {
+        assert_eq!(d.metrics.executes, 2, "device {}: {d:?}", d.gpu);
+        assert_eq!(d.metrics.faults, 0);
+        assert_eq!(d.metrics.exec_latency.count, 2);
+    }
+}
+
+/// Percentile readout walks the log2 buckets to the right upper bound,
+/// and the histograms saturate instead of drifting on absurd values.
+#[test]
+fn snapshot_percentiles_read_from_log2_buckets() {
+    let runtime = Runtime::new(RuntimeConfig::default());
+    let factors = model_factors(&[(4, 4), (4, 4)], 9);
+    let model = runtime.load_model(factors).unwrap();
+    for i in 0..8 {
+        let x = seq_matrix(2, model.input_cols(), 70 + i);
+        runtime.execute(&model, x).unwrap();
+    }
+    let snap = runtime.metrics_snapshot();
+    let total = snap
+        .stages
+        .iter()
+        .find(|(s, _)| *s == Stage::Total)
+        .map(|(_, h)| *h)
+        .unwrap();
+    assert_eq!(total.count, 8);
+    let p50 = total.percentile(0.50);
+    let p99 = total.percentile(0.99);
+    assert!(p50 <= p99, "p50 {p50} <= p99 {p99}");
+    // Every percentile readout is a bucket upper bound: 0 or 2^i - 1.
+    for p in [p50, p99] {
+        assert!(p == 0 || (p + 1).is_power_of_two(), "bucket bound, got {p}");
+    }
+}

@@ -240,6 +240,102 @@ fn steady_state_sharded_serving_is_allocation_free() {
     );
 }
 
+/// The flight deck must cost nothing to keep lit: with every instrument
+/// active — per-request stage timelines stamped on each reply, per-stage
+/// and per-outcome log2 histograms, the per-model and per-device
+/// registries, Admit/BatchFormed/Execute events into the flight
+/// recorder — warm serving still allocates **zero** times. The
+/// histograms are preallocated atomics, the event ring is fixed-capacity
+/// seqlock slots, and the registries stop growing once their keys are
+/// warm; only the *readouts* (snapshot, drain) may allocate, and those
+/// happen outside the measured window.
+#[test]
+fn steady_state_serving_with_instruments_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 16,
+        max_queue: 64,
+        backend: Backend::Distributed {
+            gpus: 4,
+            p2p: false,
+        },
+        ..RuntimeConfig::default()
+    });
+    let factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i + 1)).collect();
+    let model = runtime.load_model(factors.clone()).unwrap();
+    let mut session = runtime.session();
+
+    let mut x = seq_matrix(4, model.input_cols(), 3);
+    let mut y = Matrix::zeros(4, model.output_cols());
+    for _ in 0..16 {
+        (x, y) = session.call(&model, x, y).unwrap();
+    }
+    // Retire warmup traffic from the recorder so the post-window drain
+    // observably covers events recorded *inside* the measured window.
+    runtime.drain_events();
+    let warm = runtime.metrics_snapshot();
+
+    const SERVED: usize = 64;
+    let (allocs, moved) = allocations_during(|| {
+        let mut bufs = (x, y);
+        for _ in 0..SERVED {
+            bufs = session.call(&model, bufs.0, bufs.1).unwrap();
+        }
+        bufs
+    });
+    let (x, y) = moved;
+    assert_eq!(
+        allocs, 0,
+        "serving {SERVED} warm requests with histograms, timelines, \
+         registries, and the flight recorder active allocated {allocs} \
+         times (expected the instruments to be allocation-free)"
+    );
+
+    let refs: Vec<&Matrix<f64>> = factors.iter().collect();
+    let oracle = kron_core::shuffle::kron_matmul_shuffle(&x, &refs).unwrap();
+    assert_matrices_close(&y, &oracle, "instrumented steady-state result");
+
+    // Everything served inside the window was observed: the histograms
+    // advanced by exactly SERVED, the model registry attributed them,
+    // the device registry saw every sharded execute, and the recorder
+    // holds the window's admit/execute trail.
+    let snap = runtime.metrics_snapshot();
+    let count = |s: &kron_runtime::MetricsSnapshot, want: kron_runtime::Stage| {
+        s.stages
+            .iter()
+            .find(|(stage, _)| *stage == want)
+            .map(|(_, h)| h.count)
+            .unwrap()
+    };
+    let total_before = count(&warm, kron_runtime::Stage::Total);
+    let total_after = count(&snap, kron_runtime::Stage::Total);
+    assert_eq!(total_after - total_before, SERVED as u64);
+    let entry = runtime
+        .model_stats()
+        .into_iter()
+        .find(|m| m.shape_key == model.shape_key())
+        .expect("served model is registered");
+    assert_eq!(entry.serves, 16 + SERVED as u64);
+    for d in &runtime.device_health() {
+        assert_eq!(d.metrics.executes, 16 + SERVED as u64, "gpu {}", d.gpu);
+    }
+    let events = runtime.drain_events();
+    use kron_runtime::ServeEventKind;
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, ServeEventKind::Admit { .. })),
+        "window admits reached the recorder"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, ServeEventKind::Execute { ok: true, .. })),
+        "window executes reached the recorder"
+    );
+}
+
 /// The self-healing machinery must cost nothing once the storm passes:
 /// after a device fault is retried away (evict, rebuild, re-execute) and
 /// the health ledger returns to clean, warm serving is allocation-free

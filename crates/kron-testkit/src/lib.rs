@@ -38,6 +38,6 @@ pub use diff::{
 };
 pub use gen::{worst_case_magnitude, KronCase, ShapeFamily};
 pub use serve::{
-    check_mixed_serve_plan, check_serve_plan, MixedRequest, MixedServePlan, PlannedRequest,
-    ServePlan,
+    check_mixed_serve_plan, check_serve_plan, ExpectedTimings, MixedRequest, MixedServePlan,
+    PlannedRequest, ServePlan,
 };

@@ -28,7 +28,64 @@ use crate::gen::{int_matrix, splitmix, worst_case_magnitude};
 use fastkron_core::FastKron;
 use gpu_sim::device::V100;
 use kron_core::{Element, FactorShape, KronProblem, Matrix};
-use kron_runtime::{Model, Runtime, SubmitOptions, Ticket};
+use kron_runtime::{Model, Runtime, ServeReceipt, SubmitOptions, Ticket};
+
+/// Exact timeline expectations for one scripted request, checked against
+/// the [`StageTimings`](kron_runtime::StageTimings) on its
+/// [`ServeReceipt`]. Meaningful on a **manual clock**, where every
+/// microsecond a request spends in a stage was scripted by the test:
+/// queue time comes from advancing the clock while the request sits in
+/// the channel, linger from holding the batch window open, retry from
+/// backoff/cooldown waits. The execution stages (plan/exec/scatter) are
+/// zero under virtual time — it only moves when the test advances it —
+/// so the three scripted legs plus `attempts` pin the whole timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExpectedTimings {
+    /// Exact channel wait (enqueue → scheduler pickup), µs.
+    pub queue_us: u64,
+    /// Exact linger wait (pickup → window close), µs.
+    pub linger_us: u64,
+    /// Exact retry cost (serve start → final attempt start), µs.
+    pub retry_us: u64,
+    /// Executes the serving batch went through (1 = first try served).
+    pub attempts: u32,
+}
+
+impl ExpectedTimings {
+    /// Checks `receipt` against the scripted expectations; `label` names
+    /// the request in the failure message.
+    pub fn check(&self, label: &str, receipt: &ServeReceipt) -> Result<(), String> {
+        let t = receipt.timings;
+        let mismatch = |what: &str, want: u64, got: u64| {
+            format!("{label}: {what} expected {want}us, got {got}us ({t})")
+        };
+        if t.queue_us != self.queue_us {
+            return Err(mismatch("queue", self.queue_us, t.queue_us));
+        }
+        if t.linger_us != self.linger_us {
+            return Err(mismatch("linger", self.linger_us, t.linger_us));
+        }
+        if t.retry_us != self.retry_us {
+            return Err(mismatch("retry", self.retry_us, t.retry_us));
+        }
+        if receipt.attempts != self.attempts {
+            return Err(format!(
+                "{label}: attempts expected {}, got {} ({t})",
+                self.attempts, receipt.attempts
+            ));
+        }
+        // On a manual clock the execution stages cannot accrue virtual
+        // time, so the scripted legs are the whole timeline.
+        let scripted = self.queue_us + self.linger_us + self.retry_us;
+        if t.total_us() != scripted {
+            return Err(format!(
+                "{label}: total expected {scripted}us, got {}us ({t})",
+                t.total_us()
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Factor-shape chains the model mix draws from — all comfortably inside
 /// the `f32` exactness budget, covering pow2-uniform (shardable), odd,
@@ -56,6 +113,10 @@ pub struct PlannedRequest<T: Element> {
     /// for no deadline. The differential oracle uses generous slacks so
     /// nothing sheds; admission tests shrink them.
     pub deadline_slack_us: Option<u64>,
+    /// Exact timeline expectations for scripted manual-clock traces, or
+    /// `None` for generated traces (real-clock timings are not exact).
+    /// When present, [`check_serve_plan`] verifies the receipt timeline.
+    pub expected: Option<ExpectedTimings>,
 }
 
 /// A deterministic multi-model serving trace: model mix, arrival order,
@@ -119,6 +180,7 @@ impl<T: Element> ServePlan<T> {
                 x,
                 priority,
                 deadline_slack_us,
+                expected: None,
             });
         }
         ServePlan {
@@ -267,9 +329,15 @@ pub(crate) fn check_on_runtime<T: DiffElement>(
     }
 
     for (idx, (ticket, oracle)) in tickets.into_iter().zip(oracles.iter()).enumerate() {
-        let got = ticket
-            .wait()
+        let (got, receipt) = ticket
+            .wait_with_receipt()
             .map_err(|e| format!("{name}: request {idx} of trace {} failed: {e}", plan.seed))?;
+        if let Some(expected) = plan.requests[idx].expected {
+            expected.check(
+                &format!("{name}: request {idx} of trace {}", plan.seed),
+                &receipt,
+            )?;
+        }
         if got.as_slice() != oracle.as_slice() {
             let req = &plan.requests[idx];
             return Err(format!(

@@ -11,14 +11,14 @@
 //!   `Ticket::wait_with_stats` / `Session::last_shard_summary`;
 //! * a model the grid cannot shard falls back to single-node serving
 //!   transparently (`local_fallbacks` in the stats);
-//! * an injected device fault fails one batch with a clean
-//!   `DeviceFailure` and the very next batch serves normally.
+//! * an injected device fault is retried away by the default
+//!   `RetryPolicy` — the client sees a correct result and the receipt
+//!   records the extra attempt.
 //!
 //! Run with `cargo run --release --example serving_dist`.
 
 use fastkron::prelude::*;
 use kron_core::shuffle::kron_matmul_shuffle;
-use kron_core::KronError;
 
 fn main() {
     let runtime = Runtime::new(RuntimeConfig {
@@ -70,20 +70,27 @@ fn main() {
         comm_bytes as f64 / 1024.0
     );
 
-    // Chaos drill: fault simulated device 3. Exactly one batch fails with
-    // the documented error; the engine rebuilds and serving continues.
+    // Chaos drill: fault simulated device 3. With the default
+    // `RetryPolicy` the failed batch is retried away transparently — the
+    // client sees a correct result, and the receipt records the extra
+    // attempt. (Set `retry.max_attempts: 0` to surface the raw
+    // `KronError::DeviceFailure` instead.)
     runtime.inject_device_fault(3).expect("device 3 exists");
     let x = Matrix::<f32>::from_fn(4, model.input_cols(), |r, c| (r + c) as f32 % 5.0);
-    match runtime.execute(&model, x.clone()) {
-        Err(KronError::DeviceFailure { gpu, reason }) => {
-            println!("fault drill: batch failed cleanly on device {gpu} ({reason})")
-        }
-        other => panic!("expected a device failure, got {other:?}"),
-    }
+    let t = runtime.submit(&model, x.clone()).expect("submit");
+    let (y, receipt) = t
+        .wait_with_receipt()
+        .expect("the fault is retried away, not surfaced");
+    let expected = kron_matmul_shuffle(&x, &refs).expect("oracle");
+    assert_matrices_close(&y, &expected, "recovered batch");
+    assert!(receipt.attempts > 1, "receipt: {receipt}");
+    println!(
+        "fault drill: device 3 panicked mid-batch -> recovered in {} attempts on grid {:?}",
+        receipt.attempts, receipt.grid
+    );
     let y = runtime
         .execute(&model, x.clone())
         .expect("post-fault serve");
-    let expected = kron_matmul_shuffle(&x, &refs).expect("oracle");
     assert_matrices_close(&y, &expected, "post-fault batch");
     println!("fault drill: next batch served correctly");
 

@@ -44,8 +44,10 @@ pub mod prelude {
     pub use kron_dist::{live_sim_worker_threads, DistFastKron, GpuGrid, ShardedEngine};
     pub use kron_runtime::{
         adaptive_linger_us, aged_priority, Backend, BreakerPolicy, BreakerState, CachePolicy,
-        Clock, DeviceHealthReport, FaultEvent, FaultKind, FaultPlan, FaultTrigger, ManualClock,
-        ModelPin, RetryPolicy, Runtime, RuntimeConfig, RuntimeStats, ServeElement, ServeReceipt,
-        Session, SubmitOptions, Ticket,
+        Clock, DeviceHealthReport, DeviceMetricsSnapshot, EvictReason, FaultEvent, FaultKind,
+        FaultPlan, FaultTrigger, HistogramSnapshot, ManualClock, MetricsSnapshot, ModelPin,
+        ModelStats, Outcome, RetryPolicy, Runtime, RuntimeConfig, RuntimeStats, ServeElement,
+        ServeEvent, ServeEventKind, ServeReceipt, Session, Stage, StageTimings, SubmitOptions,
+        Ticket,
     };
 }
