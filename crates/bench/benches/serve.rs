@@ -2,7 +2,7 @@
 //! paths on small-M shapes (the Table 3/4 sizes that motivate the
 //! `kron-runtime` batcher), emitting `BENCH_serve.json` at the repo root.
 //!
-//! Three serving strategies over the same request stream:
+//! Four serving strategies over the same request stream:
 //!
 //! * **planned** — the unbatched per-request path through the library's
 //!   planned API: `FastKron::plan` + `execute` for every request, i.e.
@@ -10,9 +10,13 @@
 //!   workspace allocation per request).
 //! * **direct** — `kron_matmul_fused` per request: no autotuning, but a
 //!   throwaway workspace and result allocation per request.
-//! * **batched** — the `kron-runtime` runtime: plan cached after the
-//!   first request, same-model requests coalesced into one large-M fused
-//!   execute per batch window.
+//! * **batched** — the `kron-runtime` runtime under burst load: plan
+//!   cached after the first request, same-model requests coalesced into
+//!   one large-M fused execute per batch window.
+//! * **bypass** — the same runtime at queue depth 1: sequential
+//!   submit→wait, where the inline bypass lane executes each request on
+//!   the submitting thread against the warm cached plan (no channel hop,
+//!   no linger window).
 //!
 //! The headline `speedup` compares batched against the planned
 //! per-request path (the runtime's plan cache plus the batcher);
@@ -149,6 +153,30 @@ fn run_batched(
     (summarize(lat, wall), batches)
 }
 
+/// Sequential (queue-depth-1) runtime serving: submit one request and
+/// wait for its reply before submitting the next — the latency-sensitive
+/// pattern the inline bypass lane exists for. With the queue empty and
+/// the plan warm, every request executes inline on this thread.
+fn run_bypass(
+    runtime: &Runtime,
+    model: &kron_runtime::Model<f32>,
+    xs: &[Matrix<f32>],
+) -> (PathResult, u64) {
+    let bypassed_before = runtime.stats().bypassed_requests;
+    let mut lat = Vec::with_capacity(xs.len());
+    let t0 = Instant::now();
+    for x in xs {
+        let t = Instant::now();
+        let ticket = runtime.submit(model, x.clone()).expect("submit");
+        let y = ticket.wait().expect("wait");
+        std::hint::black_box(&y);
+        lat.push(t.elapsed().as_secs_f64());
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let bypassed = runtime.stats().bypassed_requests - bypassed_before;
+    (summarize(lat, wall), bypassed)
+}
+
 struct CaseResult {
     m: usize,
     p: usize,
@@ -160,9 +188,21 @@ struct CaseResult {
     /// the fault-free-overhead control (self-healing must be free when
     /// nothing fails).
     noretry: PathResult,
+    /// Queue-depth-1 sequential serving through the runtime: the inline
+    /// bypass lane.
+    bypass: PathResult,
+    /// How many of the timed queue-depth-1 requests actually took the
+    /// inline lane (`bypassed_requests` delta over the timed window).
+    bypassed: u64,
     batches: u64,
     /// Runtime-reported tail histogram for the timed batched window.
     tails: HistogramSnapshot,
+    /// Runtime-reported tail histogram for the timed queue-depth-1
+    /// window. Unlike the burst window — where a request served late in
+    /// a cycle waits out earlier batch executes in no timeline stage —
+    /// the bypass timeline is complete (plan + exec is the whole serve),
+    /// so these tails are directly comparable to the client-side clocks.
+    bypass_tails: HistogramSnapshot,
 }
 
 fn run_case(runtime: &Runtime, noretry_rt: &Runtime, m: usize, p: usize, n: usize) -> CaseResult {
@@ -195,6 +235,13 @@ fn run_case(runtime: &Runtime, noretry_rt: &Runtime, m: usize, p: usize, n: usiz
     let (batched, batches) = run_batched(runtime, &model, &xs);
     let tails = model_latency(runtime, &model).since(&before);
     let (noretry, _) = run_batched(noretry_rt, &noretry_model, &xs);
+    // Queue depth 1 over the same warm runtime: every wait has drained
+    // the queue before the next submit, so the inline lane carries the
+    // whole stream.
+    let (_, _) = run_bypass(runtime, &model, &xs[..64.min(xs.len())]);
+    let bypass_before = model_latency(runtime, &model);
+    let (bypass, bypassed) = run_bypass(runtime, &model, &xs);
+    let bypass_tails = model_latency(runtime, &model).since(&bypass_before);
 
     CaseResult {
         m,
@@ -204,8 +251,11 @@ fn run_case(runtime: &Runtime, noretry_rt: &Runtime, m: usize, p: usize, n: usiz
         direct,
         batched,
         noretry,
+        bypass,
+        bypassed,
         batches,
         tails,
+        bypass_tails,
     }
 }
 
@@ -216,8 +266,8 @@ fn path_json(r: &PathResult) -> String {
     )
 }
 
-/// Tail object for the runtime-reported histogram: log2-bucket upper
-/// bounds, in whole microseconds.
+/// Tail object for the runtime-reported histogram: percentiles
+/// interpolated within the log2 buckets, in whole microseconds.
 fn tails_json(h: &HistogramSnapshot) -> String {
     format!(
         "{{\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
@@ -239,9 +289,12 @@ fn emit_json(results: &[CaseResult], threads: usize) -> String {
                     "     \"unbatched_direct\": {},\n",
                     "     \"batched\": {},\n",
                     "     \"batched_noretry\": {},\n",
+                    "     \"batched_bypass\": {},\n",
                     "     \"batched_tails\": {},\n",
-                    "     \"batches\": {},\n",
-                    "     \"speedup\": {:.3}, \"speedup_vs_direct\": {:.3}}}"
+                    "     \"bypass_tails\": {},\n",
+                    "     \"batches\": {}, \"bypassed\": {},\n",
+                    "     \"speedup\": {:.3}, \"speedup_vs_direct\": {:.3}, ",
+                    "\"bypass_p50_vs_direct\": {:.3}}}"
                 ),
                 r.m,
                 r.p,
@@ -250,10 +303,14 @@ fn emit_json(results: &[CaseResult], threads: usize) -> String {
                 path_json(&r.direct),
                 path_json(&r.batched),
                 path_json(&r.noretry),
+                path_json(&r.bypass),
                 tails_json(&r.tails),
+                tails_json(&r.bypass_tails),
                 r.batches,
+                r.bypassed,
                 r.batched.rps / r.planned.rps,
                 r.batched.rps / r.direct.rps,
+                r.bypass.p50_us / r.direct.p50_us,
             )
         })
         .collect();
@@ -266,7 +323,8 @@ fn emit_json(results: &[CaseResult], threads: usize) -> String {
             "  \"requests\": {},\n",
             "  \"planned_requests\": {},\n",
             "  \"threads\": {},\n",
-            "  \"paths\": [\"unbatched_planned\", \"unbatched_direct\", \"batched\"],\n",
+            "  \"paths\": [\"unbatched_planned\", \"unbatched_direct\", \"batched\", ",
+            "\"batched_noretry\", \"batched_bypass\"],\n",
             "  \"cases\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -303,20 +361,21 @@ fn main() {
     let threads = rayon::ThreadPool::global().threads();
 
     println!(
-        "{:>10} {:>12} {:>12} {:>12} {:>9} {:>9} {:>8}",
-        "case", "planned/s", "direct/s", "batched/s", "speedup", "vs_dir", "batches"
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9} {:>8}",
+        "case", "planned/s", "direct/s", "batched/s", "bypass/s", "speedup", "byp_p50", "batches"
     );
     let mut results = Vec::new();
     for &(m, p, n) in CASES {
         let r = run_case(&runtime, &noretry_rt, m, p, n);
         println!(
-            "{:>10} {:>12.0} {:>12.0} {:>12.0} {:>8.2}x {:>8.2}x {:>8}",
+            "{:>10} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>8.2}x {:>8.2}x {:>8}",
             format!("M={m} {p}^{n}"),
             r.planned.rps,
             r.direct.rps,
             r.batched.rps,
+            r.bypass.rps,
             r.batched.rps / r.planned.rps,
-            r.batched.rps / r.direct.rps,
+            r.bypass.p50_us / r.direct.p50_us,
             r.batches,
         );
         results.push(r);
@@ -388,6 +447,62 @@ fn main() {
         println!("FAIL: histogram attribution gaps: {}", tail_gaps.join(", "));
         failed = true;
     }
+    // (2c) Tail fidelity, pinned on the queue-depth-1 window: with
+    // percentile interpolation inside the log2 buckets, the runtime-side
+    // p50/p95 must land within one bucket of the client-side measurement
+    // of the same window. (Before the interpolation fix, every readout
+    // snapped to its bucket's upper bound — up to 2x the true value —
+    // and nothing pinned the agreement.) The bypass window is the one
+    // whose timeline is complete: under burst, a request served late in
+    // a cycle waits out earlier batch executes in no timeline stage, so
+    // runtime-side burst tails legitimately read below the client's.
+    // One bucket of slack covers the client clock starting before
+    // submit-side bookkeeping; the 4µs absolute floor covers sub-bucket
+    // clock granularity on the fastest shapes; 6/8 covers host jitter.
+    let log2_bucket = |us: f64| -> i64 {
+        let v = us.round().max(0.0) as u64;
+        if v == 0 {
+            0
+        } else {
+            (u64::BITS - v.leading_zeros()) as i64
+        }
+    };
+    let close = |runtime_us: u64, client_us: f64| {
+        (log2_bucket(runtime_us as f64) - log2_bucket(client_us)).abs() <= 1
+            || (runtime_us as f64 - client_us).abs() <= 4.0
+    };
+    let tails_faithful = results
+        .iter()
+        .filter(|r| {
+            close(r.bypass_tails.percentile(0.50), r.bypass.p50_us)
+                && close(r.bypass_tails.percentile(0.95), r.bypass.p95_us)
+        })
+        .count();
+    if tails_faithful >= 6 {
+        println!(
+            "runtime-side p50/p95 within one log2 bucket of client-side on {tails_faithful}/{} queue-depth-1 cases",
+            results.len()
+        );
+    } else {
+        for r in &results {
+            println!(
+                "  M={} {}^{}: client p50={:.1}us p95={:.1}us | runtime p50={}us p95={}us",
+                r.m,
+                r.p,
+                r.n,
+                r.bypass.p50_us,
+                r.bypass.p95_us,
+                r.bypass_tails.percentile(0.50),
+                r.bypass_tails.percentile(0.95),
+            );
+        }
+        println!(
+            "FAIL: runtime-side tails disagree with client-side on {}/{} cases",
+            results.len() - tails_faithful,
+            results.len()
+        );
+        failed = true;
+    }
     // (3) Fault-free overhead: with no fault firing, the retry-enabled
     // runtime's p50 must be indistinguishable from the retry-disabled
     // twin's — the self-healing machinery may not tax the healthy path.
@@ -414,6 +529,38 @@ fn main() {
         println!(
             "FAIL: fault-free retry overhead visible on {}/{} cases",
             results.len() - overhead_ok,
+            results.len()
+        );
+        failed = true;
+    }
+    // (4) Queue-depth-1 latency: the inline bypass lane must hold
+    // sequential submit→wait within ~2x of the raw fused call — the
+    // batching tax (linger window + channel round-trip + scheduler wake)
+    // is gone from the direct path. The +25µs grace absorbs OS jitter on
+    // shared hosts where direct p50s are single-digit µs. Every timed
+    // request must also have actually taken the inline lane: a silent
+    // fallback to the scheduler would only pass by luck.
+    let bypass_ok = results
+        .iter()
+        .filter(|r| {
+            r.bypassed == REQUESTS as u64 && r.bypass.p50_us <= 2.0 * r.direct.p50_us + 25.0
+        })
+        .count();
+    if bypass_ok >= 6 {
+        println!(
+            "queue-depth-1 p50 within 2x of unbatched_direct on {bypass_ok}/{} cases",
+            results.len()
+        );
+    } else {
+        for r in &results {
+            println!(
+                "  M={} {}^{}: p50 bypass={:.2}us direct={:.2}us bypassed={}/{REQUESTS}",
+                r.m, r.p, r.n, r.bypass.p50_us, r.direct.p50_us, r.bypassed
+            );
+        }
+        println!(
+            "FAIL: queue-depth-1 latency tax visible on {}/{} cases",
+            results.len() - bypass_ok,
             results.len()
         );
         failed = true;

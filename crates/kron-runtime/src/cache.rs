@@ -661,6 +661,40 @@ impl PlanCache {
         Ok(pinned)
     }
 
+    /// Hit-only lookup for the inline bypass lane: returns the pinned
+    /// entry iff `model`'s plan key is already resident, built at the
+    /// full effective device limit, shape-verified, and **local**
+    /// (non-sharded) — the bypass lane never drives the staged sharded
+    /// path. Counts the plan hit and touches recency exactly as
+    /// [`Self::get_or_create`] would on a hit, but a cold, degraded, or
+    /// sharded entry counts nothing here: the request falls back to the
+    /// scheduler, which performs — and accounts — its own lookup.
+    pub(crate) fn get_warm<T: ErasedDtype>(
+        &mut self,
+        model: &ModelInner<T>,
+        capacity: usize,
+        stats: &StatsInner,
+    ) -> Option<PinnedEntry> {
+        let eff_limit = self.effective_limit(usize::MAX);
+        let map_key = (T::DTYPE, model.shape_key, capacity);
+        let slot = self.entries.get_mut(&map_key)?;
+        let fresh = slot.built_limit == eff_limit && {
+            let mut entry = slot.entry.lock().unwrap_or_else(|e| e.into_inner());
+            T::plan_mut(&mut entry)
+                .is_some_and(|p| p.key.problem.factors == model.shapes && !p.is_sharded())
+        };
+        if !fresh {
+            return None;
+        }
+        self.use_seq += 1;
+        slot.last_used_seq = self.use_seq;
+        slot.last_used_us = self.clock.now_us();
+        stats.plan_hits.fetch_add(1, Ordering::Relaxed);
+        self.hub
+            .record_plan_lookup(T::DTYPE, model.shape_key, capacity, true);
+        Some(PinnedEntry::new(slot))
+    }
+
     /// The prospective [`PlanKey::estimated_bytes`] of an entry for
     /// `model` at `capacity` rows under this cache's backend — computed
     /// *before* building, so eviction can make room first. Mirrors

@@ -132,6 +132,37 @@
 //!   traffic and grows to the cap as the smoothed queue depth rises,
 //!   visible as the [`RuntimeStats::current_linger_us`] gauge.
 //!
+//! ## Low-latency lane
+//!
+//! Batching is a throughput device, and at queue depth 1 it is pure
+//! tax: a lone request pays the channel hop, the scheduler wake, and the
+//! linger window for a batch that never forms. The runtime therefore
+//! keeps an **inline bypass lane** ([`RuntimeConfig::inline_bypass`], on
+//! by default): when nothing is in flight (the
+//! [`RuntimeStats::inflight_requests`] gauge is zero) and the model's
+//! plan is warm in the cache at full device width, [`Runtime::submit`]
+//! and [`Session::call`] execute the request *on the submitting thread*
+//! against the pinned cached plan — no channel, no wake, no linger. The
+//! moment load appears (a non-empty queue, a cold plan, a sharded or
+//! mid-retry distributed entry, a closed gate), submission falls back to
+//! the batching scheduler, so bursts still coalesce and the retry /
+//! breaker / watchdog ladder keeps ownership of every distributed
+//! execute.
+//!
+//! The lane is a scheduling shortcut, not a semantic one: bypassed and
+//! scheduled serves run the same microkernel on the same cached
+//! workspace and agree bit-for-bit; deadlines shed identically (an
+//! already-expired [`SubmitOptions::deadline_us`] sheds inline with
+//! [`kron_core::KronError::DeadlineExceeded`] before any plan lookup);
+//! and the steady state stays allocation-free. Observability keeps the
+//! lanes distinguishable: bypassed serves count in
+//! [`RuntimeStats::bypassed_requests`] (`served == batched + solo +
+//! bypassed + error_replies`), land in the `bypass` [`Outcome`]
+//! histogram, stamp receipts with `queue_us == 0` and `linger_us == 0`,
+//! and leave a `Bypass` event on the flight recorder. The serve bench's
+//! queue-depth-1 gate holds the lane within ~2x of the raw fused call —
+//! against the ~1000x the full batching round-trip costs a lone request.
+//!
 //! ## Self-healing
 //!
 //! Device faults are a *runtime* concern, not a client concern. Three
@@ -220,8 +251,8 @@
 //!   scatter, retry — microseconds on the runtime's [`Clock`], so
 //!   manual-clock tests can assert exact timelines).
 //! * **Latency histograms** — preallocated atomic log2 histograms per
-//!   stage and per outcome, with conservative [`HistogramSnapshot::percentile`]
-//!   readout; aggregated globally, per plan key in a bounded model
+//!   stage and per outcome, with rank-interpolated
+//!   [`HistogramSnapshot::percentile`] readout; aggregated globally, per plan key in a bounded model
 //!   registry ([`Runtime::model_stats`], [`ModelStats`]), and per device
 //!   ([`Runtime::device_health`] reports carry a
 //!   [`DeviceMetricsSnapshot`]).

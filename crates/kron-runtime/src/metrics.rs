@@ -83,9 +83,10 @@ impl LatencyHistogram {
 /// Point-in-time copy of a latency histogram with percentile readout.
 ///
 /// Buckets are log2-spaced: bucket 0 holds exactly 0µs and bucket `i`
-/// holds latencies in `[2^(i-1), 2^i - 1]`µs, so
-/// [`Self::percentile`] answers with the bucket's inclusive upper bound
-/// — a conservative (never understated) tail estimate.
+/// holds latencies in `[2^(i-1), 2^i - 1]`µs. [`Self::percentile`]
+/// interpolates by rank within the containing bucket, so the readout
+/// stays inside the bucket that actually holds the observation instead
+/// of snapping to its upper bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Observation count per log2 bucket.
@@ -115,9 +116,13 @@ impl HistogramSnapshot {
         self.sum_us += us;
     }
 
-    /// The latency (µs) at percentile `p` in `(0.0, 1.0]`, reported as
-    /// the inclusive upper bound of the log2 bucket containing that
-    /// rank. Returns 0 for an empty histogram.
+    /// The latency (µs) at percentile `p` in `(0.0, 1.0]`, interpolated
+    /// by rank within the log2 bucket containing that rank: the k-th of
+    /// b observations in `[lower, upper]` reads as the midpoint of the
+    /// k-th of b equal sub-intervals. A lone observation reads as the
+    /// bucket midpoint rather than the upper bound, so a ~1.2ms tail no
+    /// longer reports as 1023µs or 2047µs depending on which side of a
+    /// power of two it fell. Returns 0 for an empty histogram.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -125,10 +130,14 @@ impl HistogramSnapshot {
         let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {
-            seen += b;
-            if seen >= target {
-                return bucket_upper(i);
+            if seen + b >= target && b > 0 {
+                let lower = if i == 0 { 0 } else { bucket_upper(i - 1) + 1 };
+                let width = bucket_upper(i) - lower;
+                let pos = target - seen; // 1..=b
+                let off = (width as u128 * (2 * pos as u128 - 1)) / (2 * b as u128);
+                return lower + off as u64;
             }
+            seen += b;
         }
         bucket_upper(BUCKETS - 1)
     }
@@ -219,11 +228,14 @@ pub enum Outcome {
     Error,
     /// Shed with [`kron_core::KronError::DeadlineExceeded`].
     Shed,
+    /// Served successfully inline on the submitting thread via the
+    /// low-latency bypass lane (no channel hop, no linger window).
+    Bypass,
 }
 
 impl Outcome {
     /// Every outcome.
-    pub const ALL: [Outcome; 3] = [Outcome::Ok, Outcome::Error, Outcome::Shed];
+    pub const ALL: [Outcome; 4] = [Outcome::Ok, Outcome::Error, Outcome::Shed, Outcome::Bypass];
 
     /// Stable lowercase name (used as the JSON/Prometheus label).
     pub fn name(self) -> &'static str {
@@ -231,6 +243,7 @@ impl Outcome {
             Outcome::Ok => "ok",
             Outcome::Error => "error",
             Outcome::Shed => "shed",
+            Outcome::Bypass => "bypass",
         }
     }
 
@@ -239,6 +252,7 @@ impl Outcome {
             Outcome::Ok => 0,
             Outcome::Error => 1,
             Outcome::Shed => 2,
+            Outcome::Bypass => 3,
         }
     }
 }
@@ -369,7 +383,7 @@ struct DeviceMetrics {
 /// plan cache, device-health ledger, and fault plane.
 pub(crate) struct MetricsHub {
     stages: [LatencyHistogram; 7],
-    outcomes: [LatencyHistogram; 3],
+    outcomes: [LatencyHistogram; 4],
     models: Mutex<ModelRegistry>,
     devices: Box<[DeviceMetrics]>,
     recorder: FlightRecorder,
@@ -420,7 +434,7 @@ impl MetricsHub {
         let mut reg = self.models.lock().unwrap_or_else(|e| e.into_inner());
         let slot = reg.slot_mut(dtype, shape_key, capacity);
         match outcome {
-            Outcome::Ok => slot.serves += 1,
+            Outcome::Ok | Outcome::Bypass => slot.serves += 1,
             Outcome::Error | Outcome::Shed => slot.errors += 1,
         }
         slot.latency.record(total_us);
@@ -579,6 +593,7 @@ impl MetricsSnapshot {
             batches,
             batched_requests,
             solo_requests,
+            bypassed_requests,
             error_replies,
             plan_hits,
             plan_misses,
@@ -595,6 +610,7 @@ impl MetricsSnapshot {
             cached_entries,
             cached_bytes,
             current_linger_us,
+            inflight_requests,
         } = self.stats;
         let mut out = String::with_capacity(4096);
         let _ = write!(out, "{{\"at_us\":{},\"stats\":{{", self.at_us);
@@ -603,6 +619,7 @@ impl MetricsSnapshot {
             "\"submitted\":{submitted},\"requests_f32\":{requests_f32},\
              \"requests_f64\":{requests_f64},\"served\":{served},\"batches\":{batches},\
              \"batched_requests\":{batched_requests},\"solo_requests\":{solo_requests},\
+             \"bypassed_requests\":{bypassed_requests},\
              \"error_replies\":{error_replies},\"plan_hits\":{plan_hits},\
              \"plan_misses\":{plan_misses},\"sharded_batches\":{sharded_batches},\
              \"local_fallbacks\":{local_fallbacks},\"comm_bytes\":{comm_bytes},\
@@ -610,7 +627,8 @@ impl MetricsSnapshot {
              \"retries\":{retries},\"degraded_batches\":{degraded_batches},\
              \"recovered_requests\":{recovered_requests},\"breaker_trips\":{breaker_trips},\
              \"cached_entries\":{cached_entries},\"cached_bytes\":{cached_bytes},\
-             \"current_linger_us\":{current_linger_us}}}"
+             \"current_linger_us\":{current_linger_us},\
+             \"inflight_requests\":{inflight_requests}}}"
         );
         out.push_str(",\"stages\":{");
         for (i, (stage, h)) in self.stages.iter().enumerate() {
@@ -687,6 +705,7 @@ impl MetricsSnapshot {
             batches,
             batched_requests,
             solo_requests,
+            bypassed_requests,
             error_replies,
             plan_hits,
             plan_misses,
@@ -703,6 +722,7 @@ impl MetricsSnapshot {
             cached_entries,
             cached_bytes,
             current_linger_us,
+            inflight_requests,
         } = self.stats;
         for (name, kind, v) in [
             ("kron_submitted_total", "counter", submitted),
@@ -712,6 +732,7 @@ impl MetricsSnapshot {
             ("kron_batches_total", "counter", batches),
             ("kron_batched_requests_total", "counter", batched_requests),
             ("kron_solo_requests_total", "counter", solo_requests),
+            ("kron_bypassed_requests_total", "counter", bypassed_requests),
             ("kron_error_replies_total", "counter", error_replies),
             ("kron_plan_hits_total", "counter", plan_hits),
             ("kron_plan_misses_total", "counter", plan_misses),
@@ -732,6 +753,7 @@ impl MetricsSnapshot {
             ("kron_cached_entries", "gauge", cached_entries),
             ("kron_cached_bytes", "gauge", cached_bytes),
             ("kron_current_linger_us", "gauge", current_linger_us),
+            ("kron_inflight_requests", "gauge", inflight_requests),
         ] {
             let _ = writeln!(out, "# TYPE {name} {kind}\n{name} {v}");
         }
@@ -799,18 +821,41 @@ mod tests {
     }
 
     #[test]
-    fn percentile_reads_bucket_upper_bound() {
+    fn percentile_interpolates_within_bucket() {
         let h = LatencyHistogram::new();
         for _ in 0..99 {
-            h.record(100); // bucket 7, upper bound 127
+            h.record(100); // bucket 7: [64, 127]
         }
-        h.record(10_000); // bucket 14, upper bound 16383
+        h.record(10_000); // bucket 14: [8192, 16383]
         let s = h.snapshot();
         assert_eq!(s.count, 100);
-        assert_eq!(s.percentile(0.50), 127);
-        assert_eq!(s.percentile(0.99), 127);
-        assert_eq!(s.percentile(1.0), 16_383);
+        // Rank 50 of 99 in [64, 127]: 64 + 63*99/198 = 95.
+        assert_eq!(s.percentile(0.50), 95);
+        // Rank 99 of 99 sits in the last sub-interval, below the bound.
+        assert_eq!(s.percentile(0.99), 126);
+        // A lone tail observation reads as its bucket midpoint, inside
+        // the bucket that holds the actual 10ms latency.
+        assert_eq!(s.percentile(1.0), 12_287);
+        assert_eq!(bucket_index(s.percentile(1.0)), bucket_index(10_000));
         assert_eq!(s.mean_us(), (99 * 100 + 10_000) / 100);
+    }
+
+    #[test]
+    fn percentile_stays_in_the_observed_bucket() {
+        // The regression this guards: ~1.2ms latencies landing in
+        // bucket 11 [1024, 2047] used to report p50_us = 2047 (upper
+        // bound), and 1.0ms ones in bucket 10 reported 1023 — a readout
+        // that snapped to whichever side of a power of two the data
+        // fell. Interpolation must stay inside the observed bucket.
+        let h = LatencyHistogram::new();
+        for _ in 0..64 {
+            h.record(1_200);
+        }
+        let s = h.snapshot();
+        for p in [0.50, 0.95, 0.99] {
+            let v = s.percentile(p);
+            assert_eq!(bucket_index(v), bucket_index(1_200), "p{p}: {v}");
+        }
     }
 
     #[test]
@@ -831,7 +876,9 @@ mod tests {
         let window = after.since(&before);
         assert_eq!(window.count, 2);
         assert_eq!(window.sum_us, 2_000);
-        assert_eq!(window.percentile(0.5), 1_023);
+        // Rank 1 of 2 in bucket 10 [512, 1023]: 512 + 511/4 = 639.
+        assert_eq!(window.percentile(0.5), 639);
+        assert_eq!(bucket_index(window.percentile(0.5)), bucket_index(1_000));
     }
 
     #[test]

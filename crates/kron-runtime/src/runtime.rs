@@ -17,7 +17,7 @@ use crate::clock::Clock;
 use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultPlane, FaultTrigger};
 use crate::health::{BreakerPolicy, DeviceHealth, DeviceHealthReport};
 use crate::metrics::{MetricsHub, MetricsSnapshot, ModelStats, Outcome, Stage};
-use crate::scheduler::{arm_scripted_fault, Scheduler};
+use crate::scheduler::{arm_scripted_fault, Scheduler, ServeCtx};
 use crate::trace::{ServeEvent, ServeEventKind, StageTimings};
 use crossbeam::channel::{unbounded, Sender};
 use gpu_sim::device::{DeviceSpec, V100};
@@ -167,6 +167,17 @@ pub struct RuntimeConfig {
     /// fails with the bounded [`KronError::DeviceTimeout`] instead of
     /// hanging the scheduler.
     pub device_watchdog_us: u64,
+    /// The low-latency lane (on by default): when the runtime is idle —
+    /// no admitted request has an unclaimed result — and the request's
+    /// plan is warm, local, and at full device width, `submit` and
+    /// `Session::call` execute inline on the submitting thread instead
+    /// of crossing the scheduler channel, eliminating the channel hop,
+    /// linger window, and scheduler wake at queue depth 1. The moment
+    /// load appears (results in flight, a cold or sharded plan, an open
+    /// breaker's degraded rebuild) requests flow through the batching
+    /// scheduler as before. `false` pins every request to the scheduler
+    /// lane (useful for tests that assert scheduler-side behavior).
+    pub inline_bypass: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -185,6 +196,7 @@ impl Default for RuntimeConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
             device_watchdog_us: 2_000_000,
+            inline_bypass: true,
         }
     }
 }
@@ -208,10 +220,15 @@ pub struct RuntimeStats {
     /// Requests served by a dedicated execute (large `M`, or a batch
     /// window containing a single request).
     pub solo_requests: u64,
+    /// Requests served inline on the submitting thread by the
+    /// low-latency bypass lane (see [`RuntimeConfig::inline_bypass`]) —
+    /// they never crossed the scheduler channel.
+    pub bypassed_requests: u64,
     /// Requests that completed with an error reply (deadline sheds,
     /// execution errors, shutdown poisoning). Every served request is
     /// counted exactly once across `batched_requests`, `solo_requests`,
-    /// and this counter: `served == batched + solo + error_replies`.
+    /// `bypassed_requests`, and this counter:
+    /// `served == batched + solo + bypassed + error_replies`.
     pub error_replies: u64,
     /// Requests whose plan/workspace came from the cache.
     pub plan_hits: u64,
@@ -261,6 +278,12 @@ pub struct RuntimeStats {
     /// cycle (equals `batch_linger_us` with adaptation off; breathes with
     /// load otherwise).
     pub current_linger_us: u64,
+    /// Gauge: admitted requests whose results have not yet been claimed
+    /// by a waiter — the bypass lane's idleness signal: a request is
+    /// eligible for inline execution only when this reads zero, so
+    /// pipelined bursts (submit many, wait later) keep flowing through
+    /// the batching scheduler.
+    pub inflight_requests: u64,
 }
 
 /// Shared atomic counters behind [`RuntimeStats`].
@@ -273,6 +296,7 @@ pub(crate) struct StatsInner {
     pub(crate) batches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
     pub(crate) solo_requests: AtomicU64,
+    pub(crate) bypassed_requests: AtomicU64,
     pub(crate) error_replies: AtomicU64,
     pub(crate) plan_hits: AtomicU64,
     pub(crate) plan_misses: AtomicU64,
@@ -289,6 +313,15 @@ pub(crate) struct StatsInner {
     pub(crate) cached_entries: AtomicU64,
     pub(crate) cached_bytes: AtomicU64,
     pub(crate) current_linger_us: AtomicU64,
+    /// The inflight gauge (see [`RuntimeStats::inflight_requests`]):
+    /// incremented at admission (either lane), decremented when the
+    /// waiter claims the reply — or when an abandoned slot drops.
+    pub(crate) inflight_requests: AtomicU64,
+    /// Smoothed requests-per-cycle in x16 fixed point; drives the
+    /// adaptive linger window. Lives here (not on the scheduler) so the
+    /// bypass lane's depth-1 inline serves decay it too. Not a public
+    /// counter — snapshots don't report it.
+    pub(crate) ewma_depth_x16: AtomicU64,
 }
 
 impl StatsInner {
@@ -301,6 +334,7 @@ impl StatsInner {
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             solo_requests: self.solo_requests.load(Ordering::Relaxed),
+            bypassed_requests: self.bypassed_requests.load(Ordering::Relaxed),
             error_replies: self.error_replies.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
@@ -317,6 +351,7 @@ impl StatsInner {
             cached_entries: self.cached_entries.load(Ordering::Relaxed),
             cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
             current_linger_us: self.current_linger_us.load(Ordering::Relaxed),
+            inflight_requests: self.inflight_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -333,6 +368,7 @@ impl std::fmt::Display for RuntimeStats {
             batches,
             batched_requests,
             solo_requests,
+            bypassed_requests,
             error_replies,
             plan_hits,
             plan_misses,
@@ -349,6 +385,7 @@ impl std::fmt::Display for RuntimeStats {
             cached_entries,
             cached_bytes,
             current_linger_us,
+            inflight_requests,
         } = *self;
         writeln!(f, "runtime stats")?;
         for (name, value) in [
@@ -359,6 +396,7 @@ impl std::fmt::Display for RuntimeStats {
             ("batches", batches),
             ("batched_requests", batched_requests),
             ("solo_requests", solo_requests),
+            ("bypassed_requests", bypassed_requests),
             ("error_replies", error_replies),
             ("plan_hits", plan_hits),
             ("plan_misses", plan_misses),
@@ -375,6 +413,7 @@ impl std::fmt::Display for RuntimeStats {
             ("cached_entries", cached_entries),
             ("cached_bytes", cached_bytes),
             ("current_linger_us", current_linger_us),
+            ("inflight_requests", inflight_requests),
         ] {
             writeln!(f, "  {name:<20} {value:>12}")?;
         }
@@ -487,9 +526,17 @@ impl<T: Element> Model<T> {
 
 /// One-shot result slot a request's reply travels through. Reused across
 /// calls by [`Session`], freshly allocated per [`Ticket`].
+///
+/// The slot also carries the inflight gauge's release side: admission
+/// ([`Slot::admit`]) marks one outstanding count held here, and the
+/// count is released exactly once — when the waiter claims the reply in
+/// [`Slot::take_blocking`], or, for an abandoned [`Ticket`], when the
+/// last `Arc` drops.
 pub(crate) struct Slot<T: Element> {
     inner: Mutex<SlotInner<T>>,
     ready: Condvar,
+    /// The shared counters the inflight gauge lives in.
+    stats: Arc<StatsInner>,
 }
 
 /// A completed reply: outcome, the recycled buffers, the global serve
@@ -514,17 +561,34 @@ pub(crate) struct Reply<T: Element> {
 struct SlotInner<T: Element> {
     result: Option<Reply<T>>,
     waiting: bool,
+    /// `true` when this slot holds no outstanding inflight count (the
+    /// idle default, and again after the waiter claims a reply).
+    /// [`Slot::admit`] flips it to `false` per admitted request.
+    claimed: bool,
 }
 
 impl<T: Element> Slot<T> {
-    fn new() -> Self {
+    fn new(stats: Arc<StatsInner>) -> Self {
         Slot {
             inner: Mutex::new(SlotInner {
                 result: None,
                 waiting: false,
+                claimed: true,
             }),
             ready: Condvar::new(),
+            stats,
         }
+    }
+
+    /// Marks one admitted request outstanding on this slot, raising the
+    /// inflight gauge — the bypass lane's idleness signal. Called once
+    /// per admission, on whichever lane admits.
+    pub(crate) fn admit(&self) {
+        let mut s = self.inner.lock().unwrap();
+        debug_assert!(s.claimed, "slot admitted twice without a claim");
+        s.claimed = false;
+        drop(s);
+        self.stats.inflight_requests.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Deposits a reply. Notifies only when a waiter has registered, so
@@ -548,7 +612,26 @@ impl<T: Element> Slot<T> {
             s = self.ready.wait(s).unwrap();
         }
         s.waiting = false;
-        s.result.take().expect("checked above")
+        let reply = s.result.take().expect("checked above");
+        let release = !s.claimed;
+        s.claimed = true;
+        drop(s);
+        if release {
+            self.stats.inflight_requests.fetch_sub(1, Ordering::Relaxed);
+        }
+        reply
+    }
+}
+
+impl<T: Element> Drop for Slot<T> {
+    fn drop(&mut self) {
+        // An abandoned ticket (submitted, never waited) still releases
+        // its inflight count when the last Arc — held by the serving
+        // lane until the reply is filled — goes away.
+        let unclaimed = !self.inner.get_mut().map_or(true, |s| s.claimed);
+        if unclaimed {
+            self.stats.inflight_requests.fetch_sub(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -723,11 +806,63 @@ pub(crate) struct Shared {
     /// recorder), shared with the scheduler, cache, health ledger, and
     /// fault plane.
     hub: Arc<MetricsHub>,
+    /// The chaos plane, carried so the bypass lane can build a full
+    /// [`ServeCtx`] without a scheduler round-trip.
+    plane: Arc<FaultPlane>,
+    /// The device-health ledger, for the same reason.
+    health: Arc<DeviceHealth>,
+    /// The (clamped) runtime configuration: the bypass lane reads its
+    /// eligibility switch, linger policy, and batching geometry here.
+    cfg: RuntimeConfig,
 }
 
 impl Shared {
     fn send_request<T: ServeElement>(&self, req: Request<T>) -> Result<()> {
         self.send_requests(std::iter::once(req))
+    }
+
+    /// The inline bypass lane's admission check + engine. Returns the
+    /// request back when it must travel the scheduler channel instead:
+    /// bypass disabled, results already in flight (pipelined bursts keep
+    /// batching), shutdown under way (the send path reports it), or a
+    /// plan that is not warm-local. `None` means the request completed
+    /// inline — served or shed — and its reply slot is filled.
+    fn try_bypass<T: ServeElement>(
+        &self,
+        req: Request<T>,
+        refs_scratch: &mut Vec<*const Matrix<T>>,
+    ) -> Option<Request<T>> {
+        if !self.cfg.inline_bypass {
+            return Some(req);
+        }
+        // The idleness gate: any admitted-but-unclaimed result means a
+        // pipelined client is building a burst — keep batching. The
+        // relaxed read can race a concurrent admission; the loser simply
+        // serves one request inline while the burst batches, which is
+        // the same interleaving a scheduler wake could produce.
+        if self.stats.inflight_requests.load(Ordering::Relaxed) != 0 {
+            return Some(req);
+        }
+        {
+            let gate = self.gate.lock().unwrap();
+            if gate.closed || gate.poisoned {
+                // Fall through to the send path, which reports Shutdown.
+                return Some(req);
+            }
+        }
+        let ctx = ServeCtx {
+            cache: &self.cache,
+            stats: &self.stats,
+            plane: &self.plane,
+            health: &self.health,
+            clock: &self.clock,
+            hub: &self.hub,
+            retry: self.cfg.retry,
+            max_batch_rows: self.cfg.max_batch_rows,
+            configured_gpus: self.cfg.backend.gpus(),
+            window_close_us: self.clock.now_us(),
+        };
+        crate::scheduler::try_bypass(&ctx, &self.cfg, req, refs_scratch)
     }
 
     /// Enqueues several requests atomically under one gate acquisition, so
@@ -748,6 +883,7 @@ impl Shared {
             req.enqueued_us = now;
             self.stats.submitted.fetch_add(1, Ordering::Relaxed);
             dtype_counter.fetch_add(1, Ordering::Relaxed);
+            req.slot.admit();
             self.hub.event(
                 now,
                 ServeEventKind::Admit {
@@ -892,7 +1028,17 @@ pub struct Session<T: Element> {
     shared: Arc<Shared>,
     slot: Arc<Slot<T>>,
     last_summary: Option<ExecSummary>,
+    /// Reused factor-ref scratch for the inline bypass lane, so a warm
+    /// bypassed call allocates nothing (the scheduler's lanes keep their
+    /// own; see [`crate::scheduler`]'s `refs_of`).
+    refs_scratch: Vec<*const Matrix<T>>,
 }
+
+// SAFETY: the raw pointers in `refs_scratch` are transient scratch —
+// written and consumed entirely within one `call_with`, never read
+// across calls or threads (the same justification as the scheduler's
+// `TypedLane`). Every other field is `Send`.
+unsafe impl<T: Element> Send for Session<T> {}
 
 impl<T: ServeElement> Session<T> {
     /// The simulated sharded-execution share of this session's most recent
@@ -940,7 +1086,7 @@ impl<T: ServeElement> Session<T> {
                 found: format!("Y {}×{}", y.rows(), y.cols()),
             });
         }
-        self.shared.send_request(Request {
+        let req = Request {
             model: Arc::clone(&model.inner),
             x,
             y,
@@ -949,7 +1095,15 @@ impl<T: ServeElement> Session<T> {
             enqueued_us: 0,
             drained_us: 0,
             slot: Arc::clone(&self.slot),
-        })?;
+        };
+        // The low-latency lane: on an idle runtime with a warm plan the
+        // call executes inline on this thread — no channel hop, no
+        // linger window, no scheduler wake — and stays allocation-free
+        // (the refs scratch is reused across calls). Otherwise the
+        // request takes the scheduler channel as before.
+        if let Some(req) = self.shared.try_bypass(req, &mut self.refs_scratch) {
+            self.shared.send_request(req)?;
+        }
         let reply = self.slot.take_blocking();
         if reply.result.is_ok() {
             // Failed replies carry no attribution; keep the last
@@ -1044,6 +1198,9 @@ impl Runtime {
                 cache,
                 clock: cfg.clock.clone(),
                 hub,
+                plane: Arc::clone(&plane),
+                health: Arc::clone(&health),
+                cfg: cfg.clone(),
             }),
             scheduler: Some(handle),
             next_model_id: AtomicU64::new(0),
@@ -1108,8 +1265,8 @@ impl Runtime {
     ) -> Result<Ticket<T>> {
         validate_request(model, &x)?;
         let y = Matrix::zeros(x.rows(), model.output_cols());
-        let slot = Arc::new(Slot::new());
-        self.shared.send_request(Request {
+        let slot = Arc::new(Slot::new(Arc::clone(&self.shared.stats)));
+        let req = Request {
             model: Arc::clone(&model.inner),
             x,
             y,
@@ -1118,8 +1275,21 @@ impl Runtime {
             enqueued_us: 0,
             drained_us: 0,
             slot: Arc::clone(&slot),
-        })?;
-        Ok(Ticket { slot })
+        };
+        // The low-latency lane: an idle runtime with a warm plan serves
+        // the request inline right here (the ticket is already filled
+        // when it returns); under load — or cold — the request takes
+        // the scheduler channel. The submit path allocates regardless
+        // (y, the slot), so a fresh refs scratch costs nothing extra;
+        // the allocation-free inline path is `Session::call`.
+        let mut refs_scratch = Vec::new();
+        match self.shared.try_bypass(req, &mut refs_scratch) {
+            None => Ok(Ticket { slot }),
+            Some(req) => {
+                self.shared.send_request(req)?;
+                Ok(Ticket { slot })
+            }
+        }
     }
 
     /// Synchronous convenience: submit and wait.
@@ -1192,7 +1362,7 @@ impl Runtime {
             .into_iter()
             .map(|(model, x)| {
                 let y = Matrix::zeros(x.rows(), model.output_cols());
-                let slot = Arc::new(Slot::new());
+                let slot = Arc::new(Slot::new(Arc::clone(&self.shared.stats)));
                 tickets.push(Ticket {
                     slot: Arc::clone(&slot),
                 });
@@ -1433,9 +1603,10 @@ impl Runtime {
     /// [`KronError::Shutdown`]).
     pub fn session<T: ServeElement>(&self) -> Session<T> {
         Session {
+            slot: Arc::new(Slot::new(Arc::clone(&self.shared.stats))),
             shared: Arc::clone(&self.shared),
-            slot: Arc::new(Slot::new()),
             last_summary: None,
+            refs_scratch: Vec::new(),
         }
     }
 

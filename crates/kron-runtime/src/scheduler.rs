@@ -217,46 +217,52 @@ fn wait_until(clock: &Clock, at_us: u64) {
 
 /// Everything one execute (and its retries) needs from the scheduler,
 /// projected out of its fields so a `&mut` lane can serve while the
-/// context borrows the shared state.
+/// context borrows the shared state. The runtime handle constructs one
+/// too (fields are crate-visible) when it serves a request inline on
+/// the bypass lane via [`try_bypass`].
 pub(crate) struct ServeCtx<'a> {
-    cache: &'a Mutex<PlanCache>,
-    stats: &'a StatsInner,
-    plane: &'a FaultPlane,
-    health: &'a DeviceHealth,
-    clock: &'a Clock,
+    pub(crate) cache: &'a Mutex<PlanCache>,
+    pub(crate) stats: &'a StatsInner,
+    pub(crate) plane: &'a FaultPlane,
+    pub(crate) health: &'a DeviceHealth,
+    pub(crate) clock: &'a Clock,
     /// Metrics hub: stage histograms, registries, and the flight
     /// recorder. Every reply flows through [`ServeCtx::finish`], which
     /// records into it.
-    hub: &'a MetricsHub,
-    retry: RetryPolicy,
-    max_batch_rows: usize,
+    pub(crate) hub: &'a MetricsHub,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) max_batch_rows: usize,
     /// Devices the configured backend spans (1 for single-node) — the top
     /// rung of the degradation ladder and the "not degraded" reference.
-    configured_gpus: usize,
+    pub(crate) configured_gpus: usize,
     /// Clock time when this cycle's linger window closed — the boundary
     /// between a request's linger stage and its execution stages.
-    window_close_us: u64,
+    pub(crate) window_close_us: u64,
 }
 
 /// Which lifetime counter an `Ok` reply lands in: the batched lane
-/// ([`crate::RuntimeStats::batched_requests`]) or the solo lane
-/// ([`crate::RuntimeStats::solo_requests`]). Error replies count in
-/// neither — they increment `error_replies`, so the three always
+/// ([`crate::RuntimeStats::batched_requests`]), the solo lane
+/// ([`crate::RuntimeStats::solo_requests`]), or the inline bypass lane
+/// ([`crate::RuntimeStats::bypassed_requests`]). Error replies count in
+/// none of them — they increment `error_replies`, so the four always
 /// decompose `served` exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ReplyClass {
     Batched,
     Solo,
+    Bypass,
 }
 
 impl ServeCtx<'_> {
-    /// The single exit point for every request the scheduler answers:
-    /// completes the timeline (queue and linger legs from the request's
-    /// own stamps), classifies the outcome, bumps exactly one of
-    /// `batched_requests`/`solo_requests`/`error_replies`, records the
-    /// stage histograms and the per-model registry, and fills the
-    /// reply slot. Centralizing this is what pins the
-    /// `served == batched + solo + error_replies` invariant.
+    /// The single exit point for every request the runtime answers (the
+    /// scheduler's lanes and the inline bypass lane alike): completes
+    /// the timeline (queue and linger legs from the request's own
+    /// stamps), classifies the outcome, bumps exactly one of
+    /// `batched_requests`/`solo_requests`/`bypassed_requests`/
+    /// `error_replies`, records the stage histograms and the per-model
+    /// registry, and fills the reply slot. Centralizing this is what
+    /// pins the `served == batched + solo + bypassed + error_replies`
+    /// invariant.
     #[allow(clippy::too_many_arguments)]
     fn finish<T: Element>(
         &self,
@@ -284,13 +290,19 @@ impl ServeCtx<'_> {
                         self.stats.batched_requests.fetch_add(1, Ordering::Relaxed)
                     }
                     ReplyClass::Solo => self.stats.solo_requests.fetch_add(1, Ordering::Relaxed),
+                    ReplyClass::Bypass => {
+                        self.stats.bypassed_requests.fetch_add(1, Ordering::Relaxed)
+                    }
                 };
                 if attempts > 1 {
                     self.stats
                         .recovered_requests
                         .fetch_add(1, Ordering::Relaxed);
                 }
-                Outcome::Ok
+                match class {
+                    ReplyClass::Bypass => Outcome::Bypass,
+                    ReplyClass::Batched | ReplyClass::Solo => Outcome::Ok,
+                }
             }
             Err(KronError::DeadlineExceeded {
                 deadline_us,
@@ -417,6 +429,133 @@ fn refs_of<'a, T: Element>(
     // every pointer is derived from a live reference in `factors`, and the
     // returned slice's lifetime ties it to both borrows.
     unsafe { std::slice::from_raw_parts(scratch.as_ptr().cast::<&Matrix<T>>(), scratch.len()) }
+}
+
+/// The inline bypass lane: serves one request on the submitting thread,
+/// skipping the channel hop, the linger window, and the scheduler wake.
+/// The caller ([`crate::Runtime::submit_with`] / `Session::call_with`
+/// via their `Shared`) has already established eligibility — bypass
+/// enabled, no outstanding unclaimed results, admission gate open — and
+/// built `ctx` with `window_close_us` stamped *now*.
+///
+/// Completes the request inline in two cases, returning `None` (the
+/// reply slot is filled, admission counters bumped):
+///
+/// - an already-expired deadline is shed with
+///   [`KronError::DeadlineExceeded`] **before** any plan lookup —
+///   exactly as the scheduler sheds cold, so neither lane counts a
+///   plan-cache lookup for a shed request;
+/// - the plan cache holds a warm **local** entry at full device width
+///   ([`PlanCache::get_warm`]), which executes directly from/to the
+///   request's buffers exactly as the scheduler's local solo path.
+///
+/// Otherwise (cold plan, degraded/rebuilding entry, or a sharded entry
+/// — which must keep its retry ladder, watchdog, and device-health
+/// accounting on the scheduler thread) the request is handed back
+/// untouched for the channel path. Inline serves fold a depth-1 cycle
+/// into the shared EWMA depth signal so the adaptive linger window
+/// keeps breathing even when every request bypasses.
+pub(crate) fn try_bypass<T: ErasedDtype>(
+    ctx: &ServeCtx,
+    cfg: &RuntimeConfig,
+    mut r: Request<T>,
+    refs_scratch: &mut Vec<*const Matrix<T>>,
+) -> Option<Request<T>> {
+    let now = ctx.window_close_us;
+    // A bypassed request never crosses the channel: enqueue, drain, and
+    // window close collapse to one instant, so its queue and linger
+    // stages are genuinely zero.
+    r.enqueued_us = now;
+    r.drained_us = now;
+    fn admit<T: ErasedDtype>(ctx: &ServeCtx, r: &Request<T>) {
+        ctx.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        match T::DTYPE {
+            DType::F32 => &ctx.stats.requests_f32,
+            DType::F64 => &ctx.stats.requests_f64,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        r.slot.admit();
+    }
+    if let Some(deadline_us) = r.deadline_us {
+        if deadline_us < now {
+            admit(ctx, &r);
+            ctx.finish(
+                StageTimings::default(),
+                r,
+                Err(KronError::DeadlineExceeded {
+                    deadline_us,
+                    now_us: now,
+                }),
+                None,
+                0,
+                None,
+                ReplyClass::Bypass,
+            );
+            return None;
+        }
+    }
+    let m = r.x.rows();
+    let capacity = if m <= ctx.max_batch_rows {
+        ctx.max_batch_rows
+    } else {
+        m.next_power_of_two()
+    };
+    let plan_start = ctx.clock.now_us();
+    let pinned = {
+        let mut cache = ctx.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.get_warm(&r.model, capacity, ctx.stats)
+    };
+    let Some(pinned) = pinned else {
+        return Some(r);
+    };
+    let plan_us = ctx.clock.now_us().saturating_sub(plan_start);
+    admit(ctx, &r);
+    // Fold a depth-1 cycle into the shared load signal and republish the
+    // linger gauge, exactly as a scheduler cycle would.
+    let ewma = ctx.stats.ewma_depth_x16.load(Ordering::Relaxed);
+    let next = (3 * ewma + 16) / 4;
+    ctx.stats.ewma_depth_x16.store(next, Ordering::Relaxed);
+    if cfg.adaptive_linger && cfg.batch_linger_us > 0 {
+        ctx.stats.current_linger_us.store(
+            adaptive_linger_us(cfg.batch_linger_us, next),
+            Ordering::Relaxed,
+        );
+    }
+    let (result, exec_us) = {
+        let mut guard = pinned.lock();
+        let entry = T::plan_mut(&mut guard).expect("dtype verified at cache lookup");
+        let refs = refs_of(refs_scratch, r.model.factors());
+        let exec_start = ctx.clock.now_us();
+        let result = entry.run_rows(&r.x, refs, &mut r.y, m);
+        let exec_us = ctx.clock.now_us().saturating_sub(exec_start);
+        ctx.hub.event(
+            ctx.clock.now_us(),
+            ServeEventKind::Execute {
+                rows: m as u32,
+                sharded: false,
+                ok: result.is_ok(),
+                exec_us,
+            },
+        );
+        (result, exec_us)
+    };
+    drop(pinned);
+    ctx.hub.event(
+        ctx.clock.now_us(),
+        ServeEventKind::Bypass {
+            dtype: T::DTYPE,
+            model: r.model.id,
+            rows: m as u32,
+            exec_us,
+        },
+    );
+    let timings = StageTimings {
+        plan_us,
+        exec_us,
+        ..StageTimings::default()
+    };
+    ctx.finish(timings, r, result, None, 1, None, ReplyClass::Bypass);
+    None
 }
 
 /// One dtype's fully-typed half of the scheduler: the pending window,
@@ -1037,9 +1176,6 @@ pub(crate) struct Scheduler {
     /// Metrics hub shared with the runtime handle: stage histograms,
     /// per-model/per-device registries, and the flight recorder.
     hub: Arc<MetricsHub>,
-    /// Smoothed requests-per-cycle in x16 fixed point; drives
-    /// [`adaptive_linger_us`].
-    ewma_depth_x16: u64,
     /// Global arrival counter — the cross-dtype FIFO tie-break.
     next_arrival: u64,
     f32_lane: TypedLane<f32>,
@@ -1073,7 +1209,6 @@ impl Scheduler {
             health,
             gate,
             hub,
-            ewma_depth_x16: 0,
             next_arrival: 0,
             f32_lane: TypedLane::new(),
             f64_lane: TypedLane::new(),
@@ -1113,7 +1248,9 @@ impl Scheduler {
         if cap == 0 || !self.cfg.adaptive_linger {
             return cap;
         }
-        adaptive_linger_us(cap, self.ewma_depth_x16)
+        // The depth signal lives in the shared stats so the inline
+        // bypass lane's depth-1 serves decay it too (see `try_bypass`).
+        adaptive_linger_us(cap, self.stats.ewma_depth_x16.load(Ordering::Relaxed))
     }
 
     /// The scheduler loop, panic-contained: each iteration runs under
@@ -1263,8 +1400,13 @@ impl Scheduler {
         if self.plane.scheduler_panic_due(self.clock.now_us()) {
             panic!("injected scheduler fault (chaos plane)");
         }
-        // Load signal for the next cycle's linger window.
-        self.ewma_depth_x16 = (3 * self.ewma_depth_x16 + 16 * total as u64) / 4;
+        // Load signal for the next cycle's linger window (shared with the
+        // bypass lane, which folds in depth-1 cycles the scheduler never
+        // sees).
+        let ewma = self.stats.ewma_depth_x16.load(Ordering::Relaxed);
+        self.stats
+            .ewma_depth_x16
+            .store((3 * ewma + 16 * total as u64) / 4, Ordering::Relaxed);
 
         // Cycle-boundary idle sweep (a no-op unless the policy sets
         // `max_idle_us`).

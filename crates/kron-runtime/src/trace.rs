@@ -167,6 +167,18 @@ pub enum ServeEventKind {
         /// Why it was evicted.
         reason: EvictReason,
     },
+    /// A request was served inline on the submitting thread via the
+    /// low-latency bypass lane (idle queue + warm plan).
+    Bypass {
+        /// Element dtype of the request.
+        dtype: DType,
+        /// Model id the request targets.
+        model: u64,
+        /// Rows (batch m) the request carries.
+        rows: u32,
+        /// Kernel wall time (µs on the runtime clock).
+        exec_us: u64,
+    },
 }
 
 /// One timestamped entry in the flight recorder, drained via
@@ -240,6 +252,16 @@ impl fmt::Display for ServeEvent {
             } => write!(
                 f,
                 "eviction     dtype={} capacity={capacity} reason={reason:?}",
+                dtype.rust_name()
+            ),
+            ServeEventKind::Bypass {
+                dtype,
+                model,
+                rows,
+                exec_us,
+            } => write!(
+                f,
+                "bypass       model={model} dtype={} rows={rows} exec={exec_us}us",
                 dtype.rust_name()
             ),
         }

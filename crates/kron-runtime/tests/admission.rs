@@ -560,3 +560,88 @@ fn fixed_linger_reports_the_cap() {
     assert_matrices_close(&y, &oracle(&x, &factors), "fixed-linger request");
     assert_eq!(runtime.stats().current_linger_us, 750);
 }
+
+/// An already-expired deadline sheds with `DeadlineExceeded` before any
+/// plan lookup or execution on BOTH lanes: inline on the bypass lane
+/// (resolved at submit time, no scheduler round-trip) and at drain time
+/// on the scheduler lane. The two lanes must account the shed
+/// identically — same counters, same error payload.
+#[test]
+fn expired_deadline_sheds_identically_on_both_lanes() {
+    let run = |inline_bypass: bool| {
+        let clock = Clock::manual();
+        let time = clock.manual_handle().unwrap();
+        let runtime = Runtime::new(RuntimeConfig {
+            inline_bypass,
+            batch_linger_us: 0,
+            adaptive_linger: false,
+            clock,
+            ..RuntimeConfig::default()
+        });
+        let factors = model_factors(&[(4, 4), (4, 4)], 5);
+        let model = runtime.load_model(factors.clone()).unwrap();
+
+        // Warm the plan through the scheduler (the first submit is cold
+        // on either lane), then claim it so the bypass gate sees an idle
+        // runtime.
+        time.set_us(1_000);
+        let x = seq_matrix(2, model.input_cols(), 6);
+        let expected = oracle(&x, &factors);
+        let warm = runtime.submit(&model, x).unwrap();
+        pump_until_served(&runtime, &time, 1);
+        let y = warm.wait().unwrap();
+        assert_matrices_close(&y, &expected, "warming request");
+
+        // Virtual now = 1_000_000; the deadline (500_000) already passed.
+        time.set_us(1_000_000);
+        let t = runtime
+            .submit_with(
+                &model,
+                seq_matrix(2, model.input_cols(), 7),
+                SubmitOptions::default().with_deadline_us(500_000),
+            )
+            .unwrap();
+        if inline_bypass {
+            // The bypass lane resolves the shed inline at submit time —
+            // no pumping, no scheduler involvement.
+            assert_eq!(runtime.stats().served, 2, "shed resolved inline");
+        }
+        pump_until_served(&runtime, &time, 2);
+        match t.wait() {
+            Err(KronError::DeadlineExceeded {
+                deadline_us,
+                now_us,
+            }) => {
+                assert_eq!(deadline_us, 500_000);
+                assert!(now_us >= 1_000_000, "shed at virtual {now_us}");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        runtime.stats()
+    };
+
+    let bypass = run(true);
+    let sched = run(false);
+    for (name, a, b) in [
+        ("submitted", bypass.submitted, sched.submitted),
+        ("served", bypass.served, sched.served),
+        ("deadline_shed", bypass.deadline_shed, sched.deadline_shed),
+        ("error_replies", bypass.error_replies, sched.error_replies),
+        ("plan_hits", bypass.plan_hits, sched.plan_hits),
+        ("plan_misses", bypass.plan_misses, sched.plan_misses),
+        (
+            "inflight_requests",
+            bypass.inflight_requests,
+            sched.inflight_requests,
+        ),
+    ] {
+        assert_eq!(a, b, "{name} must match across lanes");
+    }
+    assert_eq!(bypass.deadline_shed, 1, "stats: {bypass:?}");
+    assert_eq!(bypass.error_replies, 1, "stats: {bypass:?}");
+    assert_eq!(bypass.served, 2, "stats: {bypass:?}");
+    assert_eq!(bypass.inflight_requests, 0, "nothing left unclaimed");
+    // The shed never ran: no bypassed success was recorded on either
+    // lane (the shed is an error reply, not a bypassed serve).
+    assert_eq!(bypass.bypassed_requests, 0, "stats: {bypass:?}");
+}

@@ -302,6 +302,7 @@ fn runtime_stats_display_renders_every_counter_row() {
         "batches",
         "batched_requests",
         "solo_requests",
+        "bypassed_requests",
         "error_replies",
         "plan_hits",
         "plan_misses",
@@ -318,6 +319,7 @@ fn runtime_stats_display_renders_every_counter_row() {
         "cached_entries",
         "cached_bytes",
         "current_linger_us",
+        "inflight_requests",
     ];
     for name in rows {
         assert!(

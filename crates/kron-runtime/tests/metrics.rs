@@ -251,8 +251,9 @@ fn snapshot_renders_stable_json_and_prometheus_text() {
     }
 }
 
-/// Percentile readout walks the log2 buckets to the right upper bound,
-/// and the histograms saturate instead of drifting on absurd values.
+/// Percentile readout walks the log2 buckets and interpolates inside the
+/// bucket holding the requested rank, so readouts stay within the span of
+/// an occupied bucket instead of snapping to its upper bound.
 #[test]
 fn snapshot_percentiles_read_from_log2_buckets() {
     let runtime = Runtime::new(RuntimeConfig::default());
@@ -273,8 +274,99 @@ fn snapshot_percentiles_read_from_log2_buckets() {
     let p50 = total.percentile(0.50);
     let p99 = total.percentile(0.99);
     assert!(p50 <= p99, "p50 {p50} <= p99 {p99}");
-    // Every percentile readout is a bucket upper bound: 0 or 2^i - 1.
+    // Every percentile readout interpolates inside an occupied log2
+    // bucket: bucket 0 holds exactly 0, bucket i spans [2^(i-1), 2^i - 1].
+    let inside_occupied = |v: u64| {
+        total
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b > 0)
+            .any(|(i, _)| {
+                if i == 0 {
+                    v == 0
+                } else {
+                    v >= (1u64 << (i - 1)) && v < (1u64 << i)
+                }
+            })
+    };
     for p in [p50, p99] {
-        assert!(p == 0 || (p + 1).is_power_of_two(), "bucket bound, got {p}");
+        assert!(inside_occupied(p), "inside an occupied bucket, got {p}");
     }
+}
+
+/// A bypassed request's receipt proves it never touched the scheduler:
+/// the queue and linger stages are exactly zero (enqueue, drain, and
+/// window close collapse to the submit instant), it served in one
+/// attempt, and the flight recorder holds a `Bypass` event for it. The
+/// batching outcome histogram attributes it to the `bypass` outcome, and
+/// `bypassed_requests` joins the served decomposition.
+#[test]
+fn bypass_receipt_reports_zero_queue_and_linger() {
+    let clock = Clock::manual();
+    let time = clock.manual_handle().unwrap();
+    let runtime = Runtime::new(RuntimeConfig {
+        batch_linger_us: 0,
+        adaptive_linger: false,
+        clock,
+        ..RuntimeConfig::default()
+    });
+    let factors = model_factors(&[(4, 4), (4, 4)], 11);
+    let model = runtime.load_model(factors).unwrap();
+
+    // Warm the plan through the scheduler, then retire its traffic from
+    // the recorder so the drain below covers only the bypassed serve.
+    time.set_us(1_000);
+    let warm = runtime
+        .submit(&model, seq_matrix(2, model.input_cols(), 12))
+        .unwrap();
+    pump_until_served(&runtime, &time, 1);
+    warm.wait().unwrap();
+    runtime.drain_events();
+
+    // Idle runtime + warm plan: this submit takes the inline lane.
+    let t = runtime
+        .submit(&model, seq_matrix(2, model.input_cols(), 13))
+        .unwrap();
+    let (_, receipt) = t.wait_with_receipt().unwrap();
+    assert_eq!(receipt.timings.queue_us, 0, "receipt: {receipt}");
+    assert_eq!(receipt.timings.linger_us, 0, "receipt: {receipt}");
+    assert_eq!(receipt.attempts, 1, "receipt: {receipt}");
+
+    let stats = runtime.stats();
+    assert_eq!(stats.bypassed_requests, 1, "stats: {stats}");
+    assert_eq!(stats.served, 2, "stats: {stats}");
+    assert_eq!(
+        stats.served,
+        stats.batched_requests + stats.solo_requests + stats.bypassed_requests,
+        "decomposition invariant: {stats}"
+    );
+
+    // The flight recorder carries the lane decision: a Bypass event
+    // (with the executed row count) and no Admit for this serve.
+    let events = runtime.drain_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, ServeEventKind::Bypass { rows: 2, .. })),
+        "bypass event on the record: {events:?}"
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.kind, ServeEventKind::Admit { .. })),
+        "a bypassed request is never admitted to a window: {events:?}"
+    );
+
+    // The outcome histogram attributes it to the bypass lane.
+    let snap = runtime.metrics_snapshot();
+    let outcome = |want: Outcome| {
+        snap.outcomes
+            .iter()
+            .find(|(o, _)| *o == want)
+            .map(|(_, h)| h.count)
+            .unwrap()
+    };
+    assert_eq!(outcome(Outcome::Bypass), 1);
+    assert_eq!(outcome(Outcome::Ok), 1, "the warming serve");
 }

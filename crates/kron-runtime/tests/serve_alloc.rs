@@ -396,3 +396,82 @@ fn steady_state_after_fault_recovery_is_allocation_free() {
     assert_matrices_close(&y, &oracle, "post-recovery steady-state result");
     assert_eq!(runtime.stats().local_fallbacks, 0);
 }
+
+/// The bypass lane holds the same bar explicitly: with warm plans, an
+/// empty admission queue, and mixed f32/f64 sessions calling
+/// sequentially, every request takes the inline lane (`bypassed_requests`
+/// advances one-for-one) and the whole round trip — eligibility check,
+/// warm-plan pin, fused execute, reply — allocates **zero** times. The
+/// session's pointer scratch, the pinned cache entry, and the reply slot
+/// are all reused steady state.
+#[test]
+fn steady_state_bypass_lane_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 16,
+        max_queue: 64,
+        ..RuntimeConfig::default()
+    });
+    let f64_factors: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i + 1)).collect();
+    let f32_factors: Vec<Matrix<f32>> = (0..2)
+        .map(|i| Matrix::from_fn(4, 4, |r, c| (((i + 1) + r * 4 + c) % 13) as f32 - 6.0))
+        .collect();
+    let model64 = runtime.load_model(f64_factors.clone()).unwrap();
+    let model32 = runtime.load_model(f32_factors.clone()).unwrap();
+    let mut session64 = runtime.session::<f64>();
+    let mut session32 = runtime.session::<f32>();
+
+    let mut x64 = seq_matrix(4, model64.input_cols(), 3);
+    let mut y64 = Matrix::zeros(4, model64.output_cols());
+    let mut x32 = Matrix::<f32>::from_fn(4, model32.input_cols(), |r, c| ((3 + r + c) % 9) as f32);
+    let mut y32 = Matrix::<f32>::zeros(4, model32.output_cols());
+
+    // Warm both dtype lanes. The first call per dtype is cold (plan
+    // build through the scheduler); everything after is bypass-eligible:
+    // the queue is empty and the plan is warm by the time each
+    // subsequent call submits.
+    for _ in 0..16 {
+        (x64, y64) = session64.call(&model64, x64, y64).unwrap();
+        (x32, y32) = session32.call(&model32, x32, y32).unwrap();
+    }
+    let bypassed_before = runtime.stats().bypassed_requests;
+    assert!(
+        bypassed_before >= 1,
+        "warm sequential traffic already bypasses: {:?}",
+        runtime.stats()
+    );
+
+    const SERVED: usize = 32;
+    let (allocs, moved) = allocations_during(|| {
+        let mut b64 = (x64, y64);
+        let mut b32 = (x32, y32);
+        for _ in 0..SERVED {
+            b64 = session64.call(&model64, b64.0, b64.1).unwrap();
+            b32 = session32.call(&model32, b32.0, b32.1).unwrap();
+        }
+        (b64, b32)
+    });
+    let ((x64, y64), (x32, y32)) = moved;
+    assert_eq!(
+        allocs, 0,
+        "bypassing {SERVED} interleaved f32+f64 request pairs allocated {allocs} times \
+         (expected the inline lane to be allocation-free)"
+    );
+
+    // Every measured request took the inline lane — none fell back to
+    // the scheduler — and both dtypes still serve the right numbers.
+    let stats = runtime.stats();
+    assert_eq!(
+        stats.bypassed_requests - bypassed_before,
+        2 * SERVED as u64,
+        "stats: {stats:?}"
+    );
+    assert_eq!(stats.inflight_requests, 0, "stats: {stats:?}");
+    let refs64: Vec<&Matrix<f64>> = f64_factors.iter().collect();
+    let oracle64 = kron_core::shuffle::kron_matmul_shuffle(&x64, &refs64).unwrap();
+    assert_matrices_close(&y64, &oracle64, "bypassed f64 result");
+    let refs32: Vec<&Matrix<f32>> = f32_factors.iter().collect();
+    let oracle32 = kron_core::shuffle::kron_matmul_shuffle(&x32, &refs32).unwrap();
+    assert_matrices_close(&y32, &oracle32, "bypassed f32 result");
+}

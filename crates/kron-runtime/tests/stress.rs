@@ -95,7 +95,10 @@ fn mixed_shape_concurrent_serving_matches_oracle() {
     let stats = runtime.stats();
     assert_eq!(stats.submitted, (THREADS * REQUESTS_PER_THREAD) as u64);
     assert_eq!(stats.served, stats.submitted);
-    assert_eq!(stats.batched_requests + stats.solo_requests, stats.served);
+    assert_eq!(
+        stats.batched_requests + stats.solo_requests + stats.bypassed_requests,
+        stats.served
+    );
     // Plans must have been reused heavily: at most one batch entry plus a
     // few power-of-two solo entries per model.
     assert!(

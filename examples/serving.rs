@@ -1,7 +1,8 @@
 //! Serving: run the persistent `kron-runtime` over a stream of small-M
 //! requests — the Table 3/4-style traffic (GP inference, graph kernels)
-//! that single executes underuse hardware on — and watch the plan cache
-//! and cross-request batcher do their work.
+//! that single executes underuse hardware on — and watch the plan cache,
+//! the cross-request batcher, and the queue-depth-1 inline bypass lane
+//! do their work.
 //!
 //! The runtime is **dtype-erased**: one `Runtime` (no type parameter)
 //! serves `f32` and `f64` models side by side through one scheduler
@@ -102,16 +103,41 @@ fn main() {
     }
     println!("two sessions served 200 recycled-buffer requests (100 per dtype)");
 
+    // The two lanes, side by side on their receipts. A lone request on an
+    // idle runtime takes the inline bypass lane: warm plan, empty queue,
+    // so it executes on this thread — queue and linger both exactly 0µs.
+    // A bursty pipelined submit falls back to the batching scheduler and
+    // pays (and amortizes) the linger window.
+    let x = Matrix::<f32>::from_fn(2, model32.input_cols(), |r, c| ((r + c) % 5) as f32);
+    let t = runtime.submit(&model32, x.clone()).expect("submit");
+    let (_, bypass_receipt) = t.wait_with_receipt().expect("bypassed serve");
+    assert_eq!(bypass_receipt.timings.queue_us, 0);
+    assert_eq!(bypass_receipt.timings.linger_us, 0);
+    println!("\nbypass lane (queue depth 1):\n{bypass_receipt}");
+    let burst: Vec<_> = (0..8)
+        .map(|_| runtime.submit(&model32, x.clone()).expect("submit"))
+        .collect();
+    let mut batched_receipt = None;
+    for t in burst {
+        let (_, r) = t.wait_with_receipt().expect("batched serve");
+        batched_receipt = Some(r);
+    }
+    println!(
+        "batched lane (burst of 8):\n{}",
+        batched_receipt.expect("burst served")
+    );
+
     let stats = runtime.stats();
     println!(
-        "stats: served={} (f32={}, f64={}; batched={} over {} fused executes, solo={}), \
-         plan cache hits/misses = {}/{}, resident entries={} (~{} KiB accounted)",
+        "stats: served={} (f32={}, f64={}; batched={} over {} fused executes, solo={}, \
+         bypassed={}), plan cache hits/misses = {}/{}, resident entries={} (~{} KiB accounted)",
         stats.served,
         stats.requests_f32,
         stats.requests_f64,
         stats.batched_requests,
         stats.batches,
         stats.solo_requests,
+        stats.bypassed_requests,
         stats.plan_hits,
         stats.plan_misses,
         stats.cached_entries,

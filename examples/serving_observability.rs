@@ -79,6 +79,14 @@ fn event_line(e: &ServeEvent) -> String {
         } => {
             format!("eviction     capacity {capacity} ({reason:?})")
         }
+        ServeEventKind::Bypass {
+            dtype,
+            rows,
+            exec_us,
+            ..
+        } => {
+            format!("bypass       {rows} rows ({dtype:?}) in {exec_us}us")
+        }
     };
     format!("  [{:>8}us] {kind}", e.at_us)
 }

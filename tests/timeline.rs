@@ -2,7 +2,7 @@
 //! the scheduler spends on a request is attributable to a configured
 //! policy knob — the linger window, the retry backoff, or the breaker
 //! cooldown — and the `StageTimings` on the receipt must account for
-//! those legs **exactly**. Three phases, one fresh runtime each:
+//! those legs **exactly**. Four phases, one fresh runtime each:
 //!
 //! 1. a fixed 300us linger window lands as `linger_us == 300`;
 //! 2. a 700us retry backoff lands as `retry_us == 700` on the retried
@@ -10,7 +10,10 @@
 //!    scheduler was parked in that backoff;
 //! 3. a tripped breaker's cooldown is paid through two backoff parks
 //!    (`retry_us == 1_400`, three attempts) and the flight recorder
-//!    holds the Open → HalfOpen → Closed transition in causal order.
+//!    holds the Open → HalfOpen → Closed transition in causal order;
+//! 4. a warm-plan submit on an idle runtime takes the inline bypass
+//!    lane: `queue_us == 0` and `linger_us == 0` on a frozen clock,
+//!    with a `Bypass` event (and no `Admit`) on the flight recorder.
 //!
 //! Exactness is what's under test: each phase advances virtual time by
 //! precisely the scripted amount at a deterministic sync point (the
@@ -250,4 +253,60 @@ fn breaker_cooldown_trip_and_recovery_have_exact_timeline() {
     assert_eq!(health[0].consecutive_failures, 0);
     assert_eq!(health[0].trips, 1);
     assert_eq!(health[0].metrics.faults, 2, "both scripted faults blamed");
+}
+
+/// Phase 4 — the bypass lane. With the plan warm and the runtime idle,
+/// a lone submit never reaches the scheduler: enqueue, drain, and
+/// window close all collapse to the submit instant on the submitting
+/// thread, so the queue and linger stages are exactly zero even though
+/// the clock never advances past the submit. The flight recorder holds
+/// a `Bypass` event in place of an `Admit` for the serve.
+#[test]
+fn bypassed_request_charges_zero_queue_and_linger() {
+    let (runtime, time) = manual_runtime(RuntimeConfig {
+        batch_linger_us: 0,
+        adaptive_linger: false,
+        ..RuntimeConfig::default()
+    });
+    let model = runtime
+        .load_model(model_factors(&[(4, 4), (4, 4)], 7))
+        .unwrap();
+
+    time.set_us(2_000);
+    // Cold: the first request builds the plan through the scheduler.
+    let warm = runtime
+        .submit(&model, seq_matrix(2, model.input_cols(), 40))
+        .unwrap();
+    warm.wait().unwrap();
+    runtime.drain_events();
+
+    // Warm plan, empty queue, frozen clock: the inline lane serves this
+    // on the submitting thread before `submit` even returns.
+    let t = runtime
+        .submit(&model, seq_matrix(2, model.input_cols(), 41))
+        .unwrap();
+    assert_eq!(runtime.stats().bypassed_requests, 1, "served inline");
+    expect(
+        t,
+        "phase 4 bypassed request",
+        ExpectedTimings {
+            queue_us: 0,
+            linger_us: 0,
+            retry_us: 0,
+            attempts: 1,
+        },
+    );
+    let events = runtime.drain_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, ServeEventKind::Bypass { rows: 2, .. })),
+        "bypass event on the record: {events:?}"
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.kind, ServeEventKind::Admit { .. })),
+        "a bypassed serve is never admitted to a window: {events:?}"
+    );
 }
