@@ -177,6 +177,113 @@ fn run_bypass(
     (summarize(lat, wall), bypassed)
 }
 
+/// Submitter threads for the multi-producer burst gate.
+const MP_THREADS: usize = 4;
+/// Pipelined bursts per submitter thread.
+const MP_ROUNDS: usize = 16;
+/// Requests per burst (submitted before any ticket is waited).
+const MP_BURST: usize = 32;
+
+struct MultiProducerResult {
+    lanes: u64,
+    rps: f64,
+    steals: u64,
+    lanes_used: usize,
+}
+
+/// Multi-producer burst serving: [`MP_THREADS`] submitter threads, each
+/// owning two hash-distinct models, pipelining [`MP_BURST`]-request
+/// bursts against one shared runtime. Run once with a single scheduler
+/// lane (the pre-sharding admission topology) and once sharded, the two
+/// throughputs price what lane sharding buys concurrent producers.
+fn run_multi_producer(scheduler_lanes: usize) -> MultiProducerResult {
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 256,
+        batch_max_m: 32,
+        max_queue: 2048,
+        batch_linger_us: 300,
+        scheduler_lanes,
+        // Scheduler-path only: with producers keeping every lane busy the
+        // bypass door would stay shut anyway, and closing it keeps the
+        // single-lane and sharded runs on the identical code path.
+        inline_bypass: false,
+        ..RuntimeConfig::default()
+    });
+    // Two models per submitter thread, shapes chosen hash-distinct so
+    // the sharded run spreads them across lanes.
+    let chains: [(usize, usize); MP_THREADS * 2] = [
+        (8, 2),
+        (4, 4),
+        (16, 2),
+        (2, 6),
+        (4, 3),
+        (8, 3),
+        (2, 4),
+        (32, 2),
+    ];
+    let models: Vec<kron_runtime::Model<f32>> = chains
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, n))| {
+            let factors: Vec<Matrix<f32>> =
+                (0..n).map(|j| seq_matrix(p, p, i + 3 * j + 1)).collect();
+            runtime.load_model(factors).expect("load model")
+        })
+        .collect();
+    // Warm every plan through the scheduler before timing.
+    for model in &models {
+        let x = seq_matrix(4, model.input_cols(), 7);
+        runtime
+            .submit(model, x)
+            .expect("warm")
+            .wait()
+            .expect("warm wait");
+    }
+
+    let total = MP_THREADS * MP_ROUNDS * MP_BURST;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..MP_THREADS {
+            let own = &models[2 * t..2 * t + 2];
+            let runtime = &runtime;
+            scope.spawn(move || {
+                let xs: Vec<Matrix<f32>> = own
+                    .iter()
+                    .map(|m| seq_matrix(4, m.input_cols(), 11 + t))
+                    .collect();
+                for _ in 0..MP_ROUNDS {
+                    let mut tickets = Vec::with_capacity(MP_BURST);
+                    for i in 0..MP_BURST {
+                        let which = i % own.len();
+                        tickets.push(
+                            runtime
+                                .submit(&own[which], xs[which].clone())
+                                .expect("submit"),
+                        );
+                    }
+                    for ticket in tickets {
+                        let y = ticket.wait().expect("wait");
+                        std::hint::black_box(&y);
+                    }
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = runtime.stats();
+    assert_eq!(
+        stats.served,
+        (total + models.len()) as u64,
+        "every request must serve: {stats:?}"
+    );
+    MultiProducerResult {
+        lanes: stats.scheduler_lanes,
+        rps: total as f64 / wall,
+        steals: stats.lane_steals,
+        lanes_used: stats.lanes().iter().filter(|l| l.served > 0).count(),
+    }
+}
+
 struct CaseResult {
     m: usize,
     p: usize,
@@ -278,7 +385,30 @@ fn tails_json(h: &HistogramSnapshot) -> String {
     )
 }
 
-fn emit_json(results: &[CaseResult], threads: usize) -> String {
+fn multi_producer_json(single: &MultiProducerResult, sharded: &MultiProducerResult) -> String {
+    let lane_json = |r: &MultiProducerResult| {
+        format!(
+            "{{\"scheduler_lanes\": {}, \"rps\": {:.1}, \"steals\": {}, \"lanes_used\": {}}}",
+            r.lanes, r.rps, r.steals, r.lanes_used
+        )
+    };
+    format!(
+        concat!(
+            "{{\"threads\": {}, \"rounds\": {}, \"burst\": {},\n",
+            "     \"single\": {},\n",
+            "     \"sharded\": {},\n",
+            "     \"speedup\": {:.3}}}"
+        ),
+        MP_THREADS,
+        MP_ROUNDS,
+        MP_BURST,
+        lane_json(single),
+        lane_json(sharded),
+        sharded.rps / single.rps,
+    )
+}
+
+fn emit_json(results: &[CaseResult], threads: usize, multi_producer: &str) -> String {
     let cases: Vec<String> = results
         .iter()
         .map(|r| {
@@ -325,12 +455,14 @@ fn emit_json(results: &[CaseResult], threads: usize) -> String {
             "  \"threads\": {},\n",
             "  \"paths\": [\"unbatched_planned\", \"unbatched_direct\", \"batched\", ",
             "\"batched_noretry\", \"batched_bypass\"],\n",
+            "  \"multi_producer\": {},\n",
             "  \"cases\": [\n{}\n  ]\n",
             "}}\n"
         ),
         REQUESTS,
         PLANNED_REQUESTS,
         threads,
+        multi_producer,
         cases.join(",\n")
     )
 }
@@ -381,7 +513,27 @@ fn main() {
         results.push(r);
     }
 
-    let json = emit_json(&results, threads);
+    // Multi-producer burst gate: the same 4-thread pipelined workload
+    // against a single-lane runtime (the pre-sharding admission
+    // topology) and a sharded one.
+    let mp_single = run_multi_producer(1);
+    let mp_sharded = run_multi_producer(4);
+    println!(
+        "multi-producer ({MP_THREADS} threads): single-lane {:.0}/s | {} lanes {:.0}/s \
+         ({:.2}x, {} lanes used, {} steals)",
+        mp_single.rps,
+        mp_sharded.lanes,
+        mp_sharded.rps,
+        mp_sharded.rps / mp_single.rps,
+        mp_sharded.lanes_used,
+        mp_sharded.steals,
+    );
+
+    let json = emit_json(
+        &results,
+        threads,
+        &multi_producer_json(&mp_single, &mp_sharded),
+    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, &json).expect("write BENCH_serve.json");
     println!("\nwrote {path}");
@@ -562,6 +714,43 @@ fn main() {
             "FAIL: queue-depth-1 latency tax visible on {}/{} cases",
             results.len() - bypass_ok,
             results.len()
+        );
+        failed = true;
+    }
+    // (5) Multi-producer scaling: with 4 submitter threads pipelining
+    // bursts, the sharded runtime must actually use its lanes (hash
+    // placement spread the eight models over ≥ 2 lanes — deterministic,
+    // host-independent) and must beat the single-lane topology's
+    // throughput on hosts wide enough for lanes to run in parallel. On
+    // single-core hosts the lanes time-slice one core, so the ratio gate
+    // degrades to a regression bound: sharding may not cost more than
+    // half the single-lane throughput even when its parallelism is
+    // dormant.
+    if mp_sharded.lanes_used >= 2 {
+        println!(
+            "sharded run spread load across {} lanes",
+            mp_sharded.lanes_used
+        );
+    } else {
+        println!(
+            "FAIL: sharded run served everything on {} lane(s)",
+            mp_sharded.lanes_used
+        );
+        failed = true;
+    }
+    let mp_ratio = mp_sharded.rps / mp_single.rps;
+    let (mp_floor, mp_label) = if threads >= 2 {
+        (1.05, "multi-core scaling")
+    } else {
+        (0.5, "single-core regression bound")
+    };
+    if mp_ratio >= mp_floor {
+        println!(
+            "multi-producer sharded/single throughput {mp_ratio:.2}x ≥ {mp_floor}x ({mp_label})"
+        );
+    } else {
+        println!(
+            "FAIL: multi-producer sharded/single throughput {mp_ratio:.2}x < {mp_floor}x ({mp_label})"
         );
         failed = true;
     }

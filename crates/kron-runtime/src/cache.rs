@@ -84,6 +84,25 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+/// The scheduler lane a plan identity hashes to — the per-shard pinning
+/// rule: every request for one `(dtype, shape_key)` plan identity lands
+/// on one lane, so a model's whole batch window (and its cache-entry
+/// locality) stays on one service thread. A Fibonacci multiplicative
+/// mix spreads the shape-key bits (shape keys of related models differ
+/// in few bits) and folds the dtype in, so mixed-dtype traffic over the
+/// same shapes still splits across lanes.
+///
+/// Pure and stable for a given lane count — the submit path, the bypass
+/// eligibility claim, and [`crate::Runtime::lane_for`] all agree on it.
+pub(crate) fn lane_of(dtype: DType, shape_key: u64, lanes: usize) -> usize {
+    if lanes <= 1 {
+        return 0;
+    }
+    const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+    let h = (shape_key ^ (dtype as u64).wrapping_mul(MIX)).wrapping_mul(MIX);
+    ((h >> 32) % lanes as u64) as usize
+}
+
 /// Bounds on the plan cache's resident entries (and therefore on live
 /// engines, workspaces, staging buffers, and — under the `Distributed`
 /// backend — parked simulated-device threads). One policy spans every
@@ -838,6 +857,33 @@ impl PlanCache {
 mod tests {
     use super::*;
     use gpu_sim::device::V100;
+
+    #[test]
+    fn lane_of_is_stable_in_range_and_dtype_sensitive() {
+        // Single lane short-circuits to 0 for every identity.
+        assert_eq!(lane_of(DType::F32, 0xDEAD_BEEF, 1), 0);
+        assert_eq!(lane_of(DType::F64, u64::MAX, 0), 0);
+        for lanes in [2usize, 3, 4, 8] {
+            let mut hit = vec![false; lanes];
+            for key in 0..256u64 {
+                let a = lane_of(DType::F32, key, lanes);
+                // Stable: the submit path and the bypass claim must agree.
+                assert_eq!(a, lane_of(DType::F32, key, lanes));
+                assert!(a < lanes);
+                hit[a] = true;
+            }
+            // The mix spreads near-identical shape keys across lanes.
+            assert!(
+                hit.iter().all(|&h| h),
+                "some lane never hit at lanes={lanes}"
+            );
+        }
+        // Mixed-dtype traffic over one shape still splits somewhere: the
+        // dtype folds into the hash (identical keys, any lane count).
+        let diverges =
+            (0..64u64).any(|key| lane_of(DType::F32, key, 4) != lane_of(DType::F64, key, 4));
+        assert!(diverges, "dtype never changed the lane");
+    }
 
     fn model(shapes: &[(usize, usize)], id: u64) -> ModelInner<f64> {
         let factors = shapes

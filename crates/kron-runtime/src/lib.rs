@@ -16,8 +16,9 @@
 //!
 //! [`Runtime`] is **not generic**. Like FastKron's and Jhurani's C
 //! interfaces — dtype-polymorphic handles over one engine — a single
-//! runtime serves `f32` and `f64` models side by side: one scheduler
-//! thread, one admission queue (deadlines, aged priorities, and the
+//! runtime serves `f32` and `f64` models side by side: one pool of
+//! scheduler lanes (one by default — see *Sharded admission* below),
+//! lock-free admission rings (deadlines, aged priorities, and the
 //! serve-sequence counter span both dtypes), and one bounded plan cache
 //! whose keys and byte budget cover all traffic. Models, tickets, and
 //! sessions stay fully typed ([`Model<f32>`], [`Session<f64>`], …); the
@@ -60,12 +61,54 @@
 //!   counting-allocator tests), including across *different models that
 //!   share a shape* (execution state depends on shapes only; factor
 //!   values arrive with each execute).
-//! * **Cross-request batcher** — the scheduler drains the request queue,
-//!   groups same-model requests with `M ≤ batch_max_m`, stacks them
+//! * **Cross-request batcher** — each scheduler lane drains its request
+//!   ring, groups same-model requests with `M ≤ batch_max_m`, stacks them
 //!   row-wise into one batch execute (up to `max_batch_rows` rows), and
 //!   scatters results back to each request's output. Batches are
 //!   per-model and therefore per-dtype; the *order* batches are served in
-//!   is global.
+//!   is global on the default single-lane layout, per lane when sharded.
+//!
+//! ## Sharded admission
+//!
+//! Admission is **lock-free and multi-producer-scalable**: every submit
+//! pushes onto a bounded Vyukov-style MPMC ring (the vendored
+//! `crossbeam::channel::bounded`) guarded by a striped atomic
+//! sender-count gate — no mutex anywhere on the submit path, so N
+//! submitter threads scale instead of convoying on one send lock (the
+//! serve bench's multi-producer gate pins this).
+//! [`RuntimeConfig::scheduler_lanes`]
+//! (1–[`MAX_LANES`], default 1) shards the scheduler itself into
+//! per-lane service threads:
+//!
+//! * **Hashed-by-plan placement** — a request's lane is a pure hash of
+//!   its plan identity (dtype + factor-shape chain), so one model's
+//!   whole batch window lands on one lane and a hot model cannot starve
+//!   the rest of the fleet. [`Runtime::lane_for`] exposes the mapping.
+//! * **Work-stealing** — an idle lane steals up to half of the deepest
+//!   sibling ring before parking, so a skewed model mix still uses every
+//!   lane; steals are counted ([`LaneStats::steals`]) and recorded as
+//!   `Steal` events on the flight recorder.
+//! * **Per-lane bypass eligibility** — the inline bypass lane's idle
+//!   check is a per-lane CAS claim on that lane's
+//!   [`LaneStats::inflight`] gauge (not a global load), so two
+//!   concurrent submitters can never both observe "idle" and race into
+//!   the inline lane; the loser falls back to its scheduler ring.
+//! * **Striped shutdown** — each lane keeps the "Shutdown is the last
+//!   message" guarantee through its own atomic gate: close marks the
+//!   gate, waits for in-flight senders to drain, then sends the final
+//!   `Shutdown` — and a scheduler panic closes every gate so later
+//!   submits fail fast with [`kron_core::KronError::Shutdown`].
+//! * **Per-lane observability** — [`RuntimeStats::lane_stats`]
+//!   ([`RuntimeStats::lanes`] for the live prefix) carries each lane's
+//!   depth, inflight, served/batched/solo/bypassed/error counters, and
+//!   steals; `served == batched + solo + bypassed + error_replies`
+//!   holds per lane as well as globally, and `metrics_snapshot()`
+//!   exports the same per-lane series to JSON and Prometheus.
+//!
+//! The default stays one lane: single-lane deployments keep the classic
+//! global service order (and its deterministic manual-clock tests)
+//! while multi-lane deployments trade global ordering for parallel
+//! drain, per-lane windows, and stealing.
 //!
 //! ## Backends
 //!
@@ -290,8 +333,8 @@ pub use metrics::{
     DeviceMetricsSnapshot, HistogramSnapshot, MetricsSnapshot, ModelStats, Outcome, Stage,
 };
 pub use runtime::{
-    Backend, Model, ModelPin, RetryPolicy, Runtime, RuntimeConfig, RuntimeStats, ServeElement,
-    ServeReceipt, Session, SubmitOptions, Ticket,
+    Backend, LaneStats, Model, ModelPin, RetryPolicy, Runtime, RuntimeConfig, RuntimeStats,
+    ServeElement, ServeReceipt, Session, SubmitOptions, Ticket, MAX_LANES,
 };
 pub use scheduler::{adaptive_linger_us, aged_priority};
 pub use trace::{EvictReason, ServeEvent, ServeEventKind, StageTimings};

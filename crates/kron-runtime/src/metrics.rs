@@ -611,6 +611,9 @@ impl MetricsSnapshot {
             cached_bytes,
             current_linger_us,
             inflight_requests,
+            scheduler_lanes,
+            lane_steals,
+            lane_stats: _,
         } = self.stats;
         let mut out = String::with_capacity(4096);
         let _ = write!(out, "{{\"at_us\":{},\"stats\":{{", self.at_us);
@@ -628,9 +631,36 @@ impl MetricsSnapshot {
              \"recovered_requests\":{recovered_requests},\"breaker_trips\":{breaker_trips},\
              \"cached_entries\":{cached_entries},\"cached_bytes\":{cached_bytes},\
              \"current_linger_us\":{current_linger_us},\
-             \"inflight_requests\":{inflight_requests}}}"
+             \"inflight_requests\":{inflight_requests},\
+             \"scheduler_lanes\":{scheduler_lanes},\"lane_steals\":{lane_steals}}}"
         );
-        out.push_str(",\"stages\":{");
+        out.push_str(",\"lanes\":[");
+        for (i, l) in self.stats.lanes().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Destructured so a new per-lane counter is a compile error
+            // here until the renderer handles it.
+            let crate::runtime::LaneStats {
+                depth,
+                inflight,
+                served,
+                batched_requests,
+                solo_requests,
+                bypassed_requests,
+                error_replies,
+                steals,
+            } = *l;
+            let _ = write!(
+                out,
+                "{{\"lane\":{i},\"depth\":{depth},\"inflight\":{inflight},\
+                 \"served\":{served},\"batched_requests\":{batched_requests},\
+                 \"solo_requests\":{solo_requests},\
+                 \"bypassed_requests\":{bypassed_requests},\
+                 \"error_replies\":{error_replies},\"steals\":{steals}}}"
+            );
+        }
+        out.push_str("],\"stages\":{");
         for (i, (stage, h)) in self.stages.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -723,6 +753,9 @@ impl MetricsSnapshot {
             cached_bytes,
             current_linger_us,
             inflight_requests,
+            scheduler_lanes,
+            lane_steals,
+            lane_stats: _,
         } = self.stats;
         for (name, kind, v) in [
             ("kron_submitted_total", "counter", submitted),
@@ -754,8 +787,27 @@ impl MetricsSnapshot {
             ("kron_cached_bytes", "gauge", cached_bytes),
             ("kron_current_linger_us", "gauge", current_linger_us),
             ("kron_inflight_requests", "gauge", inflight_requests),
+            ("kron_scheduler_lanes", "gauge", scheduler_lanes),
+            ("kron_lane_steals_total", "counter", lane_steals),
         ] {
             let _ = writeln!(out, "# TYPE {name} {kind}\n{name} {v}");
+        }
+        for (name, kind, field) in [
+            ("kron_lane_depth", "gauge", 0usize),
+            ("kron_lane_inflight", "gauge", 1),
+            ("kron_lane_served_total", "counter", 2),
+            ("kron_lane_steals_by_lane_total", "counter", 3),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (i, l) in self.stats.lanes().iter().enumerate() {
+                let v = match field {
+                    0 => l.depth,
+                    1 => l.inflight,
+                    2 => l.served,
+                    _ => l.steals,
+                };
+                let _ = writeln!(out, "{name}{{lane=\"{i}\"}} {v}");
+            }
         }
         for (stage, h) in &self.stages {
             let name = format!("kron_stage_{}_us", stage.name());

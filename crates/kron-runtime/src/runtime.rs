@@ -1,8 +1,12 @@
 //! The public runtime: models, request submission, tickets, sessions, and
 //! graceful shutdown — dtype-erased, so **one** runtime serves mixed
-//! `f32`/`f64` traffic through one scheduler thread and one plan cache.
-//! The scheduler thread that serves requests lives in
-//! [`crate::scheduler`].
+//! `f32`/`f64` traffic through sharded scheduler lanes and one plan
+//! cache. Admission is lock-free: each lane is a bounded MPMC ring
+//! (`crossbeam::channel::bounded`) guarded by an atomic [`LaneGate`]
+//! (a striped sender-count gate, not a mutex), requests hash to a lane by
+//! plan identity (`(dtype, shape_key)`, see [`crate::cache`]'s
+//! `lane_of`), and idle lanes steal queued work from busy siblings. The
+//! per-lane scheduler threads live in [`crate::scheduler`].
 //!
 //! The erasure boundary is the request channel: typed entry points
 //! (`submit`, `Session::call`, …) wrap their [`Request<T>`] into the
@@ -19,11 +23,11 @@ use crate::health::{BreakerPolicy, DeviceHealth, DeviceHealthReport};
 use crate::metrics::{MetricsHub, MetricsSnapshot, ModelStats, Outcome, Stage};
 use crate::scheduler::{arm_scripted_fault, Scheduler, ServeCtx};
 use crate::trace::{ServeEvent, ServeEventKind, StageTimings};
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use gpu_sim::device::{DeviceSpec, V100};
 use gpu_sim::ExecSummary;
 use kron_core::{DType, Element, FactorShape, KronError, KronProblem, Matrix, PlanKey, Result};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -178,6 +182,19 @@ pub struct RuntimeConfig {
     /// scheduler as before. `false` pins every request to the scheduler
     /// lane (useful for tests that assert scheduler-side behavior).
     pub inline_bypass: bool,
+    /// Number of scheduler lanes (service threads), clamped to
+    /// `1..=`[`MAX_LANES`]. Each lane owns a bounded lock-free admission
+    /// ring and serves both dtypes; requests hash to a lane by plan
+    /// identity (`(dtype, shape_key)`), so one model's traffic always
+    /// lands on one lane (preserving cross-request batching) while
+    /// distinct models spread across lanes. Idle lanes steal queued
+    /// requests from busy siblings, so one hot model cannot starve the
+    /// rest. The default `1` keeps the classic single-scheduler
+    /// behavior: one global service order across every model and dtype
+    /// (what the deterministic admission tests pin). Multi-lane runtimes
+    /// order service *per lane*; the global serve-sequence counter stays
+    /// coherent but interleaves across lanes.
+    pub scheduler_lanes: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -197,8 +214,44 @@ impl Default for RuntimeConfig {
             breaker: BreakerPolicy::default(),
             device_watchdog_us: 2_000_000,
             inline_bypass: true,
+            scheduler_lanes: 1,
         }
     }
+}
+
+/// Upper bound on [`RuntimeConfig::scheduler_lanes`]. Fixed so per-lane
+/// counters can live in `Copy` arrays inside [`RuntimeStats`] — snapshots
+/// stay allocation-free and the stats struct stays `Copy`.
+pub const MAX_LANES: usize = 8;
+
+/// Per-lane serving counters (see [`RuntimeStats::lanes`]): the
+/// flight-deck view of the sharded scheduler topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LaneStats {
+    /// Gauge: requests sitting in this lane's admission ring right now
+    /// (admitted, not yet drained by a scheduler thread).
+    pub depth: u64,
+    /// Gauge: admitted requests on this lane whose results have not been
+    /// claimed — the lane's bypass-eligibility signal (a request bypasses
+    /// only when its lane reads zero; see [`RuntimeConfig::inline_bypass`]).
+    pub inflight: u64,
+    /// Requests this lane completed (its throughput counter), including
+    /// requests it stole from siblings and inline bypasses it hosted.
+    pub served: u64,
+    /// Requests this lane served through a multi-request batch.
+    pub batched_requests: u64,
+    /// Requests this lane served by a dedicated execute.
+    pub solo_requests: u64,
+    /// Requests served inline on the submitting thread against this
+    /// lane's claim.
+    pub bypassed_requests: u64,
+    /// Requests this lane completed with an error reply. Per lane,
+    /// `served == batched_requests + solo_requests + bypassed_requests +
+    /// error_replies` — the same decomposition the global counters obey.
+    pub error_replies: u64,
+    /// Requests this lane stole from a sibling's admission ring while it
+    /// was idle and the sibling was backlogged.
+    pub steals: u64,
 }
 
 /// Counters describing what a runtime has done so far, across every
@@ -284,6 +337,52 @@ pub struct RuntimeStats {
     /// pipelined bursts (submit many, wait later) keep flowing through
     /// the batching scheduler.
     pub inflight_requests: u64,
+    /// Number of scheduler lanes this runtime runs
+    /// ([`RuntimeConfig::scheduler_lanes`] after clamping); the first
+    /// this many entries of `lane_stats` are live.
+    pub scheduler_lanes: u64,
+    /// Requests stolen across lanes in total (the sum of per-lane
+    /// [`LaneStats::steals`]); always `0` on a single-lane runtime.
+    pub lane_steals: u64,
+    /// Per-lane counters; use [`RuntimeStats::lanes`] for the live
+    /// prefix (entries past `scheduler_lanes` are zero).
+    pub lane_stats: [LaneStats; MAX_LANES],
+}
+
+impl RuntimeStats {
+    /// The live per-lane counters: one [`LaneStats`] per configured
+    /// scheduler lane.
+    pub fn lanes(&self) -> &[LaneStats] {
+        &self.lane_stats[..(self.scheduler_lanes as usize).clamp(1, MAX_LANES)]
+    }
+}
+
+/// Per-lane atomic counters behind [`LaneStats`].
+#[derive(Default)]
+pub(crate) struct LaneStatsInner {
+    pub(crate) depth: AtomicU64,
+    pub(crate) inflight: AtomicU64,
+    pub(crate) served: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    pub(crate) solo_requests: AtomicU64,
+    pub(crate) bypassed_requests: AtomicU64,
+    pub(crate) error_replies: AtomicU64,
+    pub(crate) steals: AtomicU64,
+}
+
+impl LaneStatsInner {
+    fn snapshot(&self) -> LaneStats {
+        LaneStats {
+            depth: self.depth.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            solo_requests: self.solo_requests.load(Ordering::Relaxed),
+            bypassed_requests: self.bypassed_requests.load(Ordering::Relaxed),
+            error_replies: self.error_replies.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Shared atomic counters behind [`RuntimeStats`].
@@ -322,9 +421,28 @@ pub(crate) struct StatsInner {
     /// bypass lane's depth-1 inline serves decay it too. Not a public
     /// counter — snapshots don't report it.
     pub(crate) ewma_depth_x16: AtomicU64,
+    /// Live lane count (set once at runtime construction; `0`, the
+    /// [`Default`] value, snapshots as a single lane).
+    pub(crate) lane_count: AtomicU64,
+    /// Per-lane counters; only the first `lane_count` entries are live.
+    pub(crate) lane_stats: [LaneStatsInner; MAX_LANES],
 }
 
 impl StatsInner {
+    /// Counters for a runtime with `lanes` scheduler lanes.
+    pub(crate) fn new(lanes: usize) -> Self {
+        let inner = StatsInner::default();
+        inner
+            .lane_count
+            .store(lanes.clamp(1, MAX_LANES) as u64, Ordering::Relaxed);
+        inner
+    }
+
+    /// The per-lane counter block for `lane`.
+    pub(crate) fn lane(&self, lane: usize) -> &LaneStatsInner {
+        &self.lane_stats[lane]
+    }
+
     fn snapshot(&self) -> RuntimeStats {
         RuntimeStats {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -352,6 +470,13 @@ impl StatsInner {
             cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
             current_linger_us: self.current_linger_us.load(Ordering::Relaxed),
             inflight_requests: self.inflight_requests.load(Ordering::Relaxed),
+            scheduler_lanes: self.lane_count.load(Ordering::Relaxed).max(1),
+            lane_steals: self
+                .lane_stats
+                .iter()
+                .map(|l| l.steals.load(Ordering::Relaxed))
+                .sum(),
+            lane_stats: std::array::from_fn(|i| self.lane_stats[i].snapshot()),
         }
     }
 }
@@ -386,6 +511,9 @@ impl std::fmt::Display for RuntimeStats {
             cached_bytes,
             current_linger_us,
             inflight_requests,
+            scheduler_lanes,
+            lane_steals,
+            lane_stats: _, // rendered per live lane below
         } = *self;
         writeln!(f, "runtime stats")?;
         for (name, value) in [
@@ -414,8 +542,30 @@ impl std::fmt::Display for RuntimeStats {
             ("cached_bytes", cached_bytes),
             ("current_linger_us", current_linger_us),
             ("inflight_requests", inflight_requests),
+            ("scheduler_lanes", scheduler_lanes),
+            ("lane_steals", lane_steals),
         ] {
             writeln!(f, "  {name:<20} {value:>12}")?;
+        }
+        for (i, lane) in self.lanes().iter().enumerate() {
+            // Exhaustive destructure: adding a lane counter without a
+            // row is a compile error.
+            let LaneStats {
+                depth,
+                inflight,
+                served,
+                batched_requests,
+                solo_requests,
+                bypassed_requests,
+                error_replies,
+                steals,
+            } = *lane;
+            writeln!(
+                f,
+                "  lane {i:<2} depth={depth} inflight={inflight} served={served} \
+                 batched={batched_requests} solo={solo_requests} \
+                 bypassed={bypassed_requests} errors={error_replies} steals={steals}"
+            )?;
         }
         Ok(())
     }
@@ -565,6 +715,9 @@ struct SlotInner<T: Element> {
     /// idle default, and again after the waiter claims a reply).
     /// [`Slot::admit`] flips it to `false` per admitted request.
     claimed: bool,
+    /// The scheduler lane the outstanding request was admitted on — the
+    /// per-lane inflight gauge the release side must decrement.
+    lane: usize,
 }
 
 impl<T: Element> Slot<T> {
@@ -574,6 +727,7 @@ impl<T: Element> Slot<T> {
                 result: None,
                 waiting: false,
                 claimed: true,
+                lane: 0,
             }),
             ready: Condvar::new(),
             stats,
@@ -581,12 +735,32 @@ impl<T: Element> Slot<T> {
     }
 
     /// Marks one admitted request outstanding on this slot, raising the
-    /// inflight gauge — the bypass lane's idleness signal. Called once
-    /// per admission, on whichever lane admits.
-    pub(crate) fn admit(&self) {
+    /// global and per-lane inflight gauges — the bypass lane's idleness
+    /// signal. Called once per admission, on whichever lane admits.
+    pub(crate) fn admit(&self, lane: usize) {
         let mut s = self.inner.lock().unwrap();
         debug_assert!(s.claimed, "slot admitted twice without a claim");
         s.claimed = false;
+        s.lane = lane;
+        drop(s);
+        self.stats.inflight_requests.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .lane(lane)
+            .inflight
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// [`Slot::admit`] for a request whose lane-inflight count is
+    /// already held by the bypass lane's CAS claim (see
+    /// `Shared::try_bypass`): raises only the global gauge — the claim
+    /// *becomes* this slot's lane count, and the release side
+    /// ([`Slot::take_blocking`] / [`Slot::drop`]) decrements both
+    /// symmetrically.
+    pub(crate) fn admit_claimed(&self, lane: usize) {
+        let mut s = self.inner.lock().unwrap();
+        debug_assert!(s.claimed, "slot admitted twice without a claim");
+        s.claimed = false;
+        s.lane = lane;
         drop(s);
         self.stats.inflight_requests.fetch_add(1, Ordering::Relaxed);
     }
@@ -613,11 +787,22 @@ impl<T: Element> Slot<T> {
         }
         s.waiting = false;
         let reply = s.result.take().expect("checked above");
+        // Release-side audit: the `claimed` flag, read and flipped under
+        // the slot lock, makes this release and the drop-side release
+        // mutually exclusive — claiming here sets `claimed`, so the
+        // final `Drop` sees a claimed slot and does not decrement again.
+        // Error replies take the same path: a shed or failed request was
+        // still admitted once and is released exactly once.
         let release = !s.claimed;
         s.claimed = true;
+        let lane = s.lane;
         drop(s);
         if release {
             self.stats.inflight_requests.fetch_sub(1, Ordering::Relaxed);
+            self.stats
+                .lane(lane)
+                .inflight
+                .fetch_sub(1, Ordering::Relaxed);
         }
         reply
     }
@@ -625,12 +810,20 @@ impl<T: Element> Slot<T> {
 
 impl<T: Element> Drop for Slot<T> {
     fn drop(&mut self) {
-        // An abandoned ticket (submitted, never waited) still releases
-        // its inflight count when the last Arc — held by the serving
-        // lane until the reply is filled — goes away.
-        let unclaimed = !self.inner.get_mut().map_or(true, |s| s.claimed);
-        if unclaimed {
-            self.stats.inflight_requests.fetch_sub(1, Ordering::Relaxed);
+        // An abandoned ticket (submitted, never waited — including one
+        // holding an error reply) still releases its inflight count when
+        // the last Arc — held by the serving lane until the reply is
+        // filled — goes away. `claimed` guarantees single release: it is
+        // only `false` between an admit and a `take_blocking` claim, and
+        // this drop runs at most once per slot.
+        if let Ok(s) = self.inner.get_mut() {
+            if !s.claimed {
+                self.stats.inflight_requests.fetch_sub(1, Ordering::Relaxed);
+                self.stats
+                    .lane(s.lane)
+                    .inflight
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -782,19 +975,107 @@ pub trait ServeElement: Element + sealed::ErasedDtype {}
 impl ServeElement for f32 {}
 impl ServeElement for f64 {}
 
+/// One scheduler lane's admission surface: its bounded lock-free ring
+/// (both ends — the receiver is cloned by sibling lanes for
+/// work-stealing) and its striped gate.
+pub(crate) struct LaneHandle {
+    pub(crate) tx: Sender<Msg>,
+    pub(crate) rx: Receiver<Msg>,
+    pub(crate) gate: LaneGate,
+}
+
+/// A lock-free admission gate, one per scheduler lane (the striped
+/// replacement for the old `Mutex<Gate>`): bit 0 is the closed flag,
+/// the remaining bits count senders currently inside the gate (each
+/// in-flight sender adds 2). Entering is one `fetch_add`; closing sets
+/// the flag and waits for the sender count to drain, after which the
+/// closer pushes `Shutdown` — provably the last message on the lane's
+/// ring, with no mutex anywhere on the submit path. Being atomic, the
+/// gate cannot be poisoned by a panicking thread: submitters racing a
+/// scheduler panic get [`KronError::Shutdown`], never a propagated
+/// panic (the poisoned-mutex leak the mutex gate had).
+pub(crate) struct LaneGate {
+    state: AtomicU64,
+}
+
+impl LaneGate {
+    fn new() -> Self {
+        LaneGate {
+            state: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers this thread as an in-flight sender. `false` means the
+    /// gate is closed (shutdown or poison) and nothing was registered.
+    pub(crate) fn try_enter(&self) -> bool {
+        let prev = self.state.fetch_add(2, Ordering::Acquire);
+        if prev & 1 != 0 {
+            self.state.fetch_sub(2, Ordering::Release);
+            return false;
+        }
+        true
+    }
+
+    /// De-registers an in-flight sender (pairs with a successful
+    /// [`LaneGate::try_enter`]).
+    pub(crate) fn exit(&self) {
+        self.state.fetch_sub(2, Ordering::Release);
+    }
+
+    /// Whether the gate has been closed (orderly shutdown or poison).
+    pub(crate) fn is_closed(&self) -> bool {
+        self.state.load(Ordering::Acquire) & 1 != 0
+    }
+
+    /// Sets the closed flag without waiting for in-flight senders.
+    /// Idempotent. Callers that need the "no sender still pushing"
+    /// guarantee follow up with [`LaneGate::senders_drained`] (the
+    /// scheduler's poison path drains its ring while waiting, so a
+    /// sender blocked on a full ring can finish its push and exit).
+    pub(crate) fn begin_close(&self) {
+        self.state.fetch_or(1, Ordering::AcqRel);
+    }
+
+    /// `true` once no sender is inside a closed gate: every request that
+    /// won admission is in the ring, so a message pushed now is the last.
+    pub(crate) fn senders_drained(&self) -> bool {
+        self.state.load(Ordering::Acquire) == 1
+    }
+
+    /// Closes the gate and waits for in-flight senders to drain. Only
+    /// safe where the lane's consumer keeps draining the ring (orderly
+    /// shutdown) — a sender mid-push on a full ring needs the consumer
+    /// to make room before it can exit.
+    pub(crate) fn close(&self) {
+        self.begin_close();
+        while !self.senders_drained() {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// RAII sender registration: exits the gate even if the send path
+/// unwinds, so [`LaneGate::close`] can never wait on a dead sender.
+struct GateEntry<'a>(&'a LaneGate);
+
+impl Drop for GateEntry<'_> {
+    fn drop(&mut self) {
+        self.0.exit();
+    }
+}
+
 /// State shared between the runtime handle, its [`Session`]s, and the
-/// scheduler thread. Dtype-erased: one channel, one cache, one stats
-/// surface for all traffic.
+/// per-lane scheduler threads. Dtype-erased: one set of lanes, one
+/// cache, one stats surface for all traffic.
 pub(crate) struct Shared {
-    tx: Sender<Msg>,
-    /// Admission gate. Sends happen *while holding* this mutex, so every
-    /// request sent before the scheduler's final drain is guaranteed to
-    /// be in the queue ahead of `Shutdown` — nothing is ever silently
-    /// dropped and no waiter can hang. The scheduler shares the gate:
-    /// when its loop dies to a panic it locks the gate, marks the
-    /// runtime poisoned, and fails everything already queued, so later
-    /// submitters get [`KronError::Shutdown`] instead of a hang.
-    gate: Arc<Mutex<Gate>>,
+    /// The scheduler lanes. Requests hash to a lane by plan identity
+    /// (`lane_of(dtype, shape_key)`), so one model's traffic — and any
+    /// linked batch — always lands on one lane's ring.
+    lanes: Arc<[LaneHandle]>,
+    /// `true` once any scheduler lane died to a panic: every gate is
+    /// closed, the dead lane's pending tickets are failed with
+    /// [`KronError::Shutdown`], and no new request is ever admitted.
+    poisoned: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
     /// The plan cache, shared so clients can pin models, sweep idle
     /// entries, and introspect residency without a scheduler round-trip.
@@ -817,16 +1098,23 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
+    /// The scheduler lane serving plan identity `(dtype, shape_key)`.
+    pub(crate) fn lane_of_key(&self, dtype: DType, shape_key: u64) -> usize {
+        crate::cache::lane_of(dtype, shape_key, self.lanes.len())
+    }
+
     fn send_request<T: ServeElement>(&self, req: Request<T>) -> Result<()> {
-        self.send_requests(std::iter::once(req))
+        let lane = self.lane_of_key(T::DTYPE, req.model.shape_key);
+        self.send_requests(lane, std::iter::once(req))
     }
 
     /// The inline bypass lane's admission check + engine. Returns the
     /// request back when it must travel the scheduler channel instead:
-    /// bypass disabled, results already in flight (pipelined bursts keep
-    /// batching), shutdown under way (the send path reports it), or a
-    /// plan that is not warm-local. `None` means the request completed
-    /// inline — served or shed — and its reply slot is filled.
+    /// bypass disabled, results already in flight on the request's lane
+    /// (pipelined bursts keep batching), shutdown under way (the send
+    /// path reports it), or a plan that is not warm-local. `None` means
+    /// the request completed inline — served or shed — and its reply
+    /// slot is filled.
     fn try_bypass<T: ServeElement>(
         &self,
         req: Request<T>,
@@ -835,20 +1123,27 @@ impl Shared {
         if !self.cfg.inline_bypass {
             return Some(req);
         }
-        // The idleness gate: any admitted-but-unclaimed result means a
-        // pipelined client is building a burst — keep batching. The
-        // relaxed read can race a concurrent admission; the loser simply
-        // serves one request inline while the burst batches, which is
-        // the same interleaving a scheduler wake could produce.
-        if self.stats.inflight_requests.load(Ordering::Relaxed) != 0 {
+        // The idleness gate, per lane: any admitted-but-unclaimed result
+        // on *this request's lane* means a pipelined client is building
+        // a burst there — keep batching. Eligibility is a CAS *claim*
+        // (0 → 1 on the lane's inflight gauge), not a load: two
+        // concurrent submitters observing an idle lane cannot both race
+        // into the inline path against the same cached entry — exactly
+        // one wins the claim, the other batches. The claim transfers to
+        // the slot on admission (`Slot::admit_claimed`) and is released
+        // on every non-admitting exit below.
+        let lane = self.lane_of_key(T::DTYPE, req.model.shape_key);
+        let lane_inflight = &self.stats.lane(lane).inflight;
+        if lane_inflight
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
             return Some(req);
         }
-        {
-            let gate = self.gate.lock().unwrap();
-            if gate.closed || gate.poisoned {
-                // Fall through to the send path, which reports Shutdown.
-                return Some(req);
-            }
+        if self.poisoned.load(Ordering::Acquire) || self.lanes[lane].gate.is_closed() {
+            // Fall through to the send path, which reports Shutdown.
+            lane_inflight.fetch_sub(1, Ordering::Release);
+            return Some(req);
         }
         let ctx = ServeCtx {
             cache: &self.cache,
@@ -861,19 +1156,38 @@ impl Shared {
             max_batch_rows: self.cfg.max_batch_rows,
             configured_gpus: self.cfg.backend.gpus(),
             window_close_us: self.clock.now_us(),
+            lane,
         };
-        crate::scheduler::try_bypass(&ctx, &self.cfg, req, refs_scratch)
+        match crate::scheduler::try_bypass(&ctx, &self.cfg, req, refs_scratch) {
+            None => None,
+            Some(req) => {
+                // Not admitted inline (cold/sharded plan): release the
+                // claim; the scheduler send path admits normally.
+                lane_inflight.fetch_sub(1, Ordering::Release);
+                Some(req)
+            }
+        }
     }
 
-    /// Enqueues several requests atomically under one gate acquisition, so
-    /// a linked batch enters the scheduler's queue contiguously (one batch
-    /// window sees it whole) and shutdown cannot split it. Stamps every
-    /// request's enqueue time (the priority-aging basis) under the gate.
-    fn send_requests<T: ServeElement>(&self, reqs: impl Iterator<Item = Request<T>>) -> Result<()> {
-        let gate = self.gate.lock().unwrap();
-        if gate.closed || gate.poisoned {
+    /// Enqueues several requests under one gate registration: either the
+    /// whole group is admitted to `lane`'s ring ahead of any `Shutdown`,
+    /// or the whole group is rejected — shutdown cannot split a linked
+    /// batch. Admission is lock-free (an atomic sender count, then ring
+    /// pushes); concurrent producers may interleave *within* the ring,
+    /// which batching tolerates (windows group by model, not adjacency),
+    /// and a linked batch always lands on one lane (one model → one
+    /// lane). Stamps every request's enqueue time (the priority-aging
+    /// basis) on entry.
+    fn send_requests<T: ServeElement>(
+        &self,
+        lane: usize,
+        reqs: impl Iterator<Item = Request<T>>,
+    ) -> Result<()> {
+        let handle = &self.lanes[lane];
+        if !handle.gate.try_enter() {
             return Err(KronError::Shutdown);
         }
+        let entry = GateEntry(&handle.gate);
         let now = self.clock.now_us();
         let dtype_counter = match T::DTYPE {
             DType::F32 => &self.stats.requests_f32,
@@ -883,7 +1197,7 @@ impl Shared {
             req.enqueued_us = now;
             self.stats.submitted.fetch_add(1, Ordering::Relaxed);
             dtype_counter.fetch_add(1, Ordering::Relaxed);
-            req.slot.admit();
+            req.slot.admit(lane);
             self.hub.event(
                 now,
                 ServeEventKind::Admit {
@@ -893,22 +1207,26 @@ impl Shared {
                     priority: req.priority,
                 },
             );
-            let _ = self.tx.send(Msg::Request(T::erase(req)));
+            let _ = handle.tx.send(Msg::Request(T::erase(req)));
         }
-        drop(gate);
+        self.stats
+            .lane(lane)
+            .depth
+            .store(handle.tx.len() as u64, Ordering::Relaxed);
+        drop(entry);
         Ok(())
     }
-}
 
-/// Shutdown/poison state behind the admission gate (see [`Shared::gate`]).
-#[derive(Default)]
-pub(crate) struct Gate {
-    /// `true` once orderly shutdown began ([`Runtime::close`] / drop).
-    pub(crate) closed: bool,
-    /// `true` once the scheduler thread died to a panic: every pending
-    /// ticket has been failed with [`KronError::Shutdown`] and no new
-    /// request will ever be served.
-    pub(crate) poisoned: bool,
+    /// Refreshes the per-lane depth gauges from the rings (a cold-path
+    /// read at snapshot time; the hot path never maintains a counter).
+    fn refresh_depth_gauges(&self) {
+        for (i, lane) in self.lanes.iter().enumerate() {
+            self.stats
+                .lane(i)
+                .depth
+                .store(lane.tx.len() as u64, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Handle to one result in flight; produced by [`Runtime::submit`].
@@ -1129,17 +1447,18 @@ fn validate_request<T: Element>(model: &Model<T>, x: &Matrix<T>) -> Result<()> {
     Ok(())
 }
 
-/// A persistent Kron-Matmul serving runtime: **one** scheduler thread
-/// batching same-model requests of either dtype, one shape-keyed
+/// A persistent Kron-Matmul serving runtime: one or more scheduler lanes
+/// ([`RuntimeConfig::scheduler_lanes`]) batching same-model requests of
+/// either dtype behind lock-free admission rings, one shape-keyed
 /// plan/workspace cache spanning `f32` and `f64`, and compute on the
 /// process-wide persistent worker pool. Models, tickets, and sessions
 /// stay typed; the runtime itself is not generic, so a deployment serving
-/// mixed-dtype traffic runs one admission queue and one cache budget
+/// mixed-dtype traffic runs one admission surface and one cache budget
 /// instead of two half-blind ones. See the crate docs for the
 /// architecture.
 pub struct Runtime {
     shared: Arc<Shared>,
-    scheduler: Option<JoinHandle<()>>,
+    schedulers: Vec<JoinHandle<()>>,
     next_model_id: AtomicU64,
     plane: Arc<FaultPlane>,
     health: Arc<DeviceHealth>,
@@ -1154,8 +1473,8 @@ impl Runtime {
         cfg.batch_max_m = cfg.batch_max_m.min(cfg.max_batch_rows);
         cfg.max_queue = cfg.max_queue.max(1);
         cfg.cache.max_entries = cfg.cache.max_entries.max(1);
-        let (tx, rx) = unbounded();
-        let stats = Arc::new(StatsInner::default());
+        cfg.scheduler_lanes = cfg.scheduler_lanes.clamp(1, MAX_LANES);
+        let stats = Arc::new(StatsInner::new(cfg.scheduler_lanes));
         let health_gpus = match cfg.backend {
             Backend::SingleNode => 0,
             Backend::Distributed { .. } => cfg.backend.gpus(),
@@ -1167,7 +1486,6 @@ impl Runtime {
             cfg.breaker,
             Arc::clone(&hub),
         ));
-        let gate = Arc::new(Mutex::new(Gate::default()));
         let cache = Arc::new(Mutex::new(PlanCache::with_hub(
             cfg.device.clone(),
             &cfg.backend,
@@ -1176,24 +1494,44 @@ impl Runtime {
             cfg.device_watchdog_us,
             Arc::clone(&hub),
         )));
-        let scheduler = Scheduler::new(
-            rx,
-            cfg.clone(),
-            Arc::clone(&cache),
-            Arc::clone(&stats),
-            Arc::clone(&plane),
-            Arc::clone(&health),
-            Arc::clone(&gate),
-            Arc::clone(&hub),
-        );
-        let handle = std::thread::Builder::new()
-            .name("kron-runtime-scheduler".into())
-            .spawn(move || scheduler.run())
-            .expect("spawn scheduler thread");
+        // Each lane's ring holds 2× the drain window, so producers only
+        // feel backpressure (a spin in `send`) when a lane is more than
+        // one full window behind — at which point siblings are stealing.
+        let ring_capacity = cfg.max_queue.saturating_mul(2).max(64);
+        let lanes: Arc<[LaneHandle]> = (0..cfg.scheduler_lanes)
+            .map(|_| {
+                let (tx, rx) = bounded(ring_capacity);
+                LaneHandle {
+                    tx,
+                    rx,
+                    gate: LaneGate::new(),
+                }
+            })
+            .collect();
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let schedulers = (0..cfg.scheduler_lanes)
+            .map(|lane| {
+                let scheduler = Scheduler::new(
+                    lane,
+                    Arc::clone(&lanes),
+                    Arc::clone(&poisoned),
+                    cfg.clone(),
+                    Arc::clone(&cache),
+                    Arc::clone(&stats),
+                    Arc::clone(&plane),
+                    Arc::clone(&health),
+                    Arc::clone(&hub),
+                );
+                std::thread::Builder::new()
+                    .name(format!("kron-runtime-scheduler-{lane}"))
+                    .spawn(move || scheduler.run())
+                    .expect("spawn scheduler thread")
+            })
+            .collect();
         Runtime {
             shared: Arc::new(Shared {
-                tx,
-                gate,
+                lanes,
+                poisoned,
                 stats,
                 cache,
                 clock: cfg.clock.clone(),
@@ -1202,7 +1540,7 @@ impl Runtime {
                 health: Arc::clone(&health),
                 cfg: cfg.clone(),
             }),
-            scheduler: Some(handle),
+            schedulers,
             next_model_id: AtomicU64::new(0),
             plane,
             health,
@@ -1357,6 +1695,12 @@ impl Runtime {
         for (model, x) in &batch {
             validate_request(model, x)?;
         }
+        // One model => one lane: the whole linked group lands on one
+        // ring, so one drain window can pick it up together.
+        let lane = batch
+            .first()
+            .map(|(model, _)| self.shared.lane_of_key(T::DTYPE, model.inner.shape_key))
+            .unwrap_or(0);
         let mut tickets = Vec::with_capacity(batch.len());
         let reqs: Vec<Request<T>> = batch
             .into_iter()
@@ -1378,7 +1722,7 @@ impl Runtime {
                 }
             })
             .collect();
-        self.shared.send_requests(reqs.into_iter())?;
+        self.shared.send_requests(lane, reqs.into_iter())?;
         Ok(tickets)
     }
 
@@ -1612,9 +1956,19 @@ impl Runtime {
 
     /// Snapshot of the serving counters (spanning both dtypes; see
     /// [`RuntimeStats::requests_f32`]/[`RuntimeStats::requests_f64`] for
-    /// the split).
+    /// the split, and [`RuntimeStats::lanes`] for the per-lane view).
     pub fn stats(&self) -> RuntimeStats {
+        self.shared.refresh_depth_gauges();
         self.shared.stats.snapshot()
+    }
+
+    /// The scheduler lane serving `model`'s traffic: the stable hash of
+    /// its plan identity (`(dtype, shape_key)`) over
+    /// [`RuntimeConfig::scheduler_lanes`]. Index into
+    /// [`RuntimeStats::lanes`] with this to read one model's lane
+    /// counters; always `0` on a single-lane runtime.
+    pub fn lane_for<T: ServeElement>(&self, model: &Model<T>) -> usize {
+        self.shared.lane_of_key(T::DTYPE, model.inner.shape_key)
     }
 
     /// One coherent view of everything the runtime measures: lifetime
@@ -1625,6 +1979,7 @@ impl Runtime {
     /// path: snapshotting allocates; recording never does.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let hub = &self.shared.hub;
+        self.shared.refresh_depth_gauges();
         MetricsSnapshot {
             at_us: self.shared.clock.now_us(),
             stats: self.shared.stats.snapshot(),
@@ -1667,16 +2022,22 @@ impl Runtime {
     }
 
     fn close(&mut self) {
-        if let Some(handle) = self.scheduler.take() {
-            {
-                let mut gate = self.shared.gate.lock().unwrap_or_else(|e| e.into_inner());
-                gate.closed = true;
-                // Send Shutdown while holding the gate: it is provably the
-                // last message on the channel. A poisoned (panicked)
-                // scheduler never reads it — the send is ignored and the
-                // join below observes the already-dead thread.
-                let _ = self.shared.tx.send(Msg::Shutdown);
-            }
+        let handles = std::mem::take(&mut self.schedulers);
+        if handles.is_empty() {
+            return;
+        }
+        for lane in self.shared.lanes.iter() {
+            // Close the striped gate and wait for in-flight senders to
+            // finish their pushes, then send Shutdown: it is provably
+            // the last message on this lane's ring. A poisoned
+            // (panicked) lane never reads it — its gate was closed and
+            // ring drained at poison time, so the push lands in an
+            // empty ring nobody consumes and the join below observes
+            // the already-dead thread.
+            lane.gate.close();
+            let _ = lane.tx.send(Msg::Shutdown);
+        }
+        for handle in handles {
             let _ = handle.join();
         }
     }

@@ -1,18 +1,30 @@
-//! The scheduler thread: drains the dtype-erased request channel under an
-//! adaptive linger window, sheds requests whose deadline already passed,
-//! orders the remainder by aged priority and deadline **across both
-//! dtypes**, and executes batches/solos through the bounded plan cache.
+//! The scheduler service threads: each lane drains its own lock-free
+//! request ring under an adaptive linger window, sheds requests whose
+//! deadline already passed, orders the remainder by aged priority and
+//! deadline **across both dtypes**, and executes batches/solos through
+//! the shared bounded plan cache.
 //!
-//! ## Erased queue, typed lanes
+//! ## Sharded lanes, erased queues, typed halves
 //!
-//! One thread serves all traffic: [`ErasedRequest`]s coming off the
-//! channel are unwrapped into two fully-typed [`TypedLane`]s (`f32`,
-//! `f64`), each owning its own gather/scatter scratch — so batch staging,
-//! the fused execute, and result scatter never see an erased value, and
-//! the enum round-trip is a move, not an allocation. What *is* shared is
-//! the admission pipeline: one deadline check, one priority order, one
-//! serve-sequence counter, one plan cache — the scheduler interleaves
-//! `f32` and `f64` work strictly by the global order, not lane by lane.
+//! The runtime spawns one [`Scheduler`] thread per configured lane
+//! ([`crate::RuntimeConfig::scheduler_lanes`]); requests hash to a lane
+//! by plan identity ([`crate::cache::lane_of`]), so one model's traffic
+//! — including its whole batch window — always lands on one lane, and a
+//! hot model cannot starve its siblings. Idle lanes **steal** queued
+//! work from the deepest sibling ring (half the visible depth) before
+//! parking, which keeps every lane busy under a skewed model mix; with
+//! `scheduler_lanes == 1` (the default) the loop degenerates to the
+//! classic single-scheduler blocking drain with one global service
+//! order.
+//!
+//! Within a lane, [`ErasedRequest`]s coming off the ring are unwrapped
+//! into two fully-typed [`TypedLane`]s (`f32`, `f64`), each owning its
+//! own gather/scatter scratch — so batch staging, the fused execute, and
+//! result scatter never see an erased value, and the enum round-trip is
+//! a move, not an allocation. What *is* shared is the admission
+//! pipeline: one deadline check, one priority order per window, one
+//! serve-sequence counter, one plan cache — each lane interleaves `f32`
+//! and `f64` work strictly by its window order, not dtype by dtype.
 //!
 //! ## Service order within a window
 //!
@@ -49,13 +61,13 @@ use crate::health::DeviceHealth;
 use crate::metrics::{MetricsHub, Outcome};
 use crate::runtime::sealed::ErasedDtype;
 use crate::runtime::{
-    ErasedRequest, Gate, Msg, Reply, Request, RetryPolicy, RuntimeConfig, StatsInner,
+    ErasedRequest, LaneHandle, Msg, Reply, Request, RetryPolicy, RuntimeConfig, StatsInner,
 };
 use crate::trace::{ServeEventKind, StageTimings};
-use crossbeam::channel::{Receiver, RecvTimeoutError};
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
 use kron_core::{DType, Element, KronError, Matrix};
 use std::cmp::Reverse;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -65,6 +77,14 @@ use std::time::Duration;
 /// sleeping out the window; the interval affects only wall-clock test
 /// latency, never which requests share a window.
 const MANUAL_POLL: Duration = Duration::from_micros(200);
+
+/// How long an idle lane on the sharded layout (`scheduler_lanes > 1`)
+/// parks on its own ring between steal checks. Short enough that a
+/// backlogged sibling is relieved promptly; long enough that an idle
+/// fleet of lanes costs a handful of wakeups per millisecond, not a
+/// spin. Local traffic wakes the lane immediately regardless (the park
+/// is a real condvar wait).
+const STEAL_POLL: Duration = Duration::from_micros(500);
 
 /// Saturation depth for the adaptive linger, in x16 fixed point: once the
 /// smoothed per-cycle queue depth reaches 9 requests (1 + 8), the linger
@@ -238,6 +258,11 @@ pub(crate) struct ServeCtx<'a> {
     /// Clock time when this cycle's linger window closed — the boundary
     /// between a request's linger stage and its execution stages.
     pub(crate) window_close_us: u64,
+    /// The scheduler lane this context serves on behalf of — every reply
+    /// bumps that lane's counters in lockstep with the globals, so
+    /// `served == batched + solo + bypassed + error_replies` holds per
+    /// lane as well as globally.
+    pub(crate) lane: usize,
 }
 
 /// Which lifetime counter an `Ok` reply lands in: the batched lane
@@ -283,14 +308,20 @@ impl ServeCtx<'_> {
         };
         timings.queue_us = r.drained_us.saturating_sub(r.enqueued_us);
         timings.linger_us = self.window_close_us.saturating_sub(r.drained_us);
+        let lane_stats = self.stats.lane(self.lane);
         let outcome = match &result {
             Ok(()) => {
                 match class {
                     ReplyClass::Batched => {
+                        lane_stats.batched_requests.fetch_add(1, Ordering::Relaxed);
                         self.stats.batched_requests.fetch_add(1, Ordering::Relaxed)
                     }
-                    ReplyClass::Solo => self.stats.solo_requests.fetch_add(1, Ordering::Relaxed),
+                    ReplyClass::Solo => {
+                        lane_stats.solo_requests.fetch_add(1, Ordering::Relaxed);
+                        self.stats.solo_requests.fetch_add(1, Ordering::Relaxed)
+                    }
                     ReplyClass::Bypass => {
+                        lane_stats.bypassed_requests.fetch_add(1, Ordering::Relaxed);
                         self.stats.bypassed_requests.fetch_add(1, Ordering::Relaxed)
                     }
                 };
@@ -309,6 +340,7 @@ impl ServeCtx<'_> {
                 now_us,
             }) => {
                 self.stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                lane_stats.error_replies.fetch_add(1, Ordering::Relaxed);
                 self.stats.error_replies.fetch_add(1, Ordering::Relaxed);
                 self.hub.event(
                     self.clock.now_us(),
@@ -320,10 +352,12 @@ impl ServeCtx<'_> {
                 Outcome::Shed
             }
             Err(_) => {
+                lane_stats.error_replies.fetch_add(1, Ordering::Relaxed);
                 self.stats.error_replies.fetch_add(1, Ordering::Relaxed);
                 Outcome::Error
             }
         };
+        lane_stats.served.fetch_add(1, Ordering::Relaxed);
         let seq = self.stats.served.fetch_add(1, Ordering::Relaxed);
         self.hub.record_timings(&timings, outcome);
         self.hub
@@ -467,6 +501,10 @@ pub(crate) fn try_bypass<T: ErasedDtype>(
     // stages are genuinely zero.
     r.enqueued_us = now;
     r.drained_us = now;
+    // The caller ([`crate::runtime::Shared::try_bypass`]) already holds
+    // the lane's inflight CAS claim, so the slot is admitted with
+    // `admit_claimed` — it takes over the claim rather than bumping the
+    // lane gauge a second time.
     fn admit<T: ErasedDtype>(ctx: &ServeCtx, r: &Request<T>) {
         ctx.stats.submitted.fetch_add(1, Ordering::Relaxed);
         match T::DTYPE {
@@ -474,7 +512,7 @@ pub(crate) fn try_bypass<T: ErasedDtype>(
             DType::F64 => &ctx.stats.requests_f64,
         }
         .fetch_add(1, Ordering::Relaxed);
-        r.slot.admit();
+        r.slot.admit_claimed(ctx.lane);
     }
     if let Some(deadline_us) = r.deadline_us {
         if deadline_us < now {
@@ -1153,10 +1191,24 @@ impl<T: ErasedDtype> TypedLane<T> {
     }
 }
 
-/// The dtype-erased scheduler: one channel, one window, one service
-/// order; two typed lanes. See the module docs.
+/// The dtype-erased scheduler for **one lane**: one ring, one window,
+/// one service order; two typed halves. The runtime spawns one per
+/// configured lane. See the module docs.
 pub(crate) struct Scheduler {
+    /// This scheduler's lane index into `lanes` — also the index of the
+    /// per-lane counters it bumps in [`StatsInner`].
+    lane: usize,
+    /// Every lane's handle (lock-free ring + striped gate), shared with
+    /// the runtime's send path and the sibling schedulers. Work-stealing
+    /// pops from sibling rings through this; [`Self::poison`] closes
+    /// every gate through it.
+    lanes: Arc<[LaneHandle]>,
+    /// This lane's own receiver (a clone of `lanes[lane].rx`).
     rx: Receiver<Msg>,
+    /// Global poison flag shared with the runtime handle's submit path:
+    /// set when any lane panics, so submits fail fast with
+    /// [`KronError::Shutdown`] instead of queueing behind a dead lane.
+    poisoned: Arc<AtomicBool>,
     cfg: RuntimeConfig,
     /// The plan cache, shared with the runtime handle (client-side pins,
     /// sweeps, and probes). Never locked while an entry lock is held.
@@ -1169,14 +1221,11 @@ pub(crate) struct Scheduler {
     /// Device-health ledger shared with the runtime handle: executes
     /// record outcomes, plan builds respect its quarantine limit.
     health: Arc<DeviceHealth>,
-    /// The admission gate, shared with [`crate::Runtime`]'s send path.
-    /// [`Self::poison`] locks it to mark the runtime poisoned race-free
-    /// (senders hold it while sending).
-    gate: Arc<Mutex<Gate>>,
     /// Metrics hub shared with the runtime handle: stage histograms,
     /// per-model/per-device registries, and the flight recorder.
     hub: Arc<MetricsHub>,
-    /// Global arrival counter — the cross-dtype FIFO tie-break.
+    /// Per-lane arrival counter — the cross-dtype FIFO tie-break within
+    /// this lane's windows.
     next_arrival: u64,
     f32_lane: TypedLane<f32>,
     f64_lane: TypedLane<f64>,
@@ -1189,25 +1238,29 @@ pub(crate) struct Scheduler {
 impl Scheduler {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
-        rx: Receiver<Msg>,
+        lane: usize,
+        lanes: Arc<[LaneHandle]>,
+        poisoned: Arc<AtomicBool>,
         cfg: RuntimeConfig,
         cache: Arc<Mutex<PlanCache>>,
         stats: Arc<StatsInner>,
         plane: Arc<FaultPlane>,
         health: Arc<DeviceHealth>,
-        gate: Arc<Mutex<Gate>>,
         hub: Arc<MetricsHub>,
     ) -> Self {
         let clock = cfg.clock.clone();
+        let rx = lanes[lane].rx.clone();
         Scheduler {
+            lane,
+            lanes,
             rx,
+            poisoned,
             cfg,
             cache,
             stats,
             clock,
             plane,
             health,
-            gate,
             hub,
             next_arrival: 0,
             f32_lane: TypedLane::new(),
@@ -1272,15 +1325,34 @@ impl Scheduler {
         }
     }
 
-    /// Marks the runtime poisoned and fails everything queued or drained.
-    /// Senders hold the gate while sending, so once the gate is marked no
-    /// new request can enter the channel — the drain below is complete,
-    /// not racy.
+    /// Marks the runtime poisoned and fails everything queued or drained
+    /// on **this** lane (sibling lanes are healthy and keep serving
+    /// their own queues). Closing the striped gates first means no new
+    /// request can start entering any ring; waiting for this lane's
+    /// senders to drain makes the sweep below complete, not racy. The
+    /// wait drains the ring concurrently — a sender spinning on a full
+    /// ring needs this thread to consume, so a blocking wait without the
+    /// drain would deadlock.
     fn poison(&mut self) {
-        {
-            let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
-            gate.poisoned = true;
+        self.poisoned.store(true, Ordering::SeqCst);
+        for lane in self.lanes.iter() {
+            lane.gate.begin_close();
         }
+        loop {
+            loop {
+                match self.rx.try_recv() {
+                    Ok(Msg::Request(r)) => self.enqueue(r),
+                    Ok(Msg::Shutdown) => {}
+                    Err(_) => break,
+                }
+            }
+            if self.lanes[self.lane].gate.senders_drained() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // Final sweep: the gate is drained, so nothing new can appear
+        // behind this.
         loop {
             match self.rx.try_recv() {
                 Ok(Msg::Request(r)) => self.enqueue(r),
@@ -1299,17 +1371,43 @@ impl Scheduler {
             max_batch_rows: self.cfg.max_batch_rows,
             configured_gpus: self.cfg.backend.gpus(),
             window_close_us: self.clock.now_us(),
+            lane: self.lane,
         };
         self.f32_lane.fail_all(&ctx);
         self.f64_lane.fail_all(&ctx);
     }
 
-    /// One loop iteration: block for a message, drain a batch window,
-    /// serve it. Returns `false` when the loop should exit (shutdown, or
-    /// every sender gone).
+    /// One loop iteration: obtain a message (blocking on the single-lane
+    /// layout; try-own / steal / short park on the sharded layout),
+    /// drain a batch window, serve it. Returns `false` when the loop
+    /// should exit (shutdown, or every sender gone).
     fn step(&mut self) -> bool {
-        let Ok(msg) = self.rx.recv() else {
-            return false;
+        let msg = if self.lanes.len() == 1 {
+            // Single lane (the default): the classic blocking drain — no
+            // stealing, no polling, exact legacy service order.
+            let Ok(msg) = self.rx.recv() else {
+                return false;
+            };
+            msg
+        } else {
+            match self.rx.try_recv() {
+                Ok(msg) => msg,
+                Err(TryRecvError::Disconnected) => return false,
+                Err(TryRecvError::Empty) => {
+                    // Own ring idle: steal from the deepest sibling
+                    // before parking, then park briefly so stealing
+                    // keeps happening even without local traffic to
+                    // wake this lane.
+                    if self.try_steal() {
+                        return true;
+                    }
+                    match self.rx.recv_timeout(STEAL_POLL) {
+                        Ok(msg) => msg,
+                        Err(RecvTimeoutError::Timeout) => return true,
+                        Err(RecvTimeoutError::Disconnected) => return false,
+                    }
+                }
+            }
         };
         {
             let mut shutting = false;
@@ -1385,6 +1483,69 @@ impl Scheduler {
         true
     }
 
+    /// Steals up to half of the deepest sibling ring into this lane's
+    /// window and serves it. Returns whether anything was stolen.
+    ///
+    /// Only siblings with **two or more** queued messages are victims: a
+    /// lone request is left for its owner, which is already on its way
+    /// to drain it — snatching it would just migrate depth-1 traffic
+    /// onto lanes with cold batching scratch for no latency win.
+    ///
+    /// A stolen [`Msg::Shutdown`] is pushed straight back onto the
+    /// sibling's ring: the sibling's gate is already closed by the time
+    /// Shutdown is sent, so nothing can enqueue behind the re-push and
+    /// the per-lane "Shutdown is the last message" guarantee survives
+    /// stealing.
+    fn try_steal(&mut self) -> bool {
+        let mut victim = usize::MAX;
+        let mut depth = 1usize;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if i == self.lane {
+                continue;
+            }
+            let len = lane.rx.len();
+            if len > depth {
+                depth = len;
+                victim = i;
+            }
+        }
+        if victim == usize::MAX {
+            return false;
+        }
+        let budget = depth / 2;
+        let mut stolen = 0u32;
+        for _ in 0..budget {
+            match self.lanes[victim].rx.try_recv() {
+                Ok(Msg::Request(r)) => {
+                    self.enqueue(r);
+                    stolen += 1;
+                }
+                Ok(Msg::Shutdown) => {
+                    let _ = self.lanes[victim].tx.send(Msg::Shutdown);
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        if stolen == 0 {
+            return false;
+        }
+        self.stats
+            .lane(self.lane)
+            .steals
+            .fetch_add(1, Ordering::Relaxed);
+        self.hub.event(
+            self.clock.now_us(),
+            ServeEventKind::Steal {
+                from: victim as u32,
+                to: self.lane as u32,
+                requests: stolen,
+            },
+        );
+        self.serve_pending();
+        true
+    }
+
     /// Serves everything drained this cycle: expired deadlines shed
     /// first, then batchable requests grouped by model and served in the
     /// global aged-priority/deadline/arrival order (interleaving dtypes),
@@ -1429,6 +1590,7 @@ impl Scheduler {
             max_batch_rows: self.cfg.max_batch_rows,
             configured_gpus: self.cfg.backend.gpus(),
             window_close_us: now,
+            lane: self.lane,
         };
         self.f32_lane.shed_expired(now, &ctx);
         self.f64_lane.shed_expired(now, &ctx);
@@ -1471,6 +1633,11 @@ impl Scheduler {
         }
         self.f32_lane.clear();
         self.f64_lane.clear();
+        // Republish this lane's depth gauge now the window has drained.
+        self.stats
+            .lane(self.lane)
+            .depth
+            .store(self.rx.len() as u64, Ordering::Relaxed);
     }
 }
 

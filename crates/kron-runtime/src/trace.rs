@@ -179,6 +179,16 @@ pub enum ServeEventKind {
         /// Kernel wall time (µs on the runtime clock).
         exec_us: u64,
     },
+    /// An idle scheduler lane stole queued requests from a backlogged
+    /// sibling lane's ring (sharded layout only).
+    Steal {
+        /// Lane the requests were queued on.
+        from: u32,
+        /// Lane that stole and served them.
+        to: u32,
+        /// Requests moved.
+        requests: u32,
+    },
 }
 
 /// One timestamped entry in the flight recorder, drained via
@@ -264,6 +274,12 @@ impl fmt::Display for ServeEvent {
                 "bypass       model={model} dtype={} rows={rows} exec={exec_us}us",
                 dtype.rust_name()
             ),
+            ServeEventKind::Steal { from, to, requests } => {
+                write!(
+                    f,
+                    "steal        lane {from} -> lane {to} requests={requests}"
+                )
+            }
         }
     }
 }

@@ -645,3 +645,108 @@ fn expired_deadline_sheds_identically_on_both_lanes() {
     // lane (the shed is an error reply, not a bypassed serve).
     assert_eq!(bypass.bypassed_requests, 0, "stats: {bypass:?}");
 }
+
+/// The bypass eligibility gate is scoped to the **submit lane**, not the
+/// whole runtime: an unclaimed ticket pinning one lane's inflight gauge
+/// at 1 closes the bypass door for models hashed to that lane only —
+/// a warm model on an idle sibling lane still serves inline.
+#[test]
+fn bypass_eligibility_is_scoped_to_the_submit_lane() {
+    let clock = Clock::manual();
+    let time = clock.manual_handle().unwrap();
+    let runtime = Runtime::new(RuntimeConfig {
+        scheduler_lanes: 4,
+        batch_linger_us: 0,
+        adaptive_linger: false,
+        clock,
+        ..RuntimeConfig::default()
+    });
+    time.set_us(1_000);
+
+    // Lane placement hashes the plan shape, so hash-distinct chains
+    // land on different lanes; pick the first two that diverge.
+    let chains: &[&[(usize, usize)]] = &[
+        &[(4, 4), (4, 4)],
+        &[(8, 8)],
+        &[(16, 16)],
+        &[(2, 2), (2, 2)],
+        &[(2, 2), (2, 2), (2, 2)],
+        &[(4, 4), (4, 4), (4, 4)],
+        &[(2, 2), (4, 4)],
+        &[(4, 4), (2, 2)],
+    ];
+    let mut models = Vec::new();
+    for (i, chain) in chains.iter().enumerate() {
+        let factors = model_factors(chain, 11 + i);
+        let model = runtime.load_model(factors.clone()).unwrap();
+        let lane = runtime.lane_for(&model);
+        models.push((model, factors, lane));
+    }
+    let free_idx = (1..models.len())
+        .find(|&i| models[i].2 != models[0].2)
+        .expect("two of eight shape chains must hash to distinct lanes");
+    let (held_model, held_factors, held_lane) = &models[0];
+    let (free_model, free_factors, free_lane) = &models[free_idx];
+    let (held_lane, free_lane) = (*held_lane, *free_lane);
+
+    // Warm both plans through the scheduler (first submits are cold).
+    for (model, factors) in [(held_model, held_factors), (free_model, free_factors)] {
+        let x = seq_matrix(2, model.input_cols(), 6);
+        let t = runtime.submit(model, x.clone()).unwrap();
+        pump_until_served(&runtime, &time, runtime.stats().submitted);
+        assert_matrices_close(&t.wait().unwrap(), &oracle(&x, factors), "warming request");
+    }
+
+    // Pin the held lane: a warm-plan submit bypasses inline, but its
+    // admission claim is only released when the ticket is claimed — so
+    // leaving the ticket unwaited keeps the lane's inflight gauge at 1.
+    let hold = runtime
+        .submit(held_model, seq_matrix(2, held_model.input_cols(), 30))
+        .unwrap();
+    let pinned = runtime.stats();
+    assert_eq!(pinned.bypassed_requests, 1, "stats: {pinned:?}");
+    assert_eq!(pinned.lanes()[held_lane].inflight, 1, "stats: {pinned:?}");
+    assert_eq!(pinned.lanes()[free_lane].inflight, 0, "stats: {pinned:?}");
+
+    // The idle sibling lane's door is still open: a warm model hashed
+    // there serves inline at submit time.
+    let x_free = seq_matrix(2, free_model.input_cols(), 31);
+    let t_free = runtime.submit(free_model, x_free.clone()).unwrap();
+    let after_free = runtime.stats();
+    assert_eq!(
+        after_free.bypassed_requests, 2,
+        "idle lane must bypass: {after_free:?}"
+    );
+    assert_eq!(after_free.lanes()[free_lane].bypassed_requests, 1);
+
+    // The pinned lane's door is closed: the same warm model that just
+    // bypassed now routes through the scheduler instead.
+    let x_held = seq_matrix(2, held_model.input_cols(), 32);
+    let t_held = runtime.submit(held_model, x_held.clone()).unwrap();
+    let after_held = runtime.stats();
+    assert_eq!(
+        after_held.bypassed_requests, 2,
+        "pinned lane must not bypass: {after_held:?}"
+    );
+
+    pump_until_served(&runtime, &time, after_held.submitted);
+    assert_matrices_close(
+        &t_free.wait().unwrap(),
+        &oracle(&x_free, free_factors),
+        "bypassed",
+    );
+    assert_matrices_close(
+        &t_held.wait().unwrap(),
+        &oracle(&x_held, held_factors),
+        "batched",
+    );
+    drop(hold);
+
+    let stats = runtime.stats();
+    assert_eq!(stats.inflight_requests, 0, "stats: {stats:?}");
+    for (i, lane) in stats.lanes().iter().enumerate() {
+        assert_eq!(lane.inflight, 0, "lane {i} gauge: {lane:?}");
+    }
+    assert_eq!(stats.lanes()[held_lane].bypassed_requests, 1, "the hold");
+    runtime.shutdown();
+}

@@ -195,6 +195,70 @@ fn scheduler_panic_poisons_runtime_without_stranding_waiters() {
     runtime.shutdown();
 }
 
+/// The poisoned-gate panic leak, fixed: after a scheduler panic, a
+/// submit from a **fresh thread** (one that never touched the runtime
+/// before the panic) must return the documented `KronError::Shutdown` —
+/// not panic. The old mutex-guarded gate could be left poisoned by the
+/// panicking scheduler, and client threads then panicked on
+/// `gate.lock().unwrap()` instead of erroring; the striped atomic gate
+/// has no lock to poison, and this drill pins the contract.
+#[test]
+fn poisoned_runtime_rejects_fresh_thread_submits_without_panicking() {
+    let clock = Clock::manual();
+    let runtime = Runtime::new(RuntimeConfig {
+        clock,
+        ..dist_config(4)
+    });
+    let factors = model_factors(&[(4, 4), (4, 4)], 14);
+    let model = runtime.load_model(factors).unwrap();
+    runtime
+        .install_fault_plan(FaultPlan::new().scheduler_panic_at_time(0))
+        .unwrap();
+
+    // Trip the panic: the first accepted request reaches the scheduler,
+    // which panics before serving and poisons the runtime. Resolving the
+    // ticket (or an immediate rejection) proves poisoning completed —
+    // the gates close before pending tickets are failed.
+    match runtime.submit(&model, seq_matrix(2, model.input_cols(), 1)) {
+        Ok(t) => match t.wait() {
+            Err(KronError::Shutdown) => {}
+            other => panic!("expected Shutdown from poisoned runtime, got {other:?}"),
+        },
+        Err(KronError::Shutdown) => {}
+        Err(other) => panic!("unexpected submit error {other:?}"),
+    }
+
+    // A fresh thread now submits (and opens a session) for the first
+    // time. Both must fail with Shutdown; a panic would surface as a
+    // join error.
+    std::thread::scope(|s| {
+        let result = s
+            .spawn(|| {
+                let submit = runtime.submit(&model, seq_matrix(2, model.input_cols(), 2));
+                let mut session = runtime.session();
+                let call = session.call(
+                    &model,
+                    seq_matrix(2, model.input_cols(), 3),
+                    kron_core::Matrix::zeros(2, model.output_cols()),
+                );
+                (submit, call)
+            })
+            .join()
+            .expect("fresh-thread submit must not panic on a poisoned runtime");
+        assert!(
+            matches!(result.0, Err(KronError::Shutdown)),
+            "{:?}",
+            result.0
+        );
+        assert!(
+            matches!(result.1, Err(KronError::Shutdown)),
+            "{:?}",
+            result.1
+        );
+    });
+    runtime.shutdown();
+}
+
 /// A device fault during `pin_model`'s pre-warm must evict the broken
 /// entry instead of pinning a dead engine: the pin fails, the cache
 /// drops the entry, and the next request builds fresh and serves.

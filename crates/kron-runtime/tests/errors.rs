@@ -320,6 +320,8 @@ fn runtime_stats_display_renders_every_counter_row() {
         "cached_bytes",
         "current_linger_us",
         "inflight_requests",
+        "scheduler_lanes",
+        "lane_steals",
     ];
     for name in rows {
         assert!(
@@ -327,9 +329,14 @@ fn runtime_stats_display_renders_every_counter_row() {
             "missing row {name} in:\n{table}"
         );
     }
-    // One header plus exactly one row per counter — a new counter must
-    // add a row (the Display impl destructures exhaustively).
-    assert_eq!(table.lines().count(), 1 + rows.len(), "{table}");
+    // One header plus exactly one row per counter plus one row per live
+    // scheduler lane — a new counter must add a row (the Display impl
+    // destructures exhaustively).
+    assert_eq!(
+        table.lines().count(),
+        1 + rows.len() + stats.lanes().len(),
+        "{table}"
+    );
     // Spot-check a value landed in its row, right-aligned.
     let served_row = table
         .lines()

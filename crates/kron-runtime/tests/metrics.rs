@@ -225,6 +225,8 @@ fn snapshot_renders_stable_json_and_prometheus_text() {
         "\"outcomes\":{\"ok\":",
         "\"models\":[{\"dtype\":\"f64\"",
         "\"devices\":[{\"gpu\":0,",
+        "\"scheduler_lanes\":1",
+        "\"lanes\":[{\"lane\":0,",
     ] {
         assert!(json.contains(needle), "missing {needle} in {json}");
     }
@@ -237,6 +239,8 @@ fn snapshot_renders_stable_json_and_prometheus_text() {
         "kron_stage_total_us_count 2",
         "kron_model_serves_total{dtype=\"f64\"",
         "kron_device_executes_total{gpu=\"0\"} 2",
+        "# TYPE kron_scheduler_lanes gauge\nkron_scheduler_lanes 1",
+        "kron_lane_served_total{lane=\"0\"} 2",
     ] {
         assert!(prom.contains(needle), "missing {needle} in {prom}");
     }
@@ -369,4 +373,89 @@ fn bypass_receipt_reports_zero_queue_and_linger() {
     };
     assert_eq!(outcome(Outcome::Bypass), 1);
     assert_eq!(outcome(Outcome::Ok), 1, "the warming serve");
+}
+
+/// The `inflight_requests` gauge (global and per lane) must reconcile
+/// to zero after every traffic pattern — including tickets **dropped
+/// unclaimed** after an error reply, the path where a double decrement
+/// (once at reply, once at ticket drop) would underflow the gauge. A
+/// slot releases its admission exactly once: `wait`/`take_blocking` if
+/// the ticket is claimed, the slot's `Drop` otherwise.
+#[test]
+fn inflight_gauge_reconciles_to_zero_after_abandoned_tickets() {
+    let clock = Clock::manual();
+    let time = clock.manual_handle().unwrap();
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 8,
+        batch_linger_us: 0,
+        adaptive_linger: false,
+        clock,
+        ..RuntimeConfig::default()
+    });
+    let factors = model_factors(&[(4, 4), (4, 4)], 23);
+    let model = runtime.load_model(factors).unwrap();
+    time.set_us(10_000);
+
+    // Waited Ok replies, abandoned Ok replies, and — the underflow
+    // hazard — abandoned *error* replies (expired deadlines shed with
+    // DeadlineExceeded, ticket dropped without waiting).
+    let mut waited = Vec::new();
+    let mut abandoned = Vec::new();
+    for i in 0..4 {
+        waited.push(
+            runtime
+                .submit(&model, seq_matrix(2, model.input_cols(), 40 + i))
+                .unwrap(),
+        );
+        abandoned.push(
+            runtime
+                .submit(&model, seq_matrix(2, model.input_cols(), 50 + i))
+                .unwrap(),
+        );
+        abandoned.push(
+            runtime
+                .submit_with(
+                    &model,
+                    seq_matrix(2, model.input_cols(), 60 + i),
+                    SubmitOptions::default().with_deadline_us(500),
+                )
+                .unwrap(),
+        );
+    }
+    pump_until_served(&runtime, &time, 12);
+    let mid = runtime.stats();
+    assert!(
+        mid.inflight_requests <= 12,
+        "gauge can never exceed admissions: {mid:?}"
+    );
+    for t in waited {
+        t.wait().expect("timely requests serve");
+    }
+    // Dropping unclaimed tickets releases their admission through the
+    // slot's Drop — exactly once each, error replies included.
+    drop(abandoned);
+
+    let stats = runtime.stats();
+    assert_eq!(stats.served, 12, "stats: {stats:?}");
+    assert_eq!(stats.error_replies, 4, "the shed requests: {stats:?}");
+    assert_eq!(
+        stats.inflight_requests, 0,
+        "global gauge must return to zero: {stats:?}"
+    );
+    for (i, lane) in stats.lanes().iter().enumerate() {
+        assert_eq!(
+            lane.inflight, 0,
+            "lane {i} gauge must return to zero: {lane:?}"
+        );
+        assert_eq!(
+            lane.batched_requests
+                + lane.solo_requests
+                + lane.bypassed_requests
+                + lane.error_replies,
+            lane.served,
+            "lane {i} decomposition: {lane:?}"
+        );
+    }
+    runtime.shutdown();
 }

@@ -475,3 +475,75 @@ fn steady_state_bypass_lane_is_allocation_free() {
     let oracle32 = kron_core::shuffle::kron_matmul_shuffle(&x32, &refs32).unwrap();
     assert_matrices_close(&y32, &oracle32, "bypassed f32 result");
 }
+
+/// The sharded scheduler topology holds the same bar: with four service
+/// lanes live (idle siblings polling their rings and probing for work to
+/// steal), two warm models hashed to different lanes serving through the
+/// scheduler path allocate **zero** times steady state. The lock-free
+/// admission ring, the per-lane depth gauges, the steal probe, and the
+/// per-lane counters are all preallocated atomics — scaling the lane
+/// count must not reintroduce per-request heap traffic anywhere in the
+/// process.
+#[test]
+fn steady_state_lane_sharded_serving_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let runtime = Runtime::new(RuntimeConfig {
+        max_batch_rows: 32,
+        batch_max_m: 16,
+        max_queue: 64,
+        scheduler_lanes: 4,
+        inline_bypass: false,
+        ..RuntimeConfig::default()
+    });
+    // Hash-distinct shapes so the two models exercise different lanes.
+    let f_a: Vec<Matrix<f64>> = (0..2).map(|i| seq_matrix(4, 4, i + 1)).collect();
+    let f_b: Vec<Matrix<f64>> = (0..3).map(|i| seq_matrix(2, 2, i + 4)).collect();
+    let model_a = runtime.load_model(f_a.clone()).unwrap();
+    let model_b = runtime.load_model(f_b.clone()).unwrap();
+    let mut session = runtime.session();
+
+    let mut xa = seq_matrix(4, model_a.input_cols(), 3);
+    let mut ya = Matrix::zeros(4, model_a.output_cols());
+    let mut xb = seq_matrix(4, model_b.input_cols(), 5);
+    let mut yb = Matrix::zeros(4, model_b.output_cols());
+
+    // Warm both lanes: plans built, rings circulated, reply slots and
+    // batching scratch grown to steady size on every lane involved.
+    for _ in 0..16 {
+        (xa, ya) = session.call(&model_a, xa, ya).unwrap();
+        (xb, yb) = session.call(&model_b, xb, yb).unwrap();
+    }
+
+    const SERVED: usize = 32;
+    let (allocs, moved) = allocations_during(|| {
+        let mut ba = (xa, ya);
+        let mut bb = (xb, yb);
+        for _ in 0..SERVED {
+            ba = session.call(&model_a, ba.0, ba.1).unwrap();
+            bb = session.call(&model_b, bb.0, bb.1).unwrap();
+        }
+        (ba, bb)
+    });
+    let ((xa, ya), (xb, yb)) = moved;
+    assert_eq!(
+        allocs, 0,
+        "lane-sharded serving of {SERVED} warm request pairs allocated {allocs} times \
+         (expected zero steady-state allocations per request across all lanes)"
+    );
+
+    // Right answers, full reconciliation across the lane topology.
+    let refs_a: Vec<&Matrix<f64>> = f_a.iter().collect();
+    let oracle_a = kron_core::shuffle::kron_matmul_shuffle(&xa, &refs_a).unwrap();
+    assert_matrices_close(&ya, &oracle_a, "lane-sharded result A");
+    let refs_b: Vec<&Matrix<f64>> = f_b.iter().collect();
+    let oracle_b = kron_core::shuffle::kron_matmul_shuffle(&xb, &refs_b).unwrap();
+    assert_matrices_close(&yb, &oracle_b, "lane-sharded result B");
+    let stats = runtime.stats();
+    assert_eq!(stats.scheduler_lanes, 4, "stats: {stats:?}");
+    assert_eq!(stats.inflight_requests, 0, "stats: {stats:?}");
+    let lane_served: u64 = stats.lanes().iter().map(|l| l.served).sum();
+    assert_eq!(lane_served, stats.served, "stats: {stats:?}");
+    for (i, lane) in stats.lanes().iter().enumerate() {
+        assert_eq!(lane.inflight, 0, "lane {i} gauge: {lane:?}");
+    }
+}

@@ -437,6 +437,261 @@ fn session_calls_fail_cleanly_after_shutdown() {
     assert_eq!(err, KronError::Shutdown);
 }
 
+/// N submitter threads × M mixed-dtype requests through the sharded
+/// scheduler (4 lanes): every result stays bit-exact against the
+/// shuffle oracle, and the serve ledger reconciles **per lane** as well
+/// as globally — `served == batched + solo + bypassed + error_replies`
+/// on each live lane, lane sums equal the global counters, and every
+/// inflight gauge returns to zero.
+#[test]
+fn multi_producer_contention_reconciles_per_lane_and_globally() {
+    let runtime = Arc::new(Runtime::new(RuntimeConfig {
+        scheduler_lanes: 4,
+        max_batch_rows: 32,
+        batch_max_m: 16,
+        max_queue: 128,
+        ..RuntimeConfig::default()
+    }));
+
+    // Six f64 models with distinct shape chains (spread across lanes by
+    // the plan-identity hash) plus two f32 models sharing chains with
+    // f64 ones — the dtype folds into the hash, so same-shape mixed
+    // traffic can still split.
+    let f64_shapes: Vec<Vec<(usize, usize)>> = vec![
+        vec![(4, 4), (4, 4)],
+        vec![(8, 8), (8, 8)],
+        vec![(2, 3), (5, 2), (3, 4)],
+        vec![(3, 3), (3, 3), (3, 3)],
+        vec![(16, 16)],
+        vec![(2, 2), (2, 2), (2, 2), (2, 2)],
+    ];
+    let f64_factors: Vec<Vec<Matrix<f64>>> = f64_shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| model_factors(s, 13 * i + 1))
+        .collect();
+    let f64_models: Vec<Model<f64>> = f64_factors
+        .iter()
+        .map(|fs| runtime.load_model(fs.clone()).unwrap())
+        .collect();
+    let f32_factors: Vec<Vec<Matrix<f32>>> = f64_shapes[..2]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.iter()
+                .enumerate()
+                .map(|(j, &(p, q))| {
+                    Matrix::from_fn(p, q, |r, c| {
+                        ((i * 31 + j * 5 + 7 * r * q + 3 * c) % 19) as f32 - 9.0
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let f32_models: Vec<Model<f32>> = f32_factors
+        .iter()
+        .map(|fs| runtime.load_model(fs.clone()).unwrap())
+        .collect();
+    let f64_factors = Arc::new(f64_factors);
+    let f64_models = Arc::new(f64_models);
+    let f32_factors = Arc::new(f32_factors);
+    let f32_models = Arc::new(f32_models);
+
+    const THREADS: usize = 8;
+    const REQUESTS_PER_THREAD: usize = 48;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let runtime = Arc::clone(&runtime);
+        let f64_models = Arc::clone(&f64_models);
+        let f64_factors = Arc::clone(&f64_factors);
+        let f32_models = Arc::clone(&f32_models);
+        let f32_factors = Arc::clone(&f32_factors);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..REQUESTS_PER_THREAD {
+                let m = 1 + (t * 7 + i * 3) % 24;
+                if (t + i) % 3 == 0 {
+                    let which = (t + i) % f32_models.len();
+                    let model = &f32_models[which];
+                    let x = Matrix::<f32>::from_fn(m, model.input_cols(), |r, c| {
+                        ((t * 100 + i + 7 * r + 3 * c) % 19) as f32 - 9.0
+                    });
+                    let refs: Vec<&Matrix<f32>> = f32_factors[which].iter().collect();
+                    let expected = kron_matmul_shuffle(&x, &refs).unwrap();
+                    let y = runtime.execute(model, x).unwrap();
+                    assert_eq!(y, expected, "f32 thread {t} req {i} must be bit-exact");
+                } else {
+                    let which = (t + i) % f64_models.len();
+                    let model = &f64_models[which];
+                    let x = seq_matrix(m, model.input_cols(), t * 100 + i);
+                    let expected = oracle(&x, &f64_factors[which]);
+                    let y = runtime.execute(model, x).unwrap();
+                    assert_matrices_close(&y, &expected, &format!("f64 thread {t} req {i}"));
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = runtime.stats();
+    let total = (THREADS * REQUESTS_PER_THREAD) as u64;
+    assert_eq!(stats.submitted, total, "stats: {stats:?}");
+    assert_eq!(stats.served, total, "stats: {stats:?}");
+    assert_eq!(stats.scheduler_lanes, 4, "stats: {stats:?}");
+    assert_eq!(
+        stats.batched_requests
+            + stats.solo_requests
+            + stats.bypassed_requests
+            + stats.error_replies,
+        stats.served,
+        "global decomposition: {stats:?}"
+    );
+    let lanes = stats.lanes();
+    assert_eq!(lanes.len(), 4);
+    let mut lane_served_sum = 0;
+    let mut used = 0;
+    for (i, lane) in lanes.iter().enumerate() {
+        assert_eq!(
+            lane.batched_requests
+                + lane.solo_requests
+                + lane.bypassed_requests
+                + lane.error_replies,
+            lane.served,
+            "lane {i} decomposition: {lane:?}"
+        );
+        assert_eq!(lane.inflight, 0, "lane {i} gauge must drain: {lane:?}");
+        lane_served_sum += lane.served;
+        if lane.served > 0 {
+            used += 1;
+        }
+    }
+    assert_eq!(lane_served_sum, stats.served, "lane sums: {lanes:?}");
+    assert_eq!(stats.inflight_requests, 0, "stats: {stats:?}");
+    // Eight distinct plan identities over four lanes: the hash must not
+    // funnel everything into one lane (stealing may shift serves, but
+    // only *away* from a busy lane — at least two lanes see traffic).
+    assert!(used >= 2, "all traffic on one lane: {lanes:?}");
+}
+
+/// Two (or eight) concurrent submitters against one warm model race the
+/// bypass eligibility check. Eligibility is a CAS claim on the lane's
+/// inflight gauge, so at most one wins the inline path at a time; the
+/// rest batch. Every result stays oracle-exact, the ledger decomposes,
+/// and the gauges return to zero — the regression test for the
+/// two-readers-both-see-idle race the Relaxed-load gate allowed.
+#[test]
+fn concurrent_bypass_claims_race_safely_on_one_warm_model() {
+    let runtime = Arc::new(Runtime::with_defaults());
+    let factors = model_factors(&[(4, 4), (4, 4)], 21);
+    let model = Arc::new(runtime.load_model(factors.clone()).unwrap());
+    // Warm the full-width plan so every submitter sees a bypassable
+    // entry.
+    let warm = seq_matrix(2, model.input_cols(), 0);
+    runtime.execute(&model, warm).unwrap();
+
+    const THREADS: usize = 8;
+    const REQUESTS_PER_THREAD: usize = 60;
+    let factors = Arc::new(factors);
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let runtime = Arc::clone(&runtime);
+        let model = Arc::clone(&model);
+        let factors = Arc::clone(&factors);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..REQUESTS_PER_THREAD {
+                let x = seq_matrix(1 + i % 3, model.input_cols(), t * 1000 + i);
+                let expected = oracle(&x, &factors);
+                let y = runtime.execute(&model, x).unwrap();
+                assert_matrices_close(&y, &expected, &format!("claim race thread {t} req {i}"));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = runtime.stats();
+    let total = 1 + (THREADS * REQUESTS_PER_THREAD) as u64;
+    assert_eq!(stats.served, total, "stats: {stats:?}");
+    assert_eq!(
+        stats.batched_requests
+            + stats.solo_requests
+            + stats.bypassed_requests
+            + stats.error_replies,
+        stats.served,
+        "decomposition: {stats:?}"
+    );
+    assert_eq!(stats.inflight_requests, 0, "gauge must drain: {stats:?}");
+    for (i, lane) in stats.lanes().iter().enumerate() {
+        assert_eq!(lane.inflight, 0, "lane {i} gauge must drain: {lane:?}");
+    }
+}
+
+/// One hot model backlogs its home lane while three sibling lanes sit
+/// idle: the idle lanes must steal from the deep ring (observable in
+/// `lane_steals` and per-lane `steals`/`served`), and every stolen
+/// request still matches the oracle bit-for-bit.
+#[test]
+fn work_stealing_relieves_a_backlogged_lane() {
+    let runtime = Arc::new(Runtime::new(RuntimeConfig {
+        scheduler_lanes: 4,
+        max_batch_rows: 16,
+        batch_max_m: 8,
+        // A small ring (max_queue * 2) keeps the home lane visibly deep,
+        // so sibling steal polls cannot miss the backlog.
+        max_queue: 32,
+        inline_bypass: false,
+        ..RuntimeConfig::default()
+    }));
+    let factors = model_factors(&[(4, 4), (4, 4)], 33);
+    let model = Arc::new(runtime.load_model(factors.clone()).unwrap());
+    let home_lane = runtime.lane_for(&model);
+
+    const THREADS: usize = 4;
+    const REQUESTS_PER_THREAD: usize = 400;
+    let factors = Arc::new(factors);
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let runtime = Arc::clone(&runtime);
+        let model = Arc::clone(&model);
+        let factors = Arc::clone(&factors);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..REQUESTS_PER_THREAD {
+                let x = seq_matrix(1 + i % 4, model.input_cols(), t * 10_000 + i);
+                let expected = oracle(&x, &factors);
+                let y = runtime.execute(&model, x).unwrap();
+                assert_matrices_close(&y, &expected, &format!("steal thread {t} req {i}"));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = runtime.stats();
+    let total = (THREADS * REQUESTS_PER_THREAD) as u64;
+    assert_eq!(stats.served, total, "stats: {stats:?}");
+    assert!(
+        stats.lane_steals >= 1,
+        "idle lanes never stole from the backlogged ring: {stats:?}"
+    );
+    let lanes = stats.lanes();
+    // Stolen work is served (and counted) on the thief's lane.
+    let stolen_serves: u64 = lanes
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != home_lane)
+        .map(|(_, l)| l.served)
+        .sum();
+    assert!(
+        stolen_serves >= 1,
+        "thief lanes served nothing (home {home_lane}): {lanes:?}"
+    );
+    let lane_served_sum: u64 = lanes.iter().map(|l| l.served).sum();
+    assert_eq!(lane_served_sum, stats.served, "lane sums: {lanes:?}");
+}
+
 #[test]
 fn submit_validates_shapes() {
     let runtime = Runtime::with_defaults();

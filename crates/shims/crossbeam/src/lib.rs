@@ -1,19 +1,173 @@
 //! Vendored API-subset shim of [crossbeam](https://crates.io/crates/crossbeam).
 //!
-//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` with
-//! clonable ends — the surface the simulated multi-GPU fabric uses as its
-//! NCCL stand-in. Backed by a `Mutex<VecDeque>` + `Condvar`; throughput is
-//! irrelevant at the fabric's message counts (a few per GPU pair per run).
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver}`
+//! with clonable ends, plus `queue::ArrayQueue` — the surfaces used by the
+//! simulated multi-GPU fabric (as its NCCL stand-in) and the serving
+//! runtime's sharded admission lanes.
+//!
+//! Two channel flavors, mirroring crossbeam's internal design:
+//!
+//! - **list** ([`channel::unbounded`]): `Mutex<VecDeque>` + `Condvar`.
+//!   Throughput is irrelevant at the fabric's message counts (a few per
+//!   GPU pair per run), so the simple lock is fine.
+//! - **ring** ([`channel::bounded`]): a lock-free bounded MPMC ring
+//!   ([`queue::ArrayQueue`], Vyukov's algorithm) with condvar-assisted
+//!   parking for blocking receives. Producers never take a lock on the
+//!   fast path (they only touch the condvar mutex when a receiver has
+//!   registered itself as sleeping), so N submitter threads scale without
+//!   serializing on admission. The ring is preallocated at construction —
+//!   sends never allocate, preserving zero-alloc steady-state serving.
 
 #![deny(missing_docs)]
+
+/// Lock-free concurrent queues, mirroring `crossbeam::queue`.
+pub mod queue {
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// One slot of the ring. `seq` encodes the slot's lap state: writers
+    /// may claim the slot when `seq == pos`, readers when `seq == pos + 1`.
+    struct Slot<T> {
+        seq: AtomicUsize,
+        value: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    /// A bounded lock-free multi-producer multi-consumer queue (Dmitry
+    /// Vyukov's bounded MPMC ring). Capacity is rounded up to a power of
+    /// two; all storage is allocated once at construction, so `push`/`pop`
+    /// never allocate.
+    pub struct ArrayQueue<T> {
+        slots: Box<[Slot<T>]>,
+        mask: usize,
+        head: AtomicUsize,
+        tail: AtomicUsize,
+    }
+
+    unsafe impl<T: Send> Send for ArrayQueue<T> {}
+    unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at least `capacity` elements (rounded
+        /// up to the next power of two, minimum 2).
+        pub fn new(capacity: usize) -> Self {
+            let cap = capacity.max(2).next_power_of_two();
+            let slots = (0..cap)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            ArrayQueue {
+                slots,
+                mask: cap - 1,
+                head: AtomicUsize::new(0),
+                tail: AtomicUsize::new(0),
+            }
+        }
+
+        /// Number of slots (always a power of two).
+        pub fn capacity(&self) -> usize {
+            self.slots.len()
+        }
+
+        /// Attempts to enqueue; returns the value back if the ring is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut pos = self.tail.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.slots[pos & self.mask];
+                let seq = slot.seq.load(Ordering::Acquire);
+                let diff = seq as isize - pos as isize;
+                if diff == 0 {
+                    // Slot is free for this lap; try to claim it.
+                    match self.tail.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                } else if diff < 0 {
+                    // The slot still holds a value from `mask + 1` laps
+                    // ago: the ring is full.
+                    return Err(value);
+                } else {
+                    pos = self.tail.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Attempts to dequeue; returns `None` if the ring is empty.
+        pub fn pop(&self) -> Option<T> {
+            let mut pos = self.head.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.slots[pos & self.mask];
+                let seq = slot.seq.load(Ordering::Acquire);
+                let diff = seq as isize - pos.wrapping_add(1) as isize;
+                if diff == 0 {
+                    match self.head.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            // Mark the slot writable for the next lap.
+                            slot.seq
+                                .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                } else if diff < 0 {
+                    return None;
+                } else {
+                    pos = self.head.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Approximate number of queued elements (racy snapshot).
+        pub fn len(&self) -> usize {
+            let tail = self.tail.load(Ordering::Relaxed);
+            let head = self.head.load(Ordering::Relaxed);
+            tail.wrapping_sub(head) as isize as usize
+        }
+
+        /// Whether the queue currently looks empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Drop for ArrayQueue<T> {
+        fn drop(&mut self) {
+            while self.pop().is_some() {}
+        }
+    }
+}
 
 /// Multi-producer multi-consumer channels, mirroring `crossbeam::channel`.
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
+    use std::sync::atomic::{fence, AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
-    struct Shared<T> {
+    use crate::queue::ArrayQueue;
+
+    // ---------------------------------------------------------------- list
+
+    struct ListShared<T> {
         queue: Mutex<Queue<T>>,
         ready: Condvar,
     }
@@ -23,14 +177,45 @@ pub mod channel {
         senders: usize,
     }
 
-    /// Sending half of an unbounded channel.
-    pub struct Sender<T> {
-        shared: Arc<Shared<T>>,
+    // ---------------------------------------------------------------- ring
+
+    struct RingShared<T> {
+        ring: ArrayQueue<T>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+        /// Number of receivers parked (or about to park) on `ready`.
+        /// Producers only touch the condvar mutex when this is non-zero.
+        sleepers: AtomicUsize,
+        lock: Mutex<()>,
+        ready: Condvar,
     }
 
-    /// Receiving half of an unbounded channel.
+    impl<T> RingShared<T> {
+        /// Wakes parked receivers if any are registered. Pairs a SeqCst
+        /// fence after the producer's push with one after the consumer's
+        /// sleeper registration so a wakeup can never be missed.
+        fn notify(&self) {
+            fence(Ordering::SeqCst);
+            if self.sleepers.load(Ordering::Relaxed) > 0 {
+                let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+                self.ready.notify_all();
+            }
+        }
+    }
+
+    enum Flavor<T> {
+        List(Arc<ListShared<T>>),
+        Ring(Arc<RingShared<T>>),
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        flavor: Flavor<T>,
+    }
+
+    /// Receiving half of a channel.
     pub struct Receiver<T> {
-        shared: Arc<Shared<T>>,
+        flavor: Flavor<T>,
     }
 
     /// Error returned by [`Sender::send`] when every receiver is gone.
@@ -83,7 +268,7 @@ pub mod channel {
 
     /// Creates an unbounded channel; both ends are clonable.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let shared = Arc::new(Shared {
+        let shared = Arc::new(ListShared {
             queue: Mutex::new(Queue {
                 items: VecDeque::new(),
                 senders: 1,
@@ -92,43 +277,143 @@ pub mod channel {
         });
         (
             Sender {
-                shared: Arc::clone(&shared),
+                flavor: Flavor::List(Arc::clone(&shared)),
             },
-            Receiver { shared },
+            Receiver {
+                flavor: Flavor::List(shared),
+            },
+        )
+    }
+
+    /// Creates a bounded lock-free MPMC channel holding at least `capacity`
+    /// messages (rounded up to a power of two). Both ends are clonable —
+    /// cloned receivers make the channel work-stealable. `send` spins (with
+    /// yields) while the ring is full, providing backpressure without a
+    /// lock; `recv` parks on a condvar only after the ring is observed
+    /// empty.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(RingShared {
+            ring: ArrayQueue::new(capacity),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            sleepers: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                flavor: Flavor::Ring(Arc::clone(&shared)),
+            },
+            Receiver {
+                flavor: Flavor::Ring(shared),
+            },
         )
     }
 
     impl<T> Sender<T> {
-        /// Enqueues a message; never blocks.
+        /// Enqueues a message. The list flavor never blocks; the ring
+        /// flavor spin-yields while full (backpressure) and fails only
+        /// when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            // Receivers alive ⇔ some Arc is held by a Receiver. With both
-            // ends counted in one Arc we cannot distinguish cheaply, so the
-            // shim (like a fabric with pre-created mailboxes) always
-            // accepts; a dropped receiver just discards the queue.
-            let mut q = self.shared.queue.lock().unwrap();
-            q.items.push_back(value);
-            drop(q);
-            self.shared.ready.notify_one();
-            Ok(())
+            match &self.flavor {
+                Flavor::List(shared) => {
+                    // Receivers alive ⇔ some Arc is held by a Receiver.
+                    // The shim (like a fabric with pre-created mailboxes)
+                    // always accepts; a dropped receiver discards the queue.
+                    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    q.items.push_back(value);
+                    drop(q);
+                    shared.ready.notify_one();
+                    Ok(())
+                }
+                Flavor::Ring(shared) => {
+                    let mut value = value;
+                    let mut spins = 0u32;
+                    loop {
+                        if shared.receivers.load(Ordering::Acquire) == 0 {
+                            return Err(SendError(value));
+                        }
+                        match shared.ring.push(value) {
+                            Ok(()) => {
+                                shared.notify();
+                                return Ok(());
+                            }
+                            Err(v) => value = v,
+                        }
+                        // Full ring: a consumer exists (checked above) and
+                        // is draining, so back off briefly and retry.
+                        spins += 1;
+                        if spins < 64 {
+                            std::hint::spin_loop();
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Approximate number of queued messages (racy snapshot).
+        pub fn len(&self) -> usize {
+            match &self.flavor {
+                Flavor::List(shared) => shared
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .items
+                    .len(),
+                Flavor::Ring(shared) => shared.ring.len(),
+            }
+        }
+
+        /// Whether the channel currently looks empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.shared.queue.lock().unwrap().senders += 1;
-            Sender {
-                shared: Arc::clone(&self.shared),
+            match &self.flavor {
+                Flavor::List(shared) => {
+                    shared
+                        .queue
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .senders += 1;
+                    Sender {
+                        flavor: Flavor::List(Arc::clone(shared)),
+                    }
+                }
+                Flavor::Ring(shared) => {
+                    shared.senders.fetch_add(1, Ordering::Relaxed);
+                    Sender {
+                        flavor: Flavor::Ring(Arc::clone(shared)),
+                    }
+                }
             }
         }
     }
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut q = self.shared.queue.lock().unwrap();
-            q.senders -= 1;
-            if q.senders == 0 {
-                drop(q);
-                self.shared.ready.notify_all();
+            match &self.flavor {
+                Flavor::List(shared) => {
+                    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    q.senders -= 1;
+                    if q.senders == 0 {
+                        drop(q);
+                        shared.ready.notify_all();
+                    }
+                }
+                Flavor::Ring(shared) => {
+                    if shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Last sender: wake parked receivers so they can
+                        // observe the disconnect.
+                        let _guard = shared.lock.lock().unwrap_or_else(|e| e.into_inner());
+                        shared.ready.notify_all();
+                    }
+                }
             }
         }
     }
@@ -136,54 +421,156 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or every sender is dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut q = self.shared.queue.lock().unwrap();
-            loop {
-                if let Some(v) = q.items.pop_front() {
-                    return Ok(v);
+            match &self.flavor {
+                Flavor::List(shared) => {
+                    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        if let Some(v) = q.items.pop_front() {
+                            return Ok(v);
+                        }
+                        if q.senders == 0 {
+                            return Err(RecvError);
+                        }
+                        q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
                 }
-                if q.senders == 0 {
-                    return Err(RecvError);
-                }
-                q = self.shared.ready.wait(q).unwrap();
+                Flavor::Ring(shared) => loop {
+                    if let Some(v) = shared.ring.pop() {
+                        return Ok(v);
+                    }
+                    if shared.senders.load(Ordering::Acquire) == 0 {
+                        // Catch a send racing the disconnect check.
+                        return shared.ring.pop().ok_or(RecvError);
+                    }
+                    let mut guard = shared.lock.lock().unwrap_or_else(|e| e.into_inner());
+                    shared.sleepers.fetch_add(1, Ordering::SeqCst);
+                    fence(Ordering::SeqCst);
+                    // Re-check after registering: a producer that missed
+                    // our registration must have pushed before it.
+                    if !shared.ring.is_empty() || shared.senders.load(Ordering::Acquire) == 0 {
+                        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    guard = shared.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+                    drop(guard);
+                    shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                },
             }
         }
 
         /// Blocks up to `timeout` for a message — a timed [`Self::recv`]
         /// (parks on the condvar; no spinning).
-        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
-            let deadline = std::time::Instant::now() + timeout;
-            let mut q = self.shared.queue.lock().unwrap();
-            loop {
-                if let Some(v) = q.items.pop_front() {
-                    return Ok(v);
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            match &self.flavor {
+                Flavor::List(shared) => {
+                    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        if let Some(v) = q.items.pop_front() {
+                            return Ok(v);
+                        }
+                        if q.senders == 0 {
+                            return Err(RecvTimeoutError::Disconnected);
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        let (guard, _) = shared
+                            .ready
+                            .wait_timeout(q, deadline - now)
+                            .unwrap_or_else(|e| e.into_inner());
+                        q = guard;
+                    }
                 }
-                if q.senders == 0 {
-                    return Err(RecvTimeoutError::Disconnected);
-                }
-                let now = std::time::Instant::now();
-                if now >= deadline {
-                    return Err(RecvTimeoutError::Timeout);
-                }
-                let (guard, _) = self.shared.ready.wait_timeout(q, deadline - now).unwrap();
-                q = guard;
+                Flavor::Ring(shared) => loop {
+                    if let Some(v) = shared.ring.pop() {
+                        return Ok(v);
+                    }
+                    if shared.senders.load(Ordering::Acquire) == 0 {
+                        return shared.ring.pop().ok_or(RecvTimeoutError::Disconnected);
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                    let guard = shared.lock.lock().unwrap_or_else(|e| e.into_inner());
+                    shared.sleepers.fetch_add(1, Ordering::SeqCst);
+                    fence(Ordering::SeqCst);
+                    if !shared.ring.is_empty() || shared.senders.load(Ordering::Acquire) == 0 {
+                        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    let (guard, _) = shared
+                        .ready
+                        .wait_timeout(guard, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    drop(guard);
+                    shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                },
             }
         }
 
         /// Dequeues a message if one is ready.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut q = self.shared.queue.lock().unwrap();
-            match q.items.pop_front() {
-                Some(v) => Ok(v),
-                None if q.senders == 0 => Err(TryRecvError::Disconnected),
-                None => Err(TryRecvError::Empty),
+            match &self.flavor {
+                Flavor::List(shared) => {
+                    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    match q.items.pop_front() {
+                        Some(v) => Ok(v),
+                        None if q.senders == 0 => Err(TryRecvError::Disconnected),
+                        None => Err(TryRecvError::Empty),
+                    }
+                }
+                Flavor::Ring(shared) => match shared.ring.pop() {
+                    Some(v) => Ok(v),
+                    None if shared.senders.load(Ordering::Acquire) == 0 => {
+                        shared.ring.pop().ok_or(TryRecvError::Disconnected)
+                    }
+                    None => Err(TryRecvError::Empty),
+                },
             }
+        }
+
+        /// Approximate number of queued messages (racy snapshot).
+        pub fn len(&self) -> usize {
+            match &self.flavor {
+                Flavor::List(shared) => shared
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .items
+                    .len(),
+                Flavor::Ring(shared) => shared.ring.len(),
+            }
+        }
+
+        /// Whether the channel currently looks empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            Receiver {
-                shared: Arc::clone(&self.shared),
+            match &self.flavor {
+                Flavor::List(shared) => Receiver {
+                    flavor: Flavor::List(Arc::clone(shared)),
+                },
+                Flavor::Ring(shared) => {
+                    shared.receivers.fetch_add(1, Ordering::Relaxed);
+                    Receiver {
+                        flavor: Flavor::Ring(Arc::clone(shared)),
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if let Flavor::Ring(shared) = &self.flavor {
+                shared.receivers.fetch_sub(1, Ordering::AcqRel);
             }
         }
     }
@@ -191,7 +578,8 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use super::channel::{bounded, unbounded, RecvTimeoutError, TryRecvError};
+    use super::queue::ArrayQueue;
 
     #[test]
     fn send_recv_fifo() {
@@ -246,5 +634,106 @@ mod tests {
         }
         t.join().unwrap();
         assert_eq!(sum, (0..100).sum::<i32>());
+    }
+
+    #[test]
+    fn array_queue_fifo_and_full() {
+        let q = ArrayQueue::new(4);
+        assert_eq!(q.capacity(), 4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.push(99), Err(99));
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        // Laps wrap correctly.
+        for lap in 0..3 {
+            q.push(lap).unwrap();
+            assert_eq!(q.pop(), Some(lap));
+        }
+    }
+
+    #[test]
+    fn bounded_fifo_timeout_and_disconnect() {
+        use std::time::Duration;
+        let (s, r) = bounded::<u32>(8);
+        s.send(1).unwrap();
+        s.send(2).unwrap();
+        assert_eq!(r.recv().unwrap(), 1);
+        assert_eq!(r.try_recv().unwrap(), 2);
+        assert_eq!(r.try_recv(), Err(TryRecvError::Empty));
+        assert_eq!(
+            r.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        s.send(3).unwrap();
+        assert_eq!(r.recv_timeout(Duration::from_millis(5)), Ok(3));
+        drop(s);
+        assert!(r.recv().is_err());
+        assert_eq!(r.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_multi_producer_multi_consumer_counts() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 3;
+        const PER: u64 = 2000;
+        let (s, r) = bounded::<u64>(64);
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..PER {
+                        s.send(p as u64 * PER + i).unwrap();
+                    }
+                });
+            }
+            drop(s);
+            for _ in 0..CONSUMERS {
+                let r = r.clone();
+                let (sum, count) = (&sum, &count);
+                scope.spawn(move || {
+                    while let Ok(v) = r.recv() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let total = PRODUCERS as u64 * PER;
+        assert_eq!(count.load(Ordering::Relaxed), total);
+        assert_eq!(sum.load(Ordering::Relaxed), (0..total).sum::<u64>());
+    }
+
+    #[test]
+    fn bounded_backpressure_send_blocks_until_drained() {
+        let (s, r) = bounded::<u32>(2);
+        s.send(0).unwrap();
+        s.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            s.send(2).unwrap(); // Spins until the consumer pops.
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(r.recv().unwrap(), 0);
+        assert_eq!(r.recv().unwrap(), 1);
+        assert_eq!(r.recv().unwrap(), 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_send_fails_when_all_receivers_dropped() {
+        let (s, r) = bounded::<u32>(2);
+        s.send(0).unwrap();
+        s.send(1).unwrap();
+        drop(r);
+        // Ring is full and no consumer will ever drain it: send must fail
+        // rather than spin forever.
+        assert!(s.send(2).is_err());
     }
 }

@@ -5,10 +5,11 @@
 //! do their work.
 //!
 //! The runtime is **dtype-erased**: one `Runtime` (no type parameter)
-//! serves `f32` and `f64` models side by side through one scheduler
-//! thread, one admission queue, and one plan cache. Models, tickets, and
-//! sessions stay typed — mixing dtypes is just loading both kinds of
-//! model into the same runtime.
+//! serves `f32` and `f64` models side by side through one pool of
+//! scheduler lanes (two here — each lane is a service thread with its
+//! own lock-free admission ring; models pin to lanes by plan shape) and
+//! one plan cache. Models, tickets, and sessions stay typed — mixing
+//! dtypes is just loading both kinds of model into the same runtime.
 //!
 //! Run with `cargo run --release --example serving`.
 
@@ -22,6 +23,9 @@ fn main() {
         max_batch_rows: 128,
         batch_max_m: 16,
         batch_linger_us: 200,
+        // Two service lanes: each model's traffic pins to one lane by
+        // plan shape, so one hot model can't starve the other's latency.
+        scheduler_lanes: 2,
         ..RuntimeConfig::default()
     });
 
@@ -143,6 +147,27 @@ fn main() {
         stats.cached_entries,
         stats.cached_bytes / 1024,
     );
+    // The lane topology, per lane: where each model pinned, how much
+    // each service thread carried, and whether work-stealing kicked in.
+    println!(
+        "lane topology: {} lanes (f32 model -> lane {}, f64 model -> lane {})",
+        stats.scheduler_lanes,
+        runtime.lane_for(&model32),
+        runtime.lane_for(&model64),
+    );
+    for (i, lane) in stats.lanes().iter().enumerate() {
+        println!(
+            "  lane {i}: served={} (batched={}, solo={}, bypassed={}, errors={}), \
+             steals={}, inflight={}",
+            lane.served,
+            lane.batched_requests,
+            lane.solo_requests,
+            lane.bypassed_requests,
+            lane.error_replies,
+            lane.steals,
+            lane.inflight,
+        );
+    }
     runtime.shutdown();
     println!("runtime drained and shut down");
 }

@@ -87,6 +87,9 @@ fn event_line(e: &ServeEvent) -> String {
         } => {
             format!("bypass       {rows} rows ({dtype:?}) in {exec_us}us")
         }
+        ServeEventKind::Steal { from, to, requests } => {
+            format!("steal        lane {from} -> lane {to} ({requests} requests)")
+        }
     };
     format!("  [{:>8}us] {kind}", e.at_us)
 }

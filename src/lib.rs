@@ -45,9 +45,9 @@ pub mod prelude {
     pub use kron_runtime::{
         adaptive_linger_us, aged_priority, Backend, BreakerPolicy, BreakerState, CachePolicy,
         Clock, DeviceHealthReport, DeviceMetricsSnapshot, EvictReason, FaultEvent, FaultKind,
-        FaultPlan, FaultTrigger, HistogramSnapshot, ManualClock, MetricsSnapshot, ModelPin,
-        ModelStats, Outcome, RetryPolicy, Runtime, RuntimeConfig, RuntimeStats, ServeElement,
-        ServeEvent, ServeEventKind, ServeReceipt, Session, Stage, StageTimings, SubmitOptions,
-        Ticket,
+        FaultPlan, FaultTrigger, HistogramSnapshot, LaneStats, ManualClock, MetricsSnapshot,
+        ModelPin, ModelStats, Outcome, RetryPolicy, Runtime, RuntimeConfig, RuntimeStats,
+        ServeElement, ServeEvent, ServeEventKind, ServeReceipt, Session, Stage, StageTimings,
+        SubmitOptions, Ticket, MAX_LANES,
     };
 }
