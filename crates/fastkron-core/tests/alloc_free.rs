@@ -17,6 +17,9 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through to `System` — every layout/pointer
+// contract is forwarded unchanged; the only addition is a relaxed
+// counter bump, which touches no allocator state.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
@@ -27,6 +30,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: pass-through to `System::realloc`, contracts forwarded.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

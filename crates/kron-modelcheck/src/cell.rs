@@ -1,0 +1,30 @@
+//! Interior-mutability passthrough for model-checked code.
+
+/// An untracked `UnsafeCell` with the same `get`/`get_mut` surface as
+/// `std::cell::UnsafeCell`, so facade code compiles identically under
+/// `cfg(kron_loom)`. Data races *through the cell* are not themselves
+/// detected (the single-baton scheduler serializes all model threads);
+/// what the explorer detects is protocol violations — torn or stale
+/// protocol state, lost values, lost wakeups — via the atomics guarding
+/// the cell.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct UnsafeCell<T: ?Sized>(std::cell::UnsafeCell<T>);
+
+impl<T> UnsafeCell<T> {
+    pub const fn new(value: T) -> Self {
+        UnsafeCell(std::cell::UnsafeCell::new(value))
+    }
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    pub const fn get(&self) -> *mut T {
+        self.0.get()
+    }
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+}

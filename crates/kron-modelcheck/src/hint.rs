@@ -1,0 +1,7 @@
+//! Spin-loop hint: under the model a spin is a voluntary yield, so
+//! busy-wait loops deprioritize instead of monopolizing the schedule.
+
+/// Model counterpart of `std::hint::spin_loop`.
+pub fn spin_loop() {
+    crate::thread::yield_now();
+}

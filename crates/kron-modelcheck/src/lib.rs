@@ -1,0 +1,284 @@
+//! # kron-modelcheck — a hand-rolled loom-style concurrency model checker
+//!
+//! Deterministic interleaving exploration for the workspace's lock-free
+//! serving core (the Vyukov ring in the crossbeam shim, the sleeper
+//! handshake, `LaneGate`, the bypass CAS claim, the flight recorder's
+//! seqlock). Vendored like the other shims — no registry access — and
+//! modeled on [loom](https://crates.io/crates/loom)'s architecture:
+//!
+//! - **Virtual primitives.** [`sync::atomic`] atomics keep a per-location
+//!   store history with vector clocks; a load may return *any* store not
+//!   superseded for the loading thread under happens-before, so relaxed-
+//!   memory staleness is an explorable branch, not a timing accident.
+//!   [`sync::Mutex`]/[`sync::Condvar`]/[`thread`] are schedulable
+//!   replacements with the `std` signatures, swapped in behind the
+//!   `crossbeam::sync` facade under `--cfg kron_loom`.
+//! - **Bounded-DFS schedule explorer.** [`model`] / [`Builder::check`]
+//!   re-run the closure once per schedule, replaying a recorded decision
+//!   path and advancing it depth-first. Preemptions are bounded
+//!   CHESS-style ([`Builder::preemption_bound`]); within the bound the
+//!   search is exhaustive. Above the branch/iteration budget the
+//!   explorer degrades to seeded random walks instead of silently
+//!   passing ([`Report::exhaustive`] says which you got).
+//! - **Failure detection.** Model-code panics (assertions), deadlocks
+//!   and lost wakeups (no schedulable thread), and over-spawning all
+//!   abort the iteration and surface as a [`Failure`] naming the blocked
+//!   threads.
+//!
+//! ## Model fidelity (deviations from C11, all conservative)
+//!
+//! - Modification order equals execution order; RMWs (and CAS failure
+//!   loads) read the latest store.
+//! - `compare_exchange_weak` never fails spuriously.
+//! - Fences of every ordering join through one global fence clock — at
+//!   least as strong as C11 `SeqCst` fences. A *dropped* fence is still
+//!   strictly weaker, so lost-wakeup bugs from missing fences remain
+//!   detectable (and the mutation suites prove they are).
+//! - Bounded staleness: a thread may take at most two consecutive stale
+//!   (non-newest) loads from one atomic before the model forces the
+//!   coherence-newest store — real hardware propagates stores in finite
+//!   time, and without the bound spin loops branch unboundedly.
+//! - `UnsafeCell` data is untracked; protocol bugs surface through the
+//!   guarding atomics (torn counters, duplicated values, lost wakeups).
+//!
+//! ## Example
+//!
+//! ```
+//! use kron_modelcheck::{model, sync::atomic::{AtomicUsize, Ordering}, sync::Arc, thread};
+//!
+//! model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = thread::spawn(move || { n2.fetch_add(1, Ordering::Relaxed); });
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+
+pub mod cell;
+mod exec;
+pub mod hint;
+pub mod sync;
+pub mod thread;
+
+#[cfg(test)]
+mod tests;
+
+pub use exec::FailureKind;
+use exec::{Execution, Mode, PathEntry};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A failing execution: what went wrong, on which iteration, and how
+/// deep the decision path was.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The failure class (panic, deadlock, over-spawn).
+    pub kind: FailureKind,
+    /// Human-readable description (panic message or blocked-thread list).
+    pub message: String,
+    /// 0-based execution index the failure was found on.
+    pub iteration: u64,
+    /// Decision-path length of the failing schedule.
+    pub branches: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model check failed on iteration {} ({:?}, {} branches): {}",
+            self.iteration, self.kind, self.branches, self.message
+        )
+    }
+}
+
+/// A passing exploration: how many executions ran and whether the
+/// search was exhaustive within the preemption bound.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Total executions explored (DFS plus any random walks).
+    pub iterations: u64,
+    /// `true` when DFS enumerated every schedule within the preemption
+    /// bound; `false` when a budget tripped and random walks backfilled.
+    pub exhaustive: bool,
+}
+
+/// Exploration configuration. The defaults exhaust small models (2–3
+/// threads, a few operations each) in well under a second.
+#[derive(Clone, Copy, Debug)]
+pub struct Builder {
+    /// CHESS-style preemption budget per execution: the number of times
+    /// the scheduler may switch away from a runnable thread at an
+    /// operation point. Blocking waits and yields are always free.
+    pub preemption_bound: usize,
+    /// DFS execution budget before degrading to random walks.
+    pub max_iterations: u64,
+    /// Decision-path depth bound; a deeper execution is discarded as
+    /// inconclusive (and triggers the random-walk fallback).
+    pub max_branches: usize,
+    /// Random executions to run when a budget trips.
+    pub random_walks: u64,
+    /// Seed for the random-walk fallback.
+    pub seed: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: 2,
+            max_iterations: 100_000,
+            max_branches: 5_000,
+            random_walks: 2_000,
+            seed: 0xC0FF_EE00_D15E_A5E5,
+        }
+    }
+}
+
+/// Serializes model checks process-wide (the explorer uses a process
+/// panic hook and per-OS-thread context slots).
+fn model_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Advances the DFS path to the next unexplored schedule; `false` when
+/// the space (within bounds) is exhausted.
+fn advance(path: &mut Vec<PathEntry>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.alts {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+struct RunOutcome {
+    path: Vec<PathEntry>,
+    overflow: bool,
+    failure: Option<(FailureKind, String)>,
+}
+
+fn run_once<F>(f: &Arc<F>, path: Vec<PathEntry>, mode: Mode, seed: u64, b: &Builder) -> RunOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Execution::new(path, mode, seed, b.preemption_bound, b.max_branches);
+    let result = Arc::new(Mutex::new(None));
+    let f2 = Arc::clone(f);
+    let exec2 = Arc::clone(&exec);
+    let res2 = Arc::clone(&result);
+    let os = std::thread::Builder::new()
+        .name("kron-model-0".into())
+        .spawn(move || crate::thread::run_virtual_thread(exec2, 0, res2, move || f2()))
+        .expect("spawning the model root thread failed");
+    {
+        let mut core = exec.lock();
+        while !core.done {
+            core = exec.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let _ = os.join();
+    let mut core = exec.lock();
+    RunOutcome {
+        path: std::mem::take(&mut core.path),
+        overflow: core.overflow,
+        failure: core.failure.take(),
+    }
+}
+
+impl Builder {
+    /// A builder with the default budgets.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Explores `f` and returns the first failing schedule, or a
+    /// [`Report`] when every explored schedule passes. Does not panic on
+    /// model failures — the mutation-validation suites use this to
+    /// assert the checker *catches* seeded bugs.
+    pub fn check<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let _guard = model_lock().lock().unwrap_or_else(|e| e.into_inner());
+        // Failing iterations panic inside model threads by design;
+        // silence the default hook for the duration so exploration
+        // doesn't spray backtraces, and restore it after.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = self.check_inner(Arc::new(f));
+        std::panic::set_hook(prev_hook);
+        result
+    }
+
+    fn check_inner<F>(&self, f: Arc<F>) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let mut path: Vec<PathEntry> = Vec::new();
+        let mut iterations: u64 = 0;
+        let mut bounded = false;
+        let mut exhausted = false;
+        while iterations < self.max_iterations {
+            let out = run_once(&f, path, Mode::Dfs, self.seed, self);
+            iterations += 1;
+            if let Some((kind, message)) = out.failure {
+                return Err(Failure {
+                    kind,
+                    message,
+                    iteration: iterations - 1,
+                    branches: out.path.len(),
+                });
+            }
+            bounded |= out.overflow;
+            path = out.path;
+            if !advance(&mut path) {
+                exhausted = true;
+                break;
+            }
+        }
+        if exhausted && !bounded {
+            return Ok(Report {
+                iterations,
+                exhaustive: true,
+            });
+        }
+        // Budget tripped: top up with seeded random walks so rare deep
+        // interleavings still get sampled.
+        for walk in 0..self.random_walks {
+            let seed = self
+                .seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(walk);
+            let out = run_once(&f, Vec::new(), Mode::Random, seed, self);
+            iterations += 1;
+            if let Some((kind, message)) = out.failure {
+                return Err(Failure {
+                    kind,
+                    message,
+                    iteration: iterations - 1,
+                    branches: out.path.len(),
+                });
+            }
+        }
+        Ok(Report {
+            iterations,
+            exhaustive: false,
+        })
+    }
+}
+
+/// Explores `f` with the default [`Builder`]; panics with the failing
+/// schedule's description if any explored interleaving fails. This is
+/// the assertion form the model-check suites use.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Err(failure) = Builder::new().check(f) {
+        panic!("{failure}");
+    }
+}

@@ -1,0 +1,660 @@
+//! Model-checked replacements for `std::sync`: atomics with C11-style
+//! store histories, fences, and a schedulable `Mutex`/`Condvar` pair.
+//!
+//! Every operation is a schedule point. Atomic loads may legally return
+//! *any* store not yet superseded for the loading thread under the
+//! happens-before relation (tracked with vector clocks), so relaxed-
+//! ordering bugs — stale reads a `SeqCst` fence would have forbidden —
+//! show up as explorable branches rather than one-in-a-million
+//! timing accidents. Deviations from C11, all conservative and
+//! documented in the crate docs: modification order equals execution
+//! order, RMW failure paths read the latest store, `compare_exchange_weak`
+//! never fails spuriously, and fences of every ordering join through one
+//! global fence clock.
+
+use crate::exec::{
+    register_object, with_ctx, Blocked, Execution, ObjState, PointKind, VClock, MAX_THREADS,
+};
+use std::cell::UnsafeCell as StdUnsafeCell;
+use std::sync::Mutex as StdMutex;
+use std::time::Duration;
+
+pub use std::sync::Arc;
+
+/// Model-checked atomic types and fences, mirroring `std::sync::atomic`.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::*;
+
+    fn is_acquire(o: Ordering) -> bool {
+        matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+    fn is_release(o: Ordering) -> bool {
+        matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    struct Store {
+        val: u64,
+        /// Release clock acquire-loads join with (release-sequence
+        /// continuation included).
+        sync: VClock,
+        /// Writer identity, for happens-before visibility pruning.
+        tid: usize,
+        tick: u32,
+    }
+
+    /// Consecutive stale (non-newest) loads a thread may take from one
+    /// atomic before the model forces the coherence-newest store. Real
+    /// hardware propagates stores in finite time; without this bound a
+    /// model spin loop re-reading a stale value branches unboundedly
+    /// (every re-read would fork the schedule until the branch budget
+    /// overflows). Two consecutive stale reads are enough to exercise
+    /// every staleness-dependent protocol step in the suites.
+    const STALE_REREAD_BOUND: u8 = 2;
+
+    struct Inner {
+        stores: Vec<Store>,
+        /// Read-coherence floor per thread: a thread never reads an
+        /// index below what it has already read.
+        read_floor: [usize; MAX_THREADS],
+        /// Index of the latest `SeqCst` store (an `SeqCst` load may not
+        /// read anything older).
+        last_sc: Option<usize>,
+        /// Consecutive stale loads per thread (see [`STALE_REREAD_BOUND`]).
+        stale_reads: [u8; MAX_THREADS],
+    }
+
+    /// The shared core of every model atomic; values are widened to u64.
+    pub(super) struct AtomicCore {
+        inner: StdMutex<Inner>,
+    }
+
+    impl AtomicCore {
+        pub(super) fn new(init: u64) -> Self {
+            // Creation happens-before every operation: the creating
+            // thread's clock stamps the initial store when available
+            // (object construction inside `model` is required for ops,
+            // but construction itself is tolerated anywhere so facade
+            // types can be built in test scaffolding).
+            let (sync, tid, tick) = crate::exec::try_with_ctx(|ctx| {
+                let core = ctx.exec.lock();
+                let clock = core.threads[ctx.tid].clock;
+                (clock, ctx.tid, clock.get(ctx.tid))
+            })
+            .unwrap_or((VClock::default(), 0, 0));
+            AtomicCore {
+                inner: StdMutex::new(Inner {
+                    stores: vec![Store {
+                        val: init,
+                        sync,
+                        tid,
+                        tick,
+                    }],
+                    read_floor: [0; MAX_THREADS],
+                    last_sc: None,
+                    stale_reads: [0; MAX_THREADS],
+                }),
+            }
+        }
+
+        fn locked<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
+            let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            f(&mut g)
+        }
+
+        pub(super) fn load(&self, order: Ordering) -> u64 {
+            with_ctx(|ctx| {
+                ctx.exec.point(ctx.tid, PointKind::Op);
+                let mut core = ctx.exec.lock();
+                self.locked(|inner| {
+                    let clock = core.threads[ctx.tid].clock;
+                    let mut floor = inner.read_floor[ctx.tid];
+                    for (i, s) in inner.stores.iter().enumerate() {
+                        if clock.get(s.tid) >= s.tick {
+                            floor = floor.max(i);
+                        }
+                    }
+                    if order == Ordering::SeqCst {
+                        if let Some(i) = inner.last_sc {
+                            floor = floor.max(i);
+                        }
+                    }
+                    let newest = inner.stores.len() - 1;
+                    if inner.stale_reads[ctx.tid] >= STALE_REREAD_BOUND {
+                        floor = newest;
+                    }
+                    let alts = inner.stores.len() - floor;
+                    let choice = if alts <= 1 {
+                        0
+                    } else {
+                        // Newest-first so DFS alternative 0 matches the
+                        // sequentially-consistent behavior and stale
+                        // reads are the explored deviations.
+                        alts - 1 - Execution::branch(&mut core, alts)
+                    };
+                    let idx = floor + choice;
+                    inner.stale_reads[ctx.tid] = if idx == newest {
+                        0
+                    } else {
+                        inner.stale_reads[ctx.tid] + 1
+                    };
+                    inner.read_floor[ctx.tid] = inner.read_floor[ctx.tid].max(idx);
+                    let store = &inner.stores[idx];
+                    if is_acquire(order) {
+                        core.threads[ctx.tid].clock.join(&store.sync);
+                    }
+                    store.val
+                })
+            })
+        }
+
+        pub(super) fn store(&self, val: u64, order: Ordering) {
+            with_ctx(|ctx| {
+                ctx.exec.point(ctx.tid, PointKind::Op);
+                let mut core = ctx.exec.lock();
+                self.locked(|inner| {
+                    core.threads[ctx.tid].clock.tick(ctx.tid);
+                    let clock = core.threads[ctx.tid].clock;
+                    let sync = if is_release(order) {
+                        clock
+                    } else {
+                        // A relaxed store interrupts the release sequence.
+                        VClock::default()
+                    };
+                    inner.stores.push(Store {
+                        val,
+                        sync,
+                        tid: ctx.tid,
+                        tick: clock.get(ctx.tid),
+                    });
+                    let idx = inner.stores.len() - 1;
+                    inner.read_floor[ctx.tid] = idx;
+                    if order == Ordering::SeqCst {
+                        inner.last_sc = Some(idx);
+                    }
+                })
+            })
+        }
+
+        /// RMW: reads the latest store (C11 atomicity), applies `f`.
+        pub(super) fn rmw(&self, order: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+            with_ctx(|ctx| {
+                ctx.exec.point(ctx.tid, PointKind::Op);
+                let mut core = ctx.exec.lock();
+                self.locked(|inner| {
+                    let prev_idx = inner.stores.len() - 1;
+                    let prev_val = inner.stores[prev_idx].val;
+                    let prev_sync = inner.stores[prev_idx].sync;
+                    if is_acquire(order) {
+                        core.threads[ctx.tid].clock.join(&prev_sync);
+                    }
+                    core.threads[ctx.tid].clock.tick(ctx.tid);
+                    let clock = core.threads[ctx.tid].clock;
+                    // An RMW continues the release sequence of the store
+                    // it replaces.
+                    let mut sync = prev_sync;
+                    if is_release(order) {
+                        sync.join(&clock);
+                    }
+                    inner.stores.push(Store {
+                        val: f(prev_val),
+                        sync,
+                        tid: ctx.tid,
+                        tick: clock.get(ctx.tid),
+                    });
+                    let idx = inner.stores.len() - 1;
+                    inner.read_floor[ctx.tid] = idx;
+                    inner.stale_reads[ctx.tid] = 0;
+                    if order == Ordering::SeqCst {
+                        inner.last_sc = Some(idx);
+                    }
+                    prev_val
+                })
+            })
+        }
+
+        pub(super) fn compare_exchange(
+            &self,
+            current: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            with_ctx(|ctx| {
+                ctx.exec.point(ctx.tid, PointKind::Op);
+                let mut core = ctx.exec.lock();
+                self.locked(|inner| {
+                    let prev_idx = inner.stores.len() - 1;
+                    let prev_val = inner.stores[prev_idx].val;
+                    let prev_sync = inner.stores[prev_idx].sync;
+                    if prev_val == current {
+                        if is_acquire(success) {
+                            core.threads[ctx.tid].clock.join(&prev_sync);
+                        }
+                        core.threads[ctx.tid].clock.tick(ctx.tid);
+                        let clock = core.threads[ctx.tid].clock;
+                        let mut sync = prev_sync;
+                        if is_release(success) {
+                            sync.join(&clock);
+                        }
+                        inner.stores.push(Store {
+                            val: new,
+                            sync,
+                            tid: ctx.tid,
+                            tick: clock.get(ctx.tid),
+                        });
+                        let idx = inner.stores.len() - 1;
+                        inner.read_floor[ctx.tid] = idx;
+                        inner.stale_reads[ctx.tid] = 0;
+                        if success == Ordering::SeqCst {
+                            inner.last_sc = Some(idx);
+                        }
+                        Ok(prev_val)
+                    } else {
+                        if is_acquire(failure) {
+                            core.threads[ctx.tid].clock.join(&prev_sync);
+                        }
+                        inner.read_floor[ctx.tid] = inner.read_floor[ctx.tid].max(prev_idx);
+                        inner.stale_reads[ctx.tid] = 0;
+                        Err(prev_val)
+                    }
+                })
+            })
+        }
+    }
+
+    /// A memory fence. Modeled conservatively: every ordering joins the
+    /// thread clock through one global fence clock (at least as strong
+    /// as C11 for `SeqCst`; stronger for acquire/release fences — a
+    /// *removed* fence is still always weaker, so dropped-fence bugs
+    /// remain detectable).
+    pub fn fence(order: Ordering) {
+        assert!(order != Ordering::Relaxed, "fence(Relaxed) is not a fence");
+        with_ctx(|ctx| {
+            ctx.exec.point(ctx.tid, PointKind::Op);
+            let mut core = ctx.exec.lock();
+            let clock = core.threads[ctx.tid].clock;
+            core.fence_clock.join(&clock);
+            let fc = core.fence_clock;
+            core.threads[ctx.tid].clock.join(&fc);
+        })
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $ty:ty, $to:expr, $from:expr) => {
+            /// Model-checked counterpart of the same-named `std` atomic.
+            pub struct $name {
+                core: AtomicCore,
+            }
+
+            impl $name {
+                #[allow(clippy::redundant_closure_call)]
+                pub fn new(v: $ty) -> Self {
+                    $name {
+                        core: AtomicCore::new(($to)(v)),
+                    }
+                }
+                #[allow(clippy::redundant_closure_call)]
+                pub fn load(&self, order: Ordering) -> $ty {
+                    ($from)(self.core.load(order))
+                }
+                #[allow(clippy::redundant_closure_call)]
+                pub fn store(&self, v: $ty, order: Ordering) {
+                    self.core.store(($to)(v), order)
+                }
+                #[allow(clippy::redundant_closure_call)]
+                pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                    ($from)(self.core.rmw(order, |_| ($to)(v)))
+                }
+                #[allow(clippy::redundant_closure_call)]
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.core
+                        .compare_exchange(($to)(current), ($to)(new), success, failure)
+                        .map($from)
+                        .map_err($from)
+                }
+                /// Modeled as the strong variant (never fails spuriously).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$ty as Default>::default())
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_int {
+        ($name:ident, $ty:ty) => {
+            model_atomic!($name, $ty, |v: $ty| v as u64, |v: u64| v as $ty);
+
+            impl $name {
+                pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                    self.core.rmw(order, |p| (p as $ty).wrapping_add(v) as u64) as $ty
+                }
+                pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                    self.core.rmw(order, |p| (p as $ty).wrapping_sub(v) as u64) as $ty
+                }
+                pub fn fetch_or(&self, v: $ty, order: Ordering) -> $ty {
+                    self.core.rmw(order, |p| (p as $ty | v) as u64) as $ty
+                }
+                pub fn fetch_and(&self, v: $ty, order: Ordering) -> $ty {
+                    self.core.rmw(order, |p| (p as $ty & v) as u64) as $ty
+                }
+                pub fn fetch_max(&self, v: $ty, order: Ordering) -> $ty {
+                    self.core.rmw(order, |p| (p as $ty).max(v) as u64) as $ty
+                }
+            }
+        };
+    }
+
+    model_atomic_int!(AtomicUsize, usize);
+    model_atomic_int!(AtomicU64, u64);
+    model_atomic_int!(AtomicU32, u32);
+    model_atomic!(AtomicBool, bool, |v: bool| v as u64, |v: u64| v != 0);
+
+    impl AtomicBool {
+        pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+            self.core.rmw(order, |p| (p != 0 || v) as u64) != 0
+        }
+        pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+            self.core.rmw(order, |p| (p != 0 && v) as u64) != 0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex / Condvar
+
+/// Result of a model [`Condvar::wait_timeout`].
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A schedulable mutex: contention is explored, not raced. Never
+/// poisons (a failing execution aborts the whole iteration instead), but
+/// keeps the `LockResult` signature so facade call sites compile
+/// unchanged.
+pub struct Mutex<T> {
+    id: usize,
+    data: StdUnsafeCell<T>,
+}
+
+// SAFETY: access to `data` is serialized by the model scheduler — the
+// chooser marks the object locked before the owning thread resumes, and
+// only one model thread runs at a time anyway (single-baton execution).
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above; `&Mutex` only reaches `data` through a held lock.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+/// RAII guard for a model [`Mutex`]; unlocking is a schedule point.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(data: T) -> Self {
+        Mutex {
+            id: register_object(ObjState::Mutex {
+                locked: false,
+                sync: VClock::default(),
+            }),
+            data: StdUnsafeCell::new(data),
+        }
+    }
+
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        if std::thread::panicking() {
+            // Teardown path (unwinding drops may take locks, e.g. a
+            // channel end dropped mid-abort): acquire by OS spinning
+            // instead of model scheduling — the holder's unlock runs on
+            // its own unwind, so this terminates.
+            loop {
+                let acquired = crate::exec::try_with_ctx(|ctx| {
+                    let mut core = ctx.exec.lock();
+                    match &mut core.objects[self.id] {
+                        ObjState::Mutex { locked, .. } => {
+                            if *locked {
+                                false
+                            } else {
+                                *locked = true;
+                                true
+                            }
+                        }
+                        ObjState::Condvar { .. } => unreachable!(),
+                    }
+                })
+                .unwrap_or(true);
+                if acquired {
+                    return Ok(MutexGuard { mutex: self });
+                }
+                std::thread::yield_now();
+            }
+        }
+        with_ctx(|ctx| {
+            ctx.exec.point(ctx.tid, PointKind::Op);
+            let mut core = ctx.exec.lock();
+            let locked = match &core.objects[self.id] {
+                ObjState::Mutex { locked, .. } => *locked,
+                ObjState::Condvar { .. } => unreachable!(),
+            };
+            if locked {
+                core.threads[ctx.tid].blocked = Blocked::Mutex(self.id);
+                let keep = Execution::choose(&mut core, Some(ctx.tid), PointKind::Block);
+                if !keep {
+                    ctx.exec.cv.notify_all();
+                    ctx.exec.park(core, ctx.tid);
+                }
+                // `choose`/the chooser acquired on our behalf.
+            } else {
+                let sync = match &mut core.objects[self.id] {
+                    ObjState::Mutex { locked, sync } => {
+                        *locked = true;
+                        *sync
+                    }
+                    ObjState::Condvar { .. } => unreachable!(),
+                };
+                core.threads[ctx.tid].clock.join(&sync);
+            }
+        });
+        Ok(MutexGuard { mutex: self })
+    }
+
+    pub fn get_mut(&mut self) -> std::sync::LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+
+    fn unlock(&self) {
+        // May run during sentinel unwinding; release without scheduling
+        // then (the iteration is already dead).
+        let aborting = crate::exec::try_with_ctx(|ctx| {
+            let core = ctx.exec.lock();
+            core.abort || core.overflow
+        })
+        .unwrap_or(true);
+        if aborting {
+            crate::exec::try_with_ctx(|ctx| {
+                let mut core = ctx.exec.lock();
+                if let ObjState::Mutex { locked, .. } = &mut core.objects[self.id] {
+                    *locked = false;
+                }
+            });
+            return;
+        }
+        with_ctx(|ctx| {
+            let mut core = ctx.exec.lock();
+            let clock = core.threads[ctx.tid].clock;
+            match &mut core.objects[self.id] {
+                ObjState::Mutex { locked, sync } => {
+                    debug_assert!(*locked, "unlocking an unlocked model mutex");
+                    sync.join(&clock);
+                    *locked = false;
+                }
+                ObjState::Condvar { .. } => unreachable!(),
+            }
+            drop(core);
+            // Unlocking is itself a schedule point so a blocked thread
+            // can be chosen to take the mutex immediately.
+            ctx.exec.point(ctx.tid, PointKind::Op);
+        })
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.unlock();
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves this model thread holds the lock and
+        // the baton; no other thread touches `data` concurrently.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive by lock + baton.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+/// A schedulable condvar. `notify_one` wakes the longest waiter;
+/// spurious wakeups are not modeled; timed waits expose the timeout as
+/// an explorable scheduling alternative instead of reading a clock.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Condvar {
+            id: register_object(ObjState::Condvar {
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: bool,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let mutex = guard.mutex;
+        // Atomically (w.r.t. the model): register as a waiter, release
+        // the mutex, block. Bypass the guard's Drop — its unlock is a
+        // schedule point that would let a notifier slip between unlock
+        // and registration, which real condvars forbid.
+        std::mem::forget(guard);
+        with_ctx(|ctx| {
+            ctx.exec.point(ctx.tid, PointKind::Op);
+            let mut core = ctx.exec.lock();
+            let clock = core.threads[ctx.tid].clock;
+            match &mut core.objects[mutex.id] {
+                ObjState::Mutex { locked, sync } => {
+                    debug_assert!(*locked, "condvar wait without the lock held");
+                    sync.join(&clock);
+                    *locked = false;
+                }
+                ObjState::Condvar { .. } => unreachable!(),
+            }
+            match &mut core.objects[self.id] {
+                ObjState::Condvar { waiters } => waiters.push(ctx.tid),
+                ObjState::Mutex { .. } => unreachable!(),
+            }
+            core.threads[ctx.tid].timed_out = false;
+            core.threads[ctx.tid].blocked = Blocked::Condvar {
+                cv: self.id,
+                mutex: mutex.id,
+                timeout,
+            };
+            let keep = Execution::choose(&mut core, Some(ctx.tid), PointKind::Block);
+            if !keep {
+                ctx.exec.cv.notify_all();
+                ctx.exec.park(core, ctx.tid);
+            }
+        });
+        let timed_out = with_ctx(|ctx| {
+            let mut core = ctx.exec.lock();
+            std::mem::take(&mut core.threads[ctx.tid].timed_out)
+        });
+        (MutexGuard { mutex }, WaitTimeoutResult(timed_out))
+    }
+
+    pub fn wait<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+    ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+        Ok(self.wait_inner(guard, false).0)
+    }
+
+    /// The `timeout` duration is ignored: firing the timeout is an
+    /// explorable scheduling choice, so both the timed-out and the
+    /// notified paths are covered regardless of wall-clock values.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _timeout: Duration,
+    ) -> std::sync::LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        Ok(self.wait_inner(guard, true))
+    }
+
+    fn notify(&self, all: bool) {
+        with_ctx(|ctx| {
+            ctx.exec.point(ctx.tid, PointKind::Op);
+            let mut core = ctx.exec.lock();
+            let woken: Vec<usize> = match &mut core.objects[self.id] {
+                ObjState::Condvar { waiters } => {
+                    if all {
+                        std::mem::take(waiters)
+                    } else if waiters.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![waiters.remove(0)]
+                    }
+                }
+                ObjState::Mutex { .. } => unreachable!(),
+            };
+            for t in woken {
+                let m = match core.threads[t].blocked {
+                    Blocked::Condvar { mutex, .. } => mutex,
+                    _ => unreachable!("condvar waiter not blocked on condvar"),
+                };
+                core.threads[t].blocked = Blocked::Mutex(m);
+            }
+        })
+    }
+
+    pub fn notify_one(&self) {
+        self.notify(false)
+    }
+
+    pub fn notify_all(&self) {
+        self.notify(true)
+    }
+}

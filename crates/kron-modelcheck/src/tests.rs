@@ -1,0 +1,275 @@
+//! Self-tests: the explorer must catch classic races and verify classic
+//! protocols. Each "catches" test is the crate's own mutation guard —
+//! if the checker goes blind, these fail.
+
+use crate::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{Arc, Condvar, Mutex};
+use crate::{model, thread, Builder, FailureKind};
+
+fn small() -> Builder {
+    Builder {
+        preemption_bound: 2,
+        max_iterations: 200_000,
+        max_branches: 2_000,
+        random_walks: 500,
+        ..Builder::default()
+    }
+}
+
+#[test]
+fn catches_load_store_counter_race() {
+    // Two threads do load-then-store increments: the lost update only
+    // appears when one thread is preempted between its load and store.
+    let failure = small()
+        .check(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        let v = n.load(Ordering::SeqCst);
+                        n.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        })
+        .expect_err("the lost-update interleaving must be found");
+    assert!(matches!(failure.kind, FailureKind::Panic), "{failure}");
+}
+
+#[test]
+fn verifies_cas_counter() {
+    let report = small()
+        .check(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || loop {
+                        let v = n.load(Ordering::SeqCst);
+                        if n.compare_exchange(v, v + 1, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            break;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        })
+        .expect("CAS increments never lose updates");
+    assert!(report.exhaustive, "small model should exhaust: {report:?}");
+}
+
+#[test]
+fn verifies_release_acquire_message_passing() {
+    model(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            // Acquire synchronized with the release: the payload must be
+            // visible, not the stale initial store.
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn catches_relaxed_message_passing() {
+    // Same protocol with a relaxed flag: the model must expose the stale
+    // payload read (flag visible before data).
+    let failure = small()
+        .check(|| {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(true, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Relaxed) {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join().unwrap();
+        })
+        .expect_err("relaxed flag must admit the stale-data interleaving");
+    assert!(matches!(failure.kind, FailureKind::Panic), "{failure}");
+}
+
+#[test]
+fn verifies_fenced_message_passing() {
+    model(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            fence(Ordering::Release);
+            f2.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) {
+            fence(Ordering::Acquire);
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn verifies_mutex_counter() {
+    model(|| {
+        let n = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    let mut g = n.lock().unwrap();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+}
+
+#[test]
+fn catches_lock_order_deadlock() {
+    let failure = small()
+        .check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+            drop((_ga, _gb));
+            t.join().unwrap();
+        })
+        .expect_err("AB/BA lock order must deadlock under some schedule");
+    assert!(matches!(failure.kind, FailureKind::Deadlock), "{failure}");
+}
+
+#[test]
+fn verifies_condvar_handshake() {
+    model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut ready = lock.lock().unwrap();
+            *ready = true;
+            cv.notify_one();
+            drop(ready);
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn catches_missed_condvar_predicate() {
+    // Waiting without re-checking the predicate before the first wait:
+    // if the producer signals before the consumer parks, the notify is
+    // lost and the consumer sleeps forever.
+    let failure = small()
+        .check(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (lock, cv) = &*p2;
+                let mut ready = lock.lock().unwrap();
+                *ready = true;
+                cv.notify_one();
+                drop(ready);
+            });
+            let (lock, cv) = &*pair;
+            let ready = lock.lock().unwrap();
+            // BUG (on purpose): no `while !*ready` guard.
+            let ready = cv.wait(ready).unwrap();
+            assert!(*ready);
+            drop(ready);
+            t.join().unwrap();
+        })
+        .expect_err("unguarded wait must lose the wakeup under some schedule");
+    assert!(matches!(failure.kind, FailureKind::Deadlock), "{failure}");
+}
+
+#[test]
+fn timed_wait_timeout_is_explored() {
+    // A timed wait with no notifier must complete via the explorable
+    // timeout rather than deadlocking.
+    let report = small()
+        .check(|| {
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let (lock, cv) = &*pair;
+            let g = lock.lock().unwrap();
+            let (g, res) = cv
+                .wait_timeout(g, std::time::Duration::from_millis(1))
+                .unwrap();
+            assert!(res.timed_out());
+            drop(g);
+        })
+        .expect("a lone timed wait must time out, not deadlock");
+    assert!(report.exhaustive);
+}
+
+#[test]
+fn spin_loop_on_flag_terminates() {
+    // Yield deprioritization must let the setter run so the spin exits.
+    model(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let t = thread::spawn(move || {
+            f2.store(true, Ordering::Release);
+        });
+        while !flag.load(Ordering::Acquire) {
+            thread::yield_now();
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn report_counts_iterations() {
+    let report = small()
+        .check(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        })
+        .expect("fetch_add counter is race-free");
+    assert!(
+        report.iterations >= 2,
+        "two-thread model explores >1 schedule"
+    );
+    assert!(report.exhaustive);
+}

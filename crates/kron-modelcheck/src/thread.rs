@@ -1,0 +1,181 @@
+//! Virtual threads: spawn/join/yield under the schedule explorer.
+//!
+//! Model threads are real OS threads, but only the baton holder runs;
+//! `spawn` registers the child with the execution and the child parks
+//! until first scheduled. `yield_now` is the explorer's spin-loop hint:
+//! the yielding thread is deprioritized until every other schedulable
+//! thread has had a chance to run.
+
+use crate::exec::{
+    set_ctx, with_ctx, Blocked, Ctx, Execution, ExplorerAbort, PointKind, ThreadState, VClock,
+    MAX_THREADS,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned model thread; `join` blocks the virtual thread
+/// (schedulably) until the child finishes.
+pub struct JoinHandle<T> {
+    tid: usize,
+    exec: Arc<Execution>,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Extracts a printable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Runs `body` as virtual thread `tid` of `exec`: parks until first
+/// scheduled, reports panics as execution failures, and hands the baton
+/// onward at exit.
+pub(crate) fn run_virtual_thread<T: Send + 'static>(
+    exec: Arc<Execution>,
+    tid: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    body: impl FnOnce() -> T + Send + 'static,
+) {
+    set_ctx(Some(Ctx {
+        exec: Arc::clone(&exec),
+        tid,
+    }));
+    {
+        let core = exec.lock();
+        exec.park(core, tid);
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(body));
+    match outcome {
+        Ok(v) => {
+            *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<ExplorerAbort>().is_none() {
+                exec.record_panic(panic_message(payload.as_ref()));
+            }
+            *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(payload));
+        }
+    }
+    exec.finish_thread(tid);
+    set_ctx(None);
+}
+
+// The park in `run_virtual_thread` can itself unwind with the abort
+// sentinel before `body` runs; catch it at the OS-thread boundary so a
+// torn-down execution never aborts the test process.
+fn os_thread_entry<T: Send + 'static>(
+    exec: Arc<Execution>,
+    tid: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    body: impl FnOnce() -> T + Send + 'static,
+) {
+    let exec2 = Arc::clone(&exec);
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        run_virtual_thread(exec, tid, result, body)
+    }));
+    if let Err(payload) = outcome {
+        // Only the sentinel unwinds past `run_virtual_thread`'s own
+        // catch (it can escape from the initial park); mark finished so
+        // the driver's done-accounting converges.
+        debug_assert!(payload.downcast_ref::<ExplorerAbort>().is_some());
+        exec2.finish_thread(tid);
+        set_ctx(None);
+    }
+}
+
+/// Spawns a virtual thread. The child inherits the parent's causal
+/// clock; it becomes schedulable at the parent's next schedule point.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    with_ctx(|ctx| {
+        let tid;
+        {
+            let mut core = ctx.exec.lock();
+            if core.threads.len() >= MAX_THREADS {
+                drop(core);
+                panic!("model spawned more than {MAX_THREADS} threads");
+            }
+            let mut clock = core.threads[ctx.tid].clock;
+            clock.tick(ctx.tid);
+            core.threads[ctx.tid].clock = clock;
+            tid = core.threads.len();
+            let mut child_clock = VClock::default();
+            child_clock.join(&clock);
+            child_clock.tick(tid);
+            core.threads.push(ThreadState {
+                clock: child_clock,
+                blocked: Blocked::None,
+                finished: false,
+                yielded: false,
+                timed_out: false,
+            });
+        }
+        let result = Arc::new(Mutex::new(None));
+        let exec = Arc::clone(&ctx.exec);
+        let res2 = Arc::clone(&result);
+        let os = std::thread::Builder::new()
+            .name(format!("kron-model-{tid}"))
+            .spawn(move || os_thread_entry(exec, tid, res2, f))
+            .expect("spawning a model OS thread failed");
+        JoinHandle {
+            tid,
+            exec: Arc::clone(&ctx.exec),
+            result,
+            os: Some(os),
+        }
+    })
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (schedulably) until the child finishes; propagates the
+    /// child's panic like `std::thread::JoinHandle::join`.
+    pub fn join(mut self) -> std::thread::Result<T> {
+        with_ctx(|ctx| {
+            assert!(
+                Arc::ptr_eq(&ctx.exec, &self.exec),
+                "joined a handle from a different model execution"
+            );
+            let mut core = ctx.exec.lock();
+            if !core.threads[self.tid].finished {
+                core.threads[ctx.tid].blocked = Blocked::Join(self.tid);
+                let keep = Execution::choose(&mut core, Some(ctx.tid), PointKind::Block);
+                if !keep {
+                    ctx.exec.cv.notify_all();
+                    ctx.exec.park(core, ctx.tid);
+                }
+            } else {
+                let child = core.threads[self.tid].clock;
+                core.threads[ctx.tid].clock.join(&child);
+            }
+        });
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("joined thread left no result")
+    }
+}
+
+/// A voluntary yield — the model counterpart of `std::thread::yield_now`
+/// and the required form for model-visible spin loops.
+pub fn yield_now() {
+    with_ctx(|ctx| {
+        {
+            let mut core = ctx.exec.lock();
+            core.threads[ctx.tid].yielded = true;
+        }
+        ctx.exec.point(ctx.tid, PointKind::Yield);
+    })
+}

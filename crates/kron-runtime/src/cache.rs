@@ -75,13 +75,13 @@ use crate::metrics::MetricsHub;
 use crate::runtime::sealed::ErasedDtype;
 use crate::runtime::{Backend, ModelInner, StatsInner};
 use crate::trace::{EvictReason, ServeEventKind};
+use crossbeam::sync::atomic::{AtomicUsize, Ordering};
 use fastkron_core::{FastKron, KronPlan, Workspace};
 use gpu_sim::device::DeviceSpec;
 use gpu_sim::ExecSummary;
 use kron_core::{DType, Element, KronError, KronProblem, Matrix, PlanKey, Result};
 use kron_dist::{CommModel, GpuGrid, ShardedEngine, Watchdog};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// The scheduler lane a plan identity hashes to — the per-shard pinning

@@ -313,6 +313,44 @@
 //!
 //! See `examples/serving_observability.rs` for a chaos drill that prints
 //! the snapshot and the drained event trace.
+//!
+//! ## Correctness tooling
+//!
+//! The lock-free admission core (the [`LaneGate`][^gate] sender-count
+//! gate, the bypass lane's CAS claim, the flight recorder's seqlock, and
+//! the `crossbeam` shim's ring queue and sleeper handshake underneath)
+//! is guarded by two static layers on top of the runtime test suites:
+//!
+//! * **Deterministic model checking** — the hot-path atomics, fences,
+//!   and cells are imported through the `crossbeam::sync` facade, which
+//!   re-exports `std` normally and the vendored `kron-modelcheck`
+//!   explorer under `RUSTFLAGS="--cfg kron_loom"`. The suites in
+//!   `src/modelcheck_tests.rs` (and `crossbeam`'s `tests/modelcheck.rs`)
+//!   then drive the *production* protocol code through every thread
+//!   interleaving within a preemption bound — proving gate close vs.
+//!   send linearizes, the bypass claim is mutually exclusive, seqlock
+//!   drains never tear, and the sleeper handshake never loses a wakeup:
+//!
+//!   ```sh
+//!   RUSTFLAGS="--cfg kron_loom" cargo test -p kron-runtime --lib modelcheck_tests
+//!   RUSTFLAGS="--cfg kron_loom" cargo test -p crossbeam --test modelcheck
+//!   ```
+//!
+//!   Mutation-validation tests re-introduce historical bug shapes (the
+//!   check-then-claim bypass race, a dropped handshake fence, a skipped
+//!   seqlock re-check) and assert the checker still flags them.
+//! * **Source-level linting** — `cargo xtask analyze` (CI, exit 1)
+//!   enforces `// SAFETY:` comments on every `unsafe`, bans panics on
+//!   the scheduler/submit hot path, bans allocation inside the
+//!   zero-alloc-gated functions, and requires a `// relaxed:`
+//!   justification on every `Ordering::Relaxed` touching a protocol
+//!   atomic. Exceptions live in `crates/xtask/analyze-allowlist.txt`
+//!   with mandatory reasons.
+//!
+//! New synchronization code on the admission path is expected to arrive
+//! with a model-check suite alongside it (see the ROADMAP invariant).
+//!
+//! [^gate]: `LaneGate` is crate-internal; see `src/runtime.rs`.
 
 #![deny(missing_docs)]
 
@@ -324,6 +362,18 @@ mod metrics;
 mod runtime;
 mod scheduler;
 mod trace;
+
+// Model-check suites for the admission protocols (LaneGate, the bypass
+// CAS claim, the flight-recorder seqlock). Compiled only under
+// `RUSTFLAGS="--cfg kron_loom"`, where the `crossbeam::sync` facade
+// resolves to `kron-modelcheck`; run them by name filter — the other
+// unit tests are not model-aware:
+//
+// ```sh
+// RUSTFLAGS="--cfg kron_loom" cargo test -p kron-runtime --lib modelcheck_tests
+// ```
+#[cfg(all(test, kron_loom))]
+mod modelcheck_tests;
 
 pub use cache::{CachePolicy, PlanCache};
 pub use clock::{Clock, ManualClock};

@@ -27,7 +27,13 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use gpu_sim::device::{DeviceSpec, V100};
 use gpu_sim::ExecSummary;
 use kron_core::{DType, Element, FactorShape, KronError, KronProblem, Matrix, PlanKey, Result};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// Atomics come through the `crossbeam::sync` facade so the admission
+// protocol (LaneGate, bypass claim, inflight gauges) can be model-checked
+// under `--cfg kron_loom`; in normal builds these are re-exports of the
+// `std` types. `Mutex`/`Condvar`/`Arc` stay `std`: model executions here
+// only exercise the atomic protocols, and the blocking paths are not
+// driven inside model threads.
+use crossbeam::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -374,6 +380,8 @@ impl LaneStatsInner {
     fn snapshot(&self) -> LaneStats {
         LaneStats {
             depth: self.depth.load(Ordering::Relaxed),
+            // relaxed: gauge snapshot for observability; admission
+            // decisions go through the AcqRel CAS in `bypass_try_claim`.
             inflight: self.inflight.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
@@ -469,6 +477,8 @@ impl StatsInner {
             cached_entries: self.cached_entries.load(Ordering::Relaxed),
             cached_bytes: self.cached_bytes.load(Ordering::Relaxed),
             current_linger_us: self.current_linger_us.load(Ordering::Relaxed),
+            // relaxed: gauge snapshot; the release sides pair their own
+            // orderings (see `Slot::take_blocking` and `Slot::drop`).
             inflight_requests: self.inflight_requests.load(Ordering::Relaxed),
             scheduler_lanes: self.lane_count.load(Ordering::Relaxed).max(1),
             lane_steals: self
@@ -798,11 +808,14 @@ impl<T: Element> Slot<T> {
         let lane = s.lane;
         drop(s);
         if release {
-            self.stats.inflight_requests.fetch_sub(1, Ordering::Relaxed);
-            self.stats
+            let prev = self.stats.inflight_requests.fetch_sub(1, Ordering::Relaxed);
+            debug_assert!(prev > 0, "global inflight gauge underflow on claim");
+            let prev = self
+                .stats
                 .lane(lane)
                 .inflight
                 .fetch_sub(1, Ordering::Relaxed);
+            debug_assert!(prev > 0, "lane {lane} inflight gauge underflow on claim");
         }
         reply
     }
@@ -818,11 +831,14 @@ impl<T: Element> Drop for Slot<T> {
         // this drop runs at most once per slot.
         if let Ok(s) = self.inner.get_mut() {
             if !s.claimed {
-                self.stats.inflight_requests.fetch_sub(1, Ordering::Relaxed);
-                self.stats
+                let prev = self.stats.inflight_requests.fetch_sub(1, Ordering::Relaxed);
+                debug_assert!(prev > 0, "global inflight gauge underflow on slot drop");
+                let prev = self
+                    .stats
                     .lane(s.lane)
                     .inflight
                     .fetch_sub(1, Ordering::Relaxed);
+                debug_assert!(prev > 0, "lane inflight gauge underflow on slot drop");
             }
         }
     }
@@ -999,7 +1015,7 @@ pub(crate) struct LaneGate {
 }
 
 impl LaneGate {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         LaneGate {
             state: AtomicU64::new(0),
         }
@@ -1010,7 +1026,8 @@ impl LaneGate {
     pub(crate) fn try_enter(&self) -> bool {
         let prev = self.state.fetch_add(2, Ordering::Acquire);
         if prev & 1 != 0 {
-            self.state.fetch_sub(2, Ordering::Release);
+            let prev = self.state.fetch_sub(2, Ordering::Release);
+            debug_assert!(prev >= 2, "gate sender count underflow backing out");
             return false;
         }
         true
@@ -1019,7 +1036,8 @@ impl LaneGate {
     /// De-registers an in-flight sender (pairs with a successful
     /// [`LaneGate::try_enter`]).
     pub(crate) fn exit(&self) {
-        self.state.fetch_sub(2, Ordering::Release);
+        let prev = self.state.fetch_sub(2, Ordering::Release);
+        debug_assert!(prev >= 2, "gate sender count underflow on exit");
     }
 
     /// Whether the gate has been closed (orderly shutdown or poison).
@@ -1049,9 +1067,34 @@ impl LaneGate {
     pub(crate) fn close(&self) {
         self.begin_close();
         while !self.senders_drained() {
-            std::thread::yield_now();
+            crossbeam::sync::thread::yield_now();
         }
     }
+}
+
+/// The bypass lane's idleness claim: CAS the lane's inflight gauge
+/// `0 → 1`. `true` means this thread holds the claim — at most one
+/// claimant per lane at a time, and only while the lane is idle. The
+/// claim either transfers to the admitted slot ([`Slot::admit_claimed`])
+/// or is returned via [`bypass_release_claim`]; the two are mutually
+/// exclusive by construction (the bypass path does exactly one of them
+/// on every exit). Extracted as a free function so the model-check
+/// suites drive the identical protocol the submit path runs.
+pub(crate) fn bypass_try_claim(lane_inflight: &AtomicU64) -> bool {
+    // Acquire on success orders the claim before the idleness-dependent
+    // reads that follow (gate state, cached plan); Relaxed on failure —
+    // a busy lane just means "go batch", no data is read under it.
+    lane_inflight
+        .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+        .is_ok()
+}
+
+/// Releases a claim taken by [`bypass_try_claim`] that did *not*
+/// transfer to a slot (bypass declined: shutdown, poison, cold plan).
+pub(crate) fn bypass_release_claim(lane_inflight: &AtomicU64) {
+    // Release pairs with the next claimant's Acquire CAS.
+    let prev = lane_inflight.fetch_sub(1, Ordering::Release);
+    debug_assert!(prev > 0, "bypass claim released twice (gauge underflow)");
 }
 
 /// RAII sender registration: exits the gate even if the send path
@@ -1134,15 +1177,12 @@ impl Shared {
         // on every non-admitting exit below.
         let lane = self.lane_of_key(T::DTYPE, req.model.shape_key);
         let lane_inflight = &self.stats.lane(lane).inflight;
-        if lane_inflight
-            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
-            .is_err()
-        {
+        if !bypass_try_claim(lane_inflight) {
             return Some(req);
         }
         if self.poisoned.load(Ordering::Acquire) || self.lanes[lane].gate.is_closed() {
             // Fall through to the send path, which reports Shutdown.
-            lane_inflight.fetch_sub(1, Ordering::Release);
+            bypass_release_claim(lane_inflight);
             return Some(req);
         }
         let ctx = ServeCtx {
@@ -1163,7 +1203,7 @@ impl Shared {
             Some(req) => {
                 // Not admitted inline (cold/sharded plan): release the
                 // claim; the scheduler send path admits normally.
-                lane_inflight.fetch_sub(1, Ordering::Release);
+                bypass_release_claim(lane_inflight);
                 Some(req)
             }
         }

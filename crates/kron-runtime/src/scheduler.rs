@@ -65,9 +65,9 @@ use crate::runtime::{
 };
 use crate::trace::{ServeEventKind, StageTimings};
 use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use crossbeam::sync::atomic::{AtomicBool, Ordering};
 use kron_core::{DType, Element, KronError, Matrix};
 use std::cmp::Reverse;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -1349,7 +1349,7 @@ impl Scheduler {
             if self.lanes[self.lane].gate.senders_drained() {
                 break;
             }
-            std::thread::yield_now();
+            crossbeam::sync::thread::yield_now();
         }
         // Final sweep: the gate is drained, so nothing new can appear
         // behind this.

@@ -16,10 +16,13 @@
 use crate::fault::FaultKind;
 use crate::health::BreakerState;
 use kron_core::DType;
-use std::cell::UnsafeCell;
+// The seqlock's atomics and cell come through the `crossbeam::sync`
+// facade so the publication protocol can be model-checked under
+// `--cfg kron_loom`; normal builds get the `std` types back unchanged.
+use crossbeam::sync::atomic::{fence, AtomicU64, Ordering};
+use crossbeam::sync::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 /// Per-stage latency breakdown of one served request, carried on the
 /// [`crate::ServeReceipt`] returned by
@@ -316,7 +319,19 @@ unsafe impl Sync for FlightRecorder {}
 
 impl FlightRecorder {
     pub(crate) fn new() -> Self {
-        let slots = (0..EVENT_CAPACITY)
+        FlightRecorder::with_capacity(EVENT_CAPACITY)
+    }
+
+    /// A recorder with `capacity` slots (must be a power of two, so the
+    /// ticket → slot map stays a mask). The runtime always uses
+    /// [`EVENT_CAPACITY`]; the model-check suites shrink the ring to 2–4
+    /// slots so lap/overwrite races fit inside the exploration budget.
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two(),
+            "flight recorder capacity must be a power of two"
+        );
+        let slots = (0..capacity)
             .map(|_| EventSlot {
                 seq: AtomicU64::new(0),
                 data: UnsafeCell::new(MaybeUninit::uninit()),
@@ -333,8 +348,12 @@ impl FlightRecorder {
     /// Records `event`, overwriting the oldest slot when the ring is
     /// full. Lock-free and allocation-free.
     pub(crate) fn record(&self, event: ServeEvent) {
+        // relaxed: the ticket claim only needs atomicity — publication
+        // ordering is carried entirely by the slot's seq protocol.
         let t = self.head.fetch_add(1, Ordering::Relaxed);
-        let slot = &self.slots[(t as usize) & (EVENT_CAPACITY - 1)];
+        let slot = &self.slots[(t as usize) & (self.slots.len() - 1)];
+        // relaxed: the odd (write-in-flight) mark is ordered before the
+        // data write by the Release fence below.
         slot.seq.store(2 * t + 1, Ordering::Relaxed);
         fence(Ordering::Release);
         // SAFETY: the slot is exclusively ours between the odd seq store
@@ -359,10 +378,10 @@ impl FlightRecorder {
         let start = self
             .drained
             .load(Ordering::Acquire)
-            .max(head.saturating_sub(EVENT_CAPACITY as u64));
+            .max(head.saturating_sub(self.slots.len() as u64));
         let mut out = Vec::with_capacity((head - start) as usize);
         for t in start..head {
-            let slot = &self.slots[(t as usize) & (EVENT_CAPACITY - 1)];
+            let slot = &self.slots[(t as usize) & (self.slots.len() - 1)];
             let want = 2 * (t + 1);
             if slot.seq.load(Ordering::Acquire) != want {
                 continue;

@@ -20,11 +20,59 @@
 
 #![deny(missing_docs)]
 
+/// Synchronization facade: real `std` primitives normally, and the
+/// `kron-modelcheck` deterministic replacements when the workspace is
+/// built with `RUSTFLAGS="--cfg kron_loom"`.
+///
+/// Every sync-sensitive path in this crate (the Vyukov ring, the sleeper
+/// handshake) goes through this module, so the model-check suites in
+/// `tests/modelcheck.rs` drive the *exact* production protocol — same
+/// code, swapped primitives. Release builds resolve every re-export to
+/// the `std` type; the facade compiles away completely.
+pub mod sync {
+    /// Atomic types and fences (`std::sync::atomic` surface).
+    pub mod atomic {
+        #[cfg(kron_loom)]
+        pub use kron_modelcheck::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+        #[cfg(not(kron_loom))]
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+    /// Interior mutability (`std::cell::UnsafeCell` surface).
+    pub mod cell {
+        #[cfg(kron_loom)]
+        pub use kron_modelcheck::cell::UnsafeCell;
+        #[cfg(not(kron_loom))]
+        pub use std::cell::UnsafeCell;
+    }
+    /// Busy-wait hint; a schedulable yield under the model.
+    pub mod hint {
+        #[cfg(kron_loom)]
+        pub use kron_modelcheck::hint::spin_loop;
+        #[cfg(not(kron_loom))]
+        pub use std::hint::spin_loop;
+    }
+    /// Cooperative yield; deprioritizes the thread under the model.
+    pub mod thread {
+        #[cfg(kron_loom)]
+        pub use kron_modelcheck::thread::yield_now;
+        #[cfg(not(kron_loom))]
+        pub use std::thread::yield_now;
+    }
+    #[cfg(kron_loom)]
+    pub use kron_modelcheck::sync::{Arc, Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+    #[cfg(not(kron_loom))]
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+}
+
 /// Lock-free concurrent queues, mirroring `crossbeam::queue`.
 pub mod queue {
-    use std::cell::UnsafeCell;
+    use crate::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::cell::UnsafeCell;
     use std::mem::MaybeUninit;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// One slot of the ring. `seq` encodes the slot's lap state: writers
     /// may claim the slot when `seq == pos`, readers when `seq == pos + 1`.
@@ -44,7 +92,15 @@ pub mod queue {
         tail: AtomicUsize,
     }
 
+    // SAFETY: the queue owns its values; sending the whole queue moves
+    // them to one thread, which is safe whenever `T: Send`.
     unsafe impl<T: Send> Send for ArrayQueue<T> {}
+    // SAFETY: a slot's value cell is only touched by the thread that
+    // CAS-claimed the matching head/tail position for the current lap,
+    // and the claim/publish protocol on `seq` (Acquire load before the
+    // access, Release store after) makes each value write happen-before
+    // the read that consumes it. `T: Send` suffices — values cross
+    // threads, they are never aliased.
     unsafe impl<T: Send> Sync for ArrayQueue<T> {}
 
     impl<T> ArrayQueue<T> {
@@ -74,6 +130,8 @@ pub mod queue {
 
         /// Attempts to enqueue; returns the value back if the ring is full.
         pub fn push(&self, value: T) -> Result<(), T> {
+            // relaxed: speculative cursor read — the claiming CAS below
+            // re-validates against the slot's Acquire-loaded seq.
             let mut pos = self.tail.load(Ordering::Relaxed);
             loop {
                 let slot = &self.slots[pos & self.mask];
@@ -88,6 +146,10 @@ pub mod queue {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
+                            // SAFETY: the tail CAS made this thread the
+                            // unique claimant of slot `pos` for this lap;
+                            // readers wait for the Release store of
+                            // `pos + 1` below before touching the cell.
                             unsafe { (*slot.value.get()).write(value) };
                             slot.seq.store(pos.wrapping_add(1), Ordering::Release);
                             return Ok(());
@@ -99,6 +161,8 @@ pub mod queue {
                     // ago: the ring is full.
                     return Err(value);
                 } else {
+                    // relaxed: stale-cursor refresh; validated on the
+                    // next pass of the claim loop.
                     pos = self.tail.load(Ordering::Relaxed);
                 }
             }
@@ -106,6 +170,8 @@ pub mod queue {
 
         /// Attempts to dequeue; returns `None` if the ring is empty.
         pub fn pop(&self) -> Option<T> {
+            // relaxed: speculative cursor read — the claiming CAS below
+            // re-validates against the slot's Acquire-loaded seq.
             let mut pos = self.head.load(Ordering::Relaxed);
             loop {
                 let slot = &self.slots[pos & self.mask];
@@ -119,6 +185,11 @@ pub mod queue {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
+                            // SAFETY: the head CAS made this thread the
+                            // unique consumer of slot `pos`; the Acquire
+                            // load of `seq == pos + 1` above synchronized
+                            // with the writer's Release store, so the
+                            // value is fully initialized and unaliased.
                             let value = unsafe { (*slot.value.get()).assume_init_read() };
                             // Mark the slot writable for the next lap.
                             slot.seq
@@ -130,6 +201,8 @@ pub mod queue {
                 } else if diff < 0 {
                     return None;
                 } else {
+                    // relaxed: stale-cursor refresh; validated on the
+                    // next pass of the claim loop.
                     pos = self.head.load(Ordering::Relaxed);
                 }
             }
@@ -137,6 +210,7 @@ pub mod queue {
 
         /// Approximate number of queued elements (racy snapshot).
         pub fn len(&self) -> usize {
+            // relaxed: documented racy snapshot; no decision hangs on it.
             let tail = self.tail.load(Ordering::Relaxed);
             let head = self.head.load(Ordering::Relaxed);
             tail.wrapping_sub(head) as isize as usize
@@ -157,10 +231,14 @@ pub mod queue {
 
 /// Multi-producer multi-consumer channels, mirroring `crossbeam::channel`.
 pub mod channel {
+    use crate::sync::atomic::{fence, AtomicUsize, Ordering};
+    use crate::sync::{Arc, Condvar, Mutex};
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::atomic::{fence, AtomicUsize, Ordering};
-    use std::sync::{Arc, Condvar, Mutex};
+    // Wall-clock deadlines are inherently non-deterministic, so
+    // `recv_timeout` is not model-exercised (model suites use `recv` /
+    // `try_recv`); under `kron_loom` the timed waits still compile
+    // because the model condvar ignores the duration.
     use std::time::{Duration, Instant};
 
     use crate::queue::ArrayQueue;
@@ -196,6 +274,8 @@ pub mod channel {
         /// sleeper registration so a wakeup can never be missed.
         fn notify(&self) {
             fence(Ordering::SeqCst);
+            // relaxed: ordered by the SeqCst fence above, paired with
+            // the receiver's post-registration fence (model-checked).
             if self.sleepers.load(Ordering::Relaxed) > 0 {
                 let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
                 self.ready.notify_all();
@@ -344,9 +424,9 @@ pub mod channel {
                         // is draining, so back off briefly and retry.
                         spins += 1;
                         if spins < 64 {
-                            std::hint::spin_loop();
+                            crate::sync::hint::spin_loop();
                         } else {
-                            std::thread::yield_now();
+                            crate::sync::thread::yield_now();
                         }
                     }
                 }
@@ -449,6 +529,11 @@ pub mod channel {
                     // our registration must have pushed before it.
                     if !shared.ring.is_empty() || shared.senders.load(Ordering::Acquire) == 0 {
                         shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                        drop(guard);
+                        // The racing producer may have claimed its slot
+                        // but not yet published the value; give it the
+                        // CPU rather than re-polling a torn ring.
+                        crate::sync::thread::yield_now();
                         continue;
                     }
                     guard = shared.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
@@ -499,6 +584,9 @@ pub mod channel {
                     fence(Ordering::SeqCst);
                     if !shared.ring.is_empty() || shared.senders.load(Ordering::Acquire) == 0 {
                         shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                        drop(guard);
+                        // As in `recv`: let the racing producer publish.
+                        crate::sync::thread::yield_now();
                         continue;
                     }
                     let (guard, _) = shared

@@ -60,6 +60,9 @@ struct TaskQueue {
 /// not return until the latch counts every task complete.
 #[derive(Clone, Copy)]
 struct Task {
+    // SAFETY: callers of `run` must pass a `ctx` that points at the
+    // closure type `run` was monomorphized for, still alive (see
+    // `run_one` and the latch protocol below).
     run: unsafe fn(*const (), usize),
     ctx: *const (),
     index: usize,
@@ -183,6 +186,10 @@ impl ThreadPool {
             return;
         }
         let latch = Latch::new(count);
+        // SAFETY: contract — `ctx` must point at a live `F`; guaranteed
+        // below because every `Task` built from `run_one::<F>` carries
+        // `task` (an `&F` this frame keeps borrowed until the latch
+        // drains).
         unsafe fn run_one<F: Fn(usize)>(ctx: *const (), index: usize) {
             (*ctx.cast::<F>())(index);
         }
@@ -222,6 +229,9 @@ impl Drop for ThreadPool {
 }
 
 fn run_task(task: Task) {
+    // SAFETY: `ctx` points at the closure `run` was monomorphized for,
+    // kept alive by the enqueueing `broadcast` frame until the latch
+    // below counts this task complete.
     let panicked = catch_unwind(AssertUnwindSafe(|| unsafe {
         (task.run)(task.ctx, task.index)
     }))
@@ -456,6 +466,8 @@ mod tests {
             // closure is shared across workers.
             let ptr = base as *mut usize;
             for j in 0..8 {
+                // SAFETY: task t owns elements [8t, 8t+8) exclusively,
+                // and `data` outlives the blocking broadcast call.
                 unsafe { *ptr.add(t * 8 + j) = t };
             }
         });
@@ -491,6 +503,8 @@ mod tests {
         // The pool survives a panicked task and keeps serving.
         let mut ok = [false; 4];
         let base = ok.as_mut_ptr() as usize;
+        // SAFETY: each task writes only its own index, and `ok` outlives
+        // the blocking broadcast call.
         pool.broadcast(4, &|i| unsafe { *(base as *mut bool).add(i) = true });
         assert!(ok.iter().all(|&b| b));
     }
@@ -501,6 +515,8 @@ mod tests {
         assert_eq!(pool.threads(), 1);
         let mut seen = vec![false; 5];
         let base = seen.as_mut_ptr() as usize;
+        // SAFETY: each task writes only its own index, and `seen`
+        // outlives the blocking broadcast call.
         pool.broadcast(5, &|i| unsafe { *(base as *mut bool).add(i) = true });
         assert!(seen.iter().all(|&b| b));
     }

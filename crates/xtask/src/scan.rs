@@ -1,0 +1,376 @@
+//! A line-oriented Rust source scanner for the `analyze` lint pass: a
+//! small lexer that separates code from comments and string literals
+//! (so tokens inside either never trip a rule), plus region analyses —
+//! `#[cfg(test)]` / `#[test]` item extents and named-function body
+//! extents — built on brace depth over the code channel.
+//!
+//! Deliberately not a full parser: the workspace's style (rustfmt'd,
+//! one item per line) makes line granularity exact in practice, and the
+//! allowlist absorbs any corner the heuristics miss.
+
+use std::collections::HashSet;
+
+/// One source line, split into channels by the lexer.
+pub struct Line {
+    /// The original text (allowlist matching runs on this).
+    pub raw: String,
+    /// Code only: comments and string-literal contents blanked out.
+    pub code: String,
+    /// Comment text only (line, block, and doc comments).
+    pub comment: String,
+    /// Inside a `#[cfg(test)]` / `#[cfg(all(test, ..))]` / `#[test]`
+    /// item, the attribute line itself included.
+    pub in_test_region: bool,
+}
+
+pub struct FileScan {
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+impl FileScan {
+    pub fn new(source: &str) -> Self {
+        let mut lines = lex(source);
+        mark_test_regions(&mut lines);
+        FileScan { lines }
+    }
+
+    /// Whether the line's code channel has the `unsafe` keyword.
+    pub fn has_unsafe_token(&self, idx: usize) -> bool {
+        contains_word(&self.lines[idx].code, "unsafe")
+    }
+
+    /// Line indices (0-based) inside the bodies of the named functions.
+    pub fn function_body_lines(&self, names: &[&str]) -> HashSet<usize> {
+        let mut out = HashSet::new();
+        if names.is_empty() {
+            return out;
+        }
+        for (idx, line) in self.lines.iter().enumerate() {
+            let is_decl = names.iter().any(|n| {
+                line.code.find(&format!("fn {n}")).is_some_and(|at| {
+                    match line.code[at..].chars().nth(3 + n.len()) {
+                        // Exact-name match: `fn record(` must not claim
+                        // `fn record_all(`.
+                        Some(c) => c == '(' || c == '<',
+                        None => false,
+                    }
+                })
+            });
+            if !is_decl {
+                continue;
+            }
+            // Walk forward to the body's opening brace, then match it.
+            let mut depth = 0u32;
+            let mut opened = false;
+            for (j, l) in self.lines.iter().enumerate().skip(idx) {
+                for c in l.code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth = depth.saturating_sub(1),
+                        // A semicolon before any brace is a bodyless
+                        // declaration (trait method, extern) — no body
+                        // region to mark.
+                        ';' if !opened => return out,
+                        _ => {}
+                    }
+                }
+                out.insert(j);
+                if opened && depth == 0 {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Keyword search that respects identifier boundaries (`unsafe` must
+/// not match `unsafe_code`).
+fn contains_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(at) = code[start..].find(word) {
+        let abs = start + at;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !code[abs + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+fn lex(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut state = State::Normal;
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        // A line comment never survives a newline.
+        if state == State::LineComment {
+            state = State::Normal;
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Normal => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        comment.extend(&chars[i..]);
+                        i = chars.len();
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push('"');
+                        i += 1;
+                    }
+                    'r' | 'b'
+                        if raw_string_hashes(&chars[i..]).is_some()
+                            // Identifier chars before `r"` mean this `r`
+                            // is the tail of a name, not a prefix.
+                            && (i == 0
+                                || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')) =>
+                    {
+                        let hashes = raw_string_hashes(&chars[i..]).expect("checked above");
+                        state = State::RawStr(hashes);
+                        // Skip prefix + hashes + opening quote.
+                        let prefix = chars[i..]
+                            .iter()
+                            .take_while(|&&c| c == 'r' || c == 'b' || c == '#')
+                            .count();
+                        code.push('"');
+                        i += prefix + 1;
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a literal closes
+                        // within a few chars or starts with a backslash.
+                        if next == Some('\\') {
+                            // Escaped char literal: consume to the
+                            // closing quote.
+                            code.push('\'');
+                            i += 1;
+                            while i < chars.len() && chars[i] != '\'' {
+                                i += 1;
+                            }
+                            i += 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            code.push('\'');
+                            i += 3;
+                        } else {
+                            // A lifetime — keep the tick, lex on.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                State::LineComment => unreachable!("consumed to end of line above"),
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Normal
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => match c {
+                    '\\' => i += 2,
+                    '"' => {
+                        state = State::Normal;
+                        code.push('"');
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw_string(&chars[i + 1..], hashes) {
+                        state = State::Normal;
+                        code.push('"');
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        lines.push(Line {
+            raw: raw.to_string(),
+            code,
+            comment,
+            in_test_region: false,
+        });
+    }
+    lines
+}
+
+/// If `chars` starts a raw string literal (`r"`, `r#"`, `br"` …),
+/// returns its hash count.
+fn raw_string_hashes(chars: &[char]) -> Option<u32> {
+    let mut i = 0;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    (chars.get(i) == Some(&'"')).then_some(hashes)
+}
+
+fn closes_raw_string(after_quote: &[char], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| after_quote.get(k) == Some(&'#'))
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` items: from the
+/// attribute line to the close of the item's brace block.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        let code = lines[i].code.trim().to_string();
+        let is_test_attr = code.starts_with("#[cfg(test)]")
+            || code.starts_with("#[cfg(all(test")
+            || code.starts_with("#[test]")
+            || code.starts_with("#[cfg(all(test,");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Mark from the attribute through the attached item's block.
+        let mut depth = 0u32;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            lines[j].in_test_region = true;
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            if opened && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_leave_the_code_channel() {
+        let scan = FileScan::new(
+            "let s = \"unsafe { x.unwrap() }\"; // SAFETY: not really code\n\
+             /* unsafe in a block comment */ let t = 1;\n",
+        );
+        assert!(!scan.has_unsafe_token(0));
+        assert!(!scan.lines[0].code.contains("unwrap"));
+        assert!(scan.lines[0].comment.contains("SAFETY:"));
+        assert!(!scan.has_unsafe_token(1));
+        assert!(scan.lines[1].code.contains("let t"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let scan = FileScan::new("let s = r#\"panic!(\"inside\")\"#; f();\n");
+        assert!(!scan.lines[0].code.contains("panic!"));
+        assert!(scan.lines[0].code.contains("f();"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let scan = FileScan::new("fn f<'a>(x: &'a str) -> &'a str { unsafe { g(x) } }\n");
+        assert!(scan.has_unsafe_token(0));
+    }
+
+    #[test]
+    fn unsafe_word_boundary() {
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(!contains_word("unsafe_code", "unsafe"));
+        assert!(!contains_word("deny_unsafe", "unsafe"));
+    }
+
+    #[test]
+    fn test_regions_cover_the_attached_block() {
+        let scan = FileScan::new(
+            "fn hot() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { assert!(true); }\n\
+             }\n\
+             fn also_hot() {}\n",
+        );
+        assert!(!scan.lines[0].in_test_region);
+        assert!(scan.lines[1].in_test_region);
+        assert!(scan.lines[4].in_test_region);
+        assert!(scan.lines[5].in_test_region);
+        assert!(!scan.lines[6].in_test_region);
+    }
+
+    #[test]
+    fn function_bodies_are_located_by_name() {
+        let scan = FileScan::new(
+            "impl R {\n\
+                 pub fn record(&self) {\n\
+                     touch();\n\
+                 }\n\
+                 pub fn record_all(&self) {\n\
+                     other();\n\
+                 }\n\
+             }\n",
+        );
+        let body = scan.function_body_lines(&["record"]);
+        assert!(body.contains(&1) && body.contains(&2) && body.contains(&3));
+        assert!(!body.contains(&5), "matched the wrong function by prefix");
+    }
+}
